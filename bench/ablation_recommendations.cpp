@@ -1,0 +1,169 @@
+// Ablation study for the paper's §6.2 client-side recommendations:
+// starting from a minimal client, add one construction capability at a
+// time and measure how many corpus chains each step rescues. This
+// quantifies the paper's claim that AIA completion, backtracking and
+// order reorganization — plus the trusted-root/KID prioritisation
+// advice — drive validation success on real-world (non-compliant)
+// chains.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "chain/analyzer.hpp"
+#include "httpserver/normalize.hpp"
+#include "pathbuild/path_builder.hpp"
+#include "report/table.hpp"
+
+using namespace chainchaos;
+
+namespace {
+
+struct Step {
+  const char* name;
+  pathbuild::BuildPolicy policy;
+};
+
+}  // namespace
+
+int main() {
+  const auto corpus = bench::make_corpus();
+
+  pathbuild::BuildPolicy minimal;
+  minimal.reorder = false;
+  minimal.eliminate_redundancy = false;
+  minimal.backtracking = false;
+  minimal.aia_completion = false;
+  minimal.kid_priority = pathbuild::KidPriority::kNone;
+  minimal.validity_priority = pathbuild::ValidityPriority::kFirstListed;
+
+  std::vector<Step> steps;
+  steps.push_back({"minimal (forward scan only)", minimal});
+
+  pathbuild::BuildPolicy with_reorder = minimal;
+  with_reorder.reorder = true;
+  with_reorder.eliminate_redundancy = true;
+  steps.push_back({"+ order reorganization & dedup", with_reorder});
+
+  pathbuild::BuildPolicy with_backtracking = with_reorder;
+  with_backtracking.backtracking = true;
+  steps.push_back({"+ backtracking", with_backtracking});
+
+  pathbuild::BuildPolicy with_aia = with_backtracking;
+  with_aia.aia_completion = true;
+  steps.push_back({"+ AIA completion", with_aia});
+
+  pathbuild::BuildPolicy with_priorities = with_aia;
+  with_priorities.kid_priority = pathbuild::KidPriority::kMatchFirst;
+  with_priorities.validity_priority =
+      pathbuild::ValidityPriority::kMostRecentThenLongest;
+  with_priorities.key_usage_priority =
+      pathbuild::KeyUsagePriority::kCorrectOrMissingFirst;
+  with_priorities.basic_constraints_priority =
+      pathbuild::BasicConstraintsPriority::kCorrectFirst;
+  steps.push_back({"+ §6.2 priorities (KID/validity/KU/BC)", with_priorities});
+
+  pathbuild::BuildPolicy with_trusted_pref = with_priorities;
+  with_trusted_pref.prefer_trusted_root = true;
+  steps.push_back({"+ prefer trusted self-signed root", with_trusted_pref});
+
+  report::Table table("§6.2 capability ablation over the corpus");
+  table.header({"Client configuration", "handshakes OK", "rescued vs prev",
+                "candidates considered", "backtracks"});
+
+  std::size_t prev_ok = 0;
+  bool first = true;
+  for (const Step& step : steps) {
+    pathbuild::PathBuilder builder(step.policy, &corpus->stores().union_store,
+                                   &corpus->aia());
+    std::size_t ok = 0;
+    long long candidates = 0, backtracks = 0;
+    for (const dataset::DomainRecord& record : corpus->records()) {
+      const auto result = builder.build(record.observation.certificates,
+                                        record.observation.domain);
+      ok += result.ok();
+      candidates += result.stats.candidates_considered;
+      backtracks += result.stats.backtracks;
+    }
+    table.row({step.name,
+               report::count_pct(ok, corpus->records().size()),
+               first ? "-" : "+" + report::with_commas(ok - prev_ok),
+               report::with_commas(static_cast<std::uint64_t>(candidates)),
+               report::with_commas(static_cast<std::uint64_t>(backtracks))});
+    prev_ok = ok;
+    first = false;
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\n[paper] §6.2: 'clients equipped with all three capabilities "
+      "[completion, backtracking, reordering] exhibit a significantly "
+      "higher success rate'; prioritising the trusted self-signed root "
+      "removes wasted attempts on the 744 chains where an intermediate "
+      "and a trusted root share subject_DN and KID.\n");
+
+  // The specific §6.2 scenario: candidates sharing subject_DN and KID
+  // where one is a trusted root — preference reduces attempts.
+  std::size_t fewer = 0, compared = 0;
+  pathbuild::PathBuilder plain(with_priorities, &corpus->stores().union_store,
+                               &corpus->aia());
+  pathbuild::PathBuilder preferring(with_trusted_pref,
+                                    &corpus->stores().union_store,
+                                    &corpus->aia());
+  for (const dataset::DomainRecord& record : corpus->records()) {
+    if (!record.root_included) continue;  // root + intermediate both present
+    const auto a = plain.build(record.observation.certificates,
+                               record.observation.domain);
+    const auto b = preferring.build(record.observation.certificates,
+                                    record.observation.domain);
+    if (!a.ok() || !b.ok()) continue;
+    ++compared;
+    fewer += b.stats.candidates_considered <= a.stats.candidates_considered;
+  }
+  std::printf("\ntrusted-root preference: no extra construction attempts on "
+              "%zu of %zu root-included chains\n",
+              fewer, compared);
+
+  // ---- §6.1 server-side recommendation: automated deploy-time checks ----
+  // Run every corpus chain through the normalizer a compliant server
+  // would apply at configuration time, then re-measure order compliance.
+  chain::CompletenessOptions comp;
+  comp.store = &corpus->stores().union_store;
+  comp.aia = &corpus->aia();
+  const chain::ComplianceAnalyzer analyzer(comp);
+
+  std::size_t order_before = 0, order_after = 0;
+  std::size_t incomplete_before = 0, incomplete_after = 0;
+  std::size_t chains_fixed = 0;
+  for (const dataset::DomainRecord& record : corpus->records()) {
+    const chain::ComplianceReport before =
+        analyzer.analyze(record.observation);
+    order_before += before.order.any_order_issue();
+    incomplete_before += !before.completeness.complete();
+
+    const httpserver::NormalizationResult normalized =
+        httpserver::normalize_chain(record.observation.certificates);
+    chains_fixed += normalized.changed();
+    chain::ChainObservation fixed = record.observation;
+    fixed.certificates = normalized.chain;
+    const chain::ComplianceReport after = analyzer.analyze(fixed);
+    order_after += after.order.any_order_issue();
+    incomplete_after += !after.completeness.complete();
+  }
+
+  report::Table server_table("§6.1 server-side ablation: deploy-time "
+                             "normalization");
+  server_table.header({"Metric", "as deployed", "after normalization"});
+  server_table.row({"order non-compliant chains",
+                    report::with_commas(order_before),
+                    report::with_commas(order_after)});
+  server_table.row({"incomplete chains",
+                    report::with_commas(incomplete_before),
+                    report::with_commas(incomplete_after)});
+  server_table.row({"chains corrected at deploy time",
+                    "-", report::with_commas(chains_fixed)});
+  std::printf("\n%s", server_table.render().c_str());
+  std::printf("\n[paper] §6.1: automated server checks can resolve the "
+              "order-taxonomy defects (duplicates, reversals, irrelevant "
+              "certs) but not missing intermediates — those need the CA's "
+              "packaging (or client-side AIA) to fix.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared plumbing for the table-regeneration benches.
+//
+// Every bench binary regenerates one of the paper's tables over a shared
+// synthetic corpus. Corpus size comes from the CHAINCHAOS_DOMAINS
+// environment variable (default 20,000 ≈ a 1/45 scale Tranco run — all
+// reported quantities are rates, so scale only affects noise), the seed
+// from CHAINCHAOS_SEED.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "dataset/corpus.hpp"
+
+namespace chainchaos::bench {
+
+inline dataset::CorpusConfig config_from_env() {
+  dataset::CorpusConfig config;
+  config.domain_count = 20000;
+  if (const char* env = std::getenv("CHAINCHAOS_DOMAINS")) {
+    config.domain_count = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
+  if (const char* env = std::getenv("CHAINCHAOS_SEED")) {
+    config.seed = std::strtoull(env, nullptr, 10);
+  }
+  return config;
+}
+
+inline std::unique_ptr<dataset::Corpus> make_corpus() {
+  dataset::CorpusConfig config = config_from_env();
+  std::printf("[corpus] %zu synthetic domains, seed %llu%s\n",
+              config.domain_count,
+              static_cast<unsigned long long>(config.seed),
+              config.include_exemplars ? " (+ exemplars)" : "");
+  return std::make_unique<dataset::Corpus>(std::move(config));
+}
+
+/// Prints the side-by-side "paper vs measured" footer used by every
+/// table bench so EXPERIMENTS.md can be assembled from raw output.
+inline void print_paper_note(const char* table, const char* claim) {
+  std::printf("\n[paper] %s: %s\n", table, claim);
+}
+
+}  // namespace chainchaos::bench

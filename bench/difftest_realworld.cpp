@@ -1,0 +1,124 @@
+// Regenerates the paper's §5.2 real-world differential-testing results:
+// pass rates of non-compliant chains across the browser and library
+// panels, discrepancy counts, the I-1..I-4 deficiency attribution, and
+// the per-client failure census.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "difftest/harness.hpp"
+#include "report/table.hpp"
+
+using namespace chainchaos;
+
+int main() {
+  auto corpus = bench::make_corpus();
+
+  difftest::DifferentialHarness harness(*corpus);
+  harness.seed_intermediate_caches();
+  std::printf("running 8 clients over %zu domains...\n", corpus->size());
+  const auto diffs = harness.run();
+  const difftest::DiffSummary summary = harness.summarize(diffs);
+
+  report::Table overview("§5.2 differential testing overview");
+  overview.header({"Metric", "measured", "paper"});
+  overview.row({"domains tested", report::with_commas(summary.total_domains),
+                "906,336"});
+  overview.row({"non-compliant chains",
+                report::with_commas(summary.noncompliant_domains), "26,361"});
+  overview.row({"non-compliant passing ALL browsers",
+                report::count_pct(summary.noncompliant_all_browsers_ok,
+                                  summary.noncompliant_domains),
+                "61.1%"});
+  overview.row({"non-compliant passing ALL libraries",
+                report::count_pct(summary.noncompliant_all_libraries_ok,
+                                  summary.noncompliant_domains),
+                "47.4%"});
+  overview.row({"chains with browser discrepancies",
+                report::with_commas(summary.browser_discrepancies), "3,295"});
+  overview.row({"chains with library discrepancies",
+                report::with_commas(summary.library_discrepancies), "10,804"});
+  overview.row({"non-compliant w/ building issue in some library",
+                report::count_pct(summary.noncompliant_any_library_failure,
+                                  summary.noncompliant_domains),
+                "40.9%"});
+  overview.row({"non-compliant w/ building issue in some browser",
+                report::count_pct(summary.noncompliant_any_browser_failure,
+                                  summary.noncompliant_domains),
+                "12.5%"});
+  std::fputs(overview.render().c_str(), stdout);
+
+  report::Table findings("Deficiency attribution of discrepant chains");
+  findings.header({"Finding", "measured chains", "paper anchor"});
+  const auto finding_count = [&summary](difftest::Finding f) {
+    const auto it = summary.findings.find(f);
+    return it == summary.findings.end() ? std::uint64_t{0}
+                                        : static_cast<std::uint64_t>(it->second);
+  };
+  findings.row({"I-1 order reorganization (MbedTLS)",
+                report::with_commas(
+                    finding_count(difftest::Finding::kI1_OrderReorganization)),
+                "51 chains / 22 Taiwan gov sites"});
+  findings.row({"I-2 input list too long (GnuTLS cap 16)",
+                report::with_commas(
+                    finding_count(difftest::Finding::kI2_LongChain)),
+                "10 chains"});
+  findings.row({"I-3 missing backtracking (OpenSSL/GnuTLS)",
+                report::with_commas(
+                    finding_count(difftest::Finding::kI3_Backtracking)),
+                "1 case (moex.gov.tw)"});
+  findings.row({"I-4 missing AIA completion",
+                report::with_commas(
+                    finding_count(difftest::Finding::kI4_AiaCompletion)),
+                "8,553 chains (libraries) / 1,074 (Firefox)"});
+  findings.row({"other",
+                report::with_commas(finding_count(difftest::Finding::kOther)),
+                "-"});
+  std::printf("\n%s", findings.render().c_str());
+
+  report::Table census("Per-client failure census (full corpus)");
+  census.header({"Client", "failed handshakes", "share"});
+  for (std::size_t p = 0; p < harness.profiles().size(); ++p) {
+    census.row({harness.profiles()[p].name,
+                report::with_commas(summary.failures_per_client[p]),
+                report::pct(static_cast<double>(summary.failures_per_client[p]),
+                            static_cast<double>(summary.total_domains))});
+  }
+  std::printf("\n%s", census.render().c_str());
+
+  // The paper's CryptoAPI ablation: disable AIA, count how many of the
+  // previously-rescued chains now fail (paper: 8,373 of 8,553 = 97.9%).
+  clients::ClientProfile nerfed =
+      clients::make_profile(clients::ClientKind::kCryptoApi);
+  nerfed.policy.aia_completion = false;
+  pathbuild::PathBuilder ablated(nerfed.policy, &corpus->stores().union_store,
+                                 &corpus->aia());
+  clients::ClientProfile stock =
+      clients::make_profile(clients::ClientKind::kCryptoApi);
+  pathbuild::PathBuilder full(stock.policy, &corpus->stores().union_store,
+                              &corpus->aia());
+  std::uint64_t rescued = 0, lost = 0;
+  for (const dataset::DomainRecord& record : corpus->records()) {
+    if (!dataset::is_completeness_defect(record.primary_defect)) continue;
+    if (!full.build(record.observation.certificates, record.observation.domain)
+             .ok()) {
+      continue;
+    }
+    ++rescued;
+    lost += !ablated
+                 .build(record.observation.certificates,
+                        record.observation.domain)
+                 .ok();
+  }
+  std::printf("\nCryptoAPI ablation: of %s AIA-rescued incomplete chains, "
+              "disabling AIA breaks %s (paper: 8,373 of 8,553 = 97.9%%; the "
+              "remainder came from the Windows intermediate store)\n",
+              report::with_commas(rescued).c_str(),
+              report::with_commas(lost).c_str());
+
+  bench::print_paper_note(
+      "§5.2",
+      "libraries (except CryptoAPI) underperform browsers; AIA completion "
+      "is the single most impactful capability; all four deficiency "
+      "classes I-1..I-4 reproduce");
+  return 0;
+}

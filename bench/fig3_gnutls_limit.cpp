@@ -1,0 +1,71 @@
+// Regenerates Figure 3 / finding I-2: the assiste6.serpro.gov.br case —
+// a 17-certificate list whose only valid path is 8 -> 1 -> 16 -> 0.
+// GnuTLS caps the *input list* at 16 certificates and rejects it; every
+// other client deduplicates/reorders and succeeds.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "chain/topology.hpp"
+#include "clients/profiles.hpp"
+#include "difftest/harness.hpp"
+#include "report/table.hpp"
+
+using namespace chainchaos;
+
+int main() {
+  dataset::CorpusConfig config;
+  config.domain_count = 0;  // exemplars only
+  dataset::Corpus corpus(config);
+
+  const dataset::DomainRecord* serpro =
+      corpus.exemplar("assiste6.serpro.gov.br");
+  if (serpro == nullptr) {
+    std::fprintf(stderr, "exemplar missing\n");
+    return 1;
+  }
+
+  std::printf("Certificate list of assiste6.serpro.gov.br "
+              "(%zu certificates):\n\n%s\n",
+              serpro->observation.certificates.size(),
+              chain::Topology::build(serpro->observation.certificates)
+                  .to_ascii()
+                  .c_str());
+
+  report::Table table("Figure 3 / I-2: client verdicts");
+  table.header({"Client", "status", "path len", "candidates", "paper"});
+  for (const clients::ClientProfile& profile : clients::all_profiles()) {
+    pathbuild::PathBuilder builder(profile.policy,
+                                   &corpus.stores().union_store,
+                                   &corpus.aia());
+    const pathbuild::BuildResult result = builder.build(
+        serpro->observation.certificates, serpro->observation.domain);
+    const char* paper =
+        profile.kind == clients::ClientKind::kGnuTls
+            ? "FAILS: list of 17 > cap 16 (limit is on the list, not the path)"
+            : profile.kind == clients::ClientKind::kMbedTls
+                  ? "forward scan strands at C16 (not reported in paper)"
+                  : "builds the 4-cert path";
+    table.row({profile.name, to_string(result.status),
+               std::to_string(result.path.size()),
+               std::to_string(result.stats.candidates_considered), paper});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // Sensitivity: trim the list to 16 and GnuTLS recovers.
+  std::vector<x509::CertPtr> trimmed = serpro->observation.certificates;
+  // Drop one junk certificate (position 15 is filler, not on the path).
+  trimmed.erase(trimmed.begin() + 15);
+  const clients::ClientProfile gnutls =
+      clients::make_profile(clients::ClientKind::kGnuTls);
+  pathbuild::PathBuilder builder(gnutls.policy, &corpus.stores().union_store);
+  const auto retried = builder.build(trimmed, serpro->observation.domain);
+  std::printf("\nGnuTLS with the list trimmed to 16 certificates: %s\n",
+              to_string(retried.status));
+
+  bench::print_paper_note(
+      "Figure 3",
+      "GnuTLS fails chains whose *served list* exceeds 16 certificates "
+      "even when the constructible path is short — 10 real chains hit "
+      "this in the paper's corpus");
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Engineering microbenchmarks (google-benchmark): the costs behind the
+// measurement pipeline — signing/verification, DER parsing, topology
+// construction, issuance-cache effectiveness, and path building as a
+// function of chain length and candidate fan-out.
+#include <benchmark/benchmark.h>
+
+#include "chain/issuance.hpp"
+#include "chain/topology.hpp"
+#include "clients/profiles.hpp"
+#include "crypto/rsa.hpp"
+#include "pathbuild/path_builder.hpp"
+#include "x509/builder.hpp"
+
+namespace {
+
+using namespace chainchaos;
+using x509::CertificateBuilder;
+using x509::CertPtr;
+
+// Shared fixture material, built once.
+struct Fixture {
+  x509::SigningIdentity root_id =
+      x509::make_identity(asn1::Name::make("Perf Root"));
+  CertPtr root;
+  std::vector<x509::SigningIdentity> tower_ids;
+  std::vector<CertPtr> tower;  // tower[0] under root, deeper after
+  truststore::RootStore store{"perf"};
+
+  Fixture() {
+    CertificateBuilder rb;
+    rb.subject(root_id.name).as_ca().public_key(root_id.keys.pub);
+    root = rb.self_sign(root_id.keys);
+    store.add(root);
+    extend_to(32);
+  }
+
+  void extend_to(int levels) {
+    while (static_cast<int>(tower.size()) < levels) {
+      const int level = static_cast<int>(tower.size()) + 1;
+      x509::SigningIdentity id = x509::make_identity(
+          asn1::Name::make("Perf Tower " + std::to_string(level)));
+      const x509::SigningIdentity& parent =
+          level == 1 ? root_id : tower_ids.back();
+      CertificateBuilder builder;
+      builder.subject(id.name).as_ca().public_key(id.keys.pub);
+      tower.push_back(builder.sign(parent));
+      tower_ids.push_back(std::move(id));
+    }
+  }
+
+  /// Compliant list with n intermediates: [leaf, T_n..T_1].
+  std::vector<CertPtr> chain_of(int n) {
+    extend_to(n);
+    CertificateBuilder lb;
+    lb.as_leaf("perf.example.com");
+    std::vector<CertPtr> list;
+    list.push_back(lb.sign(tower_ids[static_cast<std::size_t>(n - 1)]));
+    for (int level = n; level >= 1; --level) {
+      list.push_back(tower[static_cast<std::size_t>(level - 1)]);
+    }
+    return list;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_RsaSign(benchmark::State& state) {
+  const auto& keys = crypto::KeyPool::instance().for_name("perf-sign");
+  const Bytes message = to_bytes("benchmark message");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_sign(keys.priv, message));
+  }
+}
+BENCHMARK(BM_RsaSign);
+
+void BM_RsaVerify(benchmark::State& state) {
+  const auto& keys = crypto::KeyPool::instance().for_name("perf-sign");
+  const Bytes message = to_bytes("benchmark message");
+  const Bytes signature = crypto::rsa_sign(keys.priv, message);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_verify(keys.pub, message, signature));
+  }
+}
+BENCHMARK(BM_RsaVerify);
+
+void BM_CertificateIssue(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    CertificateBuilder builder;
+    builder.as_leaf("issue.example.com");
+    benchmark::DoNotOptimize(builder.sign(f.root_id));
+  }
+}
+BENCHMARK(BM_CertificateIssue);
+
+void BM_CertificateParse(benchmark::State& state) {
+  Fixture& f = fixture();
+  CertificateBuilder builder;
+  builder.as_leaf("parse.example.com");
+  const CertPtr cert = builder.sign(f.root_id);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x509::parse_certificate(cert->der));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cert->der.size()));
+}
+BENCHMARK(BM_CertificateParse);
+
+void BM_TopologyBuild(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto list = f.chain_of(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    chain::reset_issuance_cache();
+    benchmark::DoNotOptimize(chain::Topology::build(list));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TopologyBuild)->RangeMultiplier(2)->Range(2, 32)->Complexity();
+
+void BM_TopologyBuildCached(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto list = f.chain_of(static_cast<int>(state.range(0)));
+  chain::Topology::build(list);  // warm the issuance cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain::Topology::build(list));
+  }
+}
+BENCHMARK(BM_TopologyBuildCached)->Arg(8)->Arg(32);
+
+void BM_PathBuildDepth(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto list = f.chain_of(static_cast<int>(state.range(0)));
+  pathbuild::PathBuilder builder(pathbuild::BuildPolicy{}, &f.store);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.build(list, "perf.example.com"));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PathBuildDepth)->RangeMultiplier(2)->Range(2, 32)->Complexity();
+
+void BM_PathBuildReversed(benchmark::State& state) {
+  Fixture& f = fixture();
+  auto list = f.chain_of(static_cast<int>(state.range(0)));
+  std::reverse(list.begin() + 1, list.end());
+  pathbuild::PathBuilder builder(pathbuild::BuildPolicy{}, &f.store);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.build(list, "perf.example.com"));
+  }
+}
+BENCHMARK(BM_PathBuildReversed)->Arg(8)->Arg(16);
+
+void BM_PathBuildPerClient(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto profiles = clients::all_profiles();
+  const auto& profile = profiles[static_cast<std::size_t>(state.range(0))];
+  state.SetLabel(profile.name);
+  const auto list = f.chain_of(4);
+  pathbuild::PathBuilder builder(profile.policy, &f.store);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.build(list, "perf.example.com"));
+  }
+}
+BENCHMARK(BM_PathBuildPerClient)->DenseRange(0, 7);
+
+}  // namespace
+
+BENCHMARK_MAIN();

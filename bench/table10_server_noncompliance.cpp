@@ -1,0 +1,73 @@
+// Regenerates Table 10: HTTP server software behind non-compliant
+// chains, bucketed by non-compliance type (paper Appendix B).
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "chain/analyzer.hpp"
+#include "report/table.hpp"
+
+using namespace chainchaos;
+
+int main() {
+  const auto corpus = bench::make_corpus();
+
+  chain::CompletenessOptions options;
+  options.store = &corpus->stores().union_store;
+  options.aia = &corpus->aia();
+  const chain::ComplianceAnalyzer analyzer(options);
+
+  const std::vector<std::string>& servers =
+      dataset::CorpusConfig::server_names();
+  const std::vector<std::string> kinds = {
+      "Overview",     "Duplicate Certificates", "Duplicate Leaf",
+      "Irrelevant Certificates", "Multiple Paths", "Reversed Sequences",
+      "Incomplete Chain"};
+
+  std::map<std::string, std::map<std::string, std::uint64_t>> counts;
+  std::map<std::string, std::uint64_t> totals;
+
+  for (const dataset::DomainRecord& record : corpus->records()) {
+    const chain::ComplianceReport report = analyzer.analyze(record.observation);
+    if (report.compliant()) continue;
+    const std::string& server = record.observation.server_software;
+    const auto tally = [&](const std::string& kind) {
+      ++counts[kind][server];
+      ++totals[kind];
+    };
+    tally("Overview");
+    if (report.order.has_duplicates) tally("Duplicate Certificates");
+    if (report.order.duplicate_leaf) tally("Duplicate Leaf");
+    if (report.order.has_irrelevant) tally("Irrelevant Certificates");
+    if (report.order.multiple_paths) tally("Multiple Paths");
+    if (report.order.reversed_sequence) tally("Reversed Sequences");
+    if (!report.completeness.complete()) tally("Incomplete Chain");
+  }
+
+  report::Table table("Table 10: HTTP servers behind non-compliant chains");
+  std::vector<std::string> header = {"Non-compliant type"};
+  header.insert(header.end(), servers.begin(), servers.end());
+  header.push_back("Total");
+  table.header(header);
+
+  for (const std::string& kind : kinds) {
+    std::vector<std::string> row = {kind};
+    for (const std::string& server : servers) {
+      row.push_back(report::count_pct(counts[kind][server], totals[kind]));
+    }
+    row.push_back(report::with_commas(totals[kind]));
+    table.row(row);
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\n[paper] Table 10 reference rows (share of each type):\n"
+      "  Overview:    Apache 39.7%%, Nginx 35.7%%, Azure 5.5%%, cloudflare "
+      "3.3%%, IIS 3.0%%, AWS ELB 2.3%%, Other 10.5%%\n"
+      "  Duplicates:  Apache-heavy (56.1%%), Azure nearly absent (0.2%%, no "
+      "duplicate-leaf at all: its upload check)\n"
+      "  Reversed:    Azure over-represented (14.2%%, custom-upload path)\n"
+      "  Incomplete:  Apache/Nginx each ~40%%\n");
+  return 0;
+}

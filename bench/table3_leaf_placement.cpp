@@ -1,0 +1,60 @@
+// Regenerates Table 3: leaf certificate deployment classification over
+// the corpus (paper: 92.5% / 6.9% / ~0 / ~0 / 0.6% of 906,336 domains).
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "chain/leaf_placement.hpp"
+#include "report/table.hpp"
+
+using namespace chainchaos;
+
+int main() {
+  const auto corpus = bench::make_corpus();
+
+  std::map<chain::LeafPlacement, std::uint64_t> counts;
+  for (const dataset::DomainRecord& record : corpus->records()) {
+    const chain::LeafPlacement placement = chain::classify_leaf_placement(
+        record.observation.certificates, record.observation.domain);
+    ++counts[placement];
+  }
+  const std::uint64_t total = corpus->records().size();
+
+  report::Table table("Table 3: Leaf certificate deployment");
+  table.header({"Place", "Match", "#domains (measured)", "paper"});
+  table.row({"ok", "ok",
+             report::count_pct(counts[chain::LeafPlacement::kCorrectMatched],
+                               total),
+             "838,354 (92.5%)"});
+  table.row({"ok", "x",
+             report::count_pct(
+                 counts[chain::LeafPlacement::kCorrectMismatched], total),
+             "62,536 (6.9%)"});
+  table.row({"x", "ok",
+             report::count_pct(
+                 counts[chain::LeafPlacement::kIncorrectMatched], total),
+             "0 (~0%)"});
+  table.row({"x", "x",
+             report::count_pct(
+                 counts[chain::LeafPlacement::kIncorrectMismatched], total),
+             "1 (~0%)"});
+  table.row({"Other", "",
+             report::count_pct(counts[chain::LeafPlacement::kOther], total),
+             "5,445 (0.6%)"});
+  std::fputs(table.render().c_str(), stdout);
+
+  // The singleton: mot.gov.ps (paper §4.1).
+  if (const dataset::DomainRecord* mot = corpus->exemplar("mot.gov.ps")) {
+    const auto placement = chain::classify_leaf_placement(
+        mot->observation.certificates, mot->observation.domain);
+    std::printf("\nexemplar mot.gov.ps -> %s (paper: the single "
+                "incorrectly-placed-and-mismatched domain)\n",
+                chain::to_string(placement));
+  }
+
+  bench::print_paper_note(
+      "Table 3",
+      "leaf placement overwhelmingly compliant; mismatches are hosting "
+      "certs; 'Other' are test/appliance certificates");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Regenerates Table 4: deployment characteristics of the HTTP server
+// models — by *executing* scripted administrator scenarios against each
+// pipeline rather than reading static flags: the key-mismatch and
+// duplicate-leaf checks are observed behaviourally.
+#include <cstdio>
+
+#include "ca/hierarchy.hpp"
+#include "httpserver/server_model.hpp"
+#include "report/table.hpp"
+
+using namespace chainchaos;
+using httpserver::DeploymentInput;
+using httpserver::FileScheme;
+using httpserver::HttpServerModel;
+
+namespace {
+
+const char* scheme_label(FileScheme scheme) {
+  switch (scheme) {
+    case FileScheme::kSeparateFiles: return "SF1 (cert + ca-bundle + key)";
+    case FileScheme::kFullChain: return "SF2 (fullchain + key)";
+    case FileScheme::kPfx: return "SF3 (PFX)";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  const ca::CaHierarchy hierarchy =
+      ca::CaHierarchy::create("Bench Deploy CA", 2, nullptr);
+  const x509::CertPtr leaf = hierarchy.issue_leaf("bench-deploy.example.com");
+  const crypto::RsaKeyPair& key =
+      crypto::KeyPool::instance().leaf_slot(leaf->subject.to_string());
+  const crypto::RsaKeyPair& wrong_key =
+      crypto::KeyPool::instance().for_name("bench-wrong-key");
+
+  report::Table table("Table 4: SSL deployment characteristics across HTTP "
+                      "servers (observed behaviour)");
+  table.header({"Server", "Auto mgmt", "Files", "Key-match check",
+                "Dup-leaf check", "Dup-intermediate check"});
+
+  for (const HttpServerModel& server : httpserver::all_server_models()) {
+    const auto& traits = server.characteristics();
+
+    // Scenario A: wrong private key — every server must reject.
+    DeploymentInput wrong;
+    wrong.certificate_file = {leaf};
+    wrong.private_key = &wrong_key.priv;
+    const bool key_checked = !server.deploy(wrong).accepted;
+
+    // Scenario B: duplicated leaf in the configured material.
+    DeploymentInput dup_leaf;
+    if (traits.scheme == FileScheme::kSeparateFiles) {
+      dup_leaf.certificate_file = {leaf};
+      dup_leaf.chain_file = {leaf};  // admin copied the leaf again
+      for (const auto& cert : hierarchy.bundle_ascending()) {
+        dup_leaf.chain_file.push_back(cert);
+      }
+    } else {
+      dup_leaf.certificate_file = {leaf, leaf};
+      for (const auto& cert : hierarchy.bundle_ascending()) {
+        dup_leaf.certificate_file.push_back(cert);
+      }
+    }
+    dup_leaf.private_key = &key.priv;
+    const bool dup_leaf_checked = !server.deploy(dup_leaf).accepted;
+
+    // Scenario C: duplicated intermediate.
+    DeploymentInput dup_int;
+    dup_int.certificate_file = hierarchy.compliant_chain(leaf);
+    dup_int.certificate_file.push_back(dup_int.certificate_file[1]);
+    if (traits.scheme == FileScheme::kSeparateFiles) {
+      dup_int.certificate_file = {leaf};
+      dup_int.chain_file = hierarchy.bundle_ascending();
+      dup_int.chain_file.push_back(dup_int.chain_file[0]);
+    }
+    dup_int.private_key = &key.priv;
+    const bool dup_int_checked = !server.deploy(dup_int).accepted;
+
+    table.row({to_string(server.software()),
+               traits.automatic_certificate_management ? "yes" : "no",
+               scheme_label(traits.scheme), key_checked ? "yes" : "no",
+               dup_leaf_checked ? "yes" : "no",
+               dup_int_checked ? "yes" : "no"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\n[paper] Table 4: every server checks the private-key/leaf match "
+      "(the 'SSL_CTX_use_PrivateKey failed' guard behind Table 3's high "
+      "compliance); only Azure Application Gateway and IIS reject duplicate "
+      "leaves; no server checks duplicate intermediates/roots — which is "
+      "why Table 10's duplicate rows exist.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Regenerates Table 6: issuance characteristics of CAs/resellers, and
+// demonstrates the causal link the paper established: a reversed
+// ca-bundle + a naive file merge = a reversed-sequence deployment.
+#include <cstdio>
+
+#include "ca/ca_model.hpp"
+#include "chain/completeness.hpp"
+#include "chain/order_analysis.hpp"
+#include "chain/topology.hpp"
+#include "report/table.hpp"
+#include "truststore/root_store.hpp"
+
+using namespace chainchaos;
+
+namespace {
+
+const char* guide_label(ca::InstallationGuide guide) {
+  switch (guide) {
+    case ca::InstallationGuide::kNone: return "no";
+    case ca::InstallationGuide::kApacheIisOnly: return "only Apache/IIS";
+    case ca::InstallationGuide::kAllServers: return "yes";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  // One shared hierarchy per depth profile keeps the table cheap.
+  const ca::CaHierarchy shallow = ca::CaHierarchy::create("Bench CA d1", 1);
+  const ca::CaHierarchy deep = ca::CaHierarchy::create("Bench CA d2", 2);
+
+  report::Table table(
+      "Table 6: SSL issuance characteristics by CA/reseller (observed)");
+  table.header({"CA / reseller", "Auto mgmt", "Fullchain", "Ca-bundle",
+                "Root incl.", "Bundle order ok", "Install guide",
+                "naive admin deployment"});
+
+  using ca::CaKind;
+  for (CaKind kind :
+       {CaKind::kLetsEncrypt, CaKind::kDigicert, CaKind::kSectigo,
+        CaKind::kZeroSsl, CaKind::kGoGetSsl, CaKind::kTaiwanCa,
+        CaKind::kCyberFolks, CaKind::kTrustico}) {
+    const ca::CaHierarchy& hierarchy =
+        (kind == CaKind::kSectigo || kind == CaKind::kTaiwanCa ||
+         kind == CaKind::kGoGetSsl)
+            ? deep
+            : shallow;
+    const ca::CaModel model(kind, &hierarchy);
+    const auto& traits = model.characteristics();
+
+    const ca::IssuedPackage package = model.issue("bench-ca.example.com");
+    const auto deployed = model.naive_admin_deployment(package);
+    const chain::Topology topo = chain::Topology::build(deployed);
+    const chain::OrderAnalysis analysis = chain::analyze_order(deployed, topo);
+
+    std::string verdict = "compliant";
+    if (analysis.reversed_sequence) verdict = "REVERSED SEQUENCE";
+
+    chain::CompletenessOptions comp_options;
+    truststore::RootStore store("bench6");
+    store.add(hierarchy.root());
+    comp_options.store = &store;
+    comp_options.aia_enabled = false;
+    if (!chain::analyze_completeness(topo, comp_options).complete()) {
+      verdict = analysis.reversed_sequence ? "REVERSED + INCOMPLETE"
+                                           : "INCOMPLETE CHAIN";
+    }
+
+    table.row({model.name(),
+               traits.automatic_certificate_management ? "yes" : "no",
+               traits.provides_fullchain_file ? "yes" : "no",
+               traits.provides_ca_bundle_file ? "yes" : "no",
+               traits.provides_root_certificate ? "yes" : "no",
+               traits.bundle_in_compliant_order ? "yes" : "NO (reversed)",
+               guide_label(traits.guide), verdict});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\n[paper] Table 6 + §4.2: GoGetSSL, cyber_Folks S.A. and Trustico "
+      "deliver the ca-bundle in reverse order; administrators who merge the "
+      "two delivered files verbatim produce exactly the reversed 1->2->0 / "
+      "1->2->3->0 deployments that dominate Table 5. TAIWAN-CA's bundles "
+      "omit an intermediate, explaining its 41.9%% incomplete-chain rate in "
+      "Table 11. Let's Encrypt's fullchain.pem yields compliant deployments "
+      "even for naive admins.\n");
+  return 0;
+}

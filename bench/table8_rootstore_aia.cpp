@@ -1,0 +1,87 @@
+// Regenerates Table 8: additional incomplete chains per individual root
+// store, with and without AIA support, relative to the union-store+AIA
+// baseline (paper: with AIA 66/66/5/4; without AIA ~225,000 for every
+// store — AIA capability, not store membership, is the critical factor).
+//
+// Methodology note: the store probe here matches AKID against root SKIDs
+// only (match_store_by_dn = false), replicating the paper's §3.1 method;
+// that is exactly what makes AKID-less terminal intermediates
+// unresolvable without AIA.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "chain/completeness.hpp"
+#include "report/table.hpp"
+
+using namespace chainchaos;
+
+namespace {
+
+std::uint64_t count_incomplete(const dataset::Corpus& corpus,
+                               const truststore::RootStore& store,
+                               net::AiaRepository* aia, bool aia_enabled) {
+  chain::CompletenessOptions options;
+  options.store = &store;
+  options.aia = aia;
+  options.aia_enabled = aia_enabled;
+  options.match_store_by_dn = false;  // the paper's AKID-only probe
+
+  std::uint64_t incomplete = 0;
+  for (const dataset::DomainRecord& record : corpus.records()) {
+    const chain::Topology topo =
+        chain::Topology::build(record.observation.certificates);
+    incomplete +=
+        !chain::analyze_completeness(topo, options).complete();
+  }
+  return incomplete;
+}
+
+}  // namespace
+
+int main() {
+  const auto corpus = bench::make_corpus();
+  const auto& stores = corpus->stores();
+
+  const std::uint64_t baseline =
+      count_incomplete(*corpus, stores.union_store, &corpus->aia(), true);
+  std::printf("baseline (union store + AIA): %s incomplete chains\n\n",
+              report::with_commas(baseline).c_str());
+
+  struct Row {
+    const char* name;
+    const truststore::RootStore* store;
+    const char* paper_with_aia;
+    const char* paper_without_aia;
+  };
+  const std::vector<Row> rows = {
+      {"Mozilla", &stores.mozilla, "66", "225,608"},
+      {"Chrome", &stores.chrome, "66", "225,608"},
+      {"Microsoft", &stores.microsoft, "5", "225,538"},
+      {"Apple", &stores.apple, "4", "225,360"},
+  };
+
+  report::Table table(
+      "Table 8: Additional incomplete chains by root store and AIA support");
+  table.header({"Root Store", "AIA on (measured)", "paper", "AIA off (measured)",
+                "paper", "AIA off (% of corpus)"});
+  for (const Row& row : rows) {
+    const std::uint64_t with_aia =
+        count_incomplete(*corpus, *row.store, &corpus->aia(), true) - baseline;
+    const std::uint64_t without_aia =
+        count_incomplete(*corpus, *row.store, &corpus->aia(), false) - baseline;
+    table.row({row.name, report::with_commas(with_aia), row.paper_with_aia,
+               report::with_commas(without_aia), row.paper_without_aia,
+               report::pct(static_cast<double>(without_aia),
+                           static_cast<double>(corpus->records().size()))});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("(paper scale: 225,608 of 906,336 = 24.9%% of the corpus)\n");
+
+  bench::print_paper_note(
+      "Table 8",
+      "root-store differences barely matter when AIA is available; "
+      "without AIA roughly a quarter of all chains become unresolvable "
+      "under the AKID-only store probe");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// client_shootout: serve one deliberately hostile certificate chain and
+// let all eight client profiles race over the real TLS wire format —
+// a compact demonstration of the paper's client-side findings.
+#include <cstdio>
+
+#include "ca/hierarchy.hpp"
+#include "clients/profiles.hpp"
+#include "tls/handshake.hpp"
+#include "truststore/root_store.hpp"
+
+using namespace chainchaos;
+
+int main() {
+  // Hostile-but-legal deployment: duplicated leaf, reversed intermediates,
+  // an irrelevant certificate, and the root omitted.
+  const ca::CaHierarchy authority = ca::CaHierarchy::create("Shootout CA", 2);
+  const ca::CaHierarchy bystander = ca::CaHierarchy::create("Bystander CA", 1);
+  truststore::RootStore store("shootout");
+  store.add(authority.root());
+  store.add(bystander.root());
+
+  const x509::CertPtr leaf = authority.issue_leaf("arena.example.com");
+  std::vector<x509::CertPtr> chaos = {
+      leaf,
+      leaf,                                  // duplicate
+      authority.intermediates().front(),     // reversed: upper tier first
+      bystander.intermediates().back(),      // irrelevant
+      authority.intermediates().back(),
+  };
+  const tls::ChainServer server("arena.example.com", chaos);
+
+  std::printf("served list (%zu certificates, wire size %zu bytes):\n",
+              chaos.size(),
+              server.certificate_message(tls::TlsVersion::kTls13).size());
+  for (std::size_t i = 0; i < chaos.size(); ++i) {
+    std::printf("  [%zu] %s\n", i, chaos[i]->subject.to_string().c_str());
+  }
+  std::printf("\n%-16s %-24s %-6s %-11s %-10s\n", "client", "status", "path",
+              "candidates", "backtracks");
+
+  for (const clients::ClientProfile& profile : clients::all_profiles()) {
+    const pathbuild::PathBuilder builder(profile.policy, &store);
+    const tls::HandshakeOutcome outcome =
+        tls::simulate_handshake(server, builder);
+    std::printf("%-16s %-24s %-6zu %-11d %-10d\n", profile.name.c_str(),
+                outcome.wire_ok ? to_string(outcome.build.status)
+                                : outcome.error.c_str(),
+                outcome.build.path.size(),
+                outcome.build.stats.candidates_considered,
+                outcome.build.stats.backtracks);
+  }
+
+  std::printf("\nEvery client received byte-identical Certificate messages; "
+              "the verdict differences are purely chain-construction "
+              "capability differences (Table 9).\n");
+  return 0;
+}

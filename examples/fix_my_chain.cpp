@@ -1,0 +1,129 @@
+// fix_my_chain: the §6 server-side recommendations as a tool.
+//
+// Takes a (possibly non-compliant) served chain and emits the corrected
+// deployment: duplicates removed, irrelevant certificates dropped, the
+// path re-ordered leaf-to-root, missing intermediates pulled in via AIA,
+// and the root omitted per common practice. Prints a before/after
+// compliance diff; with a PEM argument, writes the fixed bundle.
+//
+// Usage:  fix_my_chain [chain.pem [out.pem]]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "ca/hierarchy.hpp"
+#include "chain/analyzer.hpp"
+#include "pathbuild/path_builder.hpp"
+
+using namespace chainchaos;
+
+namespace {
+
+/// The fixer itself: a permissive build (reorder + dedup + backtracking
+/// + AIA) yields the path; the corrected deployment is that path minus
+/// the trust anchor.
+std::vector<x509::CertPtr> fix_chain(const std::vector<x509::CertPtr>& served,
+                                     const std::string& hostname,
+                                     const truststore::RootStore& store,
+                                     net::AiaRepository* aia) {
+  pathbuild::BuildPolicy policy;
+  policy.aia_completion = aia != nullptr;
+  policy.prefer_trusted_root = true;  // §6.2 recommendation
+  const pathbuild::PathBuilder builder(policy, &store, aia);
+  const pathbuild::BuildResult result = builder.build(served, hostname);
+  if (result.path.empty()) return {};
+
+  std::vector<x509::CertPtr> fixed = result.path;
+  if (fixed.size() > 1 && fixed.back()->is_self_signed()) {
+    fixed.pop_back();  // the root MAY be omitted (RFC 5246 §7.4.2)
+  }
+  return fixed;
+}
+
+void report_line(const char* when, const chain::ComplianceReport& report) {
+  std::printf("%s: order %s, completeness %s, overall %s\n", when,
+              report.order.any_order_issue() ? "NON-COMPLIANT" : "ok",
+              to_string(report.completeness.category),
+              report.compliant() ? "COMPLIANT" : "NON-COMPLIANT");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  truststore::RootStore store("fixer");
+  net::AiaRepository aia;
+  std::vector<x509::CertPtr> served;
+  std::string hostname;
+
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    auto parsed = x509::bundle_from_pem(buffer.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "PEM parse error: %s\n",
+                   parsed.error().to_string().c_str());
+      return 1;
+    }
+    served = std::move(parsed).value();
+    for (const x509::CertPtr& cert : served) {
+      if (cert->is_self_signed()) store.add(cert);
+    }
+    hostname = served.empty()
+                   ? ""
+                   : served.front()->subject.common_name().value_or("");
+  } else {
+    std::printf("(no PEM given; fixing a built-in GoGetSSL-style "
+                "reversed-with-root deployment)\n\n");
+    static const ca::CaHierarchy authority =
+        ca::CaHierarchy::create("Fixer Demo CA", 2, &aia);
+    store.add(authority.root());
+    hostname = "fixme.example.com";
+    const x509::CertPtr leaf = authority.issue_leaf(hostname);
+    // Reversed bundle incl. root, with a duplicated leaf for good measure.
+    served = {leaf, leaf, authority.root(),
+              authority.intermediates().front(),
+              authority.intermediates().back()};
+  }
+
+  chain::CompletenessOptions options;
+  options.store = &store;
+  options.aia = &aia;
+  const chain::ComplianceAnalyzer analyzer(options);
+
+  chain::ChainObservation before;
+  before.domain = hostname;
+  before.certificates = served;
+  report_line("before", analyzer.analyze(before));
+
+  const std::vector<x509::CertPtr> fixed =
+      fix_chain(served, hostname, store, &aia);
+  if (fixed.empty()) {
+    std::fprintf(stderr,
+                 "could not construct any valid path from the input — is "
+                 "the root present or reachable via AIA?\n");
+    return 2;
+  }
+
+  chain::ChainObservation after;
+  after.domain = hostname;
+  after.certificates = fixed;
+  report_line("after ", analyzer.analyze(after));
+
+  std::printf("\ncorrected deployment order (%zu -> %zu certificates):\n",
+              served.size(), fixed.size());
+  for (std::size_t i = 0; i < fixed.size(); ++i) {
+    std::printf("  [%zu] %s\n", i, fixed[i]->subject.to_string().c_str());
+  }
+
+  if (argc > 2) {
+    std::ofstream out(argv[2]);
+    for (const x509::CertPtr& cert : fixed) out << x509::to_pem(*cert);
+    std::printf("\nwrote %s\n", argv[2]);
+  }
+  return 0;
+}

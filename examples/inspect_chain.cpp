@@ -1,0 +1,131 @@
+// inspect_chain: the library as a deployment-linting tool.
+//
+// Reads a PEM bundle (leaf first, as a server would send it) and prints
+// the full compliance report the paper's server-side methodology
+// produces: leaf placement, issuance-order taxonomy, topology graph, and
+// completeness. Without arguments it inspects a built-in misconfigured
+// demo chain.
+//
+// Usage:  inspect_chain [chain.pem [hostname]]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "ca/hierarchy.hpp"
+#include "chain/analyzer.hpp"
+#include "dataset/defects.hpp"
+
+using namespace chainchaos;
+
+namespace {
+
+std::vector<x509::CertPtr> demo_chain(std::string* hostname,
+                                      truststore::RootStore* store) {
+  // A deliberately messy deployment: duplicated leaf + reversed bundle.
+  static const ca::CaHierarchy authority =
+      ca::CaHierarchy::create("Inspect Demo CA", 2);
+  store->add(authority.root());
+  *hostname = "messy.example.com";
+  const x509::CertPtr leaf = authority.issue_leaf(*hostname);
+  std::vector<x509::CertPtr> chain = {leaf, leaf};  // duplicate leaf
+  chain.push_back(authority.intermediates().front());  // reversed order
+  chain.push_back(authority.intermediates().back());
+  return chain;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string hostname = argc > 2 ? argv[2] : "";
+  truststore::RootStore store("inspect");
+  std::vector<x509::CertPtr> chain;
+
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    auto parsed = x509::bundle_from_pem(buffer.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "PEM parse error: %s\n",
+                   parsed.error().to_string().c_str());
+      return 1;
+    }
+    chain = std::move(parsed).value();
+    // Self-signed members double as candidate anchors for completeness.
+    for (const x509::CertPtr& cert : chain) {
+      if (cert->is_self_signed()) store.add(cert);
+    }
+  } else {
+    chain = demo_chain(&hostname, &store);
+    std::printf("(no PEM given; inspecting the built-in demo chain)\n\n");
+  }
+
+  if (hostname.empty() && !chain.empty()) {
+    hostname = chain.front()->subject.common_name().value_or("");
+  }
+
+  std::printf("=== certificates as served ===\n");
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const x509::Certificate& cert = *chain[i];
+    std::printf("[%zu] subject: %s\n     issuer:  %s\n     role: %s%s\n", i,
+                cert.subject.to_string().c_str(),
+                cert.issuer.to_string().c_str(),
+                cert.is_self_signed()  ? "root (self-signed)"
+                : cert.is_ca()         ? "intermediate CA"
+                                       : "end-entity",
+                cert.aia.has_value() && cert.aia->ca_issuers_uri.has_value()
+                    ? "  [has AIA]"
+                    : "");
+  }
+
+  const chain::Topology topo = chain::Topology::build(chain);
+  std::printf("\n=== issuance topology ===\n%s", topo.to_ascii().c_str());
+
+  net::AiaRepository aia;
+  chain::CompletenessOptions options;
+  options.store = &store;
+  options.aia = &aia;
+  const chain::ComplianceAnalyzer analyzer(options);
+
+  chain::ChainObservation observation;
+  observation.domain = hostname;
+  observation.certificates = chain;
+  const chain::ComplianceReport report = analyzer.analyze(observation, topo);
+
+  std::printf("\n=== compliance report (host: %s) ===\n", hostname.c_str());
+  std::printf("leaf placement:     %s\n", to_string(report.leaf_placement));
+  std::printf("issuance order:     %s\n",
+              report.order.compliant ? "compliant" : "NON-COMPLIANT");
+  if (report.order.has_duplicates) {
+    std::printf("  - duplicate certificates (max %d copies)%s%s%s\n",
+                report.order.max_duplicate_occurrences,
+                report.order.duplicate_leaf ? " [leaf]" : "",
+                report.order.duplicate_intermediate ? " [intermediate]" : "",
+                report.order.duplicate_root ? " [root]" : "");
+  }
+  if (report.order.has_irrelevant) {
+    std::printf("  - %d irrelevant certificate(s)\n",
+                report.order.irrelevant_count);
+  }
+  if (report.order.multiple_paths) {
+    std::printf("  - multiple candidate paths (%d)\n", report.order.path_count);
+  }
+  if (report.order.reversed_sequence) {
+    std::printf("  - reversed sequence%s\n",
+                report.order.all_paths_reversed ? " (every path)" : "");
+  }
+  std::printf("completeness:       %s\n",
+              to_string(report.completeness.category));
+  if (!report.completeness.complete()) {
+    std::printf("  - AIA repair: %s (%d certificate(s) missing)\n",
+                to_string(report.completeness.aia_outcome),
+                report.completeness.missing_certificates);
+  }
+  std::printf("overall:            %s\n",
+              report.compliant() ? "COMPLIANT" : "NON-COMPLIANT");
+  return report.compliant() ? 0 : 2;
+}

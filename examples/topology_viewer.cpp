@@ -1,0 +1,76 @@
+// topology_viewer: renders the paper's Figure 2 chain topologies (a-d)
+// and the Figure 3/4 case studies as issuance graphs, exactly as the
+// server-side analysis sees them.
+#include <cstdio>
+
+#include "chain/order_analysis.hpp"
+#include "chain/topology.hpp"
+#include "dataset/corpus.hpp"
+
+using namespace chainchaos;
+
+namespace {
+
+void show(const char* title, const std::vector<x509::CertPtr>& list) {
+  const chain::Topology topo = chain::Topology::build(list);
+  const chain::OrderAnalysis analysis = chain::analyze_order(list, topo);
+  std::printf("--- %s ---\n%s", title, topo.to_ascii().c_str());
+  std::printf("paths from leaf: %zu | duplicates:%s irrelevant:%s "
+              "multipath:%s reversed:%s\n\n",
+              topo.paths_from_leaf().size(),
+              analysis.has_duplicates ? "yes" : "no",
+              analysis.has_irrelevant ? "yes" : "no",
+              analysis.multiple_paths ? "yes" : "no",
+              analysis.reversed_sequence ? "yes" : "no");
+}
+
+}  // namespace
+
+int main() {
+  dataset::CorpusConfig config;
+  config.domain_count = 0;  // exemplars only
+  dataset::Corpus corpus(config);
+  dataset::CaZoo& zoo = corpus.zoo();
+
+  const ca::CaHierarchy& sectigo = zoo.hierarchy_for("Sectigo Limited", 0);
+
+  // Figure 2a: compliant chain.
+  {
+    const x509::CertPtr leaf = sectigo.issue_leaf("fig2a.example.com");
+    auto chain = sectigo.compliant_chain(leaf);
+    chain.push_back(sectigo.root());
+    show("Figure 2(a): compliant chain", chain);
+  }
+
+  // Figure 2b: irrelevant certificates (webcanny-style stale leaves).
+  if (const auto* record = corpus.exemplar("webcanny.com")) {
+    show("Figure 2(b): irrelevant certificates (webcanny.com)",
+         record->observation.certificates);
+  }
+
+  // Figure 2c: cross-signing, multiple paths, reversed insertion.
+  {
+    const auto chain = dataset::inject_cross_sign_multipath(
+        "fig2c.example.com", zoo, sectigo);
+    show("Figure 2(c): cross-signed multi-path with misplaced cross", chain);
+  }
+
+  // Figure 2d: another-operator chain + duplicates (archives.gov.tw).
+  if (const auto* record = corpus.exemplar("archives.gov.tw")) {
+    show("Figure 2(d): foreign chain fragment (archives.gov.tw)",
+         record->observation.certificates);
+  }
+
+  // Figure 3: the 17-certificate serpro list.
+  if (const auto* record = corpus.exemplar("assiste6.serpro.gov.br")) {
+    show("Figure 3: assiste6.serpro.gov.br (GnuTLS cap exceeded)",
+         record->observation.certificates);
+  }
+
+  // Figure 4: moex.gov.tw's three candidate paths.
+  if (const auto* record = corpus.exemplar("moex.gov.tw")) {
+    show("Figure 4: moex.gov.tw (untrusted node 1)",
+         record->observation.certificates);
+  }
+  return 0;
+}

@@ -1,0 +1,305 @@
+#include "asn1/der.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+#include "support/str.hpp"
+
+namespace chainchaos::asn1 {
+
+Bytes encode_length(std::size_t length) {
+  Bytes out;
+  if (length < 0x80) {
+    out.push_back(static_cast<std::uint8_t>(length));
+    return out;
+  }
+  Bytes be;
+  for (std::size_t v = length; v != 0; v >>= 8) {
+    be.insert(be.begin(), static_cast<std::uint8_t>(v & 0xff));
+  }
+  out.push_back(static_cast<std::uint8_t>(0x80 | be.size()));
+  append(out, be);
+  return out;
+}
+
+void DerWriter::add_tlv(std::uint8_t tag, BytesView body) {
+  out_.push_back(tag);
+  append(out_, encode_length(body.size()));
+  append(out_, body);
+}
+
+void DerWriter::add_boolean(bool value) {
+  const std::uint8_t body = value ? 0xff : 0x00;
+  add_tlv(Tag::kBoolean, BytesView(&body, 1));
+}
+
+void DerWriter::add_integer(const crypto::BigInt& value) {
+  Bytes body = value.to_bytes();
+  // DER: positive integers need a leading zero if the high bit is set.
+  if (body[0] & 0x80) body.insert(body.begin(), 0x00);
+  add_tlv(Tag::kInteger, body);
+}
+
+void DerWriter::add_integer(std::uint64_t value) {
+  add_integer(crypto::BigInt(value));
+}
+
+void DerWriter::add_bit_string(BytesView bits) {
+  Bytes body;
+  body.reserve(bits.size() + 1);
+  body.push_back(0x00);  // zero unused bits
+  append(body, bits);
+  add_tlv(Tag::kBitString, body);
+}
+
+void DerWriter::add_octet_string(BytesView body) {
+  add_tlv(Tag::kOctetString, body);
+}
+
+void DerWriter::add_null() {
+  add_tlv(Tag::kNull, BytesView());
+}
+
+Bytes encode_oid_body(std::string_view dotted) {
+  const std::vector<std::string> parts = split(dotted, '.');
+  assert(parts.size() >= 2);
+  Bytes body;
+  const unsigned long first = std::stoul(parts[0]);
+  const unsigned long second = std::stoul(parts[1]);
+  assert(first <= 2 && second < 40 + (first == 2 ? 88 : 0));
+  body.push_back(static_cast<std::uint8_t>(first * 40 + second));
+  for (std::size_t i = 2; i < parts.size(); ++i) {
+    unsigned long arc = std::stoul(parts[i]);
+    Bytes enc;
+    enc.push_back(static_cast<std::uint8_t>(arc & 0x7f));
+    arc >>= 7;
+    while (arc != 0) {
+      enc.insert(enc.begin(), static_cast<std::uint8_t>(0x80 | (arc & 0x7f)));
+      arc >>= 7;
+    }
+    append(body, enc);
+  }
+  return body;
+}
+
+void DerWriter::add_oid(std::string_view dotted) {
+  add_tlv(Tag::kOid, encode_oid_body(dotted));
+}
+
+void DerWriter::add_utf8_string(std::string_view s) {
+  add_tlv(Tag::kUtf8String, to_bytes(s));
+}
+
+void DerWriter::add_printable_string(std::string_view s) {
+  add_tlv(Tag::kPrintableString, to_bytes(s));
+}
+
+namespace {
+
+// Civil-time conversion (days since epoch -> y/m/d), Howard Hinnant's
+// algorithm; avoids timezone-dependent libc calls.
+void civil_from_days(std::int64_t z, int& y, unsigned& m, unsigned& d) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t yy = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  d = doy - (153 * mp + 2) / 5 + 1;
+  m = mp < 10 ? mp + 3 : mp - 9;
+  y = static_cast<int>(yy + (m <= 2));
+}
+
+std::int64_t days_from_civil(int y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m > 2 ? m - 3 : m + 9) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+}  // namespace
+
+void DerWriter::add_generalized_time(std::int64_t unix_seconds) {
+  const std::int64_t days =
+      unix_seconds >= 0 ? unix_seconds / 86400
+                        : (unix_seconds - 86399) / 86400;
+  std::int64_t secs = unix_seconds - days * 86400;
+  int y;
+  unsigned m, d;
+  civil_from_days(days, y, m, d);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%04d%02u%02u%02lld%02lld%02lldZ", y, m, d,
+                static_cast<long long>(secs / 3600),
+                static_cast<long long>((secs % 3600) / 60),
+                static_cast<long long>(secs % 60));
+  add_tlv(Tag::kGeneralizedTime, to_bytes(buf));
+}
+
+void DerWriter::add_raw(BytesView tlv) {
+  append(out_, tlv);
+}
+
+Bytes DerWriter::wrap_sequence() const {
+  DerWriter outer;
+  outer.add_tlv(Tag::kSequence, out_);
+  return outer.take();
+}
+
+Result<std::uint8_t> DerReader::peek_tag() const {
+  if (at_end()) return make_error("der.truncated", "no tag byte");
+  return data_[pos_];
+}
+
+Result<DerElement> DerReader::read_any() {
+  if (at_end()) return make_error("der.truncated", "no tag byte");
+  const std::size_t start = pos_;
+  DerElement elem;
+  elem.tag = data_[pos_++];
+  if (pos_ >= data_.size()) return make_error("der.truncated", "no length byte");
+  std::size_t length = data_[pos_++];
+  if (length & 0x80) {
+    const std::size_t num_octets = length & 0x7f;
+    if (num_octets == 0 || num_octets > 8) {
+      return make_error("der.bad_length", "indefinite or oversized length");
+    }
+    if (pos_ + num_octets > data_.size()) {
+      return make_error("der.truncated", "length octets");
+    }
+    length = 0;
+    for (std::size_t i = 0; i < num_octets; ++i) {
+      length = (length << 8) | data_[pos_++];
+    }
+    if (length < 0x80) {
+      return make_error("der.bad_length", "non-minimal long-form length");
+    }
+  }
+  if (pos_ + length > data_.size()) {
+    return make_error("der.truncated", "value octets");
+  }
+  elem.body.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                   data_.begin() + static_cast<std::ptrdiff_t>(pos_ + length));
+  pos_ += length;
+  elem.size = pos_ - start;
+  return elem;
+}
+
+Result<DerElement> DerReader::read(std::uint8_t tag) {
+  const std::size_t saved = pos_;
+  Result<DerElement> elem = read_any();
+  if (!elem.ok()) return elem;
+  if (elem.value().tag != tag) {
+    pos_ = saved;
+    char msg[64];
+    std::snprintf(msg, sizeof msg, "expected tag 0x%02x, found 0x%02x", tag,
+                  elem.value().tag);
+    return make_error("der.unexpected_tag", msg);
+  }
+  return elem;
+}
+
+Result<DerElement> DerReader::read(Tag tag) {
+  return read(static_cast<std::uint8_t>(tag));
+}
+
+Result<bool> DerReader::read_boolean() {
+  Result<DerElement> elem = read(Tag::kBoolean);
+  if (!elem.ok()) return elem.error();
+  if (elem.value().body.size() != 1) {
+    return make_error("der.bad_boolean", "body must be one octet");
+  }
+  return elem.value().body[0] != 0;
+}
+
+Result<crypto::BigInt> DerReader::read_integer() {
+  Result<DerElement> elem = read(Tag::kInteger);
+  if (!elem.ok()) return elem.error();
+  const Bytes& body = elem.value().body;
+  if (body.empty()) return make_error("der.bad_integer", "empty body");
+  if (body[0] & 0x80) {
+    return make_error("der.bad_integer", "negative integers unsupported");
+  }
+  return crypto::BigInt::from_bytes(body);
+}
+
+Result<Bytes> DerReader::read_bit_string() {
+  Result<DerElement> elem = read(Tag::kBitString);
+  if (!elem.ok()) return elem.error();
+  const Bytes& body = elem.value().body;
+  if (body.empty()) return make_error("der.bad_bit_string", "missing unused-bits");
+  if (body[0] != 0) {
+    return make_error("der.bad_bit_string", "partial bytes unsupported");
+  }
+  return Bytes(body.begin() + 1, body.end());
+}
+
+Result<Bytes> DerReader::read_octet_string() {
+  Result<DerElement> elem = read(Tag::kOctetString);
+  if (!elem.ok()) return elem.error();
+  return std::move(elem.value().body);
+}
+
+Result<std::string> decode_oid_body(BytesView body) {
+  if (body.empty()) return make_error("der.bad_oid", "empty body");
+  std::string out;
+  const unsigned first_two = body[0];
+  const unsigned first = first_two < 80 ? first_two / 40 : 2;
+  const unsigned second = first_two - first * 40;
+  out = std::to_string(first) + "." + std::to_string(second);
+  std::uint64_t arc = 0;
+  for (std::size_t i = 1; i < body.size(); ++i) {
+    arc = (arc << 7) | (body[i] & 0x7f);
+    if (!(body[i] & 0x80)) {
+      out += "." + std::to_string(arc);
+      arc = 0;
+    } else if (i + 1 == body.size()) {
+      return make_error("der.bad_oid", "truncated arc");
+    }
+  }
+  return out;
+}
+
+Result<std::string> DerReader::read_oid() {
+  Result<DerElement> elem = read(Tag::kOid);
+  if (!elem.ok()) return elem.error();
+  return decode_oid_body(elem.value().body);
+}
+
+Result<std::string> DerReader::read_string() {
+  Result<DerElement> elem = read_any();
+  if (!elem.ok()) return elem.error();
+  const DerElement& e = elem.value();
+  if (!e.is(Tag::kUtf8String) && !e.is(Tag::kPrintableString) &&
+      !e.is(Tag::kIa5String)) {
+    return make_error("der.unexpected_tag", "expected a string type");
+  }
+  return to_string(e.body);
+}
+
+Result<std::int64_t> DerReader::read_generalized_time() {
+  Result<DerElement> elem = read(Tag::kGeneralizedTime);
+  if (!elem.ok()) return elem.error();
+  const std::string text = to_string(elem.value().body);
+  if (text.size() != 15 || text.back() != 'Z') {
+    return make_error("der.bad_time", "expected YYYYMMDDHHMMSSZ");
+  }
+  for (std::size_t i = 0; i + 1 < text.size(); ++i) {
+    if (text[i] < '0' || text[i] > '9') {
+      return make_error("der.bad_time", "non-digit in time");
+    }
+  }
+  const int y = std::stoi(text.substr(0, 4));
+  const unsigned mo = static_cast<unsigned>(std::stoi(text.substr(4, 2)));
+  const unsigned d = static_cast<unsigned>(std::stoi(text.substr(6, 2)));
+  const int h = std::stoi(text.substr(8, 2));
+  const int mi = std::stoi(text.substr(10, 2));
+  const int s = std::stoi(text.substr(12, 2));
+  if (mo < 1 || mo > 12 || d < 1 || d > 31 || h > 23 || mi > 59 || s > 60) {
+    return make_error("der.bad_time", "field out of range");
+  }
+  return days_from_civil(y, mo, d) * 86400 + h * 3600 + mi * 60 + s;
+}
+
+}  // namespace chainchaos::asn1

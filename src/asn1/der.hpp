@@ -1,0 +1,145 @@
+// DER (Distinguished Encoding Rules) subset: the encoder/decoder beneath
+// our X.509 certificates.
+//
+// Covers the universal types X.509 needs — BOOLEAN, INTEGER, BIT STRING,
+// OCTET STRING, NULL, OBJECT IDENTIFIER, UTF8String/PrintableString,
+// UTCTime/GeneralizedTime, SEQUENCE/SET — plus context-specific tags for
+// extension wrappers. Definite-length encoding only, as DER requires.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "crypto/bigint.hpp"
+#include "support/bytes.hpp"
+#include "support/result.hpp"
+
+namespace chainchaos::asn1 {
+
+/// DER tag numbers (universal class) plus helpers for context tags.
+enum class Tag : std::uint8_t {
+  kBoolean = 0x01,
+  kInteger = 0x02,
+  kBitString = 0x03,
+  kOctetString = 0x04,
+  kNull = 0x05,
+  kOid = 0x06,
+  kUtf8String = 0x0c,
+  kPrintableString = 0x13,
+  kIa5String = 0x16,
+  kUtcTime = 0x17,
+  kGeneralizedTime = 0x18,
+  kSequence = 0x30,
+  kSet = 0x31,
+};
+
+/// Context-specific constructed tag [n], e.g. the [3] wrapping extensions.
+constexpr std::uint8_t context_constructed(unsigned n) {
+  return static_cast<std::uint8_t>(0xa0 | n);
+}
+
+/// Context-specific primitive tag [n], e.g. SAN dNSName [2].
+constexpr std::uint8_t context_primitive(unsigned n) {
+  return static_cast<std::uint8_t>(0x80 | n);
+}
+
+/// Incremental DER writer. Values are appended in order; nested
+/// structures are built inside-out: encode the body with its own writer,
+/// then wrap with `add_tlv(kSequence, body)`.
+class DerWriter {
+ public:
+  /// Appends a complete TLV with the given tag byte.
+  void add_tlv(std::uint8_t tag, BytesView body);
+  void add_tlv(Tag tag, BytesView body) {
+    add_tlv(static_cast<std::uint8_t>(tag), body);
+  }
+
+  void add_boolean(bool value);
+
+  /// Non-negative INTEGER from a big integer (minimal, leading 0x00 when
+  /// the high bit is set, per DER).
+  void add_integer(const crypto::BigInt& value);
+  void add_integer(std::uint64_t value);
+
+  /// BIT STRING with zero unused bits (how X.509 carries keys/signatures).
+  void add_bit_string(BytesView bits);
+
+  void add_octet_string(BytesView body);
+  void add_null();
+
+  /// OBJECT IDENTIFIER from dotted-decimal text, e.g. "2.5.29.19".
+  /// Invalid input is a programming error and asserts.
+  void add_oid(std::string_view dotted);
+
+  void add_utf8_string(std::string_view s);
+  void add_printable_string(std::string_view s);
+
+  /// GeneralizedTime from seconds-since-epoch (UTC, "YYYYMMDDHHMMSSZ").
+  void add_generalized_time(std::int64_t unix_seconds);
+
+  /// Splices pre-encoded TLV bytes verbatim (e.g. a Name encoding).
+  void add_raw(BytesView tlv);
+
+  /// Wraps the writer's current content in a SEQUENCE and returns it.
+  Bytes wrap_sequence() const;
+
+  /// Raw concatenated TLVs written so far.
+  const Bytes& bytes() const { return out_; }
+  Bytes take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+/// Encodes just a length field (used by the writer; exposed for tests).
+Bytes encode_length(std::size_t length);
+
+/// Encodes a dotted OID's body (no tag/length).
+Bytes encode_oid_body(std::string_view dotted);
+
+/// One decoded TLV element.
+struct DerElement {
+  std::uint8_t tag = 0;
+  Bytes body;          ///< value bytes (content octets)
+  std::size_t size = 0;  ///< total encoded size including tag+length
+
+  bool is(Tag t) const { return tag == static_cast<std::uint8_t>(t); }
+};
+
+/// Sequential DER reader over a byte view.
+class DerReader {
+ public:
+  explicit DerReader(BytesView data) : data_(data) {}
+
+  bool at_end() const { return pos_ >= data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// Peeks at the next element's tag byte without consuming.
+  Result<std::uint8_t> peek_tag() const;
+
+  /// Reads the next TLV of any tag.
+  Result<DerElement> read_any();
+
+  /// Reads the next TLV, requiring the given tag.
+  Result<DerElement> read(Tag tag);
+  Result<DerElement> read(std::uint8_t tag);
+
+  /// Typed readers built on read().
+  Result<bool> read_boolean();
+  Result<crypto::BigInt> read_integer();
+  Result<Bytes> read_bit_string();  ///< strips the unused-bits octet
+  Result<Bytes> read_octet_string();
+  Result<std::string> read_oid();   ///< returns dotted-decimal
+  Result<std::string> read_string();  ///< UTF8/Printable/IA5
+  Result<std::int64_t> read_generalized_time();
+
+ private:
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+/// Parses an OID body back to dotted-decimal.
+Result<std::string> decode_oid_body(BytesView body);
+
+}  // namespace chainchaos::asn1

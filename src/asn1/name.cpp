@@ -1,0 +1,103 @@
+#include "asn1/name.hpp"
+
+#include "asn1/der.hpp"
+#include "asn1/oids.hpp"
+
+namespace chainchaos::asn1 {
+
+Name Name::make(std::string common_name, std::string organization,
+                std::string country) {
+  Name name;
+  if (!country.empty()) name.add(std::string(oid::kCountryName), std::move(country));
+  if (!organization.empty()) {
+    name.add(std::string(oid::kOrganizationName), std::move(organization));
+  }
+  if (!common_name.empty()) {
+    name.add(std::string(oid::kCommonName), std::move(common_name));
+  }
+  return name;
+}
+
+Name& Name::add(std::string oid, std::string value) {
+  attrs_.push_back(NameAttribute{std::move(oid), std::move(value)});
+  return *this;
+}
+
+namespace {
+
+std::optional<std::string> find_attr(const std::vector<NameAttribute>& attrs,
+                                     std::string_view oid) {
+  for (const NameAttribute& a : attrs) {
+    if (a.oid == oid) return a.value;
+  }
+  return std::nullopt;
+}
+
+std::string short_label(std::string_view oid_text) {
+  if (oid_text == oid::kCommonName) return "CN";
+  if (oid_text == oid::kCountryName) return "C";
+  if (oid_text == oid::kOrganizationName) return "O";
+  if (oid_text == oid::kOrganizationalUnitName) return "OU";
+  return std::string(oid_text);
+}
+
+}  // namespace
+
+std::optional<std::string> Name::common_name() const {
+  return find_attr(attrs_, oid::kCommonName);
+}
+
+std::optional<std::string> Name::organization() const {
+  return find_attr(attrs_, oid::kOrganizationName);
+}
+
+std::string Name::to_string() const {
+  std::string out;
+  // Render most-specific-first (CN first), matching the familiar
+  // OpenSSL-style one-liner.
+  for (std::size_t i = attrs_.size(); i-- > 0;) {
+    if (!out.empty()) out += ", ";
+    out += short_label(attrs_[i].oid) + "=" + attrs_[i].value;
+  }
+  return out;
+}
+
+Bytes Name::encode() const {
+  // RDNSequence ::= SEQUENCE OF (SET OF AttributeTypeAndValue); we emit
+  // one single-attribute SET per RDN, the ubiquitous Web PKI profile.
+  DerWriter rdn_sequence;
+  for (const NameAttribute& attr : attrs_) {
+    DerWriter atv;  // AttributeTypeAndValue
+    atv.add_oid(attr.oid);
+    atv.add_utf8_string(attr.value);
+    rdn_sequence.add_tlv(Tag::kSet, atv.wrap_sequence());
+  }
+  return rdn_sequence.wrap_sequence();
+}
+
+Result<Name> Name::decode(BytesView der) {
+  DerReader outer(der);
+  Result<DerElement> seq = outer.read(Tag::kSequence);
+  if (!seq.ok()) return seq.error();
+
+  Name name;
+  DerReader rdns(seq.value().body);
+  while (!rdns.at_end()) {
+    Result<DerElement> set = rdns.read(Tag::kSet);
+    if (!set.ok()) return set.error();
+    DerReader set_reader(set.value().body);
+    while (!set_reader.at_end()) {
+      Result<DerElement> atv = set_reader.read(Tag::kSequence);
+      if (!atv.ok()) return atv.error();
+      DerReader atv_reader(atv.value().body);
+      Result<std::string> oid_text = atv_reader.read_oid();
+      if (!oid_text.ok()) return oid_text.error();
+      Result<std::string> value = atv_reader.read_string();
+      if (!value.ok()) return value.error();
+      name.add(std::move(oid_text).value(), std::move(value).value());
+    }
+  }
+  return name;
+}
+
+}  // namespace chainchaos::asn1

@@ -1,0 +1,60 @@
+// X.501 distinguished names (the subject/issuer fields of certificates).
+//
+// A Name is an ordered list of (attribute-OID, value) pairs; each pair is
+// its own single-attribute RDN when encoded (the overwhelmingly common
+// profile in Web PKI). Comparison is exact byte comparison of values
+// after encoding — matching how implementations compare subject/issuer
+// DNs during chain building.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/bytes.hpp"
+#include "support/result.hpp"
+
+namespace chainchaos::asn1 {
+
+struct NameAttribute {
+  std::string oid;    ///< dotted-decimal attribute type
+  std::string value;  ///< UTF-8 value
+
+  bool operator==(const NameAttribute&) const = default;
+  auto operator<=>(const NameAttribute&) const = default;
+};
+
+/// Ordered distinguished name.
+class Name {
+ public:
+  Name() = default;
+
+  /// Convenience factory: CN plus optional O/C.
+  static Name make(std::string common_name, std::string organization = {},
+                   std::string country = {});
+
+  Name& add(std::string oid, std::string value);
+
+  const std::vector<NameAttribute>& attributes() const { return attrs_; }
+  bool empty() const { return attrs_.empty(); }
+
+  /// First CN value, if any.
+  std::optional<std::string> common_name() const;
+  std::optional<std::string> organization() const;
+
+  /// RFC 4514-ish one-line rendering ("CN=example.com, O=Example").
+  std::string to_string() const;
+
+  /// DER encoding (RDNSequence).
+  Bytes encode() const;
+
+  static Result<Name> decode(BytesView der);
+
+  bool operator==(const Name&) const = default;
+  auto operator<=>(const Name&) const = default;
+
+ private:
+  std::vector<NameAttribute> attrs_;
+};
+
+}  // namespace chainchaos::asn1

@@ -1,0 +1,39 @@
+// Object identifiers used across the library's X.509 profile.
+#pragma once
+
+#include <string_view>
+
+namespace chainchaos::asn1::oid {
+
+// Distinguished-name attribute types (X.520).
+inline constexpr std::string_view kCommonName = "2.5.4.3";
+inline constexpr std::string_view kCountryName = "2.5.4.6";
+inline constexpr std::string_view kOrganizationName = "2.5.4.10";
+inline constexpr std::string_view kOrganizationalUnitName = "2.5.4.11";
+
+// Certificate extensions (RFC 5280 §4.2).
+inline constexpr std::string_view kSubjectKeyIdentifier = "2.5.29.14";
+inline constexpr std::string_view kKeyUsage = "2.5.29.15";
+inline constexpr std::string_view kSubjectAltName = "2.5.29.17";
+inline constexpr std::string_view kBasicConstraints = "2.5.29.19";
+inline constexpr std::string_view kAuthorityKeyIdentifier = "2.5.29.35";
+inline constexpr std::string_view kNameConstraints = "2.5.29.30";
+inline constexpr std::string_view kExtKeyUsage = "2.5.29.37";
+inline constexpr std::string_view kAuthorityInfoAccess =
+    "1.3.6.1.5.5.7.1.1";
+
+// Access method inside AIA (RFC 5280 §4.2.2.1).
+inline constexpr std::string_view kCaIssuers = "1.3.6.1.5.5.7.48.2";
+inline constexpr std::string_view kOcsp = "1.3.6.1.5.5.7.48.1";
+
+// Extended key usage purposes.
+inline constexpr std::string_view kServerAuth = "1.3.6.1.5.5.7.3.1";
+inline constexpr std::string_view kClientAuth = "1.3.6.1.5.5.7.3.2";
+
+// Signature/public-key algorithms. The library's only signature suite is
+// "RSA over SHA-256 with library padding"; we reuse the standard arcs so
+// encodings look familiar in dumps.
+inline constexpr std::string_view kRsaEncryption = "1.2.840.113549.1.1.1";
+inline constexpr std::string_view kSha256WithRsa = "1.2.840.113549.1.1.11";
+
+}  // namespace chainchaos::asn1::oid

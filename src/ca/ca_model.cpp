@@ -1,0 +1,119 @@
+#include "ca/ca_model.hpp"
+
+#include <algorithm>
+
+namespace chainchaos::ca {
+
+const char* to_string(CaKind kind) {
+  switch (kind) {
+    case CaKind::kLetsEncrypt: return "Let's Encrypt";
+    case CaKind::kDigicert: return "Digicert";
+    case CaKind::kSectigo: return "Sectigo Limited";
+    case CaKind::kZeroSsl: return "ZeroSSL";
+    case CaKind::kGoGetSsl: return "GoGetSSL";
+    case CaKind::kTaiwanCa: return "TAIWAN-CA";
+    case CaKind::kCyberFolks: return "cyber_Folks S.A.";
+    case CaKind::kTrustico: return "Trustico";
+  }
+  return "?";
+}
+
+CaCharacteristics characteristics_for(CaKind kind) {
+  CaCharacteristics traits;
+  switch (kind) {
+    case CaKind::kLetsEncrypt:
+      traits.automatic_certificate_management = true;  // ACME end to end
+      traits.provides_fullchain_file = true;
+      traits.provides_ca_bundle_file = true;
+      traits.guide = InstallationGuide::kAllServers;
+      break;
+    case CaKind::kDigicert:
+      traits.provides_fullchain_file = true;
+      traits.provides_ca_bundle_file = true;
+      traits.guide = InstallationGuide::kAllServers;
+      break;
+    case CaKind::kSectigo:
+      traits.provides_ca_bundle_file = true;
+      traits.provides_root_certificate = true;
+      traits.guide = InstallationGuide::kApacheIisOnly;
+      break;
+    case CaKind::kZeroSsl:
+      traits.automatic_certificate_management = true;
+      traits.provides_ca_bundle_file = true;
+      traits.guide = InstallationGuide::kApacheIisOnly;
+      break;
+    case CaKind::kGoGetSsl:
+      traits.provides_ca_bundle_file = true;
+      traits.provides_root_certificate = true;
+      traits.bundle_in_compliant_order = false;  // ships reversed (§4.2)
+      traits.guide = InstallationGuide::kApacheIisOnly;
+      break;
+    case CaKind::kTaiwanCa:
+      traits.provides_ca_bundle_file = true;
+      traits.omits_required_intermediate = true;  // Appendix C finding
+      traits.guide = InstallationGuide::kNone;
+      break;
+    case CaKind::kCyberFolks:
+      traits.provides_ca_bundle_file = true;
+      traits.provides_root_certificate = true;
+      traits.bundle_in_compliant_order = false;
+      traits.guide = InstallationGuide::kNone;
+      break;
+    case CaKind::kTrustico:
+      traits.provides_ca_bundle_file = true;
+      traits.provides_root_certificate = true;
+      traits.bundle_in_compliant_order = false;  // "users can rearrange"
+      traits.guide = InstallationGuide::kNone;
+      break;
+  }
+  return traits;
+}
+
+CaModel::CaModel(CaKind kind, const CaHierarchy* hierarchy)
+    : kind_(kind),
+      name_(to_string(kind)),
+      traits_(characteristics_for(kind)),
+      hierarchy_(hierarchy) {}
+
+IssuedPackage CaModel::issue(const std::string& domain) const {
+  IssuedPackage package;
+  package.ca_name = name_;
+  package.leaf = hierarchy_->issue_leaf(domain);
+  package.certificate_file = {package.leaf};
+
+  if (traits_.provides_fullchain_file) {
+    package.fullchain_file = hierarchy_->compliant_chain(package.leaf);
+  }
+
+  if (traits_.provides_ca_bundle_file) {
+    std::vector<x509::CertPtr> bundle = hierarchy_->bundle_ascending();
+    if (traits_.omits_required_intermediate && bundle.size() > 1) {
+      // TAIWAN-CA-style: drop the intermediate nearest the root, leaving
+      // a hole no client can bridge without AIA.
+      bundle.pop_back();
+    }
+    if (traits_.provides_root_certificate) {
+      bundle.push_back(hierarchy_->root());
+    }
+    if (!traits_.bundle_in_compliant_order) {
+      std::reverse(bundle.begin(), bundle.end());
+    }
+    package.ca_bundle_file = std::move(bundle);
+  }
+  return package;
+}
+
+std::vector<x509::CertPtr> CaModel::naive_admin_deployment(
+    const IssuedPackage& package) const {
+  if (!package.fullchain_file.empty()) {
+    return package.fullchain_file;  // ready-made, deployed verbatim
+  }
+  // Leaf file + ca-bundle concatenated without reordering: the merge the
+  // paper identified behind the reversed-sequence clusters.
+  std::vector<x509::CertPtr> deployed = package.certificate_file;
+  deployed.insert(deployed.end(), package.ca_bundle_file.begin(),
+                  package.ca_bundle_file.end());
+  return deployed;
+}
+
+}  // namespace chainchaos::ca

@@ -1,0 +1,88 @@
+// CA / reseller issuance pipelines (paper §4.2, Tables 6 & 11).
+//
+// Each model captures how one CA or reseller packages an issued
+// certificate for its customers: whether it hands out a ready-to-deploy
+// fullchain file, how it orders the ca-bundle (GoGetSSL, cyber_Folks and
+// Trustico ship it *reversed* — the root cause the paper traced for half
+// of all reversed-sequence chains), whether the root is included, and
+// how much installation guidance the customer gets. The naive-admin
+// simulation then shows how those packaging choices turn into the
+// non-compliant deployments of Table 11.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ca/hierarchy.hpp"
+#include "x509/certificate.hpp"
+
+namespace chainchaos::ca {
+
+enum class CaKind {
+  kLetsEncrypt,
+  kDigicert,
+  kSectigo,
+  kZeroSsl,
+  kGoGetSsl,
+  kTaiwanCa,
+  kCyberFolks,
+  kTrustico,
+};
+
+const char* to_string(CaKind kind);
+
+/// How much deployment guidance the CA ships (Table 6 last row).
+enum class InstallationGuide { kNone, kApacheIisOnly, kAllServers };
+
+/// Static characteristics row (regenerates Table 6).
+struct CaCharacteristics {
+  bool automatic_certificate_management = false;  ///< ACME-style
+  bool provides_fullchain_file = false;
+  bool provides_ca_bundle_file = false;
+  bool provides_root_certificate = false;
+  bool bundle_in_compliant_order = true;  ///< false: reversed ca-bundle
+  bool omits_required_intermediate = false;  ///< the TAIWAN-CA defect
+  InstallationGuide guide = InstallationGuide::kNone;
+};
+
+/// What the customer downloads after issuance.
+struct IssuedPackage {
+  std::string ca_name;
+  x509::CertPtr leaf;
+  std::vector<x509::CertPtr> certificate_file;  ///< leaf-only file
+  std::vector<x509::CertPtr> fullchain_file;    ///< empty if not provided
+  std::vector<x509::CertPtr> ca_bundle_file;    ///< empty if not provided
+};
+
+class CaModel {
+ public:
+  /// `hierarchy` supplies the actual signing infrastructure; the model
+  /// only decides packaging.
+  CaModel(CaKind kind, const CaHierarchy* hierarchy);
+
+  CaKind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+  const CaCharacteristics& characteristics() const { return traits_; }
+  const CaHierarchy& hierarchy() const { return *hierarchy_; }
+
+  /// Issues for `domain` and packages the files per the CA's habits.
+  IssuedPackage issue(const std::string& domain) const;
+
+  /// The deployment a *naive* administrator produces from the package:
+  /// with a fullchain file they deploy it verbatim (compliant); with
+  /// leaf + ca-bundle they concatenate the two files untouched — which
+  /// inherits the bundle's (possibly reversed) order.
+  std::vector<x509::CertPtr> naive_admin_deployment(
+      const IssuedPackage& package) const;
+
+ private:
+  CaKind kind_;
+  std::string name_;
+  CaCharacteristics traits_;
+  const CaHierarchy* hierarchy_;
+};
+
+/// Builds characteristics for a kind (shared by CaModel and the bench).
+CaCharacteristics characteristics_for(CaKind kind);
+
+}  // namespace chainchaos::ca

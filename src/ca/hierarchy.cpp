@@ -1,0 +1,97 @@
+#include "ca/hierarchy.hpp"
+
+#include <cassert>
+#include <cctype>
+
+namespace chainchaos::ca {
+
+CaHierarchy CaHierarchy::create(const std::string& name,
+                                int intermediate_count,
+                                net::AiaRepository* aia) {
+  assert(intermediate_count >= 1);
+  CaHierarchy h;
+  h.name_ = name;
+  h.aia_published_ = aia != nullptr;
+
+  h.root_id_ = x509::make_identity(
+      asn1::Name::make(name + " Root CA", name, "US"));
+  {
+    x509::CertificateBuilder builder;
+    builder.subject(h.root_id_.name)
+        .as_ca()
+        .public_key(h.root_id_.keys.pub)
+        .validity(1500000000, 2000000000);  // long-lived anchor
+    h.root_cert_ = builder.self_sign(h.root_id_.keys);
+  }
+  if (aia != nullptr) {
+    aia->publish(h.aia_uri_for_tier(0), h.root_cert_);
+  }
+
+  const x509::SigningIdentity* parent = &h.root_id_;
+  for (int tier = 1; tier <= intermediate_count; ++tier) {
+    x509::SigningIdentity id = x509::make_identity(asn1::Name::make(
+        name + " Intermediate CA " + std::to_string(tier), name, "US"));
+    x509::CertificateBuilder builder;
+    builder.subject(id.name)
+        .as_ca(intermediate_count - tier)  // tight but satisfiable pathLen
+        .public_key(id.keys.pub)
+        .validity(1600000000, 1950000000);
+    if (aia != nullptr) {
+      builder.aia_ca_issuers(h.aia_uri_for_tier(tier - 1));
+    }
+    x509::CertPtr cert = builder.sign(*parent);
+    if (aia != nullptr) {
+      aia->publish(h.aia_uri_for_tier(tier), cert);
+    }
+    h.intermediate_certs_.push_back(std::move(cert));
+    h.intermediate_ids_.push_back(std::move(id));
+    parent = &h.intermediate_ids_.back();
+  }
+  return h;
+}
+
+x509::CertPtr CaHierarchy::issue_leaf(const std::string& domain,
+                                      std::int64_t not_before,
+                                      std::int64_t not_after) const {
+  x509::CertificateBuilder builder;
+  builder.as_leaf(domain).validity(not_before, not_after);
+  if (aia_published_) {
+    builder.aia_ca_issuers(
+        aia_uri_for_tier(static_cast<int>(intermediate_certs_.size())));
+  }
+  return builder.sign(issuing_identity());
+}
+
+x509::CertPtr CaHierarchy::issue_leaf(const std::string& domain) const {
+  return issue_leaf(domain, 1700000000, 1900000000);
+}
+
+std::vector<x509::CertPtr> CaHierarchy::compliant_chain(
+    const x509::CertPtr& leaf) const {
+  std::vector<x509::CertPtr> chain;
+  chain.push_back(leaf);
+  for (std::size_t i = intermediate_certs_.size(); i-- > 0;) {
+    chain.push_back(intermediate_certs_[i]);
+  }
+  return chain;
+}
+
+std::vector<x509::CertPtr> CaHierarchy::bundle_ascending() const {
+  std::vector<x509::CertPtr> bundle;
+  for (std::size_t i = intermediate_certs_.size(); i-- > 0;) {
+    bundle.push_back(intermediate_certs_[i]);
+  }
+  return bundle;
+}
+
+std::string CaHierarchy::aia_uri_for_tier(int tier) const {
+  std::string slug;
+  for (char c : name_) {
+    slug.push_back(c == ' ' ? '-' : static_cast<char>(std::tolower(
+                                        static_cast<unsigned char>(c))));
+  }
+  return "http://aia." + slug + ".example/tier" + std::to_string(tier) +
+         ".crt";
+}
+
+}  // namespace chainchaos::ca

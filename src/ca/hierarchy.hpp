@@ -1,0 +1,71 @@
+// CaHierarchy: a complete synthetic certification authority — root,
+// intermediates, and an issuing identity — able to mint leaf
+// certificates and publish its issuers under AIA URIs.
+//
+// Hierarchies are the raw material for both the CA issuance pipelines
+// (Table 6) and the corpus generator's CA zoo (Tables 5, 7, 11).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/aia_repository.hpp"
+#include "x509/builder.hpp"
+#include "x509/certificate.hpp"
+
+namespace chainchaos::ca {
+
+class CaHierarchy {
+ public:
+  /// Builds a hierarchy named `name` with `intermediate_count` >= 1
+  /// intermediates under the root. When `aia` is non-null, each issued
+  /// tier's parent is published at a deterministic URI and certificates
+  /// carry matching caIssuers pointers.
+  static CaHierarchy create(const std::string& name, int intermediate_count,
+                            net::AiaRepository* aia = nullptr);
+
+  const std::string& name() const { return name_; }
+
+  /// Self-signed trust anchor.
+  const x509::CertPtr& root() const { return root_cert_; }
+
+  /// Intermediates ordered from just-below-root down to the issuing CA.
+  const std::vector<x509::CertPtr>& intermediates() const {
+    return intermediate_certs_;
+  }
+
+  /// The identity that signs leaves (the last intermediate).
+  const x509::SigningIdentity& issuing_identity() const {
+    return intermediate_ids_.back();
+  }
+
+  /// Issues a server certificate for `domain` with the given validity.
+  /// The leaf carries an AIA pointer at the issuing intermediate when the
+  /// hierarchy was created with a repository.
+  x509::CertPtr issue_leaf(const std::string& domain, std::int64_t not_before,
+                           std::int64_t not_after) const;
+
+  /// Convenience: leaf with the library's default wide validity.
+  x509::CertPtr issue_leaf(const std::string& domain) const;
+
+  /// The compliant server deployment: leaf, intermediates deepest-first
+  /// (issuing CA right after the leaf), root omitted.
+  std::vector<x509::CertPtr> compliant_chain(const x509::CertPtr& leaf) const;
+
+  /// Intermediates in the order a ca-bundle file should list them
+  /// (issuing CA first, ascending towards the root).
+  std::vector<x509::CertPtr> bundle_ascending() const;
+
+  /// AIA URI at which `tier`'s certificate is published (tier 0 = root).
+  std::string aia_uri_for_tier(int tier) const;
+
+ private:
+  std::string name_;
+  x509::SigningIdentity root_id_;
+  x509::CertPtr root_cert_;
+  std::vector<x509::SigningIdentity> intermediate_ids_;
+  std::vector<x509::CertPtr> intermediate_certs_;
+  bool aia_published_ = false;
+};
+
+}  // namespace chainchaos::ca

@@ -1,0 +1,19 @@
+#include "chain/analyzer.hpp"
+
+namespace chainchaos::chain {
+
+ComplianceReport ComplianceAnalyzer::analyze(const ChainObservation& obs) const {
+  const Topology topology = Topology::build(obs.certificates);
+  return analyze(obs, topology);
+}
+
+ComplianceReport ComplianceAnalyzer::analyze(const ChainObservation& obs,
+                                             const Topology& topology) const {
+  ComplianceReport report;
+  report.leaf_placement = classify_leaf_placement(obs.certificates, obs.domain);
+  report.order = analyze_order(obs.certificates, topology);
+  report.completeness = analyze_completeness(topology, options_);
+  return report;
+}
+
+}  // namespace chainchaos::chain

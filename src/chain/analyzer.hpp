@@ -1,0 +1,63 @@
+// ComplianceAnalyzer: one-stop server-side evaluation of a collected
+// certificate chain, aggregating the leaf-placement, issuance-order and
+// completeness analyses into the per-domain verdict the paper reports
+// ("2.9% of Tranco Top 1M domains deploy non-compliant chains").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chain/completeness.hpp"
+#include "chain/leaf_placement.hpp"
+#include "chain/order_analysis.hpp"
+#include "chain/topology.hpp"
+
+namespace chainchaos::chain {
+
+/// A single scan observation: what one VPS saw for one domain.
+struct ChainObservation {
+  std::string domain;
+  std::vector<x509::CertPtr> certificates;  ///< as sent by the server
+
+  // Attribution metadata carried from collection (Tables 10 & 11).
+  std::string server_software;  ///< e.g. "apache", "nginx" (may be empty)
+  std::string ca_name;          ///< issuing CA or reseller (may be empty)
+};
+
+struct ComplianceReport {
+  LeafPlacement leaf_placement = LeafPlacement::kOther;
+  OrderAnalysis order;
+  CompletenessResult completeness;
+
+  /// Leaf placed first (matched or mismatched both count as placed).
+  bool leaf_placed_correctly() const {
+    return leaf_placement == LeafPlacement::kCorrectMatched ||
+           leaf_placement == LeafPlacement::kCorrectMismatched;
+  }
+
+  /// The paper's overall verdict: a chain is non-compliant when it has
+  /// an issuance-order issue or is missing intermediates. (Leaf-placement
+  /// "Other"/mismatched cases are reported separately, not counted into
+  /// the 2.9% headline, matching Section 4's summary.)
+  bool compliant() const {
+    return !order.any_order_issue() && completeness.complete();
+  }
+};
+
+class ComplianceAnalyzer {
+ public:
+  explicit ComplianceAnalyzer(CompletenessOptions options)
+      : options_(options) {}
+
+  ComplianceReport analyze(const ChainObservation& obs) const;
+
+  /// Analyze with a caller-provided topology (lets callers reuse the
+  /// graph for rendering or further analyses).
+  ComplianceReport analyze(const ChainObservation& obs,
+                           const Topology& topology) const;
+
+ private:
+  CompletenessOptions options_;
+};
+
+}  // namespace chainchaos::chain

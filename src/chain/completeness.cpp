@@ -1,0 +1,205 @@
+#include "chain/completeness.hpp"
+
+#include <cassert>
+
+#include "chain/issuance.hpp"
+
+namespace chainchaos::chain {
+
+const char* to_string(Completeness c) {
+  switch (c) {
+    case Completeness::kCompleteWithRoot: return "complete w/ root";
+    case Completeness::kCompleteWithoutRoot: return "complete w/o root";
+    case Completeness::kIncomplete: return "incomplete";
+  }
+  return "?";
+}
+
+const char* to_string(AiaOutcome o) {
+  switch (o) {
+    case AiaOutcome::kNotAttempted: return "not attempted";
+    case AiaOutcome::kCompleted: return "completed";
+    case AiaOutcome::kNoAiaField: return "no AIA field";
+    case AiaOutcome::kUnreachable: return "URI unreachable";
+    case AiaOutcome::kWrongIssuer: return "wrong issuer served";
+  }
+  return "?";
+}
+
+bool store_has_parent_root(const x509::Certificate& cert,
+                           const truststore::RootStore& store,
+                           bool match_by_dn) {
+  if (cert.authority_key_id.has_value()) {
+    for (const x509::CertPtr& root :
+         store.find_by_key_id(*cert.authority_key_id)) {
+      if (issued_by(cert, *root)) return true;
+    }
+  }
+  if (match_by_dn) {
+    for (const x509::CertPtr& root : store.find_by_subject(cert.issuer)) {
+      if (issued_by(cert, *root)) return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Result of the direct-issuer resolution for a terminal certificate.
+enum class DirectIssuer {
+  kRoot,          ///< issuer identified and self-signed
+  kIntermediate,  ///< issuer found via AIA but not self-signed
+  kNotFound,
+};
+
+struct DirectProbe {
+  DirectIssuer kind = DirectIssuer::kNotFound;
+  AiaOutcome aia_failure = AiaOutcome::kNotAttempted;  ///< when kNotFound
+                                                       ///< and AIA was on
+  x509::CertPtr fetched;  ///< set when found via AIA
+};
+
+DirectProbe resolve_direct_issuer(const x509::Certificate& terminal,
+                                  const CompletenessOptions& options) {
+  DirectProbe probe;
+  if (store_has_parent_root(terminal, *options.store,
+                            options.match_store_by_dn)) {
+    probe.kind = DirectIssuer::kRoot;
+    return probe;
+  }
+  if (!options.aia_enabled || options.aia == nullptr) return probe;
+
+  if (!terminal.aia.has_value() || !terminal.aia->ca_issuers_uri.has_value()) {
+    probe.aia_failure = AiaOutcome::kNoAiaField;
+    return probe;
+  }
+  auto fetched = options.aia->fetch(*terminal.aia->ca_issuers_uri);
+  if (!fetched.ok()) {
+    probe.aia_failure = AiaOutcome::kUnreachable;
+    return probe;
+  }
+  const x509::CertPtr& candidate = fetched.value();
+  if (equal(candidate->fingerprint, terminal.fingerprint) ||
+      !issued_by(terminal, *candidate)) {
+    probe.aia_failure = AiaOutcome::kWrongIssuer;
+    return probe;
+  }
+  probe.fetched = candidate;
+  probe.kind = candidate->is_self_signed() ? DirectIssuer::kRoot
+                                           : DirectIssuer::kIntermediate;
+  return probe;
+}
+
+struct RepairProbe {
+  AiaOutcome outcome = AiaOutcome::kNotAttempted;
+  int missing = 0;  ///< non-root certificates that had to be fetched
+};
+
+/// Recursive AIA repair: walk issuer-by-issuer until a root (or a parent
+/// in the store) is reached.
+RepairProbe repair_via_aia(const x509::Certificate& terminal,
+                           const CompletenessOptions& options) {
+  RepairProbe probe;
+  if (!options.aia_enabled || options.aia == nullptr) return probe;
+
+  const x509::Certificate* current = &terminal;
+  x509::CertPtr holder;
+  for (int depth = 0; depth < options.max_aia_depth; ++depth) {
+    if (!current->aia.has_value() ||
+        !current->aia->ca_issuers_uri.has_value()) {
+      probe.outcome = AiaOutcome::kNoAiaField;
+      return probe;
+    }
+    auto fetched = options.aia->fetch(*current->aia->ca_issuers_uri);
+    if (!fetched.ok()) {
+      probe.outcome = AiaOutcome::kUnreachable;
+      return probe;
+    }
+    const x509::CertPtr& candidate = fetched.value();
+    if (equal(candidate->fingerprint, current->fingerprint) ||
+        !issued_by(*current, *candidate)) {
+      probe.outcome = AiaOutcome::kWrongIssuer;
+      return probe;
+    }
+    if (candidate->is_self_signed()) {
+      // Reached the root: everything fetched before it was a genuinely
+      // missing intermediate.
+      probe.outcome = AiaOutcome::kCompleted;
+      return probe;
+    }
+    ++probe.missing;
+    holder = candidate;
+    current = holder.get();
+    if (store_has_parent_root(*current, *options.store,
+                              options.match_store_by_dn)) {
+      probe.outcome = AiaOutcome::kCompleted;
+      return probe;
+    }
+  }
+  probe.outcome = AiaOutcome::kUnreachable;  // bound exhausted
+  return probe;
+}
+
+}  // namespace
+
+CompletenessResult analyze_completeness(const Topology& topology,
+                                        const CompletenessOptions& options) {
+  assert(options.store != nullptr);
+  CompletenessResult result;
+  if (topology.empty()) {
+    result.category = Completeness::kIncomplete;
+    return result;
+  }
+
+  bool any_with_root = false;
+  bool any_without_root = false;
+  std::vector<const x509::Certificate*> incomplete_terminals;
+  AiaOutcome first_failure = AiaOutcome::kNotAttempted;
+
+  for (const std::vector<int>& path : topology.paths_from_leaf()) {
+    const x509::Certificate& terminal = *topology.node(path.back()).cert;
+    if (terminal.is_self_signed()) {
+      any_with_root = true;
+      continue;
+    }
+    const DirectProbe probe = resolve_direct_issuer(terminal, options);
+    if (probe.kind == DirectIssuer::kRoot) {
+      any_without_root = true;
+    } else {
+      incomplete_terminals.push_back(&terminal);
+      if (first_failure == AiaOutcome::kNotAttempted) {
+        first_failure = probe.aia_failure;
+      }
+    }
+  }
+
+  if (any_with_root) {
+    result.category = Completeness::kCompleteWithRoot;
+    return result;
+  }
+  if (any_without_root) {
+    result.category = Completeness::kCompleteWithoutRoot;
+    return result;
+  }
+
+  result.category = Completeness::kIncomplete;
+  // Repair probe: succeed if any path's terminal can be completed.
+  RepairProbe best;
+  for (const x509::Certificate* terminal : incomplete_terminals) {
+    const RepairProbe probe = repair_via_aia(*terminal, options);
+    if (probe.outcome == AiaOutcome::kCompleted) {
+      best = probe;
+      break;
+    }
+    if (best.outcome == AiaOutcome::kNotAttempted) best = probe;
+  }
+  result.aia_outcome = best.outcome;
+  result.missing_certificates = best.missing;
+  if (best.outcome != AiaOutcome::kCompleted) {
+    // At least the immediate parent is missing.
+    result.missing_certificates = std::max(result.missing_certificates, 1);
+  }
+  return result;
+}
+
+}  // namespace chainchaos::chain

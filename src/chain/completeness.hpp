@@ -1,0 +1,84 @@
+// Certificate-chain completeness analysis (paper §4.3, Tables 7 & 8).
+//
+// Completeness is *structural*: a list is complete when at least one
+// leaf path terminates in a self-signed certificate, or when the
+// terminal certificate's direct issuer can be identified as a root —
+// via the root store (AKID→SKID probe, per the paper's method, with an
+// optional subject-DN fallback) or by downloading it through AIA.
+// If the direct issuer cannot be found, or turns out to be another
+// intermediate, the chain is missing intermediates; the analyzer then
+// probes whether recursive AIA fetching repairs it and records why not
+// when it cannot.
+//
+// The knobs (store choice, AIA on/off, DN fallback) are exactly the
+// dimensions of Table 8.
+#pragma once
+
+#include <optional>
+
+#include "chain/topology.hpp"
+#include "net/aia_repository.hpp"
+#include "truststore/root_store.hpp"
+#include "x509/certificate.hpp"
+
+namespace chainchaos::chain {
+
+enum class Completeness {
+  kCompleteWithRoot,     ///< a leaf path ends in a self-signed root
+  kCompleteWithoutRoot,  ///< terminal's direct issuer is a root (omitted)
+  kIncomplete,           ///< intermediates missing
+};
+
+const char* to_string(Completeness c);
+
+/// Outcome of the AIA repair probe for incomplete chains.
+enum class AiaOutcome {
+  kNotAttempted,   ///< chain was complete, or AIA disabled
+  kCompleted,      ///< recursive fetching reached a root
+  kNoAiaField,     ///< terminal certificate has no caIssuers URI
+  kUnreachable,    ///< a fetch failed (connection/miss)
+  kWrongIssuer,    ///< fetched cert does not actually certify the child
+};
+
+const char* to_string(AiaOutcome o);
+
+struct CompletenessOptions {
+  const truststore::RootStore* store = nullptr;  ///< required
+  net::AiaRepository* aia = nullptr;             ///< may be null
+  bool aia_enabled = true;
+
+  /// The paper's store probe matches the terminal's AKID against root
+  /// SKIDs only; the library additionally falls back to subject-DN
+  /// matching by default. Disable to replicate the paper's method
+  /// exactly (this is what makes Table 8's no-AIA column large: chains
+  /// whose terminal intermediate lacks an AKID cannot be matched).
+  bool match_store_by_dn = true;
+
+  int max_aia_depth = 8;  ///< recursion bound for the repair probe
+};
+
+struct CompletenessResult {
+  Completeness category = Completeness::kIncomplete;
+  AiaOutcome aia_outcome = AiaOutcome::kNotAttempted;
+
+  /// For incomplete chains: intermediates the repair probe had to fetch
+  /// (self-signed roots don't count — omitting the root is allowed).
+  /// The paper's "missing a single intermediate" (72.2%) statistic is
+  /// missing_certificates == 1.
+  int missing_certificates = 0;
+
+  bool complete() const { return category != Completeness::kIncomplete; }
+};
+
+/// Analyzes completeness of the list (via its topology) against a store.
+CompletenessResult analyze_completeness(const Topology& topology,
+                                        const CompletenessOptions& options);
+
+/// The direct-issuer store probe (exposed for tests): does `store` hold
+/// a self-signed issuer of `cert`, matching by AKID→SKID and optionally
+/// by subject DN?
+bool store_has_parent_root(const x509::Certificate& cert,
+                           const truststore::RootStore& store,
+                           bool match_by_dn);
+
+}  // namespace chainchaos::chain

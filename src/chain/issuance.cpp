@@ -1,0 +1,84 @@
+#include "chain/issuance.hpp"
+
+#include <string>
+#include <unordered_map>
+
+namespace chainchaos::chain {
+
+KidMatch kid_match(const x509::Certificate& issuer,
+                   const x509::Certificate& subject) {
+  if (!issuer.subject_key_id.has_value() ||
+      !subject.authority_key_id.has_value()) {
+    return KidMatch::kAbsent;
+  }
+  return equal(*issuer.subject_key_id, *subject.authority_key_id)
+             ? KidMatch::kMatch
+             : KidMatch::kMismatch;
+}
+
+bool dn_links(const x509::Certificate& issuer,
+              const x509::Certificate& subject) {
+  return issuer.subject == subject.issuer;
+}
+
+bool plausibly_issued_by(const x509::Certificate& subject,
+                         const x509::Certificate& issuer) {
+  const KidMatch kid = kid_match(issuer, subject);
+  if (kid == KidMatch::kMatch) return true;
+  if (dn_links(issuer, subject)) return true;
+  return false;
+}
+
+namespace {
+
+struct Cache {
+  std::unordered_map<std::string, bool> results;
+  IssuanceCacheStats stats;
+};
+
+Cache& cache() {
+  static Cache instance;
+  return instance;
+}
+
+std::string pair_key(const x509::Certificate& subject,
+                     const x509::Certificate& issuer) {
+  std::string key;
+  key.reserve(subject.fingerprint.size() + issuer.fingerprint.size());
+  key.append(subject.fingerprint.begin(), subject.fingerprint.end());
+  key.append(issuer.fingerprint.begin(), issuer.fingerprint.end());
+  return key;
+}
+
+}  // namespace
+
+bool issued_by(const x509::Certificate& subject,
+               const x509::Certificate& issuer) {
+  // Cheap field checks first: if neither the DN nor the KID links the
+  // two, no signature check is needed (and no cache entry either).
+  if (!plausibly_issued_by(subject, issuer)) return false;
+
+  Cache& c = cache();
+  ++c.stats.lookups;
+  const std::string key = pair_key(subject, issuer);
+  const auto it = c.results.find(key);
+  if (it != c.results.end()) {
+    ++c.stats.hits;
+    return it->second;
+  }
+  ++c.stats.signature_checks;
+  const bool verified = subject.verify_signed_by(issuer.public_key);
+  c.results.emplace(key, verified);
+  return verified;
+}
+
+const IssuanceCacheStats& issuance_cache_stats() {
+  return cache().stats;
+}
+
+void reset_issuance_cache() {
+  cache().results.clear();
+  cache().stats = IssuanceCacheStats{};
+}
+
+}  // namespace chainchaos::chain

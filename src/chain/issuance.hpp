@@ -1,0 +1,58 @@
+// The issuance predicate: "did certificate A issue certificate B?"
+//
+// Both halves of the paper hang off this relation. Following §3.1
+// ("Order of certificates"), A issued B iff:
+//   (1) A's public key verifies B's signature,  AND
+//   (2) subject(A) == issuer(B)  OR  (3) SKID(A) == AKID(B),
+// where (2)/(3) tolerate absent fields: if B carries no AKID (or A no
+// SKID), the DN match alone suffices, and vice versa.
+//
+// Signature verification dominates the cost, and the same (A, B) pair is
+// re-examined many times across topology construction, completeness
+// probing and the 8 client simulations — so results are memoized by
+// certificate fingerprint pair.
+#pragma once
+
+#include <cstdint>
+
+#include "x509/certificate.hpp"
+
+namespace chainchaos::chain {
+
+/// Field-level match outcomes used by both the predicate and the
+/// client-side KID-priority logic (Table 2 test #5).
+enum class KidMatch {
+  kMatch,     ///< both fields present and equal
+  kAbsent,    ///< at least one side lacks the field
+  kMismatch,  ///< both present, different
+};
+
+/// SKID(issuer) vs AKID(subject) comparison.
+KidMatch kid_match(const x509::Certificate& issuer,
+                   const x509::Certificate& subject);
+
+/// subject DN of `issuer` equals issuer DN of `subject`.
+bool dn_links(const x509::Certificate& issuer,
+              const x509::Certificate& subject);
+
+/// Full issuance predicate with signature check (memoized).
+bool issued_by(const x509::Certificate& subject,
+               const x509::Certificate& issuer);
+
+/// Name/KID-only linkage — the relation *before* the signature check,
+/// which is what clients use to shortlist candidate issuers.
+bool plausibly_issued_by(const x509::Certificate& subject,
+                         const x509::Certificate& issuer);
+
+/// Memoization statistics (for the perf benches) and a reset hook so
+/// tests can isolate cache state.
+struct IssuanceCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t signature_checks = 0;
+};
+
+const IssuanceCacheStats& issuance_cache_stats();
+void reset_issuance_cache();
+
+}  // namespace chainchaos::chain

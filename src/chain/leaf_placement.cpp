@@ -1,0 +1,65 @@
+#include "chain/leaf_placement.hpp"
+
+#include "support/str.hpp"
+
+namespace chainchaos::chain {
+
+const char* to_string(LeafPlacement placement) {
+  switch (placement) {
+    case LeafPlacement::kCorrectMatched: return "correct+matched";
+    case LeafPlacement::kCorrectMismatched: return "correct+mismatched";
+    case LeafPlacement::kIncorrectMatched: return "incorrect+matched";
+    case LeafPlacement::kIncorrectMismatched: return "incorrect+mismatched";
+    case LeafPlacement::kOther: return "other";
+  }
+  return "?";
+}
+
+namespace {
+
+bool cert_matches_domain(const x509::Certificate& cert,
+                         const std::string& domain) {
+  return cert.matches_host(domain);
+}
+
+bool cert_identity_domain_shaped(const x509::Certificate& cert) {
+  for (const std::string& id : cert.identity_strings()) {
+    // Wildcard identities are domain-shaped as deployed.
+    if (starts_with(id, "*.")) {
+      if (looks_like_dns_name(id)) return true;
+      continue;
+    }
+    if (looks_like_domain_or_ip(id)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+LeafPlacement classify_leaf_placement(const std::vector<x509::CertPtr>& list,
+                                      const std::string& domain) {
+  if (list.empty()) return LeafPlacement::kOther;
+
+  const x509::Certificate& first = *list.front();
+  if (cert_matches_domain(first, domain)) {
+    return LeafPlacement::kCorrectMatched;
+  }
+  if (cert_identity_domain_shaped(first)) {
+    return LeafPlacement::kCorrectMismatched;
+  }
+
+  // First certificate is not domain-shaped at all; look deeper.
+  for (std::size_t i = 1; i < list.size(); ++i) {
+    if (cert_matches_domain(*list[i], domain)) {
+      return LeafPlacement::kIncorrectMatched;
+    }
+  }
+  for (std::size_t i = 1; i < list.size(); ++i) {
+    if (cert_identity_domain_shaped(*list[i])) {
+      return LeafPlacement::kIncorrectMismatched;
+    }
+  }
+  return LeafPlacement::kOther;
+}
+
+}  // namespace chainchaos::chain

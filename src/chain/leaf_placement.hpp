@@ -1,0 +1,33 @@
+// Leaf-certificate placement classifier (paper §3.1 "Leaf certificate
+// analysis"; results in Table 3).
+//
+// RFC 5246/8446 require the server (leaf) certificate to come first in
+// the Certificate message, but give no test for leaf-ness; the paper
+// classifies by whether the first certificate's CN/SAN matches the
+// queried domain, or at least *looks like* a domain or IP.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "x509/certificate.hpp"
+
+namespace chainchaos::chain {
+
+enum class LeafPlacement {
+  kCorrectMatched,      ///< first cert CN/SAN matches the domain
+  kCorrectMismatched,   ///< first cert CN/SAN is domain/IP-shaped, no match
+  kIncorrectMatched,    ///< a later cert matches the domain
+  kIncorrectMismatched, ///< a later cert is domain/IP-shaped
+  kOther,               ///< nothing domain-shaped anywhere (empty CN, test
+                        ///< certs like "Plesk"/"localhost", empty chain)
+};
+
+const char* to_string(LeafPlacement placement);
+
+/// Classifies a server-provided list against the domain it was collected
+/// from, mirroring the paper's decision procedure.
+LeafPlacement classify_leaf_placement(const std::vector<x509::CertPtr>& list,
+                                      const std::string& domain);
+
+}  // namespace chainchaos::chain

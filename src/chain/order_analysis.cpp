@@ -1,0 +1,55 @@
+#include "chain/order_analysis.hpp"
+
+#include "chain/issuance.hpp"
+
+namespace chainchaos::chain {
+
+CertRole classify_role(const x509::Certificate& cert) {
+  if (cert.is_self_signed()) return CertRole::kRoot;
+  if (cert.is_ca()) return CertRole::kIntermediate;
+  return CertRole::kLeaf;
+}
+
+bool order_compliant(const std::vector<x509::CertPtr>& list) {
+  for (std::size_t i = 0; i + 1 < list.size(); ++i) {
+    if (!issued_by(*list[i], *list[i + 1])) return false;
+  }
+  return true;
+}
+
+OrderAnalysis analyze_order(const std::vector<x509::CertPtr>& list,
+                            const Topology& topology) {
+  OrderAnalysis out;
+  out.compliant = order_compliant(list);
+
+  // Duplicates (bit-for-bit identical certificates).
+  for (const Topology::Node& node : topology.nodes()) {
+    if (!node.duplicated()) continue;
+    out.has_duplicates = true;
+    out.max_duplicate_occurrences =
+        std::max(out.max_duplicate_occurrences,
+                 static_cast<int>(node.occurrences.size()));
+    switch (classify_role(*node.cert)) {
+      case CertRole::kLeaf: out.duplicate_leaf = true; break;
+      case CertRole::kIntermediate: out.duplicate_intermediate = true; break;
+      case CertRole::kRoot: out.duplicate_root = true; break;
+    }
+  }
+
+  // Irrelevant certificates (duplicates already folded by the topology,
+  // matching the paper's "duplicate certificates are not counted").
+  const std::vector<int> irrelevant = topology.irrelevant_nodes();
+  out.irrelevant_count = static_cast<int>(irrelevant.size());
+  out.has_irrelevant = !irrelevant.empty();
+
+  // Multiple paths / reversed sequences over the leaf-path set.
+  const auto paths = topology.paths_from_leaf();
+  out.path_count = static_cast<int>(paths.size());
+  out.multiple_paths = paths.size() > 1;
+  out.reversed_sequence = topology.any_path_reversed();
+  out.all_paths_reversed = topology.all_paths_reversed();
+
+  return out;
+}
+
+}  // namespace chainchaos::chain

@@ -1,0 +1,57 @@
+// Issuance-order compliance analysis (paper §4.2, Table 5).
+//
+// Strict compliance per RFC 5246 §7.4.2: certificate p+1 MUST directly
+// certify certificate p, for every adjacent pair. When a list violates
+// that, the analyzer classifies the violation into the paper's taxonomy:
+// duplicate certificates, irrelevant certificates, multiple paths, and
+// reversed sequences (categories overlap — a chain may exhibit several).
+#pragma once
+
+#include <vector>
+
+#include "chain/topology.hpp"
+#include "x509/certificate.hpp"
+
+namespace chainchaos::chain {
+
+/// Role of a certificate within a chain, used to break down duplicates
+/// the way Table 10 does (leaf/intermediate/root).
+enum class CertRole { kLeaf, kIntermediate, kRoot };
+
+CertRole classify_role(const x509::Certificate& cert);
+
+struct OrderAnalysis {
+  bool compliant = true;  ///< adjacent-pair issuance holds list-wide
+
+  // --- Table 5 taxonomy (only meaningful when !compliant or when the
+  // corresponding structure exists regardless of strict order) ----------
+  bool has_duplicates = false;
+  bool duplicate_leaf = false;
+  bool duplicate_intermediate = false;
+  bool duplicate_root = false;
+  int max_duplicate_occurrences = 0;  ///< most copies of one cert
+
+  bool has_irrelevant = false;
+  int irrelevant_count = 0;
+
+  bool multiple_paths = false;
+  int path_count = 0;
+
+  bool reversed_sequence = false;   ///< at least one leaf path reversed
+  bool all_paths_reversed = false;
+
+  /// Any taxonomy flag set (what Table 5 counts as order non-compliance).
+  bool any_order_issue() const {
+    return has_duplicates || has_irrelevant || multiple_paths ||
+           reversed_sequence;
+  }
+};
+
+/// Strict RFC adjacency check on the raw list.
+bool order_compliant(const std::vector<x509::CertPtr>& list);
+
+/// Full analysis; reuses a pre-built topology.
+OrderAnalysis analyze_order(const std::vector<x509::CertPtr>& list,
+                            const Topology& topology);
+
+}  // namespace chainchaos::chain

@@ -1,0 +1,162 @@
+#include "chain/topology.hpp"
+
+#include <functional>
+
+#include "chain/issuance.hpp"
+
+namespace chainchaos::chain {
+
+Topology Topology::build(const std::vector<x509::CertPtr>& list) {
+  Topology topo;
+
+  // Fold duplicates onto their first occurrence (paper: keep the
+  // leftmost of bit-for-bit identical certificates).
+  for (int pos = 0; pos < static_cast<int>(list.size()); ++pos) {
+    const x509::CertPtr& cert = list[static_cast<std::size_t>(pos)];
+    bool found = false;
+    for (Node& node : topo.nodes_) {
+      if (equal(node.cert->fingerprint, cert->fingerprint)) {
+        node.occurrences.push_back(pos);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      Node node;
+      node.cert = cert;
+      node.first_position = pos;
+      node.occurrences.push_back(pos);
+      topo.nodes_.push_back(std::move(node));
+    }
+  }
+
+  // Issuance edges between distinct nodes. Self-loops (self-signed
+  // roots) are intentionally not edges: a root terminates a path.
+  const int n = topo.size();
+  for (int subject = 0; subject < n; ++subject) {
+    for (int issuer = 0; issuer < n; ++issuer) {
+      if (subject == issuer) continue;
+      if (issued_by(*topo.nodes_[subject].cert, *topo.nodes_[issuer].cert)) {
+        topo.nodes_[subject].issuers.push_back(issuer);
+        topo.nodes_[issuer].issued.push_back(subject);
+      }
+    }
+  }
+  return topo;
+}
+
+std::vector<std::vector<int>> Topology::paths_from_leaf() const {
+  std::vector<std::vector<int>> paths;
+  if (empty()) return paths;
+
+  std::vector<int> current;
+  std::vector<bool> on_path(nodes_.size(), false);
+
+  const std::function<void(int)> walk = [&](int node_id) {
+    current.push_back(node_id);
+    on_path[static_cast<std::size_t>(node_id)] = true;
+
+    bool extended = false;
+    for (int issuer : nodes_[static_cast<std::size_t>(node_id)].issuers) {
+      if (on_path[static_cast<std::size_t>(issuer)]) continue;  // cycle guard
+      extended = true;
+      walk(issuer);
+    }
+    if (!extended) paths.push_back(current);
+
+    on_path[static_cast<std::size_t>(node_id)] = false;
+    current.pop_back();
+  };
+
+  walk(leaf_node());
+  return paths;
+}
+
+std::vector<int> Topology::irrelevant_nodes() const {
+  std::vector<int> out;
+  if (empty()) return out;
+
+  // Relevant = C0 plus everything reachable from it along subject->issuer
+  // edges (its potential ancestors).
+  std::vector<bool> relevant(nodes_.size(), false);
+  std::vector<int> stack = {leaf_node()};
+  relevant[0] = true;
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    for (int issuer : nodes_[static_cast<std::size_t>(id)].issuers) {
+      if (!relevant[static_cast<std::size_t>(issuer)]) {
+        relevant[static_cast<std::size_t>(issuer)] = true;
+        stack.push_back(issuer);
+      }
+    }
+  }
+  for (int id = 0; id < size(); ++id) {
+    if (!relevant[static_cast<std::size_t>(id)]) out.push_back(id);
+  }
+  return out;
+}
+
+namespace {
+
+bool path_has_reversed_edge(const std::vector<Topology::Node>& nodes,
+                            const std::vector<int>& path) {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const int subject_pos =
+        nodes[static_cast<std::size_t>(path[i])].first_position;
+    const int issuer_pos =
+        nodes[static_cast<std::size_t>(path[i + 1])].first_position;
+    // Compliant order places the subject before its issuer; an issuer
+    // sitting earlier in the list than its subject is a reversal.
+    // The leaf (position 0) can never sit after its issuer, so this
+    // compares the real list positions of both endpoints.
+    if (issuer_pos < subject_pos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Topology::any_path_reversed() const {
+  for (const std::vector<int>& path : paths_from_leaf()) {
+    if (path_has_reversed_edge(nodes_, path)) return true;
+  }
+  return false;
+}
+
+bool Topology::all_paths_reversed() const {
+  const auto paths = paths_from_leaf();
+  if (paths.empty()) return false;
+  for (const std::vector<int>& path : paths) {
+    if (!path_has_reversed_edge(nodes_, path)) return false;
+  }
+  return true;
+}
+
+std::string Topology::to_ascii() const {
+  std::string out;
+  for (const Node& node : nodes_) {
+    std::string label = "C" + std::to_string(node.first_position);
+    out += label;
+    for (std::size_t i = 1; i < node.occurrences.size(); ++i) {
+      out += " C" + std::to_string(node.first_position) + "[" +
+             std::to_string(i) + "]@" + std::to_string(node.occurrences[i]);
+    }
+    out += ": " + node.cert->display_name();
+    if (node.cert->is_self_signed()) out += " [root]";
+    if (!node.issuers.empty()) {
+      out += "  issuers={";
+      for (std::size_t i = 0; i < node.issuers.size(); ++i) {
+        if (i) out += ",";
+        out += "C" + std::to_string(
+                         nodes_[static_cast<std::size_t>(node.issuers[i])]
+                             .first_position);
+      }
+      out += "}";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace chainchaos::chain

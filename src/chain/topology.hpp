@@ -1,0 +1,70 @@
+// Topology graph over a server-provided certificate list (§3.1).
+//
+// The paper formalises a chain's issuance structure as a graph: each
+// *distinct* certificate is a node (duplicates are folded onto their
+// first occurrence and remembered as Cp[i] labels), and a directed edge
+// runs subject -> issuer whenever the issuance predicate holds. The
+// order/duplicate/irrelevant/multipath/reversed analyses in Section 4
+// are all small graph computations over this structure; so is the
+// Figure 2 topology rendering.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "x509/certificate.hpp"
+
+namespace chainchaos::chain {
+
+class Topology {
+ public:
+  struct Node {
+    x509::CertPtr cert;
+    int first_position = 0;          ///< p in the paper's C_p labels
+    std::vector<int> occurrences;    ///< all positions, ascending
+    std::vector<int> issuers;        ///< nodes that issued this node
+    std::vector<int> issued;         ///< nodes this node issued
+
+    bool duplicated() const { return occurrences.size() > 1; }
+  };
+
+  /// Builds the graph. Signature checks are memoized process-wide, so
+  /// rebuilding topologies over a corpus stays cheap.
+  static Topology build(const std::vector<x509::CertPtr>& list);
+
+  bool empty() const { return nodes_.empty(); }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const Node& node(int id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  /// The node holding list position 0 — the paper's C0, treated as the
+  /// chain's leaf for analysis purposes (leaf *placement* correctness is
+  /// a separate classifier).
+  int leaf_node() const { return empty() ? -1 : 0; }
+
+  /// All maximal simple paths from C0 following subject->issuer edges.
+  /// Simple-path enumeration terminates even on cyclic cross-signing
+  /// graphs (cf. CVE-2024-0567).
+  std::vector<std::vector<int>> paths_from_leaf() const;
+
+  /// Node ids with no direct or indirect issuing relationship to C0
+  /// (not C0 itself, not an ancestor of it). Table 5 "Irrelevant".
+  std::vector<int> irrelevant_nodes() const;
+
+  /// True if any edge on any leaf path places the issuer *before* its
+  /// subject in the original list order. Table 5 "Reversed Sequences".
+  bool any_path_reversed() const;
+
+  /// True if *every* leaf path contains a reversed edge (the paper's
+  /// "8,370 had all paths reversed" statistic).
+  bool all_paths_reversed() const;
+
+  /// Human-readable rendering in the style of Figure 2: one line per
+  /// node with its label (including Cp[i] duplicate labels) and edges.
+  std::string to_ascii() const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace chainchaos::chain

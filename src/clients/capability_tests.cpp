@@ -1,0 +1,336 @@
+#include "clients/capability_tests.hpp"
+
+#include <cassert>
+
+namespace chainchaos::clients {
+
+using pathbuild::BuildResult;
+using pathbuild::BuildStatus;
+using pathbuild::PathBuilder;
+using x509::CertificateBuilder;
+using x509::CertPtr;
+
+namespace {
+
+constexpr std::int64_t kNow = 1800000000;  // matches BuildPolicy default
+constexpr std::int64_t kYear = 31557600;
+
+bool path_contains(const BuildResult& result, const CertPtr& cert) {
+  for (const CertPtr& entry : result.path) {
+    if (equal(entry->fingerprint, cert->fingerprint)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CapabilityTester::CapabilityTester(int max_probe_length)
+    : max_probe_length_(max_probe_length) {
+  root_id_ = x509::make_identity(
+      asn1::Name::make("Capability Root CA", "CapTest", "US"));
+  {
+    CertificateBuilder builder;
+    builder.subject(root_id_.name)
+        .as_ca()
+        .public_key(root_id_.keys.pub)
+        .validity(kNow - 8 * kYear, kNow + 8 * kYear);
+    root_ = builder.self_sign(root_id_.keys);
+  }
+  store_.add(root_);
+
+  // Two-tier hierarchy: root -> I2 -> I1 -> E.
+  i2_id_ = x509::make_identity(
+      asn1::Name::make("Capability Intermediate 2", "CapTest", "US"));
+  {
+    CertificateBuilder builder;
+    builder.subject(i2_id_.name)
+        .as_ca()
+        .public_key(i2_id_.keys.pub)
+        .validity(kNow - 4 * kYear, kNow + 4 * kYear);
+    i2_ = builder.sign(root_id_);
+  }
+  i1_id_ = x509::make_identity(
+      asn1::Name::make("Capability Intermediate 1", "CapTest", "US"));
+  {
+    CertificateBuilder builder;
+    builder.subject(i1_id_.name)
+        .as_ca()
+        .public_key(i1_id_.keys.pub)
+        .validity(kNow - 4 * kYear, kNow + 4 * kYear);
+    i1_ = builder.sign(i2_id_);
+  }
+  {
+    CertificateBuilder builder;
+    builder.as_leaf("cap.example.com").validity(kNow - kYear, kNow + kYear);
+    leaf_two_tier_ = builder.sign(i1_id_);
+  }
+
+  // AIA fixture: root -> I2a -> I1a -> E; server omits I2a, I1a's AIA
+  // resolves it.
+  x509::SigningIdentity i2a = x509::make_identity(
+      asn1::Name::make("Capability AIA Upper", "CapTest", "US"));
+  {
+    CertificateBuilder builder;
+    builder.subject(i2a.name)
+        .as_ca()
+        .public_key(i2a.keys.pub)
+        .validity(kNow - 4 * kYear, kNow + 4 * kYear);
+    aia_i2_ = builder.sign(root_id_);
+  }
+  aia_.publish("http://cap.example/aia-upper.crt", aia_i2_);
+  x509::SigningIdentity i1a = x509::make_identity(
+      asn1::Name::make("Capability AIA Lower", "CapTest", "US"));
+  {
+    CertificateBuilder builder;
+    builder.subject(i1a.name)
+        .as_ca()
+        .public_key(i1a.keys.pub)
+        .validity(kNow - 4 * kYear, kNow + 4 * kYear)
+        .aia_ca_issuers("http://cap.example/aia-upper.crt");
+    aia_i1_ = builder.sign(i2a);
+  }
+  {
+    CertificateBuilder builder;
+    builder.as_leaf("aia.example.com").validity(kNow - kYear, kNow + kYear);
+    aia_leaf_ = builder.sign(i1a);
+  }
+
+  // Self-signed leaf fixture: ES and E share the subject; ES is trusted
+  // so an allowing client validates [ES] while a rejecting client errors
+  // structurally.
+  {
+    const crypto::RsaKeyPair& keys =
+        crypto::KeyPool::instance().for_name("cap-ss-leaf");
+    CertificateBuilder builder;
+    builder.as_leaf("ss.example.com")
+        .validity(kNow - kYear, kNow + kYear)
+        .public_key(keys.pub);
+    ss_leaf_ = builder.self_sign(keys);
+    store_.add(ss_leaf_);
+  }
+  {
+    CertificateBuilder builder;
+    builder.as_leaf("ss.example.com").validity(kNow - kYear, kNow + kYear);
+    plain_leaf_ = builder.sign(i1_id_);
+  }
+}
+
+BuildResult CapabilityTester::build(const ClientProfile& profile,
+                                    const std::vector<CertPtr>& list,
+                                    const std::string& hostname,
+                                    pathbuild::IntermediateCache* cache) {
+  PathBuilder builder(profile.policy, &store_, &aia_, cache);
+  return builder.build(list, hostname);
+}
+
+bool CapabilityTester::test_order_reorganization(const ClientProfile& profile) {
+  // {E, I2, I1, R}: intermediates swapped.
+  const std::vector<CertPtr> list = {leaf_two_tier_, i2_, i1_, root_};
+  return build(profile, list, "cap.example.com").ok();
+}
+
+bool CapabilityTester::test_redundancy_elimination(
+    const ClientProfile& profile) {
+  // {E, X, I, R}: X is unrelated (the AIA fixture's upper intermediate).
+  const std::vector<CertPtr> list = {leaf_two_tier_, aia_i2_, i1_, i2_, root_};
+  return build(profile, list, "cap.example.com").ok();
+}
+
+bool CapabilityTester::test_aia_completion(const ClientProfile& profile,
+                                           pathbuild::IntermediateCache* cache) {
+  // {E, I1}: the upper intermediate is only reachable via I1's AIA.
+  const std::vector<CertPtr> list = {aia_leaf_, aia_i1_};
+  return build(profile, list, "aia.example.com", cache).ok();
+}
+
+namespace {
+
+/// Issues a same-subject/same-key sibling of `identity`'s certificate
+/// with custom tweaks applied by `mutate`.
+template <typename Mutator>
+CertPtr sibling(const x509::SigningIdentity& subject_id,
+                const x509::SigningIdentity& signer, std::int64_t nb,
+                std::int64_t na, Mutator&& mutate) {
+  CertificateBuilder builder;
+  builder.subject(subject_id.name)
+      .as_ca()
+      .public_key(subject_id.keys.pub)
+      .validity(nb, na);
+  mutate(builder);
+  return builder.sign(signer);
+}
+
+}  // namespace
+
+std::string CapabilityTester::test_validity_priority(
+    const ClientProfile& profile) {
+  // Candidates share I1's subject+key, differ in validity. Listed with
+  // the *expired* one first so a no-priority client reveals itself.
+  //   I   — valid, 1 year, oldest valid start
+  //   I1  — expired
+  //   I2  — valid, most recent start
+  //   I3  — same start as I, 10-year span
+  const auto none = [](CertificateBuilder&) {};
+  CertPtr i = sibling(i1_id_, i2_id_, kNow - kYear / 2, kNow + kYear / 2, none);
+  CertPtr i1 = sibling(i1_id_, i2_id_, kNow - 3 * kYear, kNow - 2 * kYear, none);
+  CertPtr i2 = sibling(i1_id_, i2_id_, kNow - kYear / 4, kNow + kYear, none);
+  CertPtr i3 = sibling(i1_id_, i2_id_, kNow - kYear / 2, kNow + 9 * kYear, none);
+
+  const std::vector<CertPtr> list = {leaf_two_tier_, i1, i, i3, i2, i2_, root_};
+  const BuildResult result = build(profile, list, "cap.example.com");
+  if (result.path.size() < 2) return "?";
+  if (path_contains(result, i1)) return "-";    // picked the expired one
+  if (path_contains(result, i2)) return "VP2";  // most recent valid
+  if (path_contains(result, i) || path_contains(result, i3)) return "VP1";
+  return "?";
+}
+
+std::string CapabilityTester::test_kid_priority(const ClientProfile& profile) {
+  // Candidates share I1's subject+key, differ in SKID: mismatch listed
+  // first, then absent, then match.
+  CertPtr mismatch = sibling(i1_id_, i2_id_, kNow - kYear, kNow + kYear,
+                             [](CertificateBuilder& b) {
+                               b.subject_key_id(Bytes(20, 0xee));
+                             });
+  CertPtr absent = sibling(i1_id_, i2_id_, kNow - kYear, kNow + kYear,
+                           [](CertificateBuilder& b) {
+                             b.omit_subject_key_id();
+                           });
+  CertPtr match = sibling(i1_id_, i2_id_, kNow - kYear, kNow + kYear,
+                          [](CertificateBuilder&) {});
+
+  const std::vector<CertPtr> list = {leaf_two_tier_, mismatch, absent,
+                                     match, i2_, root_};
+  const BuildResult result = build(profile, list, "cap.example.com");
+  if (result.path.size() < 2) return "?";
+  if (path_contains(result, mismatch)) return "-";
+  if (path_contains(result, absent)) return "KP1";   // {match,absent} tie,
+                                                     // list order wins
+  if (path_contains(result, match)) return "KP2";
+  return "?";
+}
+
+std::string CapabilityTester::test_key_usage_priority(
+    const ClientProfile& profile) {
+  // Candidates differ in KeyUsage: incorrect first, then missing, then
+  // correct.
+  CertPtr incorrect = sibling(i1_id_, i2_id_, kNow - kYear, kNow + kYear,
+                              [](CertificateBuilder& b) {
+                                x509::KeyUsage ku;
+                                ku.digital_signature = true;  // no certSign
+                                b.key_usage(ku);
+                              });
+  CertPtr missing = sibling(i1_id_, i2_id_, kNow - kYear, kNow + kYear,
+                            [](CertificateBuilder& b) {
+                              b.key_usage(std::nullopt);
+                            });
+  CertPtr correct = sibling(i1_id_, i2_id_, kNow - kYear, kNow + kYear,
+                            [](CertificateBuilder&) {});
+
+  const std::vector<CertPtr> list = {leaf_two_tier_, incorrect, missing,
+                                     correct, i2_, root_};
+  const BuildResult result = build(profile, list, "cap.example.com");
+  if (result.path.size() < 2) return "?";
+  if (path_contains(result, incorrect)) return "-";
+  return "KUP";  // correct-or-missing preferred over incorrect
+}
+
+std::string CapabilityTester::test_basic_constraints_priority(
+    const ClientProfile& profile) {
+  // Two candidates both able to sit at path index 2 (one intermediate
+  // below them): pathLen 0 is incorrect there, pathLen 1 is correct.
+  // The incorrect one is listed first.
+  CertPtr bad = sibling(i2_id_, root_id_, kNow - kYear, kNow + kYear,
+                        [](CertificateBuilder& b) {
+                          b.basic_constraints(x509::BasicConstraints{true, 0});
+                        });
+  CertPtr good = sibling(i2_id_, root_id_, kNow - kYear, kNow + kYear,
+                         [](CertificateBuilder& b) {
+                           b.basic_constraints(x509::BasicConstraints{true, 1});
+                         });
+
+  const std::vector<CertPtr> list = {leaf_two_tier_, i1_, bad, good, root_};
+  const BuildResult result = build(profile, list, "cap.example.com");
+  if (result.path.size() < 3) return "?";
+  if (path_contains(result, bad)) return "-";
+  if (path_contains(result, good)) return "BP";
+  return "?";
+}
+
+void CapabilityTester::ensure_depth_chain(int levels) {
+  while (static_cast<int>(tower_.size()) < levels) {
+    const int level = static_cast<int>(tower_.size()) + 1;
+    x509::SigningIdentity id = x509::make_identity(asn1::Name::make(
+        "Capability Tower " + std::to_string(level), "CapTest", "US"));
+    const x509::SigningIdentity& parent =
+        level == 1 ? root_id_ : tower_ids_.back();
+    CertificateBuilder builder;
+    builder.subject(id.name)
+        .as_ca()
+        .public_key(id.keys.pub)
+        .validity(kNow - 4 * kYear, kNow + 4 * kYear);
+    tower_.push_back(builder.sign(parent));
+    tower_ids_.push_back(std::move(id));
+  }
+}
+
+int CapabilityTester::test_path_length_limit(const ClientProfile& profile) {
+  // Chain with n intermediates has total length n+2 (leaf + n + root).
+  int longest_ok = 0;
+  for (int n = 1; n + 2 <= max_probe_length_; ++n) {
+    ensure_depth_chain(n);
+    CertificateBuilder leaf_builder;
+    leaf_builder.as_leaf("depth.example.com")
+        .validity(kNow - kYear, kNow + kYear);
+    CertPtr leaf = leaf_builder.sign(tower_ids_[static_cast<std::size_t>(n - 1)]);
+
+    std::vector<CertPtr> list;
+    list.push_back(leaf);
+    for (int level = n; level >= 1; --level) {
+      list.push_back(tower_[static_cast<std::size_t>(level - 1)]);
+    }
+    list.push_back(root_);
+
+    if (build(profile, list, "depth.example.com").ok()) {
+      longest_ok = n + 2;
+    } else {
+      return longest_ok;
+    }
+  }
+  return max_probe_length_ + 1;  // no limit found within the probe
+}
+
+bool CapabilityTester::test_self_signed_leaf(const ClientProfile& profile) {
+  // {ES, E, I, R}: ES is a trusted self-signed twin of E. A client that
+  // allows self-signed leaves validates [ES]; others reject structurally.
+  const std::vector<CertPtr> list = {ss_leaf_, plain_leaf_, i1_, i2_, root_};
+  return build(profile, list, "ss.example.com").ok();
+}
+
+CapabilityRow CapabilityTester::evaluate(const ClientProfile& profile) {
+  CapabilityRow row;
+  row.client = profile.name;
+  row.order_reorganization = test_order_reorganization(profile);
+  row.redundancy_elimination = test_redundancy_elimination(profile);
+
+  if (profile.policy.intermediate_cache) {
+    // Firefox's compensation: cold AIA fails, a seeded cache succeeds.
+    row.aia_completion = test_aia_completion(profile, nullptr);
+  } else {
+    row.aia_completion = test_aia_completion(profile, nullptr);
+  }
+
+  row.validity_priority = test_validity_priority(profile);
+  row.kid_priority = test_kid_priority(profile);
+  row.key_usage_priority = test_key_usage_priority(profile);
+  row.basic_constraints_priority = test_basic_constraints_priority(profile);
+
+  const int limit = test_path_length_limit(profile);
+  row.path_length = limit > max_probe_length_
+                        ? ">" + std::to_string(max_probe_length_)
+                        : "=" + std::to_string(limit);
+  row.self_signed_leaf = test_self_signed_leaf(profile);
+  return row;
+}
+
+}  // namespace chainchaos::clients

@@ -1,0 +1,94 @@
+// Table 2: the nine chain-construction capability tests.
+//
+// Each test crafts the certificate list described in the paper and
+// infers the client's behaviour from what the engine returns — for the
+// priority tests (#4-#7), candidates share subject *and key* (so every
+// signature verifies) and differ only in the probed attribute; which
+// certificate lands in the constructed path reveals the client's
+// ranking, exactly the paper's inference method.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clients/profiles.hpp"
+#include "net/aia_repository.hpp"
+#include "pathbuild/intermediate_cache.hpp"
+#include "pathbuild/path_builder.hpp"
+#include "truststore/root_store.hpp"
+#include "x509/builder.hpp"
+
+namespace chainchaos::clients {
+
+/// A full Table 9 row for one client.
+struct CapabilityRow {
+  std::string client;
+  bool order_reorganization = false;
+  bool redundancy_elimination = false;
+  bool aia_completion = false;
+  std::string validity_priority;           ///< "VP1", "VP2", or "-"
+  std::string kid_priority;                ///< "KP1", "KP2", or "-"
+  std::string key_usage_priority;          ///< "KUP" or "-"
+  std::string basic_constraints_priority;  ///< "BP" or "-"
+  std::string path_length;                 ///< "=N" or ">N"
+  bool self_signed_leaf = false;
+};
+
+class CapabilityTester {
+ public:
+  /// `max_probe_length` bounds test #8 (the paper probed past 52).
+  explicit CapabilityTester(int max_probe_length = 52);
+
+  /// Runs all nine tests for one profile.
+  CapabilityRow evaluate(const ClientProfile& profile);
+
+  // --- individual tests (exposed for unit tests) -------------------------
+  bool test_order_reorganization(const ClientProfile& profile);
+  bool test_redundancy_elimination(const ClientProfile& profile);
+  /// `cache` may carry pre-seeded intermediates (the Firefox story);
+  /// pass nullptr for a cold client.
+  bool test_aia_completion(const ClientProfile& profile,
+                           pathbuild::IntermediateCache* cache);
+  std::string test_validity_priority(const ClientProfile& profile);
+  std::string test_kid_priority(const ClientProfile& profile);
+  std::string test_key_usage_priority(const ClientProfile& profile);
+  std::string test_basic_constraints_priority(const ClientProfile& profile);
+  /// Returns the maximum constructible total path length, or
+  /// max_probe_length + 1 when no limit was hit (rendered as ">N").
+  int test_path_length_limit(const ClientProfile& profile);
+  bool test_self_signed_leaf(const ClientProfile& profile);
+
+  /// The intermediate that AIA test #3 resolves (for cache seeding).
+  const x509::CertPtr& aia_missing_intermediate() const { return aia_i2_; }
+
+ private:
+  pathbuild::BuildResult build(const ClientProfile& profile,
+                               const std::vector<x509::CertPtr>& list,
+                               const std::string& hostname,
+                               pathbuild::IntermediateCache* cache = nullptr);
+  void ensure_depth_chain(int levels);
+
+  int max_probe_length_;
+  truststore::RootStore store_{"capability-test"};
+  net::AiaRepository aia_;
+
+  // Shared fixtures.
+  x509::SigningIdentity root_id_;
+  x509::CertPtr root_;
+
+  // Test 1/2: a two-intermediate hierarchy.
+  x509::SigningIdentity i1_id_, i2_id_;
+  x509::CertPtr i1_, i2_, leaf_two_tier_;
+
+  // Test 3: {E, I1} with AIA to I2.
+  x509::CertPtr aia_leaf_, aia_i1_, aia_i2_;
+
+  // Test 9: self-signed twin of a leaf.
+  x509::CertPtr ss_leaf_, plain_leaf_;
+
+  // Test 8: top-down tower T1 (under root) .. Tn, leaves per depth.
+  std::vector<x509::SigningIdentity> tower_ids_;
+  std::vector<x509::CertPtr> tower_;
+};
+
+}  // namespace chainchaos::clients

@@ -1,0 +1,177 @@
+#include "clients/profiles.hpp"
+
+#include <stdexcept>
+
+namespace chainchaos::clients {
+
+using pathbuild::BasicConstraintsPriority;
+using pathbuild::BuildPolicy;
+using pathbuild::KeyUsagePriority;
+using pathbuild::KidPriority;
+using pathbuild::ValidityPriority;
+
+ClientProfile make_profile(ClientKind kind) {
+  ClientProfile profile;
+  profile.kind = kind;
+  BuildPolicy& p = profile.policy;
+
+  switch (kind) {
+    case ClientKind::kOpenSsl:
+      profile.name = "OpenSSL";
+      profile.is_browser = false;
+      p.reorder = true;
+      p.eliminate_redundancy = true;
+      p.aia_completion = false;
+      p.intermediate_cache = false;
+      p.backtracking = false;                       // finding I-3
+      p.max_constructed_depth = 0;                  // ">52": unlimited
+      p.validity_priority = ValidityPriority::kFirstValid;      // VP1
+      p.kid_priority = KidPriority::kMatchOrAbsentFirst;        // KP1
+      p.key_usage_priority = KeyUsagePriority::kNone;           // "—"
+      p.basic_constraints_priority = BasicConstraintsPriority::kNone;
+      p.allow_self_signed_leaf = false;
+      break;
+
+    case ClientKind::kGnuTls:
+      profile.name = "GnuTLS";
+      profile.is_browser = false;
+      p.reorder = true;
+      p.eliminate_redundancy = true;
+      p.aia_completion = false;
+      p.intermediate_cache = false;
+      p.backtracking = false;                       // finding I-3
+      p.max_input_list = 16;                        // finding I-2: the cap
+                                                    // is on the *input list*
+      p.validity_priority = ValidityPriority::kFirstListed;     // "—"
+      p.kid_priority = KidPriority::kMatchOrAbsentFirst;        // KP1
+      p.key_usage_priority = KeyUsagePriority::kNone;           // "—"
+      p.basic_constraints_priority = BasicConstraintsPriority::kNone;
+      p.allow_self_signed_leaf = false;
+      break;
+
+    case ClientKind::kMbedTls:
+      profile.name = "MbedTLS";
+      profile.is_browser = false;
+      p.reorder = false;                            // the one client without
+                                                    // order reorganization
+      p.eliminate_redundancy = false;               // §4.2: keeps duplicates
+      p.aia_completion = false;
+      p.intermediate_cache = false;
+      p.backtracking = false;
+      p.max_constructed_depth = 10;
+      p.partial_validation = true;                  // validates during build
+      p.validity_priority = ValidityPriority::kFirstValid;      // VP1
+      p.kid_priority = KidPriority::kNone;          // "—": first listed
+      p.key_usage_priority = KeyUsagePriority::kCorrectOrMissingFirst;  // KUP
+      p.basic_constraints_priority = BasicConstraintsPriority::kCorrectFirst;
+      p.allow_self_signed_leaf = true;
+      break;
+
+    case ClientKind::kCryptoApi:
+      profile.name = "CryptoAPI";
+      profile.is_browser = false;
+      p.reorder = true;
+      p.eliminate_redundancy = true;
+      p.aia_completion = true;
+      p.intermediate_cache = false;
+      p.backtracking = true;                        // finding I-3: picked the
+                                                    // trusted path at moex
+      p.max_constructed_depth = 13;
+      p.validity_priority = ValidityPriority::kMostRecentThenLongest;  // VP2
+      p.kid_priority = KidPriority::kMatchFirst;    // KP2
+      p.key_usage_priority = KeyUsagePriority::kCorrectOrMissingFirst;  // KUP
+      p.basic_constraints_priority = BasicConstraintsPriority::kCorrectFirst;
+      p.allow_self_signed_leaf = false;
+      break;
+
+    case ClientKind::kChrome:
+      profile.name = "Chrome";
+      profile.is_browser = true;
+      p.reorder = true;
+      p.eliminate_redundancy = true;
+      p.aia_completion = true;
+      p.intermediate_cache = false;
+      p.backtracking = true;
+      p.max_constructed_depth = 0;                  // ">52"
+      p.validity_priority = ValidityPriority::kMostRecentThenLongest;  // VP2
+      p.kid_priority = KidPriority::kMatchFirst;    // KP2
+      p.key_usage_priority = KeyUsagePriority::kCorrectOrMissingFirst;  // KUP
+      p.basic_constraints_priority = BasicConstraintsPriority::kCorrectFirst;
+      p.allow_self_signed_leaf = false;
+      break;
+
+    case ClientKind::kEdge:
+      profile.name = "Microsoft Edge";
+      profile.is_browser = true;
+      p.reorder = true;
+      p.eliminate_redundancy = true;
+      p.aia_completion = true;
+      p.intermediate_cache = false;
+      p.backtracking = true;
+      p.max_constructed_depth = 21;
+      p.validity_priority = ValidityPriority::kMostRecentThenLongest;  // VP2
+      p.kid_priority = KidPriority::kMatchFirst;    // KP2
+      p.key_usage_priority = KeyUsagePriority::kCorrectOrMissingFirst;  // KUP
+      p.basic_constraints_priority = BasicConstraintsPriority::kCorrectFirst;
+      p.allow_self_signed_leaf = false;
+      break;
+
+    case ClientKind::kSafari:
+      profile.name = "Safari";
+      profile.is_browser = true;
+      p.reorder = true;
+      p.eliminate_redundancy = true;
+      p.aia_completion = true;
+      p.intermediate_cache = false;
+      p.backtracking = true;
+      p.max_constructed_depth = 0;                  // ">52"
+      p.validity_priority = ValidityPriority::kMostRecentThenLongest;  // VP2
+      p.kid_priority = KidPriority::kMatchOrAbsentFirst;  // KP1
+      p.key_usage_priority = KeyUsagePriority::kCorrectOrMissingFirst;  // KUP
+      p.basic_constraints_priority = BasicConstraintsPriority::kCorrectFirst;
+      p.allow_self_signed_leaf = true;
+      break;
+
+    case ClientKind::kFirefox:
+      profile.name = "Firefox";
+      profile.is_browser = true;
+      p.reorder = true;
+      p.eliminate_redundancy = true;
+      p.aia_completion = false;                     // no AIA fetching...
+      p.intermediate_cache = true;                  // ...cache instead (§5.1)
+      p.backtracking = true;
+      p.max_constructed_depth = 8;
+      p.validity_priority = ValidityPriority::kFirstValid;      // VP1
+      p.kid_priority = KidPriority::kNone;          // "—": first listed
+      p.key_usage_priority = KeyUsagePriority::kCorrectOrMissingFirst;  // KUP
+      p.basic_constraints_priority = BasicConstraintsPriority::kCorrectFirst;
+      p.allow_self_signed_leaf = false;
+      break;
+
+    default:
+      throw std::invalid_argument("unknown client kind");
+  }
+  return profile;
+}
+
+std::vector<ClientProfile> library_profiles() {
+  return {make_profile(ClientKind::kOpenSsl), make_profile(ClientKind::kGnuTls),
+          make_profile(ClientKind::kMbedTls),
+          make_profile(ClientKind::kCryptoApi)};
+}
+
+std::vector<ClientProfile> browser_profiles() {
+  return {make_profile(ClientKind::kChrome), make_profile(ClientKind::kEdge),
+          make_profile(ClientKind::kSafari),
+          make_profile(ClientKind::kFirefox)};
+}
+
+std::vector<ClientProfile> all_profiles() {
+  std::vector<ClientProfile> out = library_profiles();
+  for (ClientProfile& browser : browser_profiles()) {
+    out.push_back(std::move(browser));
+  }
+  return out;
+}
+
+}  // namespace chainchaos::clients

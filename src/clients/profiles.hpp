@@ -1,0 +1,51 @@
+// ClientProfile: the 8 TLS implementations studied by the paper, each
+// expressed as a BuildPolicy over the shared PathBuilder engine.
+//
+// Knob values are set directly from the paper's findings:
+//   Table 9 rows  — capabilities, priorities, length limits;
+//   §5.1 text     — Firefox's intermediate cache, GnuTLS's input-list
+//                   (rather than constructed-depth) limit;
+//   §5.2 findings — backtracking present in CryptoAPI and the browsers,
+//                   absent in OpenSSL/GnuTLS/MbedTLS (finding I-3).
+//
+// Versions pinned by the study: OpenSSL 3.0.2, GnuTLS 3.7.3,
+// MbedTLS 3.5.2, CryptoAPI 10.0.19041, Chrome 128, Edge 128, Safari 17.4,
+// Firefox 126.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pathbuild/policy.hpp"
+
+namespace chainchaos::clients {
+
+enum class ClientKind {
+  kOpenSsl,
+  kGnuTls,
+  kMbedTls,
+  kCryptoApi,
+  kChrome,
+  kEdge,
+  kSafari,
+  kFirefox,
+};
+
+struct ClientProfile {
+  ClientKind kind;
+  std::string name;
+  bool is_browser;
+  pathbuild::BuildPolicy policy;
+};
+
+/// The profile for one client.
+ClientProfile make_profile(ClientKind kind);
+
+/// All 8 profiles in Table 9 column order (libraries then browsers).
+std::vector<ClientProfile> all_profiles();
+
+/// The 4 libraries / the 4 browsers.
+std::vector<ClientProfile> library_profiles();
+std::vector<ClientProfile> browser_profiles();
+
+}  // namespace chainchaos::clients

@@ -1,0 +1,382 @@
+#include "crypto/bigint.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace chainchaos::crypto {
+
+BigInt::BigInt(std::uint64_t value) {
+  if (value != 0) limbs_.push_back(static_cast<std::uint32_t>(value));
+  if (value >> 32) limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+}
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt BigInt::from_bytes(BytesView be) {
+  BigInt out;
+  out.limbs_.assign((be.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < be.size(); ++i) {
+    // byte i (from the end) goes to limb i/4, shift (i%4)*8
+    const std::size_t from_end = be.size() - 1 - i;
+    out.limbs_[i / 4] |= static_cast<std::uint32_t>(be[from_end]) << (8 * (i % 4));
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::from_hex(std::string_view hex) {
+  std::string padded(hex);
+  if (padded.size() % 2) padded.insert(padded.begin(), '0');
+  const auto bytes = hex_decode(padded);
+  if (!bytes) throw std::invalid_argument("BigInt::from_hex: bad hex");
+  return from_bytes(*bytes);
+}
+
+BigInt BigInt::random_with_bits(Rng& rng, int bits) {
+  assert(bits >= 2);
+  BigInt out;
+  const int limbs = (bits + 31) / 32;
+  out.limbs_.resize(limbs);
+  for (auto& limb : out.limbs_) limb = static_cast<std::uint32_t>(rng.next());
+  // Clear bits above `bits`, then force the top bit.
+  const int top_bits = bits - 32 * (limbs - 1);
+  if (top_bits < 32) {
+    out.limbs_.back() &= (1u << top_bits) - 1;
+  }
+  out.limbs_.back() |= 1u << (top_bits - 1);
+  out.trim();
+  return out;
+}
+
+Bytes BigInt::to_bytes() const {
+  if (limbs_.empty()) return Bytes{0};
+  Bytes out;
+  out.reserve(limbs_.size() * 4);
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    const std::uint32_t limb = limbs_[i];
+    out.push_back(static_cast<std::uint8_t>(limb >> 24));
+    out.push_back(static_cast<std::uint8_t>(limb >> 16));
+    out.push_back(static_cast<std::uint8_t>(limb >> 8));
+    out.push_back(static_cast<std::uint8_t>(limb));
+  }
+  // Strip leading zeros but keep at least one byte.
+  std::size_t first = 0;
+  while (first + 1 < out.size() && out[first] == 0) ++first;
+  return Bytes(out.begin() + static_cast<std::ptrdiff_t>(first), out.end());
+}
+
+Bytes BigInt::to_bytes_padded(std::size_t width) const {
+  Bytes minimal = to_bytes();
+  if (minimal.size() == 1 && minimal[0] == 0) minimal.clear();
+  if (minimal.size() > width) {
+    throw std::invalid_argument("BigInt::to_bytes_padded: value too wide");
+  }
+  Bytes out(width - minimal.size(), 0);
+  append(out, minimal);
+  return out;
+}
+
+std::string BigInt::to_hex() const {
+  return hex_encode(to_bytes());
+}
+
+int BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  const std::uint32_t top = limbs_.back();
+  int bits = 32 * static_cast<int>(limbs_.size() - 1);
+  for (int i = 31; i >= 0; --i) {
+    if (top & (1u << i)) return bits + i + 1;
+  }
+  return bits;  // unreachable given trim()
+}
+
+bool BigInt::bit(int i) const {
+  const std::size_t limb = static_cast<std::size_t>(i) / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1u;
+}
+
+std::uint64_t BigInt::low_u64() const {
+  std::uint64_t v = 0;
+  if (!limbs_.empty()) v = limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+int BigInt::compare(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigInt BigInt::operator+(const BigInt& o) const {
+  BigInt out;
+  const std::size_t n = std::max(limbs_.size(), o.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < o.limbs_.size()) sum += o.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  out.limbs_[n] = static_cast<std::uint32_t>(carry);
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& o) const {
+  assert(*this >= o);
+  BigInt out;
+  out.limbs_.resize(limbs_.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
+    if (i < o.limbs_.size()) diff -= o.limbs_[i];
+    if (diff < 0) {
+      diff += (std::int64_t{1} << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator*(const BigInt& o) const {
+  if (limbs_.empty() || o.limbs_.empty()) return BigInt{};
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t a = limbs_[i];
+    for (std::size_t j = 0; j < o.limbs_.size(); ++j) {
+      const std::uint64_t cur =
+          static_cast<std::uint64_t>(out.limbs_[i + j]) + a * o.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + o.limbs_.size();
+    while (carry) {
+      const std::uint64_t cur = static_cast<std::uint64_t>(out.limbs_[k]) + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator<<(int bits) const {
+  if (limbs_.empty() || bits == 0) return *this;
+  const int limb_shift = bits / 32;
+  const int bit_shift = bits % 32;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator>>(int bits) const {
+  const int limb_shift = bits / 32;
+  const int bit_shift = bits % 32;
+  if (static_cast<std::size_t>(limb_shift) >= limbs_.size()) return BigInt{};
+  BigInt out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  out.trim();
+  return out;
+}
+
+void BigInt::divmod(const BigInt& num, const BigInt& den, BigInt& quot,
+                    BigInt& rem) {
+  if (den.is_zero()) throw std::domain_error("BigInt: division by zero");
+  quot = BigInt{};
+  rem = BigInt{};
+  if (num < den) {
+    rem = num;
+    return;
+  }
+
+  // Single-limb divisor: plain short division.
+  if (den.limbs_.size() == 1) {
+    const std::uint64_t d = den.limbs_[0];
+    quot.limbs_.assign(num.limbs_.size(), 0);
+    std::uint64_t r = 0;
+    for (std::size_t i = num.limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = (r << 32) | num.limbs_[i];
+      quot.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      r = cur % d;
+    }
+    quot.trim();
+    rem = BigInt(r);
+    return;
+  }
+
+  // Knuth TAOCP vol. 2, Algorithm D (base 2^32).
+  const std::size_t n = den.limbs_.size();
+  const std::size_t m = num.limbs_.size() - n;
+
+  // D1: normalize so the divisor's top limb has its high bit set.
+  int shift = 0;
+  for (std::uint32_t top = den.limbs_.back(); !(top & 0x80000000u); top <<= 1) {
+    ++shift;
+  }
+  BigInt v = den << shift;
+  BigInt u = num << shift;
+  u.limbs_.resize(num.limbs_.size() + 1, 0);  // u has m+n+1 limbs
+
+  quot.limbs_.assign(m + 1, 0);
+  constexpr std::uint64_t kBase = std::uint64_t{1} << 32;
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // D3: estimate q̂ from the top two limbs of the current remainder.
+    const std::uint64_t numerator =
+        (static_cast<std::uint64_t>(u.limbs_[j + n]) << 32) | u.limbs_[j + n - 1];
+    std::uint64_t qhat = numerator / v.limbs_[n - 1];
+    std::uint64_t rhat = numerator % v.limbs_[n - 1];
+    while (qhat >= kBase ||
+           qhat * v.limbs_[n - 2] > ((rhat << 32) | u.limbs_[j + n - 2])) {
+      --qhat;
+      rhat += v.limbs_[n - 1];
+      if (rhat >= kBase) break;
+    }
+
+    // D4: multiply-and-subtract u[j .. j+n] -= q̂ * v.
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t product = qhat * v.limbs_[i] + carry;
+      carry = product >> 32;
+      const std::int64_t diff = static_cast<std::int64_t>(u.limbs_[i + j]) -
+                                static_cast<std::int64_t>(product & 0xffffffffu) -
+                                borrow;
+      u.limbs_[i + j] = static_cast<std::uint32_t>(diff);
+      borrow = (diff < 0) ? 1 : 0;
+    }
+    const std::int64_t diff = static_cast<std::int64_t>(u.limbs_[j + n]) -
+                              static_cast<std::int64_t>(carry) - borrow;
+    u.limbs_[j + n] = static_cast<std::uint32_t>(diff);
+
+    // D5/D6: if we subtracted one time too many, add the divisor back.
+    if (diff < 0) {
+      --qhat;
+      std::uint64_t add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t sum =
+            static_cast<std::uint64_t>(u.limbs_[i + j]) + v.limbs_[i] + add_carry;
+        u.limbs_[i + j] = static_cast<std::uint32_t>(sum);
+        add_carry = sum >> 32;
+      }
+      u.limbs_[j + n] =
+          static_cast<std::uint32_t>(u.limbs_[j + n] + add_carry);
+    }
+    quot.limbs_[j] = static_cast<std::uint32_t>(qhat);
+  }
+
+  // D8: the remainder is the low n limbs of u, denormalized.
+  u.limbs_.resize(n);
+  u.trim();
+  rem = u >> shift;
+  quot.trim();
+}
+
+BigInt BigInt::operator%(const BigInt& m) const {
+  BigInt q, r;
+  divmod(*this, m, q, r);
+  return r;
+}
+
+BigInt BigInt::operator/(const BigInt& d) const {
+  BigInt q, r;
+  divmod(*this, d, q, r);
+  return q;
+}
+
+BigInt BigInt::mod_pow(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  assert(!m.is_zero());
+  BigInt result(1);
+  BigInt b = base % m;
+  const int ebits = exp.bit_length();
+  for (int i = 0; i < ebits; ++i) {
+    if (exp.bit(i)) result = (result * b) % m;
+    b = (b * b) % m;
+  }
+  return result;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+BigInt BigInt::mod_inverse(const BigInt& a, const BigInt& m) {
+  // Extended Euclid over non-negative values, tracking coefficients with
+  // explicit signs to stay within the unsigned BigInt.
+  BigInt old_r = a % m, r = m;
+  BigInt old_s(1), s{};
+  bool old_s_neg = false, s_neg = false;
+
+  while (!r.is_zero()) {
+    BigInt q = old_r / r;
+
+    BigInt next_r = old_r - q * r;
+    old_r = r;
+    r = next_r;
+
+    // next_s = old_s - q * s (signed arithmetic emulated)
+    BigInt qs = q * s;
+    BigInt next_s;
+    bool next_s_neg;
+    if (old_s_neg == s_neg) {
+      if (old_s >= qs) {
+        next_s = old_s - qs;
+        next_s_neg = old_s_neg;
+      } else {
+        next_s = qs - old_s;
+        next_s_neg = !old_s_neg;
+      }
+    } else {
+      next_s = old_s + qs;
+      next_s_neg = old_s_neg;
+    }
+    old_s = s;
+    old_s_neg = s_neg;
+    s = next_s;
+    s_neg = next_s_neg;
+  }
+
+  if (old_r != BigInt(1)) return BigInt{};  // not invertible
+  BigInt inv = old_s % m;
+  if (old_s_neg && !inv.is_zero()) inv = m - inv;
+  return inv;
+}
+
+}  // namespace chainchaos::crypto

@@ -1,0 +1,86 @@
+// Arbitrary-precision unsigned integers.
+//
+// Sized for the library's needs: 512-1024-bit RSA moduli. Schoolbook
+// multiplication is O(n^2) but n is ~16 limbs, so modular exponentiation
+// of a full signature verify costs well under a millisecond — fast enough
+// to sign/verify tens of thousands of synthetic certificates per second.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+
+namespace chainchaos::crypto {
+
+/// Unsigned big integer, little-endian limbs of 32 bits.
+class BigInt {
+ public:
+  BigInt() = default;
+  explicit BigInt(std::uint64_t value);
+
+  /// From big-endian bytes (leading zeros allowed).
+  static BigInt from_bytes(BytesView be);
+
+  /// From lower/upper-case hex (no prefix). Empty string -> 0.
+  static BigInt from_hex(std::string_view hex);
+
+  /// Uniform value with exactly `bits` bits (msb set). bits >= 2.
+  static BigInt random_with_bits(Rng& rng, int bits);
+
+  /// Big-endian bytes, minimal length (0 encodes as single 0x00).
+  Bytes to_bytes() const;
+
+  /// Big-endian bytes left-padded with zeros to `width` bytes.
+  /// The value must fit.
+  Bytes to_bytes_padded(std::size_t width) const;
+
+  std::string to_hex() const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1u); }
+  int bit_length() const;
+  bool bit(int i) const;
+
+  /// Value of the low 64 bits.
+  std::uint64_t low_u64() const;
+
+  // Comparison. Returns <0, 0, >0.
+  static int compare(const BigInt& a, const BigInt& b);
+  bool operator==(const BigInt& o) const { return compare(*this, o) == 0; }
+  bool operator!=(const BigInt& o) const { return compare(*this, o) != 0; }
+  bool operator<(const BigInt& o) const { return compare(*this, o) < 0; }
+  bool operator<=(const BigInt& o) const { return compare(*this, o) <= 0; }
+  bool operator>(const BigInt& o) const { return compare(*this, o) > 0; }
+  bool operator>=(const BigInt& o) const { return compare(*this, o) >= 0; }
+
+  BigInt operator+(const BigInt& o) const;
+  /// Requires *this >= o.
+  BigInt operator-(const BigInt& o) const;
+  BigInt operator*(const BigInt& o) const;
+  BigInt operator%(const BigInt& m) const;
+  /// Floor division.
+  BigInt operator/(const BigInt& d) const;
+  BigInt operator<<(int bits) const;
+  BigInt operator>>(int bits) const;
+
+  /// (base ^ exp) mod m; m must be > 1.
+  static BigInt mod_pow(const BigInt& base, const BigInt& exp, const BigInt& m);
+
+  /// Greatest common divisor.
+  static BigInt gcd(BigInt a, BigInt b);
+
+  /// Modular inverse of a mod m; returns 0 if gcd(a, m) != 1.
+  static BigInt mod_inverse(const BigInt& a, const BigInt& m);
+
+ private:
+  void trim();
+  static void divmod(const BigInt& num, const BigInt& den, BigInt& quot,
+                     BigInt& rem);
+
+  std::vector<std::uint32_t> limbs_;  // little-endian; empty == 0
+};
+
+}  // namespace chainchaos::crypto

@@ -1,0 +1,126 @@
+// Small-key RSA signatures over SHA-256 digests.
+//
+// This is the signature substrate for the synthetic Web PKI. Keys are
+// deliberately small (default 512-bit modulus) so that generating and
+// signing hundreds of thousands of certificates stays fast; signatures
+// remain *genuinely verifiable*, which matters because the paper's
+// issuance predicate ("A issued B") includes a real signature check.
+// Nothing here is intended to protect production traffic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "crypto/bigint.hpp"
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+
+namespace chainchaos::crypto {
+
+/// Miller–Rabin probabilistic primality test (deterministic witnesses for
+/// 64-bit inputs, random witnesses above). `rounds` only applies above.
+bool is_probable_prime(const BigInt& n, Rng& rng, int rounds = 24);
+
+/// Searches for a prime of exactly `bits` bits.
+BigInt generate_prime(Rng& rng, int bits);
+
+/// RSA public key: (n, e).
+struct RsaPublicKey {
+  BigInt n;
+  BigInt e;
+
+  /// Modulus size in whole bytes (signature width).
+  std::size_t modulus_bytes() const {
+    return static_cast<std::size_t>((n.bit_length() + 7) / 8);
+  }
+
+  /// Canonical encoding used inside SubjectPublicKeyInfo and for
+  /// key-identifier derivation: DER-ish SEQUENCE of two INTEGERs is
+  /// handled at the asn1 layer; this returns n||e big-endian bytes.
+  Bytes fingerprint_material() const;
+
+  bool operator==(const RsaPublicKey& o) const {
+    return n == o.n && e == o.e;
+  }
+};
+
+/// RSA private key. Carries the CRT components (p, q, dp, dq, qinv) so
+/// signing runs two half-width exponentiations (~4x faster than a plain
+/// d-exponentiation); falls back to d when CRT parts are absent.
+struct RsaPrivateKey {
+  BigInt n;
+  BigInt e;
+  BigInt d;
+  BigInt p;
+  BigInt q;
+  BigInt dp;    ///< d mod (p-1)
+  BigInt dq;    ///< d mod (q-1)
+  BigInt qinv;  ///< q^-1 mod p
+
+  bool has_crt() const { return !p.is_zero() && !q.is_zero(); }
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  RsaPrivateKey priv;
+};
+
+/// Generates an RSA keypair with a modulus of `modulus_bits` (must be
+/// even, >= 128). e = 65537. Deterministic given the Rng state.
+RsaKeyPair generate_keypair(Rng& rng, int modulus_bits = 512);
+
+/// Signs SHA-256(message) with PKCS#1-v1.5-style padding sized to the
+/// modulus. Returns a signature of exactly modulus_bytes() bytes.
+Bytes rsa_sign(const RsaPrivateKey& key, BytesView message);
+
+/// Verifies a signature produced by rsa_sign.
+bool rsa_verify(const RsaPublicKey& key, BytesView message, BytesView signature);
+
+/// Process-wide pool of deterministically generated keypairs.
+///
+/// Generating RSA primes is by far the most expensive operation in the
+/// simulator, and the corpus only needs a bounded set of *distinct*
+/// signing identities (CAs and self-signing leaves). The pool generates
+/// each keypair once from a fixed seed and hands out stable references
+/// (storage is a deque: references survive pool growth).
+///
+/// Because the sequence is a pure function of the fixed seed, generated
+/// keys are also cached on disk (CHAINCHAOS_KEY_CACHE overrides the
+/// path; set it to "off" to disable) so repeated processes skip the
+/// prime search entirely.
+class KeyPool {
+ public:
+  /// Shared pool (lazily grown, thread-compatible single-threaded use).
+  static KeyPool& instance();
+
+  /// Returns keypair #index, generating up to that point if needed.
+  const RsaKeyPair& at(std::size_t index);
+
+  /// Stable keypair for a named identity. Every distinct name gets a
+  /// distinct keypair — use for CAs and any other *signing* identity
+  /// whose key identifier must not collide.
+  const RsaKeyPair& for_name(std::string_view name);
+
+  /// Stable keypair for a leaf subject, folded onto a small slot pool.
+  /// Leaf keys are only *content* (SPKI/SKID); slot sharing between
+  /// unrelated leaves is harmless and avoids a fresh prime search per
+  /// synthetic domain (the dominant corpus-generation cost otherwise).
+  const RsaKeyPair& leaf_slot(std::string_view name);
+
+  std::size_t generated_count() const { return keys_.size(); }
+
+ private:
+  KeyPool();
+  void load_cache();
+  void append_to_cache(const RsaKeyPair& pair);
+
+  std::deque<RsaKeyPair> keys_;
+  std::map<std::string, std::size_t, std::less<>> named_;
+  Rng rng_;
+  std::string cache_path_;  ///< empty: caching disabled
+  std::size_t cached_loaded_ = 0;
+};
+
+}  // namespace chainchaos::crypto

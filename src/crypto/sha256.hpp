@@ -1,0 +1,46 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for certificate fingerprints, TBS digests under RSA signatures,
+// and key-identifier derivation (SKID = SHA-256 of the public key, the
+// modern profile of RFC 5280 §4.2.1.2 method (1)).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/bytes.hpp"
+
+namespace chainchaos::crypto {
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+
+  Sha256();
+
+  /// Absorbs more input. May be called any number of times.
+  void update(BytesView data);
+
+  /// Finalizes and returns the 32-byte digest. The context must not be
+  /// updated afterwards.
+  std::array<std::uint8_t, kDigestSize> finish();
+
+  /// One-shot convenience.
+  static Bytes digest(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bits_ = 0;
+  bool finished_ = false;
+};
+
+/// HMAC-SHA256 (RFC 2104); used by the deterministic nonce derivation in
+/// key generation so keys are a pure function of the seed.
+Bytes hmac_sha256(BytesView key, BytesView message);
+
+}  // namespace chainchaos::crypto

@@ -1,0 +1,91 @@
+#include "dataset/config.hpp"
+
+namespace chainchaos::dataset {
+
+namespace {
+
+/// Builds a CaCalibration from the raw Table 11 counts.
+CaCalibration from_counts(std::string name, double total_domains,
+                          double population, double dup, double irrel,
+                          double multi, double rev, double incomp) {
+  CaCalibration c;
+  c.name = std::move(name);
+  c.share = total_domains / population;
+  c.duplicate_rate = dup / total_domains;
+  c.irrelevant_rate = irrel / total_domains;
+  c.multiple_paths_rate = multi / total_domains;
+  c.reversed_rate = rev / total_domains;
+  c.incomplete_rate = incomp / total_domains;
+  return c;
+}
+
+}  // namespace
+
+std::vector<CaCalibration> CorpusConfig::default_ca_calibration() {
+  // Raw counts from Table 11; population is the paper's corpus size.
+  constexpr double kPopulation = 906336.0;
+  std::vector<CaCalibration> cas;
+  cas.push_back(from_counts("Let's Encrypt", 400737, kPopulation, 3259, 400,
+                            51, 81, 1155));
+  cas.push_back(from_counts("Digicert", 60894, kPopulation, 771, 726, 6, 1736,
+                            2245));
+  cas.push_back(from_counts("Sectigo Limited", 48042, kPopulation, 639, 496,
+                            134, 2537, 1998));
+  cas.push_back(from_counts("ZeroSSL", 8219, kPopulation, 86, 35, 0, 2, 120));
+  cas.push_back(from_counts("GoGetSSL", 1617, kPopulation, 41, 34, 7, 125,
+                            112));
+  cas.push_back(from_counts("TAIWAN-CA", 492, kPopulation, 7, 8, 0, 47, 206));
+  cas.push_back(from_counts("cyber_Folks S.A.", 142, kPopulation, 3, 8, 0, 86,
+                            8));
+  cas.push_back(from_counts("Trustico", 108, kPopulation, 1, 1, 0, 67, 4));
+  // Remainder bucket: everything not attributed to the 8 named issuers,
+  // sized so the overall Table 5/7 marginals land on the paper's totals.
+  const double named_population = 400737 + 60894 + 48042 + 8219 + 1617 + 492 +
+                                  142 + 108;
+  const double other_population = kPopulation - named_population;
+  cas.push_back(from_counts("Other CAs", other_population, kPopulation,
+                            5974 - 4807, 3032 - 1708, 246 - 198, 8566 - 4681,
+                            12087 - 5848));
+  return cas;
+}
+
+namespace {
+
+ServerMix normalized(ServerMix mix) {
+  double total = 0;
+  for (double w : mix) total += w;
+  for (double& w : mix) w /= total;
+  return mix;
+}
+
+}  // namespace
+
+// Columns: Apache, Nginx, Azure, Cloudflare, IIS, AWS ELB, Other.
+ServerMix CorpusConfig::server_mix_compliant() {
+  // Not reported by the paper (it only tabulates non-compliant chains);
+  // approximates the web's overall server shares.
+  return normalized({25, 31, 2, 22, 3, 3, 14});
+}
+ServerMix CorpusConfig::server_mix_duplicates() {
+  return normalized({56.1, 22.6, 0.2, 3.4, 1.9, 5.6, 10.2});
+}
+ServerMix CorpusConfig::server_mix_irrelevant() {
+  return normalized({53.0, 32.8, 0.9, 3.4, 1.5, 1.4, 7.0});
+}
+ServerMix CorpusConfig::server_mix_multiple_paths() {
+  return normalized({32.5, 50.4, 0.0, 2.6, 2.6, 0.9, 11.1});
+}
+ServerMix CorpusConfig::server_mix_reversed() {
+  return normalized({23.1, 38.2, 14.2, 3.2, 4.0, 2.6, 14.5});
+}
+ServerMix CorpusConfig::server_mix_incomplete() {
+  return normalized({39.6, 40.4, 2.2, 3.0, 3.0, 1.8, 10.1});
+}
+
+const std::vector<std::string>& CorpusConfig::server_names() {
+  static const std::vector<std::string> names = {
+      "Apache", "Nginx", "Azure", "cloudflare", "IIS", "AWS ELB", "Other"};
+  return names;
+}
+
+}  // namespace chainchaos::dataset

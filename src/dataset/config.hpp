@@ -1,0 +1,92 @@
+// Corpus calibration: every rate the synthetic Tranco-like corpus is
+// tuned to, with defaults taken verbatim from the paper's measurements.
+//
+// The generator consumes these as *target marginals*; the bench binaries
+// then re-measure the generated corpus with the real analyzers, so the
+// reproduced tables reflect what the analysis pipeline actually computes
+// (injection bugs would show up as paper-vs-measured gaps in
+// EXPERIMENTS.md, not silently).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chainchaos::dataset {
+
+/// Per-CA calibration row (paper Table 11). Rates are fractions of that
+/// CA's domains exhibiting each *primary* defect.
+struct CaCalibration {
+  std::string name;
+  double share;  ///< fraction of all domains issued by this CA
+
+  double duplicate_rate;
+  double irrelevant_rate;
+  double multiple_paths_rate;
+  double reversed_rate;
+  double incomplete_rate;
+};
+
+/// Server-software distribution conditioned on a defect class (paper
+/// Table 10 row, normalised). Order: Apache, Nginx, Azure, Cloudflare,
+/// IIS, AWS ELB, Other.
+using ServerMix = std::vector<double>;
+
+struct CorpusConfig {
+  std::uint64_t seed = 833;       ///< default honours the Tranco list id
+  std::size_t domain_count = 20000;
+
+  /// Include the paper's named case studies (mot.gov.ps, ns3.link,
+  /// webcanny.com, archives.gov.tw, assiste6.serpro.gov.br, moex.gov.tw,
+  /// the CAcert AIA self-reference) as deterministic exemplar domains.
+  bool include_exemplars = true;
+
+  // --- Table 3: leaf placement ------------------------------------------
+  double leaf_correct_mismatched_rate = 0.069;
+  double leaf_other_rate = 0.006;
+
+  // --- Table 7: completeness --------------------------------------------
+  /// Among complete chains: fraction that include the root certificate.
+  double root_included_rate = 0.087 / (0.087 + 0.899);
+
+  // --- §4.3: incomplete-chain AIA repair sub-modes ------------------------
+  double incomplete_missing_one_rate = 0.722;  ///< single missing cert
+  double incomplete_no_aia_rate = 579.0 / 12087.0;
+  double incomplete_unreachable_rate = 88.0 / 12087.0;
+  /// Fraction of incomplete chains drawn from "rare" hierarchies whose
+  /// intermediates never appear in compliant chains — these defeat
+  /// Firefox's intermediate cache (finding I-4's browser side).
+  double incomplete_rare_hierarchy_rate = 1074.0 / 8553.0;
+
+  // --- Table 5: duplicate sub-types (exclusive shares) --------------------
+  double duplicate_leaf_share = 4730.0 / 6485.0;
+  double duplicate_intermediate_share = 1354.0 / 6485.0;
+  double duplicate_root_share = 401.0 / 6485.0;
+
+  // --- §4.2: irrelevant sub-types ------------------------------------------
+  double irrelevant_root_share = 225.0 / 3032.0;
+  double irrelevant_stale_leaves_share = 444.0 / 3032.0;
+  double irrelevant_other_chain_share = 840.0 / 3032.0;
+  // remainder: generic unrelated intermediates
+
+  // --- §4.2: reversed sub-types ---------------------------------------------
+  /// Reversed chains that came from a multi-path (cross-signed) layout.
+  double reversed_multipath_share = (8566.0 - 8365.0) / 8566.0;
+
+  /// Per-CA calibration (Table 11 + an "Other CAs" remainder bucket).
+  std::vector<CaCalibration> cas = default_ca_calibration();
+
+  static std::vector<CaCalibration> default_ca_calibration();
+
+  /// Table 10 server mixes per defect class.
+  static ServerMix server_mix_compliant();
+  static ServerMix server_mix_duplicates();
+  static ServerMix server_mix_irrelevant();
+  static ServerMix server_mix_multiple_paths();
+  static ServerMix server_mix_reversed();
+  static ServerMix server_mix_incomplete();
+
+  static const std::vector<std::string>& server_names();
+};
+
+}  // namespace chainchaos::dataset

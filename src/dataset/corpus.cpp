@@ -1,0 +1,454 @@
+#include "dataset/corpus.hpp"
+
+#include <cassert>
+
+#include "x509/builder.hpp"
+
+namespace chainchaos::dataset {
+
+std::string synth_domain(Rng& rng, std::size_t index,
+                         const std::string& ca_name) {
+  static const char* kSyllables[] = {
+      "ar", "bel", "cor", "dan", "el",  "fin", "gor", "han", "ir",
+      "jo", "kal", "lum", "mar", "nor", "ol",  "pra", "qu",  "ros",
+      "sol", "tur", "ul", "vor", "win", "xen", "yar", "zel"};
+  constexpr std::size_t kCount = sizeof(kSyllables) / sizeof(kSyllables[0]);
+  std::string word;
+  for (int i = 0; i < 3; ++i) word += kSyllables[rng.below(kCount)];
+  if (ca_name == "TAIWAN-CA") {
+    return word + std::to_string(index) + ".gov.tw";
+  }
+  static const char* kTlds[] = {"com", "net", "org", "io"};
+  return word + std::to_string(index) + "." + kTlds[rng.below(4)];
+}
+
+Corpus::Corpus(CorpusConfig config)
+    : config_(std::move(config)),
+      aia_(std::make_unique<net::AiaRepository>()),
+      zoo_(std::make_unique<CaZoo>(aia_.get())) {
+  stores_ = truststore::make_program_stores(zoo_->core_roots(),
+                                            zoo_->exclusive_roots());
+  records_.reserve(config_.domain_count + 32);
+  generate_statistical_records();
+  if (config_.include_exemplars) append_exemplars();
+}
+
+const DomainRecord* Corpus::exemplar(const std::string& name) const {
+  for (const DomainRecord& record : records_) {
+    if (record.exemplar && record.exemplar_name == name) return &record;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Primary-defect categories in the per-CA calibration.
+enum class Category {
+  kNone,
+  kDuplicate,
+  kIrrelevant,
+  kMultiplePaths,
+  kReversed,
+  kIncomplete
+};
+
+Category draw_category(Rng& rng, const CaCalibration& ca) {
+  double draw = rng.unit();
+  const auto take = [&draw](double rate) {
+    if (draw < rate) return true;
+    draw -= rate;
+    return false;
+  };
+  if (take(ca.duplicate_rate)) return Category::kDuplicate;
+  if (take(ca.irrelevant_rate)) return Category::kIrrelevant;
+  if (take(ca.multiple_paths_rate)) return Category::kMultiplePaths;
+  if (take(ca.reversed_rate)) return Category::kReversed;
+  if (take(ca.incomplete_rate)) return Category::kIncomplete;
+  return Category::kNone;
+}
+
+const ServerMix& mix_for(Category category) {
+  static const ServerMix kCompliant = CorpusConfig::server_mix_compliant();
+  static const ServerMix kDup = CorpusConfig::server_mix_duplicates();
+  static const ServerMix kIrrel = CorpusConfig::server_mix_irrelevant();
+  static const ServerMix kMulti = CorpusConfig::server_mix_multiple_paths();
+  static const ServerMix kRev = CorpusConfig::server_mix_reversed();
+  static const ServerMix kIncomp = CorpusConfig::server_mix_incomplete();
+  switch (category) {
+    case Category::kDuplicate: return kDup;
+    case Category::kIrrelevant: return kIrrel;
+    case Category::kMultiplePaths: return kMulti;
+    case Category::kReversed: return kRev;
+    case Category::kIncomplete: return kIncomp;
+    case Category::kNone: break;
+  }
+  return kCompliant;
+}
+
+}  // namespace
+
+void Corpus::generate_statistical_records() {
+  Rng master(config_.seed);
+
+  std::vector<double> ca_weights;
+  for (const CaCalibration& ca : config_.cas) ca_weights.push_back(ca.share);
+
+  for (std::size_t i = 0; i < config_.domain_count; ++i) {
+    Rng rng = master.fork(i);
+    DomainRecord record;
+
+    // --- Table 3 leaf-placement draws ------------------------------------
+    const double leaf_draw = rng.unit();
+    const bool leaf_other = leaf_draw < config_.leaf_other_rate;
+    const bool leaf_mismatched =
+        !leaf_other &&
+        leaf_draw < config_.leaf_other_rate + config_.leaf_correct_mismatched_rate;
+
+    if (leaf_other) {
+      // A lone self-signed test certificate; no CA involved.
+      record.leaf_defect = DefectType::kLeafOther;
+      record.observation.domain = synth_domain(rng, i, "");
+      record.observation.certificates = make_other_leaf_chain(rng);
+      record.observation.ca_name = "(self-signed)";
+      record.observation.server_software =
+          CorpusConfig::server_names()[rng.weighted(mix_for(Category::kNone))];
+      records_.push_back(std::move(record));
+      continue;
+    }
+
+    // --- CA + primary defect -----------------------------------------------
+    const CaCalibration& ca = config_.cas[rng.weighted(ca_weights)];
+    const Category category = draw_category(rng, ca);
+    record.observation.ca_name = ca.name;
+    record.observation.domain = synth_domain(rng, i, ca.name);
+    record.observation.server_software =
+        CorpusConfig::server_names()[rng.weighted(mix_for(category))];
+
+    const bool rare =
+        category == Category::kIncomplete &&
+        rng.chance(config_.incomplete_rare_hierarchy_rate);
+    record.rare_hierarchy = rare;
+    const ca::CaHierarchy& hierarchy =
+        rare ? zoo_->rare_hierarchy(i) : zoo_->hierarchy_for(ca.name, i);
+
+    // --- base chain -----------------------------------------------------------
+    const std::string leaf_host =
+        leaf_mismatched ? "shared" + std::to_string(rng.below(500)) +
+                              ".webhosting.example"
+                        : record.observation.domain;
+    if (leaf_mismatched) record.leaf_defect = DefectType::kLeafMismatched;
+
+    x509::CertPtr leaf = hierarchy.issue_leaf(leaf_host);
+    Chain chain = hierarchy.compliant_chain(leaf);
+    record.root_included = rng.chance(config_.root_included_rate);
+    if (record.root_included) chain.push_back(hierarchy.root());
+
+    // --- inject the drawn defect ---------------------------------------------
+    switch (category) {
+      case Category::kNone:
+        record.primary_defect = DefectType::kNone;
+        break;
+
+      case Category::kDuplicate: {
+        const double sub = rng.unit();
+        if (sub < config_.duplicate_leaf_share) {
+          record.primary_defect = DefectType::kDuplicateLeaf;
+          chain = inject_duplicate_leaf(std::move(chain));
+        } else if (sub < config_.duplicate_leaf_share +
+                             config_.duplicate_intermediate_share) {
+          record.primary_defect = DefectType::kDuplicateIntermediate;
+          chain = inject_duplicate_intermediate(std::move(chain), rng);
+        } else {
+          record.primary_defect = DefectType::kDuplicateRoot;
+          chain = inject_duplicate_root(std::move(chain), hierarchy);
+          record.root_included = true;
+        }
+        break;
+      }
+
+      case Category::kIrrelevant: {
+        const double sub = rng.unit();
+        if (sub < config_.irrelevant_root_share) {
+          record.primary_defect = DefectType::kIrrelevantRoot;
+          chain = inject_irrelevant_root(std::move(chain), zoo_->aaa_root());
+        } else if (sub < config_.irrelevant_root_share +
+                             config_.irrelevant_stale_leaves_share) {
+          record.primary_defect = DefectType::kStaleLeaves;
+          chain = inject_stale_leaves(std::move(chain), hierarchy, leaf_host,
+                                      1 + static_cast<int>(rng.below(4)));
+        } else if (sub < config_.irrelevant_root_share +
+                             config_.irrelevant_stale_leaves_share +
+                             config_.irrelevant_other_chain_share) {
+          record.primary_defect = DefectType::kIrrelevantOtherChain;
+          chain = inject_other_chain(std::move(chain),
+                                     zoo_->hierarchy_for("", i + 1));
+        } else {
+          record.primary_defect = DefectType::kIrrelevantIntermediate;
+          chain = inject_irrelevant_intermediate(std::move(chain),
+                                                 zoo_->hierarchy_for("", i + 3));
+        }
+        break;
+      }
+
+      case Category::kMultiplePaths: {
+        if (rng.chance(1.0 - 5.0 / 246.0)) {
+          record.primary_defect = DefectType::kMultiplePathsCrossSign;
+          chain = inject_cross_sign_multipath(leaf_host, *zoo_, hierarchy);
+        } else {
+          record.primary_defect = DefectType::kMultiplePathsTwinValidity;
+          chain = inject_twin_validity_multipath(leaf_host, *zoo_, hierarchy);
+        }
+        record.root_included = false;
+        break;
+      }
+
+      case Category::kReversed:
+        record.primary_defect = DefectType::kReversedSequence;
+        chain = inject_reversed(std::move(chain), hierarchy);
+        break;
+
+      case Category::kIncomplete: {
+        const double sub = rng.unit();
+        if (sub < config_.incomplete_no_aia_rate) {
+          record.primary_defect = DefectType::kMissingIntermediateNoAia;
+          chain = make_missing_no_aia(leaf_host, hierarchy);
+          record.missing_count = 1;
+        } else if (sub < config_.incomplete_no_aia_rate +
+                             config_.incomplete_unreachable_rate) {
+          record.primary_defect = DefectType::kMissingIntermediateDeadAia;
+          chain = make_missing_dead_aia(leaf_host, hierarchy, *aia_);
+          record.missing_count = 1;
+        } else {
+          record.primary_defect = DefectType::kMissingIntermediate;
+          const int depth = static_cast<int>(hierarchy.intermediates().size());
+          const int how_many =
+              (depth >= 2 && !rng.chance(config_.incomplete_missing_one_rate))
+                  ? 2
+                  : 1;
+          record.missing_count = how_many;
+          chain = inject_missing_intermediate(std::move(chain), how_many);
+        }
+        record.root_included = false;
+        break;
+      }
+    }
+
+    // --- Table 8 sensitivity: AKID-less terminal intermediates -------------
+    // Applies to compliant root-omitted chains: the terminal (top)
+    // intermediate is swapped for a variant without an AKID, defeating
+    // the paper's AKID-only store probe when AIA is off.
+    if (category == Category::kNone && !record.root_included &&
+        !leaf_mismatched && rng.chance(225608.0 / 906336.0)) {
+      record.akidless_terminal = true;
+      chain.back() = zoo_->akidless_top_intermediate(hierarchy);
+    }
+
+    record.observation.certificates = std::move(chain);
+    records_.push_back(std::move(record));
+  }
+
+  // Table 8's with-AIA store deltas: a handful of domains chain to
+  // program-exclusive roots and carry no AIA material at all, so clients
+  // whose store lacks the root cannot complete them. Counts scale from
+  // the paper's 66 (missing for Mozilla/Chrome) and 5 (for
+  // Microsoft/Apple) per 906,336 domains.
+  const double scale =
+      static_cast<double>(config_.domain_count) / 906336.0;
+  const auto add_exclusive = [this](const ca::CaHierarchy& hierarchy,
+                                    std::size_t count, const char* tag) {
+    Rng rng(config_.seed ^ Rng::hash(tag));
+    for (std::size_t i = 0; i < count; ++i) {
+      DomainRecord record;
+      record.exclusive_store_domain = true;
+      record.observation.ca_name = "Other CAs";
+      record.observation.server_software = "Other";
+      record.observation.domain =
+          std::string(tag) + std::to_string(i) + ".example.net";
+      x509::CertPtr leaf =
+          hierarchy.issue_leaf(record.observation.domain);
+      record.observation.certificates = hierarchy.compliant_chain(leaf);
+      records_.push_back(std::move(record));
+    }
+    (void)rng;
+  };
+  if (config_.domain_count > 0) {
+    add_exclusive(zoo_->ms_apple_exclusive(),
+                  std::max<std::size_t>(
+                      1, static_cast<std::size_t>(66.0 * scale + 0.5)),
+                  "msapple-only");
+    add_exclusive(zoo_->moz_chrome_exclusive(),
+                  static_cast<std::size_t>(5.0 * scale + 0.5), "mozchrome-only");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exemplars: the paper's named case studies, reconstructed.
+// ---------------------------------------------------------------------------
+
+void Corpus::append_exemplars() {
+  const auto push = [this](std::string name, std::string ca, std::string server,
+                           Chain chain, DefectType defect) {
+    DomainRecord record;
+    record.exemplar = true;
+    record.exemplar_name = name;
+    record.primary_defect = defect;
+    record.observation.domain = std::move(name);
+    record.observation.ca_name = std::move(ca);
+    record.observation.server_software = std::move(server);
+    record.observation.certificates = std::move(chain);
+    records_.push_back(std::move(record));
+  };
+
+  // mot.gov.ps — the single "incorrectly placed and mismatched" domain:
+  // a Sophos appliance certificate first, its self-signed issuer (with a
+  // domain-shaped CN) second.
+  {
+    const crypto::RsaKeyPair& appliance_keys =
+        crypto::KeyPool::instance().for_name("mot-appliance");
+    x509::CertificateBuilder issuer_builder;
+    issuer_builder.subject(asn1::Name::make("www.mot.gov.ps"))
+        .as_ca()
+        .public_key(appliance_keys.pub)
+        .validity(1700000000, 1900000000);
+    x509::CertPtr issuer = issuer_builder.self_sign(appliance_keys);
+
+    x509::SigningIdentity issuer_id;
+    issuer_id.name = issuer->subject;
+    issuer_id.keys = appliance_keys;
+    x509::CertificateBuilder leaf_builder;
+    leaf_builder.subject(asn1::Name::make("SophosApplianceCertificate_ss1142"))
+        .validity(1700000000, 1900000000);
+    x509::CertPtr leaf = leaf_builder.sign(issuer_id);
+    push("mot.gov.ps", "(self-signed)", "Other", {leaf, issuer},
+         DefectType::kLeafOther);
+  }
+
+  // ns3.link family — leaf + the two Let's Encrypt intermediates... then
+  // those two intermediates duplicated up to a 29-certificate list.
+  {
+    const ca::CaHierarchy& le = zoo_->hierarchy_for("Let's Encrypt", 0);
+    for (const char* domain : {"ns3.link", "ns3.com", "ns3.cx", "n0.eu"}) {
+      Chain chain;
+      chain.push_back(le.issue_leaf(domain));
+      const x509::CertPtr& r3 = le.intermediates().back();
+      const x509::CertPtr& isrg = le.root();
+      for (int rep = 0; rep < 14; ++rep) {
+        chain.push_back(r3);
+        chain.push_back(isrg);
+      }  // 1 + 28 = 29 certificates
+      push(domain, "Let's Encrypt", "Apache", std::move(chain),
+           DefectType::kDuplicateIntermediate);
+    }
+  }
+
+  // webcanny.com — five same-CA leaves, newest first, then the chain.
+  {
+    const ca::CaHierarchy& sectigo = zoo_->hierarchy_for("Sectigo Limited", 0);
+    Chain chain = sectigo.compliant_chain(sectigo.issue_leaf("webcanny.com"));
+    chain = inject_stale_leaves(std::move(chain), sectigo, "webcanny.com", 4);
+    push("webcanny.com", "Sectigo Limited", "Apache", std::move(chain),
+         DefectType::kStaleLeaves);
+  }
+
+  // archives.gov.tw — a complete primary chain plus another operator
+  // chain (TWCA-like) appended wholesale.
+  {
+    const ca::CaHierarchy& taiwan = zoo_->hierarchy_for("TAIWAN-CA", 0);
+    Chain chain = taiwan.compliant_chain(taiwan.issue_leaf("archives.gov.tw"));
+    chain.push_back(taiwan.root());
+    chain = inject_other_chain(std::move(chain), zoo_->hierarchy_for("", 2));
+    push("archives.gov.tw", "TAIWAN-CA", "Apache", std::move(chain),
+         DefectType::kIrrelevantOtherChain);
+  }
+
+  // assiste6.serpro.gov.br (Figure 3) — a 17-certificate list whose only
+  // valid path is 8 -> 1 -> 16 -> 0; GnuTLS's input cap of 16 rejects it.
+  {
+    const ca::CaHierarchy& serpro =
+        zoo_->hierarchy_for("", 4);  // an anonymous depth>=2 hierarchy
+    assert(serpro.intermediates().size() >= 2);
+    x509::CertPtr leaf = serpro.issue_leaf("assiste6.serpro.gov.br");
+    Chain chain(17);
+    chain[0] = leaf;
+    chain[1] = serpro.intermediates().front();   // tier-1 (issued by root)
+    chain[8] = serpro.root();
+    chain[16] = serpro.intermediates().back();   // issuing intermediate
+    // Fill the rest with unrelated intermediates and their duplicates.
+    std::size_t fill = 0;
+    for (std::size_t pos = 0; pos < chain.size(); ++pos) {
+      if (chain[pos]) continue;
+      const ca::CaHierarchy& junk = zoo_->rare_hierarchy(fill % 3);
+      chain[pos] = fill % 2 == 0 ? junk.intermediates().back() : junk.root();
+      ++fill;
+    }
+    push("assiste6.serpro.gov.br", "Other CAs", "Nginx", std::move(chain),
+         DefectType::kIrrelevantIntermediate);
+  }
+
+  // moex.gov.tw (Figure 4) — three candidate paths; node 1 is an
+  // untrusted root that non-backtracking clients commit to.
+  {
+    const x509::SigningIdentity& old_root_id = zoo_->untrusted_gov_identity();
+    const ca::CaHierarchy& taiwan = zoo_->hierarchy_for("TAIWAN-CA", 0);
+
+    // M': the serving intermediate, issued by the *old* (untrusted) root.
+    x509::SigningIdentity moex_ca = x509::make_identity(
+        asn1::Name::make("MOEX Issuing CA", "MOEX-like", "TW"));
+    x509::CertificateBuilder m_builder;
+    m_builder.subject(moex_ca.name)
+        .as_ca(0)
+        .public_key(moex_ca.keys.pub)
+        .validity(1700000000, 1900000000);
+    x509::CertPtr m_prime = m_builder.sign(old_root_id);
+
+    // X_old: cross of the old root, signed by the trusted TAIWAN-CA root
+    // — deliberately *older* than the old root itself so VP2 clients try
+    // the untrusted root first and must backtrack.
+    x509::SigningIdentity taiwan_root_id =
+        x509::make_identity(taiwan.root()->subject);
+    x509::CertificateBuilder x_builder;
+    x_builder.subject(old_root_id.name)
+        .as_ca(1)
+        .public_key(old_root_id.keys.pub)
+        .validity(1650000000, 1900000000);
+    x509::CertPtr x_old = x_builder.sign(taiwan_root_id);
+
+    x509::CertificateBuilder leaf_builder;
+    leaf_builder.as_leaf("moex.gov.tw").validity(1700000000, 1900000000);
+    x509::CertPtr leaf = leaf_builder.sign(moex_ca);
+
+    Chain chain = {leaf, zoo_->untrusted_gov_root(), m_prime, x_old,
+                   taiwan.root()};
+    push("moex.gov.tw", "TAIWAN-CA", "Apache", std::move(chain),
+         DefectType::kMultiplePathsCrossSign);
+  }
+
+  // CAcert class-3 analogue — the one chain whose AIA URI serves the
+  // certificate itself instead of its issuer.
+  {
+    x509::SigningIdentity cacert_root_id = x509::make_identity(
+        asn1::Name::make("CA Cert Signing Authority", "CAcert-like", "AU"));
+    // Root deliberately NOT in any program store.
+    x509::SigningIdentity class3 = x509::make_identity(
+        asn1::Name::make("CAcert Class 3 Root", "CAcert-like", "AU"));
+    const std::string self_uri = "http://www.cacert-like.example/class3.crt";
+    x509::CertificateBuilder class3_builder;
+    class3_builder.subject(class3.name)
+        .as_ca(0)
+        .public_key(class3.keys.pub)
+        .validity(1600000000, 1950000000)
+        .aia_ca_issuers(self_uri);
+    x509::CertPtr class3_cert = class3_builder.sign(cacert_root_id);
+    aia_->publish(self_uri, class3_cert);  // serves *itself*
+
+    x509::CertificateBuilder leaf_builder;
+    leaf_builder.as_leaf("community.cacert-like.example")
+        .validity(1700000000, 1900000000)
+        .aia_ca_issuers(self_uri);  // resolves to class3, then loops
+    x509::CertPtr leaf = leaf_builder.sign(class3);
+    push("community.cacert-like.example", "Other CAs", "Other",
+         {leaf, class3_cert}, DefectType::kMissingIntermediate);
+  }
+}
+
+}  // namespace chainchaos::dataset

@@ -1,0 +1,75 @@
+// Corpus: the synthetic Tranco-like measurement dataset.
+//
+// Substitutes for the paper's live TLS scans (see DESIGN.md §2): a
+// deterministic population of domains whose chains carry the calibrated
+// defect mix of CorpusConfig, plus the paper's named case-study domains
+// as exemplars. The corpus owns the shared infrastructure every analysis
+// needs — the AIA repository, the four program root stores, the CA zoo —
+// so benches and tests construct exactly one object.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chain/analyzer.hpp"
+#include "dataset/config.hpp"
+#include "dataset/defects.hpp"
+#include "dataset/zoo.hpp"
+#include "net/aia_repository.hpp"
+#include "truststore/root_store.hpp"
+
+namespace chainchaos::dataset {
+
+struct DomainRecord {
+  chain::ChainObservation observation;
+
+  // Ground-truth generation labels (what was injected). The analyzers
+  // never see these; tests compare analyzer output against them.
+  DefectType primary_defect = DefectType::kNone;
+  DefectType leaf_defect = DefectType::kNone;
+  bool root_included = false;
+  bool rare_hierarchy = false;      ///< cache-defeating incomplete chain
+  bool akidless_terminal = false;   ///< Table 8 no-AIA sensitivity
+  bool exclusive_store_domain = false;  ///< Table 8 with-AIA sensitivity
+  int missing_count = 0;            ///< for missing-intermediate defects
+  bool exemplar = false;
+  std::string exemplar_name;        ///< e.g. "moex.gov.tw"
+};
+
+class Corpus {
+ public:
+  explicit Corpus(CorpusConfig config);
+
+  Corpus(const Corpus&) = delete;
+  Corpus& operator=(const Corpus&) = delete;
+
+  const CorpusConfig& config() const { return config_; }
+  const std::vector<DomainRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  net::AiaRepository& aia() { return *aia_; }
+  const truststore::ProgramStores& stores() const { return stores_; }
+  CaZoo& zoo() { return *zoo_; }
+  const CaZoo& zoo() const { return *zoo_; }
+
+  /// Finds an exemplar by its case-study name; nullptr if absent.
+  const DomainRecord* exemplar(const std::string& name) const;
+
+ private:
+  void generate_statistical_records();
+  void append_exemplars();
+
+  CorpusConfig config_;
+  std::unique_ptr<net::AiaRepository> aia_;
+  std::unique_ptr<CaZoo> zoo_;
+  truststore::ProgramStores stores_;
+  std::vector<DomainRecord> records_;
+};
+
+/// Deterministic pseudo-word domain for index i; TAIWAN-CA customers get
+/// .gov.tw names (the population the paper's I-1/I-3 findings live in).
+std::string synth_domain(Rng& rng, std::size_t index,
+                         const std::string& ca_name);
+
+}  // namespace chainchaos::dataset

@@ -1,0 +1,236 @@
+#include "dataset/defects.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "x509/builder.hpp"
+
+namespace chainchaos::dataset {
+
+const char* to_string(DefectType type) {
+  switch (type) {
+    case DefectType::kNone: return "none";
+    case DefectType::kDuplicateLeaf: return "duplicate leaf";
+    case DefectType::kDuplicateIntermediate: return "duplicate intermediate";
+    case DefectType::kDuplicateRoot: return "duplicate root";
+    case DefectType::kIrrelevantRoot: return "irrelevant root";
+    case DefectType::kStaleLeaves: return "stale leaves";
+    case DefectType::kIrrelevantOtherChain: return "irrelevant other chain";
+    case DefectType::kIrrelevantIntermediate: return "irrelevant intermediate";
+    case DefectType::kMultiplePathsCrossSign: return "multiple paths (cross-sign)";
+    case DefectType::kMultiplePathsTwinValidity: return "multiple paths (twin validity)";
+    case DefectType::kReversedSequence: return "reversed sequence";
+    case DefectType::kMissingIntermediate: return "missing intermediate";
+    case DefectType::kMissingIntermediateNoAia: return "missing intermediate (no AIA)";
+    case DefectType::kMissingIntermediateDeadAia: return "missing intermediate (dead AIA)";
+    case DefectType::kLeafMismatched: return "leaf mismatched";
+    case DefectType::kLeafOther: return "leaf other";
+  }
+  return "?";
+}
+
+bool is_order_defect(DefectType type) {
+  switch (type) {
+    case DefectType::kDuplicateLeaf:
+    case DefectType::kDuplicateIntermediate:
+    case DefectType::kDuplicateRoot:
+    case DefectType::kIrrelevantRoot:
+    case DefectType::kStaleLeaves:
+    case DefectType::kIrrelevantOtherChain:
+    case DefectType::kIrrelevantIntermediate:
+    case DefectType::kMultiplePathsCrossSign:
+    case DefectType::kMultiplePathsTwinValidity:
+    case DefectType::kReversedSequence:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_completeness_defect(DefectType type) {
+  switch (type) {
+    case DefectType::kMissingIntermediate:
+    case DefectType::kMissingIntermediateNoAia:
+    case DefectType::kMissingIntermediateDeadAia:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Chain inject_duplicate_leaf(Chain chain) {
+  assert(!chain.empty());
+  chain.insert(chain.begin() + 1, chain.front());
+  return chain;
+}
+
+Chain inject_duplicate_intermediate(Chain chain, Rng& rng) {
+  // Intermediates sit between the leaf and the (optional) root.
+  std::vector<std::size_t> intermediate_positions;
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    if (chain[i]->is_ca() && !chain[i]->is_self_signed()) {
+      intermediate_positions.push_back(i);
+    }
+  }
+  if (intermediate_positions.empty()) return chain;
+  const std::size_t victim =
+      intermediate_positions[rng.below(intermediate_positions.size())];
+  chain.push_back(chain[victim]);
+  return chain;
+}
+
+Chain inject_duplicate_root(Chain chain, const ca::CaHierarchy& hierarchy) {
+  const bool has_root =
+      !chain.empty() && chain.back()->is_self_signed();
+  if (!has_root) chain.push_back(hierarchy.root());
+  chain.push_back(chain.back());
+  return chain;
+}
+
+Chain inject_irrelevant_root(Chain chain, const x509::CertPtr& foreign_root) {
+  chain.push_back(foreign_root);
+  return chain;
+}
+
+Chain inject_stale_leaves(Chain chain, const ca::CaHierarchy& hierarchy,
+                          const std::string& domain, int count) {
+  assert(!chain.empty());
+  // Renewal leftovers: older, mostly expired copies, current first.
+  Chain out;
+  out.push_back(chain.front());
+  for (int i = 0; i < count; ++i) {
+    const std::int64_t year = 31557600;
+    const std::int64_t start = chain.front()->not_before - (i + 1) * year;
+    out.push_back(hierarchy.issue_leaf(domain, start, start + year / 4));
+  }
+  out.insert(out.end(), chain.begin() + 1, chain.end());
+  return out;
+}
+
+Chain inject_other_chain(Chain chain, const ca::CaHierarchy& other) {
+  // The other administrator's chain fragment: its intermediates plus root.
+  for (const x509::CertPtr& cert : other.intermediates()) {
+    chain.push_back(cert);
+  }
+  chain.push_back(other.root());
+  return chain;
+}
+
+Chain inject_irrelevant_intermediate(Chain chain,
+                                     const ca::CaHierarchy& other) {
+  chain.push_back(other.intermediates().back());
+  return chain;
+}
+
+Chain inject_cross_sign_multipath(const std::string& domain, CaZoo& zoo,
+                                  const ca::CaHierarchy& hierarchy) {
+  // Figure 2c layout: [leaf, intermediates..., CROSS(root by AAA), root].
+  // The cross certificate sits *before* the self-signed root it can
+  // certify (same subject+key), yielding two leaf paths and a reversed
+  // edge — reordering (cross after root) would make the list compliant.
+  Chain chain = hierarchy.compliant_chain(hierarchy.issue_leaf(domain));
+  chain.push_back(zoo.cross_root_cert(hierarchy));  // cross: misplaced
+  chain.push_back(hierarchy.root());
+  return chain;
+}
+
+Chain inject_twin_validity_multipath(const std::string& domain, CaZoo& zoo,
+                                     const ca::CaHierarchy& hierarchy) {
+  Chain chain;
+  chain.push_back(hierarchy.issue_leaf(domain));
+  chain.push_back(hierarchy.intermediates().back());
+  chain.push_back(zoo.twin_intermediate(hierarchy));
+  return chain;
+}
+
+Chain inject_reversed(Chain chain, const ca::CaHierarchy& hierarchy) {
+  if (chain.size() == 2) {
+    // Single intermediate: the reversed resellers also ship the root in
+    // the bundle, so the reversed deployment is [leaf, root, issuing].
+    chain.push_back(hierarchy.root());
+  }
+  if (chain.size() > 2) {
+    std::reverse(chain.begin() + 1, chain.end());
+  }
+  return chain;
+}
+
+Chain inject_missing_intermediate(Chain chain, int how_many) {
+  // Remove the intermediates nearest the ROOT (the real-world pattern:
+  // admins deploy the leaf and its direct issuer but forget the upper
+  // tier, e.g. TAIWAN-CA's omitted "TWCA Global Root CA" link). Dropping
+  // from the top keeps the remaining certificates connected to the leaf,
+  // so the defect registers as *incomplete* rather than *irrelevant*.
+  Chain out;
+  out.push_back(chain.front());
+  std::vector<std::size_t> intermediate_positions;
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    if (chain[i]->is_ca() && !chain[i]->is_self_signed()) {
+      intermediate_positions.push_back(i);
+    }
+  }
+  // Intermediates are deployed leaf-side first; the last ones listed are
+  // nearest the root.
+  const std::size_t keep =
+      intermediate_positions.size() >= static_cast<std::size_t>(how_many)
+          ? intermediate_positions.size() - static_cast<std::size_t>(how_many)
+          : 0;
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    const bool is_intermediate =
+        chain[i]->is_ca() && !chain[i]->is_self_signed();
+    if (is_intermediate) {
+      // Position among intermediates:
+      std::size_t rank = 0;
+      while (intermediate_positions[rank] != i) ++rank;
+      if (rank >= keep) continue;  // dropped (nearest the root)
+    } else if (chain[i]->is_self_signed()) {
+      continue;  // a served root above a hole is orphaned; drop it too
+    }
+    out.push_back(chain[i]);
+  }
+  return out;
+}
+
+Chain make_missing_no_aia(const std::string& domain,
+                          const ca::CaHierarchy& hierarchy) {
+  x509::CertificateBuilder builder;
+  builder.as_leaf(domain).validity(1700000000, 1900000000).no_aia();
+  return {builder.sign(hierarchy.issuing_identity())};
+}
+
+Chain make_missing_dead_aia(const std::string& domain,
+                            const ca::CaHierarchy& hierarchy,
+                            net::AiaRepository& aia) {
+  const std::string dead_uri = "http://aia-dead.example/" + domain + ".crt";
+  aia.mark_unreachable(dead_uri);
+  x509::CertificateBuilder builder;
+  builder.as_leaf(domain)
+      .validity(1700000000, 1900000000)
+      .aia_ca_issuers(dead_uri);
+  return {builder.sign(hierarchy.issuing_identity())};
+}
+
+Chain make_mismatched_leaf_chain(const std::string& domain,
+                                 const ca::CaHierarchy& hierarchy,
+                                 Rng& rng) {
+  (void)domain;  // deliberately not used: the identity mismatches
+  const std::string shared_host =
+      "shared" + std::to_string(rng.below(500)) + ".webhosting.example";
+  x509::CertPtr leaf = hierarchy.issue_leaf(shared_host);
+  return hierarchy.compliant_chain(leaf);
+}
+
+Chain make_other_leaf_chain(Rng& rng) {
+  static const char* kTestCns[] = {"Plesk", "localhost", "testexp",
+                                   "SophosApplianceCertificate_ss0000"};
+  const std::string cn = kTestCns[rng.below(4)];
+  const crypto::RsaKeyPair& keys =
+      crypto::KeyPool::instance().for_name("self-signed-junk-" + cn);
+  x509::CertificateBuilder builder;
+  builder.subject(asn1::Name::make(cn))
+      .validity(1700000000, 1900000000)
+      .public_key(keys.pub);
+  return {builder.self_sign(keys)};
+}
+
+}  // namespace chainchaos::dataset

@@ -1,0 +1,136 @@
+// Defect injectors: transformations that turn a compliant certificate
+// chain into each of the paper's non-compliance types (Table 5 taxonomy,
+// §4.3 completeness defects, Table 3 leaf defects).
+//
+// Each injector is a pure function over the chain plus the zoo's shared
+// structures; the generator composes them according to the calibrated
+// rates in CorpusConfig.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataset/zoo.hpp"
+#include "support/rng.hpp"
+#include "x509/certificate.hpp"
+
+namespace chainchaos::dataset {
+
+/// Ground-truth label for what was injected (tests assert the analyzers
+/// recover these; benches bucket by them).
+enum class DefectType {
+  kNone,
+  // order defects (Table 5)
+  kDuplicateLeaf,
+  kDuplicateIntermediate,
+  kDuplicateRoot,
+  kIrrelevantRoot,
+  kStaleLeaves,
+  kIrrelevantOtherChain,
+  kIrrelevantIntermediate,
+  kMultiplePathsCrossSign,
+  kMultiplePathsTwinValidity,
+  kReversedSequence,
+  // completeness defects (§4.3)
+  kMissingIntermediate,
+  kMissingIntermediateNoAia,
+  kMissingIntermediateDeadAia,
+  // leaf defects (Table 3)
+  kLeafMismatched,
+  kLeafOther,
+};
+
+const char* to_string(DefectType type);
+
+/// True for the order-noncompliance taxonomy entries.
+bool is_order_defect(DefectType type);
+/// True for the missing-intermediate family.
+bool is_completeness_defect(DefectType type);
+
+using Chain = std::vector<x509::CertPtr>;
+
+// --- duplicate injectors ---------------------------------------------------
+
+/// Duplicates the leaf right after itself (the dominant real pattern:
+/// two leaves at the front).
+Chain inject_duplicate_leaf(Chain chain);
+
+/// Duplicates one intermediate at a random later position.
+Chain inject_duplicate_intermediate(Chain chain, Rng& rng);
+
+/// Appends a duplicate of the chain's root; if the chain has no root,
+/// the hierarchy root is appended twice.
+Chain inject_duplicate_root(Chain chain, const ca::CaHierarchy& hierarchy);
+
+// --- irrelevant-certificate injectors ---------------------------------------
+
+/// Appends an unrelated self-signed certificate (public-CA root with no
+/// issuing relationship to the leaf).
+Chain inject_irrelevant_root(Chain chain, const x509::CertPtr& foreign_root);
+
+/// Inserts stale leaf certificates for the same domain (renewal leftovers,
+/// newest first — the webcanny.com pattern). `count` extra leaves.
+Chain inject_stale_leaves(Chain chain, const ca::CaHierarchy& hierarchy,
+                          const std::string& domain, int count);
+
+/// Appends (part of) a second, unrelated chain (the archives.gov.tw
+/// pattern: another CA's intermediates managed by the same admin).
+Chain inject_other_chain(Chain chain, const ca::CaHierarchy& other);
+
+/// Appends a single unrelated intermediate certificate.
+Chain inject_irrelevant_intermediate(Chain chain,
+                                     const ca::CaHierarchy& other);
+
+// --- multi-path injectors -----------------------------------------------------
+
+/// Figure 2c: the hierarchy's full chain plus a cross-signed twin of
+/// its root inserted *before* the self-signed original, creating two
+/// leaf paths and a reversed edge.
+Chain inject_cross_sign_multipath(const std::string& domain, CaZoo& zoo,
+                                  const ca::CaHierarchy& hierarchy);
+
+/// The rarer variant: two issuing intermediates with identical subject
+/// and issuer, different validity windows.
+Chain inject_twin_validity_multipath(const std::string& domain, CaZoo& zoo,
+                                     const ca::CaHierarchy& hierarchy);
+
+// --- reversed-sequence injector -----------------------------------------------
+
+/// Reverses everything after the leaf (the naive merge of a reversed
+/// ca-bundle: 1->2->0 and 1->2->3->0 patterns). Chains with a single
+/// intermediate first gain the hierarchy root (resellers shipping
+/// reversed bundles include the root, Table 6), so there is always
+/// something to reverse.
+Chain inject_reversed(Chain chain, const ca::CaHierarchy& hierarchy);
+
+// --- completeness injectors -----------------------------------------------------
+
+/// Drops `how_many` intermediates starting from the one closest to the
+/// leaf. AIA on the remaining certificates is untouched, so the chain
+/// stays repairable.
+Chain inject_missing_intermediate(Chain chain, int how_many);
+
+/// Missing intermediate where the leaf also lacks the AIA extension
+/// (unrepairable: kNoAiaField). Re-issues the leaf without AIA.
+Chain make_missing_no_aia(const std::string& domain,
+                          const ca::CaHierarchy& hierarchy);
+
+/// Missing intermediate whose AIA URI is dead (unrepairable:
+/// kUnreachable). Re-issues the leaf with a per-domain dead URI.
+Chain make_missing_dead_aia(const std::string& domain,
+                            const ca::CaHierarchy& hierarchy,
+                            net::AiaRepository& aia);
+
+// --- leaf-placement injectors ----------------------------------------------------
+
+/// Leaf for a different (hosting-provider) identity: domain-shaped but
+/// not matching the queried domain.
+Chain make_mismatched_leaf_chain(const std::string& domain,
+                                 const ca::CaHierarchy& hierarchy,
+                                 Rng& rng);
+
+/// "Other" leaf: a lone self-signed certificate with a non-domain CN
+/// (Plesk / localhost / testexp / empty).
+Chain make_other_leaf_chain(Rng& rng);
+
+}  // namespace chainchaos::dataset

@@ -1,0 +1,97 @@
+#include "dataset/serialize.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "support/str.hpp"
+#include "x509/certificate.hpp"
+
+namespace chainchaos::dataset {
+
+void export_corpus(const Corpus& corpus, std::ostream& out) {
+  out << "#chainchaos-corpus v1 domains=" << corpus.records().size()
+      << " seed=" << corpus.config().seed << "\n";
+  for (const DomainRecord& record : corpus.records()) {
+    out << "#domain " << record.observation.domain << "\t"
+        << record.observation.ca_name << "\t"
+        << record.observation.server_software << "\t"
+        << to_string(record.primary_defect) << "\t"
+        << to_string(record.leaf_defect) << "\n";
+    for (const x509::CertPtr& cert : record.observation.certificates) {
+      out << x509::to_pem(*cert);
+    }
+  }
+}
+
+bool export_corpus_to_file(const Corpus& corpus, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  export_corpus(corpus, out);
+  return static_cast<bool>(out);
+}
+
+Result<std::vector<ExportedRecord>> import_corpus(std::istream& in) {
+  std::vector<ExportedRecord> records;
+  ExportedRecord* current = nullptr;
+  std::string line;
+  std::string pem_accumulator;
+  bool in_pem = false;
+
+  const auto flush_pem = [&]() -> Result<bool> {
+    if (pem_accumulator.empty()) return true;
+    auto cert = x509::from_pem(pem_accumulator);
+    if (!cert.ok()) return cert.error();
+    if (current == nullptr) {
+      return make_error("corpus.orphan_certificate",
+                        "PEM block before any #domain line");
+    }
+    current->certificates.push_back(std::move(cert).value());
+    pem_accumulator.clear();
+    return true;
+  };
+
+  while (std::getline(in, line)) {
+    if (starts_with(line, "#chainchaos-corpus")) continue;
+    if (starts_with(line, "#domain ")) {
+      if (in_pem) return make_error("corpus.truncated_pem", line);
+      const std::vector<std::string> fields =
+          split(line.substr(8), '\t');
+      if (fields.size() != 5) {
+        return make_error("corpus.bad_domain_line", line);
+      }
+      records.push_back(ExportedRecord{fields[0], fields[1], fields[2],
+                                       fields[3], fields[4], {}});
+      current = &records.back();
+      continue;
+    }
+    if (starts_with(line, "-----BEGIN CERTIFICATE-----")) {
+      in_pem = true;
+      pem_accumulator = line + "\n";
+      continue;
+    }
+    if (in_pem) {
+      pem_accumulator += line + "\n";
+      if (starts_with(line, "-----END CERTIFICATE-----")) {
+        in_pem = false;
+        auto flushed = flush_pem();
+        if (!flushed.ok()) return flushed.error();
+      }
+      continue;
+    }
+    if (!line.empty()) {
+      return make_error("corpus.unexpected_line", line);
+    }
+  }
+  if (in_pem) return make_error("corpus.truncated_pem", "EOF inside PEM");
+  return records;
+}
+
+Result<std::vector<ExportedRecord>> import_corpus_from_file(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return make_error("corpus.io", "cannot open " + path);
+  return import_corpus(in);
+}
+
+}  // namespace chainchaos::dataset

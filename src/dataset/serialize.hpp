@@ -1,0 +1,44 @@
+// Corpus serialization: export a generated corpus to a portable on-disk
+// bundle and read it back.
+//
+// Format: a single text file. Each domain starts with a tab-separated
+// metadata line —
+//   #domain <name>\t<ca>\t<server>\t<primary-defect>\t<leaf-defect>
+// — followed by the served chain as standard PEM blocks. The format is
+// greppable, versionable, and consumable by external tooling (any PEM
+// parser skips the metadata lines as comments).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dataset/corpus.hpp"
+#include "support/result.hpp"
+
+namespace chainchaos::dataset {
+
+/// A domain entry read back from an exported bundle. Certificates are
+/// reparsed; defect labels survive as strings.
+struct ExportedRecord {
+  std::string domain;
+  std::string ca_name;
+  std::string server_software;
+  std::string primary_defect;
+  std::string leaf_defect;
+  std::vector<x509::CertPtr> certificates;
+};
+
+/// Writes every corpus record to `out` in the bundle format.
+void export_corpus(const Corpus& corpus, std::ostream& out);
+
+/// Convenience: export to a file path. Returns false on I/O failure.
+bool export_corpus_to_file(const Corpus& corpus, const std::string& path);
+
+/// Parses a bundle produced by export_corpus.
+Result<std::vector<ExportedRecord>> import_corpus(std::istream& in);
+
+Result<std::vector<ExportedRecord>> import_corpus_from_file(
+    const std::string& path);
+
+}  // namespace chainchaos::dataset

@@ -1,0 +1,166 @@
+#include "dataset/zoo.hpp"
+
+#include <cassert>
+
+namespace chainchaos::dataset {
+
+namespace {
+
+/// Hierarchy depth per named issuer: deeper chains give the reversal and
+/// completeness injectors room to work (Sectigo and TAIWAN-CA really do
+/// run deeper hierarchies; the rest issue straight from one tier).
+int depth_for(const std::string& name) {
+  if (name == "Sectigo Limited") return 2;
+  if (name == "TAIWAN-CA") return 2;
+  if (name == "GoGetSSL") return 2;
+  return 1;
+}
+
+}  // namespace
+
+CaZoo::CaZoo(net::AiaRepository* aia) {
+  names_ = {"Let's Encrypt",    "Digicert", "Sectigo Limited",
+            "ZeroSSL",          "GoGetSSL", "TAIWAN-CA",
+            "cyber_Folks S.A.", "Trustico"};
+  for (const std::string& name : names_) {
+    by_name_.emplace(name, std::make_unique<ca::CaHierarchy>(
+                               ca::CaHierarchy::create(name, depth_for(name),
+                                                       aia)));
+  }
+
+  // Anonymous issuer pool behind the "Other CAs" bucket.
+  for (int i = 0; i < 6; ++i) {
+    other_pool_.push_back(std::make_unique<ca::CaHierarchy>(
+        ca::CaHierarchy::create("Anon CA " + std::to_string(i), 1 + (i % 3),
+                                aia)));
+  }
+
+  // Rare hierarchies: intermediates that never appear in compliant
+  // chains, so no client cache can know them.
+  for (int i = 0; i < 3; ++i) {
+    rare_pool_.push_back(std::make_unique<ca::CaHierarchy>(
+        ca::CaHierarchy::create("Rare CA " + std::to_string(i), 1, aia)));
+  }
+
+  // Independent trusted root used for cross-signing (the AAA/AddTrust
+  // analogue of Figure 2c).
+  aaa_id_ = x509::make_identity(
+      asn1::Name::make("AAA Certificate Services", "Comodo-like", "GB"));
+  {
+    x509::CertificateBuilder builder;
+    builder.subject(aaa_id_.name)
+        .as_ca()
+        .public_key(aaa_id_.keys.pub)
+        .validity(1400000000, 2000000000);
+    aaa_root_ = builder.self_sign(aaa_id_.keys);
+  }
+
+  // Untrusted government root (Figure 4's node 1): self-signed, valid,
+  // deliberately excluded from every program store, and deliberately
+  // *recent* so VP2 clients try it first and must backtrack.
+  untrusted_gov_id_ = x509::make_identity(
+      asn1::Name::make("Legacy Government Root CA", "MOEX-like", "TW"));
+  {
+    x509::CertificateBuilder builder;
+    builder.subject(untrusted_gov_id_.name)
+        .as_ca()
+        .public_key(untrusted_gov_id_.keys.pub)
+        .validity(1760000000, 1990000000);
+    untrusted_root_ = builder.self_sign(untrusted_gov_id_.keys);
+  }
+
+  // Program-exclusive hierarchies (Table 8's store deltas): no AIA
+  // publication, so when the root is absent from a client's store the
+  // chain cannot be completed at all.
+  exclusive_ms_apple_ = std::make_unique<ca::CaHierarchy>(
+      ca::CaHierarchy::create("Exclusive MsApple CA", 1, nullptr));
+  exclusive_moz_chrome_ = std::make_unique<ca::CaHierarchy>(
+      ca::CaHierarchy::create("Exclusive MozChrome CA", 1, nullptr));
+}
+
+const ca::CaHierarchy& CaZoo::hierarchy_for(const std::string& ca_name,
+                                            std::uint64_t discriminator) const {
+  const auto it = by_name_.find(ca_name);
+  if (it != by_name_.end()) return *it->second;
+  assert(!other_pool_.empty());
+  return *other_pool_[discriminator % other_pool_.size()];
+}
+
+const ca::CaHierarchy& CaZoo::rare_hierarchy(
+    std::uint64_t discriminator) const {
+  assert(!rare_pool_.empty());
+  return *rare_pool_[discriminator % rare_pool_.size()];
+}
+
+const x509::CertPtr& CaZoo::cross_root_cert(const ca::CaHierarchy& hierarchy) {
+  auto it = cross_cache_.find(hierarchy.name());
+  if (it != cross_cache_.end()) return it->second;
+
+  const x509::CertPtr& root = hierarchy.root();
+  x509::CertificateBuilder cross;
+  cross.subject(root->subject)
+      .as_ca()
+      .public_key(root->public_key)
+      .validity(1650000000, 1880000000);
+  return cross_cache_.emplace(hierarchy.name(), cross.sign(aaa_id_))
+      .first->second;
+}
+
+const x509::CertPtr& CaZoo::twin_intermediate(const ca::CaHierarchy& hierarchy) {
+  auto it = twin_cache_.find(hierarchy.name());
+  if (it != twin_cache_.end()) return it->second;
+
+  const x509::CertPtr& original = hierarchy.intermediates().back();
+  x509::CertificateBuilder twin;
+  twin.subject(original->subject)
+      .as_ca(original->basic_constraints->path_len_constraint)
+      .public_key(original->public_key)
+      .validity(original->not_before - 20000000,
+                original->not_after - 20000000);  // older sibling
+  // Signed by the same identity that signed the original (key material
+  // resolves identically through the KeyPool by name).
+  x509::CertPtr cert = twin.sign(x509::make_identity(original->issuer));
+  return twin_cache_.emplace(hierarchy.name(), std::move(cert)).first->second;
+}
+
+const x509::CertPtr& CaZoo::akidless_top_intermediate(
+    const ca::CaHierarchy& hierarchy) {
+  auto it = akidless_cache_.find(hierarchy.name());
+  if (it != akidless_cache_.end()) return it->second;
+
+  const x509::CertPtr& original = hierarchy.intermediates().front();
+  x509::CertificateBuilder variant;
+  variant.subject(original->subject)
+      .as_ca(original->basic_constraints->path_len_constraint)
+      .public_key(original->public_key)
+      .validity(original->not_before, original->not_after)
+      .omit_authority_key_id();
+  if (original->aia.has_value() && original->aia->ca_issuers_uri.has_value()) {
+    variant.aia_ca_issuers(*original->aia->ca_issuers_uri);
+  }
+  x509::CertPtr cert = variant.sign(x509::make_identity(original->issuer));
+  return akidless_cache_.emplace(hierarchy.name(), std::move(cert))
+      .first->second;
+}
+
+std::vector<x509::CertPtr> CaZoo::core_roots() const {
+  std::vector<x509::CertPtr> roots;
+  for (const auto& [name, hierarchy] : by_name_) {
+    roots.push_back(hierarchy->root());
+  }
+  for (const auto& hierarchy : other_pool_) roots.push_back(hierarchy->root());
+  for (const auto& hierarchy : rare_pool_) roots.push_back(hierarchy->root());
+  roots.push_back(aaa_root_);
+  return roots;
+}
+
+std::vector<std::pair<x509::CertPtr, unsigned>> CaZoo::exclusive_roots() const {
+  // Masks: 1=mozilla, 2=chrome, 4=microsoft, 8=apple. Mozilla and Chrome
+  // share their deltas (they behaved near-identically in Table 8).
+  std::vector<std::pair<x509::CertPtr, unsigned>> out;
+  out.emplace_back(exclusive_ms_apple_->root(), 4u | 8u);
+  out.emplace_back(exclusive_moz_chrome_->root(), 1u | 2u);
+  return out;
+}
+
+}  // namespace chainchaos::dataset

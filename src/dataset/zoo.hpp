@@ -1,0 +1,103 @@
+// CaZoo: the synthetic certification-authority landscape behind the
+// corpus — hierarchies for the eight Table 11 issuers, a pool of
+// anonymous "Other CAs", rare hierarchies reserved for cache-defeating
+// incomplete chains, cross-signing structures for multi-path layouts,
+// and the root material from which the four program stores are built.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ca/hierarchy.hpp"
+#include "net/aia_repository.hpp"
+#include "truststore/root_store.hpp"
+#include "x509/builder.hpp"
+
+namespace chainchaos::dataset {
+
+class CaZoo {
+ public:
+  /// Builds every hierarchy, publishing AIA material into `aia`
+  /// (which must outlive the zoo).
+  explicit CaZoo(net::AiaRepository* aia);
+
+  CaZoo(const CaZoo&) = delete;
+  CaZoo& operator=(const CaZoo&) = delete;
+
+  /// Hierarchy for a Table 11 issuer name ("Let's Encrypt", ...).
+  /// Unknown names (the "Other CAs" bucket) rotate deterministically
+  /// over the anonymous pool, keyed by the caller's discriminator.
+  const ca::CaHierarchy& hierarchy_for(const std::string& ca_name,
+                                       std::uint64_t discriminator) const;
+
+  /// Hierarchies whose intermediates never back compliant chains; used
+  /// for the Firefox-cache-miss share of incomplete chains.
+  const ca::CaHierarchy& rare_hierarchy(std::uint64_t discriminator) const;
+
+  /// Cross-signed twin of a hierarchy's *root* (same subject+key, issued
+  /// by the independent AAA root) — the Figure 2c ingredient. Memoized
+  /// per hierarchy.
+  const x509::CertPtr& cross_root_cert(const ca::CaHierarchy& hierarchy);
+
+  /// An older twin of the hierarchy's issuing intermediate: identical
+  /// subject+issuer+key, shifted validity (the Figure 5 candidate pair).
+  const x509::CertPtr& twin_intermediate(const ca::CaHierarchy& hierarchy);
+
+  /// A variant of the hierarchy's top intermediate without an AKID —
+  /// breaks the paper's AKID-only root-store probe (Table 8's no-AIA
+  /// column). Memoized per hierarchy.
+  const x509::CertPtr& akidless_top_intermediate(
+      const ca::CaHierarchy& hierarchy);
+
+  /// The independent trusted root used for cross-signing.
+  const x509::CertPtr& aaa_root() const { return aaa_root_; }
+
+  /// Self-signed root trusted by no program (moex.gov.tw's node 1).
+  const x509::CertPtr& untrusted_gov_root() const { return untrusted_root_; }
+  const x509::SigningIdentity& untrusted_gov_identity() const {
+    return untrusted_gov_id_;
+  }
+
+  /// Root material for store construction: common core roots.
+  std::vector<x509::CertPtr> core_roots() const;
+
+  /// Per-program exclusive roots (bitmask per truststore contract).
+  std::vector<std::pair<x509::CertPtr, unsigned>> exclusive_roots() const;
+
+  /// Hierarchy rooted at a root trusted only by Microsoft+Apple
+  /// (chains under it are incomplete for Mozilla/Chrome when AIA cannot
+  /// help — Table 8's with-AIA deltas). Built without AIA publication.
+  const ca::CaHierarchy& ms_apple_exclusive() const { return *exclusive_ms_apple_; }
+
+  /// Counterpart trusted only by Mozilla+Chrome.
+  const ca::CaHierarchy& moz_chrome_exclusive() const {
+    return *exclusive_moz_chrome_;
+  }
+
+  /// All named issuer hierarchies (for iteration in benches/tests).
+  const std::vector<std::string>& issuer_names() const { return names_; }
+
+  /// Count of anonymous pool hierarchies (exposed for tests).
+  std::size_t other_pool_size() const { return other_pool_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<ca::CaHierarchy>> by_name_;
+  std::vector<std::unique_ptr<ca::CaHierarchy>> other_pool_;
+  std::vector<std::unique_ptr<ca::CaHierarchy>> rare_pool_;
+  std::vector<std::string> names_;
+
+  x509::SigningIdentity aaa_id_;
+  x509::CertPtr aaa_root_;
+  x509::SigningIdentity untrusted_gov_id_;
+  x509::CertPtr untrusted_root_;
+  std::unique_ptr<ca::CaHierarchy> exclusive_ms_apple_;
+  std::unique_ptr<ca::CaHierarchy> exclusive_moz_chrome_;
+
+  std::map<std::string, x509::CertPtr> cross_cache_;
+  std::map<std::string, x509::CertPtr> twin_cache_;
+  std::map<std::string, x509::CertPtr> akidless_cache_;
+};
+
+}  // namespace chainchaos::dataset

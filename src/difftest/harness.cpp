@@ -1,0 +1,187 @@
+#include "difftest/harness.hpp"
+
+namespace chainchaos::difftest {
+
+using clients::ClientKind;
+using pathbuild::BuildResult;
+using pathbuild::BuildStatus;
+using pathbuild::PathBuilder;
+
+const char* to_string(Finding finding) {
+  switch (finding) {
+    case Finding::kNone: return "none";
+    case Finding::kI1_OrderReorganization:
+      return "I-1 order reorganization missing";
+    case Finding::kI2_LongChain: return "I-2 input list too long";
+    case Finding::kI3_Backtracking: return "I-3 backtracking missing";
+    case Finding::kI4_AiaCompletion: return "I-4 AIA completion missing";
+    case Finding::kOther: return "other";
+  }
+  return "?";
+}
+
+DifferentialHarness::DifferentialHarness(
+    dataset::Corpus& corpus, std::vector<clients::ClientProfile> profiles)
+    : corpus_(corpus), profiles_(std::move(profiles)) {
+  caches_.resize(profiles_.size());
+}
+
+void DifferentialHarness::seed_intermediate_caches() {
+  for (std::size_t p = 0; p < profiles_.size(); ++p) {
+    if (!profiles_[p].policy.intermediate_cache) continue;
+    pathbuild::IntermediateCache& cache = caches_[p];
+    for (const dataset::DomainRecord& record : corpus_.records()) {
+      if (record.primary_defect != dataset::DefectType::kNone) continue;
+      cache.remember_chain(record.observation.certificates);
+    }
+  }
+}
+
+std::vector<DomainDiff> DifferentialHarness::run() {
+  std::vector<DomainDiff> out;
+  out.reserve(corpus_.records().size());
+
+  // Builders are constructed once; per-client caches persist across
+  // domains (that persistence *is* the Firefox model).
+  std::vector<PathBuilder> builders;
+  builders.reserve(profiles_.size());
+  for (std::size_t p = 0; p < profiles_.size(); ++p) {
+    builders.emplace_back(profiles_[p].policy, &corpus_.stores().union_store,
+                          &corpus_.aia(), &caches_[p]);
+  }
+
+  for (std::size_t i = 0; i < corpus_.records().size(); ++i) {
+    const dataset::DomainRecord& record = corpus_.records()[i];
+    DomainDiff diff;
+    diff.record_index = i;
+    diff.statuses.reserve(profiles_.size());
+
+    std::vector<BuildResult> results;
+    results.reserve(profiles_.size());
+    for (std::size_t p = 0; p < profiles_.size(); ++p) {
+      results.push_back(builders[p].build(record.observation.certificates,
+                                          record.observation.domain));
+      diff.statuses.push_back(results.back().status);
+    }
+
+    bool browsers_ok = true, browsers_fail = true;
+    bool libraries_ok = true, libraries_fail = true;
+    for (std::size_t p = 0; p < profiles_.size(); ++p) {
+      const bool ok = results[p].ok();
+      if (profiles_[p].is_browser) {
+        browsers_ok &= ok;
+        browsers_fail &= !ok;
+      } else {
+        libraries_ok &= ok;
+        libraries_fail &= !ok;
+      }
+    }
+    diff.all_browsers_ok = browsers_ok;
+    diff.all_libraries_ok = libraries_ok;
+    diff.browsers_disagree = !browsers_ok && !browsers_fail;
+    diff.libraries_disagree = !libraries_ok && !libraries_fail;
+    if (diff.browsers_disagree || diff.libraries_disagree) {
+      diff.finding = classify(record, results);
+    }
+    out.push_back(std::move(diff));
+  }
+  return out;
+}
+
+Finding DifferentialHarness::classify(
+    const dataset::DomainRecord& record,
+    const std::vector<BuildResult>& results) const {
+  // Status per named client kind (absent kinds map to kOk so subset
+  // harnesses still classify sensibly).
+  const auto status_of = [&](ClientKind kind) {
+    for (std::size_t p = 0; p < profiles_.size(); ++p) {
+      if (profiles_[p].kind == kind) return results[p].status;
+    }
+    return BuildStatus::kOk;
+  };
+
+  const BuildStatus openssl = status_of(ClientKind::kOpenSsl);
+  const BuildStatus gnutls = status_of(ClientKind::kGnuTls);
+  const BuildStatus mbedtls = status_of(ClientKind::kMbedTls);
+  const BuildStatus cryptoapi = status_of(ClientKind::kCryptoApi);
+  const BuildStatus firefox = status_of(ClientKind::kFirefox);
+  const BuildStatus chrome = status_of(ClientKind::kChrome);
+
+  // I-2: GnuTLS's input-list cap is its own status code.
+  if (gnutls == BuildStatus::kInputListTooLong) return Finding::kI2_LongChain;
+
+  // I-4: the AIA-capable clients succeed where the AIA-less fail with an
+  // unknown issuer (libraries), or Firefox misses its cache (browsers).
+  const bool aia_side_ok = cryptoapi == BuildStatus::kOk ||
+                           chrome == BuildStatus::kOk;
+  const bool aia_less_fail = openssl == BuildStatus::kNoIssuerFound ||
+                             gnutls == BuildStatus::kNoIssuerFound ||
+                             mbedtls == BuildStatus::kNoIssuerFound ||
+                             firefox == BuildStatus::kNoIssuerFound;
+  if (aia_side_ok && aia_less_fail &&
+      dataset::is_completeness_defect(record.primary_defect)) {
+    return Finding::kI4_AiaCompletion;
+  }
+
+  // I-3: non-backtracking clients stranded on an untrusted root while a
+  // backtracking client succeeded.
+  const bool stranded = openssl == BuildStatus::kUntrustedRoot ||
+                        gnutls == BuildStatus::kUntrustedRoot;
+  if (stranded && cryptoapi == BuildStatus::kOk) {
+    return Finding::kI3_Backtracking;
+  }
+
+  // I-1: only MbedTLS (the no-reorder client) failed construction.
+  const bool mbed_failed = pathbuild::is_construction_failure(mbedtls);
+  const bool others_ok = openssl == BuildStatus::kOk &&
+                         gnutls == BuildStatus::kOk &&
+                         cryptoapi == BuildStatus::kOk;
+  if (mbed_failed && others_ok) return Finding::kI1_OrderReorganization;
+
+  return Finding::kOther;
+}
+
+DiffSummary DifferentialHarness::summarize(
+    const std::vector<DomainDiff>& diffs) const {
+  DiffSummary summary;
+  summary.total_domains = diffs.size();
+  summary.failures_per_client.assign(profiles_.size(), 0);
+
+  for (const DomainDiff& diff : diffs) {
+    const dataset::DomainRecord& record =
+        corpus_.records()[diff.record_index];
+    const bool noncompliant =
+        dataset::is_order_defect(record.primary_defect) ||
+        dataset::is_completeness_defect(record.primary_defect);
+
+    for (std::size_t p = 0; p < profiles_.size(); ++p) {
+      if (diff.statuses[p] != BuildStatus::kOk) {
+        ++summary.failures_per_client[p];
+      }
+    }
+
+    if (diff.browsers_disagree) ++summary.browser_discrepancies;
+    if (diff.libraries_disagree) ++summary.library_discrepancies;
+    if (diff.finding != Finding::kNone) ++summary.findings[diff.finding];
+
+    if (!noncompliant) continue;
+    ++summary.noncompliant_domains;
+    if (diff.all_browsers_ok) ++summary.noncompliant_all_browsers_ok;
+    if (diff.all_libraries_ok) ++summary.noncompliant_all_libraries_ok;
+
+    bool any_library_fail = false, any_browser_fail = false;
+    for (std::size_t p = 0; p < profiles_.size(); ++p) {
+      if (diff.statuses[p] == BuildStatus::kOk) continue;
+      if (profiles_[p].is_browser) {
+        any_browser_fail = true;
+      } else {
+        any_library_fail = true;
+      }
+    }
+    if (any_library_fail) ++summary.noncompliant_any_library_failure;
+    if (any_browser_fail) ++summary.noncompliant_any_browser_failure;
+  }
+  return summary;
+}
+
+}  // namespace chainchaos::difftest

@@ -1,0 +1,106 @@
+// Differential testing harness (paper §5.2).
+//
+// Runs every client profile over every corpus domain and compares the
+// verdicts. The interesting output is exactly what the paper reports:
+// pass rates of non-compliant chains across the browser and library
+// panels, the number of chains on which the panels disagree, and the
+// attribution of each disagreement to one of the four deficiency
+// classes:
+//   I-1  missing order reorganization      (MbedTLS)
+//   I-2  input-list length cap             (GnuTLS)
+//   I-3  missing backtracking              (OpenSSL/GnuTLS/MbedTLS)
+//   I-4  missing AIA completion            (libraries; Firefox cache miss)
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "clients/profiles.hpp"
+#include "dataset/corpus.hpp"
+#include "pathbuild/path_builder.hpp"
+
+namespace chainchaos::difftest {
+
+/// Deficiency classes from §5.2.
+enum class Finding {
+  kNone,
+  kI1_OrderReorganization,
+  kI2_LongChain,
+  kI3_Backtracking,
+  kI4_AiaCompletion,
+  kOther,
+};
+
+const char* to_string(Finding finding);
+
+/// Per-domain differential outcome.
+struct DomainDiff {
+  std::size_t record_index = 0;
+  std::vector<pathbuild::BuildStatus> statuses;  ///< parallel to profiles
+  bool all_browsers_ok = false;
+  bool all_libraries_ok = false;
+  bool browsers_disagree = false;
+  bool libraries_disagree = false;
+  Finding finding = Finding::kNone;
+};
+
+struct DiffSummary {
+  std::size_t total_domains = 0;
+  std::size_t noncompliant_domains = 0;
+
+  // Pass rates within the non-compliant subset (the paper's 61.1%/47.4%).
+  std::size_t noncompliant_all_browsers_ok = 0;
+  std::size_t noncompliant_all_libraries_ok = 0;
+
+  // Disagreement counts over the full corpus (the paper's 3,295/10,804).
+  std::size_t browser_discrepancies = 0;
+  std::size_t library_discrepancies = 0;
+
+  // Build-issue impact within the non-compliant subset (40.9%/12.5%).
+  std::size_t noncompliant_any_library_failure = 0;
+  std::size_t noncompliant_any_browser_failure = 0;
+
+  std::map<Finding, std::size_t> findings;
+
+  // Per-client failure counts over the full corpus.
+  std::vector<std::size_t> failures_per_client;
+};
+
+class DifferentialHarness {
+ public:
+  /// Uses all 8 profiles in Table 9 order unless a subset is given.
+  DifferentialHarness(dataset::Corpus& corpus,
+                      std::vector<clients::ClientProfile> profiles =
+                          clients::all_profiles());
+
+  /// Pre-seeds cache-using clients (Firefox) by "browsing" every
+  /// compliant chain once — the stand-in for browsing history.
+  void seed_intermediate_caches();
+
+  /// Runs the full differential sweep.
+  std::vector<DomainDiff> run();
+
+  /// Aggregates a sweep into the paper's summary statistics. Compliance
+  /// of each domain is taken from the generator's ground-truth labels.
+  DiffSummary summarize(const std::vector<DomainDiff>& diffs) const;
+
+  const std::vector<clients::ClientProfile>& profiles() const {
+    return profiles_;
+  }
+
+  /// The per-client intermediate cache (exposed for ablations).
+  pathbuild::IntermediateCache& cache_for(std::size_t profile_index) {
+    return caches_[profile_index];
+  }
+
+ private:
+  Finding classify(const dataset::DomainRecord& record,
+                   const std::vector<pathbuild::BuildResult>& results) const;
+
+  dataset::Corpus& corpus_;
+  std::vector<clients::ClientProfile> profiles_;
+  std::vector<pathbuild::IntermediateCache> caches_;
+};
+
+}  // namespace chainchaos::difftest

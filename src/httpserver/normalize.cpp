@@ -1,0 +1,101 @@
+#include "httpserver/normalize.hpp"
+
+#include "chain/issuance.hpp"
+
+namespace chainchaos::httpserver {
+
+NormalizationResult normalize_chain(
+    const std::vector<x509::CertPtr>& served) {
+  NormalizationResult result;
+  if (served.empty()) return result;
+
+  // 1. Deduplicate (first occurrence wins), recording each removal.
+  std::vector<x509::CertPtr> unique;
+  for (const x509::CertPtr& cert : served) {
+    bool seen = false;
+    for (const x509::CertPtr& kept : unique) {
+      if (equal(kept->fingerprint, cert->fingerprint)) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) {
+      result.fixes.push_back("removed duplicate of " +
+                             cert->subject.to_string());
+    } else {
+      unique.push_back(cert);
+    }
+  }
+
+  // 2. Rebuild the issuance order starting from the first certificate
+  //    (the leaf — its position is checked by the private-key match, so
+  //    we trust it; see Table 4).
+  std::vector<bool> used(unique.size(), false);
+  result.chain.push_back(unique.front());
+  used[0] = true;
+
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    const x509::Certificate& current = *result.chain.back();
+    if (current.is_self_signed()) break;  // reached a root
+    for (std::size_t i = 0; i < unique.size(); ++i) {
+      if (used[i]) continue;
+      if (chain::issued_by(current, *unique[i])) {
+        result.chain.push_back(unique[i]);
+        used[i] = true;
+        progressed = true;
+        break;
+      }
+    }
+  }
+
+  // Reorder note: emitted when the kept certificates changed positions.
+  {
+    std::size_t cursor = 0;
+    bool reordered = false;
+    for (const x509::CertPtr& cert : result.chain) {
+      while (cursor < unique.size() &&
+             !equal(unique[cursor]->fingerprint, cert->fingerprint)) {
+        ++cursor;
+        reordered = true;  // skipped over something that sorts later
+      }
+      if (cursor == unique.size()) {
+        reordered = true;
+        break;
+      }
+      ++cursor;
+    }
+    if (reordered) {
+      result.fixes.push_back("re-ordered certificates into issuance order");
+    }
+  }
+
+  // 3. Leftovers: anything not on the leaf's path gets dropped — unless
+  //    it *should* have linked (same issuer DN as the terminal's issuer),
+  //    which indicates a gap rather than an irrelevant certificate.
+  for (std::size_t i = 0; i < unique.size(); ++i) {
+    if (used[i]) continue;
+    result.dropped.push_back(unique[i]);
+    result.fixes.push_back("dropped irrelevant certificate " +
+                           unique[i]->subject.to_string());
+  }
+
+  // 4. Gap detection: terminal is neither self-signed nor followed by
+  //    anything we can place, and the operator *did* provide further CA
+  //    material — or provided nothing above the leaf at all.
+  const x509::Certificate& terminal = *result.chain.back();
+  if (!terminal.is_self_signed()) {
+    // A terminal intermediate is fine (root omission is allowed) but a
+    // terminal *leaf* with CA material dropped means a broken link.
+    if (!terminal.is_ca() && !result.dropped.empty()) {
+      result.contiguous = false;
+      result.fixes.push_back(
+          "WARNING: provided CA certificates do not certify the leaf — "
+          "likely a missing intermediate");
+    }
+  }
+  return result;
+}
+
+}  // namespace chainchaos::httpserver

@@ -1,0 +1,43 @@
+// Chain normalization: the paper's §6.1 server-side recommendation
+// ("implement automated checks during certificate deployment to identify
+// and resolve common errors") as an executable deploy-time pass.
+//
+// Given whatever certificate material an administrator configured, the
+// normalizer produces the chain a compliant server *should* serve:
+// duplicates removed, certificates re-ordered leaf-to-root by actual
+// issuance, and irrelevant certificates dropped — with a human-readable
+// record of every correction, suitable for the error/warning surface of
+// a web server's config check (`nginx -t`, `apachectl configtest`).
+// Missing intermediates cannot be invented locally, so gaps are reported
+// rather than repaired (that part of §6.1 falls to the CA's packaging).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "x509/certificate.hpp"
+
+namespace chainchaos::httpserver {
+
+struct NormalizationResult {
+  /// The corrected deployment order: leaf first, then issuers.
+  std::vector<x509::CertPtr> chain;
+
+  /// Corrections applied, one line each ("removed duplicate of ...").
+  std::vector<std::string> fixes;
+
+  /// True when the output chain is contiguous up to a self-signed root
+  /// or simply ran out of provided certificates without leftovers that
+  /// should have linked. False when a gap was detected.
+  bool contiguous = true;
+
+  /// Certificates that could not be placed on the leaf's path.
+  std::vector<x509::CertPtr> dropped;
+
+  bool changed() const { return !fixes.empty(); }
+};
+
+/// Normalizes a served list. An empty input yields an empty result.
+NormalizationResult normalize_chain(const std::vector<x509::CertPtr>& served);
+
+}  // namespace chainchaos::httpserver

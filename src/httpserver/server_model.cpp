@@ -1,0 +1,109 @@
+#include "httpserver/server_model.hpp"
+
+namespace chainchaos::httpserver {
+
+const char* to_string(ServerSoftware software) {
+  switch (software) {
+    case ServerSoftware::kApacheLegacy: return "Apache (<2.4.8)";
+    case ServerSoftware::kApache: return "Apache (>=2.4.8)";
+    case ServerSoftware::kNginx: return "Nginx";
+    case ServerSoftware::kAzureGateway: return "Microsoft-Azure-Application-Gateway";
+    case ServerSoftware::kIis: return "IIS";
+    case ServerSoftware::kAwsElb: return "AWS ELB";
+  }
+  return "?";
+}
+
+HttpServerModel HttpServerModel::make(ServerSoftware software) {
+  ServerCharacteristics traits;
+  switch (software) {
+    case ServerSoftware::kApacheLegacy:
+      traits.automatic_certificate_management = true;
+      traits.scheme = FileScheme::kSeparateFiles;  // SF1
+      break;
+    case ServerSoftware::kApache:
+      traits.automatic_certificate_management = true;
+      traits.scheme = FileScheme::kFullChain;  // SF2 since 2.4.8
+      break;
+    case ServerSoftware::kNginx:
+      traits.automatic_certificate_management = true;
+      traits.scheme = FileScheme::kFullChain;
+      break;
+    case ServerSoftware::kAzureGateway:
+      traits.automatic_certificate_management = true;
+      traits.scheme = FileScheme::kPfx;
+      traits.checks_duplicate_leaf = true;
+      break;
+    case ServerSoftware::kIis:
+      traits.automatic_certificate_management = false;
+      traits.scheme = FileScheme::kPfx;
+      traits.checks_duplicate_leaf = true;
+      break;
+    case ServerSoftware::kAwsElb:
+      traits.automatic_certificate_management = true;
+      traits.scheme = FileScheme::kSeparateFiles;
+      break;
+  }
+  return HttpServerModel(software, traits);
+}
+
+DeploymentResult HttpServerModel::deploy(const DeploymentInput& input) const {
+  DeploymentResult result;
+  if (input.certificate_file.empty()) {
+    result.error = "no certificate configured";
+    return result;
+  }
+
+  // Every studied server verifies the private key against the *first*
+  // certificate of the certificate file — the check the paper credits
+  // for the high leaf-placement compliance (§4.1).
+  if (traits_.checks_private_key_match) {
+    if (input.private_key == nullptr ||
+        !(input.certificate_file.front()->public_key ==
+          crypto::RsaPublicKey{input.private_key->n, input.private_key->e})) {
+      result.error = "SSL_CTX_use_PrivateKey failed: key values mismatch";
+      return result;
+    }
+  }
+
+  // Assemble the chain exactly as the software would serve it.
+  std::vector<x509::CertPtr> served = input.certificate_file;
+  if (traits_.scheme == FileScheme::kSeparateFiles) {
+    // SF1: the chain file is appended verbatim. An admin who copied the
+    // leaf into the ca-bundle produces a duplicated leaf on the wire.
+    served.insert(served.end(), input.chain_file.begin(),
+                  input.chain_file.end());
+  }
+  // SF2/SF3: everything is already in certificate_file.
+
+  if (traits_.checks_duplicate_leaf) {
+    const Bytes& leaf_fp = served.front()->fingerprint;
+    int leaf_copies = 0;
+    for (const x509::CertPtr& cert : served) {
+      if (equal(cert->fingerprint, leaf_fp)) ++leaf_copies;
+    }
+    if (leaf_copies > 1) {
+      result.error =
+          "certificate upload rejected: more than one leaf certificate "
+          "matches the private key";
+      return result;
+    }
+  }
+  // No studied server deduplicates intermediates/roots — that gap is
+  // exactly what produces Table 10's duplicate-certificate rows.
+
+  result.accepted = true;
+  result.served_chain = std::move(served);
+  return result;
+}
+
+std::vector<HttpServerModel> all_server_models() {
+  return {HttpServerModel::make(ServerSoftware::kApacheLegacy),
+          HttpServerModel::make(ServerSoftware::kApache),
+          HttpServerModel::make(ServerSoftware::kNginx),
+          HttpServerModel::make(ServerSoftware::kAzureGateway),
+          HttpServerModel::make(ServerSoftware::kIis),
+          HttpServerModel::make(ServerSoftware::kAwsElb)};
+}
+
+}  // namespace chainchaos::httpserver

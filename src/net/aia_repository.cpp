@@ -1,0 +1,77 @@
+#include "net/aia_repository.hpp"
+
+#include "net/http.hpp"
+
+namespace chainchaos::net {
+
+void AiaRepository::publish(const std::string& uri, x509::CertPtr cert) {
+  entries_[uri] = Entry{std::move(cert), false};
+}
+
+void AiaRepository::mark_unreachable(const std::string& uri) {
+  entries_[uri].unreachable = true;
+}
+
+Result<x509::CertPtr> AiaRepository::fetch(const std::string& uri) {
+  ++stats_.attempts;
+  stats_.simulated_latency_ms += latency_ms_;
+
+  // The fetch round-trips real HTTP framing: the "client" side encodes a
+  // GET and parses whatever comes back; the "origin" side parses the
+  // request and serves the DER blob. Mirrors what production AIA
+  // chasing does (and why the paper flags its plain-HTTP privacy and
+  // MitM exposure).
+  auto url = parse_url(uri);
+  if (!url.ok()) {
+    ++stats_.misses;
+    return url.error();
+  }
+  HttpRequest request;
+  request.target = url.value().path;
+  request.host = url.value().host;
+  request.headers["accept"] = "application/pkix-cert";
+  const std::string wire_request = request.encode();
+
+  // --- origin side ---
+  auto parsed_request = parse_request(wire_request);
+  if (!parsed_request.ok()) {
+    ++stats_.misses;
+    return parsed_request.error();
+  }
+  const auto it = entries_.find(uri);
+  if (it != entries_.end() && it->second.unreachable) {
+    // Connection-level failure: no HTTP response at all.
+    ++stats_.unreachable;
+    return make_error("aia.unreachable", uri);
+  }
+  const Bytes wire_response =
+      (it == entries_.end() || !it->second.cert)
+          ? http_not_found().encode()
+          : http_ok(it->second.cert->der, "application/pkix-cert").encode();
+
+  // --- client side ---
+  auto response = parse_response(wire_response);
+  if (!response.ok()) {
+    ++stats_.misses;
+    return response.error();
+  }
+  if (response.value().status != 200) {
+    ++stats_.misses;
+    return make_error("aia.not_found", uri);
+  }
+  auto cert = x509::parse_certificate(response.value().body);
+  if (!cert.ok()) {
+    ++stats_.misses;
+    return cert.error();
+  }
+  ++stats_.hits;
+  stats_.bytes_served += response.value().body.size();
+  return std::move(cert).value();
+}
+
+bool AiaRepository::reachable(const std::string& uri) const {
+  const auto it = entries_.find(uri);
+  return it != entries_.end() && !it->second.unreachable && it->second.cert;
+}
+
+}  // namespace chainchaos::net

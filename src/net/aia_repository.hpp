@@ -1,0 +1,74 @@
+// AiaRepository: the simulated HTTP side of Authority Information Access.
+//
+// Real clients resolve a missing issuer by fetching the URI in the
+// certificate's AIA caIssuers field over plain HTTP. The repository
+// stands in for that web: CA pipelines publish issuer certificates under
+// their URIs, and clients/analyzers fetch from it. Failure modes observed
+// by the paper are injectable per-URI:
+//   * URI unreachable (88 chains in the paper's corpus),
+//   * URI serving the wrong certificate — e.g. CAcert Class 3 serving
+//     itself instead of its issuer (1 chain),
+// and "no AIA extension at all" is simply a certificate without the
+// field (579 chains).
+//
+// Fetches are counted and charged a simulated latency so benches can
+// report the construction-time cost of AIA completion.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "support/result.hpp"
+#include "x509/certificate.hpp"
+
+namespace chainchaos::net {
+
+/// Statistics accumulated across all fetches on a repository.
+struct FetchStats {
+  std::uint64_t attempts = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;        ///< URI unknown to the repository
+  std::uint64_t unreachable = 0;   ///< URI marked as failing
+  std::uint64_t bytes_served = 0;
+  std::uint64_t simulated_latency_ms = 0;
+
+  void reset() { *this = FetchStats{}; }
+};
+
+class AiaRepository {
+ public:
+  /// Per-fetch simulated round-trip cost (a plain-HTTP fetch of a small
+  /// object; the default mirrors a typical cross-continent RTT).
+  explicit AiaRepository(std::uint64_t latency_ms_per_fetch = 120)
+      : latency_ms_(latency_ms_per_fetch) {}
+
+  /// Serves `cert` at `uri` (later publishes overwrite earlier ones).
+  void publish(const std::string& uri, x509::CertPtr cert);
+
+  /// Makes `uri` fail every fetch (connection refused / timeout).
+  void mark_unreachable(const std::string& uri);
+
+  /// Fetches the certificate at `uri`, updating statistics.
+  Result<x509::CertPtr> fetch(const std::string& uri);
+
+  /// True if the URI has a live (reachable) certificate.
+  bool reachable(const std::string& uri) const;
+
+  const FetchStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+  std::size_t published_count() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    x509::CertPtr cert;
+    bool unreachable = false;
+  };
+
+  std::map<std::string, Entry> entries_;
+  FetchStats stats_;
+  std::uint64_t latency_ms_;
+};
+
+}  // namespace chainchaos::net

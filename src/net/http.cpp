@@ -1,0 +1,175 @@
+#include "net/http.hpp"
+
+#include "support/str.hpp"
+
+namespace chainchaos::net {
+
+Result<Url> parse_url(const std::string& url) {
+  constexpr std::string_view kScheme = "http://";
+  if (!starts_with(url, kScheme)) {
+    return make_error("http.bad_scheme", url);
+  }
+  const std::string rest = url.substr(kScheme.size());
+  const std::size_t slash = rest.find('/');
+  Url out;
+  if (slash == std::string::npos) {
+    out.host = rest;
+    out.path = "/";
+  } else {
+    out.host = rest.substr(0, slash);
+    out.path = rest.substr(slash);
+  }
+  if (out.host.empty()) return make_error("http.bad_host", url);
+  return out;
+}
+
+std::string HttpRequest::encode() const {
+  std::string out = method + " " + target + " HTTP/1.1\r\n";
+  out += "host: " + host + "\r\n";
+  for (const auto& [name, value] : headers) {
+    if (name == "host") continue;
+    out += name + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  return out;
+}
+
+namespace {
+
+/// Splits "name: value" and lower-cases the name.
+bool parse_header_line(const std::string& line, std::string* name,
+                       std::string* value) {
+  const std::size_t colon = line.find(':');
+  if (colon == std::string::npos) return false;
+  *name = to_lower(line.substr(0, colon));
+  std::size_t start = colon + 1;
+  while (start < line.size() && line[start] == ' ') ++start;
+  *value = line.substr(start);
+  return true;
+}
+
+}  // namespace
+
+Result<HttpRequest> parse_request(const std::string& raw) {
+  const std::vector<std::string> lines = split(raw, '\n');
+  if (lines.empty()) return make_error("http.empty");
+
+  std::string request_line = lines[0];
+  if (!request_line.empty() && request_line.back() == '\r') {
+    request_line.pop_back();
+  }
+  const std::vector<std::string> parts = split(request_line, ' ');
+  if (parts.size() != 3 || !starts_with(parts[2], "HTTP/1.")) {
+    return make_error("http.bad_request_line", request_line);
+  }
+
+  HttpRequest req;
+  req.method = parts[0];
+  req.target = parts[1];
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    std::string line = lines[i];
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) break;  // end of headers
+    std::string name, value;
+    if (!parse_header_line(line, &name, &value)) {
+      return make_error("http.bad_header", line);
+    }
+    if (name == "host") {
+      req.host = value;
+    } else {
+      req.headers[name] = value;
+    }
+  }
+  if (req.host.empty()) {
+    return make_error("http.missing_host", "HTTP/1.1 requires Host");
+  }
+  return req;
+}
+
+Bytes HttpResponse::encode() const {
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                     "\r\n";
+  for (const auto& [name, value] : headers) {
+    if (name == "content-length") continue;
+    head += name + ": " + value + "\r\n";
+  }
+  head += "content-length: " + std::to_string(body.size()) + "\r\n\r\n";
+  Bytes out = to_bytes(head);
+  append(out, body);
+  return out;
+}
+
+Result<HttpResponse> parse_response(BytesView raw) {
+  // Find the header/body boundary.
+  const std::string text(raw.begin(), raw.end());
+  const std::size_t boundary = text.find("\r\n\r\n");
+  if (boundary == std::string::npos) {
+    return make_error("http.truncated", "no header terminator");
+  }
+
+  HttpResponse resp;
+  const std::vector<std::string> lines = split(text.substr(0, boundary), '\n');
+  std::string status_line = lines[0];
+  if (!status_line.empty() && status_line.back() == '\r') {
+    status_line.pop_back();
+  }
+  const std::vector<std::string> parts = split(status_line, ' ');
+  if (parts.size() < 2 || !starts_with(parts[0], "HTTP/1.")) {
+    return make_error("http.bad_status_line", status_line);
+  }
+  try {
+    resp.status = std::stoi(parts[1]);
+  } catch (const std::exception&) {
+    return make_error("http.bad_status_code", parts[1]);
+  }
+  resp.reason = parts.size() > 2 ? parts[2] : "";
+  for (std::size_t i = 3; i < parts.size(); ++i) resp.reason += " " + parts[i];
+
+  std::optional<std::size_t> content_length;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    std::string line = lines[i];
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::string name, value;
+    if (!parse_header_line(line, &name, &value)) {
+      return make_error("http.bad_header", line);
+    }
+    resp.headers[name] = value;
+    if (name == "content-length") {
+      try {
+        content_length = static_cast<std::size_t>(std::stoull(value));
+      } catch (const std::exception&) {
+        return make_error("http.bad_content_length", value);
+      }
+    }
+  }
+
+  const std::size_t body_start = boundary + 4;
+  const std::size_t available = raw.size() - body_start;
+  if (!content_length.has_value()) content_length = available;
+  if (*content_length > available) {
+    return make_error("http.truncated", "body shorter than content-length");
+  }
+  resp.body.assign(raw.begin() + static_cast<std::ptrdiff_t>(body_start),
+                   raw.begin() + static_cast<std::ptrdiff_t>(body_start +
+                                                             *content_length));
+  return resp;
+}
+
+HttpResponse http_ok(Bytes body, const std::string& content_type) {
+  HttpResponse resp;
+  resp.headers["content-type"] = content_type;
+  resp.body = std::move(body);
+  return resp;
+}
+
+HttpResponse http_not_found() {
+  HttpResponse resp;
+  resp.status = 404;
+  resp.reason = "Not Found";
+  resp.headers["content-type"] = "text/plain";
+  resp.body = to_bytes("no such certificate\n");
+  return resp;
+}
+
+}  // namespace chainchaos::net

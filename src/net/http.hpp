@@ -1,0 +1,57 @@
+// Minimal HTTP/1.1 message codec — the transport beneath AIA fetching.
+//
+// RFC 5280 delivers caIssuers material over plain HTTP, and the paper's
+// privacy/security caveats about AIA stem from exactly that. The
+// repository therefore speaks real HTTP framing internally: every fetch
+// encodes a GET request, routes it to the in-process origin, and parses
+// the response — so tests exercise the same encode/parse path a real
+// client would, including malformed-response handling.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "support/bytes.hpp"
+#include "support/result.hpp"
+
+namespace chainchaos::net {
+
+/// Parsed absolute http:// URL (the only scheme AIA uses in practice —
+/// https would be circular).
+struct Url {
+  std::string host;  ///< may include :port
+  std::string path;  ///< always starts with '/'
+};
+
+/// Parses "http://host[:port]/path". Rejects other schemes.
+Result<Url> parse_url(const std::string& url);
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string target = "/";
+  std::string host;
+  std::map<std::string, std::string> headers;  ///< lower-cased names
+
+  std::string encode() const;
+};
+
+Result<HttpRequest> parse_request(const std::string& raw);
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::map<std::string, std::string> headers;  ///< lower-cased names
+  Bytes body;
+
+  /// Sets Content-Length from the body automatically.
+  Bytes encode() const;
+};
+
+Result<HttpResponse> parse_response(BytesView raw);
+
+/// Canonical response helpers.
+HttpResponse http_ok(Bytes body, const std::string& content_type);
+HttpResponse http_not_found();
+
+}  // namespace chainchaos::net

@@ -1,0 +1,31 @@
+#include "pathbuild/intermediate_cache.hpp"
+
+namespace chainchaos::pathbuild {
+
+void IntermediateCache::remember(const x509::CertPtr& cert) {
+  if (!cert) return;
+  if (!cert->is_ca() || cert->is_self_signed()) return;
+  const std::string key(cert->fingerprint.begin(), cert->fingerprint.end());
+  if (by_fingerprint_.contains(key)) return;
+  by_fingerprint_.emplace(key, cert);
+  by_subject_.emplace(cert->subject.to_string(), cert);
+}
+
+void IntermediateCache::remember_chain(const std::vector<x509::CertPtr>& chain) {
+  for (const x509::CertPtr& cert : chain) remember(cert);
+}
+
+std::vector<x509::CertPtr> IntermediateCache::find_by_subject(
+    const asn1::Name& issuer_dn) const {
+  std::vector<x509::CertPtr> out;
+  const auto [first, last] = by_subject_.equal_range(issuer_dn.to_string());
+  for (auto it = first; it != last; ++it) out.push_back(it->second);
+  return out;
+}
+
+void IntermediateCache::clear() {
+  by_fingerprint_.clear();
+  by_subject_.clear();
+}
+
+}  // namespace chainchaos::pathbuild

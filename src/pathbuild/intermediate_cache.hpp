@@ -1,0 +1,40 @@
+// IntermediateCache: Firefox's alternative to AIA fetching.
+//
+// Firefox does not follow AIA URIs; instead it remembers intermediate
+// certificates observed in previously validated chains and consults that
+// cache when a server omits one (§5.1: "Firefox compensates by caching
+// intermediate certificates"). The differential harness pre-seeds the
+// cache by browsing compliant chains first, which reproduces finding
+// I-4's Firefox column: cache-hit chains validate, cache-miss chains
+// fail with an unknown-issuer error.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "x509/certificate.hpp"
+
+namespace chainchaos::pathbuild {
+
+class IntermediateCache {
+ public:
+  /// Remembers an intermediate (non-leaf, non-self-signed CA certs only;
+  /// anything else is ignored, mirroring what browsers retain).
+  void remember(const x509::CertPtr& cert);
+
+  /// Remembers every eligible certificate in a chain.
+  void remember_chain(const std::vector<x509::CertPtr>& chain);
+
+  /// Candidates whose subject DN matches `issuer_dn`.
+  std::vector<x509::CertPtr> find_by_subject(const asn1::Name& issuer_dn) const;
+
+  std::size_t size() const { return by_fingerprint_.size(); }
+  void clear();
+
+ private:
+  std::map<std::string, x509::CertPtr> by_fingerprint_;
+  std::multimap<std::string, x509::CertPtr> by_subject_;
+};
+
+}  // namespace chainchaos::pathbuild

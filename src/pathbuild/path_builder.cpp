@@ -1,0 +1,383 @@
+#include "pathbuild/path_builder.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "chain/issuance.hpp"
+#include "support/str.hpp"
+
+namespace chainchaos::pathbuild {
+
+using chain::issued_by;
+using chain::KidMatch;
+
+const char* to_string(BuildStatus status) {
+  switch (status) {
+    case BuildStatus::kOk: return "OK";
+    case BuildStatus::kEmptyInput: return "empty input";
+    case BuildStatus::kInputListTooLong: return "input list too long";
+    case BuildStatus::kSelfSignedLeaf: return "self-signed leaf rejected";
+    case BuildStatus::kNoIssuerFound: return "unknown issuer";
+    case BuildStatus::kUntrustedRoot: return "untrusted root";
+    case BuildStatus::kDepthExceeded: return "depth limit exceeded";
+    case BuildStatus::kWorkBudgetExceeded: return "work budget exceeded";
+    case BuildStatus::kExpired: return "certificate expired";
+    case BuildStatus::kHostnameMismatch: return "hostname mismatch";
+    case BuildStatus::kNotACa: return "intermediate is not a CA";
+    case BuildStatus::kPathLenViolated: return "path length constraint violated";
+    case BuildStatus::kNameConstraintViolation:
+      return "name constraint violated";
+    case BuildStatus::kBadEku: return "extended key usage forbids serverAuth";
+  }
+  return "?";
+}
+
+bool is_construction_failure(BuildStatus status) {
+  switch (status) {
+    case BuildStatus::kEmptyInput:
+    case BuildStatus::kInputListTooLong:
+    case BuildStatus::kSelfSignedLeaf:
+    case BuildStatus::kNoIssuerFound:
+    case BuildStatus::kUntrustedRoot:
+    case BuildStatus::kDepthExceeded:
+    case BuildStatus::kWorkBudgetExceeded:
+      return true;
+    default:
+      return false;
+  }
+}
+
+PathBuilder::PathBuilder(BuildPolicy policy, const truststore::RootStore* store,
+                         net::AiaRepository* aia, IntermediateCache* cache)
+    : policy_(policy), store_(store), aia_(aia), cache_(cache) {}
+
+namespace {
+
+bool in_path(const std::vector<x509::CertPtr>& path,
+             const x509::Certificate& cert) {
+  for (const x509::CertPtr& entry : path) {
+    if (equal(entry->fingerprint, cert.fingerprint)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<PathBuilder::Candidate> PathBuilder::gather_candidates(
+    const x509::Certificate& child, int child_list_pos,
+    const std::vector<x509::CertPtr>& pool,
+    const std::vector<x509::CertPtr>& path, BuildStats& stats) const {
+  std::vector<Candidate> out;
+
+  // Source 0: the server-provided list. Without reordering capability,
+  // only certificates at later positions than the child are reachable
+  // (models MbedTLS's forward scan over the linked list).
+  for (int pos = 0; pos < static_cast<int>(pool.size()); ++pos) {
+    const x509::CertPtr& cand = pool[static_cast<std::size_t>(pos)];
+    if (!policy_.reorder && pos <= child_list_pos) continue;
+    if (in_path(path, *cand)) continue;
+    if (!chain::plausibly_issued_by(child, *cand)) continue;
+    out.push_back(Candidate{cand, 0, pos});
+  }
+
+  // Source 1: the intermediate cache (Firefox-style).
+  if (policy_.intermediate_cache && cache_ != nullptr) {
+    for (const x509::CertPtr& cand : cache_->find_by_subject(child.issuer)) {
+      if (in_path(path, *cand)) continue;
+      ++stats.cache_hits;
+      out.push_back(Candidate{cand, 1, static_cast<int>(pool.size())});
+    }
+  }
+
+  // Source 2: the root store (by subject DN, then by AKID->SKID).
+  if (store_ != nullptr) {
+    std::vector<x509::CertPtr> roots = store_->find_by_subject(child.issuer);
+    if (child.authority_key_id.has_value()) {
+      for (x509::CertPtr& root :
+           store_->find_by_key_id(*child.authority_key_id)) {
+        roots.push_back(std::move(root));
+      }
+    }
+    for (const x509::CertPtr& cand : roots) {
+      if (in_path(path, *cand)) continue;
+      bool already = false;
+      for (const Candidate& existing : out) {
+        if (equal(existing.cert->fingerprint, cand->fingerprint)) {
+          already = true;
+          break;
+        }
+      }
+      if (already) continue;
+      if (!chain::plausibly_issued_by(child, *cand)) continue;
+      out.push_back(Candidate{cand, 2, static_cast<int>(pool.size())});
+    }
+  }
+
+  if (static_cast<int>(out.size()) > policy_.max_candidates_per_step) {
+    out.resize(static_cast<std::size_t>(policy_.max_candidates_per_step));
+  }
+  return out;
+}
+
+namespace {
+
+int kid_rank(KidPriority priority, KidMatch match) {
+  switch (priority) {
+    case KidPriority::kNone:
+      return 0;
+    case KidPriority::kMatchOrAbsentFirst:  // KP1
+      return match == KidMatch::kMismatch ? 1 : 0;
+    case KidPriority::kMatchFirst:  // KP2
+      switch (match) {
+        case KidMatch::kMatch: return 0;
+        case KidMatch::kAbsent: return 1;
+        case KidMatch::kMismatch: return 2;
+      }
+  }
+  return 0;
+}
+
+int key_usage_rank(KeyUsagePriority priority, const x509::Certificate& cand) {
+  if (priority == KeyUsagePriority::kNone) return 0;
+  // Correct (keyCertSign set) or missing KeyUsage rank ahead of a present
+  // but incapable KeyUsage.
+  if (!cand.key_usage.has_value()) return 0;
+  return cand.key_usage->allows_cert_signing() ? 0 : 1;
+}
+
+int basic_constraints_rank(BasicConstraintsPriority priority,
+                           const x509::Certificate& cand,
+                           std::size_t path_len) {
+  if (priority == BasicConstraintsPriority::kNone) return 0;
+  if (!cand.basic_constraints.has_value() || !cand.basic_constraints->is_ca) {
+    return 1;
+  }
+  if (cand.basic_constraints->path_len_constraint.has_value()) {
+    // Placing the candidate at index path_len puts (path_len - 1)
+    // intermediates below it (the leaf does not count).
+    const int below = static_cast<int>(path_len) - 1;
+    if (*cand.basic_constraints->path_len_constraint < below) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void PathBuilder::rank_candidates(std::vector<Candidate>& candidates,
+                                  const x509::Certificate& child,
+                                  std::size_t path_len) const {
+  const std::int64_t now = policy_.validation_time;
+
+  const auto sort_key = [&](const Candidate& c) {
+    const int kid =
+        kid_rank(policy_.kid_priority, chain::kid_match(*c.cert, child));
+    const int ku = key_usage_rank(policy_.key_usage_priority, *c.cert);
+    const int bc = basic_constraints_rank(policy_.basic_constraints_priority,
+                                          *c.cert, path_len);
+    int trusted = 0;
+    if (policy_.prefer_trusted_root) {
+      trusted = (store_ != nullptr && c.cert->is_self_signed() &&
+                 store_->contains(*c.cert))
+                    ? 0
+                    : 1;
+    }
+    int validity = 0;
+    std::int64_t recency = 0;
+    std::int64_t span = 0;
+    switch (policy_.validity_priority) {
+      case ValidityPriority::kFirstListed:
+        break;
+      case ValidityPriority::kFirstValid:  // VP1
+        validity = c.cert->valid_at(now) ? 0 : 1;
+        break;
+      case ValidityPriority::kMostRecentThenLongest:  // VP2
+        validity = c.cert->valid_at(now) ? 0 : 1;
+        recency = -c.cert->not_before;
+        span = -(c.cert->not_after - c.cert->not_before);
+        break;
+    }
+    return std::make_tuple(kid, ku, bc, trusted, validity, recency, span,
+                           c.source_rank, c.list_position);
+  };
+
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](const Candidate& a, const Candidate& b) {
+                     return sort_key(a) < sort_key(b);
+                   });
+}
+
+bool PathBuilder::extend(std::vector<x509::CertPtr>& path,
+                         const std::vector<x509::CertPtr>& pool,
+                         int child_list_pos, BuildStats& stats,
+                         BuildStatus& failure) const {
+  if (++stats.steps > policy_.max_build_steps) {
+    failure = BuildStatus::kWorkBudgetExceeded;
+    return false;
+  }
+
+  const x509::Certificate& current = *path.back();
+
+  // Terminal: a self-signed certificate ends the path, successfully only
+  // when it is a trust anchor.
+  if (current.is_self_signed()) {
+    if (store_ != nullptr && store_->contains(current)) return true;
+    failure = BuildStatus::kUntrustedRoot;
+    return false;
+  }
+
+  if (policy_.max_constructed_depth > 0 &&
+      static_cast<int>(path.size()) >= policy_.max_constructed_depth) {
+    failure = BuildStatus::kDepthExceeded;
+    return false;
+  }
+
+  std::vector<Candidate> candidates =
+      gather_candidates(current, child_list_pos, pool, path, stats);
+  rank_candidates(candidates, current, path.size());
+  // Every gathered candidate costs work (filtering, ranking) even when
+  // the first one succeeds — this is the resource-consumption effect of
+  // duplicate-keeping clients the paper notes for MbedTLS.
+  stats.candidates_considered += static_cast<int>(candidates.size());
+
+  bool committed = false;
+  for (const Candidate& candidate : candidates) {
+    // Signature check is part of selection in every studied client.
+    if (!issued_by(current, *candidate.cert)) continue;
+    if (policy_.partial_validation &&
+        !candidate.cert->valid_at(policy_.validation_time)) {
+      continue;  // MbedTLS-style: invalid certs never enter the path
+    }
+    path.push_back(candidate.cert);
+    committed = true;
+    if (extend(path, pool, candidate.list_position, stats, failure)) {
+      return true;
+    }
+    path.pop_back();
+    ++stats.backtracks;
+    if (!policy_.backtracking) return false;  // committed to first choice
+  }
+
+  // Last resort: AIA fetch of the missing issuer.
+  if (policy_.aia_completion && aia_ != nullptr && current.aia.has_value() &&
+      current.aia->ca_issuers_uri.has_value()) {
+    ++stats.aia_fetches;
+    auto fetched = aia_->fetch(*current.aia->ca_issuers_uri);
+    if (fetched.ok() && !in_path(path, *fetched.value()) &&
+        issued_by(current, *fetched.value())) {
+      path.push_back(fetched.value());
+      if (extend(path, pool, static_cast<int>(pool.size()), stats, failure)) {
+        return true;
+      }
+      path.pop_back();
+      ++stats.backtracks;
+      if (!policy_.backtracking) return false;
+    }
+  }
+
+  if (!committed && failure != BuildStatus::kUntrustedRoot &&
+      failure != BuildStatus::kDepthExceeded &&
+      failure != BuildStatus::kWorkBudgetExceeded) {
+    failure = BuildStatus::kNoIssuerFound;
+  }
+  return false;
+}
+
+BuildStatus PathBuilder::validate(const std::vector<x509::CertPtr>& path,
+                                  const std::string& hostname) const {
+  const std::int64_t now = policy_.validation_time;
+  for (const x509::CertPtr& cert : path) {
+    if (!cert->valid_at(now)) return BuildStatus::kExpired;
+  }
+  if (!hostname.empty() && !path.front()->matches_host(hostname)) {
+    return BuildStatus::kHostnameMismatch;
+  }
+  // Leaf EKU must permit server authentication when present.
+  if (policy_.check_extended_key_usage &&
+      path.front()->ext_key_usage.has_value() &&
+      !path.front()->ext_key_usage->allows("1.3.6.1.5.5.7.3.1")) {
+    return BuildStatus::kBadEku;
+  }
+  // Issuing certificates must be CAs with satisfiable path lengths, and
+  // any NameConstraints they carry must admit the leaf's identities.
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const x509::Certificate& issuer = *path[i];
+    if (!issuer.is_ca()) return BuildStatus::kNotACa;
+    if (issuer.basic_constraints->path_len_constraint.has_value()) {
+      const int below = static_cast<int>(i) - 1;
+      if (*issuer.basic_constraints->path_len_constraint < below) {
+        return BuildStatus::kPathLenViolated;
+      }
+    }
+    if (policy_.check_name_constraints &&
+        issuer.name_constraints.has_value()) {
+      for (const std::string& identity : path.front()->identity_strings()) {
+        if (!looks_like_dns_name(identity)) continue;
+        if (!issuer.name_constraints->allows(identity)) {
+          return BuildStatus::kNameConstraintViolation;
+        }
+      }
+    }
+  }
+  return BuildStatus::kOk;
+}
+
+BuildResult PathBuilder::build(const std::vector<x509::CertPtr>& server_list,
+                               const std::string& hostname) const {
+  BuildResult result;
+  if (server_list.empty()) {
+    result.status = BuildStatus::kEmptyInput;
+    return result;
+  }
+  if (policy_.max_input_list > 0 &&
+      static_cast<int>(server_list.size()) > policy_.max_input_list) {
+    // GnuTLS semantics (finding I-2): the cap applies to the certificate
+    // *list* as received, before any deduplication or construction.
+    result.status = BuildStatus::kInputListTooLong;
+    result.detail = "list has " + std::to_string(server_list.size()) +
+                    " certificates, cap is " +
+                    std::to_string(policy_.max_input_list);
+    return result;
+  }
+
+  // Redundancy elimination: drop exact duplicates (first occurrence wins).
+  std::vector<x509::CertPtr> pool;
+  if (policy_.eliminate_redundancy) {
+    for (const x509::CertPtr& cert : server_list) {
+      bool seen = false;
+      for (const x509::CertPtr& kept : pool) {
+        if (equal(kept->fingerprint, cert->fingerprint)) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) pool.push_back(cert);
+    }
+  } else {
+    pool = server_list;
+  }
+
+  const x509::CertPtr& leaf = pool.front();
+  if (leaf->is_self_signed() && !policy_.allow_self_signed_leaf) {
+    result.status = BuildStatus::kSelfSignedLeaf;
+    return result;
+  }
+
+  result.path.push_back(leaf);
+  BuildStatus failure = BuildStatus::kNoIssuerFound;
+  if (!extend(result.path, pool, 0, result.stats, failure)) {
+    result.status = failure;
+    return result;
+  }
+
+  result.status = validate(result.path, hostname);
+
+  // Successful validation feeds the intermediate cache (how Firefox's
+  // cache gets populated in the first place).
+  if (result.status == BuildStatus::kOk && cache_ != nullptr &&
+      policy_.intermediate_cache) {
+    cache_->remember_chain(result.path);
+  }
+  return result;
+}
+
+}  // namespace chainchaos::pathbuild

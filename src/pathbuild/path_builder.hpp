@@ -1,0 +1,113 @@
+// PathBuilder: the forward-construction certificate path building engine.
+//
+// One engine, parameterised by BuildPolicy, models every client in the
+// study. Construction starts at the leaf (the first certificate of the
+// server list) and repeatedly selects an issuer from the available
+// sources — the server list itself, the intermediate cache, the root
+// store, and (lazily) AIA fetches — ranked by the policy's priority
+// rules. Dead ends (no candidate, untrusted self-signed terminus, depth
+// limit) either backtrack to the next-ranked candidate or fail the
+// build, depending on the policy.
+//
+// The returned BuildResult separates *construction* failures from
+// *validation* failures, which is exactly the distinction the paper
+// introduces (Figure 1: path construction vs path validation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/aia_repository.hpp"
+#include "pathbuild/intermediate_cache.hpp"
+#include "pathbuild/policy.hpp"
+#include "truststore/root_store.hpp"
+#include "x509/certificate.hpp"
+
+namespace chainchaos::pathbuild {
+
+enum class BuildStatus {
+  kOk,                ///< path built and validated
+  kEmptyInput,
+  kInputListTooLong,  ///< GnuTLS-style input-list cap hit (finding I-2)
+  kSelfSignedLeaf,    ///< leaf self-signed and policy forbids it
+  kNoIssuerFound,     ///< construction dead end (unknown issuer)
+  kUntrustedRoot,     ///< terminus self-signed but not in the store
+  kDepthExceeded,     ///< constructed-depth cap hit
+  kWorkBudgetExceeded,///< max_build_steps exhausted (cyclic graphs)
+  // ---- validation-phase failures (path was constructed) ----
+  kExpired,
+  kHostnameMismatch,
+  kNotACa,            ///< intermediate without CA basic constraints
+  kPathLenViolated,
+  kNameConstraintViolation,  ///< leaf identity outside a CA's subtrees
+  kBadEku,                   ///< leaf EKU lacks serverAuth
+};
+
+const char* to_string(BuildStatus status);
+
+/// True for statuses that mean "no candidate path could even be built"
+/// as opposed to "a path was built but failed validation".
+bool is_construction_failure(BuildStatus status);
+
+struct BuildStats {
+  int candidates_considered = 0;
+  int backtracks = 0;
+  int aia_fetches = 0;
+  int cache_hits = 0;
+  int steps = 0;
+};
+
+struct BuildResult {
+  BuildStatus status = BuildStatus::kNoIssuerFound;
+  std::vector<x509::CertPtr> path;  ///< leaf..terminus (possibly partial)
+  BuildStats stats;
+  std::string detail;
+
+  bool ok() const { return status == BuildStatus::kOk; }
+};
+
+class PathBuilder {
+ public:
+  /// `store` must outlive the builder; `aia` and `cache` may be null
+  /// (disabling the corresponding sources regardless of policy).
+  PathBuilder(BuildPolicy policy, const truststore::RootStore* store,
+              net::AiaRepository* aia = nullptr,
+              IntermediateCache* cache = nullptr);
+
+  /// Builds and validates a path for the server-provided list.
+  /// `hostname` may be empty to skip name checking.
+  BuildResult build(const std::vector<x509::CertPtr>& server_list,
+                    const std::string& hostname = {}) const;
+
+  const BuildPolicy& policy() const { return policy_; }
+
+ private:
+  struct Candidate {
+    x509::CertPtr cert;
+    int source_rank = 0;  ///< list < cache < store < aia
+    int list_position = 0;
+  };
+
+  std::vector<Candidate> gather_candidates(
+      const x509::Certificate& child, int child_list_pos,
+      const std::vector<x509::CertPtr>& pool,
+      const std::vector<x509::CertPtr>& path, BuildStats& stats) const;
+
+  void rank_candidates(std::vector<Candidate>& candidates,
+                       const x509::Certificate& child,
+                       std::size_t path_len) const;
+
+  bool extend(std::vector<x509::CertPtr>& path,
+              const std::vector<x509::CertPtr>& pool, int child_list_pos,
+              BuildStats& stats, BuildStatus& failure) const;
+
+  BuildStatus validate(const std::vector<x509::CertPtr>& path,
+                       const std::string& hostname) const;
+
+  BuildPolicy policy_;
+  const truststore::RootStore* store_;
+  net::AiaRepository* aia_;
+  IntermediateCache* cache_;
+};
+
+}  // namespace chainchaos::pathbuild

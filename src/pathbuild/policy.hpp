@@ -1,0 +1,89 @@
+// BuildPolicy: the knob vector that turns the single PathBuilder engine
+// into any of the paper's 8 TLS clients.
+//
+// The empirical study (§3.2) found all implementations share a forward-
+// construction skeleton and differ along a small set of axes: whether
+// they reorder, deduplicate, fetch via AIA or an intermediate cache,
+// backtrack, how they rank competing issuer candidates (Table 9's
+// VP/KP/KUP/BP codes), and where their length limits sit (constructed
+// depth vs input list size — the distinction behind finding I-2).
+#pragma once
+
+#include <cstdint>
+
+namespace chainchaos::pathbuild {
+
+/// Validity-based candidate ranking (Table 9 "Validity Priority").
+enum class ValidityPriority {
+  kFirstListed,          ///< "—": no priority, take candidates in order
+  kFirstValid,           ///< VP1: first currently-valid candidate
+  kMostRecentThenLongest ///< VP2: latest notBefore, then longest span
+};
+
+/// Key-identifier ranking (Table 9 "KID Matching Priority").
+enum class KidPriority {
+  kNone,                  ///< "—": first listed, KID ignored
+  kMatchOrAbsentFirst,    ///< KP1: {match, absent} over mismatch
+  kMatchFirst,            ///< KP2: match over absent over mismatch
+};
+
+/// KeyUsage ranking (Table 9 "KeyUsage Correctness Priority").
+enum class KeyUsagePriority {
+  kNone,                 ///< "—": ignored
+  kCorrectOrMissingFirst ///< KUP: correct/missing over incorrect
+};
+
+/// BasicConstraints ranking (Table 9 "Basic Constraints Priority").
+enum class BasicConstraintsPriority {
+  kNone,         ///< "—": ignored
+  kCorrectFirst  ///< BP: CA with satisfiable pathLen preferred
+};
+
+struct BuildPolicy {
+  // --- basic capabilities (Table 2 #1-#3) -------------------------------
+  bool reorder = true;              ///< false: issuer candidates only from
+                                    ///< later list positions (MbedTLS)
+  bool eliminate_redundancy = true; ///< drop bit-identical duplicates
+  bool aia_completion = false;      ///< fetch missing issuers via AIA
+  bool intermediate_cache = false;  ///< Firefox-style cache lookup
+
+  // --- search behaviour ---------------------------------------------------
+  bool backtracking = true;  ///< retry alternatives after a dead end
+  int max_candidates_per_step = 16;  ///< defensive bound on fan-out
+  int max_build_steps = 256;         ///< global work budget (DoS guard)
+
+  // --- restriction settings (Table 2 #8-#9) ------------------------------
+  int max_constructed_depth = 0;  ///< max certs in built path; 0 = unlimited
+  int max_input_list = 0;         ///< GnuTLS-style cap on the *input list*;
+                                  ///< 0 = unlimited
+  bool allow_self_signed_leaf = false;
+
+  // --- priority preferences (Table 2 #4-#7) -------------------------------
+  ValidityPriority validity_priority = ValidityPriority::kFirstListed;
+  KidPriority kid_priority = KidPriority::kNone;
+  KeyUsagePriority key_usage_priority = KeyUsagePriority::kNone;
+  BasicConstraintsPriority basic_constraints_priority =
+      BasicConstraintsPriority::kNone;
+
+  /// Prefer a trusted self-signed root over a same-subject intermediate
+  /// (the §6.2 recommendation; reduces wasted construction attempts).
+  bool prefer_trusted_root = false;
+
+  // --- validation integration ---------------------------------------------
+  /// MbedTLS-style partial validation: check validity windows while
+  /// selecting candidates (invalid candidates are skipped during
+  /// construction rather than failing afterwards).
+  bool partial_validation = false;
+
+  /// Enforce NameConstraints subtrees along the path and a serverAuth-
+  /// capable EKU on the leaf (the BetterTLS-side checks of Table 1;
+  /// every studied client implements them, so they default on).
+  bool check_name_constraints = true;
+  bool check_extended_key_usage = true;
+
+  /// "Now" for every validity comparison (unix seconds). Fixed by the
+  /// caller so runs are deterministic.
+  std::int64_t validation_time = 1800000000;  // 2027-01-15
+};
+
+}  // namespace chainchaos::pathbuild

@@ -1,0 +1,85 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace chainchaos::report {
+
+Table& Table::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::render() const {
+  // Column widths over header + all rows.
+  std::vector<std::size_t> widths;
+  const auto absorb = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  absorb(header_);
+  for (const auto& row : rows_) absorb(row);
+
+  const auto render_row = [&widths](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      line += cell;
+      if (i + 1 < widths.size()) {
+        line.append(widths[i] - cell.size() + 2, ' ');
+      }
+    }
+    // Trim trailing spaces.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out;
+  out += "== " + title_ + " ==\n";
+  if (!header_.empty()) {
+    out += render_row(header_);
+    std::size_t rule_len = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      rule_len += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+    }
+    out += std::string(rule_len, '-') + "\n";
+  }
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string pct(double numerator, double denominator) {
+  char buf[32];
+  const double value =
+      denominator == 0.0 ? 0.0 : 100.0 * numerator / denominator;
+  std::snprintf(buf, sizeof buf, "%.1f%%", value);
+  return buf;
+}
+
+std::string with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  int counter = 0;
+  for (std::size_t i = digits.size(); i-- > 0;) {
+    out.insert(out.begin(), digits[i]);
+    if (++counter == 3 && i != 0) {
+      out.insert(out.begin(), ',');
+      counter = 0;
+    }
+  }
+  return out;
+}
+
+std::string count_pct(std::uint64_t count, std::uint64_t total) {
+  return with_commas(count) + " (" +
+         pct(static_cast<double>(count), static_cast<double>(total)) + ")";
+}
+
+}  // namespace chainchaos::report

@@ -1,0 +1,36 @@
+// Fixed-width text table rendering for the bench binaries. Every
+// regenerated paper table goes through this formatter so outputs are
+// uniform and diffable across runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace chainchaos::report {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> cells);
+  Table& row(std::vector<std::string> cells);
+
+  /// Renders with a title line, column rule, and padded cells.
+  std::string render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "1234 (12.3%)" — the paper's count-with-share cell format.
+std::string count_pct(std::uint64_t count, std::uint64_t total);
+
+/// "12.3%" with one decimal.
+std::string pct(double numerator, double denominator);
+
+/// Integer with thousands separators ("12,087").
+std::string with_commas(std::uint64_t value);
+
+}  // namespace chainchaos::report

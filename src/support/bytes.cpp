@@ -1,0 +1,140 @@
+#include "support/bytes.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace chainchaos {
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(BytesView b) {
+  return std::string(b.begin(), b.end());
+}
+
+std::string hex_encode(BytesView b) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t byte : b) {
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0x0f]);
+  }
+  return out;
+}
+
+namespace {
+
+int hex_digit_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::optional<Bytes> hex_decode(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_digit_value(hex[i]);
+    const int lo = hex_digit_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+namespace {
+
+constexpr char kB64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<int, 256> build_b64_reverse() {
+  std::array<int, 256> rev{};
+  rev.fill(-1);
+  for (int i = 0; i < 64; ++i) {
+    rev[static_cast<unsigned char>(kB64Alphabet[i])] = i;
+  }
+  return rev;
+}
+
+}  // namespace
+
+std::string base64_encode(BytesView b) {
+  std::string out;
+  out.reserve((b.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= b.size()) {
+    const std::uint32_t n = (static_cast<std::uint32_t>(b[i]) << 16) |
+                            (static_cast<std::uint32_t>(b[i + 1]) << 8) |
+                            b[i + 2];
+    out.push_back(kB64Alphabet[(n >> 18) & 63]);
+    out.push_back(kB64Alphabet[(n >> 12) & 63]);
+    out.push_back(kB64Alphabet[(n >> 6) & 63]);
+    out.push_back(kB64Alphabet[n & 63]);
+    i += 3;
+  }
+  const std::size_t rem = b.size() - i;
+  if (rem == 1) {
+    const std::uint32_t n = static_cast<std::uint32_t>(b[i]) << 16;
+    out.push_back(kB64Alphabet[(n >> 18) & 63]);
+    out.push_back(kB64Alphabet[(n >> 12) & 63]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rem == 2) {
+    const std::uint32_t n = (static_cast<std::uint32_t>(b[i]) << 16) |
+                            (static_cast<std::uint32_t>(b[i + 1]) << 8);
+    out.push_back(kB64Alphabet[(n >> 18) & 63]);
+    out.push_back(kB64Alphabet[(n >> 12) & 63]);
+    out.push_back(kB64Alphabet[(n >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::optional<Bytes> base64_decode(std::string_view text) {
+  static const std::array<int, 256> kRev = build_b64_reverse();
+  if (text.size() % 4 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int vals[4];
+    int pad = 0;
+    for (int j = 0; j < 4; ++j) {
+      const char c = text[i + j];
+      if (c == '=') {
+        // Padding is only legal in the last group's final two positions.
+        if (i + 4 != text.size() || j < 2) return std::nullopt;
+        vals[j] = 0;
+        ++pad;
+      } else {
+        if (pad > 0) return std::nullopt;  // data after padding
+        vals[j] = kRev[static_cast<unsigned char>(c)];
+        if (vals[j] < 0) return std::nullopt;
+      }
+    }
+    const std::uint32_t n = (static_cast<std::uint32_t>(vals[0]) << 18) |
+                            (static_cast<std::uint32_t>(vals[1]) << 12) |
+                            (static_cast<std::uint32_t>(vals[2]) << 6) |
+                            static_cast<std::uint32_t>(vals[3]);
+    out.push_back(static_cast<std::uint8_t>((n >> 16) & 0xff));
+    if (pad < 2) out.push_back(static_cast<std::uint8_t>((n >> 8) & 0xff));
+    if (pad < 1) out.push_back(static_cast<std::uint8_t>(n & 0xff));
+  }
+  return out;
+}
+
+void append(Bytes& head, BytesView tail) {
+  head.insert(head.end(), tail.begin(), tail.end());
+}
+
+bool equal(BytesView a, BytesView b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+}  // namespace chainchaos

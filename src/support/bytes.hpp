@@ -1,0 +1,47 @@
+// Byte-buffer primitives shared by every module.
+//
+// The whole library moves certificates around as opaque byte strings
+// (DER encodings, hashes, signatures), so a single well-known alias plus
+// a handful of conversion helpers keeps signatures uniform.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace chainchaos {
+
+/// Owning byte buffer. DER blobs, digests and signatures all use this.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view over bytes.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Builds a Bytes buffer from the raw characters of a string (no encoding).
+Bytes to_bytes(std::string_view s);
+
+/// Interprets a byte buffer as raw characters (no encoding).
+std::string to_string(BytesView b);
+
+/// Lower-case hexadecimal rendering, e.g. {0xde,0xad} -> "dead".
+std::string hex_encode(BytesView b);
+
+/// Parses lower/upper-case hex. Returns nullopt on odd length or bad digit.
+std::optional<Bytes> hex_decode(std::string_view hex);
+
+/// RFC 4648 base64 (with padding).
+std::string base64_encode(BytesView b);
+
+/// Strict base64 decoder. Returns nullopt on bad length/character/padding.
+std::optional<Bytes> base64_decode(std::string_view text);
+
+/// Appends `tail` to `head` in place.
+void append(Bytes& head, BytesView tail);
+
+/// Constant-style equality (length then contents); not constant-time.
+bool equal(BytesView a, BytesView b);
+
+}  // namespace chainchaos

@@ -1,0 +1,68 @@
+// Minimal Result<T> error-or-value type.
+//
+// The library reports recoverable failures (parse errors, validation
+// failures, fetch failures) by value rather than by exception, following
+// the Core Guidelines advice to make error paths explicit in interfaces
+// that are exercised on hot measurement loops.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace chainchaos {
+
+/// Error payload: a short machine-readable code plus human detail.
+struct Error {
+  std::string code;     ///< stable identifier, e.g. "der.truncated"
+  std::string message;  ///< free-form context for humans
+
+  std::string to_string() const {
+    return message.empty() ? code : code + ": " + message;
+  }
+};
+
+/// Value-or-Error. `ok()` must be checked before `value()`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  /// value() if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Convenience factory for error results.
+inline Error make_error(std::string code, std::string message = {}) {
+  return Error{std::move(code), std::move(message)};
+}
+
+}  // namespace chainchaos

@@ -1,0 +1,53 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (corpus generator, failure injection, key
+// generation) draws from an explicitly seeded Rng so that benches and
+// tests reproduce bit-identical output on every run. No component in the
+// library may touch a global or wall-clock-seeded RNG.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace chainchaos {
+
+/// xoshiro256** seeded via splitmix64. Small, fast, and good enough for
+/// simulation workloads (not for cryptographic use; see crypto/ for keys,
+/// which also derive deterministically from an Rng by design).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double unit();
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Index drawn from a discrete distribution proportional to `weights`.
+  /// Zero-total weights fall back to index 0.
+  std::size_t weighted(const std::vector<double>& weights);
+
+  /// Derives an independent child stream; used to give each simulated
+  /// domain / CA / client its own reproducible randomness regardless of
+  /// evaluation order.
+  Rng fork(std::uint64_t salt);
+
+  /// Stable 64-bit hash of a string, for seeding forks by name.
+  static std::uint64_t hash(std::string_view s);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace chainchaos

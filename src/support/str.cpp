@@ -1,0 +1,105 @@
+#include "support/str.hpp"
+
+#include <cctype>
+
+namespace chainchaos {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+namespace {
+
+bool valid_label(std::string_view label, bool allow_wildcard) {
+  if (label.empty() || label.size() > 63) return false;
+  if (allow_wildcard && label == "*") return true;
+  if (label.front() == '-' || label.back() == '-') return false;
+  for (char c : label) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (!std::isalnum(u) && c != '-') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool looks_like_dns_name(std::string_view s) {
+  if (s.empty() || s.size() > 253) return false;
+  const std::vector<std::string> labels = split(s, '.');
+  if (labels.size() < 2) return false;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (!valid_label(labels[i], /*allow_wildcard=*/i == 0)) return false;
+  }
+  // TLD must not be all-numeric (that would be an IP fragment).
+  const std::string& tld = labels.back();
+  bool all_digits = true;
+  for (char c : tld) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) all_digits = false;
+  }
+  return !all_digits;
+}
+
+bool looks_like_ipv4(std::string_view s) {
+  const std::vector<std::string> octets = split(s, '.');
+  if (octets.size() != 4) return false;
+  for (const std::string& o : octets) {
+    if (o.empty() || o.size() > 3) return false;
+    int value = 0;
+    for (char c : o) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+      value = value * 10 + (c - '0');
+    }
+    if (value > 255) return false;
+    if (o.size() > 1 && o[0] == '0') return false;  // no leading zeros
+  }
+  return true;
+}
+
+bool looks_like_domain_or_ip(std::string_view s) {
+  return looks_like_ipv4(s) || looks_like_dns_name(s);
+}
+
+bool wildcard_match(std::string_view pattern, std::string_view host) {
+  const std::string p = to_lower(pattern);
+  const std::string h = to_lower(host);
+  if (p == h) return true;
+  if (!starts_with(p, "*.")) return false;
+  // The wildcard covers exactly one label.
+  const std::string_view rest = std::string_view(p).substr(2);
+  const std::size_t dot = h.find('.');
+  if (dot == std::string::npos) return false;
+  return std::string_view(h).substr(dot + 1) == rest;
+}
+
+}  // namespace chainchaos

@@ -1,0 +1,39 @@
+// Small string utilities used across the measurement pipeline, including
+// the domain/IP format heuristics that the leaf-placement classifier
+// (paper §3.1, "Leaf certificate analysis") relies on.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace chainchaos {
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing.
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// True if `s` is syntactically a DNS name: labels of [a-z0-9-] (and '*'
+/// as a whole leftmost label), 1-63 chars each, at least two labels,
+/// no leading/trailing hyphen, total <= 253.
+bool looks_like_dns_name(std::string_view s);
+
+/// True if `s` parses as a dotted-quad IPv4 address.
+bool looks_like_ipv4(std::string_view s);
+
+/// Paper's classifier input: "is this CN/SAN in domain-or-IP format?"
+bool looks_like_domain_or_ip(std::string_view s);
+
+/// True if `pattern` (possibly a wildcard like *.example.com) matches
+/// `host` under RFC 6125 left-most-label wildcard rules.
+bool wildcard_match(std::string_view pattern, std::string_view host);
+
+}  // namespace chainchaos

@@ -1,0 +1,136 @@
+#include "tls/certificate_message.hpp"
+
+namespace chainchaos::tls {
+
+namespace {
+
+void put_u8(Bytes& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u16(Bytes& out, std::size_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u24(Bytes& out, std::size_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+class WireReader {
+ public:
+  explicit WireReader(BytesView data) : data_(data) {}
+
+  bool at_end() const { return pos_ >= data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  Result<std::uint8_t> u8() {
+    if (remaining() < 1) return make_error("tls.truncated", "u8");
+    return data_[pos_++];
+  }
+  Result<std::size_t> u16() {
+    if (remaining() < 2) return make_error("tls.truncated", "u16");
+    const std::size_t v = (static_cast<std::size_t>(data_[pos_]) << 8) |
+                          data_[pos_ + 1];
+    pos_ += 2;
+    return v;
+  }
+  Result<std::size_t> u24() {
+    if (remaining() < 3) return make_error("tls.truncated", "u24");
+    const std::size_t v = (static_cast<std::size_t>(data_[pos_]) << 16) |
+                          (static_cast<std::size_t>(data_[pos_ + 1]) << 8) |
+                          data_[pos_ + 2];
+    pos_ += 3;
+    return v;
+  }
+  Result<BytesView> take(std::size_t n) {
+    if (remaining() < n) return make_error("tls.truncated", "opaque");
+    BytesView view = data_.subspan(pos_, n);
+    pos_ += n;
+    return view;
+  }
+
+ private:
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Bytes encode_certificate_message(const std::vector<x509::CertPtr>& list,
+                                 TlsVersion version) {
+  Bytes body;
+  if (version == TlsVersion::kTls13) {
+    put_u8(body, 0);  // empty certificate_request_context
+  }
+
+  Bytes entries;
+  for (const x509::CertPtr& cert : list) {
+    put_u24(entries, cert->der.size());
+    append(entries, cert->der);
+    if (version == TlsVersion::kTls13) {
+      put_u16(entries, 0);  // no per-entry extensions
+    }
+  }
+  put_u24(body, entries.size());
+  append(body, entries);
+
+  Bytes message;
+  put_u8(message, kHandshakeTypeCertificate);
+  put_u24(message, body.size());
+  append(message, body);
+  return message;
+}
+
+Result<std::vector<x509::CertPtr>> decode_certificate_message(
+    BytesView message, TlsVersion version) {
+  WireReader reader(message);
+
+  auto msg_type = reader.u8();
+  if (!msg_type.ok()) return msg_type.error();
+  if (msg_type.value() != kHandshakeTypeCertificate) {
+    return make_error("tls.wrong_type", "not a Certificate message");
+  }
+  auto body_len = reader.u24();
+  if (!body_len.ok()) return body_len.error();
+  if (body_len.value() != reader.remaining()) {
+    return make_error("tls.bad_length", "handshake length mismatch");
+  }
+
+  if (version == TlsVersion::kTls13) {
+    auto ctx_len = reader.u8();
+    if (!ctx_len.ok()) return ctx_len.error();
+    auto ctx = reader.take(ctx_len.value());
+    if (!ctx.ok()) return ctx.error();
+  }
+
+  auto list_len = reader.u24();
+  if (!list_len.ok()) return list_len.error();
+  if (list_len.value() != reader.remaining()) {
+    return make_error("tls.bad_length", "certificate_list length mismatch");
+  }
+
+  std::vector<x509::CertPtr> out;
+  while (!reader.at_end()) {
+    auto cert_len = reader.u24();
+    if (!cert_len.ok()) return cert_len.error();
+    if (cert_len.value() == 0) {
+      return make_error("tls.bad_length", "zero-length certificate entry");
+    }
+    auto der = reader.take(cert_len.value());
+    if (!der.ok()) return der.error();
+    auto cert = x509::parse_certificate(der.value());
+    if (!cert.ok()) return cert.error();
+    out.push_back(std::move(cert).value());
+
+    if (version == TlsVersion::kTls13) {
+      auto ext_len = reader.u16();
+      if (!ext_len.ok()) return ext_len.error();
+      auto ext = reader.take(ext_len.value());
+      if (!ext.ok()) return ext.error();
+    }
+  }
+  return out;
+}
+
+}  // namespace chainchaos::tls

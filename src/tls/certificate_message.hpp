@@ -1,0 +1,39 @@
+// TLS Certificate handshake message codec.
+//
+// The server's certificate *list* (the paper's central object) travels in
+// the Certificate handshake message. We implement both framings:
+//   RFC 5246 §7.4.2 (TLS 1.2): handshake header (type 11, u24 length),
+//     then a u24-prefixed vector of u24-prefixed ASN.1 certificates.
+//   RFC 8446 §4.4.2 (TLS 1.3): adds a u8-prefixed request context and a
+//     u16-prefixed (empty, in our profile) extension block per entry.
+// The codec round-trips arbitrary lists — including the non-compliant
+// ones — because the wire format itself never enforces chain structure;
+// that is precisely the gap the paper studies.
+#pragma once
+
+#include <vector>
+
+#include "support/bytes.hpp"
+#include "support/result.hpp"
+#include "x509/certificate.hpp"
+
+namespace chainchaos::tls {
+
+/// TLS handshake message type for Certificate.
+inline constexpr std::uint8_t kHandshakeTypeCertificate = 11;
+
+/// Hard cap from the u24 length fields.
+inline constexpr std::size_t kMaxU24 = 0xffffff;
+
+enum class TlsVersion { kTls12, kTls13 };
+
+/// Encodes a full handshake message (header + body) carrying the list.
+Bytes encode_certificate_message(const std::vector<x509::CertPtr>& list,
+                                 TlsVersion version);
+
+/// Decodes a handshake message produced by encode_certificate_message
+/// (or any spec-conformant peer). Parses each certificate eagerly.
+Result<std::vector<x509::CertPtr>> decode_certificate_message(
+    BytesView message, TlsVersion version);
+
+}  // namespace chainchaos::tls

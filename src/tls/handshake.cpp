@@ -1,0 +1,36 @@
+#include "tls/handshake.hpp"
+
+namespace chainchaos::tls {
+
+HandshakeOutcome simulate_handshake(const ChainServer& server,
+                                    const pathbuild::PathBuilder& builder,
+                                    TlsVersion version) {
+  HandshakeOutcome outcome;
+
+  // Server -> client over the record layer.
+  const Bytes wire = server.certificate_records(version);
+  auto message = decode_records(wire, ContentType::kHandshake);
+  if (!message.ok()) {
+    outcome.error = message.error().to_string();
+    outcome.alert = AlertDescription::kDecodeError;
+    outcome.alert_record =
+        encode_records(ContentType::kAlert, encode_alert(outcome.alert));
+    return outcome;
+  }
+  auto list = decode_certificate_message(message.value(), version);
+  if (!list.ok()) {
+    outcome.error = list.error().to_string();
+    outcome.alert = AlertDescription::kDecodeError;
+    outcome.alert_record =
+        encode_records(ContentType::kAlert, encode_alert(outcome.alert));
+    return outcome;
+  }
+  outcome.wire_ok = true;
+  outcome.build = builder.build(list.value(), server.hostname());
+  outcome.alert = alert_for(outcome.build.status);
+  outcome.alert_record =
+      encode_records(ContentType::kAlert, encode_alert(outcome.alert));
+  return outcome;
+}
+
+}  // namespace chainchaos::tls

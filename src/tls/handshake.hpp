@@ -1,0 +1,64 @@
+// In-process TLS handshake simulation: a ChainServer that serves its
+// configured certificate list over the real Certificate-message wire
+// format, and a TlsClient that decodes it and runs its profile's path
+// builder — the end-to-end loop a downstream user of this library drives
+// (see examples/quickstart.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pathbuild/path_builder.hpp"
+#include "tls/certificate_message.hpp"
+#include "tls/record.hpp"
+#include "x509/certificate.hpp"
+
+namespace chainchaos::tls {
+
+/// A server endpoint: a hostname plus the certificate list its operator
+/// configured (possibly non-compliant — that is the point).
+class ChainServer {
+ public:
+  ChainServer(std::string hostname, std::vector<x509::CertPtr> chain)
+      : hostname_(std::move(hostname)), chain_(std::move(chain)) {}
+
+  const std::string& hostname() const { return hostname_; }
+  const std::vector<x509::CertPtr>& chain() const { return chain_; }
+
+  /// The Certificate handshake message this server sends.
+  Bytes certificate_message(TlsVersion version) const {
+    return encode_certificate_message(chain_, version);
+  }
+
+  /// The same message framed into TLS records (fragmented at 2^14).
+  Bytes certificate_records(TlsVersion version) const {
+    return encode_records(ContentType::kHandshake,
+                          certificate_message(version));
+  }
+
+ private:
+  std::string hostname_;
+  std::vector<x509::CertPtr> chain_;
+};
+
+/// Outcome of a simulated handshake from the client's perspective.
+struct HandshakeOutcome {
+  bool wire_ok = false;      ///< records + Certificate message decoded
+  pathbuild::BuildResult build;
+  std::string error;         ///< wire-level error, when !wire_ok
+
+  /// The alert the client would send back (close_notify on success).
+  AlertDescription alert = AlertDescription::kInternalError;
+  /// That alert as a ready-to-send TLS record.
+  Bytes alert_record;
+
+  bool connected() const { return wire_ok && build.ok(); }
+};
+
+/// Performs one handshake: decode the server's Certificate message with
+/// the given TLS version, then construct+validate via `builder`.
+HandshakeOutcome simulate_handshake(const ChainServer& server,
+                                    const pathbuild::PathBuilder& builder,
+                                    TlsVersion version = TlsVersion::kTls13);
+
+}  // namespace chainchaos::tls

@@ -1,0 +1,109 @@
+#include "tls/record.hpp"
+
+namespace chainchaos::tls {
+
+Bytes encode_records(ContentType type, BytesView payload) {
+  Bytes out;
+  std::size_t offset = 0;
+  do {
+    const std::size_t fragment =
+        std::min(payload.size() - offset, kMaxFragment);
+    out.push_back(static_cast<std::uint8_t>(type));
+    out.push_back(static_cast<std::uint8_t>(kRecordVersion >> 8));
+    out.push_back(static_cast<std::uint8_t>(kRecordVersion));
+    out.push_back(static_cast<std::uint8_t>(fragment >> 8));
+    out.push_back(static_cast<std::uint8_t>(fragment));
+    append(out, payload.subspan(offset, fragment));
+    offset += fragment;
+  } while (offset < payload.size());
+  return out;
+}
+
+Result<Bytes> decode_records(BytesView wire, ContentType expected_type) {
+  Bytes payload;
+  std::size_t pos = 0;
+  while (pos < wire.size()) {
+    if (wire.size() - pos < 5) {
+      return make_error("tls.record_truncated", "header");
+    }
+    const auto type = static_cast<ContentType>(wire[pos]);
+    if (type != expected_type) {
+      return make_error("tls.record_type", "unexpected content type");
+    }
+    const std::uint16_t version =
+        static_cast<std::uint16_t>((wire[pos + 1] << 8) | wire[pos + 2]);
+    if ((version >> 8) != 0x03) {
+      return make_error("tls.record_version", "not a TLS record");
+    }
+    const std::size_t length =
+        static_cast<std::size_t>((wire[pos + 3] << 8) | wire[pos + 4]);
+    if (length > kMaxFragment) {
+      return make_error("tls.record_overflow", "fragment above 2^14");
+    }
+    if (wire.size() - pos - 5 < length) {
+      return make_error("tls.record_truncated", "fragment");
+    }
+    append(payload, wire.subspan(pos + 5, length));
+    pos += 5 + length;
+  }
+  return payload;
+}
+
+const char* to_string(AlertDescription alert) {
+  switch (alert) {
+    case AlertDescription::kCloseNotify: return "close_notify";
+    case AlertDescription::kBadCertificate: return "bad_certificate";
+    case AlertDescription::kUnsupportedCertificate:
+      return "unsupported_certificate";
+    case AlertDescription::kCertificateExpired: return "certificate_expired";
+    case AlertDescription::kCertificateUnknown: return "certificate_unknown";
+    case AlertDescription::kUnknownCa: return "unknown_ca";
+    case AlertDescription::kDecodeError: return "decode_error";
+    case AlertDescription::kInternalError: return "internal_error";
+  }
+  return "?";
+}
+
+AlertDescription alert_for(pathbuild::BuildStatus status) {
+  using pathbuild::BuildStatus;
+  switch (status) {
+    case BuildStatus::kOk:
+      return AlertDescription::kCloseNotify;
+    case BuildStatus::kNoIssuerFound:
+    case BuildStatus::kUntrustedRoot:
+      return AlertDescription::kUnknownCa;
+    case BuildStatus::kExpired:
+      return AlertDescription::kCertificateExpired;
+    case BuildStatus::kEmptyInput:
+      return AlertDescription::kDecodeError;
+    case BuildStatus::kHostnameMismatch:
+    case BuildStatus::kNotACa:
+    case BuildStatus::kPathLenViolated:
+    case BuildStatus::kNameConstraintViolation:
+    case BuildStatus::kSelfSignedLeaf:
+      return AlertDescription::kBadCertificate;
+    case BuildStatus::kBadEku:
+      return AlertDescription::kUnsupportedCertificate;
+    case BuildStatus::kInputListTooLong:
+    case BuildStatus::kDepthExceeded:
+    case BuildStatus::kWorkBudgetExceeded:
+      return AlertDescription::kInternalError;
+  }
+  return AlertDescription::kInternalError;
+}
+
+Bytes encode_alert(AlertDescription alert) {
+  const std::uint8_t level =
+      alert == AlertDescription::kCloseNotify ? 1 : 2;  // warning : fatal
+  return Bytes{level, static_cast<std::uint8_t>(alert)};
+}
+
+Result<AlertDescription> decode_alert(BytesView payload) {
+  if (payload.size() != 2) return make_error("tls.bad_alert", "length");
+  if (payload[0] != 1 && payload[0] != 2) {
+    return make_error("tls.bad_alert", "level");
+  }
+  return static_cast<AlertDescription>(payload[1]);
+}
+
+}  // namespace chainchaos::tls

@@ -1,0 +1,64 @@
+// TLS record-layer framing (RFC 8446 §5.1) and the alert vocabulary
+// (§6.2) a client emits when chain construction or validation fails.
+//
+// Handshake messages — including the Certificate message carrying the
+// chain — travel inside TLSPlaintext records of at most 2^14 bytes of
+// fragment each. Long certificate lists (the ns3.link 29-certificate
+// pile, for instance) genuinely span multiple records, so the codec
+// fragments and reassembles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pathbuild/path_builder.hpp"
+#include "support/bytes.hpp"
+#include "support/result.hpp"
+
+namespace chainchaos::tls {
+
+enum class ContentType : std::uint8_t {
+  kAlert = 21,
+  kHandshake = 22,
+  kApplicationData = 23,
+};
+
+/// Maximum fragment size per record (2^14, RFC 8446 §5.1).
+inline constexpr std::size_t kMaxFragment = 16384;
+
+/// Legacy record version bytes (0x0303 everywhere post-TLS 1.2).
+inline constexpr std::uint16_t kRecordVersion = 0x0303;
+
+/// Splits a payload into TLSPlaintext records of the given content type.
+Bytes encode_records(ContentType type, BytesView payload);
+
+/// Reassembles consecutive records of one content type back into the
+/// payload. Fails on framing errors, type changes mid-stream, or
+/// fragments above the size cap.
+Result<Bytes> decode_records(BytesView wire, ContentType expected_type);
+
+/// TLS AlertDescription values relevant to certificate processing.
+enum class AlertDescription : std::uint8_t {
+  kCloseNotify = 0,
+  kBadCertificate = 42,
+  kUnsupportedCertificate = 43,
+  kCertificateExpired = 45,
+  kCertificateUnknown = 46,
+  kUnknownCa = 48,
+  kDecodeError = 50,
+  kInternalError = 80,
+};
+
+const char* to_string(AlertDescription alert);
+
+/// The alert a client would send for a given build outcome; kCloseNotify
+/// stands in for "no alert" on success.
+AlertDescription alert_for(pathbuild::BuildStatus status);
+
+/// Two-byte alert payload (level=fatal except close_notify).
+Bytes encode_alert(AlertDescription alert);
+
+/// Parses an alert payload back.
+Result<AlertDescription> decode_alert(BytesView payload);
+
+}  // namespace chainchaos::tls

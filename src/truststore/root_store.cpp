@@ -1,0 +1,83 @@
+#include "truststore/root_store.hpp"
+
+#include <stdexcept>
+
+namespace chainchaos::truststore {
+
+void RootStore::add(x509::CertPtr root) {
+  if (!root) return;
+  if (contains(*root)) return;
+  roots_.push_back(std::move(root));
+}
+
+bool RootStore::contains(const x509::Certificate& cert) const {
+  for (const x509::CertPtr& root : roots_) {
+    if (equal(root->fingerprint, cert.fingerprint)) return true;
+  }
+  return false;
+}
+
+std::vector<x509::CertPtr> RootStore::find_by_key_id(BytesView akid) const {
+  std::vector<x509::CertPtr> out;
+  for (const x509::CertPtr& root : roots_) {
+    if (root->subject_key_id.has_value() && equal(*root->subject_key_id, akid)) {
+      out.push_back(root);
+    }
+  }
+  return out;
+}
+
+std::vector<x509::CertPtr> RootStore::find_by_subject(
+    const asn1::Name& issuer_dn) const {
+  std::vector<x509::CertPtr> out;
+  for (const x509::CertPtr& root : roots_) {
+    if (root->subject == issuer_dn) out.push_back(root);
+  }
+  return out;
+}
+
+RootStore RootStore::merged_with(const RootStore& other,
+                                 std::string merged_name) const {
+  RootStore merged(std::move(merged_name));
+  for (const x509::CertPtr& root : roots_) merged.add(root);
+  for (const x509::CertPtr& root : other.roots()) merged.add(root);
+  return merged;
+}
+
+const RootStore& ProgramStores::by_name(std::string_view name) const {
+  if (name == "mozilla") return mozilla;
+  if (name == "chrome") return chrome;
+  if (name == "microsoft") return microsoft;
+  if (name == "apple") return apple;
+  if (name == "union") return union_store;
+  throw std::invalid_argument("unknown root store: " + std::string(name));
+}
+
+ProgramStores make_program_stores(
+    const std::vector<x509::CertPtr>& core,
+    const std::vector<std::pair<x509::CertPtr, unsigned>>& exclusive) {
+  ProgramStores stores;
+  stores.mozilla = RootStore("mozilla");
+  stores.chrome = RootStore("chrome");
+  stores.microsoft = RootStore("microsoft");
+  stores.apple = RootStore("apple");
+  stores.union_store = RootStore("union");
+
+  for (const x509::CertPtr& root : core) {
+    stores.mozilla.add(root);
+    stores.chrome.add(root);
+    stores.microsoft.add(root);
+    stores.apple.add(root);
+    stores.union_store.add(root);
+  }
+  for (const auto& [root, mask] : exclusive) {
+    if (mask & 1u) stores.mozilla.add(root);
+    if (mask & 2u) stores.chrome.add(root);
+    if (mask & 4u) stores.microsoft.add(root);
+    if (mask & 8u) stores.apple.add(root);
+    stores.union_store.add(root);
+  }
+  return stores;
+}
+
+}  // namespace chainchaos::truststore

@@ -1,0 +1,74 @@
+// Root stores: the sets of trust anchors a client (or the server-side
+// completeness analysis) accepts as chain termini.
+//
+// The paper checks incomplete chains against the Mozilla, Chrome,
+// Microsoft and Apple root programs (§3.1) and quantifies how per-store
+// differences change the result (Table 8). We model four synthetic
+// programs that share a large common core and differ in a controlled
+// handful of roots, plus the union store the paper uses as its baseline.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "x509/certificate.hpp"
+
+namespace chainchaos::truststore {
+
+/// A named set of trusted self-signed root certificates with the lookup
+/// operations chain building needs.
+class RootStore {
+ public:
+  RootStore() = default;
+  explicit RootStore(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  void add(x509::CertPtr root);
+  std::size_t size() const { return roots_.size(); }
+  const std::vector<x509::CertPtr>& roots() const { return roots_; }
+
+  /// Trust-anchor membership by exact DER fingerprint.
+  bool contains(const x509::Certificate& cert) const;
+
+  /// Roots whose SKID equals `akid` (the completeness analysis' first
+  /// probe for a missing parent).
+  std::vector<x509::CertPtr> find_by_key_id(BytesView akid) const;
+
+  /// Roots whose subject DN equals `issuer_dn`.
+  std::vector<x509::CertPtr> find_by_subject(const asn1::Name& issuer_dn) const;
+
+  /// Union of this store and another (deduplicated by fingerprint).
+  RootStore merged_with(const RootStore& other, std::string merged_name) const;
+
+ private:
+  std::string name_;
+  std::vector<x509::CertPtr> roots_;
+};
+
+/// The four synthetic root programs plus their union.
+///
+/// Layout (sized so Table 8's "root store differences have limited
+/// impact" observation reproduces): a shared core trusted by all four
+/// programs, plus small per-program exclusive sets. Store contents are
+/// deterministic — the same call always yields identical stores.
+struct ProgramStores {
+  RootStore mozilla;
+  RootStore chrome;
+  RootStore microsoft;
+  RootStore apple;
+  RootStore union_store;  ///< paper's baseline for completeness analysis
+
+  const RootStore& by_name(std::string_view name) const;
+};
+
+/// Builds the program stores over the given set of root certificates.
+/// `core` roots go into every program; each entry of `exclusive`
+/// assigns one root to a subset of programs (bitmask: 1=mozilla,
+/// 2=chrome, 4=microsoft, 8=apple).
+ProgramStores make_program_stores(
+    const std::vector<x509::CertPtr>& core,
+    const std::vector<std::pair<x509::CertPtr, unsigned>>& exclusive);
+
+}  // namespace chainchaos::truststore

@@ -1,0 +1,203 @@
+#include "x509/builder.hpp"
+
+#include "asn1/oids.hpp"
+#include "crypto/sha256.hpp"
+
+namespace chainchaos::x509 {
+
+namespace oid = asn1::oid;
+
+SigningIdentity make_identity(const asn1::Name& name) {
+  SigningIdentity identity;
+  identity.name = name;
+  identity.keys = crypto::KeyPool::instance().for_name(name.to_string());
+  return identity;
+}
+
+Bytes derive_key_id(const crypto::RsaPublicKey& key) {
+  Bytes digest = crypto::Sha256::digest(key.fingerprint_material());
+  digest.resize(20);
+  return digest;
+}
+
+namespace {
+
+// Serial numbers only need to be unique-ish per test corpus; a counter
+// keeps builds deterministic while remaining distinct.
+std::uint64_t next_serial() {
+  static std::uint64_t counter = 1000;
+  return ++counter;
+}
+
+}  // namespace
+
+CertificateBuilder::CertificateBuilder() {
+  cert_.serial = crypto::BigInt(next_serial());
+  // A wide default validity keeps unrelated tests from tripping expiry.
+  cert_.not_before = 1700000000;  // 2023-11-14
+  cert_.not_after = 1900000000;   // 2030-03-17
+}
+
+CertificateBuilder& CertificateBuilder::subject(asn1::Name name) {
+  cert_.subject = std::move(name);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::subject_cn(std::string common_name) {
+  return subject(asn1::Name::make(std::move(common_name)));
+}
+
+CertificateBuilder& CertificateBuilder::serial(std::uint64_t value) {
+  cert_.serial = crypto::BigInt(value);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::validity(std::int64_t not_before,
+                                                 std::int64_t not_after) {
+  cert_.not_before = not_before;
+  cert_.not_after = not_after;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::public_key(crypto::RsaPublicKey key) {
+  cert_.public_key = std::move(key);
+  key_set_ = true;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::as_ca(std::optional<int> path_len) {
+  cert_.basic_constraints = BasicConstraints{true, path_len};
+  KeyUsage ku;
+  ku.key_cert_sign = true;
+  ku.crl_sign = true;
+  cert_.key_usage = ku;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::as_leaf(const std::string& host) {
+  KeyUsage ku;
+  ku.digital_signature = true;
+  ku.key_encipherment = true;
+  cert_.key_usage = ku;
+  cert_.ext_key_usage = ExtKeyUsage{{std::string(oid::kServerAuth)}};
+  SubjectAltName san;
+  san.dns_names.push_back(host);
+  cert_.subject_alt_name = std::move(san);
+  if (cert_.subject.empty()) subject_cn(host);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::basic_constraints(
+    std::optional<BasicConstraints> bc) {
+  cert_.basic_constraints = std::move(bc);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::key_usage(std::optional<KeyUsage> ku) {
+  cert_.key_usage = std::move(ku);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::ext_key_usage(
+    std::optional<ExtKeyUsage> eku) {
+  cert_.ext_key_usage = std::move(eku);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::subject_key_id(
+    std::optional<Bytes> skid) {
+  cert_.subject_key_id = std::move(skid);
+  skid_overridden_ = true;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::authority_key_id(
+    std::optional<Bytes> akid) {
+  cert_.authority_key_id = std::move(akid);
+  akid_overridden_ = true;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::subject_alt_name(
+    std::optional<SubjectAltName> san) {
+  cert_.subject_alt_name = std::move(san);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::name_constraints(
+    std::optional<NameConstraints> nc) {
+  cert_.name_constraints = std::move(nc);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::aia_ca_issuers(std::string uri) {
+  if (!cert_.aia.has_value()) cert_.aia = AuthorityInfoAccess{};
+  cert_.aia->ca_issuers_uri = std::move(uri);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::no_aia() {
+  cert_.aia.reset();
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::omit_subject_key_id() {
+  omit_skid_ = true;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::omit_authority_key_id() {
+  omit_akid_ = true;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::corrupt_authority_key_id() {
+  corrupt_akid_ = true;
+  return *this;
+}
+
+CertPtr CertificateBuilder::sign(const SigningIdentity& issuer) {
+  return finish(issuer.name, issuer.keys, issuer.keys.pub);
+}
+
+CertPtr CertificateBuilder::self_sign(const crypto::RsaKeyPair& self_keys) {
+  if (!key_set_) public_key(self_keys.pub);
+  return finish(cert_.subject, self_keys, self_keys.pub);
+}
+
+CertPtr CertificateBuilder::finish(const asn1::Name& issuer_name,
+                                   const crypto::RsaKeyPair& signer_keys,
+                                   const crypto::RsaPublicKey& akid_source_key) {
+  auto cert = std::make_shared<Certificate>(cert_);
+  cert->issuer = issuer_name;
+
+  if (!key_set_) {
+    // Default subject key: a pooled leaf slot derived from the subject
+    // name (leaves never sign anything except themselves, and self_sign
+    // callers supply their key explicitly).
+    cert->public_key =
+        crypto::KeyPool::instance().leaf_slot(cert->subject.to_string()).pub;
+  }
+
+  if (!skid_overridden_ && !omit_skid_) {
+    cert->subject_key_id = derive_key_id(cert->public_key);
+  }
+  if (omit_skid_) cert->subject_key_id.reset();
+
+  if (!akid_overridden_ && !omit_akid_) {
+    cert->authority_key_id = derive_key_id(akid_source_key);
+  }
+  if (omit_akid_) cert->authority_key_id.reset();
+  if (corrupt_akid_ && cert->authority_key_id.has_value()) {
+    // Flip bytes so the AKID no longer matches any real SKID.
+    for (auto& b : *cert->authority_key_id) b = static_cast<std::uint8_t>(~b);
+  }
+
+  cert->tbs_der = encode_tbs(*cert);
+  cert->signature = crypto::rsa_sign(signer_keys.priv, cert->tbs_der);
+  cert->der = encode_certificate(*cert);
+  cert->fingerprint = crypto::Sha256::digest(cert->der);
+  return cert;
+}
+
+}  // namespace chainchaos::x509

@@ -1,0 +1,100 @@
+// CertificateBuilder: fluent construction + signing of synthetic
+// certificates.
+//
+// The builder is the single issuance point of the simulator. It defaults
+// to a fully RFC-conformant profile (SKID derived from the key, AKID
+// copied from the signer, sane KeyUsage per role) and exposes override
+// hooks so test-case generators can produce the *deliberately defective*
+// certificates the paper's capability tests need — mismatched KIDs,
+// wrong KeyUsage, bad path-length constraints, expired validity, etc.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "crypto/rsa.hpp"
+#include "x509/certificate.hpp"
+
+namespace chainchaos::x509 {
+
+/// The signing identity handed to CertificateBuilder::sign().
+struct SigningIdentity {
+  asn1::Name name;               ///< becomes the issuer DN
+  crypto::RsaKeyPair keys;       ///< private half signs; public half derives SKID
+};
+
+/// Creates a stable signing identity whose keypair comes from the
+/// process-wide KeyPool (cheap and deterministic).
+SigningIdentity make_identity(const asn1::Name& name);
+
+/// SKID derivation used library-wide: first 20 bytes of SHA-256 over the
+/// public key material (RFC 5280 §4.2.1.2 style).
+Bytes derive_key_id(const crypto::RsaPublicKey& key);
+
+class CertificateBuilder {
+ public:
+  CertificateBuilder();
+
+  // --- identity ---------------------------------------------------------
+  CertificateBuilder& subject(asn1::Name name);
+  CertificateBuilder& subject_cn(std::string common_name);
+  CertificateBuilder& serial(std::uint64_t value);
+
+  // --- validity (unix seconds) -------------------------------------------
+  CertificateBuilder& validity(std::int64_t not_before, std::int64_t not_after);
+
+  // --- key material -------------------------------------------------------
+  /// Subject key; defaults to a pooled key derived from the subject CN.
+  CertificateBuilder& public_key(crypto::RsaPublicKey key);
+
+  // --- role presets --------------------------------------------------------
+  /// CA certificate: BasicConstraints CA=true (+ optional path length),
+  /// KeyUsage keyCertSign|cRLSign.
+  CertificateBuilder& as_ca(std::optional<int> path_len = std::nullopt);
+
+  /// Leaf: BasicConstraints absent, KeyUsage digitalSignature|
+  /// keyEncipherment, EKU serverAuth, SAN = {host, *.host? no}.
+  CertificateBuilder& as_leaf(const std::string& host);
+
+  // --- extension overrides (for crafting defective certs) -----------------
+  CertificateBuilder& basic_constraints(std::optional<BasicConstraints> bc);
+  CertificateBuilder& key_usage(std::optional<KeyUsage> ku);
+  CertificateBuilder& ext_key_usage(std::optional<ExtKeyUsage> eku);
+  CertificateBuilder& subject_key_id(std::optional<Bytes> skid);
+  CertificateBuilder& authority_key_id(std::optional<Bytes> akid);
+  CertificateBuilder& subject_alt_name(std::optional<SubjectAltName> san);
+  CertificateBuilder& name_constraints(std::optional<NameConstraints> nc);
+  CertificateBuilder& aia_ca_issuers(std::string uri);
+  CertificateBuilder& no_aia();
+
+  /// Suppress the automatic SKID/AKID population.
+  CertificateBuilder& omit_subject_key_id();
+  CertificateBuilder& omit_authority_key_id();
+
+  /// Force a *wrong* AKID value (KID-mismatch test cases).
+  CertificateBuilder& corrupt_authority_key_id();
+
+  /// Sign with `issuer`. The issuer DN and (unless overridden) the AKID
+  /// come from the identity. Returns an immutable certificate with DER
+  /// and fingerprint caches populated.
+  CertPtr sign(const SigningIdentity& issuer);
+
+  /// Self-sign: issuer == subject, signed with `self_keys`.
+  CertPtr self_sign(const crypto::RsaKeyPair& self_keys);
+
+ private:
+  CertPtr finish(const asn1::Name& issuer_name,
+                 const crypto::RsaKeyPair& signer_keys,
+                 const crypto::RsaPublicKey& akid_source_key);
+
+  Certificate cert_;
+  bool skid_overridden_ = false;
+  bool akid_overridden_ = false;
+  bool omit_skid_ = false;
+  bool omit_akid_ = false;
+  bool corrupt_akid_ = false;
+  bool key_set_ = false;
+};
+
+}  // namespace chainchaos::x509

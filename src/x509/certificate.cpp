@@ -1,0 +1,651 @@
+#include "x509/certificate.hpp"
+
+#include "asn1/der.hpp"
+#include "asn1/oids.hpp"
+#include "crypto/sha256.hpp"
+#include "support/str.hpp"
+
+namespace chainchaos::x509 {
+
+using asn1::DerElement;
+using asn1::DerReader;
+using asn1::DerWriter;
+using asn1::Tag;
+namespace oid = asn1::oid;
+
+bool NameConstraints::allows(std::string_view dns_name) const {
+  const auto within = [](std::string_view name, const std::string& base) {
+    if (name == base) return true;
+    if (name.size() > base.size() &&
+        name.substr(name.size() - base.size()) == base &&
+        name[name.size() - base.size() - 1] == '.') {
+      return true;
+    }
+    return false;
+  };
+  for (const std::string& excluded : excluded_dns) {
+    if (within(dns_name, excluded)) return false;
+  }
+  if (permitted_dns.empty()) return true;
+  for (const std::string& permitted : permitted_dns) {
+    if (within(dns_name, permitted)) return true;
+  }
+  return false;
+}
+
+bool Certificate::is_self_signed() const {
+  return is_self_issued() && verify_signed_by(public_key);
+}
+
+bool Certificate::verify_signed_by(const crypto::RsaPublicKey& issuer_key) const {
+  return crypto::rsa_verify(issuer_key, tbs_der, signature);
+}
+
+bool Certificate::matches_host(std::string_view host) const {
+  if (subject_alt_name.has_value()) {
+    for (const std::string& dns : subject_alt_name->dns_names) {
+      if (wildcard_match(dns, host)) return true;
+    }
+    for (const std::string& ip : subject_alt_name->ip_addresses) {
+      if (ip == host) return true;
+    }
+  }
+  if (const auto cn = subject.common_name()) {
+    if (wildcard_match(*cn, host)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Certificate::identity_strings() const {
+  std::vector<std::string> out;
+  if (const auto cn = subject.common_name()) out.push_back(*cn);
+  if (subject_alt_name.has_value()) {
+    out.insert(out.end(), subject_alt_name->dns_names.begin(),
+               subject_alt_name->dns_names.end());
+    out.insert(out.end(), subject_alt_name->ip_addresses.begin(),
+               subject_alt_name->ip_addresses.end());
+  }
+  return out;
+}
+
+std::string Certificate::display_name() const {
+  std::string label = subject.common_name().value_or(subject.to_string());
+  return label + " (#" + serial.to_hex() + ")";
+}
+
+namespace {
+
+// ---- extension encoding helpers ----------------------------------------
+
+Bytes encode_basic_constraints(const BasicConstraints& bc) {
+  DerWriter body;
+  if (bc.is_ca) body.add_boolean(true);  // DEFAULT FALSE omitted when false
+  if (bc.path_len_constraint.has_value()) {
+    body.add_integer(static_cast<std::uint64_t>(*bc.path_len_constraint));
+  }
+  return body.wrap_sequence();
+}
+
+Bytes encode_key_usage(const KeyUsage& ku) {
+  std::uint8_t bits = 0;
+  if (ku.digital_signature) bits |= 0x80;
+  if (ku.key_encipherment) bits |= 0x20;
+  if (ku.key_cert_sign) bits |= 0x04;
+  if (ku.crl_sign) bits |= 0x02;
+  DerWriter body;
+  body.add_bit_string(BytesView(&bits, 1));
+  return body.take();
+}
+
+Bytes encode_ext_key_usage(const ExtKeyUsage& eku) {
+  DerWriter body;
+  for (const std::string& purpose : eku.purposes) body.add_oid(purpose);
+  return body.wrap_sequence();
+}
+
+Bytes encode_san(const SubjectAltName& san) {
+  DerWriter body;
+  for (const std::string& dns : san.dns_names) {
+    body.add_tlv(asn1::context_primitive(2), to_bytes(dns));  // dNSName
+  }
+  for (const std::string& ip : san.ip_addresses) {
+    // iPAddress [7]: carried as text for simplicity of round-tripping.
+    body.add_tlv(asn1::context_primitive(7), to_bytes(ip));
+  }
+  return body.wrap_sequence();
+}
+
+Bytes encode_aia(const AuthorityInfoAccess& aia) {
+  DerWriter body;
+  const auto add_access = [&body](std::string_view method, std::string_view uri) {
+    DerWriter access;
+    access.add_oid(method);
+    access.add_tlv(asn1::context_primitive(6), to_bytes(uri));  // URI
+    body.add_raw(access.wrap_sequence());
+  };
+  if (aia.ocsp_uri.has_value()) add_access(oid::kOcsp, *aia.ocsp_uri);
+  if (aia.ca_issuers_uri.has_value()) {
+    add_access(oid::kCaIssuers, *aia.ca_issuers_uri);
+  }
+  return body.wrap_sequence();
+}
+
+Bytes encode_name_constraints(const NameConstraints& nc) {
+  // NameConstraints ::= SEQUENCE {
+  //   permittedSubtrees [0] GeneralSubtrees OPTIONAL,
+  //   excludedSubtrees  [1] GeneralSubtrees OPTIONAL }
+  // GeneralSubtree ::= SEQUENCE { base GeneralName } (min/max defaulted)
+  const auto subtrees = [](const std::vector<std::string>& bases) {
+    DerWriter list;
+    for (const std::string& base : bases) {
+      DerWriter subtree;
+      subtree.add_tlv(asn1::context_primitive(2), to_bytes(base));  // dNSName
+      list.add_raw(subtree.wrap_sequence());
+    }
+    return list.take();
+  };
+  DerWriter body;
+  if (!nc.permitted_dns.empty()) {
+    body.add_tlv(asn1::context_constructed(0), subtrees(nc.permitted_dns));
+  }
+  if (!nc.excluded_dns.empty()) {
+    body.add_tlv(asn1::context_constructed(1), subtrees(nc.excluded_dns));
+  }
+  return body.wrap_sequence();
+}
+
+Bytes encode_akid(BytesView key_id) {
+  DerWriter body;
+  body.add_tlv(asn1::context_primitive(0), key_id);  // [0] keyIdentifier
+  return body.wrap_sequence();
+}
+
+void add_extension(DerWriter& list, std::string_view ext_oid, bool critical,
+                   BytesView value) {
+  DerWriter ext;
+  ext.add_oid(ext_oid);
+  if (critical) ext.add_boolean(true);
+  ext.add_octet_string(value);
+  list.add_raw(ext.wrap_sequence());
+}
+
+Bytes encode_spki(const crypto::RsaPublicKey& key) {
+  DerWriter alg;
+  alg.add_oid(oid::kRsaEncryption);
+  alg.add_null();
+
+  DerWriter rsa_key;
+  rsa_key.add_integer(key.n);
+  rsa_key.add_integer(key.e);
+
+  DerWriter spki;
+  spki.add_tlv(Tag::kSequence, alg.wrap_sequence());
+  spki.add_bit_string(rsa_key.wrap_sequence());
+  return spki.wrap_sequence();
+}
+
+Bytes encode_signature_algorithm() {
+  DerWriter alg;
+  alg.add_oid(oid::kSha256WithRsa);
+  alg.add_null();
+  return alg.wrap_sequence();
+}
+
+}  // namespace
+
+Bytes encode_tbs(const Certificate& cert) {
+  DerWriter tbs;
+
+  // version [0] EXPLICIT INTEGER — always v3 (value 2).
+  DerWriter version;
+  version.add_integer(std::uint64_t{2});
+  tbs.add_tlv(asn1::context_constructed(0), version.bytes());
+
+  tbs.add_integer(cert.serial);
+  tbs.add_raw(encode_signature_algorithm());
+  tbs.add_raw(cert.issuer.encode());
+
+  {
+    DerWriter validity;
+    validity.add_generalized_time(cert.not_before);
+    validity.add_generalized_time(cert.not_after);
+    tbs.add_tlv(Tag::kSequence, validity.bytes());
+  }
+
+  tbs.add_raw(cert.subject.encode());
+  tbs.add_raw(encode_spki(cert.public_key));
+
+  DerWriter exts;
+  if (cert.basic_constraints.has_value()) {
+    add_extension(exts, oid::kBasicConstraints, /*critical=*/true,
+                  encode_basic_constraints(*cert.basic_constraints));
+  }
+  if (cert.key_usage.has_value()) {
+    add_extension(exts, oid::kKeyUsage, /*critical=*/true,
+                  encode_key_usage(*cert.key_usage));
+  }
+  if (cert.ext_key_usage.has_value()) {
+    add_extension(exts, oid::kExtKeyUsage, /*critical=*/false,
+                  encode_ext_key_usage(*cert.ext_key_usage));
+  }
+  if (cert.subject_key_id.has_value()) {
+    DerWriter skid;
+    skid.add_octet_string(*cert.subject_key_id);
+    add_extension(exts, oid::kSubjectKeyIdentifier, /*critical=*/false,
+                  skid.bytes());
+  }
+  if (cert.authority_key_id.has_value()) {
+    add_extension(exts, oid::kAuthorityKeyIdentifier, /*critical=*/false,
+                  encode_akid(*cert.authority_key_id));
+  }
+  if (cert.subject_alt_name.has_value()) {
+    add_extension(exts, oid::kSubjectAltName, /*critical=*/false,
+                  encode_san(*cert.subject_alt_name));
+  }
+  if (cert.name_constraints.has_value()) {
+    add_extension(exts, oid::kNameConstraints, /*critical=*/true,
+                  encode_name_constraints(*cert.name_constraints));
+  }
+  if (cert.aia.has_value()) {
+    add_extension(exts, oid::kAuthorityInfoAccess, /*critical=*/false,
+                  encode_aia(*cert.aia));
+  }
+  if (!exts.bytes().empty()) {
+    DerWriter wrapper;
+    wrapper.add_tlv(Tag::kSequence, exts.bytes());
+    tbs.add_tlv(asn1::context_constructed(3), wrapper.bytes());
+  }
+
+  return tbs.wrap_sequence();
+}
+
+Bytes encode_certificate(const Certificate& cert) {
+  const Bytes tbs = cert.tbs_der.empty() ? encode_tbs(cert) : cert.tbs_der;
+  DerWriter out;
+  out.add_raw(tbs);
+  out.add_raw(encode_signature_algorithm());
+  out.add_bit_string(cert.signature);
+  return out.wrap_sequence();
+}
+
+namespace {
+
+// ---- parsing ------------------------------------------------------------
+
+Result<BasicConstraints> parse_basic_constraints(BytesView value) {
+  DerReader outer(value);
+  auto seq = outer.read(Tag::kSequence);
+  if (!seq.ok()) return seq.error();
+  BasicConstraints bc;
+  DerReader body(seq.value().body);
+  if (!body.at_end()) {
+    auto tag = body.peek_tag();
+    if (tag.ok() && tag.value() == static_cast<std::uint8_t>(Tag::kBoolean)) {
+      auto flag = body.read_boolean();
+      if (!flag.ok()) return flag.error();
+      bc.is_ca = flag.value();
+    }
+  }
+  if (!body.at_end()) {
+    auto len = body.read_integer();
+    if (!len.ok()) return len.error();
+    bc.path_len_constraint = static_cast<int>(len.value().low_u64());
+  }
+  return bc;
+}
+
+Result<KeyUsage> parse_key_usage(BytesView value) {
+  DerReader reader(value);
+  auto bits = reader.read_bit_string();
+  if (!bits.ok()) return bits.error();
+  if (bits.value().empty()) return make_error("x509.bad_key_usage", "no bits");
+  KeyUsage ku;
+  const std::uint8_t b = bits.value()[0];
+  ku.digital_signature = b & 0x80;
+  ku.key_encipherment = b & 0x20;
+  ku.key_cert_sign = b & 0x04;
+  ku.crl_sign = b & 0x02;
+  return ku;
+}
+
+Result<ExtKeyUsage> parse_ext_key_usage(BytesView value) {
+  DerReader outer(value);
+  auto seq = outer.read(Tag::kSequence);
+  if (!seq.ok()) return seq.error();
+  ExtKeyUsage eku;
+  DerReader body(seq.value().body);
+  while (!body.at_end()) {
+    auto purpose = body.read_oid();
+    if (!purpose.ok()) return purpose.error();
+    eku.purposes.push_back(std::move(purpose).value());
+  }
+  return eku;
+}
+
+Result<SubjectAltName> parse_san(BytesView value) {
+  DerReader outer(value);
+  auto seq = outer.read(Tag::kSequence);
+  if (!seq.ok()) return seq.error();
+  SubjectAltName san;
+  DerReader body(seq.value().body);
+  while (!body.at_end()) {
+    auto name = body.read_any();
+    if (!name.ok()) return name.error();
+    const DerElement& e = name.value();
+    if (e.tag == asn1::context_primitive(2)) {
+      san.dns_names.push_back(to_string(e.body));
+    } else if (e.tag == asn1::context_primitive(7)) {
+      san.ip_addresses.push_back(to_string(e.body));
+    }
+    // other GeneralName forms are skipped
+  }
+  return san;
+}
+
+Result<AuthorityInfoAccess> parse_aia(BytesView value) {
+  DerReader outer(value);
+  auto seq = outer.read(Tag::kSequence);
+  if (!seq.ok()) return seq.error();
+  AuthorityInfoAccess aia;
+  DerReader body(seq.value().body);
+  while (!body.at_end()) {
+    auto access = body.read(Tag::kSequence);
+    if (!access.ok()) return access.error();
+    DerReader ad(access.value().body);
+    auto method = ad.read_oid();
+    if (!method.ok()) return method.error();
+    auto location = ad.read_any();
+    if (!location.ok()) return location.error();
+    if (location.value().tag != asn1::context_primitive(6)) continue;
+    const std::string uri = to_string(location.value().body);
+    if (method.value() == oid::kCaIssuers) {
+      aia.ca_issuers_uri = uri;
+    } else if (method.value() == oid::kOcsp) {
+      aia.ocsp_uri = uri;
+    }
+  }
+  return aia;
+}
+
+Result<NameConstraints> parse_name_constraints(BytesView value) {
+  DerReader outer(value);
+  auto seq = outer.read(Tag::kSequence);
+  if (!seq.ok()) return seq.error();
+  NameConstraints nc;
+  DerReader body(seq.value().body);
+  const auto read_subtrees =
+      [](BytesView subtree_der,
+         std::vector<std::string>* out) -> Result<bool> {
+    DerReader subtrees(subtree_der);
+    while (!subtrees.at_end()) {
+      auto subtree = subtrees.read(Tag::kSequence);
+      if (!subtree.ok()) return subtree.error();
+      DerReader inner(subtree.value().body);
+      auto base = inner.read_any();
+      if (!base.ok()) return base.error();
+      if (base.value().tag == asn1::context_primitive(2)) {
+        out->push_back(to_string(base.value().body));
+      }
+      // Other GeneralName forms are ignored (dNSName-only profile).
+    }
+    return true;
+  };
+  while (!body.at_end()) {
+    auto elem = body.read_any();
+    if (!elem.ok()) return elem.error();
+    if (elem.value().tag == asn1::context_constructed(0)) {
+      auto parsed = read_subtrees(elem.value().body, &nc.permitted_dns);
+      if (!parsed.ok()) return parsed.error();
+    } else if (elem.value().tag == asn1::context_constructed(1)) {
+      auto parsed = read_subtrees(elem.value().body, &nc.excluded_dns);
+      if (!parsed.ok()) return parsed.error();
+    }
+  }
+  return nc;
+}
+
+Result<Bytes> parse_skid(BytesView value) {
+  DerReader reader(value);
+  return reader.read_octet_string();
+}
+
+Result<Bytes> parse_akid(BytesView value) {
+  DerReader outer(value);
+  auto seq = outer.read(Tag::kSequence);
+  if (!seq.ok()) return seq.error();
+  DerReader body(seq.value().body);
+  while (!body.at_end()) {
+    auto e = body.read_any();
+    if (!e.ok()) return e.error();
+    if (e.value().tag == asn1::context_primitive(0)) {
+      return std::move(e.value().body);
+    }
+  }
+  return make_error("x509.bad_akid", "no keyIdentifier field");
+}
+
+Result<crypto::RsaPublicKey> parse_spki(const DerElement& spki_seq) {
+  DerReader spki(spki_seq.body);
+  auto alg = spki.read(Tag::kSequence);
+  if (!alg.ok()) return alg.error();
+  auto key_bits = spki.read_bit_string();
+  if (!key_bits.ok()) return key_bits.error();
+  DerReader key_outer(key_bits.value());
+  auto key_seq = key_outer.read(Tag::kSequence);
+  if (!key_seq.ok()) return key_seq.error();
+  DerReader key(key_seq.value().body);
+  auto n = key.read_integer();
+  if (!n.ok()) return n.error();
+  auto e = key.read_integer();
+  if (!e.ok()) return e.error();
+  return crypto::RsaPublicKey{std::move(n).value(), std::move(e).value()};
+}
+
+Result<bool> apply_extension(Certificate& cert, BytesView ext_der) {
+  DerReader ext(ext_der);
+  auto ext_oid = ext.read_oid();
+  if (!ext_oid.ok()) return ext_oid.error();
+  // Optional critical flag.
+  if (!ext.at_end()) {
+    auto tag = ext.peek_tag();
+    if (tag.ok() && tag.value() == static_cast<std::uint8_t>(Tag::kBoolean)) {
+      auto critical = ext.read_boolean();
+      if (!critical.ok()) return critical.error();
+    }
+  }
+  auto value = ext.read_octet_string();
+  if (!value.ok()) return value.error();
+  const Bytes& v = value.value();
+
+  const std::string& o = ext_oid.value();
+  if (o == oid::kBasicConstraints) {
+    auto bc = parse_basic_constraints(v);
+    if (!bc.ok()) return bc.error();
+    cert.basic_constraints = bc.value();
+  } else if (o == oid::kKeyUsage) {
+    auto ku = parse_key_usage(v);
+    if (!ku.ok()) return ku.error();
+    cert.key_usage = ku.value();
+  } else if (o == oid::kExtKeyUsage) {
+    auto eku = parse_ext_key_usage(v);
+    if (!eku.ok()) return eku.error();
+    cert.ext_key_usage = std::move(eku).value();
+  } else if (o == oid::kSubjectKeyIdentifier) {
+    auto skid = parse_skid(v);
+    if (!skid.ok()) return skid.error();
+    cert.subject_key_id = std::move(skid).value();
+  } else if (o == oid::kAuthorityKeyIdentifier) {
+    auto akid = parse_akid(v);
+    if (!akid.ok()) return akid.error();
+    cert.authority_key_id = std::move(akid).value();
+  } else if (o == oid::kSubjectAltName) {
+    auto san = parse_san(v);
+    if (!san.ok()) return san.error();
+    cert.subject_alt_name = std::move(san).value();
+  } else if (o == oid::kAuthorityInfoAccess) {
+    auto aia_val = parse_aia(v);
+    if (!aia_val.ok()) return aia_val.error();
+    cert.aia = std::move(aia_val).value();
+  } else if (o == oid::kNameConstraints) {
+    auto nc = parse_name_constraints(v);
+    if (!nc.ok()) return nc.error();
+    cert.name_constraints = std::move(nc).value();
+  }
+  // Unknown extensions are ignored (we never emit critical unknowns).
+  return true;
+}
+
+}  // namespace
+
+Result<CertPtr> parse_certificate(BytesView der) {
+  DerReader outer(der);
+  auto cert_seq = outer.read(Tag::kSequence);
+  if (!cert_seq.ok()) return cert_seq.error();
+
+  auto cert = std::make_shared<Certificate>();
+  cert->der.assign(der.begin(), der.begin() + static_cast<std::ptrdiff_t>(
+                                                  cert_seq.value().size));
+  cert->fingerprint = crypto::Sha256::digest(cert->der);
+
+  DerReader body(cert_seq.value().body);
+
+  // TBS: capture raw bytes for signature verification.
+  const std::size_t tbs_start_in_body = 0;
+  (void)tbs_start_in_body;
+  auto tbs_elem = body.read(Tag::kSequence);
+  if (!tbs_elem.ok()) return tbs_elem.error();
+  {
+    // Reconstruct the exact TBS TLV bytes (tag+len+body).
+    DerWriter tbs_writer;
+    tbs_writer.add_tlv(Tag::kSequence, tbs_elem.value().body);
+    cert->tbs_der = tbs_writer.take();
+  }
+
+  auto sig_alg = body.read(Tag::kSequence);
+  if (!sig_alg.ok()) return sig_alg.error();
+  auto signature = body.read_bit_string();
+  if (!signature.ok()) return signature.error();
+  cert->signature = std::move(signature).value();
+
+  // ---- decode the TBS fields ----
+  DerReader tbs(tbs_elem.value().body);
+
+  auto version = tbs.read(asn1::context_constructed(0));
+  if (!version.ok()) return version.error();
+
+  auto serial = tbs.read_integer();
+  if (!serial.ok()) return serial.error();
+  cert->serial = std::move(serial).value();
+
+  auto tbs_alg = tbs.read(Tag::kSequence);
+  if (!tbs_alg.ok()) return tbs_alg.error();
+
+  auto issuer_elem = tbs.read(Tag::kSequence);
+  if (!issuer_elem.ok()) return issuer_elem.error();
+  {
+    DerWriter issuer_der;
+    issuer_der.add_tlv(Tag::kSequence, issuer_elem.value().body);
+    auto issuer = asn1::Name::decode(issuer_der.bytes());
+    if (!issuer.ok()) return issuer.error();
+    cert->issuer = std::move(issuer).value();
+  }
+
+  auto validity = tbs.read(Tag::kSequence);
+  if (!validity.ok()) return validity.error();
+  {
+    DerReader v(validity.value().body);
+    auto nb = v.read_generalized_time();
+    if (!nb.ok()) return nb.error();
+    auto na = v.read_generalized_time();
+    if (!na.ok()) return na.error();
+    cert->not_before = nb.value();
+    cert->not_after = na.value();
+  }
+
+  auto subject_elem = tbs.read(Tag::kSequence);
+  if (!subject_elem.ok()) return subject_elem.error();
+  {
+    DerWriter subject_der;
+    subject_der.add_tlv(Tag::kSequence, subject_elem.value().body);
+    auto subject = asn1::Name::decode(subject_der.bytes());
+    if (!subject.ok()) return subject.error();
+    cert->subject = std::move(subject).value();
+  }
+
+  auto spki_elem = tbs.read(Tag::kSequence);
+  if (!spki_elem.ok()) return spki_elem.error();
+  auto key = parse_spki(spki_elem.value());
+  if (!key.ok()) return key.error();
+  cert->public_key = std::move(key).value();
+
+  if (!tbs.at_end()) {
+    auto exts_wrapper = tbs.read(asn1::context_constructed(3));
+    if (!exts_wrapper.ok()) return exts_wrapper.error();
+    DerReader wrapper(exts_wrapper.value().body);
+    auto exts_seq = wrapper.read(Tag::kSequence);
+    if (!exts_seq.ok()) return exts_seq.error();
+    DerReader exts(exts_seq.value().body);
+    while (!exts.at_end()) {
+      auto ext = exts.read(Tag::kSequence);
+      if (!ext.ok()) return ext.error();
+      auto applied = apply_extension(*cert, ext.value().body);
+      if (!applied.ok()) return applied.error();
+    }
+  }
+
+  return CertPtr(cert);
+}
+
+std::string to_pem(const Certificate& cert) {
+  const std::string b64 = base64_encode(cert.der);
+  std::string out = "-----BEGIN CERTIFICATE-----\n";
+  for (std::size_t i = 0; i < b64.size(); i += 64) {
+    out += b64.substr(i, 64);
+    out += '\n';
+  }
+  out += "-----END CERTIFICATE-----\n";
+  return out;
+}
+
+namespace {
+
+constexpr std::string_view kPemBegin = "-----BEGIN CERTIFICATE-----";
+constexpr std::string_view kPemEnd = "-----END CERTIFICATE-----";
+
+}  // namespace
+
+Result<CertPtr> from_pem(std::string_view pem) {
+  auto bundle = bundle_from_pem(pem);
+  if (!bundle.ok()) return bundle.error();
+  if (bundle.value().size() != 1) {
+    return make_error("pem.count", "expected exactly one certificate");
+  }
+  return bundle.value()[0];
+}
+
+Result<std::vector<CertPtr>> bundle_from_pem(std::string_view pem) {
+  std::vector<CertPtr> out;
+  std::size_t cursor = 0;
+  while (true) {
+    const std::size_t begin = pem.find(kPemBegin, cursor);
+    if (begin == std::string_view::npos) break;
+    const std::size_t body_start = begin + kPemBegin.size();
+    const std::size_t end = pem.find(kPemEnd, body_start);
+    if (end == std::string_view::npos) {
+      return make_error("pem.unterminated", "missing END marker");
+    }
+    std::string b64;
+    for (char c : pem.substr(body_start, end - body_start)) {
+      if (c != '\n' && c != '\r' && c != ' ' && c != '\t') b64.push_back(c);
+    }
+    const auto der = base64_decode(b64);
+    if (!der) return make_error("pem.bad_base64");
+    auto cert = parse_certificate(*der);
+    if (!cert.ok()) return cert.error();
+    out.push_back(std::move(cert).value());
+    cursor = end + kPemEnd.size();
+  }
+  return out;
+}
+
+}  // namespace chainchaos::x509

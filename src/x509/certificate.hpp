@@ -1,0 +1,108 @@
+// The Certificate model: an immutable, parsed X.509 v3 certificate.
+//
+// Instances are produced either by CertificateBuilder::sign() (synthetic
+// issuance) or by parse_certificate() (decoding DER). Both paths populate
+// the cached DER encoding and SHA-256 fingerprint, so identity checks
+// ("bit-for-bit identical", the paper's duplicate criterion) are O(32B).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asn1/name.hpp"
+#include "crypto/bigint.hpp"
+#include "crypto/rsa.hpp"
+#include "support/bytes.hpp"
+#include "support/result.hpp"
+#include "x509/extensions.hpp"
+
+namespace chainchaos::x509 {
+
+class Certificate;
+
+/// Certificates are shared immutably between chains, topologies, caches
+/// and stores; shared_ptr-to-const is the library-wide handle type.
+using CertPtr = std::shared_ptr<const Certificate>;
+
+class Certificate {
+ public:
+  // --- TBS fields -------------------------------------------------------
+  crypto::BigInt serial;
+  asn1::Name issuer;
+  asn1::Name subject;
+  std::int64_t not_before = 0;  ///< unix seconds, inclusive
+  std::int64_t not_after = 0;   ///< unix seconds, inclusive
+  crypto::RsaPublicKey public_key;
+
+  // --- Extensions (absent optional == extension not present) ------------
+  std::optional<BasicConstraints> basic_constraints;
+  std::optional<KeyUsage> key_usage;
+  std::optional<ExtKeyUsage> ext_key_usage;
+  std::optional<Bytes> subject_key_id;
+  std::optional<Bytes> authority_key_id;
+  std::optional<SubjectAltName> subject_alt_name;
+  std::optional<AuthorityInfoAccess> aia;
+  std::optional<NameConstraints> name_constraints;
+
+  // --- Signature --------------------------------------------------------
+  Bytes signature;  ///< RSA signature over the TBS DER
+
+  // --- Caches (filled by builder/parser) --------------------------------
+  Bytes tbs_der;
+  Bytes der;
+  Bytes fingerprint;  ///< SHA-256 of `der`
+
+  /// True when subject and issuer DNs are equal AND the certificate's own
+  /// key verifies its signature (the strict notion of self-signed used by
+  /// both the completeness analysis and path building).
+  bool is_self_signed() const;
+
+  /// True when subject == issuer (cheaper; "self-issued" in RFC terms).
+  bool is_self_issued() const { return subject == issuer; }
+
+  /// Whether the signature verifies under the candidate issuer key.
+  bool verify_signed_by(const crypto::RsaPublicKey& issuer_key) const;
+
+  /// CA certificate per BasicConstraints (absent extension => not a CA).
+  bool is_ca() const {
+    return basic_constraints.has_value() && basic_constraints->is_ca;
+  }
+
+  /// Validity window check.
+  bool valid_at(std::int64_t unix_seconds) const {
+    return unix_seconds >= not_before && unix_seconds <= not_after;
+  }
+
+  /// True if CN or any SAN entry matches `host` (wildcards honoured).
+  bool matches_host(std::string_view host) const;
+
+  /// All identity strings the leaf classifier inspects: CN + SAN entries.
+  std::vector<std::string> identity_strings() const;
+
+  /// Short human label for logs/topology dumps: "CN=... (serial)".
+  std::string display_name() const;
+};
+
+/// Encodes the TBS portion; used by the builder before signing.
+Bytes encode_tbs(const Certificate& cert);
+
+/// Encodes the full certificate (requires `signature` to be set);
+/// fills nothing — pure function of the fields.
+Bytes encode_certificate(const Certificate& cert);
+
+/// Parses DER into a certificate, verifying structural well-formedness
+/// (but not the signature — that needs the issuer's key).
+Result<CertPtr> parse_certificate(BytesView der);
+
+/// PEM-style armor ("-----BEGIN CERTIFICATE-----", base64 body). The
+/// label matches real PEM so dumps look familiar.
+std::string to_pem(const Certificate& cert);
+Result<CertPtr> from_pem(std::string_view pem);
+
+/// Parses all certificates in a PEM bundle, in order of appearance.
+Result<std::vector<CertPtr>> bundle_from_pem(std::string_view pem);
+
+}  // namespace chainchaos::x509

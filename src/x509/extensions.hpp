@@ -1,0 +1,84 @@
+// X.509 v3 extension value types relevant to chain construction
+// (RFC 5280 §4.2): BasicConstraints, KeyUsage, ExtendedKeyUsage,
+// SubjectKeyIdentifier, AuthorityKeyIdentifier, SubjectAltName and
+// AuthorityInfoAccess.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/bytes.hpp"
+
+namespace chainchaos::x509 {
+
+/// BasicConstraints: CA flag + optional path length constraint.
+struct BasicConstraints {
+  bool is_ca = false;
+  std::optional<int> path_len_constraint;
+
+  bool operator==(const BasicConstraints&) const = default;
+};
+
+/// KeyUsage bits (subset used by chain building; RFC 5280 §4.2.1.3).
+struct KeyUsage {
+  bool digital_signature = false;
+  bool key_encipherment = false;
+  bool key_cert_sign = false;
+  bool crl_sign = false;
+
+  bool operator==(const KeyUsage&) const = default;
+
+  /// The capability that matters when selecting an issuer: may this
+  /// certificate sign other certificates?
+  bool allows_cert_signing() const { return key_cert_sign; }
+};
+
+/// ExtendedKeyUsage: list of purpose OIDs.
+struct ExtKeyUsage {
+  std::vector<std::string> purposes;
+
+  bool operator==(const ExtKeyUsage&) const = default;
+  bool allows(std::string_view purpose_oid) const {
+    for (const std::string& p : purposes) {
+      if (p == purpose_oid) return true;
+    }
+    return false;
+  }
+};
+
+/// SubjectAltName restricted to the two name forms the paper's leaf
+/// classifier inspects: DNS names and IPv4 addresses (kept as text).
+struct SubjectAltName {
+  std::vector<std::string> dns_names;
+  std::vector<std::string> ip_addresses;
+
+  bool operator==(const SubjectAltName&) const = default;
+  bool empty() const { return dns_names.empty() && ip_addresses.empty(); }
+};
+
+/// NameConstraints (RFC 5280 §4.2.1.10), restricted to dNSName
+/// subtrees — the form BetterTLS exercises (Table 1) and the only one
+/// with Web PKI deployment. A name falls within a subtree when it equals
+/// the base or is a subdomain of it.
+struct NameConstraints {
+  std::vector<std::string> permitted_dns;
+  std::vector<std::string> excluded_dns;
+
+  bool operator==(const NameConstraints&) const = default;
+
+  /// True if `dns_name` satisfies these constraints.
+  bool allows(std::string_view dns_name) const;
+};
+
+/// AuthorityInfoAccess: the caIssuers URI drives AIA chain completion;
+/// OCSP is carried for fidelity but unused by construction.
+struct AuthorityInfoAccess {
+  std::optional<std::string> ca_issuers_uri;
+  std::optional<std::string> ocsp_uri;
+
+  bool operator==(const AuthorityInfoAccess&) const = default;
+};
+
+}  // namespace chainchaos::x509

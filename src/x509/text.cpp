@@ -1,0 +1,148 @@
+#include "x509/text.hpp"
+
+#include <cstdio>
+
+#include "support/str.hpp"
+
+namespace chainchaos::x509 {
+
+namespace {
+
+// Civil-time conversion (mirrors asn1/der.cpp; kept local to avoid a
+// public time utility that only two call sites need).
+void civil_from_days(std::int64_t z, int& y, unsigned& m, unsigned& d) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t yy = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  d = doy - (153 * mp + 2) / 5 + 1;
+  m = mp < 10 ? mp + 3 : mp - 9;
+  y = static_cast<int>(yy + (m <= 2));
+}
+
+std::string hex_colon(BytesView bytes) {
+  std::string out;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    char buf[4];
+    std::snprintf(buf, sizeof buf, "%02x", bytes[i]);
+    if (i) out += ":";
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string format_time(std::int64_t unix_seconds) {
+  const std::int64_t days = unix_seconds >= 0
+                                ? unix_seconds / 86400
+                                : (unix_seconds - 86399) / 86400;
+  const std::int64_t secs = unix_seconds - days * 86400;
+  int y;
+  unsigned m, d;
+  civil_from_days(days, y, m, d);
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%04d-%02u-%02u %02lld:%02lld:%02lld UTC", y,
+                m, d, static_cast<long long>(secs / 3600),
+                static_cast<long long>((secs % 3600) / 60),
+                static_cast<long long>(secs % 60));
+  return buf;
+}
+
+std::string to_summary_line(const Certificate& cert) {
+  std::string role = cert.is_self_signed() ? "root"
+                     : cert.is_ca()        ? "intermediate"
+                                           : "leaf";
+  return cert.subject.to_string() + "  <-  " + cert.issuer.to_string() +
+         "  [" + role + ", " + format_time(cert.not_before) + " .. " +
+         format_time(cert.not_after) + "]";
+}
+
+std::string to_text(const Certificate& cert) {
+  std::string out;
+  out += "Certificate:\n";
+  out += "    Serial Number: " + cert.serial.to_hex() + "\n";
+  out += "    Signature Algorithm: sha256WithRSAEncryption (library suite)\n";
+  out += "    Issuer: " + cert.issuer.to_string() + "\n";
+  out += "    Validity:\n";
+  out += "        Not Before: " + format_time(cert.not_before) + "\n";
+  out += "        Not After : " + format_time(cert.not_after) + "\n";
+  out += "    Subject: " + cert.subject.to_string() + "\n";
+  out += "    Subject Public Key Info:\n";
+  out += "        RSA Public-Key: (" +
+         std::to_string(cert.public_key.n.bit_length()) + " bit)\n";
+  out += "        Modulus: " + cert.public_key.n.to_hex() + "\n";
+  out += "        Exponent: " + cert.public_key.e.to_hex() + "\n";
+
+  out += "    X509v3 extensions:\n";
+  if (cert.basic_constraints.has_value()) {
+    out += "        X509v3 Basic Constraints: critical\n            CA:";
+    out += cert.basic_constraints->is_ca ? "TRUE" : "FALSE";
+    if (cert.basic_constraints->path_len_constraint.has_value()) {
+      out += ", pathlen:" +
+             std::to_string(*cert.basic_constraints->path_len_constraint);
+    }
+    out += "\n";
+  }
+  if (cert.key_usage.has_value()) {
+    out += "        X509v3 Key Usage: critical\n            ";
+    std::vector<std::string> usages;
+    if (cert.key_usage->digital_signature) usages.push_back("Digital Signature");
+    if (cert.key_usage->key_encipherment) usages.push_back("Key Encipherment");
+    if (cert.key_usage->key_cert_sign) usages.push_back("Certificate Sign");
+    if (cert.key_usage->crl_sign) usages.push_back("CRL Sign");
+    out += join(usages, ", ") + "\n";
+  }
+  if (cert.ext_key_usage.has_value()) {
+    out += "        X509v3 Extended Key Usage:\n            ";
+    out += join(cert.ext_key_usage->purposes, ", ") + "\n";
+  }
+  if (cert.subject_key_id.has_value()) {
+    out += "        X509v3 Subject Key Identifier:\n            " +
+           hex_colon(*cert.subject_key_id) + "\n";
+  }
+  if (cert.authority_key_id.has_value()) {
+    out += "        X509v3 Authority Key Identifier:\n            keyid:" +
+           hex_colon(*cert.authority_key_id) + "\n";
+  }
+  if (cert.subject_alt_name.has_value()) {
+    out += "        X509v3 Subject Alternative Name:\n            ";
+    std::vector<std::string> names;
+    for (const std::string& dns : cert.subject_alt_name->dns_names) {
+      names.push_back("DNS:" + dns);
+    }
+    for (const std::string& ip : cert.subject_alt_name->ip_addresses) {
+      names.push_back("IP Address:" + ip);
+    }
+    out += join(names, ", ") + "\n";
+  }
+  if (cert.name_constraints.has_value()) {
+    out += "        X509v3 Name Constraints: critical\n";
+    if (!cert.name_constraints->permitted_dns.empty()) {
+      out += "            Permitted: DNS:" +
+             join(cert.name_constraints->permitted_dns, ", DNS:") + "\n";
+    }
+    if (!cert.name_constraints->excluded_dns.empty()) {
+      out += "            Excluded: DNS:" +
+             join(cert.name_constraints->excluded_dns, ", DNS:") + "\n";
+    }
+  }
+  if (cert.aia.has_value()) {
+    out += "        Authority Information Access:\n";
+    if (cert.aia->ocsp_uri.has_value()) {
+      out += "            OCSP - URI:" + *cert.aia->ocsp_uri + "\n";
+    }
+    if (cert.aia->ca_issuers_uri.has_value()) {
+      out += "            CA Issuers - URI:" + *cert.aia->ca_issuers_uri + "\n";
+    }
+  }
+  out += "    Signature: " + hex_encode(cert.signature).substr(0, 32) +
+         "... (" + std::to_string(cert.signature.size()) + " bytes)\n";
+  out += "    SHA-256 Fingerprint: " + hex_colon(cert.fingerprint) + "\n";
+  return out;
+}
+
+}  // namespace chainchaos::x509

@@ -1,0 +1,21 @@
+// Human-readable certificate rendering in the spirit of
+// `openssl x509 -text`: the format operators actually read when they
+// debug a deployment. Used by inspect_chain and available to any caller.
+#pragma once
+
+#include <string>
+
+#include "x509/certificate.hpp"
+
+namespace chainchaos::x509 {
+
+/// Multi-line dump of every parsed field and extension.
+std::string to_text(const Certificate& cert);
+
+/// One-line summary: "subject <- issuer [role, validity]".
+std::string to_summary_line(const Certificate& cert);
+
+/// "YYYY-MM-DD HH:MM:SS UTC" rendering of a validity timestamp.
+std::string format_time(std::int64_t unix_seconds);
+
+}  // namespace chainchaos::x509

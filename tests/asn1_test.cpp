@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "asn1/der.hpp"
+#include "asn1/name.hpp"
+#include "asn1/oids.hpp"
+
+namespace chainchaos::asn1 {
+namespace {
+
+using crypto::BigInt;
+
+// ---------------------------------------------------------------------------
+// Length encoding
+// ---------------------------------------------------------------------------
+
+TEST(DerLengthTest, ShortAndLongForms) {
+  EXPECT_EQ(encode_length(0), (Bytes{0x00}));
+  EXPECT_EQ(encode_length(0x7f), (Bytes{0x7f}));
+  EXPECT_EQ(encode_length(0x80), (Bytes{0x81, 0x80}));
+  EXPECT_EQ(encode_length(0xff), (Bytes{0x81, 0xff}));
+  EXPECT_EQ(encode_length(0x100), (Bytes{0x82, 0x01, 0x00}));
+  EXPECT_EQ(encode_length(0x10000), (Bytes{0x83, 0x01, 0x00, 0x00}));
+}
+
+TEST(DerLengthTest, RoundTripAcrossBoundaries) {
+  for (std::size_t len : {0u, 1u, 127u, 128u, 129u, 255u, 256u, 65535u, 65536u}) {
+    DerWriter writer;
+    writer.add_tlv(Tag::kOctetString, Bytes(len, 0xab));
+    DerReader reader(writer.bytes());
+    auto elem = reader.read(Tag::kOctetString);
+    ASSERT_TRUE(elem.ok()) << len;
+    EXPECT_EQ(elem.value().body.size(), len);
+    EXPECT_TRUE(reader.at_end());
+  }
+}
+
+TEST(DerReaderTest, RejectsNonMinimalLongFormLength) {
+  // 0x81 0x05 is long-form for a value that fits short form.
+  const Bytes bogus = {0x04, 0x81, 0x05, 1, 2, 3, 4, 5};
+  DerReader reader(bogus);
+  EXPECT_FALSE(reader.read_any().ok());
+}
+
+TEST(DerReaderTest, RejectsTruncation) {
+  DerWriter writer;
+  writer.add_octet_string(Bytes(40, 0x11));
+  const Bytes full = writer.bytes();
+  for (std::size_t cut = 1; cut < full.size(); ++cut) {
+    DerReader reader(BytesView(full.data(), cut));
+    auto elem = reader.read_any();
+    if (cut < 2) {
+      EXPECT_FALSE(elem.ok());
+    } else {
+      EXPECT_FALSE(elem.ok()) << "cut=" << cut;
+    }
+  }
+}
+
+TEST(DerReaderTest, RejectsIndefiniteLength) {
+  const Bytes indefinite = {0x30, 0x80, 0x00, 0x00};
+  DerReader reader(indefinite);
+  EXPECT_FALSE(reader.read_any().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Primitive types
+// ---------------------------------------------------------------------------
+
+TEST(DerTest, BooleanRoundTrip) {
+  DerWriter writer;
+  writer.add_boolean(true);
+  writer.add_boolean(false);
+  DerReader reader(writer.bytes());
+  EXPECT_TRUE(reader.read_boolean().value());
+  EXPECT_FALSE(reader.read_boolean().value());
+}
+
+TEST(DerTest, IntegerEncodingAddsSignPadding) {
+  DerWriter writer;
+  writer.add_integer(std::uint64_t{0x80});
+  // 0x80 would read as negative, so DER requires 0x00 0x80.
+  EXPECT_EQ(writer.bytes(), (Bytes{0x02, 0x02, 0x00, 0x80}));
+}
+
+TEST(DerTest, IntegerRoundTripVariousWidths) {
+  for (const char* hex :
+       {"00", "01", "7f", "80", "ff", "0100", "deadbeef",
+        "0123456789abcdef0123456789abcdef"}) {
+    DerWriter writer;
+    writer.add_integer(BigInt::from_hex(hex));
+    DerReader reader(writer.bytes());
+    auto value = reader.read_integer();
+    ASSERT_TRUE(value.ok()) << hex;
+    EXPECT_EQ(value.value(), BigInt::from_hex(hex)) << hex;
+  }
+}
+
+TEST(DerTest, BitStringRoundTrip) {
+  const Bytes payload = {0xca, 0xfe};
+  DerWriter writer;
+  writer.add_bit_string(payload);
+  DerReader reader(writer.bytes());
+  auto bits = reader.read_bit_string();
+  ASSERT_TRUE(bits.ok());
+  EXPECT_TRUE(equal(bits.value(), payload));
+}
+
+TEST(DerTest, NullEncoding) {
+  DerWriter writer;
+  writer.add_null();
+  EXPECT_EQ(writer.bytes(), (Bytes{0x05, 0x00}));
+}
+
+struct OidCase {
+  const char* dotted;
+  std::vector<std::uint8_t> body;
+};
+
+class OidTest : public ::testing::TestWithParam<OidCase> {};
+
+TEST_P(OidTest, EncodeMatchesKnownBytes) {
+  EXPECT_EQ(encode_oid_body(GetParam().dotted), Bytes(GetParam().body));
+}
+
+TEST_P(OidTest, DecodeRoundTrip) {
+  auto decoded = decode_oid_body(Bytes(GetParam().body));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), GetParam().dotted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KnownOids, OidTest,
+    ::testing::Values(
+        OidCase{"2.5.29.19", {0x55, 0x1d, 0x13}},            // basicConstraints
+        OidCase{"2.5.4.3", {0x55, 0x04, 0x03}},              // commonName
+        OidCase{"1.2.840.113549.1.1.11",                     // sha256WithRSA
+                {0x2a, 0x86, 0x48, 0x86, 0xf7, 0x0d, 0x01, 0x01, 0x0b}},
+        OidCase{"1.3.6.1.5.5.7.48.2",                        // caIssuers
+                {0x2b, 0x06, 0x01, 0x05, 0x05, 0x07, 0x30, 0x02}}));
+
+TEST(OidDecodeTest, RejectsTruncatedArc) {
+  EXPECT_FALSE(decode_oid_body(Bytes{0x55, 0x8d}).ok());  // continuation bit set
+  EXPECT_FALSE(decode_oid_body(Bytes{}).ok());
+}
+
+TEST(DerTest, StringTypesRoundTrip) {
+  DerWriter writer;
+  writer.add_utf8_string("héllo");
+  writer.add_printable_string("plain");
+  DerReader reader(writer.bytes());
+  EXPECT_EQ(reader.read_string().value(), "héllo");
+  EXPECT_EQ(reader.read_string().value(), "plain");
+}
+
+// ---------------------------------------------------------------------------
+// GeneralizedTime
+// ---------------------------------------------------------------------------
+
+struct TimeCase {
+  std::int64_t unix_seconds;
+  const char* rendered;
+};
+
+class TimeTest : public ::testing::TestWithParam<TimeCase> {};
+
+TEST_P(TimeTest, EncodesCivilTime) {
+  DerWriter writer;
+  writer.add_generalized_time(GetParam().unix_seconds);
+  const Bytes& encoded = writer.bytes();
+  // Skip tag+length (GeneralizedTime body is always 15 chars here).
+  const std::string body(encoded.begin() + 2, encoded.end());
+  EXPECT_EQ(body, GetParam().rendered);
+}
+
+TEST_P(TimeTest, RoundTrips) {
+  DerWriter writer;
+  writer.add_generalized_time(GetParam().unix_seconds);
+  DerReader reader(writer.bytes());
+  auto value = reader.read_generalized_time();
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), GetParam().unix_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Epochs, TimeTest,
+    ::testing::Values(TimeCase{0, "19700101000000Z"},
+                      TimeCase{951782400, "20000229000000Z"},   // leap day
+                      TimeCase{1700000000, "20231114221320Z"},
+                      TimeCase{4102444800, "21000101000000Z"},  // non-leap century
+                      TimeCase{2147483647, "20380119031407Z"}));
+
+TEST(TimeTest, RejectsMalformed) {
+  const auto try_parse = [](const std::string& body) {
+    DerWriter writer;
+    writer.add_tlv(Tag::kGeneralizedTime, to_bytes(body));
+    DerReader reader(writer.bytes());
+    return reader.read_generalized_time().ok();
+  };
+  EXPECT_FALSE(try_parse("20231114221320"));    // missing Z
+  EXPECT_FALSE(try_parse("2023111422132Z"));    // short
+  EXPECT_FALSE(try_parse("20231314221320Z"));   // month 13
+  EXPECT_FALSE(try_parse("2023111422x320Z"));   // non-digit
+  EXPECT_TRUE(try_parse("20231114221320Z"));
+}
+
+// ---------------------------------------------------------------------------
+// Name
+// ---------------------------------------------------------------------------
+
+TEST(NameTest, MakeOrdersAttributes) {
+  const Name name = Name::make("example.com", "Example Org", "US");
+  ASSERT_EQ(name.attributes().size(), 3u);
+  EXPECT_EQ(name.attributes()[0].oid, oid::kCountryName);
+  EXPECT_EQ(name.attributes()[2].oid, oid::kCommonName);
+  EXPECT_EQ(name.common_name().value(), "example.com");
+  EXPECT_EQ(name.organization().value(), "Example Org");
+}
+
+TEST(NameTest, ToStringRendersCnFirst) {
+  const Name name = Name::make("example.com", "Example Org", "US");
+  EXPECT_EQ(name.to_string(), "CN=example.com, O=Example Org, C=US");
+  EXPECT_EQ(Name().to_string(), "");
+}
+
+TEST(NameTest, EncodeDecodeRoundTrip) {
+  const Name name = Name::make("www.example.com", "Example", "DE");
+  auto decoded = Name::decode(name.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), name);
+}
+
+TEST(NameTest, EmptyNameRoundTrip) {
+  const Name empty;
+  auto decoded = Name::decode(empty.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().empty());
+}
+
+TEST(NameTest, ComparisonIsExact) {
+  EXPECT_EQ(Name::make("a"), Name::make("a"));
+  EXPECT_NE(Name::make("a"), Name::make("A"));  // DN matching is exact bytes
+  EXPECT_NE(Name::make("a", "o1"), Name::make("a", "o2"));
+  EXPECT_NE(Name::make("a"), Name());
+}
+
+TEST(NameTest, CustomAttributePreserved) {
+  Name name;
+  name.add("2.5.4.11", "Engineering");  // OU
+  auto decoded = Name::decode(name.encode());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().attributes().size(), 1u);
+  EXPECT_EQ(decoded.value().attributes()[0].value, "Engineering");
+  EXPECT_EQ(decoded.value().to_string(), "OU=Engineering");
+}
+
+}  // namespace
+}  // namespace chainchaos::asn1

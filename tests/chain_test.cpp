@@ -1,0 +1,528 @@
+#include <gtest/gtest.h>
+
+#include "chain/analyzer.hpp"
+#include "chain/issuance.hpp"
+#include "chain/topology.hpp"
+#include "x509/builder.hpp"
+
+namespace chainchaos::chain {
+namespace {
+
+using x509::CertificateBuilder;
+using x509::CertPtr;
+using x509::make_identity;
+using x509::SigningIdentity;
+
+constexpr std::int64_t kNb = 1700000000;
+constexpr std::int64_t kNa = 1900000000;
+
+/// Shared three-tier PKI: root -> I1 -> I2 -> leaf, plus a foreign root
+/// and a cross-signed twin of the root (Figure 2c material).
+class ChainFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    root_id_ = new SigningIdentity(
+        make_identity(asn1::Name::make("ChainT Root", "ChainT", "US")));
+    CertificateBuilder rb;
+    rb.subject(root_id_->name).as_ca().public_key(root_id_->keys.pub);
+    root_ = new CertPtr(rb.self_sign(root_id_->keys));
+
+    i1_id_ = new SigningIdentity(
+        make_identity(asn1::Name::make("ChainT I1", "ChainT", "US")));
+    CertificateBuilder i1b;
+    i1b.subject(i1_id_->name).as_ca(1).public_key(i1_id_->keys.pub);
+    i1_ = new CertPtr(i1b.sign(*root_id_));
+
+    i2_id_ = new SigningIdentity(
+        make_identity(asn1::Name::make("ChainT I2", "ChainT", "US")));
+    CertificateBuilder i2b;
+    i2b.subject(i2_id_->name).as_ca(0).public_key(i2_id_->keys.pub);
+    i2_ = new CertPtr(i2b.sign(*i1_id_));
+
+    CertificateBuilder lb;
+    lb.as_leaf("chain.example.com");
+    leaf_ = new CertPtr(lb.sign(*i2_id_));
+
+    foreign_id_ = new SigningIdentity(
+        make_identity(asn1::Name::make("Foreign Root", "Elsewhere", "DE")));
+    CertificateBuilder fb;
+    fb.subject(foreign_id_->name).as_ca().public_key(foreign_id_->keys.pub);
+    foreign_root_ = new CertPtr(fb.self_sign(foreign_id_->keys));
+
+    // Cross-signed twin of the root (same subject+key, issued by the
+    // foreign root).
+    CertificateBuilder xb;
+    xb.subject(root_id_->name).as_ca().public_key(root_id_->keys.pub);
+    cross_root_ = new CertPtr(xb.sign(*foreign_id_));
+  }
+
+  static SigningIdentity* root_id_;
+  static SigningIdentity* i1_id_;
+  static SigningIdentity* i2_id_;
+  static SigningIdentity* foreign_id_;
+  static CertPtr* root_;
+  static CertPtr* i1_;
+  static CertPtr* i2_;
+  static CertPtr* leaf_;
+  static CertPtr* foreign_root_;
+  static CertPtr* cross_root_;
+};
+
+SigningIdentity* ChainFixture::root_id_ = nullptr;
+SigningIdentity* ChainFixture::i1_id_ = nullptr;
+SigningIdentity* ChainFixture::i2_id_ = nullptr;
+SigningIdentity* ChainFixture::foreign_id_ = nullptr;
+CertPtr* ChainFixture::root_ = nullptr;
+CertPtr* ChainFixture::i1_ = nullptr;
+CertPtr* ChainFixture::i2_ = nullptr;
+CertPtr* ChainFixture::leaf_ = nullptr;
+CertPtr* ChainFixture::foreign_root_ = nullptr;
+CertPtr* ChainFixture::cross_root_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Issuance predicate
+// ---------------------------------------------------------------------------
+
+TEST_F(ChainFixture, IssuancePredicateFollowsHierarchy) {
+  EXPECT_TRUE(issued_by(**i1_, **root_));
+  EXPECT_TRUE(issued_by(**i2_, **i1_));
+  EXPECT_TRUE(issued_by(**leaf_, **i2_));
+
+  EXPECT_FALSE(issued_by(**leaf_, **i1_));     // skips a level
+  EXPECT_FALSE(issued_by(**leaf_, **root_));
+  EXPECT_FALSE(issued_by(**i1_, **i2_));       // inverted
+  EXPECT_FALSE(issued_by(**leaf_, **foreign_root_));
+}
+
+TEST_F(ChainFixture, KidMatchClasses) {
+  EXPECT_EQ(kid_match(**i2_, **leaf_), KidMatch::kMatch);
+  EXPECT_EQ(kid_match(**i1_, **leaf_), KidMatch::kMismatch);
+
+  CertificateBuilder nb;
+  nb.subject_cn("no-akid.example").omit_authority_key_id();
+  const CertPtr no_akid = nb.sign(*i2_id_);
+  EXPECT_EQ(kid_match(**i2_, *no_akid), KidMatch::kAbsent);
+}
+
+TEST_F(ChainFixture, DnLeniencyWhenKidAbsent) {
+  // A child without AKID still links by DN alone.
+  CertificateBuilder nb;
+  nb.subject_cn("dn-only.example").omit_authority_key_id();
+  const CertPtr dn_only = nb.sign(*i2_id_);
+  EXPECT_TRUE(issued_by(*dn_only, **i2_));
+}
+
+TEST_F(ChainFixture, KidAloneLinksDespiteDnMismatch) {
+  // AKID matches I2's SKID but the issuer DN is wrong: the paper's
+  // leniency accepts criterion (3) alone — provided the signature holds.
+  CertificateBuilder builder;
+  builder.subject_cn("kid-link.example");
+  const CertPtr cert = builder.sign(*i2_id_);
+  // Rewrite issuer DN by re-signing under a synthetic identity with
+  // I2's keys but another name.
+  SigningIdentity odd;
+  odd.name = asn1::Name::make("Renamed I2");
+  odd.keys = i2_id_->keys;
+  CertificateBuilder builder2;
+  builder2.subject_cn("kid-link.example");
+  const CertPtr renamed = builder2.sign(odd);
+  // DN no longer links, but SKID/AKID + signature do.
+  EXPECT_FALSE(dn_links(**i2_, *renamed));
+  EXPECT_TRUE(issued_by(*renamed, **i2_));
+}
+
+TEST_F(ChainFixture, SignatureIsMandatory) {
+  // Same subject DN as I2 and same SKID, but a different key actually
+  // signs: the DN/KID match alone must not be enough.
+  SigningIdentity impostor;
+  impostor.name = i2_id_->name;
+  impostor.keys = foreign_id_->keys;
+  CertificateBuilder builder;
+  builder.subject_cn("victim.example");
+  CertPtr forged = builder.sign(impostor);
+  EXPECT_TRUE(dn_links(**i2_, *forged));
+  EXPECT_FALSE(issued_by(*forged, **i2_));
+}
+
+TEST_F(ChainFixture, IssuanceCacheCountsWork) {
+  reset_issuance_cache();
+  EXPECT_TRUE(issued_by(**leaf_, **i2_));
+  EXPECT_TRUE(issued_by(**leaf_, **i2_));
+  const IssuanceCacheStats& stats = issuance_cache_stats();
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.signature_checks, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Topology (Figure 2)
+// ---------------------------------------------------------------------------
+
+TEST_F(ChainFixture, CompliantChainTopology) {
+  // Figure 2a: a straight line.
+  const Topology topo = Topology::build({*leaf_, *i2_, *i1_, *root_});
+  ASSERT_EQ(topo.size(), 4);
+  const auto paths = topo.paths_from_leaf();
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_TRUE(topo.irrelevant_nodes().empty());
+  EXPECT_FALSE(topo.any_path_reversed());
+}
+
+TEST_F(ChainFixture, DuplicatesFoldOntoFirstOccurrence) {
+  // Figure 2d flavour: duplicate I2 later in the list.
+  const Topology topo = Topology::build({*leaf_, *i2_, *i1_, *i2_, *root_});
+  ASSERT_EQ(topo.size(), 4);  // folded
+  const Topology::Node& i2_node = topo.node(1);
+  EXPECT_TRUE(i2_node.duplicated());
+  EXPECT_EQ(i2_node.occurrences, (std::vector<int>{1, 3}));
+  // Folding does not change path structure.
+  EXPECT_EQ(topo.paths_from_leaf().size(), 1u);
+}
+
+TEST_F(ChainFixture, IrrelevantNodesDetected) {
+  // Figure 2b flavour: a foreign root rides along.
+  const Topology topo = Topology::build({*leaf_, *i2_, *i1_, *foreign_root_});
+  const auto irrelevant = topo.irrelevant_nodes();
+  ASSERT_EQ(irrelevant.size(), 1u);
+  EXPECT_EQ(topo.node(irrelevant[0]).cert->subject.common_name().value(),
+            "Foreign Root");
+}
+
+TEST_F(ChainFixture, CrossSignCreatesMultiplePathsAndReversal) {
+  // Figure 2c: cross cert placed before the self-signed root.
+  const Topology topo =
+      Topology::build({*leaf_, *i2_, *i1_, *cross_root_, *root_});
+  const auto paths = topo.paths_from_leaf();
+  EXPECT_EQ(paths.size(), 2u);
+  EXPECT_TRUE(topo.any_path_reversed());
+  EXPECT_FALSE(topo.all_paths_reversed());  // the direct-to-cross path is
+                                            // positionally ordered
+
+  // Reordering (cross after root) removes the reversal but keeps both
+  // paths.
+  const Topology fixed =
+      Topology::build({*leaf_, *i2_, *i1_, *root_, *cross_root_});
+  EXPECT_EQ(fixed.paths_from_leaf().size(), 2u);
+  EXPECT_FALSE(fixed.any_path_reversed());
+}
+
+TEST_F(ChainFixture, ReversedSequenceDetected) {
+  const Topology topo = Topology::build({*leaf_, *i1_, *i2_});
+  const auto paths = topo.paths_from_leaf();
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_TRUE(topo.any_path_reversed());
+  EXPECT_TRUE(topo.all_paths_reversed());
+}
+
+TEST_F(ChainFixture, CyclicCrossSigningTerminates) {
+  // Two CAs that cross-sign each other (the CVE-2024-0567 shape):
+  // path enumeration must terminate and stay simple.
+  SigningIdentity a_id = make_identity(asn1::Name::make("Cycle A"));
+  SigningIdentity b_id = make_identity(asn1::Name::make("Cycle B"));
+  CertificateBuilder ab;
+  ab.subject(a_id.name).as_ca().public_key(a_id.keys.pub);
+  const CertPtr a_by_b = ab.sign(b_id);
+  CertificateBuilder ba;
+  ba.subject(b_id.name).as_ca().public_key(b_id.keys.pub);
+  const CertPtr b_by_a = ba.sign(a_id);
+
+  CertificateBuilder lb;
+  lb.as_leaf("cycle.example");
+  const CertPtr cycle_leaf = lb.sign(a_id);
+
+  const Topology topo = Topology::build({cycle_leaf, a_by_b, b_by_a});
+  const auto paths = topo.paths_from_leaf();
+  ASSERT_EQ(paths.size(), 1u);
+  // leaf -> A(by B) -> B(by A); the cycle guard stops there.
+  EXPECT_EQ(paths[0].size(), 3u);
+}
+
+TEST_F(ChainFixture, SingleCertTopology) {
+  const Topology topo = Topology::build({*leaf_});
+  EXPECT_EQ(topo.size(), 1);
+  const auto paths = topo.paths_from_leaf();
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].size(), 1u);
+  EXPECT_FALSE(topo.any_path_reversed());
+}
+
+TEST_F(ChainFixture, EmptyTopology) {
+  const Topology topo = Topology::build({});
+  EXPECT_TRUE(topo.empty());
+  EXPECT_TRUE(topo.paths_from_leaf().empty());
+  EXPECT_TRUE(topo.irrelevant_nodes().empty());
+  EXPECT_FALSE(topo.any_path_reversed());
+}
+
+TEST_F(ChainFixture, AsciiRenderingMentionsLabels) {
+  const Topology topo = Topology::build({*leaf_, *i2_, *i2_});
+  const std::string ascii = topo.to_ascii();
+  EXPECT_NE(ascii.find("C0"), std::string::npos);
+  EXPECT_NE(ascii.find("C1[1]@2"), std::string::npos);  // duplicate label
+}
+
+// ---------------------------------------------------------------------------
+// Leaf placement (Table 3 taxonomy)
+// ---------------------------------------------------------------------------
+
+TEST_F(ChainFixture, LeafPlacementCorrectMatched) {
+  EXPECT_EQ(classify_leaf_placement({*leaf_, *i2_}, "chain.example.com"),
+            LeafPlacement::kCorrectMatched);
+}
+
+TEST_F(ChainFixture, LeafPlacementCorrectMismatched) {
+  EXPECT_EQ(classify_leaf_placement({*leaf_, *i2_}, "other.example.org"),
+            LeafPlacement::kCorrectMismatched);
+}
+
+TEST_F(ChainFixture, LeafPlacementIncorrectMatched) {
+  // A CA cert first (non-domain CN), the real leaf later.
+  EXPECT_EQ(classify_leaf_placement({*i2_, *leaf_}, "chain.example.com"),
+            LeafPlacement::kIncorrectMatched);
+}
+
+TEST_F(ChainFixture, LeafPlacementIncorrectMismatched) {
+  EXPECT_EQ(classify_leaf_placement({*i2_, *leaf_}, "unrelated.example.org"),
+            LeafPlacement::kIncorrectMismatched);
+}
+
+TEST_F(ChainFixture, LeafPlacementOther) {
+  EXPECT_EQ(classify_leaf_placement({*i2_, *i1_}, "chain.example.com"),
+            LeafPlacement::kOther);
+  EXPECT_EQ(classify_leaf_placement({}, "chain.example.com"),
+            LeafPlacement::kOther);
+}
+
+TEST_F(ChainFixture, LeafPlacementWildcardCounts) {
+  CertificateBuilder wb;
+  wb.as_leaf("*.wild.example.com");
+  const CertPtr wildcard = wb.sign(*i2_id_);
+  EXPECT_EQ(classify_leaf_placement({wildcard}, "a.wild.example.com"),
+            LeafPlacement::kCorrectMatched);
+  EXPECT_EQ(classify_leaf_placement({wildcard}, "deep.a.wild.example.com"),
+            LeafPlacement::kCorrectMismatched);  // wildcard covers one label
+}
+
+// ---------------------------------------------------------------------------
+// Order analysis (Table 5 taxonomy)
+// ---------------------------------------------------------------------------
+
+TEST_F(ChainFixture, OrderCompliantChain) {
+  EXPECT_TRUE(order_compliant({*leaf_, *i2_, *i1_, *root_}));
+  EXPECT_TRUE(order_compliant({*leaf_, *i2_, *i1_}));  // root omitted
+  EXPECT_TRUE(order_compliant({*leaf_}));
+  const Topology topo = Topology::build({*leaf_, *i2_, *i1_});
+  const OrderAnalysis analysis = analyze_order({*leaf_, *i2_, *i1_}, topo);
+  EXPECT_TRUE(analysis.compliant);
+  EXPECT_FALSE(analysis.any_order_issue());
+}
+
+TEST_F(ChainFixture, OrderViolationsByType) {
+  {  // duplicate leaf
+    const std::vector<CertPtr> list = {*leaf_, *leaf_, *i2_, *i1_};
+    const OrderAnalysis a = analyze_order(list, Topology::build(list));
+    EXPECT_FALSE(a.compliant);
+    EXPECT_TRUE(a.has_duplicates);
+    EXPECT_TRUE(a.duplicate_leaf);
+    EXPECT_FALSE(a.duplicate_root);
+    EXPECT_EQ(a.max_duplicate_occurrences, 2);
+  }
+  {  // duplicate intermediate + root
+    const std::vector<CertPtr> list = {*leaf_, *i2_, *i2_, *i1_, *root_, *root_};
+    const OrderAnalysis a = analyze_order(list, Topology::build(list));
+    EXPECT_TRUE(a.duplicate_intermediate);
+    EXPECT_TRUE(a.duplicate_root);
+    EXPECT_FALSE(a.duplicate_leaf);
+  }
+  {  // irrelevant certificate
+    const std::vector<CertPtr> list = {*leaf_, *i2_, *foreign_root_, *i1_};
+    const OrderAnalysis a = analyze_order(list, Topology::build(list));
+    EXPECT_TRUE(a.has_irrelevant);
+    EXPECT_EQ(a.irrelevant_count, 1);
+  }
+  {  // reversed
+    const std::vector<CertPtr> list = {*leaf_, *i1_, *i2_};
+    const OrderAnalysis a = analyze_order(list, Topology::build(list));
+    EXPECT_TRUE(a.reversed_sequence);
+    EXPECT_TRUE(a.all_paths_reversed);
+    EXPECT_FALSE(a.compliant);
+  }
+  {  // multiple paths (cross-sign, Figure 2c placement)
+    const std::vector<CertPtr> list = {*leaf_, *i2_, *i1_, *cross_root_, *root_};
+    const OrderAnalysis a = analyze_order(list, Topology::build(list));
+    EXPECT_TRUE(a.multiple_paths);
+    EXPECT_EQ(a.path_count, 2);
+    EXPECT_TRUE(a.reversed_sequence);
+  }
+}
+
+TEST_F(ChainFixture, CrossSignCompliantOrderIsAccepted) {
+  // [leaf, I2, I1, root, cross]: every adjacent pair certifies its
+  // predecessor (cross certifies the root since they share the key).
+  EXPECT_TRUE(order_compliant({*leaf_, *i2_, *i1_, *root_, *cross_root_}));
+}
+
+// ---------------------------------------------------------------------------
+// Completeness (Table 7)
+// ---------------------------------------------------------------------------
+
+class CompletenessFixture : public ChainFixture {
+ protected:
+  void SetUp() override {
+    store_.add(*root_);
+    store_.add(*foreign_root_);
+    options_.store = &store_;
+    options_.aia = &aia_;
+  }
+
+  truststore::RootStore store_{"completeness"};
+  net::AiaRepository aia_;
+  CompletenessOptions options_;
+};
+
+TEST_F(CompletenessFixture, CompleteWithRoot) {
+  const Topology topo = Topology::build({*leaf_, *i2_, *i1_, *root_});
+  const CompletenessResult r = analyze_completeness(topo, options_);
+  EXPECT_EQ(r.category, Completeness::kCompleteWithRoot);
+  EXPECT_TRUE(r.complete());
+  EXPECT_EQ(r.aia_outcome, AiaOutcome::kNotAttempted);
+}
+
+TEST_F(CompletenessFixture, CompleteWithoutRoot) {
+  const Topology topo = Topology::build({*leaf_, *i2_, *i1_});
+  const CompletenessResult r = analyze_completeness(topo, options_);
+  EXPECT_EQ(r.category, Completeness::kCompleteWithoutRoot);
+}
+
+TEST_F(CompletenessFixture, IncompleteWithoutAiaField) {
+  // Missing I1; I2 has no AIA extension (builder default in this test PKI).
+  const Topology topo = Topology::build({*leaf_, *i2_});
+  const CompletenessResult r = analyze_completeness(topo, options_);
+  EXPECT_EQ(r.category, Completeness::kIncomplete);
+  EXPECT_EQ(r.aia_outcome, AiaOutcome::kNoAiaField);
+  EXPECT_EQ(r.missing_certificates, 1);
+}
+
+TEST_F(CompletenessFixture, IncompleteButAiaRepairable) {
+  // Publish I1 at a URI and re-issue I2 with that AIA pointer.
+  aia_.publish("http://chain.test/i1.crt", *i1_);
+  CertificateBuilder i2b;
+  i2b.subject(i2_id_->name)
+      .as_ca(0)
+      .public_key(i2_id_->keys.pub)
+      .aia_ca_issuers("http://chain.test/i1.crt");
+  const CertPtr i2_with_aia = i2b.sign(*i1_id_);
+  CertificateBuilder lb;
+  lb.as_leaf("aia-fix.example");
+  const CertPtr leaf2 = lb.sign(*i2_id_);
+
+  const Topology topo = Topology::build({leaf2, i2_with_aia});
+  const CompletenessResult r = analyze_completeness(topo, options_);
+  EXPECT_EQ(r.category, Completeness::kIncomplete);
+  EXPECT_EQ(r.aia_outcome, AiaOutcome::kCompleted);
+  EXPECT_EQ(r.missing_certificates, 1);
+}
+
+TEST_F(CompletenessFixture, IncompleteWithDeadAia) {
+  aia_.mark_unreachable("http://chain.test/dead.crt");
+  CertificateBuilder i2b;
+  i2b.subject(i2_id_->name)
+      .as_ca(0)
+      .public_key(i2_id_->keys.pub)
+      .aia_ca_issuers("http://chain.test/dead.crt");
+  const CertPtr i2_dead = i2b.sign(*i1_id_);
+  CertificateBuilder lb;
+  lb.as_leaf("dead-aia.example");
+  const CertPtr leaf2 = lb.sign(*i2_id_);
+
+  const Topology topo = Topology::build({leaf2, i2_dead});
+  const CompletenessResult r = analyze_completeness(topo, options_);
+  EXPECT_EQ(r.category, Completeness::kIncomplete);
+  EXPECT_EQ(r.aia_outcome, AiaOutcome::kUnreachable);
+}
+
+TEST_F(CompletenessFixture, WrongIssuerServedAtAia) {
+  // The CAcert case: the URI serves the certificate itself.
+  CertificateBuilder i2b;
+  i2b.subject(i2_id_->name)
+      .as_ca(0)
+      .public_key(i2_id_->keys.pub)
+      .aia_ca_issuers("http://chain.test/self.crt");
+  const CertPtr i2_selfref = i2b.sign(*i1_id_);
+  aia_.publish("http://chain.test/self.crt", i2_selfref);
+  CertificateBuilder lb;
+  lb.as_leaf("selfref.example");
+  const CertPtr leaf2 = lb.sign(*i2_id_);
+
+  const Topology topo = Topology::build({leaf2, i2_selfref});
+  const CompletenessResult r = analyze_completeness(topo, options_);
+  EXPECT_EQ(r.category, Completeness::kIncomplete);
+  EXPECT_EQ(r.aia_outcome, AiaOutcome::kWrongIssuer);
+}
+
+TEST_F(CompletenessFixture, AkidOnlyStoreProbeFailsWithoutDnFallback) {
+  // Terminal intermediate without an AKID: the paper's method (no DN
+  // fallback, no AIA) cannot match the store; the library default can.
+  CertificateBuilder i1b;
+  i1b.subject(i1_id_->name)
+      .as_ca(1)
+      .public_key(i1_id_->keys.pub)
+      .omit_authority_key_id();
+  const CertPtr i1_akidless = i1b.sign(*root_id_);
+
+  const Topology topo = Topology::build({*leaf_, *i2_, i1_akidless});
+
+  CompletenessOptions strict = options_;
+  strict.match_store_by_dn = false;
+  strict.aia_enabled = false;
+  EXPECT_EQ(analyze_completeness(topo, strict).category,
+            Completeness::kIncomplete);
+
+  CompletenessOptions lenient = options_;
+  lenient.aia_enabled = false;
+  EXPECT_EQ(analyze_completeness(topo, lenient).category,
+            Completeness::kCompleteWithoutRoot);
+}
+
+TEST_F(CompletenessFixture, BestPathWins) {
+  // One path ends at the root (complete), another dangles: the chain is
+  // complete (the paper takes "at least one complete path").
+  const Topology topo =
+      Topology::build({*leaf_, *i2_, *i1_, *root_, *foreign_root_});
+  EXPECT_EQ(analyze_completeness(topo, options_).category,
+            Completeness::kCompleteWithRoot);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate analyzer
+// ---------------------------------------------------------------------------
+
+TEST_F(CompletenessFixture, AnalyzerAggregates) {
+  ComplianceAnalyzer analyzer(options_);
+
+  ChainObservation good;
+  good.domain = "chain.example.com";
+  good.certificates = {*leaf_, *i2_, *i1_};
+  const ComplianceReport good_report = analyzer.analyze(good);
+  EXPECT_TRUE(good_report.compliant());
+  EXPECT_TRUE(good_report.leaf_placed_correctly());
+
+  ChainObservation reversed;
+  reversed.domain = "chain.example.com";
+  reversed.certificates = {*leaf_, *i1_, *i2_};
+  const ComplianceReport bad_report = analyzer.analyze(reversed);
+  EXPECT_FALSE(bad_report.compliant());
+  EXPECT_TRUE(bad_report.order.reversed_sequence);
+  // Reversal does not make it incomplete.
+  EXPECT_TRUE(bad_report.completeness.complete());
+}
+
+TEST_F(CompletenessFixture, RoleClassifier) {
+  EXPECT_EQ(classify_role(**root_), CertRole::kRoot);
+  EXPECT_EQ(classify_role(**i1_), CertRole::kIntermediate);
+  EXPECT_EQ(classify_role(**leaf_), CertRole::kLeaf);
+}
+
+}  // namespace
+}  // namespace chainchaos::chain

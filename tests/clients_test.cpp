@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "clients/capability_tests.hpp"
+#include "clients/profiles.hpp"
+
+namespace chainchaos::clients {
+namespace {
+
+/// The expected Table 9 row for each client, straight from the paper.
+struct ExpectedRow {
+  ClientKind kind;
+  bool order;
+  bool redundancy;
+  bool aia;
+  const char* vp;
+  const char* kp;
+  const char* kup;
+  const char* bp;
+  const char* length;  ///< with a probe bound of 24: ">24" stands for ">52"
+  bool self_signed_leaf;
+};
+
+class Table9Test : public ::testing::TestWithParam<ExpectedRow> {
+ protected:
+  static CapabilityTester& tester() {
+    static CapabilityTester instance(24);  // smaller probe keeps tests fast
+    return instance;
+  }
+};
+
+TEST_P(Table9Test, MatchesPaperRow) {
+  const ExpectedRow& expected = GetParam();
+  const ClientProfile profile = make_profile(expected.kind);
+  const CapabilityRow row = tester().evaluate(profile);
+
+  EXPECT_EQ(row.order_reorganization, expected.order) << profile.name;
+  EXPECT_EQ(row.redundancy_elimination, expected.redundancy) << profile.name;
+  EXPECT_EQ(row.aia_completion, expected.aia) << profile.name;
+  EXPECT_EQ(row.validity_priority, expected.vp) << profile.name;
+  EXPECT_EQ(row.kid_priority, expected.kp) << profile.name;
+  EXPECT_EQ(row.key_usage_priority, expected.kup) << profile.name;
+  EXPECT_EQ(row.basic_constraints_priority, expected.bp) << profile.name;
+  EXPECT_EQ(row.path_length, expected.length) << profile.name;
+  EXPECT_EQ(row.self_signed_leaf, expected.self_signed_leaf) << profile.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClients, Table9Test,
+    ::testing::Values(
+        //            kind                    ord  red  aia  vp     kp     kup    bp    len    ssl
+        ExpectedRow{ClientKind::kOpenSsl,   true,  true, false, "VP1", "KP1", "-",   "-",  ">24", false},
+        ExpectedRow{ClientKind::kGnuTls,    true,  true, false, "-",   "KP1", "-",   "-",  "=16", false},
+        ExpectedRow{ClientKind::kMbedTls,   false, true, false, "VP1", "-",   "KUP", "BP", "=10", true},
+        ExpectedRow{ClientKind::kCryptoApi, true,  true, true,  "VP2", "KP2", "KUP", "BP", "=13", false},
+        ExpectedRow{ClientKind::kChrome,    true,  true, true,  "VP2", "KP2", "KUP", "BP", ">24", false},
+        ExpectedRow{ClientKind::kEdge,      true,  true, true,  "VP2", "KP2", "KUP", "BP", "=21", false},
+        ExpectedRow{ClientKind::kSafari,    true,  true, true,  "VP2", "KP1", "KUP", "BP", ">24", true},
+        ExpectedRow{ClientKind::kFirefox,   true,  true, false, "VP1", "-",   "KUP", "BP", "=8",  false}),
+    [](const ::testing::TestParamInfo<ExpectedRow>& info) {
+      return make_profile(info.param.kind).name == "Microsoft Edge"
+                 ? std::string("MicrosoftEdge")
+                 : make_profile(info.param.kind).name;
+    });
+
+TEST(ProfilesTest, RosterShapes) {
+  EXPECT_EQ(all_profiles().size(), 8u);
+  EXPECT_EQ(library_profiles().size(), 4u);
+  EXPECT_EQ(browser_profiles().size(), 4u);
+  for (const ClientProfile& p : library_profiles()) {
+    EXPECT_FALSE(p.is_browser) << p.name;
+  }
+  for (const ClientProfile& p : browser_profiles()) {
+    EXPECT_TRUE(p.is_browser) << p.name;
+  }
+}
+
+TEST(ProfilesTest, DistinctNames) {
+  std::vector<std::string> names;
+  for (const ClientProfile& p : all_profiles()) names.push_back(p.name);
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(ProfilesTest, GnuTlsCapsInputListNotDepth) {
+  const ClientProfile gnutls = make_profile(ClientKind::kGnuTls);
+  EXPECT_EQ(gnutls.policy.max_input_list, 16);
+  EXPECT_EQ(gnutls.policy.max_constructed_depth, 0);
+}
+
+TEST(ProfilesTest, OnlyMbedTlsLacksReordering) {
+  for (const ClientProfile& p : all_profiles()) {
+    EXPECT_EQ(p.policy.reorder, p.kind != ClientKind::kMbedTls) << p.name;
+  }
+}
+
+TEST(ProfilesTest, BacktrackingSplit) {
+  // Finding I-3: OpenSSL/GnuTLS/MbedTLS lack backtracking.
+  for (const ClientProfile& p : all_profiles()) {
+    const bool expected = p.kind != ClientKind::kOpenSsl &&
+                          p.kind != ClientKind::kGnuTls &&
+                          p.kind != ClientKind::kMbedTls;
+    EXPECT_EQ(p.policy.backtracking, expected) << p.name;
+  }
+}
+
+TEST(CapabilityTesterTest, FirefoxCacheCompensatesForAia) {
+  CapabilityTester tester(12);
+  const ClientProfile firefox = make_profile(ClientKind::kFirefox);
+
+  // Cold: no AIA, empty cache -> failure.
+  EXPECT_FALSE(tester.test_aia_completion(firefox, nullptr));
+
+  // Warm: the missing intermediate is in the browsing cache.
+  pathbuild::IntermediateCache cache;
+  cache.remember(tester.aia_missing_intermediate());
+  EXPECT_TRUE(tester.test_aia_completion(firefox, &cache));
+}
+
+}  // namespace
+}  // namespace chainchaos::clients

@@ -1,0 +1,361 @@
+#include <gtest/gtest.h>
+
+#include "crypto/bigint.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+
+namespace chainchaos::crypto {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SHA-256 (FIPS 180-4 / NIST CAVS vectors)
+// ---------------------------------------------------------------------------
+
+struct ShaVector {
+  const char* message;
+  const char* digest_hex;
+};
+
+class Sha256VectorTest : public ::testing::TestWithParam<ShaVector> {};
+
+TEST_P(Sha256VectorTest, MatchesKnownDigest) {
+  const Bytes digest = Sha256::digest(to_bytes(GetParam().message));
+  EXPECT_EQ(hex_encode(digest), GetParam().digest_hex);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Nist, Sha256VectorTest,
+    ::testing::Values(
+        ShaVector{"",
+                  "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"},
+        ShaVector{"abc",
+                  "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"},
+        ShaVector{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                  "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"},
+        ShaVector{"The quick brown fox jumps over the lazy dog",
+                  "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592"}));
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 ctx;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  const auto digest = ctx.finish();
+  EXPECT_EQ(hex_encode(BytesView(digest.data(), digest.size())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalEqualsOneShot) {
+  const Bytes data = to_bytes("hello incremental world, block boundaries!");
+  for (std::size_t cut = 0; cut <= data.size(); ++cut) {
+    Sha256 ctx;
+    ctx.update(BytesView(data.data(), cut));
+    ctx.update(BytesView(data.data() + cut, data.size() - cut));
+    const auto digest = ctx.finish();
+    EXPECT_TRUE(equal(BytesView(digest.data(), digest.size()),
+                      Sha256::digest(data)))
+        << "cut=" << cut;
+  }
+}
+
+TEST(Sha256Test, BlockBoundaryLengths) {
+  // Lengths straddling the 55/56/64-byte padding edges.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const Bytes data(len, 0x5a);
+    Sha256 ctx;
+    ctx.update(data);
+    const auto incremental = ctx.finish();
+    EXPECT_TRUE(equal(BytesView(incremental.data(), incremental.size()),
+                      Sha256::digest(data)))
+        << "len=" << len;
+  }
+}
+
+TEST(HmacTest, Rfc4231Vectors) {
+  // RFC 4231 test case 1.
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(hex_encode(hmac_sha256(key, to_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+  // Test case 2: short key.
+  EXPECT_EQ(hex_encode(hmac_sha256(to_bytes("Jefe"),
+                                   to_bytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+  // Test case 6: key longer than a block.
+  const Bytes long_key(131, 0xaa);
+  EXPECT_EQ(hex_encode(hmac_sha256(
+                long_key, to_bytes("Test Using Larger Than Block-Size Key - "
+                                   "Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// ---------------------------------------------------------------------------
+// BigInt
+// ---------------------------------------------------------------------------
+
+TEST(BigIntTest, ConstructionAndBytes) {
+  EXPECT_TRUE(BigInt().is_zero());
+  EXPECT_TRUE(BigInt(0).is_zero());
+  EXPECT_EQ(BigInt(1).to_hex(), "01");
+  EXPECT_EQ(BigInt(0xdeadbeefULL).to_hex(), "deadbeef");
+  EXPECT_EQ(BigInt(0x1122334455667788ULL).to_hex(), "1122334455667788");
+  EXPECT_EQ(BigInt().to_hex(), "00");
+}
+
+TEST(BigIntTest, FromBytesIgnoresLeadingZeros) {
+  EXPECT_EQ(BigInt::from_bytes(Bytes{0, 0, 0x12, 0x34}).to_hex(), "1234");
+  EXPECT_TRUE(BigInt::from_bytes(Bytes{0, 0, 0}).is_zero());
+}
+
+TEST(BigIntTest, PaddedBytes) {
+  EXPECT_EQ(BigInt(0x1234).to_bytes_padded(4), (Bytes{0, 0, 0x12, 0x34}));
+  EXPECT_EQ(BigInt().to_bytes_padded(2), (Bytes{0, 0}));
+  EXPECT_THROW(BigInt(0x123456).to_bytes_padded(2), std::invalid_argument);
+}
+
+TEST(BigIntTest, ComparisonOrdering) {
+  const BigInt a(100), b(200);
+  const BigInt big = BigInt::from_hex("ffffffffffffffffffffffffffffffff");
+  EXPECT_LT(a, b);
+  EXPECT_GT(big, b);
+  EXPECT_EQ(BigInt::compare(a, a), 0);
+  EXPECT_LE(a, a);
+  EXPECT_GE(big, big);
+}
+
+TEST(BigIntTest, AdditionWithCarryChains) {
+  const BigInt max32 = BigInt::from_hex("ffffffff");
+  EXPECT_EQ((max32 + BigInt(1)).to_hex(), "0100000000");
+  const BigInt max128 = BigInt::from_hex("ffffffffffffffffffffffffffffffff");
+  EXPECT_EQ((max128 + BigInt(1)).to_hex(), "0100000000000000000000000000000000");
+  EXPECT_EQ((BigInt(0) + BigInt(0)).to_hex(), "00");
+}
+
+TEST(BigIntTest, SubtractionWithBorrowChains) {
+  const BigInt big = BigInt::from_hex("0100000000000000000000000000000000");
+  EXPECT_EQ((big - BigInt(1)).to_hex(), "ffffffffffffffffffffffffffffffff");
+  EXPECT_TRUE((big - big).is_zero());
+}
+
+TEST(BigIntTest, MultiplicationKnownValues) {
+  EXPECT_EQ((BigInt(0xffffffffULL) * BigInt(0xffffffffULL)).to_hex(),
+            "fffffffe00000001");
+  const BigInt a = BigInt::from_hex("123456789abcdef0fedcba9876543210");
+  const BigInt b = BigInt::from_hex("0fedcba987654321");
+  // python: hex(a * b)
+  EXPECT_EQ((a * b).to_hex(),
+            "0121fa00ad77d7423212849961ef529ccdeec6cd7a44a410");
+  EXPECT_TRUE((a * BigInt(0)).is_zero());
+}
+
+TEST(BigIntTest, ShiftOperators) {
+  const BigInt one(1);
+  EXPECT_EQ((one << 0).to_hex(), "01");
+  EXPECT_EQ((one << 8).to_hex(), "0100");
+  EXPECT_EQ((one << 33).to_hex(), "0200000000");
+  EXPECT_EQ(((one << 129) >> 129).to_hex(), "01");
+  EXPECT_TRUE((one >> 1).is_zero());
+  const BigInt v = BigInt::from_hex("deadbeefcafebabe");
+  EXPECT_EQ(((v << 17) >> 17), v);
+}
+
+TEST(BigIntTest, DivisionAndModulo) {
+  const BigInt a = BigInt::from_hex("deadbeefcafebabe1234567890abcdef");
+  const BigInt b = BigInt::from_hex("0123456789abcdef");
+  const BigInt q = a / b;
+  const BigInt r = a % b;
+  EXPECT_LT(r, b);
+  EXPECT_EQ(q * b + r, a);
+  // python: divmod(0xdeadbeefcafebabe1234567890abcdef, 0x0123456789abcdef)
+  EXPECT_EQ(q.to_hex(), "c3b6b4d0c169e2d94d");
+  EXPECT_EQ(r.to_hex(), "404fb271460c");
+}
+
+TEST(BigIntTest, DivisionEdgeCases) {
+  EXPECT_THROW(BigInt(1) % BigInt(0), std::domain_error);
+  EXPECT_TRUE((BigInt(5) / BigInt(10)).is_zero());
+  EXPECT_EQ((BigInt(5) % BigInt(10)).to_hex(), "05");
+  EXPECT_EQ((BigInt(10) / BigInt(10)).to_hex(), "01");
+  EXPECT_TRUE((BigInt(10) % BigInt(10)).is_zero());
+  // Single-limb fast path.
+  EXPECT_EQ((BigInt::from_hex("100000000") / BigInt(3)).to_hex(), "55555555");
+}
+
+TEST(BigIntTest, DivisionRandomizedInvariant) {
+  Rng rng(123);
+  for (int i = 0; i < 200; ++i) {
+    const BigInt a = BigInt::random_with_bits(rng, 256);
+    const BigInt b = BigInt::random_with_bits(
+        rng, static_cast<int>(rng.between(2, 200)));
+    const BigInt q = a / b;
+    const BigInt r = a % b;
+    EXPECT_LT(r, b);
+    EXPECT_EQ(q * b + r, a) << "iteration " << i;
+  }
+}
+
+TEST(BigIntTest, BitLengthAndBitAccess) {
+  EXPECT_EQ(BigInt().bit_length(), 0);
+  EXPECT_EQ(BigInt(1).bit_length(), 1);
+  EXPECT_EQ(BigInt(0xff).bit_length(), 8);
+  EXPECT_EQ(BigInt::from_hex("010000000000000000").bit_length(), 65);
+  const BigInt v(0b1010);
+  EXPECT_FALSE(v.bit(0));
+  EXPECT_TRUE(v.bit(1));
+  EXPECT_FALSE(v.bit(2));
+  EXPECT_TRUE(v.bit(3));
+  EXPECT_FALSE(v.bit(100));
+}
+
+TEST(BigIntTest, ModPowKnownValues) {
+  // python: pow(3, 200, 1000) == 1.
+  EXPECT_EQ(BigInt::mod_pow(BigInt(3), BigInt(200), BigInt(1000)), BigInt(1));
+  // python: pow(7, 123, 10**9+7) == 937329259.
+  EXPECT_EQ(BigInt::mod_pow(BigInt(7), BigInt(123), BigInt(1000000007)),
+            BigInt(937329259));
+  // Fermat: a^(p-1) mod p == 1 for prime p.
+  const BigInt p(1000003);
+  EXPECT_EQ(BigInt::mod_pow(BigInt(12345), p - BigInt(1), p), BigInt(1));
+  EXPECT_EQ(BigInt::mod_pow(BigInt(5), BigInt(0), BigInt(7)), BigInt(1));
+}
+
+TEST(BigIntTest, GcdAndModInverse) {
+  EXPECT_EQ(BigInt::gcd(BigInt(48), BigInt(18)).to_hex(), "06");
+  EXPECT_EQ(BigInt::gcd(BigInt(17), BigInt(31)).to_hex(), "01");
+
+  const BigInt m(3120);
+  const BigInt inv = BigInt::mod_inverse(BigInt(17), m);
+  EXPECT_EQ((inv * BigInt(17)) % m, BigInt(1));
+  // Non-invertible: gcd(6, 9) = 3.
+  EXPECT_TRUE(BigInt::mod_inverse(BigInt(6), BigInt(9)).is_zero());
+}
+
+TEST(BigIntTest, ModInverseRandomized) {
+  Rng rng(77);
+  const BigInt m = BigInt::from_hex("fffffffffffffffffffffffffffffffeffffffffffffffff");
+  for (int i = 0; i < 50; ++i) {
+    const BigInt a = BigInt::random_with_bits(rng, 128);
+    if (BigInt::gcd(a, m) != BigInt(1)) continue;
+    const BigInt inv = BigInt::mod_inverse(a, m);
+    EXPECT_EQ((a * inv) % m, BigInt(1));
+  }
+}
+
+TEST(BigIntTest, RandomWithBitsHasExactWidth) {
+  Rng rng(55);
+  for (int bits : {2, 8, 31, 32, 33, 64, 127, 256}) {
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(BigInt::random_with_bits(rng, bits).bit_length(), bits);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Primality / RSA
+// ---------------------------------------------------------------------------
+
+TEST(PrimalityTest, SmallKnownPrimesAndComposites) {
+  Rng rng(2);
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 101ull, 65537ull, 1000003ull}) {
+    EXPECT_TRUE(is_probable_prime(BigInt(p), rng)) << p;
+  }
+  for (std::uint64_t c : {0ull, 1ull, 4ull, 100ull, 65541ull, 1000001ull}) {
+    EXPECT_FALSE(is_probable_prime(BigInt(c), rng)) << c;
+  }
+}
+
+TEST(PrimalityTest, CarmichaelNumbersRejected) {
+  Rng rng(2);
+  // Carmichael numbers fool Fermat but not Miller-Rabin.
+  for (std::uint64_t c : {561ull, 1105ull, 1729ull, 41041ull, 825265ull}) {
+    EXPECT_FALSE(is_probable_prime(BigInt(c), rng)) << c;
+  }
+}
+
+TEST(PrimalityTest, LargeKnownPrime) {
+  Rng rng(2);
+  // 2^127 - 1 is a Mersenne prime.
+  const BigInt m127 = (BigInt(1) << 127) - BigInt(1);
+  EXPECT_TRUE(is_probable_prime(m127, rng));
+  EXPECT_FALSE(is_probable_prime(m127 + BigInt(2), rng));
+}
+
+TEST(PrimalityTest, GeneratedPrimesHaveRequestedWidth) {
+  Rng rng(31);
+  for (int bits : {64, 128, 256}) {
+    const BigInt p = generate_prime(rng, bits);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(is_probable_prime(p, rng));
+  }
+}
+
+TEST(RsaTest, SignVerifyRoundTrip) {
+  Rng rng(101);
+  const RsaKeyPair pair = generate_keypair(rng, 512);
+  const Bytes message = to_bytes("the quick brown certificate");
+  const Bytes signature = rsa_sign(pair.priv, message);
+  EXPECT_EQ(signature.size(), pair.pub.modulus_bytes());
+  EXPECT_TRUE(rsa_verify(pair.pub, message, signature));
+}
+
+TEST(RsaTest, VerifyRejectsTampering) {
+  Rng rng(102);
+  const RsaKeyPair pair = generate_keypair(rng, 512);
+  const Bytes message = to_bytes("authentic message");
+  Bytes signature = rsa_sign(pair.priv, message);
+
+  EXPECT_FALSE(rsa_verify(pair.pub, to_bytes("authentic messagF"), signature));
+
+  Bytes flipped = signature;
+  flipped[5] ^= 0x01;
+  EXPECT_FALSE(rsa_verify(pair.pub, message, flipped));
+
+  Bytes truncated(signature.begin(), signature.end() - 1);
+  EXPECT_FALSE(rsa_verify(pair.pub, message, truncated));
+}
+
+TEST(RsaTest, VerifyRejectsWrongKey) {
+  Rng rng(103);
+  const RsaKeyPair a = generate_keypair(rng, 512);
+  const RsaKeyPair b = generate_keypair(rng, 512);
+  const Bytes message = to_bytes("cross-key check");
+  EXPECT_FALSE(rsa_verify(b.pub, message, rsa_sign(a.priv, message)));
+}
+
+TEST(RsaTest, CrtSigningMatchesPlainExponentiation) {
+  Rng rng(104);
+  RsaKeyPair pair = generate_keypair(rng, 512);
+  const Bytes message = to_bytes("crt equivalence");
+  const Bytes crt_sig = rsa_sign(pair.priv, message);
+
+  RsaPrivateKey plain = pair.priv;
+  plain.p = BigInt{};
+  plain.q = BigInt{};
+  const Bytes plain_sig = rsa_sign(plain, message);
+  EXPECT_TRUE(equal(crt_sig, plain_sig));
+}
+
+TEST(RsaTest, SignatureRejectsValueAboveModulus) {
+  Rng rng(105);
+  const RsaKeyPair pair = generate_keypair(rng, 512);
+  const Bytes message = to_bytes("m");
+  Bytes bogus = pair.pub.n.to_bytes_padded(pair.pub.modulus_bytes());
+  EXPECT_FALSE(rsa_verify(pair.pub, message, bogus));
+}
+
+TEST(KeyPoolTest, NamedKeysAreStableAndDistinct) {
+  KeyPool& pool = KeyPool::instance();
+  const RsaKeyPair& a1 = pool.for_name("test-ca-alpha");
+  const RsaKeyPair& a2 = pool.for_name("test-ca-alpha");
+  const RsaKeyPair& b = pool.for_name("test-ca-beta");
+  EXPECT_TRUE(a1.pub == a2.pub);
+  EXPECT_FALSE(a1.pub == b.pub);
+}
+
+TEST(KeyPoolTest, LeafSlotsAreStable) {
+  KeyPool& pool = KeyPool::instance();
+  const RsaKeyPair& a1 = pool.leaf_slot("leafy.example.com");
+  const RsaKeyPair& a2 = pool.leaf_slot("leafy.example.com");
+  EXPECT_TRUE(a1.pub == a2.pub);
+}
+
+}  // namespace
+}  // namespace chainchaos::crypto

@@ -1,0 +1,365 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chain/analyzer.hpp"
+#include "chain/issuance.hpp"
+#include "dataset/corpus.hpp"
+#include "dataset/defects.hpp"
+#include "support/str.hpp"
+
+namespace chainchaos::dataset {
+namespace {
+
+/// One shared small corpus: generation is the expensive part, the
+/// assertions are cheap. 1,500 domains is enough for every rate check
+/// below at generous tolerances.
+class CorpusFixture : public ::testing::Test {
+ protected:
+  static Corpus& corpus() {
+    static Corpus* instance = [] {
+      CorpusConfig config;
+      config.domain_count = 1500;
+      return new Corpus(std::move(config));
+    }();
+    return *instance;
+  }
+
+  static chain::ComplianceAnalyzer analyzer() {
+    chain::CompletenessOptions options;
+    options.store = &corpus().stores().union_store;
+    options.aia = &corpus().aia();
+    return chain::ComplianceAnalyzer(options);
+  }
+};
+
+TEST_F(CorpusFixture, DeterministicAcrossInstances) {
+  CorpusConfig config;
+  config.domain_count = 60;
+  Corpus a(config), b(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.records()[i].observation.domain,
+              b.records()[i].observation.domain);
+    EXPECT_EQ(a.records()[i].primary_defect, b.records()[i].primary_defect);
+    ASSERT_EQ(a.records()[i].observation.certificates.size(),
+              b.records()[i].observation.certificates.size());
+    // Serial numbers come from a process-global counter, so bit-identity
+    // holds across *processes*, not across instances within one process;
+    // compare the structural identity instead.
+    for (std::size_t c = 0; c < a.records()[i].observation.certificates.size();
+         ++c) {
+      EXPECT_EQ(a.records()[i].observation.certificates[c]->subject,
+                b.records()[i].observation.certificates[c]->subject);
+      EXPECT_EQ(a.records()[i].observation.certificates[c]->issuer,
+                b.records()[i].observation.certificates[c]->issuer);
+    }
+  }
+}
+
+TEST_F(CorpusFixture, SeedChangesCorpus) {
+  CorpusConfig config;
+  config.domain_count = 40;
+  config.include_exemplars = false;
+  Corpus a(config);
+  config.seed = 999;
+  Corpus b(config);
+  int differing = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    differing += a.records()[i].observation.domain !=
+                 b.records()[i].observation.domain;
+  }
+  EXPECT_GT(differing, 30);
+}
+
+TEST_F(CorpusFixture, DomainsAreUniqueAndWellFormed) {
+  std::set<std::string> seen;
+  for (const DomainRecord& record : corpus().records()) {
+    EXPECT_FALSE(record.observation.domain.empty());
+    EXPECT_TRUE(seen.insert(record.observation.domain).second)
+        << record.observation.domain;
+  }
+}
+
+TEST_F(CorpusFixture, GroundTruthOrderDefectsAreRecovered) {
+  const auto analyze = analyzer();
+  for (const DomainRecord& record : corpus().records()) {
+    if (record.exemplar) continue;
+    const chain::ComplianceReport report = analyze.analyze(record.observation);
+    EXPECT_EQ(report.order.any_order_issue(),
+              is_order_defect(record.primary_defect))
+        << record.observation.domain << " defect="
+        << to_string(record.primary_defect);
+  }
+}
+
+TEST_F(CorpusFixture, GroundTruthCompletenessIsRecovered) {
+  const auto analyze = analyzer();
+  for (const DomainRecord& record : corpus().records()) {
+    if (record.exemplar) continue;
+    const chain::ComplianceReport report = analyze.analyze(record.observation);
+    EXPECT_EQ(!report.completeness.complete(),
+              is_completeness_defect(record.primary_defect))
+        << record.observation.domain;
+  }
+}
+
+TEST_F(CorpusFixture, DefectSubtypesBehaveAsLabelled) {
+  const auto analyze = analyzer();
+  for (const DomainRecord& record : corpus().records()) {
+    if (record.exemplar) continue;
+    const chain::ComplianceReport report = analyze.analyze(record.observation);
+    switch (record.primary_defect) {
+      case DefectType::kDuplicateLeaf:
+        EXPECT_TRUE(report.order.duplicate_leaf) << record.observation.domain;
+        break;
+      case DefectType::kDuplicateIntermediate:
+        EXPECT_TRUE(report.order.duplicate_intermediate)
+            << record.observation.domain;
+        break;
+      case DefectType::kDuplicateRoot:
+        EXPECT_TRUE(report.order.duplicate_root) << record.observation.domain;
+        break;
+      case DefectType::kReversedSequence:
+        EXPECT_TRUE(report.order.reversed_sequence)
+            << record.observation.domain;
+        break;
+      case DefectType::kMultiplePathsCrossSign:
+      case DefectType::kMultiplePathsTwinValidity:
+        EXPECT_TRUE(report.order.multiple_paths) << record.observation.domain;
+        break;
+      case DefectType::kIrrelevantRoot:
+      case DefectType::kStaleLeaves:
+      case DefectType::kIrrelevantOtherChain:
+      case DefectType::kIrrelevantIntermediate:
+        EXPECT_TRUE(report.order.has_irrelevant) << record.observation.domain;
+        break;
+      case DefectType::kMissingIntermediateNoAia:
+        EXPECT_EQ(report.completeness.aia_outcome,
+                  chain::AiaOutcome::kNoAiaField)
+            << record.observation.domain;
+        break;
+      case DefectType::kMissingIntermediateDeadAia:
+        EXPECT_EQ(report.completeness.aia_outcome,
+                  chain::AiaOutcome::kUnreachable)
+            << record.observation.domain;
+        break;
+      case DefectType::kMissingIntermediate:
+        EXPECT_EQ(report.completeness.aia_outcome,
+                  chain::AiaOutcome::kCompleted)
+            << record.observation.domain;
+        EXPECT_EQ(report.completeness.missing_certificates,
+                  record.missing_count)
+            << record.observation.domain;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+TEST_F(CorpusFixture, LeafDefectsClassifyPerTable3) {
+  const auto analyze = analyzer();
+  for (const DomainRecord& record : corpus().records()) {
+    if (record.exemplar) continue;
+    const chain::ComplianceReport report = analyze.analyze(record.observation);
+    switch (record.leaf_defect) {
+      case DefectType::kLeafMismatched:
+        EXPECT_EQ(report.leaf_placement,
+                  chain::LeafPlacement::kCorrectMismatched)
+            << record.observation.domain;
+        break;
+      case DefectType::kLeafOther:
+        EXPECT_EQ(report.leaf_placement, chain::LeafPlacement::kOther)
+            << record.observation.domain;
+        break;
+      default:
+        EXPECT_EQ(report.leaf_placement, chain::LeafPlacement::kCorrectMatched)
+            << record.observation.domain;
+        break;
+    }
+  }
+}
+
+TEST_F(CorpusFixture, AggregateRatesNearCalibration) {
+  std::size_t order = 0, incomplete = 0, mismatched = 0;
+  std::size_t statistical = 0;
+  for (const DomainRecord& record : corpus().records()) {
+    if (record.exemplar) continue;
+    ++statistical;
+    order += is_order_defect(record.primary_defect);
+    incomplete += is_completeness_defect(record.primary_defect);
+    mismatched += record.leaf_defect == DefectType::kLeafMismatched;
+  }
+  const double n = static_cast<double>(statistical);
+  EXPECT_NEAR(order / n, 0.0187, 0.012);
+  EXPECT_NEAR(incomplete / n, 0.0133, 0.010);
+  EXPECT_NEAR(mismatched / n, 0.069, 0.025);
+}
+
+TEST_F(CorpusFixture, TaiwanCaDomainsLookTaiwanese) {
+  for (const DomainRecord& record : corpus().records()) {
+    if (record.exemplar || record.observation.ca_name != "TAIWAN-CA") continue;
+    EXPECT_TRUE(ends_with(record.observation.domain, ".gov.tw"))
+        << record.observation.domain;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exemplars (named case studies)
+// ---------------------------------------------------------------------------
+
+TEST_F(CorpusFixture, AllExemplarsPresent) {
+  for (const char* name :
+       {"mot.gov.ps", "ns3.link", "ns3.com", "ns3.cx", "n0.eu",
+        "webcanny.com", "archives.gov.tw", "assiste6.serpro.gov.br",
+        "moex.gov.tw", "community.cacert-like.example"}) {
+    EXPECT_NE(corpus().exemplar(name), nullptr) << name;
+  }
+  EXPECT_EQ(corpus().exemplar("not-a-case-study.example"), nullptr);
+}
+
+TEST_F(CorpusFixture, MotGovPsIsTheIncorrectMismatchedSingleton) {
+  const DomainRecord* record = corpus().exemplar("mot.gov.ps");
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(chain::classify_leaf_placement(record->observation.certificates,
+                                           "mot.gov.ps"),
+            chain::LeafPlacement::kIncorrectMismatched);
+}
+
+TEST_F(CorpusFixture, Ns3ChainsHave29Certificates) {
+  const DomainRecord* record = corpus().exemplar("ns3.link");
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->observation.certificates.size(), 29u);
+  const auto analyze = analyzer();
+  const chain::ComplianceReport report = analyze.analyze(record->observation);
+  EXPECT_TRUE(report.order.has_duplicates);
+  EXPECT_GE(report.order.max_duplicate_occurrences, 14);
+  // Despite the noise, the chain is structurally completable.
+  EXPECT_TRUE(report.completeness.complete());
+}
+
+TEST_F(CorpusFixture, WebcannyHasFiveLeavesNewestFirst) {
+  const DomainRecord* record = corpus().exemplar("webcanny.com");
+  ASSERT_NE(record, nullptr);
+  int leaves = 0;
+  for (const auto& cert : record->observation.certificates) {
+    if (!cert->is_ca() && cert->matches_host("webcanny.com")) ++leaves;
+  }
+  EXPECT_EQ(leaves, 5);
+  // Newest first: the first certificate has the latest notBefore.
+  const auto& certs = record->observation.certificates;
+  EXPECT_GT(certs[0]->not_before, certs[1]->not_before);
+}
+
+TEST_F(CorpusFixture, SerproExemplarShape) {
+  const DomainRecord* record = corpus().exemplar("assiste6.serpro.gov.br");
+  ASSERT_NE(record, nullptr);
+  const auto& certs = record->observation.certificates;
+  ASSERT_EQ(certs.size(), 17u);  // one past GnuTLS's cap of 16
+  // The Figure 3 path: 8 -> 1 -> 16 -> 0.
+  EXPECT_TRUE(chain::issued_by(*certs[0], *certs[16]));
+  EXPECT_TRUE(chain::issued_by(*certs[16], *certs[1]));
+  EXPECT_TRUE(chain::issued_by(*certs[1], *certs[8]));
+  EXPECT_TRUE(certs[8]->is_self_signed());
+}
+
+TEST_F(CorpusFixture, MoexExemplarHasThreePathsAndUntrustedNode1) {
+  const DomainRecord* record = corpus().exemplar("moex.gov.tw");
+  ASSERT_NE(record, nullptr);
+  const auto& certs = record->observation.certificates;
+  ASSERT_EQ(certs.size(), 5u);
+  const chain::Topology topo = chain::Topology::build(certs);
+  // Two maximal simple paths (the paper's figure counts the untrusted
+  // dead-end prefix as its own candidate path, giving three).
+  EXPECT_GE(topo.paths_from_leaf().size(), 2u);
+  EXPECT_TRUE(certs[1]->is_self_signed());
+  EXPECT_FALSE(corpus().stores().union_store.contains(*certs[1]));
+  EXPECT_TRUE(certs[4]->is_self_signed());
+  EXPECT_TRUE(corpus().stores().union_store.contains(*certs[4]));
+}
+
+// ---------------------------------------------------------------------------
+// Defect injector unit checks
+// ---------------------------------------------------------------------------
+
+class InjectorFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    aia_ = new net::AiaRepository();
+    zoo_ = new CaZoo(aia_);
+  }
+  static net::AiaRepository* aia_;
+  static CaZoo* zoo_;
+};
+
+net::AiaRepository* InjectorFixture::aia_ = nullptr;
+CaZoo* InjectorFixture::zoo_ = nullptr;
+
+TEST_F(InjectorFixture, ReversedInjectorAddsRootForShortChains) {
+  const ca::CaHierarchy& le = zoo_->hierarchy_for("Let's Encrypt", 0);
+  Chain chain = le.compliant_chain(le.issue_leaf("short.example"));
+  ASSERT_EQ(chain.size(), 2u);
+  const Chain reversed = inject_reversed(chain, le);
+  ASSERT_EQ(reversed.size(), 3u);
+  EXPECT_TRUE(reversed[1]->is_self_signed());  // root moved before issuing
+  const chain::Topology topo = chain::Topology::build(reversed);
+  EXPECT_TRUE(topo.any_path_reversed());
+}
+
+TEST_F(InjectorFixture, CrossSignInjectorMatchesFigure2c) {
+  const ca::CaHierarchy& sectigo = zoo_->hierarchy_for("Sectigo Limited", 0);
+  const Chain chain =
+      inject_cross_sign_multipath("cross.example", *zoo_, sectigo);
+  const chain::Topology topo = chain::Topology::build(chain);
+  EXPECT_EQ(topo.paths_from_leaf().size(), 2u);
+  EXPECT_TRUE(topo.any_path_reversed());
+}
+
+TEST_F(InjectorFixture, TwinValidityInjectorMakesTwoPaths) {
+  const ca::CaHierarchy& digicert = zoo_->hierarchy_for("Digicert", 0);
+  const Chain chain =
+      inject_twin_validity_multipath("twin.example", *zoo_, digicert);
+  const chain::Topology topo = chain::Topology::build(chain);
+  EXPECT_EQ(topo.paths_from_leaf().size(), 2u);
+  // Twins share subject and issuer, differ in validity.
+  EXPECT_EQ(chain[1]->subject, chain[2]->subject);
+  EXPECT_EQ(chain[1]->issuer, chain[2]->issuer);
+  EXPECT_NE(chain[1]->not_before, chain[2]->not_before);
+}
+
+TEST_F(InjectorFixture, AkidlessTopIntermediateKeepsLinkage) {
+  const ca::CaHierarchy& le = zoo_->hierarchy_for("Let's Encrypt", 0);
+  const x509::CertPtr& variant = zoo_->akidless_top_intermediate(le);
+  EXPECT_FALSE(variant->authority_key_id.has_value());
+  EXPECT_TRUE(chain::issued_by(*variant, *le.root()));
+  // Memoized: same object on the second call.
+  EXPECT_EQ(&zoo_->akidless_top_intermediate(le), &variant);
+}
+
+TEST_F(InjectorFixture, StaleLeavesAreExpiredCopies) {
+  const ca::CaHierarchy& sectigo = zoo_->hierarchy_for("Sectigo Limited", 0);
+  Chain chain = sectigo.compliant_chain(sectigo.issue_leaf("stale.example"));
+  const Chain with_stale =
+      inject_stale_leaves(chain, sectigo, "stale.example", 3);
+  EXPECT_EQ(with_stale.size(), chain.size() + 3);
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_TRUE(with_stale[static_cast<std::size_t>(i)]->matches_host(
+        "stale.example"));
+    EXPECT_LT(with_stale[static_cast<std::size_t>(i)]->not_after,
+              with_stale[0]->not_before);
+  }
+}
+
+TEST_F(InjectorFixture, MissingIntermediateDropsFromTheTop) {
+  const ca::CaHierarchy& sectigo = zoo_->hierarchy_for("Sectigo Limited", 0);
+  Chain chain = sectigo.compliant_chain(sectigo.issue_leaf("drop.example"));
+  ASSERT_EQ(chain.size(), 3u);  // leaf + 2 intermediates
+  const Chain dropped = inject_missing_intermediate(chain, 1);
+  ASSERT_EQ(dropped.size(), 2u);
+  // The issuing intermediate (adjacent to the leaf) must survive.
+  EXPECT_TRUE(chain::issued_by(*dropped[0], *dropped[1]));
+}
+
+}  // namespace
+}  // namespace chainchaos::dataset

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include "difftest/harness.hpp"
+
+namespace chainchaos::difftest {
+namespace {
+
+using clients::ClientKind;
+using pathbuild::BuildStatus;
+
+class DiffFixture : public ::testing::Test {
+ protected:
+  static dataset::Corpus& corpus() {
+    static dataset::Corpus* instance = [] {
+      dataset::CorpusConfig config;
+      config.domain_count = 1200;
+      return new dataset::Corpus(std::move(config));
+    }();
+    return *instance;
+  }
+
+  static const std::vector<DomainDiff>& diffs() {
+    static std::vector<DomainDiff>* result = [] {
+      static DifferentialHarness harness(corpus());
+      harness_ = &harness;
+      harness.seed_intermediate_caches();
+      return new std::vector<DomainDiff>(harness.run());
+    }();
+    return *result;
+  }
+
+  static DifferentialHarness& harness() {
+    diffs();  // force initialization
+    return *harness_;
+  }
+
+  /// Status of `kind` for the record holding exemplar `name`.
+  static BuildStatus status_for(const std::string& name, ClientKind kind) {
+    const auto& all = diffs();
+    for (const DomainDiff& diff : all) {
+      const dataset::DomainRecord& record =
+          corpus().records()[diff.record_index];
+      if (record.exemplar && record.exemplar_name == name) {
+        for (std::size_t p = 0; p < harness().profiles().size(); ++p) {
+          if (harness().profiles()[p].kind == kind) return diff.statuses[p];
+        }
+      }
+    }
+    ADD_FAILURE() << "exemplar not found: " << name;
+    return BuildStatus::kOk;
+  }
+
+  static DifferentialHarness* harness_;
+};
+
+DifferentialHarness* DiffFixture::harness_ = nullptr;
+
+TEST_F(DiffFixture, CompliantChainsPassEverywhere) {
+  std::size_t checked = 0;
+  for (const DomainDiff& diff : diffs()) {
+    const dataset::DomainRecord& record =
+        corpus().records()[diff.record_index];
+    if (record.exemplar || record.primary_defect != dataset::DefectType::kNone ||
+        record.leaf_defect != dataset::DefectType::kNone) {
+      continue;
+    }
+    ++checked;
+    for (std::size_t p = 0; p < diff.statuses.size(); ++p) {
+      EXPECT_EQ(diff.statuses[p], BuildStatus::kOk)
+          << record.observation.domain << " @ "
+          << harness().profiles()[p].name;
+    }
+  }
+  EXPECT_GT(checked, 1000u);
+}
+
+TEST_F(DiffFixture, MismatchedLeavesFailHostnameEverywhere) {
+  for (const DomainDiff& diff : diffs()) {
+    const dataset::DomainRecord& record =
+        corpus().records()[diff.record_index];
+    if (record.leaf_defect != dataset::DefectType::kLeafMismatched) continue;
+    if (record.primary_defect != dataset::DefectType::kNone) continue;
+    for (const BuildStatus status : diff.statuses) {
+      EXPECT_EQ(status, BuildStatus::kHostnameMismatch)
+          << record.observation.domain;
+    }
+  }
+}
+
+TEST_F(DiffFixture, SummaryShapeMatchesPaperDirection) {
+  const DiffSummary summary = harness().summarize(diffs());
+  ASSERT_GT(summary.noncompliant_domains, 0u);
+
+  // Libraries disagree more than browsers (paper: 10,804 vs 3,295).
+  EXPECT_GT(summary.library_discrepancies, summary.browser_discrepancies);
+
+  // Non-compliant chains pass browsers more often than libraries
+  // (paper: 61.1% vs 47.4%).
+  EXPECT_GT(summary.noncompliant_all_browsers_ok,
+            summary.noncompliant_all_libraries_ok);
+
+  // Availability impact is worse for libraries (paper: 40.9% vs 12.5%).
+  EXPECT_GT(summary.noncompliant_any_library_failure,
+            summary.noncompliant_any_browser_failure);
+}
+
+TEST_F(DiffFixture, AllFourFindingClassesObserved) {
+  const DiffSummary summary = harness().summarize(diffs());
+  EXPECT_GT(summary.findings.at(Finding::kI1_OrderReorganization), 0u);
+  EXPECT_GT(summary.findings.at(Finding::kI2_LongChain), 0u);
+  EXPECT_GT(summary.findings.at(Finding::kI3_Backtracking), 0u);
+  EXPECT_GT(summary.findings.at(Finding::kI4_AiaCompletion), 0u);
+}
+
+TEST_F(DiffFixture, CryptoApiIsTheStrongestLibrary) {
+  const DiffSummary summary = harness().summarize(diffs());
+  std::size_t cryptoapi_failures = 0;
+  for (std::size_t p = 0; p < harness().profiles().size(); ++p) {
+    if (harness().profiles()[p].kind == ClientKind::kCryptoApi) {
+      cryptoapi_failures = summary.failures_per_client[p];
+    }
+  }
+  for (std::size_t p = 0; p < harness().profiles().size(); ++p) {
+    if (harness().profiles()[p].is_browser) continue;
+    EXPECT_GE(summary.failures_per_client[p], cryptoapi_failures)
+        << harness().profiles()[p].name;
+  }
+}
+
+// --- The paper's I-findings, pinned to their exemplars --------------------
+
+TEST_F(DiffFixture, I2_GnuTlsRejectsSerproList) {
+  EXPECT_EQ(status_for("assiste6.serpro.gov.br", ClientKind::kGnuTls),
+            BuildStatus::kInputListTooLong);
+  EXPECT_EQ(status_for("assiste6.serpro.gov.br", ClientKind::kOpenSsl),
+            BuildStatus::kOk);
+  EXPECT_EQ(status_for("assiste6.serpro.gov.br", ClientKind::kChrome),
+            BuildStatus::kOk);
+}
+
+TEST_F(DiffFixture, I2_GnuTlsRejectsNs3DuplicatePile) {
+  EXPECT_EQ(status_for("ns3.link", ClientKind::kGnuTls),
+            BuildStatus::kInputListTooLong);
+  EXPECT_EQ(status_for("ns3.link", ClientKind::kOpenSsl), BuildStatus::kOk);
+}
+
+TEST_F(DiffFixture, I3_MoexSplitsTheClients) {
+  // Non-backtracking clients commit to the untrusted legacy root.
+  EXPECT_EQ(status_for("moex.gov.tw", ClientKind::kOpenSsl),
+            BuildStatus::kUntrustedRoot);
+  EXPECT_EQ(status_for("moex.gov.tw", ClientKind::kGnuTls),
+            BuildStatus::kUntrustedRoot);
+  // CryptoAPI backtracks to the trusted path.
+  EXPECT_EQ(status_for("moex.gov.tw", ClientKind::kCryptoApi),
+            BuildStatus::kOk);
+  // MbedTLS finds the trusted path only thanks to its forward scan.
+  EXPECT_EQ(status_for("moex.gov.tw", ClientKind::kMbedTls),
+            BuildStatus::kOk);
+  // Browsers backtrack too.
+  EXPECT_EQ(status_for("moex.gov.tw", ClientKind::kChrome), BuildStatus::kOk);
+}
+
+TEST_F(DiffFixture, I3_MoexSwappedOrderBreaksMbedTls) {
+  // Swapping nodes 1 and 2 (the paper's experiment) makes MbedTLS walk
+  // into the untrusted root.
+  const dataset::DomainRecord* record = corpus().exemplar("moex.gov.tw");
+  ASSERT_NE(record, nullptr);
+  std::vector<x509::CertPtr> swapped = record->observation.certificates;
+  std::swap(swapped[1], swapped[2]);
+
+  const clients::ClientProfile mbedtls =
+      clients::make_profile(ClientKind::kMbedTls);
+  pathbuild::PathBuilder builder(mbedtls.policy,
+                                 &corpus().stores().union_store);
+  const pathbuild::BuildResult result =
+      builder.build(swapped, record->observation.domain);
+  EXPECT_EQ(result.status, BuildStatus::kUntrustedRoot);
+}
+
+TEST_F(DiffFixture, I4_CacertWrongIssuerFailsEverywhere) {
+  for (ClientKind kind : {ClientKind::kOpenSsl, ClientKind::kCryptoApi,
+                          ClientKind::kChrome, ClientKind::kFirefox}) {
+    EXPECT_NE(status_for("community.cacert-like.example", kind),
+              BuildStatus::kOk);
+  }
+}
+
+TEST_F(DiffFixture, I4_AiaClientsBeatAialessOnIncompleteChains) {
+  std::size_t aia_rescued = 0;
+  for (const DomainDiff& diff : diffs()) {
+    const dataset::DomainRecord& record =
+        corpus().records()[diff.record_index];
+    if (record.exemplar ||
+        record.primary_defect != dataset::DefectType::kMissingIntermediate ||
+        record.leaf_defect != dataset::DefectType::kNone) {
+      continue;
+    }
+    BuildStatus cryptoapi = BuildStatus::kOk, openssl = BuildStatus::kOk;
+    for (std::size_t p = 0; p < harness().profiles().size(); ++p) {
+      if (harness().profiles()[p].kind == ClientKind::kCryptoApi) {
+        cryptoapi = diff.statuses[p];
+      }
+      if (harness().profiles()[p].kind == ClientKind::kOpenSsl) {
+        openssl = diff.statuses[p];
+      }
+    }
+    EXPECT_EQ(cryptoapi, BuildStatus::kOk) << record.observation.domain;
+    EXPECT_EQ(openssl, BuildStatus::kNoIssuerFound)
+        << record.observation.domain;
+    ++aia_rescued;
+  }
+  EXPECT_GT(aia_rescued, 0u);
+}
+
+TEST_F(DiffFixture, I4_FirefoxCacheMissesOnlyRareHierarchies) {
+  for (const DomainDiff& diff : diffs()) {
+    const dataset::DomainRecord& record =
+        corpus().records()[diff.record_index];
+    if (record.exemplar ||
+        record.primary_defect != dataset::DefectType::kMissingIntermediate ||
+        record.leaf_defect != dataset::DefectType::kNone) {
+      continue;
+    }
+    BuildStatus firefox = BuildStatus::kOk;
+    for (std::size_t p = 0; p < harness().profiles().size(); ++p) {
+      if (harness().profiles()[p].kind == ClientKind::kFirefox) {
+        firefox = diff.statuses[p];
+      }
+    }
+    if (record.rare_hierarchy) {
+      EXPECT_EQ(firefox, BuildStatus::kNoIssuerFound)
+          << record.observation.domain;
+    } else {
+      EXPECT_EQ(firefox, BuildStatus::kOk) << record.observation.domain;
+    }
+  }
+}
+
+TEST_F(DiffFixture, AblationDisablingAiaBreaksCryptoApi) {
+  // The paper's confirmation experiment: with AIA disabled, almost all
+  // CryptoAPI-rescued chains fail to construct.
+  clients::ClientProfile nerfed =
+      clients::make_profile(ClientKind::kCryptoApi);
+  nerfed.policy.aia_completion = false;
+  pathbuild::PathBuilder builder(nerfed.policy, &corpus().stores().union_store,
+                                 &corpus().aia());
+
+  std::size_t total = 0, broken = 0;
+  for (const dataset::DomainRecord& record : corpus().records()) {
+    if (record.primary_defect != dataset::DefectType::kMissingIntermediate) {
+      continue;
+    }
+    ++total;
+    const auto result = builder.build(record.observation.certificates,
+                                      record.observation.domain);
+    broken += !result.ok();
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_EQ(broken, total);  // no OS intermediate store in this ablation
+}
+
+TEST(FindingTest, Strings) {
+  EXPECT_STREQ(to_string(Finding::kI2_LongChain), "I-2 input list too long");
+  EXPECT_STREQ(to_string(Finding::kNone), "none");
+}
+
+}  // namespace
+}  // namespace chainchaos::difftest

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "net/http.hpp"
+#include "tls/record.hpp"
+#include "x509/builder.hpp"
+
+namespace chainchaos {
+namespace {
+
+// ---------------------------------------------------------------------------
+// URL parsing
+// ---------------------------------------------------------------------------
+
+TEST(UrlTest, ParsesWellFormed) {
+  auto url = net::parse_url("http://aia.ca.example/tier1.crt");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url.value().host, "aia.ca.example");
+  EXPECT_EQ(url.value().path, "/tier1.crt");
+}
+
+TEST(UrlTest, DefaultsPathToRoot) {
+  auto url = net::parse_url("http://host.example");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url.value().path, "/");
+}
+
+TEST(UrlTest, KeepsPort) {
+  auto url = net::parse_url("http://host.example:8080/x");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url.value().host, "host.example:8080");
+}
+
+TEST(UrlTest, RejectsOtherSchemesAndGarbage) {
+  EXPECT_FALSE(net::parse_url("https://secure.example/x").ok());
+  EXPECT_FALSE(net::parse_url("ftp://old.example/x").ok());
+  EXPECT_FALSE(net::parse_url("http://").ok());
+  EXPECT_FALSE(net::parse_url("not a url").ok());
+}
+
+// ---------------------------------------------------------------------------
+// HTTP request/response codec
+// ---------------------------------------------------------------------------
+
+TEST(HttpTest, RequestRoundTrip) {
+  net::HttpRequest req;
+  req.target = "/class3.crt";
+  req.host = "www.cacert.example";
+  req.headers["accept"] = "application/pkix-cert";
+
+  auto parsed = net::parse_request(req.encode());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().method, "GET");
+  EXPECT_EQ(parsed.value().target, "/class3.crt");
+  EXPECT_EQ(parsed.value().host, "www.cacert.example");
+  EXPECT_EQ(parsed.value().headers.at("accept"), "application/pkix-cert");
+}
+
+TEST(HttpTest, RequestRequiresHost) {
+  EXPECT_FALSE(net::parse_request("GET / HTTP/1.1\r\n\r\n").ok());
+  EXPECT_FALSE(net::parse_request("").ok());
+  EXPECT_FALSE(net::parse_request("GARBAGE\r\n\r\n").ok());
+  EXPECT_FALSE(net::parse_request("GET / SPDY/9\r\nhost: h\r\n\r\n").ok());
+}
+
+TEST(HttpTest, ResponseRoundTripWithBinaryBody) {
+  net::HttpResponse resp = net::http_ok(Bytes{0x30, 0x82, 0x00, 0x0a, 0xff},
+                                        "application/pkix-cert");
+  auto parsed = net::parse_response(resp.encode());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().status, 200);
+  EXPECT_EQ(parsed.value().headers.at("content-type"),
+            "application/pkix-cert");
+  EXPECT_TRUE(equal(parsed.value().body, resp.body));
+}
+
+TEST(HttpTest, ResponseNotFound) {
+  auto parsed = net::parse_response(net::http_not_found().encode());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().status, 404);
+  EXPECT_EQ(parsed.value().reason, "Not Found");
+}
+
+TEST(HttpTest, ResponseRejectsMalformed) {
+  const auto reject = [](const std::string& raw) {
+    return !net::parse_response(to_bytes(raw)).ok();
+  };
+  EXPECT_TRUE(reject("HTTP/1.1 200 OK\r\n"));                // no terminator
+  EXPECT_TRUE(reject("SPDY/3 200 OK\r\n\r\n"));              // wrong protocol
+  EXPECT_TRUE(reject("HTTP/1.1 abc OK\r\n\r\n"));            // bad status
+  EXPECT_TRUE(reject("HTTP/1.1 200 OK\r\ncontent-length: 10\r\n\r\nshort"));
+}
+
+TEST(HttpTest, ResponseBodyTruncatedToContentLength) {
+  const std::string raw =
+      "HTTP/1.1 200 OK\r\ncontent-length: 4\r\n\r\nbodyEXTRA";
+  auto parsed = net::parse_response(to_bytes(raw));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(to_string(parsed.value().body), "body");
+}
+
+// ---------------------------------------------------------------------------
+// TLS record layer
+// ---------------------------------------------------------------------------
+
+TEST(RecordTest, SmallPayloadSingleRecord) {
+  const Bytes payload = to_bytes("handshake bytes");
+  const Bytes wire = tls::encode_records(tls::ContentType::kHandshake, payload);
+  EXPECT_EQ(wire.size(), payload.size() + 5);
+  EXPECT_EQ(wire[0], 22);  // handshake
+
+  auto back = tls::decode_records(wire, tls::ContentType::kHandshake);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(equal(back.value(), payload));
+}
+
+TEST(RecordTest, LargePayloadFragmentsAt16K) {
+  const Bytes payload(tls::kMaxFragment * 2 + 100, 0xab);
+  const Bytes wire = tls::encode_records(tls::ContentType::kHandshake, payload);
+  // Three records: 16384 + 16384 + 100, each with a 5-byte header.
+  EXPECT_EQ(wire.size(), payload.size() + 3 * 5);
+
+  auto back = tls::decode_records(wire, tls::ContentType::kHandshake);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(equal(back.value(), payload));
+}
+
+TEST(RecordTest, EmptyPayloadStillFrames) {
+  const Bytes wire = tls::encode_records(tls::ContentType::kAlert, Bytes{});
+  EXPECT_EQ(wire.size(), 5u);
+  auto back = tls::decode_records(wire, tls::ContentType::kAlert);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().empty());
+}
+
+TEST(RecordTest, RejectsWrongTypeTruncationAndOverflow) {
+  const Bytes wire =
+      tls::encode_records(tls::ContentType::kHandshake, to_bytes("data"));
+  EXPECT_FALSE(tls::decode_records(wire, tls::ContentType::kAlert).ok());
+  EXPECT_FALSE(tls::decode_records(BytesView(wire.data(), 3),
+                                   tls::ContentType::kHandshake)
+                   .ok());
+  EXPECT_FALSE(tls::decode_records(BytesView(wire.data(), wire.size() - 1),
+                                   tls::ContentType::kHandshake)
+                   .ok());
+
+  Bytes oversized = wire;
+  oversized[3] = 0xff;  // claim a fragment > 2^14
+  oversized[4] = 0xff;
+  EXPECT_FALSE(
+      tls::decode_records(oversized, tls::ContentType::kHandshake).ok());
+
+  Bytes bad_version = wire;
+  bad_version[1] = 0x07;
+  EXPECT_FALSE(
+      tls::decode_records(bad_version, tls::ContentType::kHandshake).ok());
+}
+
+TEST(RecordTest, AlertMappingCoversChainFailures) {
+  using pathbuild::BuildStatus;
+  using tls::AlertDescription;
+  EXPECT_EQ(tls::alert_for(BuildStatus::kOk), AlertDescription::kCloseNotify);
+  EXPECT_EQ(tls::alert_for(BuildStatus::kNoIssuerFound),
+            AlertDescription::kUnknownCa);
+  EXPECT_EQ(tls::alert_for(BuildStatus::kUntrustedRoot),
+            AlertDescription::kUnknownCa);
+  EXPECT_EQ(tls::alert_for(BuildStatus::kExpired),
+            AlertDescription::kCertificateExpired);
+  EXPECT_EQ(tls::alert_for(BuildStatus::kHostnameMismatch),
+            AlertDescription::kBadCertificate);
+  EXPECT_EQ(tls::alert_for(BuildStatus::kInputListTooLong),
+            AlertDescription::kInternalError);
+}
+
+TEST(RecordTest, AlertRoundTrip) {
+  for (tls::AlertDescription alert :
+       {tls::AlertDescription::kCloseNotify, tls::AlertDescription::kUnknownCa,
+        tls::AlertDescription::kCertificateExpired}) {
+    auto back = tls::decode_alert(tls::encode_alert(alert));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), alert);
+  }
+  EXPECT_FALSE(tls::decode_alert(Bytes{2}).ok());
+  EXPECT_FALSE(tls::decode_alert(Bytes{9, 42}).ok());
+}
+
+}  // namespace
+}  // namespace chainchaos

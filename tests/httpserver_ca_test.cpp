@@ -1,0 +1,415 @@
+#include <gtest/gtest.h>
+
+#include "ca/ca_model.hpp"
+#include "ca/hierarchy.hpp"
+#include "chain/completeness.hpp"
+#include "chain/issuance.hpp"
+#include "chain/order_analysis.hpp"
+#include "chain/topology.hpp"
+#include "clients/profiles.hpp"
+#include "httpserver/normalize.hpp"
+#include "pathbuild/path_builder.hpp"
+#include "httpserver/server_model.hpp"
+#include "truststore/root_store.hpp"
+
+namespace chainchaos {
+namespace {
+
+using httpserver::DeploymentInput;
+using httpserver::DeploymentResult;
+using httpserver::FileScheme;
+using httpserver::HttpServerModel;
+using httpserver::ServerSoftware;
+
+class DeploymentFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    hierarchy_ = new ca::CaHierarchy(
+        ca::CaHierarchy::create("Deploy Test CA", 2, nullptr));
+    leaf_ = new x509::CertPtr(hierarchy_->issue_leaf("deploy.example.com"));
+    // The leaf's private key lives in the pool slot its subject hashes to.
+    key_ = &crypto::KeyPool::instance().leaf_slot(
+        (*leaf_)->subject.to_string());
+  }
+
+  static ca::CaHierarchy* hierarchy_;
+  static x509::CertPtr* leaf_;
+  static const crypto::RsaKeyPair* key_;
+};
+
+ca::CaHierarchy* DeploymentFixture::hierarchy_ = nullptr;
+x509::CertPtr* DeploymentFixture::leaf_ = nullptr;
+const crypto::RsaKeyPair* DeploymentFixture::key_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// HTTP server models (Table 4)
+// ---------------------------------------------------------------------------
+
+TEST_F(DeploymentFixture, EveryServerChecksPrivateKeyMatch) {
+  const crypto::RsaKeyPair& wrong_key =
+      crypto::KeyPool::instance().for_name("deploy-wrong-key");
+  for (const HttpServerModel& server : httpserver::all_server_models()) {
+    DeploymentInput input;
+    input.certificate_file = {*leaf_};
+    input.private_key = &wrong_key.priv;
+    const DeploymentResult result = server.deploy(input);
+    EXPECT_FALSE(result.accepted) << to_string(server.software());
+    EXPECT_NE(result.error.find("PrivateKey"), std::string::npos);
+  }
+}
+
+TEST_F(DeploymentFixture, CompliantDeploymentAcceptedEverywhere) {
+  for (const HttpServerModel& server : httpserver::all_server_models()) {
+    DeploymentInput input;
+    if (server.characteristics().scheme == FileScheme::kSeparateFiles) {
+      input.certificate_file = {*leaf_};
+      input.chain_file = hierarchy_->bundle_ascending();
+    } else {
+      input.certificate_file =
+          hierarchy_->compliant_chain(*leaf_);
+    }
+    input.private_key = &key_->priv;
+    const DeploymentResult result = server.deploy(input);
+    EXPECT_TRUE(result.accepted) << to_string(server.software()) << ": "
+                                 << result.error;
+    EXPECT_TRUE(chain::order_compliant(result.served_chain))
+        << to_string(server.software());
+  }
+}
+
+TEST_F(DeploymentFixture, ApacheLegacyServesDuplicateLeafMistake) {
+  // Admin copies the leaf into the ca-bundle: SF1 servers serve it twice.
+  const HttpServerModel apache =
+      HttpServerModel::make(ServerSoftware::kApacheLegacy);
+  DeploymentInput input;
+  input.certificate_file = {*leaf_};
+  input.chain_file = {*leaf_};  // the mistake
+  for (const auto& cert : hierarchy_->bundle_ascending()) {
+    input.chain_file.push_back(cert);
+  }
+  input.private_key = &key_->priv;
+  const DeploymentResult result = apache.deploy(input);
+  ASSERT_TRUE(result.accepted);  // Apache does not check duplicates
+  const chain::Topology topo = chain::Topology::build(result.served_chain);
+  const chain::OrderAnalysis analysis =
+      chain::analyze_order(result.served_chain, topo);
+  EXPECT_TRUE(analysis.duplicate_leaf);
+}
+
+TEST_F(DeploymentFixture, AzureRejectsDuplicateLeaf) {
+  const HttpServerModel azure =
+      HttpServerModel::make(ServerSoftware::kAzureGateway);
+  DeploymentInput input;
+  input.certificate_file = {*leaf_, *leaf_};  // duplicated in the PFX
+  input.private_key = &key_->priv;
+  const DeploymentResult result = azure.deploy(input);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_NE(result.error.find("leaf"), std::string::npos);
+
+  // IIS behaves the same; Nginx serves it silently.
+  EXPECT_FALSE(HttpServerModel::make(ServerSoftware::kIis)
+                   .deploy(input)
+                   .accepted);
+  EXPECT_TRUE(HttpServerModel::make(ServerSoftware::kNginx)
+                  .deploy(input)
+                  .accepted);
+}
+
+TEST_F(DeploymentFixture, NoServerChecksDuplicateIntermediates) {
+  for (const HttpServerModel& server : httpserver::all_server_models()) {
+    EXPECT_FALSE(server.characteristics().checks_duplicate_intermediate)
+        << to_string(server.software());
+    DeploymentInput input;
+    input.certificate_file = hierarchy_->compliant_chain(*leaf_);
+    input.certificate_file.push_back(input.certificate_file[1]);  // dup int
+    if (server.characteristics().scheme == FileScheme::kSeparateFiles) {
+      input.certificate_file = {*leaf_};
+      input.chain_file = hierarchy_->bundle_ascending();
+      input.chain_file.push_back(input.chain_file[0]);
+    }
+    input.private_key = &key_->priv;
+    EXPECT_TRUE(server.deploy(input).accepted) << to_string(server.software());
+  }
+}
+
+TEST_F(DeploymentFixture, EmptyDeploymentRejected) {
+  for (const HttpServerModel& server : httpserver::all_server_models()) {
+    DeploymentInput input;
+    input.private_key = &key_->priv;
+    EXPECT_FALSE(server.deploy(input).accepted);
+  }
+}
+
+TEST_F(DeploymentFixture, Table4CharacteristicsMatchPaper) {
+  const auto traits = [](ServerSoftware s) {
+    return HttpServerModel::make(s).characteristics();
+  };
+  EXPECT_EQ(traits(ServerSoftware::kApacheLegacy).scheme,
+            FileScheme::kSeparateFiles);
+  EXPECT_EQ(traits(ServerSoftware::kApache).scheme, FileScheme::kFullChain);
+  EXPECT_EQ(traits(ServerSoftware::kNginx).scheme, FileScheme::kFullChain);
+  EXPECT_EQ(traits(ServerSoftware::kAzureGateway).scheme, FileScheme::kPfx);
+  EXPECT_EQ(traits(ServerSoftware::kIis).scheme, FileScheme::kPfx);
+  EXPECT_EQ(traits(ServerSoftware::kAwsElb).scheme,
+            FileScheme::kSeparateFiles);
+
+  EXPECT_FALSE(traits(ServerSoftware::kIis).automatic_certificate_management);
+  EXPECT_TRUE(traits(ServerSoftware::kNginx).automatic_certificate_management);
+  EXPECT_TRUE(traits(ServerSoftware::kAzureGateway).checks_duplicate_leaf);
+  EXPECT_FALSE(traits(ServerSoftware::kAwsElb).checks_duplicate_leaf);
+}
+
+// ---------------------------------------------------------------------------
+// CA models (Table 6)
+// ---------------------------------------------------------------------------
+
+TEST(CaModelTest, Table6CharacteristicsMatchPaper) {
+  using ca::CaKind;
+  const auto traits = ca::characteristics_for;
+
+  EXPECT_TRUE(traits(CaKind::kLetsEncrypt).automatic_certificate_management);
+  EXPECT_TRUE(traits(CaKind::kLetsEncrypt).provides_fullchain_file);
+  EXPECT_TRUE(traits(CaKind::kLetsEncrypt).bundle_in_compliant_order);
+
+  for (CaKind reversed_kind : {CaKind::kGoGetSsl, CaKind::kCyberFolks,
+                               CaKind::kTrustico}) {
+    EXPECT_FALSE(traits(reversed_kind).bundle_in_compliant_order)
+        << to_string(reversed_kind);
+    EXPECT_FALSE(traits(reversed_kind).provides_fullchain_file);
+    EXPECT_TRUE(traits(reversed_kind).provides_root_certificate);
+  }
+  EXPECT_TRUE(traits(CaKind::kTaiwanCa).omits_required_intermediate);
+}
+
+class CaModelFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    hierarchy_ = new ca::CaHierarchy(
+        ca::CaHierarchy::create("Model Test CA", 2, nullptr));
+  }
+  static ca::CaHierarchy* hierarchy_;
+};
+
+ca::CaHierarchy* CaModelFixture::hierarchy_ = nullptr;
+
+TEST_F(CaModelFixture, FullchainCaYieldsCompliantNaiveDeployment) {
+  const ca::CaModel le(ca::CaKind::kLetsEncrypt, hierarchy_);
+  const ca::IssuedPackage package = le.issue("happy.example.com");
+  ASSERT_FALSE(package.fullchain_file.empty());
+  const auto deployed = le.naive_admin_deployment(package);
+  EXPECT_TRUE(chain::order_compliant(deployed));
+  EXPECT_TRUE(deployed.front()->matches_host("happy.example.com"));
+}
+
+TEST_F(CaModelFixture, ReversedBundleCaYieldsReversedDeployment) {
+  const ca::CaModel gogetssl(ca::CaKind::kGoGetSsl, hierarchy_);
+  const ca::IssuedPackage package = gogetssl.issue("sad.example.com");
+  EXPECT_TRUE(package.fullchain_file.empty());
+  ASSERT_FALSE(package.ca_bundle_file.empty());
+
+  const auto deployed = gogetssl.naive_admin_deployment(package);
+  EXPECT_FALSE(chain::order_compliant(deployed));
+  const chain::Topology topo = chain::Topology::build(deployed);
+  EXPECT_TRUE(topo.any_path_reversed());
+
+  // A careful admin could fix it by reversing the bundle: the material
+  // itself is complete.
+  std::vector<x509::CertPtr> fixed = {package.leaf};
+  for (auto it = package.ca_bundle_file.rbegin();
+       it != package.ca_bundle_file.rend(); ++it) {
+    fixed.push_back(*it);
+  }
+  EXPECT_TRUE(chain::order_compliant(fixed));
+}
+
+TEST_F(CaModelFixture, TaiwanCaOmitsIntermediate) {
+  const ca::CaModel taiwan(ca::CaKind::kTaiwanCa, hierarchy_);
+  const ca::IssuedPackage package = taiwan.issue("gov.example.tw");
+  const auto deployed = taiwan.naive_admin_deployment(package);
+
+  // The hole: the topmost intermediate is absent, so no issuance path
+  // reaches the root.
+  truststore::RootStore store("taiwan-test");
+  store.add(hierarchy_->root());
+  chain::CompletenessOptions options;
+  options.store = &store;
+  options.aia_enabled = false;
+  const chain::Topology topo = chain::Topology::build(deployed);
+  EXPECT_EQ(analyze_completeness(topo, options).category,
+            chain::Completeness::kIncomplete);
+}
+
+TEST_F(CaModelFixture, PackagesCarryLeafFile) {
+  for (ca::CaKind kind : {ca::CaKind::kLetsEncrypt, ca::CaKind::kSectigo,
+                          ca::CaKind::kZeroSsl, ca::CaKind::kTrustico}) {
+    const ca::CaModel model(kind, hierarchy_);
+    const ca::IssuedPackage package = model.issue("any.example.com");
+    ASSERT_EQ(package.certificate_file.size(), 1u) << to_string(kind);
+    EXPECT_TRUE(
+        equal(package.certificate_file[0]->der, package.leaf->der));
+    EXPECT_EQ(package.ca_name, to_string(kind));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CaHierarchy invariants
+// ---------------------------------------------------------------------------
+
+TEST(CaHierarchyTest, ChainLinksVerify) {
+  net::AiaRepository aia;
+  const ca::CaHierarchy h = ca::CaHierarchy::create("Linkage CA", 3, &aia);
+  ASSERT_EQ(h.intermediates().size(), 3u);
+  EXPECT_TRUE(h.root()->is_self_signed());
+  EXPECT_TRUE(h.intermediates()[0]->verify_signed_by(h.root()->public_key));
+  EXPECT_TRUE(h.intermediates()[1]->verify_signed_by(
+      h.intermediates()[0]->public_key));
+  EXPECT_TRUE(h.intermediates()[2]->verify_signed_by(
+      h.intermediates()[1]->public_key));
+
+  const x509::CertPtr leaf = h.issue_leaf("linked.example.com");
+  EXPECT_TRUE(leaf->verify_signed_by(h.intermediates()[2]->public_key));
+  EXPECT_TRUE(chain::order_compliant(h.compliant_chain(leaf)));
+}
+
+TEST(CaHierarchyTest, AiaPublishingIsRecursive) {
+  net::AiaRepository aia;
+  const ca::CaHierarchy h = ca::CaHierarchy::create("AIA CA", 2, &aia);
+  const x509::CertPtr leaf = h.issue_leaf("aia.example.com");
+
+  // Leaf AIA -> issuing intermediate -> upper intermediate -> root.
+  ASSERT_TRUE(leaf->aia.has_value());
+  auto issuing = aia.fetch(*leaf->aia->ca_issuers_uri);
+  ASSERT_TRUE(issuing.ok());
+  EXPECT_TRUE(equal(issuing.value()->der, h.intermediates().back()->der));
+
+  auto upper = aia.fetch(*issuing.value()->aia->ca_issuers_uri);
+  ASSERT_TRUE(upper.ok());
+  auto root = aia.fetch(*upper.value()->aia->ca_issuers_uri);
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(root.value()->is_self_signed());
+}
+
+TEST(CaHierarchyTest, PathLenConstraintsAreSatisfiable) {
+  const ca::CaHierarchy h = ca::CaHierarchy::create("PathLen CA", 3, nullptr);
+  const x509::CertPtr leaf = h.issue_leaf("plen.example.com");
+  const auto chain = h.compliant_chain(leaf);
+  // chain = [leaf, I3, I2, I1]; I_k at index i has (i-1) intermediates
+  // below it and must allow that.
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    const auto& bc = chain[i]->basic_constraints;
+    ASSERT_TRUE(bc.has_value());
+    if (bc->path_len_constraint.has_value()) {
+      EXPECT_GE(*bc->path_len_constraint, static_cast<int>(i) - 1)
+          << "index " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chain normalization (§6.1 recommendation)
+// ---------------------------------------------------------------------------
+
+class NormalizeFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    hierarchy_ = new ca::CaHierarchy(
+        ca::CaHierarchy::create("Normalize CA", 2, nullptr));
+    other_ = new ca::CaHierarchy(
+        ca::CaHierarchy::create("Normalize Other CA", 1, nullptr));
+    leaf_ = new x509::CertPtr(hierarchy_->issue_leaf("normalize.example"));
+  }
+  static ca::CaHierarchy* hierarchy_;
+  static ca::CaHierarchy* other_;
+  static x509::CertPtr* leaf_;
+};
+
+ca::CaHierarchy* NormalizeFixture::hierarchy_ = nullptr;
+ca::CaHierarchy* NormalizeFixture::other_ = nullptr;
+x509::CertPtr* NormalizeFixture::leaf_ = nullptr;
+
+TEST_F(NormalizeFixture, CompliantChainPassesUntouched) {
+  const auto chain = hierarchy_->compliant_chain(*leaf_);
+  const auto result = httpserver::normalize_chain(chain);
+  EXPECT_FALSE(result.changed());
+  EXPECT_TRUE(result.contiguous);
+  ASSERT_EQ(result.chain.size(), chain.size());
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    EXPECT_TRUE(equal(result.chain[i]->fingerprint, chain[i]->fingerprint));
+  }
+}
+
+TEST_F(NormalizeFixture, EmptyInput) {
+  const auto result = httpserver::normalize_chain({});
+  EXPECT_TRUE(result.chain.empty());
+  EXPECT_FALSE(result.changed());
+}
+
+TEST_F(NormalizeFixture, FixesReversedChain) {
+  std::vector<x509::CertPtr> reversed = {*leaf_,
+                                         hierarchy_->intermediates().front(),
+                                         hierarchy_->intermediates().back()};
+  const auto result = httpserver::normalize_chain(reversed);
+  EXPECT_TRUE(result.changed());
+  EXPECT_TRUE(chain::order_compliant(result.chain));
+  EXPECT_EQ(result.chain.size(), 3u);
+  EXPECT_TRUE(result.dropped.empty());
+}
+
+TEST_F(NormalizeFixture, RemovesDuplicatesAndIrrelevant) {
+  std::vector<x509::CertPtr> messy = {*leaf_,
+                                      *leaf_,  // duplicate leaf
+                                      hierarchy_->intermediates().back(),
+                                      other_->intermediates().back(),  // junk
+                                      hierarchy_->intermediates().back(),
+                                      hierarchy_->intermediates().front()};
+  const auto result = httpserver::normalize_chain(messy);
+  EXPECT_TRUE(result.changed());
+  EXPECT_TRUE(chain::order_compliant(result.chain));
+  EXPECT_EQ(result.chain.size(), 3u);  // leaf + 2 intermediates
+  ASSERT_EQ(result.dropped.size(), 1u);
+  EXPECT_EQ(result.dropped[0]->subject.organization().value_or(""),
+            "Normalize Other CA");
+  // Two duplicate removals + reorder/drop notes were recorded.
+  EXPECT_GE(result.fixes.size(), 3u);
+}
+
+TEST_F(NormalizeFixture, KeepsIncludedRoot) {
+  auto chain = hierarchy_->compliant_chain(*leaf_);
+  chain.push_back(hierarchy_->root());
+  std::swap(chain[1], chain[2]);  // scramble
+  const auto result = httpserver::normalize_chain(chain);
+  EXPECT_TRUE(chain::order_compliant(result.chain));
+  EXPECT_EQ(result.chain.size(), 4u);
+  EXPECT_TRUE(result.chain.back()->is_self_signed());
+}
+
+TEST_F(NormalizeFixture, ReportsGapWhenIntermediateMissing) {
+  // Leaf + top-tier only: the issuing intermediate is absent, so the
+  // provided CA material cannot link.
+  std::vector<x509::CertPtr> gappy = {*leaf_,
+                                      hierarchy_->intermediates().front()};
+  const auto result = httpserver::normalize_chain(gappy);
+  EXPECT_FALSE(result.contiguous);
+  EXPECT_EQ(result.chain.size(), 1u);  // just the leaf survives
+  ASSERT_EQ(result.dropped.size(), 1u);
+}
+
+TEST_F(NormalizeFixture, NormalizedChainsSatisfyEveryClient) {
+  // After normalization even MbedTLS (no reorder) builds the path.
+  std::vector<x509::CertPtr> reversed = {*leaf_,
+                                         hierarchy_->intermediates().front(),
+                                         hierarchy_->intermediates().back()};
+  truststore::RootStore store("normalize");
+  store.add(hierarchy_->root());
+
+  const auto mbedtls =
+      clients::make_profile(clients::ClientKind::kMbedTls);
+  pathbuild::PathBuilder builder(mbedtls.policy, &store);
+  EXPECT_FALSE(builder.build(reversed, "normalize.example").ok());
+
+  const auto result = httpserver::normalize_chain(reversed);
+  EXPECT_TRUE(builder.build(result.chain, "normalize.example").ok());
+}
+
+}  // namespace
+}  // namespace chainchaos

@@ -1,0 +1,375 @@
+#include <gtest/gtest.h>
+
+#include "pathbuild/path_builder.hpp"
+#include "x509/builder.hpp"
+
+namespace chainchaos::pathbuild {
+namespace {
+
+using x509::CertificateBuilder;
+using x509::CertPtr;
+using x509::make_identity;
+using x509::SigningIdentity;
+
+constexpr std::int64_t kNow = 1800000000;
+constexpr std::int64_t kYear = 31557600;
+
+/// Engine-level tests: exercise each BuildPolicy knob in isolation
+/// against purpose-built chains.
+class PathBuilderFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    root_id_ = new SigningIdentity(
+        make_identity(asn1::Name::make("PB Root", "PB", "US")));
+    CertificateBuilder rb;
+    rb.subject(root_id_->name).as_ca().public_key(root_id_->keys.pub);
+    root_ = new CertPtr(rb.self_sign(root_id_->keys));
+
+    i1_id_ = new SigningIdentity(
+        make_identity(asn1::Name::make("PB I1", "PB", "US")));
+    CertificateBuilder i1b;
+    i1b.subject(i1_id_->name).as_ca().public_key(i1_id_->keys.pub);
+    i1_ = new CertPtr(i1b.sign(*root_id_));
+
+    i2_id_ = new SigningIdentity(
+        make_identity(asn1::Name::make("PB I2", "PB", "US")));
+    CertificateBuilder i2b;
+    i2b.subject(i2_id_->name).as_ca().public_key(i2_id_->keys.pub);
+    i2_ = new CertPtr(i2b.sign(*i1_id_));
+
+    CertificateBuilder lb;
+    lb.as_leaf("pb.example.com");
+    leaf_ = new CertPtr(lb.sign(*i2_id_));
+  }
+
+  void SetUp() override { store_.add(*root_); }
+
+  BuildResult build(const BuildPolicy& policy,
+                    const std::vector<CertPtr>& list,
+                    const std::string& host = "pb.example.com") {
+    PathBuilder builder(policy, &store_, &aia_, &cache_);
+    return builder.build(list, host);
+  }
+
+  truststore::RootStore store_{"pb"};
+  net::AiaRepository aia_;
+  IntermediateCache cache_;
+
+  static SigningIdentity *root_id_, *i1_id_, *i2_id_;
+  static CertPtr *root_, *i1_, *i2_, *leaf_;
+};
+
+SigningIdentity* PathBuilderFixture::root_id_ = nullptr;
+SigningIdentity* PathBuilderFixture::i1_id_ = nullptr;
+SigningIdentity* PathBuilderFixture::i2_id_ = nullptr;
+CertPtr* PathBuilderFixture::root_ = nullptr;
+CertPtr* PathBuilderFixture::i1_ = nullptr;
+CertPtr* PathBuilderFixture::i2_ = nullptr;
+CertPtr* PathBuilderFixture::leaf_ = nullptr;
+
+TEST_F(PathBuilderFixture, BuildsCompliantChainAndAppendsStoreRoot) {
+  const BuildResult result = build(BuildPolicy{}, {*leaf_, *i2_, *i1_});
+  ASSERT_TRUE(result.ok()) << to_string(result.status);
+  ASSERT_EQ(result.path.size(), 4u);
+  EXPECT_TRUE(equal(result.path[3]->fingerprint, (*root_)->fingerprint));
+}
+
+TEST_F(PathBuilderFixture, EmptyInput) {
+  EXPECT_EQ(build(BuildPolicy{}, {}).status, BuildStatus::kEmptyInput);
+}
+
+TEST_F(PathBuilderFixture, ReorderingHandlesShuffledList) {
+  BuildPolicy policy;
+  EXPECT_TRUE(build(policy, {*leaf_, *i1_, *i2_}).ok());
+  EXPECT_TRUE(build(policy, {*leaf_, *i1_, *i2_, *root_}).ok());
+}
+
+TEST_F(PathBuilderFixture, NoReorderFailsOnShuffledList) {
+  BuildPolicy policy;
+  policy.reorder = false;
+  const BuildResult result = build(policy, {*leaf_, *i1_, *i2_});
+  EXPECT_EQ(result.status, BuildStatus::kNoIssuerFound);
+
+  // In issuance order the same client succeeds.
+  EXPECT_TRUE(build(policy, {*leaf_, *i2_, *i1_}).ok());
+}
+
+TEST_F(PathBuilderFixture, InputListCapRejectsBeforeDedup) {
+  BuildPolicy policy;
+  policy.max_input_list = 4;
+  // 5 entries, but only 3 distinct: the GnuTLS-style cap still fires.
+  const BuildResult result =
+      build(policy, {*leaf_, *i2_, *i2_, *i2_, *i1_});
+  EXPECT_EQ(result.status, BuildStatus::kInputListTooLong);
+}
+
+TEST_F(PathBuilderFixture, ConstructedDepthCap) {
+  BuildPolicy policy;
+  policy.max_constructed_depth = 4;
+  EXPECT_TRUE(build(policy, {*leaf_, *i2_, *i1_}).ok());  // path is 4 long
+
+  policy.max_constructed_depth = 3;
+  const BuildResult result = build(policy, {*leaf_, *i2_, *i1_});
+  EXPECT_EQ(result.status, BuildStatus::kDepthExceeded);
+}
+
+TEST_F(PathBuilderFixture, RedundancyEliminationControlsDuplicates) {
+  BuildPolicy policy;
+  const BuildResult with = build(policy, {*leaf_, *i2_, *i2_, *i2_, *i1_});
+  EXPECT_TRUE(with.ok());
+
+  policy.eliminate_redundancy = false;
+  const BuildResult without = build(policy, {*leaf_, *i2_, *i2_, *i2_, *i1_});
+  EXPECT_TRUE(without.ok());
+  // Keeping duplicates costs extra candidate work.
+  EXPECT_GT(without.stats.candidates_considered,
+            with.stats.candidates_considered);
+}
+
+TEST_F(PathBuilderFixture, SelfSignedLeafPolicy) {
+  const crypto::RsaKeyPair& keys =
+      crypto::KeyPool::instance().for_name("pb-ss");
+  CertificateBuilder builder;
+  builder.as_leaf("ss-pb.example").public_key(keys.pub);
+  const CertPtr ss = builder.self_sign(keys);
+
+  BuildPolicy reject;
+  EXPECT_EQ(build(reject, {ss}, "ss-pb.example").status,
+            BuildStatus::kSelfSignedLeaf);
+
+  BuildPolicy allow;
+  allow.allow_self_signed_leaf = true;
+  EXPECT_EQ(build(allow, {ss}, "ss-pb.example").status,
+            BuildStatus::kUntrustedRoot);
+
+  store_.add(ss);  // now trusted
+  EXPECT_TRUE(build(allow, {ss}, "ss-pb.example").ok());
+}
+
+TEST_F(PathBuilderFixture, AiaCompletionRecursive) {
+  // Server sends only the leaf; both intermediates resolve via AIA.
+  aia_.publish("http://pb/i1.crt", *i1_);
+  CertificateBuilder i2b;
+  i2b.subject(i2_id_->name)
+      .as_ca()
+      .public_key(i2_id_->keys.pub)
+      .aia_ca_issuers("http://pb/i1.crt");
+  const CertPtr i2_aia = i2b.sign(*i1_id_);
+  aia_.publish("http://pb/i2.crt", i2_aia);
+
+  CertificateBuilder lb;
+  lb.as_leaf("aia-pb.example").aia_ca_issuers("http://pb/i2.crt");
+  const CertPtr leaf = lb.sign(*i2_id_);
+
+  BuildPolicy no_aia;
+  EXPECT_EQ(build(no_aia, {leaf}, "aia-pb.example").status,
+            BuildStatus::kNoIssuerFound);
+
+  BuildPolicy with_aia;
+  with_aia.aia_completion = true;
+  const BuildResult result = build(with_aia, {leaf}, "aia-pb.example");
+  ASSERT_TRUE(result.ok()) << to_string(result.status);
+  EXPECT_EQ(result.path.size(), 4u);
+  EXPECT_EQ(result.stats.aia_fetches, 2);
+}
+
+TEST_F(PathBuilderFixture, IntermediateCacheCompletesLikeFirefox) {
+  CertificateBuilder lb;
+  lb.as_leaf("cache-pb.example");
+  const CertPtr leaf = lb.sign(*i2_id_);
+
+  BuildPolicy policy;
+  policy.intermediate_cache = true;
+  // Cold cache: unknown issuer.
+  EXPECT_EQ(build(policy, {leaf}, "cache-pb.example").status,
+            BuildStatus::kNoIssuerFound);
+
+  // Browse a compliant chain first; the cache remembers intermediates.
+  EXPECT_TRUE(build(policy, {*leaf_, *i2_, *i1_}).ok());
+  EXPECT_EQ(cache_.size(), 2u);
+
+  const BuildResult warm = build(policy, {leaf}, "cache-pb.example");
+  ASSERT_TRUE(warm.ok()) << to_string(warm.status);
+  EXPECT_GT(warm.stats.cache_hits, 0);
+}
+
+TEST_F(PathBuilderFixture, BacktrackingEscapesUntrustedRoot) {
+  // A same-subject/key twin of I1 signed by an untrusted root, listed
+  // before the path to the trusted root.
+  SigningIdentity bad_root_id =
+      make_identity(asn1::Name::make("PB Evil Root", "PB", "US"));
+  CertificateBuilder bb;
+  bb.subject(bad_root_id.name).as_ca().public_key(bad_root_id.keys.pub);
+  const CertPtr bad_root = bb.self_sign(bad_root_id.keys);
+
+  CertificateBuilder twin_builder;
+  twin_builder.subject(i1_id_->name)
+      .as_ca()
+      .public_key(i1_id_->keys.pub)
+      .validity(kNow - kYear / 10, kNow + kYear);  // more recent
+  const CertPtr i1_bad = twin_builder.sign(bad_root_id);
+
+  const std::vector<CertPtr> list = {*leaf_, *i2_, i1_bad, bad_root, *i1_};
+
+  BuildPolicy with_backtracking;
+  with_backtracking.validity_priority = ValidityPriority::kMostRecentThenLongest;
+  const BuildResult good = build(with_backtracking, list);
+  ASSERT_TRUE(good.ok()) << to_string(good.status);
+  EXPECT_GT(good.stats.backtracks, 0);
+
+  BuildPolicy no_backtracking = with_backtracking;
+  no_backtracking.backtracking = false;
+  const BuildResult stuck = build(no_backtracking, list);
+  EXPECT_EQ(stuck.status, BuildStatus::kUntrustedRoot);
+}
+
+TEST_F(PathBuilderFixture, PartialValidationSkipsExpiredCandidates) {
+  CertificateBuilder expired_builder;
+  expired_builder.subject(i2_id_->name)
+      .as_ca()
+      .public_key(i2_id_->keys.pub)
+      .validity(kNow - 3 * kYear, kNow - 2 * kYear);
+  const CertPtr i2_expired = expired_builder.sign(*i1_id_);
+
+  const std::vector<CertPtr> list = {*leaf_, i2_expired, *i2_, *i1_};
+
+  // Without partial validation and without validity priority, the first
+  // listed candidate (expired) wins and validation fails.
+  BuildPolicy naive;
+  naive.backtracking = false;
+  const BuildResult bad = build(naive, list);
+  EXPECT_EQ(bad.status, BuildStatus::kExpired);
+
+  BuildPolicy partial = naive;
+  partial.partial_validation = true;
+  EXPECT_TRUE(build(partial, list).ok());
+}
+
+TEST_F(PathBuilderFixture, ExpiredLeafFailsValidation) {
+  CertificateBuilder lb;
+  lb.as_leaf("expired-pb.example").validity(kNow - 2 * kYear, kNow - kYear);
+  const CertPtr expired_leaf = lb.sign(*i2_id_);
+  const BuildResult result =
+      build(BuildPolicy{}, {expired_leaf, *i2_, *i1_}, "expired-pb.example");
+  EXPECT_EQ(result.status, BuildStatus::kExpired);
+  EXPECT_FALSE(is_construction_failure(result.status));
+}
+
+TEST_F(PathBuilderFixture, PathLenViolationDetectedAtValidation) {
+  // I1 twin constrained to pathLen 0 cannot sit above I2.
+  CertificateBuilder cb;
+  cb.subject(i1_id_->name)
+      .as_ca(0)
+      .public_key(i1_id_->keys.pub);
+  const CertPtr i1_plen0 = cb.sign(*root_id_);
+
+  BuildPolicy naive;  // no BC priority: walks into the violation
+  naive.backtracking = false;
+  const BuildResult result = build(naive, {*leaf_, *i2_, i1_plen0});
+  EXPECT_EQ(result.status, BuildStatus::kPathLenViolated);
+
+  BuildPolicy smart;
+  smart.basic_constraints_priority = BasicConstraintsPriority::kCorrectFirst;
+  const BuildResult fixed = build(smart, {*leaf_, *i2_, i1_plen0, *i1_});
+  EXPECT_TRUE(fixed.ok());
+}
+
+TEST_F(PathBuilderFixture, NotACaDetectedAtValidation) {
+  // A leaf-profiled cert with I2's subject+key: DN/KID/signature all
+  // link, but BasicConstraints is absent.
+  CertificateBuilder cb;
+  cb.subject(i2_id_->name).public_key(i2_id_->keys.pub);
+  const CertPtr fake_i2 = cb.sign(*i1_id_);
+  BuildPolicy naive;
+  naive.backtracking = false;
+  const BuildResult result = build(naive, {*leaf_, fake_i2, *i1_});
+  EXPECT_EQ(result.status, BuildStatus::kNotACa);
+}
+
+TEST_F(PathBuilderFixture, WorkBudgetStopsPathologicalGraphs) {
+  BuildPolicy policy;
+  policy.max_build_steps = 2;
+  const BuildResult result = build(policy, {*leaf_, *i2_, *i1_});
+  EXPECT_EQ(result.status, BuildStatus::kWorkBudgetExceeded);
+}
+
+TEST_F(PathBuilderFixture, StatusStringsAreStable) {
+  EXPECT_STREQ(to_string(BuildStatus::kOk), "OK");
+  EXPECT_STREQ(to_string(BuildStatus::kInputListTooLong),
+               "input list too long");
+  EXPECT_TRUE(is_construction_failure(BuildStatus::kNoIssuerFound));
+  EXPECT_TRUE(is_construction_failure(BuildStatus::kUntrustedRoot));
+  EXPECT_FALSE(is_construction_failure(BuildStatus::kOk));
+  EXPECT_FALSE(is_construction_failure(BuildStatus::kExpired));
+}
+
+TEST_F(PathBuilderFixture, NameConstraintViolationDetected) {
+  // A constrained twin of I2 that only permits good.example.
+  x509::NameConstraints nc;
+  nc.permitted_dns = {"good.example"};
+  CertificateBuilder cb;
+  cb.subject(i2_id_->name)
+      .as_ca()
+      .public_key(i2_id_->keys.pub)
+      .name_constraints(nc);
+  const CertPtr constrained = cb.sign(*i1_id_);
+
+  CertificateBuilder inside_b;
+  inside_b.as_leaf("ok.good.example");
+  const CertPtr inside = inside_b.sign(*i2_id_);
+  CertificateBuilder outside_b;
+  outside_b.as_leaf("pb-evil.example");
+  const CertPtr outside = outside_b.sign(*i2_id_);
+
+  BuildPolicy policy;
+  EXPECT_TRUE(build(policy, {inside, constrained, *i1_}, "ok.good.example").ok());
+  EXPECT_EQ(build(policy, {outside, constrained, *i1_}, "pb-evil.example").status,
+            BuildStatus::kNameConstraintViolation);
+
+  // The check is a policy knob (clients could skip it).
+  BuildPolicy lax;
+  lax.check_name_constraints = false;
+  EXPECT_TRUE(build(lax, {outside, constrained, *i1_}, "pb-evil.example").ok());
+}
+
+TEST_F(PathBuilderFixture, BadEkuRejectedOnLeaf) {
+  CertificateBuilder lb;
+  lb.as_leaf("eku-pb.example")
+      .ext_key_usage(x509::ExtKeyUsage{{"1.3.6.1.5.5.7.3.2"}});  // clientAuth
+  const CertPtr client_only = lb.sign(*i2_id_);
+
+  BuildPolicy policy;
+  EXPECT_EQ(build(policy, {client_only, *i2_, *i1_}, "eku-pb.example").status,
+            BuildStatus::kBadEku);
+
+  BuildPolicy lax;
+  lax.check_extended_key_usage = false;
+  EXPECT_TRUE(build(lax, {client_only, *i2_, *i1_}, "eku-pb.example").ok());
+
+  // Absent EKU is fine (no constraint expressed).
+  CertificateBuilder nb;
+  nb.as_leaf("noeku-pb.example").ext_key_usage(std::nullopt);
+  const CertPtr no_eku = nb.sign(*i2_id_);
+  EXPECT_TRUE(build(policy, {no_eku, *i2_, *i1_}, "noeku-pb.example").ok());
+}
+
+// ---------------------------------------------------------------------------
+// IntermediateCache unit behaviour
+// ---------------------------------------------------------------------------
+
+TEST_F(PathBuilderFixture, CacheOnlyRetainsIntermediates) {
+  IntermediateCache cache;
+  cache.remember(*leaf_);   // not a CA: ignored
+  cache.remember(*root_);   // self-signed: ignored
+  cache.remember(*i1_);
+  cache.remember(*i1_);     // deduplicated
+  cache.remember(nullptr);  // tolerated
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.find_by_subject((*i1_)->subject).size(), 1u);
+  EXPECT_TRUE(cache.find_by_subject((*leaf_)->subject).empty());
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace chainchaos::pathbuild

@@ -1,0 +1,252 @@
+// Property-based tests: invariants that must hold across randomized
+// sweeps rather than single examples — parser robustness under byte
+// mutation, path-builder output invariants over a generated corpus,
+// wire-format round-trip stability.
+#include <gtest/gtest.h>
+
+#include "chain/issuance.hpp"
+#include "clients/profiles.hpp"
+#include "ca/hierarchy.hpp"
+#include "dataset/corpus.hpp"
+#include "difftest/harness.hpp"
+#include "tls/certificate_message.hpp"
+#include "tls/record.hpp"
+#include "x509/builder.hpp"
+
+namespace chainchaos {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parser robustness: no input may crash, hang, or return an invalid
+// object — only Ok or a clean error.
+// ---------------------------------------------------------------------------
+
+class MutationFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ca_ = new ca::CaHierarchy(ca::CaHierarchy::create("Prop CA", 2, nullptr));
+    leaf_ = new x509::CertPtr(ca_->issue_leaf("prop.example.com"));
+  }
+  static ca::CaHierarchy* ca_;
+  static x509::CertPtr* leaf_;
+};
+
+ca::CaHierarchy* MutationFixture::ca_ = nullptr;
+x509::CertPtr* MutationFixture::leaf_ = nullptr;
+
+TEST_F(MutationFixture, CertificateParserSurvivesSingleByteFlips) {
+  const Bytes& der = (*leaf_)->der;
+  // Flip every byte position once (8 variants sampled by rotating bit).
+  for (std::size_t pos = 0; pos < der.size(); ++pos) {
+    Bytes mutated = der;
+    mutated[pos] ^= static_cast<std::uint8_t>(1u << (pos % 8));
+    const auto result = x509::parse_certificate(mutated);
+    if (result.ok()) {
+      // A parse that still succeeds must at least be self-consistent:
+      // the cached DER equals the input and the fingerprint is fresh.
+      EXPECT_TRUE(equal(result.value()->der, mutated));
+    }
+  }
+}
+
+TEST_F(MutationFixture, CertificateParserSurvivesTruncation) {
+  const Bytes& der = (*leaf_)->der;
+  for (std::size_t len = 0; len < der.size(); ++len) {
+    const auto result = x509::parse_certificate(BytesView(der.data(), len));
+    EXPECT_FALSE(result.ok()) << "truncated to " << len;
+  }
+}
+
+TEST_F(MutationFixture, CertificateParserSurvivesRandomGarbage) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 300; ++trial) {
+    Bytes garbage(rng.between(0, 600));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next());
+    // Bias towards plausible DER openings half the time.
+    if (trial % 2 == 0 && garbage.size() > 2) {
+      garbage[0] = 0x30;
+      garbage[1] = static_cast<std::uint8_t>(rng.next());
+    }
+    (void)x509::parse_certificate(garbage);  // must not crash
+  }
+  SUCCEED();
+}
+
+TEST_F(MutationFixture, CertificateMessageDecoderSurvivesMutation) {
+  const std::vector<x509::CertPtr> list = {*leaf_,
+                                           ca_->intermediates().back()};
+  Rng rng(777);
+  for (tls::TlsVersion version :
+       {tls::TlsVersion::kTls12, tls::TlsVersion::kTls13}) {
+    const Bytes message = tls::encode_certificate_message(list, version);
+    for (int trial = 0; trial < 400; ++trial) {
+      Bytes mutated = message;
+      const std::size_t pos = rng.below(mutated.size());
+      mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+      (void)tls::decode_certificate_message(mutated, version);  // no crash
+    }
+  }
+  SUCCEED();
+}
+
+TEST_F(MutationFixture, RecordDecoderSurvivesMutation) {
+  const Bytes wire = tls::encode_records(tls::ContentType::kHandshake,
+                                         Bytes(40000, 0x5c));
+  Rng rng(31337);
+  for (int trial = 0; trial < 400; ++trial) {
+    Bytes mutated = wire;
+    const std::size_t pos = rng.below(mutated.size());
+    mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    (void)tls::decode_records(mutated, tls::ContentType::kHandshake);
+  }
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Path-builder invariants: for EVERY corpus chain and EVERY client,
+// a successful build must produce a genuinely valid path.
+// ---------------------------------------------------------------------------
+
+class BuilderInvariantFixture : public ::testing::Test {
+ protected:
+  static dataset::Corpus& corpus() {
+    static dataset::Corpus* instance = [] {
+      dataset::CorpusConfig config;
+      config.domain_count = 600;
+      return new dataset::Corpus(std::move(config));
+    }();
+    return *instance;
+  }
+};
+
+TEST_F(BuilderInvariantFixture, SuccessfulPathsAreSound) {
+  for (const clients::ClientProfile& profile : clients::all_profiles()) {
+    pathbuild::IntermediateCache cache;
+    if (profile.policy.intermediate_cache) {
+      for (const auto& record : corpus().records()) {
+        if (record.primary_defect == dataset::DefectType::kNone) {
+          cache.remember_chain(record.observation.certificates);
+        }
+      }
+    }
+    pathbuild::PathBuilder builder(profile.policy,
+                                   &corpus().stores().union_store,
+                                   &corpus().aia(), &cache);
+    for (const auto& record : corpus().records()) {
+      const auto result = builder.build(record.observation.certificates,
+                                        record.observation.domain);
+      if (!result.ok()) continue;
+
+      ASSERT_GE(result.path.size(), 1u);
+      // (1) Adjacency: every certificate is issued by its successor.
+      for (std::size_t i = 0; i + 1 < result.path.size(); ++i) {
+        EXPECT_TRUE(chain::issued_by(*result.path[i], *result.path[i + 1]))
+            << profile.name << " @ " << record.observation.domain;
+      }
+      // (2) Trust: the terminus is a store root.
+      EXPECT_TRUE(
+          corpus().stores().union_store.contains(*result.path.back()))
+          << profile.name << " @ " << record.observation.domain;
+      // (3) No certificate appears twice.
+      for (std::size_t i = 0; i < result.path.size(); ++i) {
+        for (std::size_t j = i + 1; j < result.path.size(); ++j) {
+          EXPECT_FALSE(equal(result.path[i]->fingerprint,
+                             result.path[j]->fingerprint));
+        }
+      }
+      // (4) Hostname: the leaf matches the queried domain.
+      EXPECT_TRUE(result.path.front()->matches_host(record.observation.domain))
+          << profile.name << " @ " << record.observation.domain;
+      // (5) Validity at the policy's clock.
+      for (const auto& cert : result.path) {
+        EXPECT_TRUE(cert->valid_at(profile.policy.validation_time));
+      }
+      // (6) Depth cap honoured.
+      if (profile.policy.max_constructed_depth > 0) {
+        EXPECT_LE(static_cast<int>(result.path.size()),
+                  profile.policy.max_constructed_depth);
+      }
+    }
+  }
+}
+
+TEST_F(BuilderInvariantFixture, InputListCapNeverExceeded) {
+  const auto gnutls = clients::make_profile(clients::ClientKind::kGnuTls);
+  pathbuild::PathBuilder builder(gnutls.policy,
+                                 &corpus().stores().union_store);
+  for (const auto& record : corpus().records()) {
+    const auto result = builder.build(record.observation.certificates,
+                                      record.observation.domain);
+    if (record.observation.certificates.size() > 16) {
+      EXPECT_EQ(result.status, pathbuild::BuildStatus::kInputListTooLong)
+          << record.observation.domain;
+    } else {
+      EXPECT_NE(result.status, pathbuild::BuildStatus::kInputListTooLong)
+          << record.observation.domain;
+    }
+  }
+}
+
+TEST_F(BuilderInvariantFixture, DeterministicVerdictsPerClient) {
+  // Two fresh builders over the same corpus agree everywhere (no hidden
+  // state besides the explicit cache).
+  const auto chrome = clients::make_profile(clients::ClientKind::kChrome);
+  pathbuild::PathBuilder a(chrome.policy, &corpus().stores().union_store,
+                           &corpus().aia());
+  pathbuild::PathBuilder b(chrome.policy, &corpus().stores().union_store,
+                           &corpus().aia());
+  for (const auto& record : corpus().records()) {
+    EXPECT_EQ(a.build(record.observation.certificates,
+                      record.observation.domain)
+                  .status,
+              b.build(record.observation.certificates,
+                      record.observation.domain)
+                  .status)
+        << record.observation.domain;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wire format: encode/decode is the identity over the whole corpus.
+// ---------------------------------------------------------------------------
+
+TEST_F(BuilderInvariantFixture, CertificateMessageRoundTripsWholeCorpus) {
+  for (const auto& record : corpus().records()) {
+    for (tls::TlsVersion version :
+         {tls::TlsVersion::kTls12, tls::TlsVersion::kTls13}) {
+      const Bytes message = tls::encode_certificate_message(
+          record.observation.certificates, version);
+      auto decoded = tls::decode_certificate_message(message, version);
+      ASSERT_TRUE(decoded.ok()) << record.observation.domain;
+      ASSERT_EQ(decoded.value().size(),
+                record.observation.certificates.size());
+      for (std::size_t i = 0; i < decoded.value().size(); ++i) {
+        EXPECT_TRUE(equal(decoded.value()[i]->der,
+                          record.observation.certificates[i]->der));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Normalization idempotence over the corpus (extends the §6.1 tests).
+// ---------------------------------------------------------------------------
+
+TEST_F(BuilderInvariantFixture, AnalyzerIdempotentOnItsOwnOutput) {
+  // Analyzing a chain twice (fresh topologies) yields identical reports.
+  chain::CompletenessOptions options;
+  options.store = &corpus().stores().union_store;
+  options.aia = &corpus().aia();
+  const chain::ComplianceAnalyzer analyzer(options);
+  for (const auto& record : corpus().records()) {
+    const auto first = analyzer.analyze(record.observation);
+    const auto second = analyzer.analyze(record.observation);
+    EXPECT_EQ(first.leaf_placement, second.leaf_placement);
+    EXPECT_EQ(first.order.any_order_issue(), second.order.any_order_issue());
+    EXPECT_EQ(first.completeness.category, second.completeness.category);
+    EXPECT_EQ(first.completeness.aia_outcome, second.completeness.aia_outcome);
+  }
+}
+
+}  // namespace
+}  // namespace chainchaos

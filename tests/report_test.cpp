@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "report/table.hpp"
+
+namespace chainchaos::report {
+namespace {
+
+TEST(TableTest, RendersHeaderRuleAndRows) {
+  Table table("Demo");
+  table.header({"Type", "Count"});
+  table.row({"alpha", "1"});
+  table.row({"beta-longer", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("Type"), std::string::npos);
+  EXPECT_NE(out.find("beta-longer"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Columns align: "Count" and "22" start at the same offset.
+  const auto line_with = [&out](const std::string& needle) {
+    const std::size_t pos = out.find(needle);
+    const std::size_t line_start = out.rfind('\n', pos);
+    return pos - (line_start == std::string::npos ? 0 : line_start + 1);
+  };
+  EXPECT_EQ(line_with("Count"), line_with("22"));
+}
+
+TEST(TableTest, ToleratesRaggedRows) {
+  Table table("Ragged");
+  table.header({"A", "B", "C"});
+  table.row({"only-one"});
+  EXPECT_NE(table.render().find("only-one"), std::string::npos);
+}
+
+TEST(FormattingTest, Percentages) {
+  EXPECT_EQ(pct(1, 4), "25.0%");
+  EXPECT_EQ(pct(1, 3), "33.3%");
+  EXPECT_EQ(pct(0, 100), "0.0%");
+  EXPECT_EQ(pct(5, 0), "0.0%");  // guarded division
+}
+
+TEST(FormattingTest, ThousandsSeparators) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(906336), "906,336");
+  EXPECT_EQ(with_commas(1234567890), "1,234,567,890");
+}
+
+TEST(FormattingTest, CountPctMatchesPaperStyle) {
+  EXPECT_EQ(count_pct(16952, 906336), "16,952 (1.9%)");
+  EXPECT_EQ(count_pct(0, 10), "0 (0.0%)");
+}
+
+}  // namespace
+}  // namespace chainchaos::report

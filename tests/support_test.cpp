@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+#include "support/str.hpp"
+
+namespace chainchaos {
+namespace {
+
+// ---------------------------------------------------------------------------
+// bytes
+// ---------------------------------------------------------------------------
+
+TEST(BytesTest, HexEncodeKnownValues) {
+  EXPECT_EQ(hex_encode(Bytes{}), "");
+  EXPECT_EQ(hex_encode(Bytes{0x00}), "00");
+  EXPECT_EQ(hex_encode(Bytes{0xde, 0xad, 0xbe, 0xef}), "deadbeef");
+}
+
+TEST(BytesTest, HexDecodeRejectsBadInput) {
+  EXPECT_FALSE(hex_decode("abc").has_value());   // odd length
+  EXPECT_FALSE(hex_decode("zz").has_value());    // bad digit
+  EXPECT_FALSE(hex_decode("0g").has_value());
+  EXPECT_TRUE(hex_decode("").has_value());
+  EXPECT_TRUE(hex_decode("AbCd").has_value());   // mixed case ok
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  Rng rng(7);
+  for (int len = 0; len < 64; ++len) {
+    Bytes data;
+    for (int i = 0; i < len; ++i) {
+      data.push_back(static_cast<std::uint8_t>(rng.next()));
+    }
+    const auto back = hex_decode(hex_encode(data));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(equal(*back, data)) << "len=" << len;
+  }
+}
+
+TEST(BytesTest, Base64KnownVectors) {
+  // RFC 4648 test vectors.
+  EXPECT_EQ(base64_encode(to_bytes("")), "");
+  EXPECT_EQ(base64_encode(to_bytes("f")), "Zg==");
+  EXPECT_EQ(base64_encode(to_bytes("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(to_bytes("foo")), "Zm9v");
+  EXPECT_EQ(base64_encode(to_bytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64_encode(to_bytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode(to_bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(BytesTest, Base64RoundTrip) {
+  Rng rng(11);
+  for (int len = 0; len < 80; ++len) {
+    Bytes data;
+    for (int i = 0; i < len; ++i) {
+      data.push_back(static_cast<std::uint8_t>(rng.next()));
+    }
+    const auto back = base64_decode(base64_encode(data));
+    ASSERT_TRUE(back.has_value()) << "len=" << len;
+    EXPECT_TRUE(equal(*back, data));
+  }
+}
+
+TEST(BytesTest, Base64RejectsMalformed) {
+  EXPECT_FALSE(base64_decode("Zg").has_value());      // bad length
+  EXPECT_FALSE(base64_decode("Zg=?").has_value());    // bad char
+  EXPECT_FALSE(base64_decode("=Zg=").has_value());    // padding first
+  EXPECT_FALSE(base64_decode("Zm9v====").has_value());
+  EXPECT_FALSE(base64_decode("Zg==Zg==").has_value()); // data after padding
+}
+
+TEST(BytesTest, AppendAndEqual) {
+  Bytes head = {1, 2};
+  append(head, Bytes{3, 4});
+  EXPECT_TRUE(equal(head, Bytes{1, 2, 3, 4}));
+  EXPECT_FALSE(equal(head, Bytes{1, 2, 3}));
+  EXPECT_TRUE(equal(Bytes{}, Bytes{}));
+}
+
+// ---------------------------------------------------------------------------
+// rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c.next();
+  }
+  Rng a2(42), c2(43);
+  EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BetweenInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.between(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UnitInHalfOpenInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, WeightedRespectsZeroWeights) {
+  Rng rng(3);
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.weighted(weights), 1u);
+  }
+}
+
+TEST(RngTest, WeightedApproximatesDistribution) {
+  Rng rng(17);
+  const std::vector<double> weights = {1.0, 3.0};
+  int counts[2] = {0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.weighted(weights)];
+  // Expect roughly 25/75 with generous tolerance.
+  EXPECT_NEAR(counts[1] / 10000.0, 0.75, 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(99);
+  Rng child_a = parent.fork(1);
+  Rng child_b = parent.fork(1);  // parent state advanced: different child
+  EXPECT_NE(child_a.next(), child_b.next());
+
+  // Same parent state + same salt = same child.
+  Rng p1(7), p2(7);
+  EXPECT_EQ(p1.fork(5).next(), p2.fork(5).next());
+}
+
+TEST(RngTest, HashStableAndDiscriminating) {
+  EXPECT_EQ(Rng::hash("example.com"), Rng::hash("example.com"));
+  EXPECT_NE(Rng::hash("example.com"), Rng::hash("example.org"));
+  EXPECT_NE(Rng::hash(""), Rng::hash("a"));
+}
+
+// ---------------------------------------------------------------------------
+// str
+// ---------------------------------------------------------------------------
+
+TEST(StrTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a.b.c", '.'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("", '.'), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("a..b", '.'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split(".a.", '.'), (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(StrTest, JoinInvertsSplit) {
+  EXPECT_EQ(join({"a", "b", "c"}, "."), "a.b.c");
+  EXPECT_EQ(join({}, "."), "");
+  EXPECT_EQ(join({"x"}, "."), "x");
+}
+
+struct DnsCase {
+  const char* input;
+  bool expect_dns;
+};
+
+class DnsNameTest : public ::testing::TestWithParam<DnsCase> {};
+
+TEST_P(DnsNameTest, Classification) {
+  EXPECT_EQ(looks_like_dns_name(GetParam().input), GetParam().expect_dns)
+      << GetParam().input;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DnsNameTest,
+    ::testing::Values(
+        DnsCase{"example.com", true}, DnsCase{"www.example.com", true},
+        DnsCase{"*.example.com", true}, DnsCase{"a-b.example.io", true},
+        DnsCase{"xn--bcher-kva.example", true},
+        DnsCase{"localhost", false},       // single label
+        DnsCase{"", false}, DnsCase{"Plesk", false},
+        DnsCase{"-bad.example.com", false}, DnsCase{"bad-.example.com", false},
+        DnsCase{"exa mple.com", false}, DnsCase{"ex_ample.com", false},
+        DnsCase{"example.123", false},     // numeric TLD
+        DnsCase{"a.*.example.com", false}  // wildcard not leftmost
+        ));
+
+struct Ipv4Case {
+  const char* input;
+  bool expect_ip;
+};
+
+class Ipv4Test : public ::testing::TestWithParam<Ipv4Case> {};
+
+TEST_P(Ipv4Test, Classification) {
+  EXPECT_EQ(looks_like_ipv4(GetParam().input), GetParam().expect_ip)
+      << GetParam().input;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Ipv4Test,
+    ::testing::Values(Ipv4Case{"1.2.3.4", true}, Ipv4Case{"255.255.255.255", true},
+                      Ipv4Case{"0.0.0.0", true}, Ipv4Case{"256.1.1.1", false},
+                      Ipv4Case{"1.2.3", false}, Ipv4Case{"1.2.3.4.5", false},
+                      Ipv4Case{"01.2.3.4", false},  // leading zero
+                      Ipv4Case{"1.2.3.a", false}, Ipv4Case{"", false}));
+
+TEST(WildcardTest, ExactAndWildcardMatching) {
+  EXPECT_TRUE(wildcard_match("example.com", "example.com"));
+  EXPECT_TRUE(wildcard_match("EXAMPLE.com", "example.COM"));
+  EXPECT_TRUE(wildcard_match("*.example.com", "www.example.com"));
+  EXPECT_FALSE(wildcard_match("*.example.com", "example.com"));
+  EXPECT_FALSE(wildcard_match("*.example.com", "a.b.example.com"));
+  EXPECT_FALSE(wildcard_match("www.example.com", "example.com"));
+  EXPECT_FALSE(wildcard_match("*.com", "example.org"));
+}
+
+}  // namespace
+}  // namespace chainchaos

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ca/hierarchy.hpp"
+#include "chain/issuance.hpp"
+#include "dataset/serialize.hpp"
+#include "x509/text.hpp"
+
+namespace chainchaos {
+namespace {
+
+// ---------------------------------------------------------------------------
+// x509 text rendering
+// ---------------------------------------------------------------------------
+
+class TextFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    aia_ = new net::AiaRepository();
+    hierarchy_ =
+        new ca::CaHierarchy(ca::CaHierarchy::create("Text CA", 1, aia_));
+    leaf_ = new x509::CertPtr(hierarchy_->issue_leaf("text.example.com"));
+  }
+  static net::AiaRepository* aia_;
+  static ca::CaHierarchy* hierarchy_;
+  static x509::CertPtr* leaf_;
+};
+
+net::AiaRepository* TextFixture::aia_ = nullptr;
+ca::CaHierarchy* TextFixture::hierarchy_ = nullptr;
+x509::CertPtr* TextFixture::leaf_ = nullptr;
+
+TEST_F(TextFixture, FormatTimeKnownValues) {
+  EXPECT_EQ(x509::format_time(0), "1970-01-01 00:00:00 UTC");
+  EXPECT_EQ(x509::format_time(951782400), "2000-02-29 00:00:00 UTC");
+  EXPECT_EQ(x509::format_time(1700000000), "2023-11-14 22:13:20 UTC");
+}
+
+TEST_F(TextFixture, LeafDumpMentionsEveryField) {
+  const std::string text = x509::to_text(**leaf_);
+  EXPECT_NE(text.find("Subject: CN=text.example.com"), std::string::npos);
+  EXPECT_NE(text.find("Issuer: CN=Text CA Intermediate CA 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("RSA Public-Key: (512 bit)"), std::string::npos);
+  EXPECT_NE(text.find("Subject Alternative Name"), std::string::npos);
+  EXPECT_NE(text.find("DNS:text.example.com"), std::string::npos);
+  EXPECT_NE(text.find("Subject Key Identifier"), std::string::npos);
+  EXPECT_NE(text.find("Authority Key Identifier"), std::string::npos);
+  EXPECT_NE(text.find("CA Issuers - URI:"), std::string::npos);
+  EXPECT_NE(text.find("SHA-256 Fingerprint"), std::string::npos);
+  // Leaves carry no BasicConstraints in our profile.
+  EXPECT_EQ(text.find("CA:TRUE"), std::string::npos);
+}
+
+TEST_F(TextFixture, CaDumpShowsConstraints) {
+  const std::string text = x509::to_text(*hierarchy_->intermediates().front());
+  EXPECT_NE(text.find("CA:TRUE"), std::string::npos);
+  EXPECT_NE(text.find("pathlen:0"), std::string::npos);
+  EXPECT_NE(text.find("Certificate Sign"), std::string::npos);
+}
+
+TEST_F(TextFixture, SummaryLineShowsRole) {
+  EXPECT_NE(x509::to_summary_line(**leaf_).find("[leaf,"), std::string::npos);
+  EXPECT_NE(x509::to_summary_line(*hierarchy_->root()).find("[root,"),
+            std::string::npos);
+  EXPECT_NE(x509::to_summary_line(*hierarchy_->intermediates().front())
+                .find("[intermediate,"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Corpus serialization
+// ---------------------------------------------------------------------------
+
+class SerializeFixture : public ::testing::Test {
+ protected:
+  static dataset::Corpus& corpus() {
+    static dataset::Corpus* instance = [] {
+      dataset::CorpusConfig config;
+      config.domain_count = 120;
+      return new dataset::Corpus(std::move(config));
+    }();
+    return *instance;
+  }
+};
+
+TEST_F(SerializeFixture, RoundTripPreservesEverything) {
+  std::stringstream buffer;
+  dataset::export_corpus(corpus(), buffer);
+
+  auto imported = dataset::import_corpus(buffer);
+  ASSERT_TRUE(imported.ok()) << imported.error().to_string();
+  ASSERT_EQ(imported.value().size(), corpus().records().size());
+
+  for (std::size_t i = 0; i < imported.value().size(); ++i) {
+    const dataset::ExportedRecord& got = imported.value()[i];
+    const dataset::DomainRecord& want = corpus().records()[i];
+    EXPECT_EQ(got.domain, want.observation.domain);
+    EXPECT_EQ(got.ca_name, want.observation.ca_name);
+    EXPECT_EQ(got.server_software, want.observation.server_software);
+    EXPECT_EQ(got.primary_defect, to_string(want.primary_defect));
+    ASSERT_EQ(got.certificates.size(), want.observation.certificates.size())
+        << got.domain;
+    for (std::size_t c = 0; c < got.certificates.size(); ++c) {
+      EXPECT_TRUE(equal(got.certificates[c]->der,
+                        want.observation.certificates[c]->der));
+    }
+  }
+}
+
+TEST_F(SerializeFixture, ImportedChainsReanalyzeIdentically) {
+  std::stringstream buffer;
+  dataset::export_corpus(corpus(), buffer);
+  auto imported = dataset::import_corpus(buffer);
+  ASSERT_TRUE(imported.ok());
+
+  // Issuance relations survive the round trip (signatures reverify).
+  for (const auto& record : imported.value()) {
+    if (record.certificates.size() < 2) continue;
+    if (record.primary_defect != "none") continue;
+    EXPECT_TRUE(
+        chain::issued_by(*record.certificates[0], *record.certificates[1]))
+        << record.domain;
+  }
+}
+
+TEST_F(SerializeFixture, ImportRejectsMalformedBundles) {
+  const auto reject = [](const std::string& text) {
+    std::stringstream in(text);
+    return !dataset::import_corpus(in).ok();
+  };
+  EXPECT_TRUE(reject("-----BEGIN CERTIFICATE-----\nAAAA\n"
+                     "-----END CERTIFICATE-----\n"));  // orphan cert
+  EXPECT_TRUE(reject("#domain only\ttwo\tfields\n"));
+  EXPECT_TRUE(reject("#domain a\tb\tc\td\te\n-----BEGIN CERTIFICATE-----\n"));
+  EXPECT_TRUE(reject("random noise\n"));
+
+  std::stringstream empty("");
+  auto ok = dataset::import_corpus(empty);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.value().empty());
+}
+
+TEST_F(SerializeFixture, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/chainchaos_corpus_test.pem";
+  ASSERT_TRUE(dataset::export_corpus_to_file(corpus(), path));
+  auto imported = dataset::import_corpus_from_file(path);
+  ASSERT_TRUE(imported.ok());
+  EXPECT_EQ(imported.value().size(), corpus().records().size());
+  EXPECT_FALSE(dataset::import_corpus_from_file("/no/such/file.pem").ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace chainchaos

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "net/aia_repository.hpp"
+#include "tls/certificate_message.hpp"
+#include "tls/handshake.hpp"
+#include "truststore/root_store.hpp"
+#include "x509/builder.hpp"
+
+namespace chainchaos {
+namespace {
+
+using x509::CertificateBuilder;
+using x509::CertPtr;
+using x509::make_identity;
+using x509::SigningIdentity;
+
+struct Pki {
+  SigningIdentity root_id = make_identity(asn1::Name::make("TLSNet Root"));
+  SigningIdentity inter_id = make_identity(asn1::Name::make("TLSNet Inter"));
+  CertPtr root, inter, leaf;
+
+  Pki() {
+    CertificateBuilder rb;
+    rb.subject(root_id.name).as_ca().public_key(root_id.keys.pub);
+    root = rb.self_sign(root_id.keys);
+    CertificateBuilder ib;
+    ib.subject(inter_id.name).as_ca().public_key(inter_id.keys.pub);
+    inter = ib.sign(root_id);
+    CertificateBuilder lb;
+    lb.as_leaf("tlsnet.example");
+    leaf = lb.sign(inter_id);
+  }
+};
+
+Pki& pki() {
+  static Pki instance;
+  return instance;
+}
+
+// ---------------------------------------------------------------------------
+// Root store
+// ---------------------------------------------------------------------------
+
+TEST(RootStoreTest, AddDeduplicatesByFingerprint) {
+  truststore::RootStore store("t");
+  store.add(pki().root);
+  store.add(pki().root);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.contains(*pki().root));
+  EXPECT_FALSE(store.contains(*pki().inter));
+}
+
+TEST(RootStoreTest, LookupBySubjectAndKeyId) {
+  truststore::RootStore store("t");
+  store.add(pki().root);
+  EXPECT_EQ(store.find_by_subject(pki().root->subject).size(), 1u);
+  EXPECT_TRUE(store.find_by_subject(pki().inter->subject).empty());
+  EXPECT_EQ(store.find_by_key_id(*pki().root->subject_key_id).size(), 1u);
+  EXPECT_TRUE(store.find_by_key_id(Bytes(20, 0)).empty());
+}
+
+TEST(RootStoreTest, MergeDeduplicates) {
+  truststore::RootStore a("a"), b("b");
+  a.add(pki().root);
+  b.add(pki().root);
+  const truststore::RootStore merged = a.merged_with(b, "merged");
+  EXPECT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged.name(), "merged");
+}
+
+TEST(RootStoreTest, ProgramStoreMasks) {
+  const auto stores = truststore::make_program_stores(
+      {pki().root}, {{pki().inter, 1u | 4u}});  // mozilla + microsoft only
+  EXPECT_TRUE(stores.mozilla.contains(*pki().inter));
+  EXPECT_FALSE(stores.chrome.contains(*pki().inter));
+  EXPECT_TRUE(stores.microsoft.contains(*pki().inter));
+  EXPECT_FALSE(stores.apple.contains(*pki().inter));
+  EXPECT_TRUE(stores.union_store.contains(*pki().inter));
+  for (const char* name : {"mozilla", "chrome", "microsoft", "apple", "union"}) {
+    EXPECT_TRUE(stores.by_name(name).contains(*pki().root)) << name;
+  }
+  EXPECT_THROW(stores.by_name("netscape"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// AIA repository
+// ---------------------------------------------------------------------------
+
+TEST(AiaRepositoryTest, PublishFetchAndStats) {
+  net::AiaRepository repo(100);
+  repo.publish("http://a/i.crt", pki().inter);
+
+  auto hit = repo.fetch("http://a/i.crt");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(equal(hit.value()->der, pki().inter->der));
+
+  auto miss = repo.fetch("http://a/missing.crt");
+  EXPECT_FALSE(miss.ok());
+  EXPECT_EQ(miss.error().code, "aia.not_found");
+
+  repo.mark_unreachable("http://a/i.crt");
+  auto dead = repo.fetch("http://a/i.crt");
+  EXPECT_FALSE(dead.ok());
+  EXPECT_EQ(dead.error().code, "aia.unreachable");
+
+  EXPECT_EQ(repo.stats().attempts, 3u);
+  EXPECT_EQ(repo.stats().hits, 1u);
+  EXPECT_EQ(repo.stats().misses, 1u);
+  EXPECT_EQ(repo.stats().unreachable, 1u);
+  EXPECT_EQ(repo.stats().simulated_latency_ms, 300u);
+  EXPECT_EQ(repo.stats().bytes_served, pki().inter->der.size());
+}
+
+TEST(AiaRepositoryTest, ReachabilityProbe) {
+  net::AiaRepository repo;
+  EXPECT_FALSE(repo.reachable("http://x"));
+  repo.publish("http://x", pki().root);
+  EXPECT_TRUE(repo.reachable("http://x"));
+  repo.mark_unreachable("http://x");
+  EXPECT_FALSE(repo.reachable("http://x"));
+  EXPECT_EQ(repo.stats().attempts, 0u);  // reachable() is not a fetch
+}
+
+// ---------------------------------------------------------------------------
+// TLS Certificate message
+// ---------------------------------------------------------------------------
+
+class CertificateMessageTest
+    : public ::testing::TestWithParam<tls::TlsVersion> {};
+
+TEST_P(CertificateMessageTest, RoundTripsChain) {
+  const std::vector<CertPtr> list = {pki().leaf, pki().inter, pki().root};
+  const Bytes message = tls::encode_certificate_message(list, GetParam());
+  auto decoded = tls::decode_certificate_message(message, GetParam());
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  ASSERT_EQ(decoded.value().size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(equal(decoded.value()[i]->der, list[i]->der));
+  }
+}
+
+TEST_P(CertificateMessageTest, RoundTripsEmptyAndDuplicates) {
+  const std::vector<CertPtr> empty;
+  auto decoded = tls::decode_certificate_message(
+      tls::encode_certificate_message(empty, GetParam()), GetParam());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().empty());
+
+  // The wire format happily carries duplicated certificates.
+  const std::vector<CertPtr> dups = {pki().leaf, pki().leaf, pki().leaf};
+  auto dup_decoded = tls::decode_certificate_message(
+      tls::encode_certificate_message(dups, GetParam()), GetParam());
+  ASSERT_TRUE(dup_decoded.ok());
+  EXPECT_EQ(dup_decoded.value().size(), 3u);
+}
+
+TEST_P(CertificateMessageTest, RejectsTruncation) {
+  const std::vector<CertPtr> list = {pki().leaf, pki().inter};
+  const Bytes message = tls::encode_certificate_message(list, GetParam());
+  for (std::size_t cut : {std::size_t{1}, std::size_t{4}, std::size_t{8},
+                          message.size() - 1}) {
+    auto decoded = tls::decode_certificate_message(
+        BytesView(message.data(), cut), GetParam());
+    EXPECT_FALSE(decoded.ok()) << "cut=" << cut;
+  }
+}
+
+TEST_P(CertificateMessageTest, RejectsWrongHandshakeType) {
+  Bytes message = tls::encode_certificate_message({pki().leaf}, GetParam());
+  message[0] = 0x0e;  // ServerHelloDone
+  EXPECT_FALSE(tls::decode_certificate_message(message, GetParam()).ok());
+}
+
+TEST_P(CertificateMessageTest, RejectsLengthMismatch) {
+  Bytes message = tls::encode_certificate_message({pki().leaf}, GetParam());
+  message[3] ^= 0x01;  // corrupt handshake length
+  EXPECT_FALSE(tls::decode_certificate_message(message, GetParam()).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Versions, CertificateMessageTest,
+                         ::testing::Values(tls::TlsVersion::kTls12,
+                                           tls::TlsVersion::kTls13));
+
+TEST(CertificateMessageTest, Tls13CarriesRequestContext) {
+  // TLS 1.3 framing is strictly larger due to context + extension fields.
+  const std::vector<CertPtr> list = {pki().leaf};
+  const Bytes v12 =
+      tls::encode_certificate_message(list, tls::TlsVersion::kTls12);
+  const Bytes v13 =
+      tls::encode_certificate_message(list, tls::TlsVersion::kTls13);
+  EXPECT_EQ(v13.size(), v12.size() + 3);  // 1 ctx len + 2 ext len
+
+  // Cross-version decoding fails (framing differs).
+  EXPECT_FALSE(
+      tls::decode_certificate_message(v13, tls::TlsVersion::kTls12).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Handshake simulation
+// ---------------------------------------------------------------------------
+
+TEST(HandshakeTest, EndToEndSuccess) {
+  truststore::RootStore store("hs");
+  store.add(pki().root);
+  pathbuild::BuildPolicy policy;  // defaults: reorder + dedup + backtrack
+  pathbuild::PathBuilder builder(policy, &store);
+
+  tls::ChainServer server("tlsnet.example", {pki().leaf, pki().inter});
+  const tls::HandshakeOutcome outcome = tls::simulate_handshake(server, builder);
+  EXPECT_TRUE(outcome.wire_ok);
+  EXPECT_TRUE(outcome.connected());
+  ASSERT_EQ(outcome.build.path.size(), 3u);  // leaf, inter, store root
+}
+
+TEST(HandshakeTest, HostnameMismatchSurfaces) {
+  truststore::RootStore store("hs");
+  store.add(pki().root);
+  pathbuild::PathBuilder builder(pathbuild::BuildPolicy{}, &store);
+
+  tls::ChainServer server("wrong.example", {pki().leaf, pki().inter});
+  const tls::HandshakeOutcome outcome = tls::simulate_handshake(server, builder);
+  EXPECT_TRUE(outcome.wire_ok);
+  EXPECT_FALSE(outcome.connected());
+  EXPECT_EQ(outcome.build.status, pathbuild::BuildStatus::kHostnameMismatch);
+}
+
+TEST(HandshakeTest, UntrustedRootSurfaces) {
+  truststore::RootStore empty_store("empty");
+  pathbuild::PathBuilder builder(pathbuild::BuildPolicy{}, &empty_store);
+
+  tls::ChainServer server("tlsnet.example",
+                          {pki().leaf, pki().inter, pki().root});
+  const tls::HandshakeOutcome outcome = tls::simulate_handshake(server, builder);
+  EXPECT_TRUE(outcome.wire_ok);
+  EXPECT_EQ(outcome.build.status, pathbuild::BuildStatus::kUntrustedRoot);
+}
+
+}  // namespace
+}  // namespace chainchaos

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include "x509/builder.hpp"
+#include "x509/certificate.hpp"
+
+namespace chainchaos::x509 {
+namespace {
+
+constexpr std::int64_t kNb = 1700000000;
+constexpr std::int64_t kNa = 1900000000;
+
+class X509Fixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_id_ = make_identity(asn1::Name::make("X509T Root", "X509T", "US"));
+    CertificateBuilder rb;
+    rb.subject(root_id_.name).as_ca().public_key(root_id_.keys.pub);
+    root_ = rb.self_sign(root_id_.keys);
+
+    inter_id_ = make_identity(asn1::Name::make("X509T Inter", "X509T", "US"));
+    CertificateBuilder ib;
+    ib.subject(inter_id_.name).as_ca(0).public_key(inter_id_.keys.pub);
+    inter_ = ib.sign(root_id_);
+
+    CertificateBuilder lb;
+    lb.as_leaf("www.x509t.example").aia_ca_issuers("http://x509t/i.crt");
+    leaf_ = lb.sign(inter_id_);
+  }
+
+  SigningIdentity root_id_, inter_id_;
+  CertPtr root_, inter_, leaf_;
+};
+
+TEST_F(X509Fixture, RoleClassification) {
+  EXPECT_TRUE(root_->is_self_signed());
+  EXPECT_TRUE(root_->is_self_issued());
+  EXPECT_TRUE(root_->is_ca());
+
+  EXPECT_FALSE(inter_->is_self_signed());
+  EXPECT_TRUE(inter_->is_ca());
+
+  EXPECT_FALSE(leaf_->is_ca());
+  EXPECT_FALSE(leaf_->is_self_signed());
+}
+
+TEST_F(X509Fixture, SignatureChainVerifies) {
+  EXPECT_TRUE(inter_->verify_signed_by(root_->public_key));
+  EXPECT_TRUE(leaf_->verify_signed_by(inter_->public_key));
+  EXPECT_FALSE(leaf_->verify_signed_by(root_->public_key));
+  EXPECT_FALSE(inter_->verify_signed_by(leaf_->public_key));
+}
+
+TEST_F(X509Fixture, KeyIdentifierLinkage) {
+  ASSERT_TRUE(inter_->subject_key_id.has_value());
+  ASSERT_TRUE(leaf_->authority_key_id.has_value());
+  EXPECT_TRUE(equal(*inter_->subject_key_id, *leaf_->authority_key_id));
+  EXPECT_TRUE(equal(*root_->subject_key_id, *inter_->authority_key_id));
+  // Root's AKID (if present) references itself.
+  ASSERT_TRUE(root_->authority_key_id.has_value());
+  EXPECT_TRUE(equal(*root_->authority_key_id, *root_->subject_key_id));
+}
+
+TEST_F(X509Fixture, DerRoundTripPreservesEverything) {
+  auto parsed = parse_certificate(leaf_->der);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const Certificate& p = *parsed.value();
+
+  EXPECT_EQ(p.subject, leaf_->subject);
+  EXPECT_EQ(p.issuer, leaf_->issuer);
+  EXPECT_EQ(p.serial, leaf_->serial);
+  EXPECT_EQ(p.not_before, leaf_->not_before);
+  EXPECT_EQ(p.not_after, leaf_->not_after);
+  EXPECT_TRUE(p.public_key == leaf_->public_key);
+  EXPECT_EQ(p.basic_constraints, leaf_->basic_constraints);
+  EXPECT_EQ(p.key_usage, leaf_->key_usage);
+  EXPECT_EQ(p.ext_key_usage, leaf_->ext_key_usage);
+  EXPECT_EQ(p.subject_alt_name, leaf_->subject_alt_name);
+  EXPECT_EQ(p.aia, leaf_->aia);
+  EXPECT_TRUE(equal(*p.subject_key_id, *leaf_->subject_key_id));
+  EXPECT_TRUE(equal(*p.authority_key_id, *leaf_->authority_key_id));
+  EXPECT_TRUE(equal(p.der, leaf_->der));
+  EXPECT_TRUE(equal(p.fingerprint, leaf_->fingerprint));
+  EXPECT_TRUE(p.verify_signed_by(inter_->public_key));
+}
+
+TEST_F(X509Fixture, CaCertRoundTripKeepsPathLen) {
+  auto parsed = parse_certificate(inter_->der);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed.value()->basic_constraints.has_value());
+  EXPECT_TRUE(parsed.value()->basic_constraints->is_ca);
+  EXPECT_EQ(parsed.value()->basic_constraints->path_len_constraint, 0);
+  EXPECT_TRUE(parsed.value()->key_usage->key_cert_sign);
+}
+
+TEST_F(X509Fixture, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse_certificate(Bytes{}).ok());
+  EXPECT_FALSE(parse_certificate(Bytes{0x30, 0x03, 1, 2, 3}).ok());
+  Bytes truncated(leaf_->der.begin(), leaf_->der.begin() + 40);
+  EXPECT_FALSE(parse_certificate(truncated).ok());
+}
+
+TEST_F(X509Fixture, TamperedTbsBreaksSignature) {
+  Bytes der = leaf_->der;
+  // Flip a byte near the middle of the TBS (inside the subject name).
+  der[der.size() / 3] ^= 0x01;
+  auto parsed = parse_certificate(der);
+  if (parsed.ok()) {
+    EXPECT_FALSE(parsed.value()->verify_signed_by(inter_->public_key));
+  }
+}
+
+TEST_F(X509Fixture, HostnameMatching) {
+  EXPECT_TRUE(leaf_->matches_host("www.x509t.example"));
+  EXPECT_FALSE(leaf_->matches_host("x509t.example"));
+  EXPECT_FALSE(leaf_->matches_host("evil.example"));
+
+  CertificateBuilder wb;
+  wb.as_leaf("*.wild.example");
+  const CertPtr wildcard = wb.sign(inter_id_);
+  EXPECT_TRUE(wildcard->matches_host("a.wild.example"));
+  EXPECT_FALSE(wildcard->matches_host("wild.example"));
+  EXPECT_FALSE(wildcard->matches_host("a.b.wild.example"));
+}
+
+TEST_F(X509Fixture, MatchesHostViaSanIp) {
+  SubjectAltName san;
+  san.dns_names.push_back("dual.example");
+  san.ip_addresses.push_back("192.0.2.7");
+  CertificateBuilder builder;
+  builder.subject_cn("dual.example").subject_alt_name(san);
+  const CertPtr cert = builder.sign(inter_id_);
+  EXPECT_TRUE(cert->matches_host("192.0.2.7"));
+  EXPECT_TRUE(cert->matches_host("dual.example"));
+  EXPECT_FALSE(cert->matches_host("192.0.2.8"));
+}
+
+TEST_F(X509Fixture, IdentityStringsCollectCnAndSan) {
+  const auto ids = leaf_->identity_strings();
+  // CN and the SAN dNSName (both "www.x509t.example").
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], "www.x509t.example");
+}
+
+TEST_F(X509Fixture, ValidityWindow) {
+  EXPECT_TRUE(leaf_->valid_at(kNb));
+  EXPECT_TRUE(leaf_->valid_at(kNa));
+  EXPECT_FALSE(leaf_->valid_at(kNb - 1));
+  EXPECT_FALSE(leaf_->valid_at(kNa + 1));
+}
+
+TEST_F(X509Fixture, PemRoundTripSingle) {
+  const std::string pem = to_pem(*leaf_);
+  EXPECT_NE(pem.find("-----BEGIN CERTIFICATE-----"), std::string::npos);
+  EXPECT_NE(pem.find("-----END CERTIFICATE-----"), std::string::npos);
+  auto back = from_pem(pem);
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_TRUE(equal(back.value()->der, leaf_->der));
+}
+
+TEST_F(X509Fixture, PemBundlePreservesOrder) {
+  const std::string bundle = to_pem(*leaf_) + to_pem(*inter_) + to_pem(*root_);
+  auto certs = bundle_from_pem(bundle);
+  ASSERT_TRUE(certs.ok());
+  ASSERT_EQ(certs.value().size(), 3u);
+  EXPECT_TRUE(equal(certs.value()[0]->der, leaf_->der));
+  EXPECT_TRUE(equal(certs.value()[1]->der, inter_->der));
+  EXPECT_TRUE(equal(certs.value()[2]->der, root_->der));
+}
+
+TEST_F(X509Fixture, PemRejectsMalformed) {
+  EXPECT_FALSE(from_pem("no pem here").ok());
+  EXPECT_FALSE(from_pem("-----BEGIN CERTIFICATE-----\nZZZZ!\n"
+                        "-----END CERTIFICATE-----\n").ok());
+  EXPECT_FALSE(from_pem("-----BEGIN CERTIFICATE-----\nunterminated").ok());
+  // Two certs where one was requested.
+  EXPECT_FALSE(from_pem(to_pem(*leaf_) + to_pem(*inter_)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Builder override hooks (defective certificate crafting)
+// ---------------------------------------------------------------------------
+
+TEST_F(X509Fixture, BuilderOmitsKeyIds) {
+  CertificateBuilder builder;
+  builder.subject_cn("no-kids.example")
+      .omit_subject_key_id()
+      .omit_authority_key_id();
+  const CertPtr cert = builder.sign(inter_id_);
+  EXPECT_FALSE(cert->subject_key_id.has_value());
+  EXPECT_FALSE(cert->authority_key_id.has_value());
+  // Round-trip keeps them absent.
+  auto parsed = parse_certificate(cert->der);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed.value()->subject_key_id.has_value());
+  EXPECT_FALSE(parsed.value()->authority_key_id.has_value());
+}
+
+TEST_F(X509Fixture, BuilderCorruptsAkid) {
+  CertificateBuilder builder;
+  builder.subject_cn("bad-akid.example").corrupt_authority_key_id();
+  const CertPtr cert = builder.sign(inter_id_);
+  ASSERT_TRUE(cert->authority_key_id.has_value());
+  EXPECT_FALSE(equal(*cert->authority_key_id, *inter_->subject_key_id));
+  // Signature still verifies: the AKID is wrong, not the crypto.
+  EXPECT_TRUE(cert->verify_signed_by(inter_->public_key));
+}
+
+TEST_F(X509Fixture, BuilderCustomExtensionsSurviveRoundTrip) {
+  KeyUsage ku;
+  ku.digital_signature = true;
+  ku.crl_sign = true;
+  CertificateBuilder builder;
+  builder.subject_cn("custom.example")
+      .key_usage(ku)
+      .ext_key_usage(ExtKeyUsage{{"1.3.6.1.5.5.7.3.2"}})
+      .basic_constraints(BasicConstraints{false, std::nullopt});
+  const CertPtr cert = builder.sign(inter_id_);
+  auto parsed = parse_certificate(cert->der);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value()->key_usage, ku);
+  EXPECT_TRUE(parsed.value()->ext_key_usage->allows("1.3.6.1.5.5.7.3.2"));
+  EXPECT_FALSE(parsed.value()->basic_constraints->is_ca);
+}
+
+TEST_F(X509Fixture, NameConstraintsRoundTrip) {
+  NameConstraints nc;
+  nc.permitted_dns = {"good.example", "alt.example"};
+  nc.excluded_dns = {"bad.good.example"};
+  CertificateBuilder builder;
+  builder.subject_cn("Constrained CA").name_constraints(nc);
+  const CertPtr cert = builder.sign(inter_id_);
+  auto parsed = parse_certificate(cert->der);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  ASSERT_TRUE(parsed.value()->name_constraints.has_value());
+  EXPECT_EQ(*parsed.value()->name_constraints, nc);
+}
+
+TEST_F(X509Fixture, NameConstraintsSemantics) {
+  NameConstraints nc;
+  nc.permitted_dns = {"good.example"};
+  nc.excluded_dns = {"bad.good.example"};
+  EXPECT_TRUE(nc.allows("good.example"));
+  EXPECT_TRUE(nc.allows("www.good.example"));
+  EXPECT_TRUE(nc.allows("a.b.good.example"));
+  EXPECT_FALSE(nc.allows("evil.example"));
+  EXPECT_FALSE(nc.allows("notgood.example"));       // no substring match
+  EXPECT_FALSE(nc.allows("bad.good.example"));      // excluded wins
+  EXPECT_FALSE(nc.allows("x.bad.good.example"));
+
+  // Exclusion-only constraints permit everything else.
+  NameConstraints exclude_only;
+  exclude_only.excluded_dns = {"blocked.example"};
+  EXPECT_TRUE(exclude_only.allows("anything.example"));
+  EXPECT_FALSE(exclude_only.allows("sub.blocked.example"));
+}
+
+TEST_F(X509Fixture, SelfSignWithExplicitKeys) {
+  const crypto::RsaKeyPair& keys =
+      crypto::KeyPool::instance().for_name("x509t-self");
+  CertificateBuilder builder;
+  builder.as_leaf("self.example").public_key(keys.pub);
+  const CertPtr cert = builder.self_sign(keys);
+  EXPECT_TRUE(cert->is_self_signed());
+  EXPECT_FALSE(cert->is_ca());
+}
+
+TEST_F(X509Fixture, DistinctSerialsPerBuild) {
+  CertificateBuilder b1, b2;
+  b1.subject_cn("serial-a.example");
+  b2.subject_cn("serial-a.example");
+  const CertPtr c1 = b1.sign(inter_id_);
+  const CertPtr c2 = b2.sign(inter_id_);
+  EXPECT_NE(c1->serial, c2->serial);
+  EXPECT_FALSE(equal(c1->fingerprint, c2->fingerprint));
+}
+
+TEST_F(X509Fixture, DeriveKeyIdIsStablePerKey) {
+  EXPECT_TRUE(equal(derive_key_id(root_id_.keys.pub),
+                    derive_key_id(root_id_.keys.pub)));
+  EXPECT_FALSE(equal(derive_key_id(root_id_.keys.pub),
+                     derive_key_id(inter_id_.keys.pub)));
+  EXPECT_EQ(derive_key_id(root_id_.keys.pub).size(), 20u);
+}
+
+}  // namespace
+}  // namespace chainchaos::x509
