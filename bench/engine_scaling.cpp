@@ -1,0 +1,88 @@
+// Engine scaling bench: records/sec of the full §4 compliance sweep at
+// 1/2/4/8 worker threads over one corpus, plus the determinism check
+// that makes the sharded engine trustworthy — every thread count must
+// produce a byte-identical summary.
+//
+// Corpus size defaults to 50,000 domains (CHAINCHAOS_DOMAINS overrides,
+// as for every bench). The issuance memo is reset before each timed run
+// so each configuration does the full signature-verification work
+// instead of riding the previous run's cache.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "chain/issuance.hpp"
+#include "engine/engine.hpp"
+#include "report/table.hpp"
+
+using namespace chainchaos;
+
+int main() {
+  dataset::CorpusConfig config = bench::config_from_env();
+  if (std::getenv("CHAINCHAOS_DOMAINS") == nullptr) {
+    config.domain_count = 50000;  // scaling needs a corpus worth sharding
+  }
+  std::printf("[corpus] %zu synthetic domains, seed %llu\n",
+              config.domain_count,
+              static_cast<unsigned long long>(config.seed));
+  dataset::Corpus corpus(std::move(config));
+
+  chain::CompletenessOptions options;
+  options.store = &corpus.stores().union_store;
+  options.aia = &corpus.aia();
+  const chain::ComplianceAnalyzer analyzer(options);
+
+  const std::vector<unsigned> thread_counts = {1, 2, 4, 8};
+  std::string baseline_summary;
+  double baseline_elapsed = 0.0;
+
+  report::Table table("Engine scaling: §4 compliance sweep");
+  table.header({"threads", "elapsed", "records/sec", "speedup vs 1"});
+
+  bool deterministic = true;
+  for (const unsigned threads : thread_counts) {
+    chain::reset_issuance_cache();
+    engine::AnalysisRequest request;
+    request.records = &corpus.records();
+    request.shards.threads = threads;
+    request.analyzer = &analyzer;
+    const engine::AnalysisResult result = engine::run(request);
+
+    const std::string summary =
+        engine::summary_table(result.tally.compliance).render();
+    if (threads == thread_counts.front()) {
+      baseline_summary = summary;
+      baseline_elapsed = result.elapsed_seconds;
+    } else if (summary != baseline_summary) {
+      deterministic = false;
+      std::fprintf(stderr,
+                   "DETERMINISM FAILURE: %u-thread summary differs from "
+                   "%u-thread baseline\n",
+                   threads, thread_counts.front());
+    }
+
+    char elapsed[32], rps[32], speedup[32];
+    std::snprintf(elapsed, sizeof elapsed, "%.2fs", result.elapsed_seconds);
+    std::snprintf(rps, sizeof rps, "%.0f", result.records_per_second());
+    std::snprintf(speedup, sizeof speedup, "%.2fx",
+                  result.elapsed_seconds > 0.0
+                      ? baseline_elapsed / result.elapsed_seconds
+                      : 0.0);
+    table.row({std::to_string(threads), elapsed, rps, speedup});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf("\nhardware_concurrency: %u%s\n",
+              std::thread::hardware_concurrency(),
+              std::thread::hardware_concurrency() < 4
+                  ? " (speedups above are bounded by available cores)"
+                  : "");
+  std::printf("summaries across thread counts: %s\n",
+              deterministic ? "IDENTICAL (deterministic sharding)"
+                            : "DIVERGED");
+  std::fputs(baseline_summary.c_str(), stdout);
+  return deterministic ? 0 : 1;
+}

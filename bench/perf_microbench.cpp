@@ -1,13 +1,16 @@
 // Engineering microbenchmarks (google-benchmark): the costs behind the
 // measurement pipeline — signing/verification, DER parsing, topology
-// construction, issuance-cache effectiveness, and path building as a
-// function of chain length and candidate fan-out.
+// construction, issuance-cache effectiveness, path building as a
+// function of chain length and candidate fan-out, and the sharded
+// engine's corpus sweep at increasing thread counts.
 #include <benchmark/benchmark.h>
 
 #include "chain/issuance.hpp"
 #include "chain/topology.hpp"
 #include "clients/profiles.hpp"
 #include "crypto/rsa.hpp"
+#include "dataset/corpus.hpp"
+#include "engine/engine.hpp"
 #include "pathbuild/path_builder.hpp"
 #include "x509/builder.hpp"
 
@@ -164,6 +167,67 @@ void BM_PathBuildPerClient(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PathBuildPerClient)->DenseRange(0, 7);
+
+// --- Corpus sweeps on the sharded engine ----------------------------------
+
+dataset::Corpus& sweep_corpus() {
+  static dataset::Corpus* corpus = [] {
+    dataset::CorpusConfig config;
+    config.domain_count = 2000;
+    return new dataset::Corpus(std::move(config));
+  }();
+  return *corpus;
+}
+
+/// The full §4 compliance sweep through engine::run at state.range(0)
+/// worker threads. The issuance memo is reset each iteration so the
+/// measured work is the real signature-check load, not cache replay.
+void BM_EngineComplianceSweep(benchmark::State& state) {
+  dataset::Corpus& corpus = sweep_corpus();
+  chain::CompletenessOptions options;
+  options.store = &corpus.stores().union_store;
+  options.aia = &corpus.aia();
+  const chain::ComplianceAnalyzer analyzer(options);
+
+  for (auto _ : state) {
+    chain::reset_issuance_cache();
+    engine::AnalysisRequest request;
+    request.records = &corpus.records();
+    request.shards.threads = static_cast<unsigned>(state.range(0));
+    request.analyzer = &analyzer;
+    benchmark::DoNotOptimize(engine::run(request));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(corpus.size()));
+}
+BENCHMARK(BM_EngineComplianceSweep)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Same sweep with a warm issuance memo: what a re-analysis pass costs.
+void BM_EngineComplianceSweepCached(benchmark::State& state) {
+  dataset::Corpus& corpus = sweep_corpus();
+  chain::CompletenessOptions options;
+  options.store = &corpus.stores().union_store;
+  options.aia = &corpus.aia();
+  const chain::ComplianceAnalyzer analyzer(options);
+
+  engine::AnalysisRequest request;
+  request.records = &corpus.records();
+  request.shards.threads = static_cast<unsigned>(state.range(0));
+  request.analyzer = &analyzer;
+  engine::run(request);  // warm the memo
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine::run(request));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(corpus.size()));
+}
+BENCHMARK(BM_EngineComplianceSweepCached)
+    ->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -1,11 +1,12 @@
 // Regenerates Table 10: HTTP server software behind non-compliant
-// chains, bucketed by non-compliance type (paper Appendix B).
+// chains, bucketed by non-compliance type (paper Appendix B). One engine
+// sweep with per-server attribution tallies replaces the old hand-rolled
+// map-of-maps loop: every cell below is a field of a ComplianceTally.
 #include <cstdio>
-#include <map>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "chain/analyzer.hpp"
+#include "engine/engine.hpp"
 #include "report/table.hpp"
 
 using namespace chainchaos;
@@ -18,32 +19,35 @@ int main() {
   options.aia = &corpus->aia();
   const chain::ComplianceAnalyzer analyzer(options);
 
+  engine::AnalysisRequest request;
+  request.records = &corpus->records();
+  request.analyzer = &analyzer;
+  request.key_of = [](const dataset::DomainRecord& record) {
+    return record.observation.server_software;
+  };
+  const engine::AnalysisResult result = engine::run(request);
+
   const std::vector<std::string>& servers =
       dataset::CorpusConfig::server_names();
+
+  // Each Table 10 row is one tally field; compliant records contribute
+  // zero to every one of them (an order issue or incompleteness is what
+  // makes a record non-compliant in the first place).
+  const auto field_of = [](const engine::ComplianceTally& tally,
+                           const std::string& kind) -> std::uint64_t {
+    if (kind == "Overview") return tally.noncompliant;
+    if (kind == "Duplicate Certificates") return tally.duplicates;
+    if (kind == "Duplicate Leaf") return tally.duplicate_leaf;
+    if (kind == "Irrelevant Certificates") return tally.irrelevant;
+    if (kind == "Multiple Paths") return tally.multiple_paths;
+    if (kind == "Reversed Sequences") return tally.reversed;
+    if (kind == "Incomplete Chain") return tally.incomplete;
+    return 0;
+  };
   const std::vector<std::string> kinds = {
       "Overview",     "Duplicate Certificates", "Duplicate Leaf",
       "Irrelevant Certificates", "Multiple Paths", "Reversed Sequences",
       "Incomplete Chain"};
-
-  std::map<std::string, std::map<std::string, std::uint64_t>> counts;
-  std::map<std::string, std::uint64_t> totals;
-
-  for (const dataset::DomainRecord& record : corpus->records()) {
-    const chain::ComplianceReport report = analyzer.analyze(record.observation);
-    if (report.compliant()) continue;
-    const std::string& server = record.observation.server_software;
-    const auto tally = [&](const std::string& kind) {
-      ++counts[kind][server];
-      ++totals[kind];
-    };
-    tally("Overview");
-    if (report.order.has_duplicates) tally("Duplicate Certificates");
-    if (report.order.duplicate_leaf) tally("Duplicate Leaf");
-    if (report.order.has_irrelevant) tally("Irrelevant Certificates");
-    if (report.order.multiple_paths) tally("Multiple Paths");
-    if (report.order.reversed_sequence) tally("Reversed Sequences");
-    if (!report.completeness.complete()) tally("Incomplete Chain");
-  }
 
   report::Table table("Table 10: HTTP servers behind non-compliant chains");
   std::vector<std::string> header = {"Non-compliant type"};
@@ -51,12 +55,17 @@ int main() {
   header.push_back("Total");
   table.header(header);
 
+  const engine::ComplianceTally empty;
   for (const std::string& kind : kinds) {
+    const std::uint64_t kind_total = field_of(result.tally.compliance, kind);
     std::vector<std::string> row = {kind};
     for (const std::string& server : servers) {
-      row.push_back(report::count_pct(counts[kind][server], totals[kind]));
+      const auto it = result.tally.by_key.find(server);
+      const engine::ComplianceTally& tally =
+          it == result.tally.by_key.end() ? empty : it->second;
+      row.push_back(report::count_pct(field_of(tally, kind), kind_total));
     }
-    row.push_back(report::with_commas(totals[kind]));
+    row.push_back(report::with_commas(kind_total));
     table.row(row);
   }
   std::fputs(table.render().c_str(), stdout);

@@ -1,12 +1,11 @@
 // Regenerates Table 11: CAs/resellers behind non-compliant chains
 // (paper Appendix C), re-measured with the real analyzers over the
-// generated corpus.
+// generated corpus — one engine sweep attributed by CA name.
 #include <cstdio>
-#include <map>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "chain/analyzer.hpp"
+#include "engine/engine.hpp"
 #include "report/table.hpp"
 
 using namespace chainchaos;
@@ -19,30 +18,16 @@ int main() {
   options.aia = &corpus->aia();
   const chain::ComplianceAnalyzer analyzer(options);
 
-  struct PerCa {
-    std::uint64_t total = 0;
-    std::uint64_t noncompliant = 0;
-    std::uint64_t duplicates = 0;
-    std::uint64_t irrelevant = 0;
-    std::uint64_t multipath = 0;
-    std::uint64_t reversed = 0;
-    std::uint64_t incomplete = 0;
+  engine::AnalysisRequest request;
+  request.records = &corpus->records();
+  request.analyzer = &analyzer;
+  request.filter = [](const dataset::DomainRecord& record) {
+    return !record.exemplar;  // case studies skew per-CA rates
   };
-  std::map<std::string, PerCa> by_ca;
-
-  for (const dataset::DomainRecord& record : corpus->records()) {
-    if (record.exemplar) continue;
-    PerCa& ca = by_ca[record.observation.ca_name];
-    ++ca.total;
-    const chain::ComplianceReport report = analyzer.analyze(record.observation);
-    if (report.compliant()) continue;
-    ++ca.noncompliant;
-    ca.duplicates += report.order.has_duplicates;
-    ca.irrelevant += report.order.has_irrelevant;
-    ca.multipath += report.order.multiple_paths;
-    ca.reversed += report.order.reversed_sequence;
-    ca.incomplete += !report.completeness.complete();
-  }
+  request.key_of = [](const dataset::DomainRecord& record) {
+    return record.observation.ca_name;
+  };
+  const engine::AnalysisResult result = engine::run(request);
 
   report::Table table("Table 11: CAs/resellers behind non-compliant chains "
                       "(measured, % of that CA's domains)");
@@ -54,14 +39,14 @@ int main() {
       "GoGetSSL",      "TAIWAN-CA", "cyber_Folks S.A.", "Trustico",
       "Other CAs"};
   for (const std::string& name : order) {
-    const auto it = by_ca.find(name);
-    if (it == by_ca.end()) continue;
-    const PerCa& ca = it->second;
+    const auto it = result.tally.by_key.find(name);
+    if (it == result.tally.by_key.end()) continue;
+    const engine::ComplianceTally& ca = it->second;
     table.row({name, report::with_commas(ca.total),
                report::count_pct(ca.noncompliant, ca.total),
                report::count_pct(ca.duplicates, ca.total),
                report::count_pct(ca.irrelevant, ca.total),
-               report::count_pct(ca.multipath, ca.total),
+               report::count_pct(ca.multiple_paths, ca.total),
                report::count_pct(ca.reversed, ca.total),
                report::count_pct(ca.incomplete, ca.total)});
   }

@@ -1,10 +1,10 @@
 // Regenerates Table 5: chains with non-compliant issuance order
 // (paper: 16,952 domains = 1.9%; duplicates 35.2%, irrelevant 17.9%,
-// multiple paths 1.5%, reversed 50.5%).
+// multiple paths 1.5%, reversed 50.5%), measured on the sharded engine.
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "chain/order_analysis.hpp"
+#include "engine/engine.hpp"
 #include "report/table.hpp"
 
 using namespace chainchaos;
@@ -12,43 +12,33 @@ using namespace chainchaos;
 int main() {
   const auto corpus = bench::make_corpus();
 
-  std::uint64_t noncompliant = 0;
-  std::uint64_t duplicates = 0, dup_leaf = 0, dup_int = 0, dup_root = 0;
-  std::uint64_t irrelevant = 0, multipath = 0, reversed = 0;
-  std::uint64_t all_reversed = 0;
-  int max_dup = 0;
+  chain::CompletenessOptions options;
+  options.store = &corpus->stores().union_store;
+  options.aia = &corpus->aia();
+  const chain::ComplianceAnalyzer analyzer(options);
 
-  for (const dataset::DomainRecord& record : corpus->records()) {
-    const chain::Topology topo =
-        chain::Topology::build(record.observation.certificates);
-    const chain::OrderAnalysis analysis =
-        chain::analyze_order(record.observation.certificates, topo);
-    if (!analysis.any_order_issue()) continue;
-    ++noncompliant;
-    if (analysis.has_duplicates) {
-      ++duplicates;
-      dup_leaf += analysis.duplicate_leaf;
-      dup_int += analysis.duplicate_intermediate;
-      dup_root += analysis.duplicate_root;
-      max_dup = std::max(max_dup, analysis.max_duplicate_occurrences);
-    }
-    irrelevant += analysis.has_irrelevant;
-    multipath += analysis.multiple_paths;
-    reversed += analysis.reversed_sequence;
-    all_reversed += analysis.all_paths_reversed;
-  }
+  engine::AnalysisRequest request;
+  request.records = &corpus->records();
+  request.analyzer = &analyzer;
+  const engine::AnalysisResult result = engine::run(request);
+  const engine::ComplianceTally& tally = result.tally.compliance;
 
-  const std::uint64_t total = corpus->records().size();
+  const std::uint64_t noncompliant = tally.order_noncompliant;
+  const std::uint64_t total = tally.total;
 
   report::Table table("Table 5: Chains with non-compliant issuance order");
   table.header({"Type", "measured (% of non-compliant)", "paper"});
   table.row({"Duplicate Certificates",
-             report::count_pct(duplicates, noncompliant), "5,974 (35.2%)"});
+             report::count_pct(tally.duplicates, noncompliant),
+             "5,974 (35.2%)"});
   table.row({"Irrelevant Certificates",
-             report::count_pct(irrelevant, noncompliant), "3,032 (17.9%)"});
-  table.row({"Multiple Paths", report::count_pct(multipath, noncompliant),
+             report::count_pct(tally.irrelevant, noncompliant),
+             "3,032 (17.9%)"});
+  table.row({"Multiple Paths",
+             report::count_pct(tally.multiple_paths, noncompliant),
              "246 (1.5%)"});
-  table.row({"Reversed Sequences", report::count_pct(reversed, noncompliant),
+  table.row({"Reversed Sequences",
+             report::count_pct(tally.reversed, noncompliant),
              "8,566 (50.5%)"});
   table.row({"Total", report::with_commas(noncompliant),
              "16,952 (1.9% of corpus)"});
@@ -62,12 +52,13 @@ int main() {
   std::printf("duplicate breakdown: leaf %s, intermediate %s, root %s "
               "(paper 4,730 / 1,354 / 401); max copies of one cert: %d "
               "(paper 26, ns3-style chains reach 29 certs)\n",
-              report::with_commas(dup_leaf).c_str(),
-              report::with_commas(dup_int).c_str(),
-              report::with_commas(dup_root).c_str(), max_dup);
+              report::with_commas(tally.duplicate_leaf).c_str(),
+              report::with_commas(tally.duplicate_intermediate).c_str(),
+              report::with_commas(tally.duplicate_root).c_str(),
+              tally.max_duplicate_occurrences);
   std::printf("reversed chains where every path is reversed: %s "
               "(paper 8,370 of 8,566)\n",
-              report::with_commas(all_reversed).c_str());
+              report::with_commas(tally.all_paths_reversed).c_str());
 
   bench::print_paper_note(
       "Table 5",

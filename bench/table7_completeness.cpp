@@ -1,11 +1,11 @@
 // Regenerates Table 7 (+§4.3 details): completeness of certificate
 // chains (paper: 8.7% complete w/ root, 89.9% complete w/o root, 1.3%
 // incomplete; of the incomplete, 72.2% miss one cert and 94.5% are
-// AIA-repairable).
+// AIA-repairable), measured on the sharded engine.
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "chain/completeness.hpp"
+#include "engine/engine.hpp"
 #include "report/table.hpp"
 
 using namespace chainchaos;
@@ -16,39 +16,24 @@ int main() {
   chain::CompletenessOptions options;
   options.store = &corpus->stores().union_store;
   options.aia = &corpus->aia();
+  const chain::ComplianceAnalyzer analyzer(options);
 
-  std::uint64_t with_root = 0, without_root = 0, incomplete = 0;
-  std::uint64_t missing_one = 0, repairable = 0, no_aia = 0, unreachable = 0,
-                wrong_issuer = 0;
+  engine::AnalysisRequest request;
+  request.records = &corpus->records();
+  request.analyzer = &analyzer;
+  const engine::AnalysisResult result = engine::run(request);
+  const engine::ComplianceTally& tally = result.tally.compliance;
 
-  for (const dataset::DomainRecord& record : corpus->records()) {
-    const chain::Topology topo =
-        chain::Topology::build(record.observation.certificates);
-    const chain::CompletenessResult r =
-        chain::analyze_completeness(topo, options);
-    switch (r.category) {
-      case chain::Completeness::kCompleteWithRoot: ++with_root; break;
-      case chain::Completeness::kCompleteWithoutRoot: ++without_root; break;
-      case chain::Completeness::kIncomplete:
-        ++incomplete;
-        missing_one += r.missing_certificates == 1;
-        switch (r.aia_outcome) {
-          case chain::AiaOutcome::kCompleted: ++repairable; break;
-          case chain::AiaOutcome::kNoAiaField: ++no_aia; break;
-          case chain::AiaOutcome::kUnreachable: ++unreachable; break;
-          case chain::AiaOutcome::kWrongIssuer: ++wrong_issuer; break;
-          default: break;
-        }
-        break;
-    }
-  }
-  const std::uint64_t total = corpus->records().size();
+  const std::uint64_t total = tally.total;
+  const std::uint64_t incomplete = tally.incomplete;
 
   report::Table table("Table 7: Completeness of certificate chain");
   table.header({"Type", "measured", "paper"});
-  table.row({"Complete Chain w/ Root", report::count_pct(with_root, total),
+  table.row({"Complete Chain w/ Root",
+             report::count_pct(tally.complete_with_root, total),
              "79,144 (8.7%)"});
-  table.row({"Complete Chain w/o Root", report::count_pct(without_root, total),
+  table.row({"Complete Chain w/o Root",
+             report::count_pct(tally.complete_without_root, total),
              "815,105 (89.9%)"});
   table.row({"Incomplete Chain", report::count_pct(incomplete, total),
              "12,087 (1.3%)"});
@@ -57,18 +42,22 @@ int main() {
   report::Table detail("Incomplete-chain breakdown (§4.3)");
   detail.header({"Property", "measured", "paper"});
   detail.row({"missing exactly one certificate",
-              report::count_pct(missing_one, incomplete), "8,729 (72.2%)"});
+              report::count_pct(tally.missing_one, incomplete),
+              "8,729 (72.2%)"});
   detail.row({"repairable via recursive AIA",
-              report::count_pct(repairable, incomplete), "11,419 (94.5%)"});
-  detail.row({"AIA field missing", report::count_pct(no_aia, incomplete),
+              report::count_pct(tally.aia_completed, incomplete),
+              "11,419 (94.5%)"});
+  detail.row({"AIA field missing",
+              report::count_pct(tally.aia_no_field, incomplete),
               "579 (4.8%)"});
   detail.row({"AIA URI unreachable",
-              report::count_pct(unreachable, incomplete), "88 (0.7%)"});
+              report::count_pct(tally.aia_unreachable, incomplete),
+              "88 (0.7%)"});
   detail.row({"AIA serves wrong issuer",
-              report::count_pct(wrong_issuer, incomplete), "1"});
+              report::count_pct(tally.aia_wrong_issuer, incomplete), "1"});
   std::printf("\n%s", detail.render().c_str());
 
-  const net::FetchStats& stats = corpus->aia().stats();
+  const net::FetchStats stats = corpus->aia().stats();
   std::printf("\nAIA traffic during analysis: %llu fetches, %llu failed, "
               "%llu KiB served, %.1f simulated seconds of HTTP latency\n",
               static_cast<unsigned long long>(stats.attempts),

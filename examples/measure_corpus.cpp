@@ -1,57 +1,34 @@
 // measure_corpus: the paper's entire §3.1 server-side measurement
 // pipeline as one command — generate (or load) a corpus, run every
-// analyzer, and print the §4 summary ("2.9% of Top 1M domains deploy
-// non-compliant chains"). With --export it also writes the corpus as a
-// PEM bundle that external tools (or a later run) can consume.
+// analyzer on the sharded engine, and print the §4 summary ("2.9% of
+// Top 1M domains deploy non-compliant chains"). With --export it also
+// writes the corpus as a PEM bundle that external tools (or a later
+// run) can consume.
 //
-// Usage:  measure_corpus [--domains N] [--seed S] [--export corpus.pem]
-//         measure_corpus --import corpus.pem
+// Usage:  measure_corpus [--domains N] [--seed S] [--threads T]
+//                        [--export corpus.pem]
+//         measure_corpus --import corpus.pem [--threads T]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 
 #include "chain/analyzer.hpp"
 #include "dataset/serialize.hpp"
+#include "engine/engine.hpp"
 #include "report/table.hpp"
 
 using namespace chainchaos;
 
 namespace {
 
-struct Tally {
-  std::uint64_t total = 0;
-  std::uint64_t order_noncompliant = 0;
-  std::uint64_t incomplete = 0;
-  std::uint64_t noncompliant = 0;
-  std::uint64_t leaf_placed = 0;
-};
-
-void account(const chain::ComplianceReport& report, Tally& tally) {
-  ++tally.total;
-  tally.leaf_placed += report.leaf_placed_correctly();
-  const bool order_issue = report.order.any_order_issue();
-  const bool incomplete = !report.completeness.complete();
-  tally.order_noncompliant += order_issue;
-  tally.incomplete += incomplete;
-  tally.noncompliant += order_issue || incomplete;
-}
-
-void print_summary(const Tally& tally) {
-  report::Table table("Server-side evaluation summary (paper §4)");
-  table.header({"Metric", "measured", "paper"});
-  table.row({"domains analyzed", report::with_commas(tally.total), "906,336"});
-  table.row({"leaf correctly placed first",
-             report::count_pct(tally.leaf_placed, tally.total), "99.4%"});
-  table.row({"issuance-order non-compliant",
-             report::count_pct(tally.order_noncompliant, tally.total),
-             "16,952 (1.9%)"});
-  table.row({"missing intermediates",
-             report::count_pct(tally.incomplete, tally.total),
-             "12,087 (1.3%)"});
-  table.row({"non-compliant overall",
-             report::count_pct(tally.noncompliant, tally.total),
-             "26,361 (2.9%)"});
-  std::fputs(table.render().c_str(), stdout);
+void print_result(const engine::AnalysisResult& result) {
+  std::fputs(engine::summary_table(result.tally.compliance).render().c_str(),
+             stdout);
+  std::printf("\nengine: %zu records over %zu shards on %u threads in "
+              "%.2fs (%.0f records/sec)\n",
+              result.records_processed, result.shard_count,
+              result.threads_used, result.elapsed_seconds,
+              result.records_per_second());
 }
 
 }  // namespace
@@ -59,6 +36,7 @@ void print_summary(const Tally& tally) {
 int main(int argc, char** argv) {
   std::size_t domains = 20000;
   std::uint64_t seed = 833;
+  unsigned threads = 0;  // engine default: hardware_concurrency
   const char* export_path = nullptr;
   const char* import_path = nullptr;
   for (int i = 1; i < argc; ++i) {
@@ -66,14 +44,16 @@ int main(int argc, char** argv) {
       domains = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (!std::strcmp(argv[i], "--export") && i + 1 < argc) {
       export_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--import") && i + 1 < argc) {
       import_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--domains N] [--seed S] [--export FILE] "
-                   "[--import FILE]\n",
+                   "usage: %s [--domains N] [--seed S] [--threads T] "
+                   "[--export FILE] [--import FILE]\n",
                    argv[0]);
       return 1;
     }
@@ -101,14 +81,25 @@ int main(int argc, char** argv) {
     options.store = &store;
     options.aia_enabled = false;
     const chain::ComplianceAnalyzer analyzer(options);
-    Tally tally;
-    for (const auto& record : imported.value()) {
-      chain::ChainObservation obs;
-      obs.domain = record.domain;
-      obs.certificates = record.certificates;
-      account(analyzer.analyze(obs), tally);
+
+    // The importer yields bare observations; wrap them as records so the
+    // engine can traverse them like any corpus.
+    std::vector<dataset::DomainRecord> records;
+    records.reserve(imported.value().size());
+    for (auto& record : imported.value()) {
+      dataset::DomainRecord wrapped;
+      wrapped.observation.domain = record.domain;
+      wrapped.observation.certificates = record.certificates;
+      wrapped.observation.server_software = record.server_software;
+      wrapped.observation.ca_name = record.ca_name;
+      records.push_back(std::move(wrapped));
     }
-    print_summary(tally);
+
+    engine::AnalysisRequest request;
+    request.records = &records;
+    request.shards.threads = threads;
+    request.analyzer = &analyzer;
+    print_result(engine::run(request));
     return 0;
   }
 
@@ -124,11 +115,11 @@ int main(int argc, char** argv) {
   options.aia = &corpus.aia();
   const chain::ComplianceAnalyzer analyzer(options);
 
-  Tally tally;
-  for (const dataset::DomainRecord& record : corpus.records()) {
-    account(analyzer.analyze(record.observation), tally);
-  }
-  print_summary(tally);
+  engine::AnalysisRequest request;
+  request.records = &corpus.records();
+  request.shards.threads = threads;
+  request.analyzer = &analyzer;
+  print_result(engine::run(request));
 
   if (export_path != nullptr) {
     if (!dataset::export_corpus_to_file(corpus, export_path)) {

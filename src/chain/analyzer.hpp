@@ -44,6 +44,16 @@ struct ComplianceReport {
   }
 };
 
+/// Thread safety: analyze() is const and safe to call concurrently from
+/// any number of threads on one shared analyzer — this is what the
+/// sharded engine (src/engine/) relies on. The audit trail:
+///   * CompletenessOptions is copied at construction and never mutated;
+///   * options_.store (RootStore) is only read through const lookups —
+///     it must not be mutated during a sweep (corpus stores never are);
+///   * options_.aia (AiaRepository) is mutated by fetches but internally
+///     synchronized (net/aia_repository.hpp);
+///   * the process-wide issuance memo behind Topology/completeness is
+///     mutex-striped (chain/issuance.cpp).
 class ComplianceAnalyzer {
  public:
   explicit ComplianceAnalyzer(CompletenessOptions options)

@@ -1,5 +1,7 @@
 #include "chain/issuance.hpp"
 
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -31,9 +33,23 @@ bool plausibly_issued_by(const x509::Certificate& subject,
 
 namespace {
 
-struct Cache {
+// The memo is shared by every thread of the sharded analysis engine, so
+// it is striped: each (subject, issuer) pair maps to one of 64 shards by
+// fingerprint hash, and only that shard's mutex is taken. Contention is
+// negligible (64 stripes vs. a handful of workers) and a hit costs one
+// uncontended lock plus a hash lookup. Stats are plain atomics.
+constexpr std::size_t kShardCount = 64;
+
+struct CacheShard {
+  std::mutex mutex;
   std::unordered_map<std::string, bool> results;
-  IssuanceCacheStats stats;
+};
+
+struct Cache {
+  CacheShard shards[kShardCount];
+  std::atomic<std::uint64_t> lookups{0};
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> signature_checks{0};
 };
 
 Cache& cache() {
@@ -59,26 +75,48 @@ bool issued_by(const x509::Certificate& subject,
   if (!plausibly_issued_by(subject, issuer)) return false;
 
   Cache& c = cache();
-  ++c.stats.lookups;
+  c.lookups.fetch_add(1, std::memory_order_relaxed);
   const std::string key = pair_key(subject, issuer);
-  const auto it = c.results.find(key);
-  if (it != c.results.end()) {
-    ++c.stats.hits;
-    return it->second;
+  CacheShard& shard =
+      c.shards[std::hash<std::string>{}(key) % kShardCount];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.results.find(key);
+    if (it != shard.results.end()) {
+      c.hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
-  ++c.stats.signature_checks;
+  // Verify outside the lock: signature checks dominate the cost and must
+  // not serialize the worker pool. Concurrent verifiers of the same pair
+  // do redundant work once, then agree on the (deterministic) result.
+  c.signature_checks.fetch_add(1, std::memory_order_relaxed);
   const bool verified = subject.verify_signed_by(issuer.public_key);
-  c.results.emplace(key, verified);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.results.emplace(key, verified);
+  }
   return verified;
 }
 
-const IssuanceCacheStats& issuance_cache_stats() {
-  return cache().stats;
+IssuanceCacheStats issuance_cache_stats() {
+  const Cache& c = cache();
+  IssuanceCacheStats stats;
+  stats.lookups = c.lookups.load(std::memory_order_relaxed);
+  stats.hits = c.hits.load(std::memory_order_relaxed);
+  stats.signature_checks = c.signature_checks.load(std::memory_order_relaxed);
+  return stats;
 }
 
 void reset_issuance_cache() {
-  cache().results.clear();
-  cache().stats = IssuanceCacheStats{};
+  Cache& c = cache();
+  for (CacheShard& shard : c.shards) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.results.clear();
+  }
+  c.lookups.store(0, std::memory_order_relaxed);
+  c.hits.store(0, std::memory_order_relaxed);
+  c.signature_checks.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace chainchaos::chain

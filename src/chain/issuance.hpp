@@ -52,7 +52,10 @@ struct IssuanceCacheStats {
   std::uint64_t signature_checks = 0;
 };
 
-const IssuanceCacheStats& issuance_cache_stats();
+/// Snapshot of the process-wide memo counters. The memo itself is
+/// mutex-striped and safe to hit from any number of analysis threads;
+/// see issuance.cpp. reset_issuance_cache() must not race a sweep.
+IssuanceCacheStats issuance_cache_stats();
 void reset_issuance_cache();
 
 }  // namespace chainchaos::chain

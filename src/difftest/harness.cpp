@@ -37,54 +37,68 @@ void DifferentialHarness::seed_intermediate_caches() {
   }
 }
 
-std::vector<DomainDiff> DifferentialHarness::run() {
-  std::vector<DomainDiff> out;
-  out.reserve(corpus_.records().size());
+DomainDiff DifferentialHarness::diff_one(
+    const dataset::DomainRecord& record, std::size_t index,
+    const std::vector<PathBuilder>& builders) const {
+  DomainDiff diff;
+  diff.record_index = index;
+  diff.statuses.reserve(profiles_.size());
 
-  // Builders are constructed once; per-client caches persist across
-  // domains (that persistence *is* the Firefox model).
+  std::vector<BuildResult> results;
+  results.reserve(profiles_.size());
+  for (std::size_t p = 0; p < profiles_.size(); ++p) {
+    results.push_back(builders[p].build(record.observation.certificates,
+                                        record.observation.domain));
+    diff.statuses.push_back(results.back().status);
+  }
+
+  bool browsers_ok = true, browsers_fail = true;
+  bool libraries_ok = true, libraries_fail = true;
+  for (std::size_t p = 0; p < profiles_.size(); ++p) {
+    const bool ok = results[p].ok();
+    if (profiles_[p].is_browser) {
+      browsers_ok &= ok;
+      browsers_fail &= !ok;
+    } else {
+      libraries_ok &= ok;
+      libraries_fail &= !ok;
+    }
+  }
+  diff.all_browsers_ok = browsers_ok;
+  diff.all_libraries_ok = libraries_ok;
+  diff.browsers_disagree = !browsers_ok && !browsers_fail;
+  diff.libraries_disagree = !libraries_ok && !libraries_fail;
+  if (diff.browsers_disagree || diff.libraries_disagree) {
+    diff.finding = classify(record, results);
+  }
+  return diff;
+}
+
+std::vector<DomainDiff> DifferentialHarness::run(
+    const engine::ShardOptions& shards) {
+  const std::vector<dataset::DomainRecord>& records = corpus_.records();
+  std::vector<DomainDiff> out(records.size());
+
+  // One set of builders serves every worker. The per-client caches that
+  // persist across domains (the Firefox model) are whatever
+  // seed_intermediate_caches() put there; during the sweep they are
+  // frozen — cache learning is off — so each domain's verdicts depend
+  // only on that seeded state, never on traversal order.
   std::vector<PathBuilder> builders;
   builders.reserve(profiles_.size());
   for (std::size_t p = 0; p < profiles_.size(); ++p) {
     builders.emplace_back(profiles_[p].policy, &corpus_.stores().union_store,
                           &corpus_.aia(), &caches_[p]);
+    builders.back().set_cache_learning(false);
   }
 
-  for (std::size_t i = 0; i < corpus_.records().size(); ++i) {
-    const dataset::DomainRecord& record = corpus_.records()[i];
-    DomainDiff diff;
-    diff.record_index = i;
-    diff.statuses.reserve(profiles_.size());
-
-    std::vector<BuildResult> results;
-    results.reserve(profiles_.size());
-    for (std::size_t p = 0; p < profiles_.size(); ++p) {
-      results.push_back(builders[p].build(record.observation.certificates,
-                                          record.observation.domain));
-      diff.statuses.push_back(results.back().status);
-    }
-
-    bool browsers_ok = true, browsers_fail = true;
-    bool libraries_ok = true, libraries_fail = true;
-    for (std::size_t p = 0; p < profiles_.size(); ++p) {
-      const bool ok = results[p].ok();
-      if (profiles_[p].is_browser) {
-        browsers_ok &= ok;
-        browsers_fail &= !ok;
-      } else {
-        libraries_ok &= ok;
-        libraries_fail &= !ok;
-      }
-    }
-    diff.all_browsers_ok = browsers_ok;
-    diff.all_libraries_ok = libraries_ok;
-    diff.browsers_disagree = !browsers_ok && !browsers_fail;
-    diff.libraries_disagree = !libraries_ok && !libraries_fail;
-    if (diff.browsers_disagree || diff.libraries_disagree) {
-      diff.finding = classify(record, results);
-    }
-    out.push_back(std::move(diff));
-  }
+  engine::for_each_shard(
+      records.size(), shards,
+      [&](std::size_t first, std::size_t last, unsigned /*worker*/) {
+        for (std::size_t i = first; i < last; ++i) {
+          out[i] = diff_one(records[i], i, builders);
+        }
+      });
   return out;
 }
 

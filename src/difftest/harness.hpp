@@ -18,6 +18,7 @@
 
 #include "clients/profiles.hpp"
 #include "dataset/corpus.hpp"
+#include "engine/engine.hpp"
 #include "pathbuild/path_builder.hpp"
 
 namespace chainchaos::difftest {
@@ -78,8 +79,14 @@ class DifferentialHarness {
   /// compliant chain once — the stand-in for browsing history.
   void seed_intermediate_caches();
 
-  /// Runs the full differential sweep.
-  std::vector<DomainDiff> run();
+  /// Runs the full differential sweep on the sharded engine: each domain
+  /// is independent (embarrassingly parallel), so records are sharded
+  /// over the worker pool and each diff is written at its record index.
+  /// During the sweep the seeded intermediate caches are read-only
+  /// snapshots (builders run with cache learning disabled), which makes
+  /// the result a pure per-record function — byte-identical for any
+  /// `shards.threads`, and identical to a sequential walk.
+  std::vector<DomainDiff> run(const engine::ShardOptions& shards = {});
 
   /// Aggregates a sweep into the paper's summary statistics. Compliance
   /// of each domain is taken from the generator's ground-truth labels.
@@ -97,6 +104,10 @@ class DifferentialHarness {
  private:
   Finding classify(const dataset::DomainRecord& record,
                    const std::vector<pathbuild::BuildResult>& results) const;
+
+  /// Runs all profiles over one record (pure; safe from any worker).
+  DomainDiff diff_one(const dataset::DomainRecord& record, std::size_t index,
+                      const std::vector<pathbuild::PathBuilder>& builders) const;
 
   dataset::Corpus& corpus_;
   std::vector<clients::ClientProfile> profiles_;

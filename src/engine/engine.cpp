@@ -1,0 +1,121 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace chainchaos::engine {
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+std::size_t resolve_shard_size(std::size_t count, unsigned threads,
+                               std::size_t requested) {
+  if (requested > 0) return requested;
+  // Several shards per worker so the stealing cursor can balance uneven
+  // per-record costs, but shards big enough to amortize the cursor
+  // traffic.
+  const std::size_t target_shards = static_cast<std::size_t>(threads) * 8;
+  return std::clamp<std::size_t>(count / std::max<std::size_t>(target_shards, 1),
+                                 1, 4096);
+}
+
+void for_each_shard(std::size_t count, const ShardOptions& options,
+                    const std::function<void(std::size_t, std::size_t,
+                                             unsigned)>& shard_fn) {
+  if (count == 0) return;
+  const unsigned threads = resolve_threads(options.threads);
+  const std::size_t shard = resolve_shard_size(count, threads,
+                                               options.shard_size);
+  const std::size_t shards = (count + shard - 1) / shard;
+
+  std::atomic<std::size_t> cursor{0};
+  const auto worker_loop = [&](unsigned worker) {
+    for (;;) {
+      const std::size_t s = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (s >= shards) return;
+      const std::size_t first = s * shard;
+      const std::size_t last = std::min(first + shard, count);
+      shard_fn(first, last, worker);
+    }
+  };
+
+  if (threads <= 1 || shards <= 1) {
+    worker_loop(0);
+    return;
+  }
+  std::vector<std::thread> pool;
+  const unsigned spawned = static_cast<unsigned>(
+      std::min<std::size_t>(threads - 1, shards - 1));
+  pool.reserve(spawned);
+  for (unsigned w = 1; w <= spawned; ++w) {
+    pool.emplace_back(worker_loop, w);
+  }
+  worker_loop(0);  // the calling thread is worker 0
+  for (std::thread& t : pool) t.join();
+}
+
+AnalysisResult run(const AnalysisRequest& request) {
+  AnalysisResult result;
+  if (request.records == nullptr) return result;
+  const std::vector<dataset::DomainRecord>& records = *request.records;
+
+  const unsigned threads = resolve_threads(request.shards.threads);
+  result.threads_used = threads;
+  if (!records.empty()) {
+    const std::size_t shard = resolve_shard_size(records.size(), threads,
+                                                 request.shards.shard_size);
+    result.shard_count = (records.size() + shard - 1) / shard;
+  }
+
+  struct WorkerState {
+    ShardTally tally;
+    std::size_t processed = 0;
+    std::size_t skipped = 0;
+  };
+  std::vector<WorkerState> workers(threads);
+
+  const auto start = std::chrono::steady_clock::now();
+  for_each_shard(
+      records.size(), request.shards,
+      [&](std::size_t first, std::size_t last, unsigned worker) {
+        WorkerState& state = workers[worker];
+        for (std::size_t i = first; i < last; ++i) {
+          const dataset::DomainRecord& record = records[i];
+          if (request.filter && !request.filter(record)) {
+            ++state.skipped;
+            continue;
+          }
+          ++state.processed;
+          chain::ComplianceReport report;
+          const chain::ComplianceReport* report_ptr = nullptr;
+          if (request.analyzer != nullptr) {
+            report = request.analyzer->analyze(record.observation);
+            report_ptr = &report;
+            state.tally.compliance.account(report);
+            if (request.key_of) {
+              state.tally.by_key[request.key_of(record)].account(report);
+            }
+          }
+          if (request.per_record) {
+            request.per_record(record, i, report_ptr, state.tally);
+          }
+        }
+      });
+  const auto stop = std::chrono::steady_clock::now();
+  result.elapsed_seconds =
+      std::chrono::duration<double>(stop - start).count();
+
+  for (const WorkerState& state : workers) {
+    result.tally.merge(state.tally);
+    result.records_processed += state.processed;
+    result.records_skipped += state.skipped;
+  }
+  return result;
+}
+
+}  // namespace chainchaos::engine

@@ -1,0 +1,111 @@
+// The sharded batch-analysis engine: corpus traversal, end to end.
+//
+// The paper's server-side pipeline (§4) analyzes ~1M domains per scan;
+// walking that single-threaded leaves every core but one idle. The
+// engine owns the traversal instead: the record range is cut into
+// contiguous shards, a fixed pool of workers (`std::thread`, default
+// hardware_concurrency) pulls shards from a shared atomic cursor
+// (work-stealing — fast workers drain the queue, no static partition
+// imbalance), and each worker accounts into its own ShardTally. After
+// the sweep the per-worker tallies are merged. Because tallies are
+// commutative sums and every per-record computation is a pure function
+// of the record (see the thread-safety notes on ComplianceAnalyzer and
+// PathBuilder), results are byte-identical regardless of thread count
+// or shard boundaries.
+//
+// Three consumers share this one entry point:
+//   * compliance sweeps   — AnalysisRequest::analyzer (measure_corpus,
+//                           bench/table3/5/7),
+//   * attribution tallies — AnalysisRequest::key_of (bench/table10/11),
+//   * differential sweeps — difftest::DifferentialHarness::run, which
+//                           rides for_each_shard directly (its output is
+//                           one DomainDiff per record, written by index).
+// Anything else hooks in via the per_record callback.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "dataset/corpus.hpp"
+#include "engine/tally.hpp"
+
+namespace chainchaos::engine {
+
+/// Worker-pool shape shared by every engine entry point.
+struct ShardOptions {
+  unsigned threads = 0;        ///< 0 = std::thread::hardware_concurrency
+  std::size_t shard_size = 0;  ///< records per work unit; 0 = auto
+};
+
+/// Resolves a requested thread count (0 -> hardware_concurrency, at
+/// least 1).
+unsigned resolve_threads(unsigned requested);
+
+/// The shard size the pool will actually use for `count` records (auto
+/// mode aims for several shards per worker so stealing can balance).
+std::size_t resolve_shard_size(std::size_t count, unsigned threads,
+                               std::size_t requested);
+
+/// Low-level sharded parallel-for over [0, count). `shard_fn(first,
+/// last, worker)` is invoked once per shard with the half-open record
+/// range and the index (< threads) of the worker running it; workers
+/// steal shards from a shared cursor until the range is drained. Blocks
+/// until every shard completed. `shard_fn` must be safe to call
+/// concurrently from different workers on disjoint ranges.
+void for_each_shard(std::size_t count, const ShardOptions& options,
+                    const std::function<void(std::size_t first,
+                                             std::size_t last,
+                                             unsigned worker)>& shard_fn);
+
+/// One batch-analysis job over a record range.
+struct AnalysisRequest {
+  /// The records to analyze (required; must outlive the run).
+  const std::vector<dataset::DomainRecord>* records = nullptr;
+
+  ShardOptions shards;
+
+  /// When set, every record is run through the analyzer and accounted
+  /// into ShardTally::compliance. The analyzer's analyze() is const and
+  /// concurrency-safe (see chain/analyzer.hpp).
+  const chain::ComplianceAnalyzer* analyzer = nullptr;
+
+  /// Optional record filter: return false to skip (e.g. exemplars).
+  std::function<bool(const dataset::DomainRecord&)> filter;
+
+  /// Optional attribution key (server software, CA name, ...): each
+  /// analyzed record is additionally accounted into
+  /// ShardTally::by_key[key_of(record)]. Requires `analyzer`.
+  std::function<std::string(const dataset::DomainRecord&)> key_of;
+
+  /// Optional custom per-record hook. `report` is non-null iff
+  /// `analyzer` is set. The callback must only touch `tally` (its
+  /// worker's private accumulator) and its own captured thread-safe
+  /// state; it runs concurrently across workers.
+  std::function<void(const dataset::DomainRecord& record, std::size_t index,
+                     const chain::ComplianceReport* report,
+                     ShardTally& tally)>
+      per_record;
+};
+
+struct AnalysisResult {
+  ShardTally tally;  ///< merged over all workers
+
+  std::size_t records_processed = 0;  ///< passed the filter
+  std::size_t records_skipped = 0;
+  unsigned threads_used = 0;
+  std::size_t shard_count = 0;
+  double elapsed_seconds = 0.0;
+
+  double records_per_second() const {
+    return elapsed_seconds > 0.0
+               ? static_cast<double>(records_processed) / elapsed_seconds
+               : 0.0;
+  }
+};
+
+/// Runs the job: shards the record range over the worker pool, accounts
+/// per-worker, merges. Deterministic for any thread count.
+AnalysisResult run(const AnalysisRequest& request);
+
+}  // namespace chainchaos::engine

@@ -1,0 +1,89 @@
+// ComplianceTally / ShardTally: the engine's mergeable accumulators.
+//
+// Every corpus sweep used to carry its own ad-hoc counter struct
+// (examples/measure_corpus.cpp, bench/table*_*.cpp each re-implemented
+// "iterate records -> analyze -> tally"). The engine replaces those with
+// one tally that records the full §4 taxonomy — leaf placement (Table 3),
+// issuance order (Table 5), completeness and AIA repair (Table 7/§4.3),
+// and the headline compliance verdict — so any consumer can render any
+// table from the same sweep.
+//
+// Tallies are pure sums: merge() is commutative and associative, which is
+// what makes the sharded engine deterministic regardless of thread count
+// or shard boundaries (see engine.hpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "chain/analyzer.hpp"
+#include "report/table.hpp"
+
+namespace chainchaos::engine {
+
+struct ComplianceTally {
+  std::uint64_t total = 0;
+
+  // Headline verdict (§4 summary).
+  std::uint64_t leaf_placed = 0;         ///< leaf first (matched or not)
+  std::uint64_t order_noncompliant = 0;  ///< any Table 5 issue
+  std::uint64_t incomplete = 0;          ///< missing intermediates
+  std::uint64_t noncompliant = 0;        ///< order issue OR incomplete
+
+  // Table 3: leaf placement classes, indexed by chain::LeafPlacement.
+  std::array<std::uint64_t, 5> leaf_placement{};
+
+  // Table 5: issuance-order taxonomy (categories overlap).
+  std::uint64_t duplicates = 0;
+  std::uint64_t duplicate_leaf = 0;
+  std::uint64_t duplicate_intermediate = 0;
+  std::uint64_t duplicate_root = 0;
+  int max_duplicate_occurrences = 0;  ///< merged with max()
+  std::uint64_t irrelevant = 0;
+  std::uint64_t multiple_paths = 0;
+  std::uint64_t reversed = 0;
+  std::uint64_t all_paths_reversed = 0;
+
+  // Table 7 + §4.3: completeness and the AIA repair probe.
+  std::uint64_t complete_with_root = 0;
+  std::uint64_t complete_without_root = 0;
+  std::uint64_t missing_one = 0;  ///< incomplete missing exactly one cert
+  std::uint64_t aia_completed = 0;
+  std::uint64_t aia_no_field = 0;
+  std::uint64_t aia_unreachable = 0;
+  std::uint64_t aia_wrong_issuer = 0;
+
+  /// Folds one per-domain report into the tally.
+  void account(const chain::ComplianceReport& report);
+
+  /// Adds another tally (commutative, associative; identity = {}).
+  void merge(const ComplianceTally& other);
+
+  std::uint64_t count(chain::LeafPlacement placement) const {
+    return leaf_placement[static_cast<std::size_t>(placement)];
+  }
+
+  bool operator==(const ComplianceTally&) const = default;
+};
+
+/// Per-worker accumulator for an engine sweep: the corpus-wide tally plus
+/// optional per-key attribution tallies (Table 10 keys on server
+/// software, Table 11 on CA name). Workers each own one ShardTally; the
+/// engine merges them after the sweep, so no locks are taken on the
+/// accounting hot path.
+struct ShardTally {
+  ComplianceTally compliance;
+  std::map<std::string, ComplianceTally> by_key;
+
+  void merge(const ShardTally& other);
+
+  bool operator==(const ShardTally&) const = default;
+};
+
+/// The §4 summary table measure_corpus prints ("2.9% of Top 1M domains
+/// deploy non-compliant chains"), rendered straight from a tally.
+report::Table summary_table(const ComplianceTally& tally);
+
+}  // namespace chainchaos::engine

@@ -5,14 +5,21 @@
 namespace chainchaos::net {
 
 void AiaRepository::publish(const std::string& uri, x509::CertPtr cert) {
+  std::lock_guard<std::mutex> lock(mutex_);
   entries_[uri] = Entry{std::move(cert), false};
 }
 
 void AiaRepository::mark_unreachable(const std::string& uri) {
+  std::lock_guard<std::mutex> lock(mutex_);
   entries_[uri].unreachable = true;
 }
 
 Result<x509::CertPtr> AiaRepository::fetch(const std::string& uri) {
+  // One lock for the whole round-trip keeps the entry lookup and the
+  // counters consistent; fetches are rare (incomplete chains only), so
+  // the serialization is invisible next to the signature-check work the
+  // engine's threads spend their time on.
+  std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.attempts;
   stats_.simulated_latency_ms += latency_ms_;
 
@@ -70,8 +77,24 @@ Result<x509::CertPtr> AiaRepository::fetch(const std::string& uri) {
 }
 
 bool AiaRepository::reachable(const std::string& uri) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(uri);
   return it != entries_.end() && !it->second.unreachable && it->second.cert;
+}
+
+FetchStats AiaRepository::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void AiaRepository::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.reset();
+}
+
+std::size_t AiaRepository::published_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
 }
 
 }  // namespace chainchaos::net

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "support/result.hpp"
@@ -49,16 +50,20 @@ class AiaRepository {
   /// Makes `uri` fail every fetch (connection refused / timeout).
   void mark_unreachable(const std::string& uri);
 
-  /// Fetches the certificate at `uri`, updating statistics.
+  /// Fetches the certificate at `uri`, updating statistics. Safe to call
+  /// concurrently from any number of analysis threads (the repository is
+  /// internally synchronized; the parallel engine shares one repository
+  /// across its whole worker pool).
   Result<x509::CertPtr> fetch(const std::string& uri);
 
   /// True if the URI has a live (reachable) certificate.
   bool reachable(const std::string& uri) const;
 
-  const FetchStats& stats() const { return stats_; }
-  void reset_stats() { stats_.reset(); }
+  /// Snapshot of the fetch counters (consistent even mid-sweep).
+  FetchStats stats() const;
+  void reset_stats();
 
-  std::size_t published_count() const { return entries_.size(); }
+  std::size_t published_count() const;
 
  private:
   struct Entry {
@@ -66,6 +71,7 @@ class AiaRepository {
     bool unreachable = false;
   };
 
+  mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;
   FetchStats stats_;
   std::uint64_t latency_ms_;

@@ -372,9 +372,10 @@ BuildResult PathBuilder::build(const std::vector<x509::CertPtr>& server_list,
   result.status = validate(result.path, hostname);
 
   // Successful validation feeds the intermediate cache (how Firefox's
-  // cache gets populated in the first place).
+  // cache gets populated in the first place) — unless learning is off
+  // and the cache is being treated as a read-only snapshot.
   if (result.status == BuildStatus::kOk && cache_ != nullptr &&
-      policy_.intermediate_cache) {
+      policy_.intermediate_cache && cache_learning_) {
     cache_->remember_chain(result.path);
   }
   return result;

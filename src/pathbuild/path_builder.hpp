@@ -76,8 +76,21 @@ class PathBuilder {
 
   /// Builds and validates a path for the server-provided list.
   /// `hostname` may be empty to skip name checking.
+  ///
+  /// Thread safety: build() is a pure function of its inputs and the
+  /// builder's (immutable) configuration, EXCEPT that a successful
+  /// validation feeds the intermediate cache when the policy caches.
+  /// Disable that with set_cache_learning(false) and one builder may be
+  /// shared by any number of threads (the AIA repository and the
+  /// process-wide issuance memo are internally synchronized).
   BuildResult build(const std::vector<x509::CertPtr>& server_list,
                     const std::string& hostname = {}) const;
+
+  /// When disabled, successful builds no longer remember their path in
+  /// the intermediate cache: the cache becomes a read-only snapshot, so
+  /// per-record results stop depending on traversal order. The parallel
+  /// engine's differential sweep runs in this mode.
+  void set_cache_learning(bool learn) { cache_learning_ = learn; }
 
   const BuildPolicy& policy() const { return policy_; }
 
@@ -108,6 +121,7 @@ class PathBuilder {
   const truststore::RootStore* store_;
   net::AiaRepository* aia_;
   IntermediateCache* cache_;
+  bool cache_learning_ = true;
 };
 
 }  // namespace chainchaos::pathbuild

@@ -56,10 +56,12 @@ std::string Table::render() const {
 }
 
 std::string pct(double numerator, double denominator) {
+  // An empty population has no rate — "0.0%" would silently misreport
+  // e.g. `measure_corpus --domains 0` or an attribution bucket no record
+  // fell into.
+  if (denominator == 0.0) return "n/a";
   char buf[32];
-  const double value =
-      denominator == 0.0 ? 0.0 : 100.0 * numerator / denominator;
-  std::snprintf(buf, sizeof buf, "%.1f%%", value);
+  std::snprintf(buf, sizeof buf, "%.1f%%", 100.0 * numerator / denominator);
   return buf;
 }
 

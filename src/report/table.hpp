@@ -25,9 +25,10 @@ class Table {
 };
 
 /// "1234 (12.3%)" — the paper's count-with-share cell format.
+/// Zero-total cells render as "0 (n/a)".
 std::string count_pct(std::uint64_t count, std::uint64_t total);
 
-/// "12.3%" with one decimal.
+/// "12.3%" with one decimal; "n/a" when the denominator is zero.
 std::string pct(double numerator, double denominator);
 
 /// Integer with thousands separators ("12,087").

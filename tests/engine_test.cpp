@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "difftest/harness.hpp"
+#include "engine/engine.hpp"
+
+namespace chainchaos::engine {
+namespace {
+
+// --- Shard plumbing -------------------------------------------------------
+
+TEST(ShardingTest, ResolveThreadsHonorsRequestAndNeverReturnsZero) {
+  EXPECT_EQ(resolve_threads(3), 3u);
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_GE(resolve_threads(0), 1u);  // hardware_concurrency fallback
+}
+
+TEST(ShardingTest, ResolveShardSizeHonorsRequestAndClamps) {
+  EXPECT_EQ(resolve_shard_size(1000, 4, 64), 64u);  // explicit wins
+  EXPECT_GE(resolve_shard_size(10, 8, 0), 1u);      // never zero
+  EXPECT_LE(resolve_shard_size(1u << 24, 1, 0), 4096u);
+  // Several shards per worker so stealing can balance uneven costs.
+  const std::size_t size = resolve_shard_size(100000, 4, 0);
+  EXPECT_GE(100000 / size, 4u * 8);
+}
+
+TEST(ShardingTest, ForEachShardCoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 10007;  // prime: exercises the tail shard
+  std::unique_ptr<std::atomic<int>[]> seen(new std::atomic<int>[kCount]);
+  for (std::size_t i = 0; i < kCount; ++i) seen[i] = 0;
+
+  ShardOptions options;
+  options.threads = 8;
+  options.shard_size = 64;
+  for_each_shard(kCount, options,
+                 [&](std::size_t first, std::size_t last, unsigned worker) {
+                   EXPECT_LT(worker, 8u);
+                   for (std::size_t i = first; i < last; ++i) {
+                     seen[i].fetch_add(1, std::memory_order_relaxed);
+                   }
+                 });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(seen[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ShardingTest, ForEachShardHandlesEmptyAndTinyInputs) {
+  int calls = 0;
+  for_each_shard(0, ShardOptions{8, 16},
+                 [&](std::size_t, std::size_t, unsigned) { ++calls; });
+  EXPECT_EQ(calls, 0);
+
+  std::size_t covered = 0;
+  for_each_shard(3, ShardOptions{8, 1000},
+                 [&](std::size_t first, std::size_t last, unsigned) {
+                   covered += last - first;
+                 });
+  EXPECT_EQ(covered, 3u);
+}
+
+// --- Corpus-backed fixture ------------------------------------------------
+
+class EngineFixture : public ::testing::Test {
+ protected:
+  static dataset::Corpus& corpus() {
+    static dataset::Corpus* instance = [] {
+      dataset::CorpusConfig config;
+      config.domain_count = 2000;
+      return new dataset::Corpus(std::move(config));
+    }();
+    return *instance;
+  }
+
+  static const chain::ComplianceAnalyzer& analyzer() {
+    static chain::ComplianceAnalyzer* instance = [] {
+      chain::CompletenessOptions options;
+      options.store = &corpus().stores().union_store;
+      options.aia = &corpus().aia();
+      return new chain::ComplianceAnalyzer(options);
+    }();
+    return *instance;
+  }
+
+  static AnalysisResult sweep(unsigned threads) {
+    AnalysisRequest request;
+    request.records = &corpus().records();
+    request.shards.threads = threads;
+    request.analyzer = &analyzer();
+    request.key_of = [](const dataset::DomainRecord& record) {
+      return record.observation.ca_name;
+    };
+    return run(request);
+  }
+};
+
+// The headline property the sharded engine promises: thread count is
+// invisible in the results — the 8-thread sweep is byte-identical to the
+// 1-thread sweep, down to the rendered summary table.
+TEST_F(EngineFixture, EightThreadSweepIsByteIdenticalToSingleThread) {
+  const AnalysisResult one = sweep(1);
+  const AnalysisResult eight = sweep(8);
+
+  EXPECT_EQ(one.records_processed, corpus().records().size());
+  EXPECT_EQ(eight.records_processed, one.records_processed);
+  EXPECT_EQ(eight.tally, one.tally);  // compliance + every by_key tally
+  EXPECT_EQ(summary_table(eight.tally.compliance).render(),
+            summary_table(one.tally.compliance).render());
+  EXPECT_EQ(one.threads_used, 1u);
+  EXPECT_EQ(eight.threads_used, 8u);
+  EXPECT_GT(eight.shard_count, 1u);
+}
+
+// The parallel sweep must equal a plain hand-written sequential loop —
+// sharding is an implementation detail, not a semantic change.
+TEST_F(EngineFixture, SweepMatchesSequentialReferenceLoop) {
+  ShardTally reference;
+  for (const dataset::DomainRecord& record : corpus().records()) {
+    const chain::ComplianceReport report = analyzer().analyze(record.observation);
+    reference.compliance.account(report);
+    reference.by_key[record.observation.ca_name].account(report);
+  }
+  const AnalysisResult result = sweep(4);
+  EXPECT_EQ(result.tally, reference);
+}
+
+TEST_F(EngineFixture, FilterSkipsRecordsAndCountsThem) {
+  std::size_t exemplars = 0;
+  for (const dataset::DomainRecord& record : corpus().records()) {
+    exemplars += record.exemplar;
+  }
+  ASSERT_GT(exemplars, 0u);
+
+  AnalysisRequest request;
+  request.records = &corpus().records();
+  request.shards.threads = 4;
+  request.analyzer = &analyzer();
+  request.filter = [](const dataset::DomainRecord& record) {
+    return !record.exemplar;
+  };
+  const AnalysisResult result = run(request);
+  EXPECT_EQ(result.records_skipped, exemplars);
+  EXPECT_EQ(result.records_processed, corpus().records().size() - exemplars);
+  EXPECT_EQ(result.tally.compliance.total, result.records_processed);
+}
+
+TEST_F(EngineFixture, PerRecordCallbackRunsWithoutAnalyzer) {
+  AnalysisRequest request;
+  request.records = &corpus().records();
+  request.shards.threads = 4;
+  request.per_record = [](const dataset::DomainRecord&, std::size_t,
+                          const chain::ComplianceReport* report,
+                          ShardTally& tally) {
+    EXPECT_EQ(report, nullptr);  // no analyzer attached
+    ++tally.compliance.total;
+  };
+  const AnalysisResult result = run(request);
+  EXPECT_EQ(result.tally.compliance.total, corpus().records().size());
+}
+
+// --- Merge algebra --------------------------------------------------------
+
+// Determinism rests on merge() being associative with {} as identity:
+// however the shards land on workers, the fold is the same sum.
+TEST_F(EngineFixture, TallyMergeIsAssociativeWithIdentity) {
+  const std::vector<dataset::DomainRecord>& records = corpus().records();
+  ASSERT_GE(records.size(), 300u);
+
+  // Three uneven slices with real (non-trivial) reports in each.
+  ShardTally a, b, c;
+  const auto fold = [&](ShardTally& into, std::size_t first,
+                        std::size_t last) {
+    for (std::size_t i = first; i < last; ++i) {
+      const chain::ComplianceReport report =
+          analyzer().analyze(records[i].observation);
+      into.compliance.account(report);
+      into.by_key[records[i].observation.ca_name].account(report);
+    }
+  };
+  fold(a, 0, 37);
+  fold(b, 37, 141);
+  fold(c, 141, 300);
+
+  ShardTally left = a;   // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  ShardTally bc = b;     // a + (b + c)
+  bc.merge(c);
+  ShardTally right = a;
+  right.merge(bc);
+  EXPECT_EQ(left, right);
+
+  ShardTally with_identity = left;
+  with_identity.merge(ShardTally{});
+  EXPECT_EQ(with_identity, left);
+
+  ShardTally from_identity;
+  from_identity.merge(left);
+  EXPECT_EQ(from_identity, left);
+}
+
+TEST(TallyTest, MergeSumsCountersAndMaxesDuplicateOccurrences) {
+  ComplianceTally a, b;
+  a.total = 3;
+  a.noncompliant = 1;
+  a.max_duplicate_occurrences = 5;
+  b.total = 4;
+  b.noncompliant = 2;
+  b.max_duplicate_occurrences = 2;
+  a.merge(b);
+  EXPECT_EQ(a.total, 7u);
+  EXPECT_EQ(a.noncompliant, 3u);
+  EXPECT_EQ(a.max_duplicate_occurrences, 5);
+}
+
+// --- Differential harness on the engine -----------------------------------
+
+TEST_F(EngineFixture, DifferentialSweepIsIdenticalAcrossThreadCounts) {
+  difftest::DifferentialHarness harness(corpus());
+  harness.seed_intermediate_caches();
+
+  const std::vector<difftest::DomainDiff> one = harness.run(ShardOptions{1});
+  const std::vector<difftest::DomainDiff> eight = harness.run(ShardOptions{8});
+
+  ASSERT_EQ(one.size(), corpus().records().size());
+  ASSERT_EQ(eight.size(), one.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(eight[i].record_index, one[i].record_index);
+    EXPECT_EQ(eight[i].statuses, one[i].statuses) << "record " << i;
+    EXPECT_EQ(eight[i].finding, one[i].finding) << "record " << i;
+    EXPECT_EQ(eight[i].all_browsers_ok, one[i].all_browsers_ok);
+    EXPECT_EQ(eight[i].all_libraries_ok, one[i].all_libraries_ok);
+  }
+}
+
+}  // namespace
+}  // namespace chainchaos::engine

@@ -35,7 +35,9 @@ TEST(FormattingTest, Percentages) {
   EXPECT_EQ(pct(1, 4), "25.0%");
   EXPECT_EQ(pct(1, 3), "33.3%");
   EXPECT_EQ(pct(0, 100), "0.0%");
-  EXPECT_EQ(pct(5, 0), "0.0%");  // guarded division
+  // An empty population has no rate: never fabricate "0.0%".
+  EXPECT_EQ(pct(5, 0), "n/a");
+  EXPECT_EQ(pct(0, 0), "n/a");
 }
 
 TEST(FormattingTest, ThousandsSeparators) {
@@ -49,6 +51,7 @@ TEST(FormattingTest, ThousandsSeparators) {
 TEST(FormattingTest, CountPctMatchesPaperStyle) {
   EXPECT_EQ(count_pct(16952, 906336), "16,952 (1.9%)");
   EXPECT_EQ(count_pct(0, 10), "0 (0.0%)");
+  EXPECT_EQ(count_pct(0, 0), "0 (n/a)");
 }
 
 }  // namespace
