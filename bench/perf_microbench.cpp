@@ -11,6 +11,7 @@
 #include "crypto/rsa.hpp"
 #include "dataset/corpus.hpp"
 #include "engine/engine.hpp"
+#include "lint/sweep.hpp"
 #include "pathbuild/path_builder.hpp"
 #include "x509/builder.hpp"
 
@@ -225,6 +226,50 @@ void BM_EngineComplianceSweepCached(benchmark::State& state) {
                           static_cast<std::int64_t>(corpus.size()));
 }
 BENCHMARK(BM_EngineComplianceSweepCached)
+    ->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// --- chainlint ------------------------------------------------------------
+
+/// The certificate-level rule pass on one leaf: raw-TBS re-scan, DER
+/// length walk, and every cert.* check.
+void BM_LintCertificate(benchmark::State& state) {
+  Fixture& f = fixture();
+  CertificateBuilder lb;
+  lb.as_leaf("lint-bench.example.com");
+  const CertPtr leaf = lb.sign(f.tower_ids.front());
+  const lint::Linter linter(lint::LintOptions{1800000000});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linter.lint_certificate(*leaf));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LintCertificate);
+
+/// Corpus-wide chainlint sweep (every rule over every chain) through the
+/// engine at state.range(0) threads; warm issuance memo, so this prices
+/// the lint pass itself plus the taxonomy analyses.
+void BM_LintCorpusSweep(benchmark::State& state) {
+  dataset::Corpus& corpus = sweep_corpus();
+  chain::CompletenessOptions options;
+  options.store = &corpus.stores().union_store;
+  options.aia = &corpus.aia();
+  const chain::ComplianceAnalyzer analyzer(options);
+
+  lint::CorpusLintRequest request;
+  request.records = &corpus.records();
+  request.shards.threads = static_cast<unsigned>(state.range(0));
+  request.analyzer = &analyzer;
+  request.options.now = 1800000000;
+  lint::lint_corpus(request);  // warm the memo
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lint::lint_corpus(request));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(corpus.size()));
+}
+BENCHMARK(BM_LintCorpusSweep)
     ->Arg(1)->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();

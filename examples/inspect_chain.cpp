@@ -8,12 +8,14 @@
 //
 // Usage:  inspect_chain [chain.pem [hostname]]
 #include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <sstream>
 
 #include "ca/hierarchy.hpp"
 #include "chain/analyzer.hpp"
 #include "dataset/defects.hpp"
+#include "lint/lint.hpp"
 
 using namespace chainchaos;
 
@@ -127,5 +129,30 @@ int main(int argc, char** argv) {
   }
   std::printf("overall:            %s\n",
               report.compliant() ? "COMPLIANT" : "NON-COMPLIANT");
+
+  // Per-chain chainlint findings: every rule the deployment trips, with
+  // its severity and the RFC/paper citation it enforces.
+  lint::LintOptions lint_options;
+  lint_options.now = static_cast<std::int64_t>(std::time(nullptr));
+  const lint::Linter linter(lint_options);
+  const lint::LintReport lint_report = linter.lint(observation, report);
+  std::printf("\n=== chainlint (%zu rules) ===\n", lint::all_rules().size());
+  if (lint_report.clean()) {
+    std::printf("no findings\n");
+  } else {
+    for (const lint::Finding& finding : lint_report.findings) {
+      std::printf("%-6s %-28s", lint::to_string(finding.rule->severity),
+                  std::string(finding.rule->id).c_str());
+      if (finding.cert_index >= 0) {
+        std::printf(" [cert %d]", finding.cert_index);
+      }
+      if (!finding.detail.empty()) {
+        std::printf(" %s", finding.detail.c_str());
+      }
+      std::printf("\n       %s (%s)\n",
+                  std::string(finding.rule->description).c_str(),
+                  std::string(finding.rule->citation).c_str());
+    }
+  }
   return report.compliant() ? 0 : 2;
 }

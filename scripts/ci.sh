@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full local CI pipeline: what the tree must pass before a merge.
+#
+#   scripts/ci.sh
+#
+#   1. tier-1: configure + build + full ctest suite (RelWithDebInfo)
+#   2. sanitizers: the same suite under ASan/UBSan
+#      (-DCHAINCHAOS_SANITIZE="address;undefined")
+#   3. static analysis: scripts/lint.sh
+#
+# Build trees live in build/ and build-asan/ and are reused across runs.
+set -eu
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "=== [1/3] tier-1 build + tests ==="
+cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "=== [2/3] ASan/UBSan build + tests ==="
+cmake -B build-asan -S . -DCHAINCHAOS_SANITIZE="address;undefined"
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "=== [3/3] static analysis ==="
+scripts/lint.sh build
+
+echo "CI: all gates passed"

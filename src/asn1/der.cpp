@@ -162,10 +162,16 @@ Result<DerElement> DerReader::read_any() {
   std::size_t length = data_[pos_++];
   if (length & 0x80) {
     const std::size_t num_octets = length & 0x7f;
-    if (num_octets == 0 || num_octets > 8) {
-      return make_error("der.bad_length", "indefinite or oversized length");
+    if (num_octets == 0) {
+      return make_error("der.bad_length", "indefinite length");
     }
-    if (pos_ + num_octets > data_.size()) {
+    // No certificate structure approaches 4 GiB; rejecting >4-octet
+    // lengths outright also keeps the accumulation below free of
+    // overflow on every platform.
+    if (num_octets > 4) {
+      return make_error("der.bad_length", "length field exceeds 4 octets");
+    }
+    if (num_octets > data_.size() - pos_) {
       return make_error("der.truncated", "length octets");
     }
     length = 0;
@@ -175,8 +181,11 @@ Result<DerElement> DerReader::read_any() {
     if (length < 0x80) {
       return make_error("der.bad_length", "non-minimal long-form length");
     }
+    // Leading-zero length octets (e.g. 82 00 85) are BER, not DER; they
+    // round-trip safely, so the reader tolerates them and chainlint
+    // reports them (cert.der_nonminimal_length).
   }
-  if (pos_ + length > data_.size()) {
+  if (length > data_.size() - pos_) {
     return make_error("der.truncated", "value octets");
   }
   elem.body.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),

@@ -79,6 +79,9 @@ void ShardTally::merge(const ShardTally& other) {
   for (const auto& [key, tally] : other.by_key) {
     by_key[key].merge(tally);
   }
+  for (const auto& [key, count] : other.counters) {
+    counters[key] += count;
+  }
 }
 
 report::Table summary_table(const ComplianceTally& tally) {

@@ -77,6 +77,12 @@ struct ShardTally {
   ComplianceTally compliance;
   std::map<std::string, ComplianceTally> by_key;
 
+  /// Generic named counters for consumers beyond the fixed compliance
+  /// taxonomy (the chainlint sweep keys per-rule finding counts here).
+  /// Merged by per-key sum, so the engine's determinism guarantee
+  /// extends to them.
+  std::map<std::string, std::uint64_t> counters;
+
   void merge(const ShardTally& other);
 
   bool operator==(const ShardTally&) const = default;

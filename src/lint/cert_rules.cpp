@@ -1,0 +1,287 @@
+// Certificate-level lint rules: DER strictness and RFC 5280 profile
+// checks over a single parsed certificate.
+//
+// The DER-strictness rules re-scan the certificate's raw encoding
+// (cert.der / cert.tbs_der) rather than the parsed fields, because the
+// defects they hunt — non-minimal length encodings, negative or
+// oversized serials, the wrong validity time type — are erased by
+// parsing. The reader (asn1/der.cpp) deliberately tolerates a few
+// BER-isms (leading-zero long-form lengths) so that real-world bytes
+// parse; chainlint is where that leniency is reported.
+#include <string>
+
+#include "asn1/der.hpp"
+#include "lint/registry.hpp"
+#include "support/str.hpp"
+
+namespace chainchaos::lint {
+namespace {
+
+using asn1::DerReader;
+using asn1::Tag;
+
+// 2050-01-01T00:00:00Z — RFC 5280 §4.1.2.5: validity dates through 2049
+// MUST be UTCTime; GeneralizedTime starts here.
+constexpr std::int64_t kYear2050 = 2524608000;
+
+// ---- raw DER helpers ------------------------------------------------------
+
+/// Walks every TLV in `der` (recursing into constructed values) and
+/// reports the first non-minimal length encoding: long form where short
+/// form suffices, or long form with excess leading octets. Returns the
+/// byte offset of the offending length, or npos when the encoding is
+/// minimal throughout. Malformed structure aborts the walk silently —
+/// anything reaching lint already survived parse_certificate().
+constexpr std::size_t kClean = static_cast<std::size_t>(-1);
+
+std::size_t scan_nonminimal_length(BytesView der) {
+  std::size_t pos = 0;
+  while (pos < der.size()) {
+    const std::uint8_t tag = der[pos++];
+    if ((tag & 0x1f) == 0x1f) {  // multi-byte tag (never emitted here)
+      while (pos < der.size() && (der[pos] & 0x80)) ++pos;
+      if (pos++ >= der.size()) return kClean;
+    }
+    if (pos >= der.size()) return kClean;
+    const std::size_t length_at = pos;
+    std::size_t length = der[pos++];
+    if (length & 0x80) {
+      const std::size_t num_octets = length & 0x7f;
+      if (num_octets == 0 || num_octets > 8 ||
+          pos + num_octets > der.size()) {
+        return kClean;  // indefinite/corrupt: not our rule's business
+      }
+      if (der[pos] == 0x00) return length_at;  // excess leading octet
+      length = 0;
+      for (std::size_t i = 0; i < num_octets; ++i) {
+        length = (length << 8) | der[pos++];
+      }
+      if (length < 0x80) return length_at;  // short form would do
+    }
+    if (length > der.size() - pos) return kClean;
+    if (tag & 0x20) {  // constructed: recurse into the body
+      const std::size_t inner =
+          scan_nonminimal_length(der.subspan(pos, length));
+      if (inner != kClean) return pos + inner;
+    }
+    pos += length;
+  }
+  return kClean;
+}
+
+/// The raw TBS facts parsing normalizes away: the serial INTEGER's
+/// content octets and the tag bytes of the two validity times.
+struct RawTbs {
+  bool ok = false;
+  Bytes serial_body;
+  std::uint8_t not_before_tag = 0;
+  std::uint8_t not_after_tag = 0;
+};
+
+RawTbs read_raw_tbs(const x509::Certificate& cert) {
+  RawTbs raw;
+  DerReader outer(cert.tbs_der);
+  auto tbs = outer.read(Tag::kSequence);
+  if (!tbs.ok()) return raw;
+  DerReader body(tbs.value().body);
+  auto version_tag = body.peek_tag();
+  if (version_tag.ok() &&
+      version_tag.value() == asn1::context_constructed(0)) {
+    if (!body.read_any().ok()) return raw;
+  }
+  auto serial = body.read(Tag::kInteger);
+  if (!serial.ok()) return raw;
+  raw.serial_body = std::move(serial.value().body);
+  if (!body.read(Tag::kSequence).ok()) return raw;  // signature algorithm
+  if (!body.read(Tag::kSequence).ok()) return raw;  // issuer
+  auto validity = body.read(Tag::kSequence);
+  if (!validity.ok()) return raw;
+  DerReader times(validity.value().body);
+  auto nb = times.read_any();
+  if (!nb.ok()) return raw;
+  auto na = times.read_any();
+  if (!na.ok()) return raw;
+  raw.not_before_tag = nb.value().tag;
+  raw.not_after_tag = na.value().tag;
+  raw.ok = true;
+  return raw;
+}
+
+bool is_zero_integer(const Bytes& body) {
+  for (std::uint8_t b : body) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+/// "scheme://non-empty" with an http(s) scheme — the only accessLocation
+/// form AIA chasing can act on.
+bool well_formed_http_uri(const std::string& uri) {
+  std::string_view rest;
+  if (starts_with(uri, "http://")) {
+    rest = std::string_view(uri).substr(7);
+  } else if (starts_with(uri, "https://")) {
+    rest = std::string_view(uri).substr(8);
+  } else {
+    return false;
+  }
+  if (rest.empty() || rest.front() == '/') return false;
+  for (char c : rest) {
+    if (c == ' ' || static_cast<unsigned char>(c) < 0x21) return false;
+  }
+  return true;
+}
+
+// ---- checks ---------------------------------------------------------------
+
+void check_der_nonminimal_length(const CertContext& ctx, Emitter& out) {
+  const std::size_t at = scan_nonminimal_length(ctx.cert.der);
+  if (at != kClean) {
+    out.fire("non-minimal length encoding at byte offset " +
+             std::to_string(at));
+  }
+}
+
+void check_serial_not_positive(const CertContext& ctx, Emitter& out) {
+  const RawTbs raw = read_raw_tbs(ctx.cert);
+  if (!raw.ok || raw.serial_body.empty()) return;
+  if (raw.serial_body[0] & 0x80) {
+    out.fire("serial encodes a negative INTEGER");
+  } else if (is_zero_integer(raw.serial_body)) {
+    out.fire("serial is zero");
+  }
+}
+
+void check_serial_too_long(const CertContext& ctx, Emitter& out) {
+  const RawTbs raw = read_raw_tbs(ctx.cert);
+  if (raw.ok && raw.serial_body.size() > 20) {
+    out.fire(std::to_string(raw.serial_body.size()) +
+             " content octets (limit 20)");
+  }
+}
+
+void check_wrong_validity_encoding(const CertContext& ctx, Emitter& out) {
+  const RawTbs raw = read_raw_tbs(ctx.cert);
+  if (!raw.ok) return;
+  const auto generalized = static_cast<std::uint8_t>(Tag::kGeneralizedTime);
+  if (raw.not_before_tag == generalized && ctx.cert.not_before < kYear2050) {
+    out.fire("notBefore predates 2050 but uses GeneralizedTime");
+  } else if (raw.not_after_tag == generalized &&
+             ctx.cert.not_after < kYear2050) {
+    out.fire("notAfter predates 2050 but uses GeneralizedTime");
+  }
+}
+
+void check_validity_inverted(const CertContext& ctx, Emitter& out) {
+  if (ctx.cert.not_after < ctx.cert.not_before) {
+    out.fire("notAfter precedes notBefore");
+  }
+}
+
+void check_expired(const CertContext& ctx, Emitter& out) {
+  if (ctx.options.now == 0) return;  // time-dependent rule disabled
+  if (ctx.cert.not_after < ctx.options.now) {
+    out.fire("expired " +
+             std::to_string(ctx.options.now - ctx.cert.not_after) +
+             "s before the reference time");
+  }
+}
+
+void check_ca_no_ski(const CertContext& ctx, Emitter& out) {
+  if (ctx.cert.is_ca() && !ctx.cert.subject_key_id.has_value()) {
+    out.fire();
+  }
+}
+
+void check_no_aki(const CertContext& ctx, Emitter& out) {
+  if (!ctx.cert.authority_key_id.has_value() && !ctx.cert.is_self_issued()) {
+    out.fire();
+  }
+}
+
+void check_ca_no_keycertsign(const CertContext& ctx, Emitter& out) {
+  if (ctx.cert.is_ca() && ctx.cert.key_usage.has_value() &&
+      !ctx.cert.key_usage->key_cert_sign) {
+    out.fire();
+  }
+}
+
+void check_keycertsign_not_ca(const CertContext& ctx, Emitter& out) {
+  if (ctx.cert.key_usage.has_value() && ctx.cert.key_usage->key_cert_sign &&
+      !ctx.cert.is_ca()) {
+    out.fire();
+  }
+}
+
+void check_aia_url_malformed(const CertContext& ctx, Emitter& out) {
+  if (!ctx.cert.aia.has_value()) return;
+  if (ctx.cert.aia->ca_issuers_uri.has_value() &&
+      !well_formed_http_uri(*ctx.cert.aia->ca_issuers_uri)) {
+    out.fire("caIssuers: \"" + *ctx.cert.aia->ca_issuers_uri + "\"");
+  } else if (ctx.cert.aia->ocsp_uri.has_value() &&
+             !well_formed_http_uri(*ctx.cert.aia->ocsp_uri)) {
+    out.fire("ocsp: \"" + *ctx.cert.aia->ocsp_uri + "\"");
+  }
+}
+
+void check_leaf_no_san(const CertContext& ctx, Emitter& out) {
+  if (ctx.cert.is_ca()) return;
+  if (!ctx.cert.subject_alt_name.has_value() ||
+      ctx.cert.subject_alt_name->empty()) {
+    out.fire();
+  }
+}
+
+}  // namespace
+
+std::vector<CertRule> builtin_cert_rules() {
+  return {
+      {{"cert.der_nonminimal_length", Severity::kError, "ITU-T X.690 §10.1",
+        "DER requires the shortest possible length encoding; this "
+        "certificate uses a long-form or zero-padded length where a "
+        "shorter form exists"},
+       check_der_nonminimal_length},
+      {{"cert.serial_not_positive", Severity::kError, "RFC 5280 §4.1.2.2",
+        "serialNumber MUST be a positive integer"},
+       check_serial_not_positive},
+      {{"cert.serial_too_long", Severity::kWarn, "RFC 5280 §4.1.2.2",
+        "serialNumber MUST NOT be longer than 20 octets"},
+       check_serial_too_long},
+      {{"cert.wrong_validity_encoding", Severity::kNotice,
+        "RFC 5280 §4.1.2.5",
+        "validity dates through 2049 MUST be encoded as UTCTime, not "
+        "GeneralizedTime"},
+       check_wrong_validity_encoding},
+      {{"cert.validity_inverted", Severity::kError, "RFC 5280 §4.1.2.5",
+        "notAfter precedes notBefore: the validity window is empty"},
+       check_validity_inverted},
+      {{"cert.expired", Severity::kWarn, "RFC 5280 §4.1.2.5",
+        "the certificate's validity window has elapsed at the reference "
+        "time"},
+       check_expired},
+      {{"cert.ca_no_ski", Severity::kWarn, "RFC 5280 §4.2.1.2",
+        "CA certificates MUST include a Subject Key Identifier"},
+       check_ca_no_ski},
+      {{"cert.no_aki", Severity::kWarn, "RFC 5280 §4.2.1.1",
+        "certificates MUST include an Authority Key Identifier unless "
+        "self-issued"},
+       check_no_aki},
+      {{"cert.ca_no_keycertsign", Severity::kError, "RFC 5280 §4.2.1.3",
+        "a CA certificate that asserts KeyUsage MUST assert keyCertSign"},
+       check_ca_no_keycertsign},
+      {{"cert.keycertsign_not_ca", Severity::kError, "RFC 5280 §4.2.1.9",
+        "keyCertSign is asserted but the basicConstraints CA bit is not"},
+       check_keycertsign_not_ca},
+      {{"cert.aia_url_malformed", Severity::kWarn, "RFC 5280 §4.2.2.1",
+        "an authorityInfoAccess accessLocation is not a well-formed "
+        "http(s) URI"},
+       check_aia_url_malformed},
+      {{"cert.leaf_no_san", Severity::kWarn,
+        "CA/B Forum BR §7.1.4.2.1; RFC 2818 §3.1",
+        "server certificates must carry their identities in "
+        "subjectAltName"},
+       check_leaf_no_san},
+  };
+}
+
+}  // namespace chainchaos::lint

@@ -1,0 +1,140 @@
+// Chain-level lint rules: the paper's Tables 3/5/7 taxonomy as stable
+// diagnostics.
+//
+// Every check reads the ComplianceReport produced by the chain::
+// analyzers instead of re-deriving the structure, so a corpus tally
+// (engine::ComplianceTally) and a lint sweep over the same records can
+// never disagree about what a chain's defects are.
+#include <string>
+
+#include "lint/registry.hpp"
+
+namespace chainchaos::lint {
+namespace {
+
+void check_leaf_not_first(const ChainContext& ctx, Emitter& out) {
+  const chain::LeafPlacement p = ctx.report.leaf_placement;
+  if (p == chain::LeafPlacement::kIncorrectMatched ||
+      p == chain::LeafPlacement::kIncorrectMismatched) {
+    out.fire(std::string("classified ") + chain::to_string(p));
+  }
+}
+
+void check_no_leaf_identified(const ChainContext& ctx, Emitter& out) {
+  if (ctx.report.leaf_placement == chain::LeafPlacement::kOther) {
+    out.fire("no certificate in the list is domain- or IP-shaped");
+  }
+}
+
+void check_duplicate_certs(const ChainContext& ctx, Emitter& out) {
+  const chain::OrderAnalysis& order = ctx.report.order;
+  if (!order.has_duplicates) return;
+  std::string detail =
+      "max " + std::to_string(order.max_duplicate_occurrences) + " copies";
+  if (order.duplicate_leaf) detail += " [leaf]";
+  if (order.duplicate_intermediate) detail += " [intermediate]";
+  if (order.duplicate_root) detail += " [root]";
+  out.fire(std::move(detail));
+}
+
+void check_irrelevant_certs(const ChainContext& ctx, Emitter& out) {
+  if (ctx.report.order.has_irrelevant) {
+    out.fire(std::to_string(ctx.report.order.irrelevant_count) +
+             " certificate(s) unrelated to the leaf's issuing paths");
+  }
+}
+
+void check_multiple_paths(const ChainContext& ctx, Emitter& out) {
+  if (ctx.report.order.multiple_paths) {
+    out.fire(std::to_string(ctx.report.order.path_count) +
+             " maximal paths from the leaf");
+  }
+}
+
+void check_reversed_order(const ChainContext& ctx, Emitter& out) {
+  if (ctx.report.order.reversed_sequence) {
+    out.fire(ctx.report.order.all_paths_reversed
+                 ? "every leaf path contains a reversed edge"
+                 : "at least one leaf path contains a reversed edge");
+  }
+}
+
+void check_incomplete(const ChainContext& ctx, Emitter& out) {
+  const chain::CompletenessResult& c = ctx.report.completeness;
+  if (c.complete()) return;
+  std::string detail = "AIA repair: ";
+  detail += chain::to_string(c.aia_outcome);
+  if (c.missing_certificates > 0) {
+    detail += ", " + std::to_string(c.missing_certificates) +
+              " certificate(s) missing";
+  }
+  out.fire(std::move(detail));
+}
+
+void check_root_included(const ChainContext& ctx, Emitter& out) {
+  if (ctx.report.completeness.category ==
+      chain::Completeness::kCompleteWithRoot) {
+    out.fire("the self-signed anchor was transmitted");
+  }
+}
+
+void check_expired_intermediate(const ChainContext& ctx, Emitter& out) {
+  if (ctx.options.now == 0) return;  // time-dependent rule disabled
+  const auto& certs = ctx.observation.certificates;
+  for (std::size_t i = 1; i < certs.size(); ++i) {
+    if (certs[i]->is_ca() && !certs[i]->valid_at(ctx.options.now)) {
+      out.fire_at(static_cast<int>(i),
+                  certs[i]->subject.common_name().value_or("(no CN)"));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ChainRule> builtin_chain_rules() {
+  return {
+      {{"chain.leaf_not_first", Severity::kError,
+        "RFC 8446 §4.4.2; paper Table 3",
+        "the server's end-entity certificate is not first in the "
+        "Certificate message"},
+       check_leaf_not_first},
+      {{"chain.no_leaf_identified", Severity::kWarn,
+        "RFC 8446 §4.4.2; paper Table 3 'Other'",
+        "no certificate in the list looks like the server's end-entity "
+        "certificate"},
+       check_no_leaf_identified},
+      {{"chain.duplicate_certs", Severity::kWarn,
+        "RFC 5246 §7.4.2; paper Table 5",
+        "the certificate list contains bit-identical duplicates"},
+       check_duplicate_certs},
+      {{"chain.irrelevant_certs", Severity::kWarn,
+        "RFC 5246 §7.4.2; paper Table 5",
+        "the list carries certificates with no issuing relationship to "
+        "the leaf"},
+       check_irrelevant_certs},
+      {{"chain.multiple_paths", Severity::kWarn, "paper §4.2, Table 5",
+        "more than one maximal issuing path starts at the leaf (e.g. a "
+        "cross-signed bundle)"},
+       check_multiple_paths},
+      {{"chain.reversed_order", Severity::kError,
+        "RFC 5246 §7.4.2; paper Table 5",
+        "an issuer appears before the certificate it certifies"},
+       check_reversed_order},
+      {{"chain.incomplete", Severity::kError,
+        "RFC 5246 §7.4.2; paper Table 7",
+        "intermediate certificates are missing: no path reaches a trust "
+        "anchor"},
+       check_incomplete},
+      {{"chain.root_included", Severity::kNotice,
+        "RFC 8446 §4.4.2; paper Table 7",
+        "the chain includes the self-signed root, which clients already "
+        "hold and the server MAY omit"},
+       check_root_included},
+      {{"chain.expired_intermediate", Severity::kError, "RFC 5280 §6.1.3",
+        "a CA certificate in the chain is outside its validity window at "
+        "the reference time"},
+       check_expired_intermediate},
+  };
+}
+
+}  // namespace chainchaos::lint

@@ -1,0 +1,39 @@
+#include "lint/lint.hpp"
+
+namespace chainchaos::lint {
+
+std::vector<Finding> Linter::lint_certificate(
+    const x509::Certificate& cert) const {
+  std::vector<Finding> findings;
+  const CertContext ctx{cert, 0, 1, options_};
+  for (const CertRule& r : cert_rules()) {
+    Emitter out(r.rule, 0, findings);
+    r.check(ctx, out);
+  }
+  return findings;
+}
+
+LintReport Linter::lint(const chain::ChainObservation& observation,
+                        const chain::ComplianceReport& report) const {
+  LintReport out;
+  out.domain = observation.domain;
+  out.certificates = observation.certificates.size();
+
+  const ChainContext chain_ctx{observation, report, options_};
+  for (const ChainRule& r : chain_rules()) {
+    Emitter emitter(r.rule, -1, out.findings);
+    r.check(chain_ctx, emitter);
+  }
+
+  for (std::size_t i = 0; i < observation.certificates.size(); ++i) {
+    const CertContext cert_ctx{*observation.certificates[i], i,
+                               observation.certificates.size(), options_};
+    for (const CertRule& r : cert_rules()) {
+      Emitter emitter(r.rule, static_cast<int>(i), out.findings);
+      r.check(cert_ctx, emitter);
+    }
+  }
+  return out;
+}
+
+}  // namespace chainchaos::lint

@@ -1,0 +1,39 @@
+// chainlint: per-chain static analysis over certificates and served
+// chains (paper §4 as a zlint-style rule pass — see DESIGN.md §5.8).
+//
+// Two passes share one report: every certificate in the served list is
+// run through the certificate-level rules (DER strictness, RFC 5280
+// profile), and the list as a whole through the chain-level rules
+// (Tables 3/5/7 taxonomy, delegated to the chain:: analyzers via the
+// ComplianceReport). Findings are ordered deterministically: chain-level
+// first, then per-certificate in list order, rules in sorted-ID order
+// within each group.
+#pragma once
+
+#include "chain/analyzer.hpp"
+#include "lint/registry.hpp"
+#include "lint/rule.hpp"
+
+namespace chainchaos::lint {
+
+class Linter {
+ public:
+  explicit Linter(LintOptions options = {}) : options_(options) {}
+
+  const LintOptions& options() const { return options_; }
+
+  /// Certificate pass only: lints one certificate as a standalone
+  /// subject (chain position index 0 of 1).
+  std::vector<Finding> lint_certificate(const x509::Certificate& cert) const;
+
+  /// Full pass over a served chain. `report` must come from analyzing
+  /// `observation` (chain::ComplianceAnalyzer) — the chain rules read it
+  /// verbatim so lint findings always agree with engine tallies.
+  LintReport lint(const chain::ChainObservation& observation,
+                  const chain::ComplianceReport& report) const;
+
+ private:
+  LintOptions options_;
+};
+
+}  // namespace chainchaos::lint

@@ -1,0 +1,68 @@
+#include "lint/registry.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace chainchaos::lint {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarn: return "warn";
+    case Severity::kInfo: return "info";
+    case Severity::kNotice: return "notice";
+  }
+  return "?";
+}
+
+// Defined by the rule tables (cert_rules.cpp / chain_rules.cpp).
+std::vector<CertRule> builtin_cert_rules();
+std::vector<ChainRule> builtin_chain_rules();
+
+namespace {
+
+template <typename T>
+std::vector<T> sorted_by_id(std::vector<T> rules) {
+  std::sort(rules.begin(), rules.end(),
+            [](const T& a, const T& b) { return a.rule.id < b.rule.id; });
+  for (std::size_t i = 1; i < rules.size(); ++i) {
+    assert(rules[i - 1].rule.id != rules[i].rule.id && "duplicate rule ID");
+  }
+  return rules;
+}
+
+}  // namespace
+
+const std::vector<CertRule>& cert_rules() {
+  static const std::vector<CertRule> rules =
+      sorted_by_id(builtin_cert_rules());
+  return rules;
+}
+
+const std::vector<ChainRule>& chain_rules() {
+  static const std::vector<ChainRule> rules =
+      sorted_by_id(builtin_chain_rules());
+  return rules;
+}
+
+std::vector<const Rule*> all_rules() {
+  std::vector<const Rule*> out;
+  out.reserve(cert_rules().size() + chain_rules().size());
+  for (const CertRule& r : cert_rules()) out.push_back(&r.rule);
+  for (const ChainRule& r : chain_rules()) out.push_back(&r.rule);
+  std::sort(out.begin(), out.end(),
+            [](const Rule* a, const Rule* b) { return a->id < b->id; });
+  return out;
+}
+
+const Rule* find_rule(std::string_view id) {
+  for (const CertRule& r : cert_rules()) {
+    if (r.rule.id == id) return &r.rule;
+  }
+  for (const ChainRule& r : chain_rules()) {
+    if (r.rule.id == id) return &r.rule;
+  }
+  return nullptr;
+}
+
+}  // namespace chainchaos::lint

@@ -1,0 +1,92 @@
+// chainlint rule registry.
+//
+// Rules are registered at compile time: cert_rules.cpp and
+// chain_rules.cpp each define a static table of {descriptor, check
+// function} pairs, and the registry concatenates them (sorted by ID,
+// asserted unique) on first use. Checks are plain function pointers —
+// every rule is a stateless pure function of its context — so the
+// registry is immutable after construction and safe to share across the
+// engine's worker threads.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "chain/analyzer.hpp"
+#include "lint/rule.hpp"
+
+namespace chainchaos::lint {
+
+/// Shared knobs for a lint pass.
+struct LintOptions {
+  /// Reference time (unix seconds) for expiry rules. 0 disables the
+  /// time-dependent rules — corpus sweeps pass a fixed timestamp so
+  /// results stay deterministic across runs.
+  std::int64_t now = 0;
+};
+
+/// Context handed to certificate-level checks: one member of a served
+/// list (or a standalone certificate: index 0 of a size-1 "chain").
+struct CertContext {
+  const x509::Certificate& cert;
+  std::size_t index = 0;
+  std::size_t chain_size = 1;
+  const LintOptions& options;
+};
+
+/// Context handed to chain-level checks. The compliance report comes
+/// from the same chain:: analyzers the engine tallies ride on, so lint
+/// findings and corpus tallies can never disagree.
+struct ChainContext {
+  const chain::ChainObservation& observation;
+  const chain::ComplianceReport& report;
+  const LintOptions& options;
+};
+
+/// Sink for fired rules; binds the rule under evaluation to the report
+/// being assembled.
+class Emitter {
+ public:
+  Emitter(const Rule& rule, int default_cert_index,
+          std::vector<Finding>& out)
+      : rule_(rule), default_index_(default_cert_index), out_(out) {}
+
+  void fire(std::string detail = {}) { fire_at(default_index_, std::move(detail)); }
+
+  void fire_at(int cert_index, std::string detail = {}) {
+    out_.push_back(Finding{&rule_, cert_index, std::move(detail)});
+  }
+
+ private:
+  const Rule& rule_;
+  int default_index_;
+  std::vector<Finding>& out_;
+};
+
+using CertCheck = void (*)(const CertContext&, Emitter&);
+using ChainCheck = void (*)(const ChainContext&, Emitter&);
+
+struct CertRule {
+  Rule rule;
+  CertCheck check;
+};
+
+struct ChainRule {
+  Rule rule;
+  ChainCheck check;
+};
+
+/// Certificate-level rules, sorted by ID.
+const std::vector<CertRule>& cert_rules();
+
+/// Chain-level rules, sorted by ID.
+const std::vector<ChainRule>& chain_rules();
+
+/// Every registered rule descriptor (cert + chain), sorted by ID.
+std::vector<const Rule*> all_rules();
+
+/// Descriptor lookup; nullptr when the ID is unknown.
+const Rule* find_rule(std::string_view id);
+
+}  // namespace chainchaos::lint

@@ -1,0 +1,65 @@
+// chainlint rule model: the static-analysis vocabulary.
+//
+// A Rule is a stable descriptor (zlint-style): a dotted ID in a fixed
+// namespace ("cert." for certificate-level checks, "chain." for
+// chain-level checks), a severity, the RFC/BR/paper citation the check
+// enforces, and a one-line human description. Rules never change ID once
+// shipped — downstream tooling keys on them — and the registry
+// (registry.hpp) guarantees IDs are unique and iterated in sorted order,
+// so every lint pass emits findings deterministically.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace chainchaos::lint {
+
+/// Finding severities, strictest first (indexable: 0..kSeverityCount-1).
+enum class Severity { kError, kWarn, kInfo, kNotice };
+
+inline constexpr std::size_t kSeverityCount = 4;
+
+const char* to_string(Severity severity);
+
+/// Immutable rule descriptor. Instances live in the static rule tables
+/// (cert_rules.cpp / chain_rules.cpp) for the life of the process, so
+/// findings can reference them by pointer.
+struct Rule {
+  std::string_view id;           ///< stable, e.g. "chain.leaf_not_first"
+  Severity severity = Severity::kError;
+  std::string_view citation;     ///< e.g. "RFC 5280 §4.1.2.2"
+  std::string_view description;  ///< one-line human explanation
+};
+
+/// One fired rule instance.
+struct Finding {
+  const Rule* rule = nullptr;
+  int cert_index = -1;  ///< position in the served list; -1 = chain-level
+  std::string detail;   ///< instance specifics ("3 copies", a bad URI, ...)
+};
+
+/// Every finding for one linted chain (or one standalone certificate).
+struct LintReport {
+  std::string domain;
+  std::size_t certificates = 0;
+  std::vector<Finding> findings;
+
+  bool clean() const { return findings.empty(); }
+
+  bool has(std::string_view rule_id) const {
+    for (const Finding& f : findings) {
+      if (f.rule->id == rule_id) return true;
+    }
+    return false;
+  }
+
+  std::size_t count(Severity severity) const {
+    std::size_t n = 0;
+    for (const Finding& f : findings) n += f.rule->severity == severity;
+    return n;
+  }
+};
+
+}  // namespace chainchaos::lint

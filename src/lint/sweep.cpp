@@ -1,0 +1,131 @@
+#include "lint/sweep.hpp"
+
+#include <string_view>
+
+#include "report/json.hpp"
+
+namespace chainchaos::lint {
+
+namespace {
+
+constexpr std::string_view kFindingsPrefix = "lint.findings/";
+constexpr std::string_view kChainsPrefix = "lint.chains/";
+constexpr std::string_view kChainsWithFindings = "lint.chains_with_findings";
+
+}  // namespace
+
+CorpusLintSummary lint_corpus(const CorpusLintRequest& request) {
+  CorpusLintSummary summary;
+  if (request.records == nullptr || request.analyzer == nullptr) {
+    return summary;
+  }
+
+  const Linter linter(request.options);
+  engine::AnalysisRequest engine_request;
+  engine_request.records = request.records;
+  engine_request.shards = request.shards;
+  engine_request.analyzer = request.analyzer;
+  engine_request.per_record =
+      [&linter](const dataset::DomainRecord& record, std::size_t,
+                const chain::ComplianceReport* report,
+                engine::ShardTally& tally) {
+        const LintReport lint_report =
+            linter.lint(record.observation, *report);
+        if (lint_report.clean()) return;
+        ++tally.counters[std::string(kChainsWithFindings)];
+        // Findings arrive grouped by rule only incidentally; count per
+        // rule, then mark each rule once for the chains-affected tally.
+        std::map<std::string_view, std::uint64_t> per_rule;
+        for (const Finding& finding : lint_report.findings) {
+          ++per_rule[finding.rule->id];
+        }
+        for (const auto& [rule_id, count] : per_rule) {
+          tally.counters[std::string(kFindingsPrefix) +
+                         std::string(rule_id)] += count;
+          ++tally.counters[std::string(kChainsPrefix) +
+                           std::string(rule_id)];
+        }
+      };
+
+  const engine::AnalysisResult result = engine::run(engine_request);
+
+  summary.chains = result.records_processed;
+  summary.threads_used = result.threads_used;
+  summary.elapsed_seconds = result.elapsed_seconds;
+  for (const auto& [key, count] : result.tally.counters) {
+    const std::string_view k = key;
+    if (k == kChainsWithFindings) {
+      summary.chains_with_findings = count;
+    } else if (k.substr(0, kFindingsPrefix.size()) == kFindingsPrefix) {
+      const std::string rule_id(k.substr(kFindingsPrefix.size()));
+      summary.findings_by_rule[rule_id] = count;
+      summary.findings += count;
+      if (const Rule* rule = find_rule(rule_id)) {
+        summary.findings_by_severity[static_cast<std::size_t>(
+            rule->severity)] += count;
+      }
+    } else if (k.substr(0, kChainsPrefix.size()) == kChainsPrefix) {
+      summary.chains_by_rule[std::string(k.substr(kChainsPrefix.size()))] =
+          count;
+    }
+  }
+  return summary;
+}
+
+report::Table summary_table(const CorpusLintSummary& summary) {
+  report::Table table("chainlint corpus sweep");
+  table.header({"rule", "severity", "citation", "findings", "chains"});
+  for (const Rule* rule : all_rules()) {
+    const auto findings = summary.findings_by_rule.find(std::string(rule->id));
+    const auto chains = summary.chains_by_rule.find(std::string(rule->id));
+    const std::uint64_t finding_count =
+        findings == summary.findings_by_rule.end() ? 0 : findings->second;
+    const std::uint64_t chain_count =
+        chains == summary.chains_by_rule.end() ? 0 : chains->second;
+    table.row({std::string(rule->id), to_string(rule->severity),
+               std::string(rule->citation),
+               report::with_commas(finding_count),
+               report::count_pct(chain_count, summary.chains)});
+  }
+  table.row({"(any rule)", "", "", report::with_commas(summary.findings),
+             report::count_pct(summary.chains_with_findings,
+                               summary.chains)});
+  return table;
+}
+
+std::string summary_json(const CorpusLintSummary& summary) {
+  report::JsonWriter json;
+  json.begin_object();
+  json.key("chains").value(summary.chains);
+  json.key("chains_with_findings").value(summary.chains_with_findings);
+  json.key("findings").value(summary.findings);
+
+  json.key("by_severity").begin_object();
+  for (std::size_t s = 0; s < kSeverityCount; ++s) {
+    json.key(to_string(static_cast<Severity>(s)))
+        .value(summary.findings_by_severity[s]);
+  }
+  json.end_object();
+
+  json.key("rules").begin_array();
+  for (const Rule* rule : all_rules()) {
+    const auto findings = summary.findings_by_rule.find(std::string(rule->id));
+    const auto chains = summary.chains_by_rule.find(std::string(rule->id));
+    json.begin_object();
+    json.key("id").value(rule->id);
+    json.key("severity").value(to_string(rule->severity));
+    json.key("citation").value(rule->citation);
+    json.key("description").value(rule->description);
+    json.key("findings")
+        .value(findings == summary.findings_by_rule.end() ? 0
+                                                          : findings->second);
+    json.key("chains").value(
+        chains == summary.chains_by_rule.end() ? 0 : chains->second);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.take();
+}
+
+}  // namespace chainchaos::lint

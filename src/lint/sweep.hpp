@@ -1,0 +1,61 @@
+// Corpus-wide lint sweeps on the sharded engine.
+//
+// The sweep rides engine::run(): the analyzer produces each record's
+// ComplianceReport (accounted into the usual compliance tally), the
+// per-record hook lints the chain against that same report, and findings
+// are accumulated as named counters in the worker's ShardTally. Counter
+// merging is a per-key sum, so the engine's determinism guarantee —
+// byte-identical results at any thread count — extends to every per-rule
+// tally here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "engine/engine.hpp"
+#include "lint/lint.hpp"
+#include "report/table.hpp"
+
+namespace chainchaos::lint {
+
+struct CorpusLintRequest {
+  /// Records to lint (required; must outlive the run).
+  const std::vector<dataset::DomainRecord>* records = nullptr;
+
+  engine::ShardOptions shards;
+
+  /// Produces the ComplianceReport the chain rules read (required).
+  const chain::ComplianceAnalyzer* analyzer = nullptr;
+
+  LintOptions options;
+};
+
+/// Merged per-rule tallies for one sweep.
+struct CorpusLintSummary {
+  std::uint64_t chains = 0;               ///< records linted
+  std::uint64_t chains_with_findings = 0; ///< ≥1 finding of any severity
+  std::uint64_t findings = 0;
+
+  std::map<std::string, std::uint64_t> findings_by_rule;
+  std::map<std::string, std::uint64_t> chains_by_rule;  ///< ≥1 finding
+  std::array<std::uint64_t, kSeverityCount> findings_by_severity{};
+
+  unsigned threads_used = 0;
+  double elapsed_seconds = 0.0;
+
+  bool operator==(const CorpusLintSummary&) const = default;
+};
+
+/// Runs the sweep; deterministic for any thread count.
+CorpusLintSummary lint_corpus(const CorpusLintRequest& request);
+
+/// Per-rule breakdown table: rule, severity, citation, finding and chain
+/// counts (chains as a share of the sweep).
+report::Table summary_table(const CorpusLintSummary& summary);
+
+/// Machine-readable rendering of the summary (stable key order).
+std::string summary_json(const CorpusLintSummary& summary);
+
+}  // namespace chainchaos::lint

@@ -1,0 +1,49 @@
+// Minimal streaming JSON writer for the machine-readable reporters
+// (chainlint's --json output). Emits compact, RFC 8259-conformant JSON;
+// the caller is responsible for well-formed nesting (begin/end pairs and
+// key-before-value inside objects), which debug builds assert.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace chainchaos::report {
+
+/// Escapes `s` for use inside a JSON string literal (no quotes added).
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; the next call must write its value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(std::uint64_t n);
+  JsonWriter& value(std::int64_t n);
+  JsonWriter& value(int n) { return value(static_cast<std::int64_t>(n)); }
+  JsonWriter& value(double d);  ///< non-finite values emit null
+  JsonWriter& value(bool b);
+  JsonWriter& null();
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void before_value();
+
+  std::string out_;
+  /// One entry per open container: true after the first element (a comma
+  /// is due before the next one).
+  std::vector<bool> comma_due_;
+  bool after_key_ = false;
+};
+
+}  // namespace chainchaos::report

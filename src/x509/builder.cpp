@@ -52,6 +52,11 @@ CertificateBuilder& CertificateBuilder::serial(std::uint64_t value) {
   return *this;
 }
 
+CertificateBuilder& CertificateBuilder::serial(crypto::BigInt value) {
+  cert_.serial = std::move(value);
+  return *this;
+}
+
 CertificateBuilder& CertificateBuilder::validity(std::int64_t not_before,
                                                  std::int64_t not_after) {
   cert_.not_before = not_before;

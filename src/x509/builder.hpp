@@ -40,6 +40,9 @@ class CertificateBuilder {
   CertificateBuilder& subject(asn1::Name name);
   CertificateBuilder& subject_cn(std::string common_name);
   CertificateBuilder& serial(std::uint64_t value);
+  /// Arbitrary-width serial (zero and >20-octet values are encodable —
+  /// lint test material; the default profile never produces them).
+  CertificateBuilder& serial(crypto::BigInt value);
 
   // --- validity (unix seconds) -------------------------------------------
   CertificateBuilder& validity(std::int64_t not_before, std::int64_t not_after);

@@ -62,6 +62,42 @@ TEST(DerReaderTest, RejectsIndefiniteLength) {
   EXPECT_FALSE(reader.read_any().ok());
 }
 
+TEST(DerReaderTest, RejectsLengthFieldWiderThanFourOctets) {
+  // 0x85 announces 5 length octets; even with a value that would fit,
+  // anything past 4 octets (4 GiB) is rejected outright.
+  Bytes bogus = {0x04, 0x85, 0x00, 0x00, 0x00, 0x00, 0x03, 1, 2, 3};
+  EXPECT_FALSE(DerReader(bogus).read_any().ok());
+  // 8 octets used to be accepted; must now fail too.
+  bogus = {0x04, 0x88, 0, 0, 0, 0, 0, 0, 0, 0x01, 0xaa};
+  EXPECT_FALSE(DerReader(bogus).read_any().ok());
+}
+
+TEST(DerReaderTest, RejectsTruncatedLengthOctets) {
+  // 0x83 announces 3 length octets but only one follows.
+  const Bytes bogus = {0x30, 0x83, 0x01};
+  EXPECT_FALSE(DerReader(bogus).read_any().ok());
+}
+
+TEST(DerReaderTest, RejectsLengthExceedingRemainingBuffer) {
+  // Length decodes fine (0xfffffffb) but the buffer holds 4 bytes; the
+  // overflow-checked comparison must reject instead of wrapping.
+  const Bytes bogus = {0x04, 0x84, 0xff, 0xff, 0xff, 0xfb, 1, 2, 3, 4};
+  EXPECT_FALSE(DerReader(bogus).read_any().ok());
+}
+
+TEST(DerReaderTest, ToleratesLeadingZeroLongFormLength) {
+  // 0x82 0x00 0x85: BER-legal, DER-illegal (a zero-padded length). The
+  // reader deliberately accepts it so real-world certificates parse and
+  // chainlint can flag the violation (cert.der_nonminimal_length). Only
+  // values that genuinely need long form qualify — shorter ones still
+  // fail the minimality check above.
+  Bytes padded = {0x04, 0x82, 0x00, 0x85};
+  padded.insert(padded.end(), 0x85, 0xab);
+  auto elem = DerReader(padded).read_any();
+  ASSERT_TRUE(elem.ok()) << elem.error().to_string();
+  EXPECT_EQ(elem.value().body.size(), 0x85u);
+}
+
 // ---------------------------------------------------------------------------
 // Primitive types
 // ---------------------------------------------------------------------------

@@ -216,6 +216,19 @@ TEST(TallyTest, MergeSumsCountersAndMaxesDuplicateOccurrences) {
   EXPECT_EQ(a.max_duplicate_occurrences, 5);
 }
 
+TEST(TallyTest, ShardMergeSumsNamedCountersPerKey) {
+  ShardTally a, b;
+  a.counters["lint.findings/cert.expired"] = 3;
+  a.counters["only.in.a"] = 1;
+  b.counters["lint.findings/cert.expired"] = 4;
+  b.counters["only.in.b"] = 7;
+  a.merge(b);
+  EXPECT_EQ(a.counters.at("lint.findings/cert.expired"), 7u);
+  EXPECT_EQ(a.counters.at("only.in.a"), 1u);
+  EXPECT_EQ(a.counters.at("only.in.b"), 7u);
+  EXPECT_EQ(a.counters.size(), 3u);
+}
+
 // --- Differential harness on the engine -----------------------------------
 
 TEST_F(EngineFixture, DifferentialSweepIsIdenticalAcrossThreadCounts) {

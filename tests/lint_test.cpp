@@ -1,0 +1,568 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/bigint.hpp"
+#include "dataset/corpus.hpp"
+#include "engine/engine.hpp"
+#include "lint/lint.hpp"
+#include "lint/sweep.hpp"
+#include "x509/builder.hpp"
+
+namespace chainchaos::lint {
+namespace {
+
+using x509::CertificateBuilder;
+using x509::CertPtr;
+using x509::make_identity;
+using x509::SigningIdentity;
+
+constexpr std::int64_t kNb = 1700000000;
+constexpr std::int64_t kNa = 1900000000;
+constexpr std::int64_t kNow = 1800000000;  // inside [kNb, kNa]
+constexpr std::int64_t kYear2050 = 2524608000;
+
+bool has_rule(const std::vector<Finding>& findings, std::string_view id) {
+  for (const Finding& f : findings) {
+    if (f.rule->id == id) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Registry invariants
+// ---------------------------------------------------------------------------
+
+TEST(LintRegistryTest, ShipsAtLeastTwelveRulesWithFullDescriptors) {
+  const std::vector<const Rule*> rules = all_rules();
+  EXPECT_GE(rules.size(), 12u);
+  for (const Rule* rule : rules) {
+    EXPECT_FALSE(rule->id.empty());
+    EXPECT_FALSE(rule->citation.empty()) << rule->id;
+    EXPECT_FALSE(rule->description.empty()) << rule->id;
+    EXPECT_TRUE(rule->id.substr(0, 5) == "cert." ||
+                rule->id.substr(0, 6) == "chain.")
+        << rule->id;
+  }
+  for (std::size_t i = 1; i < rules.size(); ++i) {
+    EXPECT_LT(rules[i - 1]->id, rules[i]->id) << "unsorted or duplicate ID";
+  }
+}
+
+TEST(LintRegistryTest, FindRuleResolvesKnownAndRejectsUnknown) {
+  const Rule* rule = find_rule("chain.leaf_not_first");
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->severity, Severity::kError);
+  EXPECT_EQ(find_rule("chain.no_such_rule"), nullptr);
+}
+
+TEST(LintRegistryTest, SeverityNamesAreStable) {
+  EXPECT_STREQ(to_string(Severity::kError), "error");
+  EXPECT_STREQ(to_string(Severity::kWarn), "warn");
+  EXPECT_STREQ(to_string(Severity::kInfo), "info");
+  EXPECT_STREQ(to_string(Severity::kNotice), "notice");
+}
+
+// ---------------------------------------------------------------------------
+// Shared mini-PKI: root -> I1 -> I2 -> leaf, plus a foreign root and a
+// cross-signed twin of the root (multipath material).
+// ---------------------------------------------------------------------------
+
+class LintFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    root_id_ = new SigningIdentity(
+        make_identity(asn1::Name::make("LintT Root", "LintT", "US")));
+    CertificateBuilder rb;
+    rb.subject(root_id_->name).as_ca().public_key(root_id_->keys.pub);
+    root_ = new CertPtr(rb.self_sign(root_id_->keys));
+
+    i1_id_ = new SigningIdentity(
+        make_identity(asn1::Name::make("LintT I1", "LintT", "US")));
+    CertificateBuilder i1b;
+    i1b.subject(i1_id_->name).as_ca(1).public_key(i1_id_->keys.pub);
+    i1_ = new CertPtr(i1b.sign(*root_id_));
+
+    i2_id_ = new SigningIdentity(
+        make_identity(asn1::Name::make("LintT I2", "LintT", "US")));
+    CertificateBuilder i2b;
+    i2b.subject(i2_id_->name).as_ca(0).public_key(i2_id_->keys.pub);
+    i2_ = new CertPtr(i2b.sign(*i1_id_));
+
+    CertificateBuilder lb;
+    lb.as_leaf("lint.example.com");
+    leaf_ = new CertPtr(lb.sign(*i2_id_));
+
+    foreign_id_ = new SigningIdentity(
+        make_identity(asn1::Name::make("Foreign Root", "Elsewhere", "DE")));
+    CertificateBuilder fb;
+    fb.subject(foreign_id_->name).as_ca().public_key(foreign_id_->keys.pub);
+    foreign_root_ = new CertPtr(fb.self_sign(foreign_id_->keys));
+
+    CertificateBuilder xb;
+    xb.subject(root_id_->name).as_ca().public_key(root_id_->keys.pub);
+    cross_root_ = new CertPtr(xb.sign(*foreign_id_));
+
+    store_ = new truststore::RootStore("lint-test");
+    store_->add(*root_);
+
+    chain::CompletenessOptions options;
+    options.store = store_;
+    options.aia_enabled = false;
+    analyzer_ = new chain::ComplianceAnalyzer(options);
+  }
+
+  static std::vector<Finding> lint_cert(const CertPtr& cert,
+                                        std::int64_t now = kNow) {
+    return Linter(LintOptions{now}).lint_certificate(*cert);
+  }
+
+  static LintReport lint_chain(const std::vector<CertPtr>& certs,
+                               const std::string& domain,
+                               std::int64_t now = kNow) {
+    chain::ChainObservation obs;
+    obs.domain = domain;
+    obs.certificates = certs;
+    const chain::ComplianceReport report = analyzer_->analyze(obs);
+    return Linter(LintOptions{now}).lint(obs, report);
+  }
+
+  static std::vector<CertPtr> compliant_chain() {
+    return {*leaf_, *i2_, *i1_};
+  }
+
+  static SigningIdentity* root_id_;
+  static SigningIdentity* i1_id_;
+  static SigningIdentity* i2_id_;
+  static SigningIdentity* foreign_id_;
+  static CertPtr* root_;
+  static CertPtr* i1_;
+  static CertPtr* i2_;
+  static CertPtr* leaf_;
+  static CertPtr* foreign_root_;
+  static CertPtr* cross_root_;
+  static truststore::RootStore* store_;
+  static chain::ComplianceAnalyzer* analyzer_;
+};
+
+SigningIdentity* LintFixture::root_id_ = nullptr;
+SigningIdentity* LintFixture::i1_id_ = nullptr;
+SigningIdentity* LintFixture::i2_id_ = nullptr;
+SigningIdentity* LintFixture::foreign_id_ = nullptr;
+CertPtr* LintFixture::root_ = nullptr;
+CertPtr* LintFixture::i1_ = nullptr;
+CertPtr* LintFixture::i2_ = nullptr;
+CertPtr* LintFixture::leaf_ = nullptr;
+CertPtr* LintFixture::foreign_root_ = nullptr;
+CertPtr* LintFixture::cross_root_ = nullptr;
+truststore::RootStore* LintFixture::store_ = nullptr;
+chain::ComplianceAnalyzer* LintFixture::analyzer_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Certificate-level rules: one positive, one negative each
+// ---------------------------------------------------------------------------
+
+// Re-encodes a certificate's outer SEQUENCE length with a leading zero
+// octet: BER-legal, DER-illegal, and tolerated by the reader (the TBS —
+// and therefore the signature — is untouched).
+Bytes pad_outer_length(const Bytes& der) {
+  EXPECT_GE(der.size(), 4u);
+  EXPECT_EQ(der[0], 0x30);
+  EXPECT_TRUE(der[1] & 0x80) << "expected a long-form outer length";
+  const std::size_t octets = der[1] & 0x7f;
+  Bytes out;
+  out.reserve(der.size() + 1);
+  out.push_back(0x30);
+  out.push_back(static_cast<std::uint8_t>(0x80 | (octets + 1)));
+  out.push_back(0x00);
+  out.insert(out.end(), der.begin() + 2, der.end());
+  return out;
+}
+
+TEST_F(LintFixture, DerNonminimalLengthFiresOnZeroPaddedLength) {
+  auto reparsed = x509::parse_certificate(pad_outer_length((*leaf_)->der));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().to_string();
+  EXPECT_TRUE(has_rule(lint_cert(reparsed.value()),
+                       "cert.der_nonminimal_length"));
+}
+
+TEST_F(LintFixture, DerNonminimalLengthCleanOnBuilderOutput) {
+  EXPECT_FALSE(has_rule(lint_cert(*leaf_), "cert.der_nonminimal_length"));
+}
+
+TEST_F(LintFixture, SerialNotPositiveFiresOnZeroSerial) {
+  CertificateBuilder b;
+  b.as_leaf("zero-serial.example.com").serial(crypto::BigInt());
+  EXPECT_TRUE(has_rule(lint_cert(b.sign(*i2_id_)),
+                       "cert.serial_not_positive"));
+}
+
+TEST_F(LintFixture, SerialNotPositiveCleanOnOrdinarySerial) {
+  EXPECT_FALSE(has_rule(lint_cert(*leaf_), "cert.serial_not_positive"));
+}
+
+TEST_F(LintFixture, SerialTooLongFiresBeyondTwentyOctets) {
+  CertificateBuilder b;
+  b.as_leaf("long-serial.example.com")
+      .serial(crypto::BigInt::from_hex("7f" + std::string(40, '1')));
+  EXPECT_TRUE(has_rule(lint_cert(b.sign(*i2_id_)), "cert.serial_too_long"));
+}
+
+TEST_F(LintFixture, SerialTooLongCleanAtExactlyTwentyOctets) {
+  CertificateBuilder b;
+  b.as_leaf("ok-serial.example.com")
+      .serial(crypto::BigInt::from_hex("7f" + std::string(38, '1')));
+  EXPECT_FALSE(has_rule(lint_cert(b.sign(*i2_id_)), "cert.serial_too_long"));
+}
+
+TEST_F(LintFixture, WrongValidityEncodingFiresOnPre2050GeneralizedTime) {
+  // The builder always emits GeneralizedTime; with pre-2050 dates that
+  // violates RFC 5280's UTCTime requirement.
+  EXPECT_TRUE(has_rule(lint_cert(*leaf_), "cert.wrong_validity_encoding"));
+}
+
+TEST_F(LintFixture, WrongValidityEncodingCleanFrom2050On) {
+  CertificateBuilder b;
+  b.as_leaf("future.example.com").validity(kYear2050, kYear2050 + 86400);
+  EXPECT_FALSE(has_rule(lint_cert(b.sign(*i2_id_)),
+                        "cert.wrong_validity_encoding"));
+}
+
+TEST_F(LintFixture, ValidityInvertedFiresWhenWindowIsEmpty) {
+  CertificateBuilder b;
+  b.as_leaf("inverted.example.com").validity(kNa, kNb);
+  EXPECT_TRUE(has_rule(lint_cert(b.sign(*i2_id_)), "cert.validity_inverted"));
+}
+
+TEST_F(LintFixture, ValidityInvertedCleanOnOrderedWindow) {
+  EXPECT_FALSE(has_rule(lint_cert(*leaf_), "cert.validity_inverted"));
+}
+
+TEST_F(LintFixture, ExpiredFiresAfterNotAfter) {
+  CertificateBuilder b;
+  b.as_leaf("expired.example.com").validity(kNb, kNow - 1000);
+  const CertPtr cert = b.sign(*i2_id_);
+  EXPECT_TRUE(has_rule(lint_cert(cert), "cert.expired"));
+  // now == 0 disables the time-dependent rules entirely.
+  EXPECT_FALSE(has_rule(lint_cert(cert, 0), "cert.expired"));
+}
+
+TEST_F(LintFixture, ExpiredCleanInsideValidityWindow) {
+  EXPECT_FALSE(has_rule(lint_cert(*leaf_), "cert.expired"));
+}
+
+TEST_F(LintFixture, CaNoSkiFiresOnCaWithoutSubjectKeyId) {
+  CertificateBuilder b;
+  b.subject(asn1::Name::make("No-SKI CA", "LintT", "US"))
+      .as_ca()
+      .omit_subject_key_id();
+  EXPECT_TRUE(has_rule(lint_cert(b.sign(*root_id_)), "cert.ca_no_ski"));
+}
+
+TEST_F(LintFixture, CaNoSkiCleanOnConformingCa) {
+  EXPECT_FALSE(has_rule(lint_cert(*i1_), "cert.ca_no_ski"));
+}
+
+TEST_F(LintFixture, NoAkiFiresOnNonSelfIssuedWithoutAki) {
+  CertificateBuilder b;
+  b.as_leaf("no-aki.example.com").omit_authority_key_id();
+  EXPECT_TRUE(has_rule(lint_cert(b.sign(*i2_id_)), "cert.no_aki"));
+}
+
+TEST_F(LintFixture, NoAkiCleanOnConformingLeafAndOnSelfIssuedRoot) {
+  EXPECT_FALSE(has_rule(lint_cert(*leaf_), "cert.no_aki"));
+  // Self-issued anchors are exempt even when they omit the AKI.
+  EXPECT_FALSE(has_rule(lint_cert(*root_), "cert.no_aki"));
+}
+
+TEST_F(LintFixture, CaNoKeycertsignFiresOnCaWithoutSigningBit) {
+  x509::KeyUsage ku;
+  ku.digital_signature = true;
+  CertificateBuilder b;
+  b.subject(asn1::Name::make("Weak CA", "LintT", "US")).as_ca().key_usage(ku);
+  EXPECT_TRUE(has_rule(lint_cert(b.sign(*root_id_)),
+                       "cert.ca_no_keycertsign"));
+}
+
+TEST_F(LintFixture, CaNoKeycertsignCleanOnConformingCa) {
+  EXPECT_FALSE(has_rule(lint_cert(*i1_), "cert.ca_no_keycertsign"));
+}
+
+TEST_F(LintFixture, KeycertsignNotCaFiresOnLeafWithSigningBit) {
+  x509::KeyUsage ku;
+  ku.digital_signature = true;
+  ku.key_cert_sign = true;
+  CertificateBuilder b;
+  b.as_leaf("signer.example.com").key_usage(ku);
+  EXPECT_TRUE(has_rule(lint_cert(b.sign(*i2_id_)),
+                       "cert.keycertsign_not_ca"));
+}
+
+TEST_F(LintFixture, KeycertsignNotCaCleanOnOrdinaryLeaf) {
+  EXPECT_FALSE(has_rule(lint_cert(*leaf_), "cert.keycertsign_not_ca"));
+}
+
+TEST_F(LintFixture, AiaUrlMalformedFiresOnNonHttpUri) {
+  CertificateBuilder b;
+  b.as_leaf("bad-aia.example.com").aia_ca_issuers("ldap://ca.example/issuer");
+  EXPECT_TRUE(has_rule(lint_cert(b.sign(*i2_id_)),
+                       "cert.aia_url_malformed"));
+}
+
+TEST_F(LintFixture, AiaUrlMalformedCleanOnHttpUriAndAbsentAia) {
+  CertificateBuilder good;
+  good.as_leaf("good-aia.example.com")
+      .aia_ca_issuers("http://repo.example/ca.der");
+  EXPECT_FALSE(has_rule(lint_cert(good.sign(*i2_id_)),
+                        "cert.aia_url_malformed"));
+  CertificateBuilder none;
+  none.as_leaf("no-aia.example.com").no_aia();
+  EXPECT_FALSE(has_rule(lint_cert(none.sign(*i2_id_)),
+                        "cert.aia_url_malformed"));
+}
+
+TEST_F(LintFixture, LeafNoSanFiresWhenSanAbsent) {
+  CertificateBuilder b;
+  b.as_leaf("san-less.example.com").subject_alt_name(std::nullopt);
+  EXPECT_TRUE(has_rule(lint_cert(b.sign(*i2_id_)), "cert.leaf_no_san"));
+}
+
+TEST_F(LintFixture, LeafNoSanCleanOnConformingLeafAndCa) {
+  EXPECT_FALSE(has_rule(lint_cert(*leaf_), "cert.leaf_no_san"));
+  EXPECT_FALSE(has_rule(lint_cert(*i1_), "cert.leaf_no_san"));
+}
+
+// ---------------------------------------------------------------------------
+// Chain-level rules: one positive, one negative each
+// ---------------------------------------------------------------------------
+
+TEST_F(LintFixture, LeafNotFirstFiresWhenLeafIsBuried) {
+  const LintReport report =
+      lint_chain({*i2_, *leaf_, *i1_}, "lint.example.com");
+  EXPECT_TRUE(report.has("chain.leaf_not_first"));
+}
+
+TEST_F(LintFixture, LeafNotFirstCleanOnCompliantChain) {
+  EXPECT_FALSE(
+      lint_chain(compliant_chain(), "lint.example.com").has("chain.leaf_not_first"));
+}
+
+TEST_F(LintFixture, NoLeafIdentifiedFiresWhenNothingIsDomainShaped) {
+  const LintReport report = lint_chain({*root_}, "lint.example.com");
+  EXPECT_TRUE(report.has("chain.no_leaf_identified"));
+}
+
+TEST_F(LintFixture, NoLeafIdentifiedCleanOnCompliantChain) {
+  EXPECT_FALSE(lint_chain(compliant_chain(), "lint.example.com")
+                   .has("chain.no_leaf_identified"));
+}
+
+TEST_F(LintFixture, DuplicateCertsFiresOnRepeatedLeaf) {
+  const LintReport report =
+      lint_chain({*leaf_, *leaf_, *i2_, *i1_}, "lint.example.com");
+  EXPECT_TRUE(report.has("chain.duplicate_certs"));
+}
+
+TEST_F(LintFixture, DuplicateCertsCleanOnCompliantChain) {
+  EXPECT_FALSE(lint_chain(compliant_chain(), "lint.example.com")
+                   .has("chain.duplicate_certs"));
+}
+
+TEST_F(LintFixture, IrrelevantCertsFiresOnForeignRoot) {
+  const LintReport report =
+      lint_chain({*leaf_, *i2_, *i1_, *foreign_root_}, "lint.example.com");
+  EXPECT_TRUE(report.has("chain.irrelevant_certs"));
+}
+
+TEST_F(LintFixture, IrrelevantCertsCleanOnCompliantChain) {
+  EXPECT_FALSE(lint_chain(compliant_chain(), "lint.example.com")
+                   .has("chain.irrelevant_certs"));
+}
+
+TEST_F(LintFixture, MultiplePathsFiresOnCrossSignedTwin) {
+  const LintReport report = lint_chain({*leaf_, *i2_, *i1_, *cross_root_, *root_},
+                                       "lint.example.com");
+  EXPECT_TRUE(report.has("chain.multiple_paths"));
+}
+
+TEST_F(LintFixture, MultiplePathsCleanOnCompliantChain) {
+  EXPECT_FALSE(lint_chain(compliant_chain(), "lint.example.com")
+                   .has("chain.multiple_paths"));
+}
+
+TEST_F(LintFixture, ReversedOrderFiresOnReversedBundle) {
+  const LintReport report =
+      lint_chain({*leaf_, *i1_, *i2_}, "lint.example.com");
+  EXPECT_TRUE(report.has("chain.reversed_order"));
+}
+
+TEST_F(LintFixture, ReversedOrderCleanOnCompliantChain) {
+  EXPECT_FALSE(lint_chain(compliant_chain(), "lint.example.com")
+                   .has("chain.reversed_order"));
+}
+
+TEST_F(LintFixture, IncompleteFiresWhenIssuingIntermediateMissing) {
+  const LintReport report = lint_chain({*leaf_}, "lint.example.com");
+  EXPECT_TRUE(report.has("chain.incomplete"));
+}
+
+TEST_F(LintFixture, IncompleteCleanOnCompliantChain) {
+  EXPECT_FALSE(
+      lint_chain(compliant_chain(), "lint.example.com").has("chain.incomplete"));
+}
+
+TEST_F(LintFixture, RootIncludedFiresWhenAnchorTransmitted) {
+  const LintReport report =
+      lint_chain({*leaf_, *i2_, *i1_, *root_}, "lint.example.com");
+  EXPECT_TRUE(report.has("chain.root_included"));
+}
+
+TEST_F(LintFixture, RootIncludedCleanWhenAnchorOmitted) {
+  EXPECT_FALSE(lint_chain(compliant_chain(), "lint.example.com")
+                   .has("chain.root_included"));
+}
+
+TEST_F(LintFixture, ExpiredIntermediateFiresAtReferenceTime) {
+  CertificateBuilder b;
+  b.subject(i2_id_->name)
+      .as_ca(0)
+      .public_key(i2_id_->keys.pub)
+      .validity(kNb, kNow - 1000);
+  const CertPtr expired_i2 = b.sign(*i1_id_);
+  const LintReport report =
+      lint_chain({*leaf_, expired_i2, *i1_}, "lint.example.com");
+  EXPECT_TRUE(report.has("chain.expired_intermediate"));
+  // Findings carry the offending position.
+  for (const Finding& f : report.findings) {
+    if (f.rule->id == "chain.expired_intermediate") {
+      EXPECT_EQ(f.cert_index, 1);
+    }
+  }
+  // now == 0 disables the rule.
+  EXPECT_FALSE(lint_chain({*leaf_, expired_i2, *i1_}, "lint.example.com", 0)
+                   .has("chain.expired_intermediate"));
+}
+
+TEST_F(LintFixture, ExpiredIntermediateCleanOnCompliantChain) {
+  EXPECT_FALSE(lint_chain(compliant_chain(), "lint.example.com")
+                   .has("chain.expired_intermediate"));
+}
+
+// ---------------------------------------------------------------------------
+// Report structure
+// ---------------------------------------------------------------------------
+
+TEST_F(LintFixture, FindingsAreOrderedChainLevelThenByCertificate) {
+  const LintReport report =
+      lint_chain({*leaf_, *leaf_, *i2_, *i1_}, "lint.example.com");
+  ASSERT_FALSE(report.clean());
+  int last_index = -1;
+  for (const Finding& f : report.findings) {
+    EXPECT_GE(f.cert_index, last_index);
+    last_index = f.cert_index;
+  }
+  EXPECT_EQ(report.certificates, 4u);
+  EXPECT_EQ(report.domain, "lint.example.com");
+  EXPECT_GT(report.count(Severity::kWarn), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Corpus sweep determinism on the engine
+// ---------------------------------------------------------------------------
+
+class LintSweepFixture : public ::testing::Test {
+ protected:
+  static dataset::Corpus& corpus() {
+    static dataset::Corpus* instance = [] {
+      dataset::CorpusConfig config;
+      config.domain_count = 2000;
+      return new dataset::Corpus(std::move(config));
+    }();
+    return *instance;
+  }
+
+  static const chain::ComplianceAnalyzer& analyzer() {
+    static chain::ComplianceAnalyzer* instance = [] {
+      chain::CompletenessOptions options;
+      options.store = &corpus().stores().union_store;
+      options.aia = &corpus().aia();
+      return new chain::ComplianceAnalyzer(options);
+    }();
+    return *instance;
+  }
+
+  static CorpusLintSummary sweep(unsigned threads) {
+    CorpusLintRequest request;
+    request.records = &corpus().records();
+    request.shards.threads = threads;
+    request.analyzer = &analyzer();
+    request.options.now = kNow;
+    return lint_corpus(request);
+  }
+};
+
+// The engine promise extended to lint: per-rule tallies, the rendered
+// table, and the JSON report are byte-identical at 1 vs 8 threads.
+TEST_F(LintSweepFixture, SweepIsByteIdenticalAcrossThreadCounts) {
+  CorpusLintSummary one = sweep(1);
+  CorpusLintSummary eight = sweep(8);
+  EXPECT_EQ(one.chains, corpus().records().size());
+  EXPECT_EQ(one.threads_used, 1u);
+  EXPECT_EQ(eight.threads_used, 8u);
+
+  // Blank out the run-shape fields; everything measured must match.
+  one.threads_used = eight.threads_used = 0;
+  one.elapsed_seconds = eight.elapsed_seconds = 0.0;
+  EXPECT_EQ(one, eight);
+  EXPECT_EQ(summary_table(one).render(), summary_table(eight).render());
+  EXPECT_EQ(summary_json(one), summary_json(eight));
+}
+
+// The injected defect mix must surface as lint findings: the corpus
+// carries duplicates, reversed bundles and missing intermediates, so the
+// corresponding rules all have non-zero tallies.
+TEST_F(LintSweepFixture, SweepSurfacesTheCorpusDefectMix) {
+  const CorpusLintSummary summary = sweep(4);
+  EXPECT_GT(summary.findings, 0u);
+  EXPECT_GT(summary.chains_with_findings, 0u);
+  EXPECT_LE(summary.chains_with_findings, summary.chains);
+  EXPECT_GT(summary.findings_by_rule.count("chain.duplicate_certs"), 0u);
+  EXPECT_GT(summary.findings_by_rule.count("chain.reversed_order"), 0u);
+  EXPECT_GT(summary.findings_by_rule.count("chain.incomplete"), 0u);
+  // chains_by_rule never exceeds findings_by_rule.
+  for (const auto& [rule, chains] : summary.chains_by_rule) {
+    const auto findings = summary.findings_by_rule.find(rule);
+    ASSERT_NE(findings, summary.findings_by_rule.end()) << rule;
+    EXPECT_LE(chains, findings->second) << rule;
+  }
+}
+
+// Lint findings and the engine's compliance tally are two views of the
+// same analyzers; their headline counts must agree exactly.
+TEST_F(LintSweepFixture, SweepAgreesWithComplianceTally) {
+  engine::AnalysisRequest request;
+  request.records = &corpus().records();
+  request.shards.threads = 4;
+  request.analyzer = &analyzer();
+  const engine::AnalysisResult compliance = engine::run(request);
+  const CorpusLintSummary summary = sweep(4);
+
+  const auto chains_for = [&summary](const char* rule) -> std::uint64_t {
+    const auto it = summary.chains_by_rule.find(rule);
+    return it == summary.chains_by_rule.end() ? 0 : it->second;
+  };
+  EXPECT_EQ(chains_for("chain.duplicate_certs"),
+            compliance.tally.compliance.duplicates);
+  EXPECT_EQ(chains_for("chain.irrelevant_certs"),
+            compliance.tally.compliance.irrelevant);
+  EXPECT_EQ(chains_for("chain.multiple_paths"),
+            compliance.tally.compliance.multiple_paths);
+  EXPECT_EQ(chains_for("chain.reversed_order"),
+            compliance.tally.compliance.reversed);
+  EXPECT_EQ(chains_for("chain.incomplete"),
+            compliance.tally.compliance.incomplete);
+}
+
+}  // namespace
+}  // namespace chainchaos::lint

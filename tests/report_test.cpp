@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "report/json.hpp"
 #include "report/table.hpp"
 
 namespace chainchaos::report {
@@ -46,6 +49,37 @@ TEST(FormattingTest, ThousandsSeparators) {
   EXPECT_EQ(with_commas(1000), "1,000");
   EXPECT_EQ(with_commas(906336), "906,336");
   EXPECT_EQ(with_commas(1234567890), "1,234,567,890");
+}
+
+TEST(JsonWriterTest, EscapesControlQuotesAndBackslash) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape(std::string("nul\0byte", 8)), "nul\\u0000byte");
+}
+
+TEST(JsonWriterTest, NestedContainersGetCommasRight) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("n").value(std::uint64_t{42});
+  w.key("list").begin_array();
+  w.value("a").value("b");
+  w.begin_object().key("x").value(true).end_object();
+  w.end_array();
+  w.key("none").null();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"n":42,"list":["a","b",{"x":true}],"none":null})");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(1.5);
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  EXPECT_EQ(w.str(), "[1.5,null,null]");
 }
 
 TEST(FormattingTest, CountPctMatchesPaperStyle) {
