@@ -1,0 +1,161 @@
+// Service throughput bench: requests/sec of the chaind daemon over real
+// loopback sockets at 1/4/8 workers, result cache on vs off.
+//
+// The workload is repeat-heavy by design — a handful of distinct chains
+// queried over and over from 8 concurrent keep-alive clients — which is
+// the corpus-shaped traffic the sharded LRU cache exists for (served
+// chains repeat heavily across the Top 1M; see DESIGN.md §5.9). The
+// cache-on rows should therefore show both a large hit ratio and a
+// correspondingly higher request rate; the bench fails if cache-on and
+// cache-off ever disagree on a response body.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "report/table.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "x509/builder.hpp"
+
+using namespace chainchaos;
+
+namespace {
+
+/// Builds `count` distinct leaf+intermediate+root PEM chains.
+std::vector<std::string> make_chains(std::size_t count) {
+  std::vector<std::string> chains;
+  chains.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string tag = "bench-" + std::to_string(i);
+    const x509::SigningIdentity root_id =
+        x509::make_identity(asn1::Name::make(tag + " Root"));
+    const x509::SigningIdentity inter_id =
+        x509::make_identity(asn1::Name::make(tag + " Inter"));
+    x509::CertificateBuilder rb;
+    rb.subject(root_id.name).as_ca().public_key(root_id.keys.pub);
+    const x509::CertPtr root = rb.self_sign(root_id.keys);
+    x509::CertificateBuilder ib;
+    ib.subject(inter_id.name).as_ca().public_key(inter_id.keys.pub);
+    const x509::CertPtr inter = ib.sign(root_id);
+    x509::CertificateBuilder lb;
+    lb.as_leaf(tag + ".example");
+    const x509::CertPtr leaf = lb.sign(inter_id);
+    chains.push_back(x509::to_pem(*leaf) + x509::to_pem(*inter) +
+                     x509::to_pem(*root));
+  }
+  return chains;
+}
+
+struct RunResult {
+  double requests_per_second = 0.0;
+  double hit_ratio = 0.0;
+  std::uint64_t errors = 0;
+  std::set<std::string> bodies;  ///< distinct response bodies seen
+};
+
+RunResult run_load(unsigned workers, bool cache_on,
+                   const std::vector<std::string>& chains,
+                   unsigned clients, unsigned requests_per_client) {
+  service::ServerConfig config;
+  config.workers = workers;
+  config.queue_capacity = 256;
+  config.cache_capacity = cache_on ? 4096 : 0;
+  service::Server server(config);
+  const auto port = server.start();
+  if (!port.ok()) {
+    std::fprintf(stderr, "bench: server failed to start: %s\n",
+                 port.error().to_string().c_str());
+    std::exit(1);
+  }
+
+  RunResult result;
+  std::vector<std::set<std::string>> per_client_bodies(clients);
+  std::atomic<std::uint64_t> errors{0};
+
+  const auto begin = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      service::Client client(port.value());
+      for (unsigned r = 0; r < requests_per_client; ++r) {
+        const std::string& chain = chains[(c + r) % chains.size()];
+        const auto response = client.analyze(chain, "bench.example");
+        if (!response.ok() || response.value().status != 200) {
+          errors.fetch_add(1);
+          continue;
+        }
+        per_client_bodies[c].insert(to_string(response.value().body));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(clients) * requests_per_client;
+  result.requests_per_second = elapsed > 0 ? total / elapsed : 0.0;
+  result.hit_ratio = server.cache_stats().hit_ratio();
+  result.errors = errors.load();
+  for (const auto& bodies : per_client_bodies) {
+    result.bodies.insert(bodies.begin(), bodies.end());
+  }
+  server.stop();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  unsigned requests_per_client = 200;
+  if (const char* env = std::getenv("CHAINCHAOS_REQUESTS")) {
+    requests_per_client = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  }
+  constexpr unsigned kClients = 8;
+  constexpr std::size_t kDistinctChains = 4;
+
+  std::printf("[load] %u clients x %u requests, %zu distinct chains\n",
+              kClients, requests_per_client, kDistinctChains);
+  const std::vector<std::string> chains = make_chains(kDistinctChains);
+
+  report::Table table("chaind throughput: 8 keep-alive clients, loopback");
+  table.header({"workers", "cache", "req/sec", "hit ratio", "errors"});
+
+  char buf[64];
+  bool ok = true;
+  std::set<std::string> all_bodies;
+  for (const unsigned workers : {1u, 4u, 8u}) {
+    for (const bool cache_on : {false, true}) {
+      const RunResult run = run_load(workers, cache_on, chains, kClients,
+                                     requests_per_client);
+      std::snprintf(buf, sizeof buf, "%.0f", run.requests_per_second);
+      std::string rate = buf;
+      std::snprintf(buf, sizeof buf, "%.1f%%", 100.0 * run.hit_ratio);
+      table.row({std::to_string(workers), cache_on ? "on" : "off", rate,
+                 cache_on ? buf : "-", std::to_string(run.errors)});
+      if (run.errors != 0) ok = false;
+      all_bodies.insert(run.bodies.begin(), run.bodies.end());
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // Every configuration must agree byte-for-byte: one body per chain.
+  if (all_bodies.size() != kDistinctChains) {
+    std::printf("\nFAIL: %zu distinct response bodies for %zu chains — "
+                "cache or concurrency changed the output\n",
+                all_bodies.size(), kDistinctChains);
+    ok = false;
+  } else {
+    std::printf("\nresponses byte-identical across workers and cache modes "
+                "(%zu bodies for %zu chains)\n",
+                all_bodies.size(), kDistinctChains);
+  }
+  return ok ? 0 : 1;
+}

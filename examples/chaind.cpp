@@ -1,0 +1,131 @@
+// chaind: the chain-analysis service daemon.
+//
+// Binds a loopback TCP socket and serves the §4/§5 analyses as JSON over
+// HTTP/1.1 (see DESIGN.md §5.9): POST /v1/analyze, POST /v1/lint,
+// GET /v1/stats, GET /healthz. Requests are executed on a fixed worker
+// pool behind a bounded queue (503 + Retry-After under overload) with a
+// sharded fingerprint-keyed LRU result cache in front of the analyzers.
+//
+// Usage:  chaind [--port P] [--workers N] [--queue N] [--cache N]
+//                [--cache-shards N] [--timeout-ms T] [--roots FILE]
+//                [--now UNIX] [--port-file FILE] [--duration SEC]
+//
+// --port 0 (the default) binds an ephemeral port; the bound port is
+// printed on stdout and, with --port-file, written to a file so scripts
+// can discover it. SIGINT/SIGTERM trigger a graceful shutdown that
+// drains in-flight requests; --duration limits the daemon's lifetime for
+// unattended smoke runs.
+#include <csignal>
+#include <cstdio>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "cli_common.hpp"
+#include "service/server.hpp"
+#include "x509/certificate.hpp"
+
+using namespace chainchaos;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  service::ServerConfig config;
+  std::size_t queue = config.queue_capacity;
+  std::size_t cache = config.cache_capacity;
+  std::size_t cache_shards = config.cache_shards;
+  int timeout_ms = config.read_timeout_ms;
+  std::int64_t now = 0;
+  std::size_t duration_sec = 0;
+  const char* roots_path = nullptr;
+  std::string port_file;
+
+  cli::Flags flags;
+  flags.add("--port", &config.port, "P");
+  flags.add("--workers", &config.workers, "N");
+  flags.add("--queue", &queue, "N");
+  flags.add("--cache", &cache, "N");
+  flags.add("--cache-shards", &cache_shards, "N");
+  flags.add("--timeout-ms", &timeout_ms, "T");
+  flags.add("--roots", &roots_path, "FILE");
+  flags.add("--now", &now, "UNIX");
+  flags.add("--port-file", &port_file, "FILE");
+  flags.add("--duration", &duration_sec, "SEC");
+  if (!flags.parse(argc, argv)) return 1;
+
+  config.queue_capacity = queue;
+  config.cache_capacity = cache;
+  config.cache_shards = cache_shards;
+  config.read_timeout_ms = timeout_ms;
+  config.write_timeout_ms = timeout_ms;
+  config.handler.now = now;
+
+  // Anchors: --roots FILE pins the trust store; without it each request
+  // is anchored on the self-signed certificates its own chain carries.
+  truststore::RootStore roots("chaind");
+  if (roots_path != nullptr) {
+    std::ifstream in(roots_path);
+    if (!in) {
+      std::fprintf(stderr, "chaind: cannot read %s\n", roots_path);
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto bundle = x509::bundle_from_pem(text.str());
+    if (!bundle.ok()) {
+      std::fprintf(stderr, "chaind: bad roots bundle: %s\n",
+                   bundle.error().to_string().c_str());
+      return 1;
+    }
+    for (const x509::CertPtr& cert : bundle.value()) roots.add(cert);
+    config.handler.roots = &roots;
+  }
+
+  service::Server server(config);
+  auto started = server.start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "chaind: %s\n", started.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("chaind listening on 127.0.0.1:%u (workers=%u queue=%zu "
+              "cache=%zu/%zu shards)\n",
+              server.port(), config.workers, config.queue_capacity,
+              config.cache_capacity, config.cache_shards);
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    out << server.port() << "\n";
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  const auto started_at = std::chrono::steady_clock::now();
+  while (g_stop == 0) {
+    if (duration_sec != 0 &&
+        std::chrono::steady_clock::now() - started_at >=
+            std::chrono::seconds(duration_sec)) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("chaind: draining and shutting down...\n");
+  server.stop();
+  const service::CacheStats stats = server.cache_stats();
+  std::printf("chaind: served %llu requests (%llu rejected), cache "
+              "%llu/%llu hits (%.1f%%)\n",
+              static_cast<unsigned long long>(server.metrics().requests_total()),
+              static_cast<unsigned long long>(server.metrics().rejected_total()),
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.hits + stats.misses),
+              100.0 * stats.hit_ratio());
+  return 0;
+}

@@ -1,0 +1,148 @@
+// chainq: query CLI for the chaind analysis daemon.
+//
+// Speaks the service's HTTP/1.1 JSON API over one kept-alive loopback
+// connection (so --repeat exercises the daemon's result cache the way a
+// real repeat-heavy workload would).
+//
+// Usage:  chainq [--port P] [--domain D] [--repeat N] [--timeout-ms T]
+//                <command> [file]
+//
+// Commands:
+//   analyze FILE     POST the PEM/DER chain in FILE to /v1/analyze
+//   lint FILE        POST it to /v1/lint
+//   stats            GET /v1/stats
+//   health           GET /healthz (exit 0 iff the daemon answers 200)
+//   make-chain FILE  write a demo root+intermediate+leaf PEM chain to
+//                    FILE (for smoke tests and quickstarts; the root is
+//                    included so chaind can self-anchor the analysis)
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli_common.hpp"
+#include "service/client.hpp"
+#include "x509/builder.hpp"
+
+using namespace chainchaos;
+
+namespace {
+
+int make_chain(const std::string& path, const std::string& domain) {
+  using x509::CertificateBuilder;
+  const x509::SigningIdentity root_id =
+      x509::make_identity(asn1::Name::make("chainq Demo Root"));
+  const x509::SigningIdentity inter_id =
+      x509::make_identity(asn1::Name::make("chainq Demo Intermediate"));
+
+  CertificateBuilder root_builder;
+  root_builder.subject(root_id.name).as_ca().public_key(root_id.keys.pub);
+  const x509::CertPtr root = root_builder.self_sign(root_id.keys);
+
+  CertificateBuilder inter_builder;
+  inter_builder.subject(inter_id.name).as_ca().public_key(inter_id.keys.pub);
+  const x509::CertPtr inter = inter_builder.sign(root_id);
+
+  CertificateBuilder leaf_builder;
+  leaf_builder.as_leaf(domain);
+  const x509::CertPtr leaf = leaf_builder.sign(inter_id);
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "chainq: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << x509::to_pem(*leaf) << x509::to_pem(*inter) << x509::to_pem(*root);
+  std::printf("wrote %s chain (leaf+intermediate+root) to %s\n",
+              domain.c_str(), path.c_str());
+  return 0;
+}
+
+int print_response(const Result<net::HttpResponse>& response) {
+  if (!response.ok()) {
+    std::fprintf(stderr, "chainq: %s\n",
+                 response.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s\n", chainchaos::to_string(response.value().body).c_str());
+  if (response.value().status != 200) {
+    std::fprintf(stderr, "chainq: HTTP %d %s\n", response.value().status,
+                 response.value().reason.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 0;
+  std::string domain = "chainq.example";
+  std::size_t repeat = 1;
+  int timeout_ms = 5000;
+
+  cli::Flags flags("<command> [file]");
+  flags.add("--port", &port, "P");
+  flags.add("--domain", &domain, "D");
+  flags.add("--repeat", &repeat, "N");
+  flags.add("--timeout-ms", &timeout_ms, "T");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const auto& args = flags.positionals();
+  if (args.empty()) {
+    std::fprintf(stderr, "%s", flags.usage(argv[0]).c_str());
+    return 1;
+  }
+  const std::string& command = args[0];
+
+  if (command == "make-chain") {
+    if (args.size() != 2) {
+      std::fprintf(stderr, "chainq: make-chain needs an output file\n");
+      return 1;
+    }
+    return make_chain(args[1], domain);
+  }
+
+  if (port == 0) {
+    std::fprintf(stderr, "chainq: --port is required (chaind prints it)\n");
+    return 1;
+  }
+  service::Client client(port, timeout_ms);
+
+  if (command == "stats") return print_response(client.stats());
+  if (command == "health") return print_response(client.healthz());
+
+  if (command == "analyze" || command == "lint") {
+    if (args.size() != 2) {
+      std::fprintf(stderr, "chainq: %s needs a chain file\n",
+                   command.c_str());
+      return 1;
+    }
+    std::ifstream in(args[1], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "chainq: cannot read %s\n", args[1].c_str());
+      return 1;
+    }
+    std::ostringstream body;
+    body << in.rdbuf();
+
+    if (repeat == 0) repeat = 1;
+    int rc = 0;
+    for (std::size_t i = 0; i + 1 < repeat; ++i) {
+      // Warm-up repeats: same connection, same chain — cache hits.
+      const auto response = command == "analyze"
+                                ? client.analyze(body.str(), domain)
+                                : client.lint(body.str(), domain);
+      if (!response.ok() || response.value().status != 200) {
+        std::fprintf(stderr, "chainq: repeat %zu failed\n", i + 1);
+        return 1;
+      }
+    }
+    rc = print_response(command == "analyze" ? client.analyze(body.str(), domain)
+                                             : client.lint(body.str(), domain));
+    return rc;
+  }
+
+  std::fprintf(stderr, "chainq: unknown command '%s'\n%s", command.c_str(),
+               flags.usage(argv[0]).c_str());
+  return 1;
+}

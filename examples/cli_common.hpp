@@ -1,0 +1,159 @@
+// Shared command-line parsing for the example CLIs.
+//
+// Every example used to hand-roll the same strcmp/strtoull ladder for
+// its --domains/--threads/--json-style flags; this header factors that
+// into one declarative helper. Register each flag with its destination,
+// call parse(), and the usage line is derived from the registrations —
+// so it can never drift from what the program actually accepts.
+//
+//   chainchaos::cli::Flags flags;
+//   flags.add("--domains", &domains, "N");
+//   flags.add("--json", &json);
+//   if (!flags.parse(argc, argv)) return 1;
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace chainchaos::cli {
+
+class Flags {
+ public:
+  /// `positional_usage` documents non-flag arguments in the usage line,
+  /// e.g. "<command> [file]". Empty = positionals are rejected.
+  explicit Flags(std::string positional_usage = {})
+      : positional_usage_(std::move(positional_usage)) {}
+
+  /// Boolean switch (no value).
+  void add(const char* name, bool* target) {
+    specs_.push_back({name, "", [target](const char*) {
+                        *target = true;
+                        return true;
+                      }});
+  }
+
+  /// Integer-valued flag. One template (rather than per-type overloads)
+  /// because size_t/uint64_t alias on LP64 and would collide.
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T> &&
+                                        !std::is_same_v<T, bool>>>
+  void add(const char* name, T* target, const char* metavar) {
+    specs_.push_back({name, metavar, [target](const char* value) {
+                        char* end = nullptr;
+                        if constexpr (std::is_signed_v<T>) {
+                          const long long v = std::strtoll(value, &end, 10);
+                          if (end == value || *end != '\0') return false;
+                          *target = static_cast<T>(v);
+                        } else {
+                          const unsigned long long v =
+                              std::strtoull(value, &end, 10);
+                          if (end == value || *end != '\0') return false;
+                          *target = static_cast<T>(v);
+                        }
+                        return true;
+                      }});
+  }
+
+  void add(const char* name, std::string* target, const char* metavar) {
+    specs_.push_back({name, metavar, [target](const char* value) {
+                        *target = value;
+                        return true;
+                      }});
+  }
+
+  /// Optional path-style flag: stays nullptr when absent.
+  void add(const char* name, const char** target, const char* metavar) {
+    specs_.push_back({name, metavar, [target](const char* value) {
+                        *target = value;
+                        return true;
+                      }});
+  }
+
+  /// Parses argv. On any error prints the derived usage line to stderr
+  /// and returns false. Non-flag arguments are collected as positionals
+  /// (rejected unless the constructor declared them).
+  bool parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      const Spec* spec = find(arg);
+      if (spec == nullptr) {
+        if (std::strncmp(arg, "--", 2) == 0) {
+          std::fprintf(stderr, "unknown flag: %s\n%s", arg,
+                       usage(argv[0]).c_str());
+          return false;
+        }
+        if (positional_usage_.empty()) {
+          std::fprintf(stderr, "unexpected argument: %s\n%s", arg,
+                       usage(argv[0]).c_str());
+          return false;
+        }
+        positionals_.push_back(arg);
+        continue;
+      }
+      const char* value = nullptr;
+      if (spec->takes_value()) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s requires a value\n%s", arg,
+                       usage(argv[0]).c_str());
+          return false;
+        }
+        value = argv[++i];
+      }
+      if (!spec->apply(value)) {
+        std::fprintf(stderr, "bad value for %s: %s\n%s", arg, value,
+                     usage(argv[0]).c_str());
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  std::string usage(const char* argv0) const {
+    std::string out = "usage: ";
+    out += argv0;
+    for (const Spec& spec : specs_) {
+      out += " [" + spec.name;
+      if (spec.takes_value()) {
+        out += ' ';
+        out += spec.metavar;
+      }
+      out += ']';
+    }
+    if (!positional_usage_.empty()) {
+      out += ' ';
+      out += positional_usage_;
+    }
+    out += '\n';
+    return out;
+  }
+
+ private:
+  struct Spec {
+    std::string name;
+    std::string metavar;
+    std::function<bool(const char*)> apply;
+
+    bool takes_value() const { return !metavar.empty(); }
+  };
+
+  const Spec* find(const char* arg) const {
+    for (const Spec& spec : specs_) {
+      if (spec.name == arg) return &spec;
+    }
+    return nullptr;
+  }
+
+  std::string positional_usage_;
+  std::vector<Spec> specs_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace chainchaos::cli

@@ -8,8 +8,8 @@
 // Usage:  lint_corpus [--domains N] [--seed S] [--threads T] [--now UNIX]
 //                     [--json] [--import corpus.pem]
 #include <cstdio>
-#include <cstring>
 
+#include "cli_common.hpp"
 #include "dataset/serialize.hpp"
 #include "lint/sweep.hpp"
 
@@ -52,27 +52,14 @@ int main(int argc, char** argv) {
   std::int64_t now = kDefaultNow;
   bool json = false;
   const char* import_path = nullptr;
-  for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--domains") && i + 1 < argc) {
-      domains = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
-    } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
-      seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
-      threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
-    } else if (!std::strcmp(argv[i], "--now") && i + 1 < argc) {
-      now = static_cast<std::int64_t>(std::strtoll(argv[++i], nullptr, 10));
-    } else if (!std::strcmp(argv[i], "--json")) {
-      json = true;
-    } else if (!std::strcmp(argv[i], "--import") && i + 1 < argc) {
-      import_path = argv[++i];
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--domains N] [--seed S] [--threads T] "
-                   "[--now UNIX] [--json] [--import FILE]\n",
-                   argv[0]);
-      return 1;
-    }
-  }
+  cli::Flags flags;
+  flags.add("--domains", &domains, "N");
+  flags.add("--seed", &seed, "S");
+  flags.add("--threads", &threads, "T");
+  flags.add("--now", &now, "UNIX");
+  flags.add("--json", &json);
+  flags.add("--import", &import_path, "FILE");
+  if (!flags.parse(argc, argv)) return 1;
 
   if (import_path != nullptr) {
     auto imported = dataset::import_corpus_from_file(import_path);

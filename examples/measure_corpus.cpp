@@ -9,10 +9,10 @@
 //                        [--export corpus.pem]
 //         measure_corpus --import corpus.pem [--threads T]
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 
 #include "chain/analyzer.hpp"
+#include "cli_common.hpp"
 #include "dataset/serialize.hpp"
 #include "engine/engine.hpp"
 #include "report/table.hpp"
@@ -39,25 +39,13 @@ int main(int argc, char** argv) {
   unsigned threads = 0;  // engine default: hardware_concurrency
   const char* export_path = nullptr;
   const char* import_path = nullptr;
-  for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--domains") && i + 1 < argc) {
-      domains = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
-    } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
-      seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
-      threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
-    } else if (!std::strcmp(argv[i], "--export") && i + 1 < argc) {
-      export_path = argv[++i];
-    } else if (!std::strcmp(argv[i], "--import") && i + 1 < argc) {
-      import_path = argv[++i];
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--domains N] [--seed S] [--threads T] "
-                   "[--export FILE] [--import FILE]\n",
-                   argv[0]);
-      return 1;
-    }
-  }
+  cli::Flags flags;
+  flags.add("--domains", &domains, "N");
+  flags.add("--seed", &seed, "S");
+  flags.add("--threads", &threads, "T");
+  flags.add("--export", &export_path, "FILE");
+  flags.add("--import", &import_path, "FILE");
+  if (!flags.parse(argc, argv)) return 1;
 
   if (import_path != nullptr) {
     // Re-analysis of an exported bundle: the trust anchors are whatever

@@ -6,7 +6,12 @@
 #   1. tier-1: configure + build + full ctest suite (RelWithDebInfo)
 #   2. sanitizers: the same suite under ASan/UBSan
 #      (-DCHAINCHAOS_SANITIZE="address;undefined")
-#   3. static analysis: scripts/lint.sh
+#   3. service smoke: chaind on an ephemeral port, repeated chainq
+#      queries, non-zero cache hit ratio, graceful SIGTERM shutdown
+#      (also registered as the `service_smoke` ctest, so stages 1 and 2
+#      already ran it in-suite; this stage exercises the shipped script
+#      against the tier-1 binaries directly)
+#   4. static analysis: scripts/lint.sh
 #
 # Build trees live in build/ and build-asan/ and are reused across runs.
 set -eu
@@ -14,17 +19,20 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "=== [1/3] tier-1 build + tests ==="
+echo "=== [1/4] tier-1 build + tests ==="
 cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [2/3] ASan/UBSan build + tests ==="
+echo "=== [2/4] ASan/UBSan build + tests ==="
 cmake -B build-asan -S . -DCHAINCHAOS_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "=== [3/3] static analysis ==="
+echo "=== [3/4] service smoke ==="
+scripts/service_smoke.sh build/examples/chaind build/examples/chainq
+
+echo "=== [4/4] static analysis ==="
 scripts/lint.sh build
 
 echo "CI: all gates passed"

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the chaind analysis service.
+#
+# Starts chaind on an ephemeral loopback port, issues repeated chainq
+# queries over the JSON API, asserts a non-zero cache hit ratio, and
+# checks that SIGTERM produces a graceful (exit 0) shutdown.
+#
+# Usage: service_smoke.sh <chaind-binary> <chainq-binary>
+set -euo pipefail
+
+CHAIND=${1:?usage: service_smoke.sh <chaind> <chainq>}
+CHAINQ=${2:?usage: service_smoke.sh <chaind> <chainq>}
+
+WORKDIR=$(mktemp -d)
+trap 'rm -rf "$WORKDIR"; [ -n "${DAEMON_PID:-}" ] && kill "$DAEMON_PID" 2>/dev/null || true' EXIT
+
+CHAIN="$WORKDIR/chain.pem"
+PORT_FILE="$WORKDIR/port.txt"
+
+"$CHAINQ" make-chain "$CHAIN"
+
+"$CHAIND" --port 0 --port-file "$PORT_FILE" --duration 120 \
+    >"$WORKDIR/chaind.log" 2>&1 &
+DAEMON_PID=$!
+
+# Wait for the daemon to publish its ephemeral port.
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.1
+done
+[ -s "$PORT_FILE" ] || { echo "FAIL: chaind never wrote its port file"; exit 1; }
+PORT=$(cat "$PORT_FILE")
+echo "chaind is up on 127.0.0.1:$PORT"
+
+"$CHAINQ" --port "$PORT" health >/dev/null
+
+# Repeated identical queries: everything after the first must hit the
+# result cache.
+"$CHAINQ" --port "$PORT" --repeat 10 analyze "$CHAIN" >"$WORKDIR/analyze.json"
+grep -q '"compliant":true' "$WORKDIR/analyze.json" \
+    || { echo "FAIL: analyze response missing compliance verdict"; exit 1; }
+
+"$CHAINQ" --port "$PORT" --repeat 3 lint "$CHAIN" >/dev/null
+
+STATS=$("$CHAINQ" --port "$PORT" stats)
+echo "$STATS"
+HITS=$(echo "$STATS" | sed -n 's/.*"hits":\([0-9]*\).*/\1/p')
+[ -n "$HITS" ] && [ "$HITS" -gt 0 ] \
+    || { echo "FAIL: expected a non-zero cache hit count, got '$HITS'"; exit 1; }
+echo "cache hits: $HITS"
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+RC=$?
+DAEMON_PID=""
+[ "$RC" -eq 0 ] || { echo "FAIL: chaind exited with $RC"; exit 1; }
+grep -q "shutting down" "$WORKDIR/chaind.log" \
+    || { echo "FAIL: no shutdown banner in chaind log"; exit 1; }
+
+echo "service smoke OK"

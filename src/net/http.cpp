@@ -27,10 +27,14 @@ std::string HttpRequest::encode() const {
   std::string out = method + " " + target + " HTTP/1.1\r\n";
   out += "host: " + host + "\r\n";
   for (const auto& [name, value] : headers) {
-    if (name == "host") continue;
+    if (name == "host" || name == "content-length") continue;
     out += name + ": " + value + "\r\n";
   }
+  if (!body.empty()) {
+    out += "content-length: " + std::to_string(body.size()) + "\r\n";
+  }
   out += "\r\n";
+  out.append(reinterpret_cast<const char*>(body.data()), body.size());
   return out;
 }
 
@@ -44,20 +48,80 @@ bool parse_header_line(const std::string& line, std::string* name,
   *name = to_lower(line.substr(0, colon));
   std::size_t start = colon + 1;
   while (start < line.size() && line[start] == ' ') ++start;
-  *value = line.substr(start);
+  std::size_t end = line.size();
+  while (end > start && (line[end - 1] == ' ' || line[end - 1] == '\t')) --end;
+  *value = line.substr(start, end - start);
   return true;
+}
+
+/// Strict Content-Length grammar: one or more ASCII digits, nothing
+/// else. In particular "-1", "+5", "  5", hex, and values that overflow
+/// 64 bits (or exceed kMaxBodyBytes) are all rejected — std::stoull
+/// would happily wrap a negative value to 2^64-1.
+Result<std::size_t> parse_content_length(const std::string& value) {
+  if (value.empty() || value.size() > 20) {
+    return make_error("http.bad_content_length", value);
+  }
+  std::uint64_t n = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') {
+      return make_error("http.bad_content_length", value);
+    }
+    if (n > (UINT64_MAX - static_cast<std::uint64_t>(c - '0')) / 10) {
+      return make_error("http.bad_content_length", "overflow: " + value);
+    }
+    n = n * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (n > kMaxBodyBytes) {
+    return make_error("http.body_too_large", value);
+  }
+  return static_cast<std::size_t>(n);
+}
+
+/// Parses the header section (everything before the blank line) of a
+/// request or response into lower-cased name/value pairs, enforcing the
+/// header-count cap and rejecting duplicate Content-Length headers (a
+/// request-smuggling vector). `header_text` excludes the start line.
+Result<std::map<std::string, std::string>> parse_header_block(
+    const std::string& header_text) {
+  std::map<std::string, std::string> headers;
+  std::size_t count = 0;
+  for (const std::string& raw_line : split(header_text, '\n')) {
+    std::string line = raw_line;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (++count > kMaxHeaderCount) {
+      return make_error("http.too_many_headers",
+                        std::to_string(count) + " > " +
+                            std::to_string(kMaxHeaderCount));
+    }
+    std::string name, value;
+    if (!parse_header_line(line, &name, &value)) {
+      return make_error("http.bad_header", line);
+    }
+    if (name == "content-length" && headers.count(name) != 0) {
+      return make_error("http.duplicate_content_length", line);
+    }
+    headers[name] = value;
+  }
+  return headers;
 }
 
 }  // namespace
 
 Result<HttpRequest> parse_request(const std::string& raw) {
-  const std::vector<std::string> lines = split(raw, '\n');
-  if (lines.empty()) return make_error("http.empty");
-
-  std::string request_line = lines[0];
-  if (!request_line.empty() && request_line.back() == '\r') {
-    request_line.pop_back();
+  if (raw.empty()) return make_error("http.empty");
+  const std::size_t boundary = raw.find("\r\n\r\n");
+  if (boundary == std::string::npos) {
+    return make_error("http.truncated", "no header terminator");
   }
+  if (boundary + 4 > kMaxHeaderBytes) {
+    return make_error("http.headers_too_large",
+                      std::to_string(boundary + 4) + " bytes");
+  }
+
+  const std::size_t line_end = raw.find("\r\n");
+  std::string request_line = raw.substr(0, line_end);
   const std::vector<std::string> parts = split(request_line, ' ');
   if (parts.size() != 3 || !starts_with(parts[2], "HTTP/1.")) {
     return make_error("http.bad_request_line", request_line);
@@ -66,24 +130,80 @@ Result<HttpRequest> parse_request(const std::string& raw) {
   HttpRequest req;
   req.method = parts[0];
   req.target = parts[1];
-  for (std::size_t i = 1; i < lines.size(); ++i) {
-    std::string line = lines[i];
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) break;  // end of headers
-    std::string name, value;
-    if (!parse_header_line(line, &name, &value)) {
-      return make_error("http.bad_header", line);
-    }
-    if (name == "host") {
-      req.host = value;
-    } else {
-      req.headers[name] = value;
-    }
+  const std::string header_text =
+      boundary > line_end + 2
+          ? raw.substr(line_end + 2, boundary - line_end - 2)
+          : std::string();
+  auto headers = parse_header_block(header_text);
+  if (!headers.ok()) return headers.error();
+  req.headers = std::move(headers.value());
+  if (auto it = req.headers.find("host"); it != req.headers.end()) {
+    req.host = it->second;
+    req.headers.erase(it);
   }
   if (req.host.empty()) {
     return make_error("http.missing_host", "HTTP/1.1 requires Host");
   }
+
+  std::size_t content_length = 0;
+  if (auto it = req.headers.find("content-length"); it != req.headers.end()) {
+    auto parsed = parse_content_length(it->second);
+    if (!parsed.ok()) return parsed.error();
+    content_length = parsed.value();
+  }
+  const std::size_t body_start = boundary + 4;
+  const std::size_t available = raw.size() - body_start;
+  if (available < content_length) {
+    return make_error("http.truncated", "body shorter than content-length");
+  }
+  if (available > content_length) {
+    return make_error("http.trailing_bytes",
+                      std::to_string(available - content_length) +
+                          " bytes beyond declared body");
+  }
+  req.body.assign(raw.begin() + static_cast<std::ptrdiff_t>(body_start),
+                  raw.end());
   return req;
+}
+
+Result<RequestFrame> probe_request_frame(std::string_view raw) {
+  const std::size_t boundary = raw.find("\r\n\r\n");
+  if (boundary == std::string_view::npos) {
+    if (raw.size() > kMaxHeaderBytes) {
+      return make_error("http.headers_too_large",
+                        "no terminator within " +
+                            std::to_string(kMaxHeaderBytes) + " bytes");
+    }
+    return RequestFrame{};  // need more bytes
+  }
+  if (boundary + 4 > kMaxHeaderBytes) {
+    return make_error("http.headers_too_large",
+                      std::to_string(boundary + 4) + " bytes");
+  }
+
+  // Scan the header block for Content-Length only; full validation
+  // happens in parse_request once the frame is complete.
+  std::size_t content_length = 0;
+  std::size_t line_start = raw.find("\r\n") + 2;
+  while (line_start < boundary + 2) {
+    std::size_t line_end = raw.find("\r\n", line_start);
+    if (line_end == std::string_view::npos || line_end > boundary) {
+      line_end = boundary;
+    }
+    const std::string line(raw.substr(line_start, line_end - line_start));
+    std::string name, value;
+    if (parse_header_line(line, &name, &value) && name == "content-length") {
+      auto parsed = parse_content_length(value);
+      if (!parsed.ok()) return parsed.error();
+      content_length = parsed.value();
+    }
+    line_start = line_end + 2;
+  }
+
+  RequestFrame frame;
+  frame.total_bytes = boundary + 4 + content_length;
+  frame.complete = raw.size() >= frame.total_bytes;
+  return frame;
 }
 
 Bytes HttpResponse::encode() const {
@@ -106,13 +226,14 @@ Result<HttpResponse> parse_response(BytesView raw) {
   if (boundary == std::string::npos) {
     return make_error("http.truncated", "no header terminator");
   }
+  if (boundary + 4 > kMaxHeaderBytes) {
+    return make_error("http.headers_too_large",
+                      std::to_string(boundary + 4) + " bytes");
+  }
 
   HttpResponse resp;
-  const std::vector<std::string> lines = split(text.substr(0, boundary), '\n');
-  std::string status_line = lines[0];
-  if (!status_line.empty() && status_line.back() == '\r') {
-    status_line.pop_back();
-  }
+  const std::size_t line_end = text.find("\r\n");
+  std::string status_line = text.substr(0, line_end);
   const std::vector<std::string> parts = split(status_line, ' ');
   if (parts.size() < 2 || !starts_with(parts[0], "HTTP/1.")) {
     return make_error("http.bad_status_line", status_line);
@@ -125,23 +246,20 @@ Result<HttpResponse> parse_response(BytesView raw) {
   resp.reason = parts.size() > 2 ? parts[2] : "";
   for (std::size_t i = 3; i < parts.size(); ++i) resp.reason += " " + parts[i];
 
+  const std::string header_text =
+      boundary > line_end + 2
+          ? text.substr(line_end + 2, boundary - line_end - 2)
+          : std::string();
+  auto headers = parse_header_block(header_text);
+  if (!headers.ok()) return headers.error();
+  resp.headers = std::move(headers.value());
+
   std::optional<std::size_t> content_length;
-  for (std::size_t i = 1; i < lines.size(); ++i) {
-    std::string line = lines[i];
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
-    std::string name, value;
-    if (!parse_header_line(line, &name, &value)) {
-      return make_error("http.bad_header", line);
-    }
-    resp.headers[name] = value;
-    if (name == "content-length") {
-      try {
-        content_length = static_cast<std::size_t>(std::stoull(value));
-      } catch (const std::exception&) {
-        return make_error("http.bad_content_length", value);
-      }
-    }
+  if (auto it = resp.headers.find("content-length");
+      it != resp.headers.end()) {
+    auto parsed = parse_content_length(it->second);
+    if (!parsed.ok()) return parsed.error();
+    content_length = parsed.value();
   }
 
   const std::size_t body_start = boundary + 4;

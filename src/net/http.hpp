@@ -1,11 +1,16 @@
-// Minimal HTTP/1.1 message codec — the transport beneath AIA fetching.
+// Minimal HTTP/1.1 message codec — the transport beneath AIA fetching
+// and the chaind analysis service (src/service/).
 //
 // RFC 5280 delivers caIssuers material over plain HTTP, and the paper's
 // privacy/security caveats about AIA stem from exactly that. The
 // repository therefore speaks real HTTP framing internally: every fetch
 // encodes a GET request, routes it to the in-process origin, and parses
 // the response — so tests exercise the same encode/parse path a real
-// client would, including malformed-response handling.
+// client would, including malformed-response handling. The same codec
+// frames the daemon's loopback socket traffic, where the peer is
+// untrusted: parsing enforces hard caps on header volume and a strict
+// Content-Length grammar (digits only — no sign, no whitespace, no
+// overflow wrap).
 #pragma once
 
 #include <map>
@@ -16,6 +21,11 @@
 #include "support/result.hpp"
 
 namespace chainchaos::net {
+
+/// Hard limits applied to messages read from untrusted sockets.
+inline constexpr std::size_t kMaxHeaderBytes = 16 * 1024;  ///< request line + headers
+inline constexpr std::size_t kMaxHeaderCount = 64;
+inline constexpr std::size_t kMaxBodyBytes = 8 * 1024 * 1024;
 
 /// Parsed absolute http:// URL (the only scheme AIA uses in practice —
 /// https would be circular).
@@ -32,11 +42,33 @@ struct HttpRequest {
   std::string target = "/";
   std::string host;
   std::map<std::string, std::string> headers;  ///< lower-cased names
+  Bytes body;
 
+  /// Sets Content-Length from the body automatically (when non-empty).
   std::string encode() const;
 };
 
+/// Parses exactly one request message (request line, headers, body).
+/// `raw` must contain the whole frame — use probe_request_frame() to
+/// find its extent when reading from a socket. Enforces kMaxHeaderBytes
+/// / kMaxHeaderCount / kMaxBodyBytes and rejects duplicate, signed,
+/// non-numeric, or overflowing Content-Length values, and any body bytes
+/// beyond the declared length.
 Result<HttpRequest> parse_request(const std::string& raw);
+
+/// Incremental framing probe for a socket reader: given the bytes
+/// received so far, reports whether a complete request message is
+/// present and how long it is.
+struct RequestFrame {
+  bool complete = false;        ///< full header + body received
+  std::size_t total_bytes = 0;  ///< frame length when complete
+};
+
+/// Returns an error as soon as the prefix is hopeless (header section
+/// over kMaxHeaderBytes, bad Content-Length, body over kMaxBodyBytes) so
+/// servers can reject slow-loris or oversized uploads without buffering
+/// them to completion.
+Result<RequestFrame> probe_request_frame(std::string_view raw);
 
 struct HttpResponse {
   int status = 200;

@@ -1,0 +1,104 @@
+#include "service/cache.hpp"
+
+#include <algorithm>
+
+#include "crypto/sha256.hpp"
+
+namespace chainchaos::service {
+
+ResultCache::ResultCache(std::size_t capacity, std::size_t shard_count)
+    : capacity_(capacity) {
+  if (capacity_ == 0) return;
+  shard_count = std::clamp<std::size_t>(shard_count, 1, capacity_);
+  // Split capacity evenly; the remainder is dropped rather than making
+  // shard capacities uneven (keeps eviction behaviour uniform).
+  per_shard_capacity_ = std::max<std::size_t>(1, capacity_ / shard_count);
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::shard_for(const Bytes& key) {
+  // The key is a cryptographic digest: any 8 bytes are uniform. Fold the
+  // first 8 into the shard selector.
+  std::uint64_t selector = 0;
+  for (std::size_t i = 0; i < 8 && i < key.size(); ++i) {
+    selector = (selector << 8) | key[i];
+  }
+  return *shards_[selector % shards_.size()];
+}
+
+std::optional<std::string> ResultCache::get(const Bytes& key) {
+  if (!enabled()) return std::nullopt;
+  Shard& shard = shard_for(key);
+  const std::string k(key.begin(), key.end());
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(k);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void ResultCache::put(const Bytes& key, std::string value) {
+  if (!enabled()) return;
+  Shard& shard = shard_for(key);
+  const std::string k(key.begin(), key.end());
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(k);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  shard.lru.emplace_front(k, std::move(value));
+  shard.index[k] = shard.lru.begin();
+  ++shard.insertions;
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats merged;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    merged.hits += shard->hits;
+    merged.misses += shard->misses;
+    merged.evictions += shard->evictions;
+    merged.insertions += shard->insertions;
+    merged.entries += shard->lru.size();
+  }
+  return merged;
+}
+
+Bytes result_cache_key(std::string_view endpoint, std::string_view domain,
+                       const std::vector<Bytes>& chain_der) {
+  crypto::Sha256 hasher;
+  const auto absorb_length = [&hasher](std::size_t n) {
+    std::uint8_t prefix[8];
+    for (int i = 7; i >= 0; --i) {
+      prefix[i] = static_cast<std::uint8_t>(n & 0xff);
+      n >>= 8;
+    }
+    hasher.update(BytesView(prefix, 8));
+  };
+  absorb_length(endpoint.size());
+  hasher.update(to_bytes(endpoint));
+  absorb_length(domain.size());
+  hasher.update(to_bytes(domain));
+  for (const Bytes& der : chain_der) {
+    absorb_length(der.size());
+    hasher.update(der);
+  }
+  const auto digest = hasher.finish();
+  return Bytes(digest.begin(), digest.end());
+}
+
+}  // namespace chainchaos::service

@@ -1,0 +1,99 @@
+// ResultCache: sharded, fingerprint-keyed LRU cache of rendered analysis
+// responses.
+//
+// The paper's corpus observation that motivates this: intermediates and
+// whole served chains repeat heavily across domains (§4 folds duplicates
+// with Cp[i] labels; a handful of CA chains dominate the Top 1M), so an
+// online analysis service sees the same byte-identical chain over and
+// over. The cache keys on SHA-256 over the request's concatenated chain
+// DER (plus endpoint and query domain, which change the verdict), and
+// stores the fully rendered JSON body — a hit skips parsing, analysis,
+// linting and rendering entirely.
+//
+// Concurrency: the key space is striped over N independent shards, each
+// a mutex-protected LRU list + index. Threads touching different shards
+// never contend; SHA-256 uniformity spreads keys evenly. Counters
+// (hits/misses/evictions/insertions) are per-shard and merged on read.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "support/bytes.hpp"
+
+namespace chainchaos::service {
+
+/// Merged cache counters (see ResultCache::stats()).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t entries = 0;  ///< currently resident
+
+  double hit_ratio() const {
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+class ResultCache {
+ public:
+  /// `capacity` = maximum resident entries across all shards; 0 disables
+  /// the cache (every get() misses, put() is a no-op). `shard_count` is
+  /// clamped to [1, capacity] so every shard can hold at least one entry.
+  explicit ResultCache(std::size_t capacity, std::size_t shard_count = 8);
+
+  bool enabled() const { return capacity_ > 0; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// `key` is a digest (any length ≥ 8; in practice SHA-256). Returns the
+  /// cached value and refreshes its LRU position.
+  std::optional<std::string> get(const Bytes& key);
+
+  /// Inserts (or refreshes) `key`, evicting the shard's least recently
+  /// used entry when the shard is full.
+  void put(const Bytes& key, std::string value);
+
+  /// Counters merged over all shards; consistent per shard, not globally
+  /// atomic (fine for metrics).
+  CacheStats stats() const;
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    /// Front = most recently used. Keys stored as raw digest strings.
+    std::list<std::pair<std::string, std::string>> lru;
+    std::unordered_map<std::string,
+                       std::list<std::pair<std::string, std::string>>::iterator>
+        index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t insertions = 0;
+  };
+
+  Shard& shard_for(const Bytes& key);
+
+  std::size_t capacity_ = 0;
+  std::size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// The service's cache key: SHA-256 over endpoint, query domain, and the
+/// concatenated DER of every certificate in the chain (length-prefixed so
+/// (A,BC) and (AB,C) cannot collide).
+Bytes result_cache_key(std::string_view endpoint, std::string_view domain,
+                       const std::vector<Bytes>& chain_der);
+
+}  // namespace chainchaos::service

@@ -1,0 +1,162 @@
+#include "service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/str.hpp"
+
+namespace chainchaos::service {
+
+namespace {
+
+/// Finds the extent of one complete response in `buffer` (headers +
+/// content-length body). chaind always sends content-length, so the
+/// "body runs to EOF" case never applies on this path.
+/// Returns 0 while incomplete.
+std::size_t response_frame_bytes(const std::string& buffer) {
+  const std::size_t boundary = buffer.find("\r\n\r\n");
+  if (boundary == std::string::npos) return 0;
+  std::size_t content_length = 0;
+  // Headers from our own encoder are lower-case already.
+  const std::string head = to_lower(buffer.substr(0, boundary));
+  const std::size_t pos = head.find("content-length:");
+  if (pos != std::string::npos) {
+    content_length = std::strtoull(head.c_str() + pos + 15, nullptr, 10);
+  }
+  const std::size_t total = boundary + 4 + content_length;
+  return buffer.size() >= total ? total : 0;
+}
+
+}  // namespace
+
+Client::Client(std::uint16_t port, int timeout_ms)
+    : port_(port), timeout_ms_(timeout_ms) {}
+
+Client::~Client() { disconnect(); }
+
+void Client::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<bool> Client::connect_once() {
+  disconnect();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return make_error("client.socket", std::strerror(errno));
+
+  timeval timeout{};
+  timeout.tv_sec = timeout_ms_ / 1000;
+  timeout.tv_usec = (timeout_ms_ % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const std::string detail = std::strerror(errno);
+    disconnect();
+    return make_error("client.connect", detail);
+  }
+  return true;
+}
+
+Result<net::HttpResponse> Client::round_trip(const std::string& wire) {
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return make_error("client.send", std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string buffer;
+  for (;;) {
+    const std::size_t total = response_frame_bytes(buffer);
+    if (total != 0) {
+      auto response = net::parse_response(to_bytes(buffer.substr(0, total)));
+      if (!response.ok()) return response.error();
+      // A "connection: close" response will not be followed by another;
+      // drop the socket so the next request redials.
+      const auto it = response.value().headers.find("connection");
+      if (it != response.value().headers.end() && it->second == "close") {
+        disconnect();
+      }
+      return response;
+    }
+    char chunk[16384];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n == 0) return make_error("client.closed", "server closed connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return make_error("client.recv", std::strerror(errno));
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Result<net::HttpResponse> Client::request(net::HttpRequest req) {
+  req.host = "127.0.0.1:" + std::to_string(port_);
+  const std::string wire = req.encode();
+
+  const bool fresh = fd_ < 0;
+  if (fresh) {
+    auto connected = connect_once();
+    if (!connected.ok()) return connected.error();
+  }
+  auto response = round_trip(wire);
+  if (response.ok() || fresh) return response;
+
+  // The kept-alive connection went stale (server timed it out between
+  // requests): reconnect once and retry.
+  auto connected = connect_once();
+  if (!connected.ok()) return connected.error();
+  return round_trip(wire);
+}
+
+Result<net::HttpResponse> Client::analyze(const std::string& body,
+                                          const std::string& domain) {
+  net::HttpRequest req;
+  req.method = "POST";
+  req.target = domain.empty() ? "/v1/analyze" : "/v1/analyze?domain=" + domain;
+  req.headers["content-type"] = "application/x-pem-file";
+  req.body = to_bytes(body);
+  return request(std::move(req));
+}
+
+Result<net::HttpResponse> Client::lint(const std::string& body,
+                                       const std::string& domain) {
+  net::HttpRequest req;
+  req.method = "POST";
+  req.target = domain.empty() ? "/v1/lint" : "/v1/lint?domain=" + domain;
+  req.headers["content-type"] = "application/x-pem-file";
+  req.body = to_bytes(body);
+  return request(std::move(req));
+}
+
+Result<net::HttpResponse> Client::stats() {
+  net::HttpRequest req;
+  req.target = "/v1/stats";
+  return request(std::move(req));
+}
+
+Result<net::HttpResponse> Client::healthz() {
+  net::HttpRequest req;
+  req.target = "/healthz";
+  return request(std::move(req));
+}
+
+}  // namespace chainchaos::service

@@ -1,0 +1,58 @@
+// service::Client: in-process client for the chaind daemon.
+//
+// Rides the same net:: HTTP/1.1 codec as the server, over a real
+// loopback TCP connection with keep-alive — so repeated queries (the
+// cache-hit workload) reuse one socket. Each instance owns one
+// connection and is NOT thread-safe; concurrent callers each create
+// their own Client (that is the service's concurrency model: one
+// connection per in-flight request stream).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/http.hpp"
+#include "support/result.hpp"
+
+namespace chainchaos::service {
+
+class Client {
+ public:
+  /// Does not connect yet; the first request dials 127.0.0.1:`port`.
+  explicit Client(std::uint16_t port, int timeout_ms = 5000);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// POST /v1/analyze. `body` is a PEM bundle or concatenated DER;
+  /// `domain` (optional) is the hostname the chain was served for.
+  Result<net::HttpResponse> analyze(const std::string& body,
+                                    const std::string& domain = {});
+
+  /// POST /v1/lint.
+  Result<net::HttpResponse> lint(const std::string& body,
+                                 const std::string& domain = {});
+
+  /// GET /v1/stats.
+  Result<net::HttpResponse> stats();
+
+  /// GET /healthz.
+  Result<net::HttpResponse> healthz();
+
+  /// Sends an arbitrary request (host/content-length are filled in) and
+  /// reads the response. Reconnects once if the kept-alive connection
+  /// turned out to be stale.
+  Result<net::HttpResponse> request(net::HttpRequest req);
+
+ private:
+  Result<bool> connect_once();
+  void disconnect();
+  Result<net::HttpResponse> round_trip(const std::string& wire);
+
+  std::uint16_t port_;
+  int timeout_ms_;
+  int fd_ = -1;
+};
+
+}  // namespace chainchaos::service

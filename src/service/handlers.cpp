@@ -1,0 +1,257 @@
+#include "service/handlers.hpp"
+
+#include "asn1/der.hpp"
+#include "chain/analyzer.hpp"
+#include "crypto/sha256.hpp"
+#include "lint/lint.hpp"
+#include "pathbuild/path_builder.hpp"
+#include "report/json.hpp"
+#include "support/str.hpp"
+
+namespace chainchaos::service {
+
+namespace {
+
+/// "/v1/analyze?domain=x" → path "/v1/analyze", domain "x". Only the
+/// `domain` parameter is recognised; values are taken verbatim (hostnames
+/// need no percent-decoding).
+void split_target(const std::string& target, std::string* path,
+                  std::string* domain) {
+  const std::size_t q = target.find('?');
+  *path = target.substr(0, q);
+  if (q == std::string::npos) return;
+  for (const std::string& param : split(target.substr(q + 1), '&')) {
+    constexpr std::string_view kKey = "domain=";
+    if (starts_with(param, kKey)) *domain = param.substr(kKey.size());
+  }
+}
+
+net::HttpResponse json_body_response(std::string body) {
+  net::HttpResponse resp;
+  resp.headers["content-type"] = "application/json";
+  resp.body = to_bytes(body);
+  return resp;
+}
+
+void write_lint_findings(report::JsonWriter& w,
+                         const std::vector<lint::Finding>& findings) {
+  w.key("findings").begin_array();
+  for (const lint::Finding& finding : findings) {
+    w.begin_object();
+    w.key("rule").value(finding.rule->id);
+    w.key("severity").value(lint::to_string(finding.rule->severity));
+    w.key("cert_index").value(finding.cert_index);
+    w.key("detail").value(finding.detail);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace
+
+Result<std::vector<x509::CertPtr>> decode_chain_body(BytesView body) {
+  if (body.empty()) return make_error("service.empty_body");
+  const std::string text = chainchaos::to_string(body);
+  std::vector<x509::CertPtr> chain;
+  if (text.find("-----BEGIN CERTIFICATE-----") != std::string::npos) {
+    auto bundle = x509::bundle_from_pem(text);
+    if (!bundle.ok()) return bundle.error();
+    chain = std::move(bundle).value();
+  } else {
+    // Concatenated DER: each certificate is one top-level SEQUENCE TLV.
+    std::size_t offset = 0;
+    while (offset < body.size()) {
+      asn1::DerReader reader(body.subspan(offset));
+      auto elem = reader.read(asn1::Tag::kSequence);
+      if (!elem.ok()) return elem.error();
+      auto cert = x509::parse_certificate(body.subspan(offset,
+                                                       elem.value().size));
+      if (!cert.ok()) return cert.error();
+      chain.push_back(std::move(cert).value());
+      offset += elem.value().size;
+    }
+  }
+  if (chain.empty()) {
+    return make_error("service.empty_chain", "no certificates in body");
+  }
+  return chain;
+}
+
+RequestHandler::RequestHandler(HandlerOptions options, ResultCache* cache,
+                               Metrics* metrics)
+    : options_(options), cache_(cache), metrics_(metrics) {}
+
+net::HttpResponse RequestHandler::handle(const net::HttpRequest& request) {
+  std::string path, domain;
+  split_target(request.target, &path, &domain);
+
+  if (path == "/healthz") {
+    metrics_->record_request(Endpoint::kHealth);
+    if (request.method != "GET") {
+      return json_error(405, "Method Not Allowed", "service.bad_method",
+                        request.method);
+    }
+    return json_body_response("{\"status\":\"ok\"}");
+  }
+  if (path == "/v1/stats") {
+    metrics_->record_request(Endpoint::kStats);
+    if (request.method != "GET") {
+      return json_error(405, "Method Not Allowed", "service.bad_method",
+                        request.method);
+    }
+    return json_body_response(metrics_->to_json(cache_->stats()));
+  }
+  if (path == "/v1/analyze" || path == "/v1/lint") {
+    const bool full = path == "/v1/analyze";
+    metrics_->record_request(full ? Endpoint::kAnalyze : Endpoint::kLint);
+    if (request.method != "POST") {
+      return json_error(405, "Method Not Allowed", "service.bad_method",
+                        request.method);
+    }
+    return handle_chain_endpoint(request, full);
+  }
+  metrics_->record_request(Endpoint::kOther);
+  return json_error(404, "Not Found", "service.unknown_endpoint", path);
+}
+
+net::HttpResponse RequestHandler::handle_chain_endpoint(
+    const net::HttpRequest& request, bool full_analysis) {
+  std::string path, domain;
+  split_target(request.target, &path, &domain);
+
+  auto chain = decode_chain_body(request.body);
+  if (!chain.ok()) {
+    return json_error(400, "Bad Request", chain.error().code,
+                      chain.error().message);
+  }
+
+  std::vector<Bytes> ders;
+  ders.reserve(chain.value().size());
+  for (const x509::CertPtr& cert : chain.value()) ders.push_back(cert->der);
+  const Bytes key = result_cache_key(path, domain, ders);
+
+  if (auto cached = cache_->get(key); cached.has_value()) {
+    net::HttpResponse resp = json_body_response(std::move(*cached));
+    resp.headers["x-cache"] = "hit";
+    return resp;
+  }
+
+  std::string body = render_chain_report(chain.value(), domain,
+                                         full_analysis);
+  cache_->put(key, body);
+  net::HttpResponse resp = json_body_response(std::move(body));
+  resp.headers["x-cache"] = "miss";
+  return resp;
+}
+
+std::string RequestHandler::render_chain_report(
+    const std::vector<x509::CertPtr>& chain, const std::string& domain,
+    bool full_analysis) const {
+  // Anchors: the configured store, or — auto mode — whatever self-signed
+  // certificates the request itself carries.
+  truststore::RootStore request_store("request");
+  const truststore::RootStore* store = options_.roots;
+  if (store == nullptr) {
+    for (const x509::CertPtr& cert : chain) {
+      if (cert->is_self_signed()) request_store.add(cert);
+    }
+    store = &request_store;
+  }
+
+  chain::ChainObservation observation;
+  observation.domain = domain;
+  observation.certificates = chain;
+
+  chain::CompletenessOptions completeness;
+  completeness.store = store;
+  completeness.aia_enabled = false;
+  const chain::ComplianceAnalyzer analyzer(completeness);
+  const chain::ComplianceReport report = analyzer.analyze(observation);
+
+  const lint::Linter linter(lint::LintOptions{options_.now});
+  const lint::LintReport lint_report = linter.lint(observation, report);
+
+  report::JsonWriter w;
+  w.begin_object();
+  w.key("domain").value(domain);
+  w.key("certificates").value(static_cast<std::uint64_t>(chain.size()));
+  Bytes concatenated;
+  for (const x509::CertPtr& cert : chain) append(concatenated, cert->der);
+  w.key("chain_sha256").value(
+      hex_encode(crypto::Sha256::digest(concatenated)));
+
+  if (full_analysis) {
+    w.key("compliant").value(report.compliant());
+    w.key("leaf_placement").value(chain::to_string(report.leaf_placement));
+
+    w.key("order").begin_object();
+    w.key("compliant").value(report.order.compliant);
+    w.key("any_issue").value(report.order.any_order_issue());
+    w.key("duplicates").value(report.order.has_duplicates);
+    w.key("irrelevant").value(report.order.has_irrelevant);
+    w.key("multiple_paths").value(report.order.multiple_paths);
+    w.key("reversed").value(report.order.reversed_sequence);
+    w.end_object();
+
+    w.key("completeness").begin_object();
+    w.key("complete").value(report.completeness.complete());
+    w.key("category").value(chain::to_string(report.completeness.category));
+    w.key("missing_certificates")
+        .value(report.completeness.missing_certificates);
+    w.end_object();
+
+    pathbuild::PathBuilder builder(pathbuild::BuildPolicy{}, store);
+    builder.set_cache_learning(false);
+    const pathbuild::BuildResult build = builder.build(chain, domain);
+    w.key("path_build").begin_object();
+    w.key("status").value(pathbuild::to_string(build.status));
+    w.key("ok").value(build.ok());
+    w.key("construction_failure")
+        .value(pathbuild::is_construction_failure(build.status));
+    w.key("path_length").value(static_cast<std::uint64_t>(build.path.size()));
+    w.end_object();
+
+    w.key("lint").begin_object();
+    write_lint_findings(w, lint_report.findings);
+    w.key("errors").value(
+        static_cast<std::uint64_t>(lint_report.count(lint::Severity::kError)));
+    w.key("warnings").value(
+        static_cast<std::uint64_t>(lint_report.count(lint::Severity::kWarn)));
+    w.end_object();
+  } else {
+    write_lint_findings(w, lint_report.findings);
+    w.key("errors").value(
+        static_cast<std::uint64_t>(lint_report.count(lint::Severity::kError)));
+    w.key("warnings").value(
+        static_cast<std::uint64_t>(lint_report.count(lint::Severity::kWarn)));
+  }
+  w.end_object();
+  return w.take();
+}
+
+net::HttpResponse json_error(int status, const std::string& reason,
+                             const std::string& code,
+                             const std::string& detail) {
+  report::JsonWriter w;
+  w.begin_object();
+  w.key("error").value(code);
+  w.key("detail").value(detail);
+  w.end_object();
+  net::HttpResponse resp;
+  resp.status = status;
+  resp.reason = reason;
+  resp.headers["content-type"] = "application/json";
+  resp.body = to_bytes(w.take());
+  return resp;
+}
+
+net::HttpResponse busy_response(unsigned retry_after_seconds) {
+  net::HttpResponse resp =
+      json_error(503, "Service Unavailable", "service.busy",
+                 "request queue full");
+  resp.headers["retry-after"] = std::to_string(retry_after_seconds);
+  resp.headers["connection"] = "close";
+  return resp;
+}
+
+}  // namespace chainchaos::service

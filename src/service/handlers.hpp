@@ -1,0 +1,80 @@
+// chaind request handling: HTTP request → JSON response, no sockets.
+//
+// The handler is the service's application layer. It decodes the posted
+// chain (PEM bundle or concatenated DER), consults the result cache, and
+// on a miss runs the full §4/§5 pipeline — ComplianceAnalyzer for the
+// Table 3/5/7 verdicts, chainlint for per-certificate findings, and
+// PathBuilder for the client's-eye construction outcome — then renders
+// one JSON document via report::JsonWriter. Identical chains produce
+// byte-identical bodies whether served from cache or computed fresh
+// (cache state is surfaced only in the x-cache response header), which
+// tests/service_test.cpp enforces.
+//
+// Thread safety: handle() is const-correct in spirit — all mutable state
+// (cache, metrics) is internally synchronized, so one handler is shared
+// by every server worker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/http.hpp"
+#include "service/cache.hpp"
+#include "service/metrics.hpp"
+#include "truststore/root_store.hpp"
+#include "x509/certificate.hpp"
+
+namespace chainchaos::service {
+
+struct HandlerOptions {
+  /// Trust anchors for completeness/path building. When null the handler
+  /// anchors each request on the self-signed certificates the posted
+  /// chain itself carries (the measure_corpus --import convention).
+  const truststore::RootStore* roots = nullptr;
+
+  /// Reference time for lint expiry rules; 0 disables them (the corpus
+  /// sweeps' determinism convention).
+  std::int64_t now = 0;
+};
+
+/// Splits a request body into certificates: a PEM bundle when the BEGIN
+/// marker is present, otherwise back-to-back DER TLVs.
+Result<std::vector<x509::CertPtr>> decode_chain_body(BytesView body);
+
+class RequestHandler {
+ public:
+  /// `cache` and `metrics` must outlive the handler; either may be
+  /// shared with the server that owns them.
+  RequestHandler(HandlerOptions options, ResultCache* cache,
+                 Metrics* metrics);
+
+  /// Dispatches one parsed request to its endpoint. Never throws; every
+  /// failure is a JSON error response with a 4xx status.
+  net::HttpResponse handle(const net::HttpRequest& request);
+
+ private:
+  net::HttpResponse handle_chain_endpoint(const net::HttpRequest& request,
+                                          bool full_analysis);
+
+  /// Cache-miss path: run analyzers and render the response body.
+  std::string render_chain_report(const std::vector<x509::CertPtr>& chain,
+                                  const std::string& domain,
+                                  bool full_analysis) const;
+
+  HandlerOptions options_;
+  ResultCache* cache_;
+  Metrics* metrics_;
+};
+
+/// Canonical JSON error body ({"error":code,"detail":...}) used by every
+/// non-2xx service response.
+net::HttpResponse json_error(int status, const std::string& reason,
+                             const std::string& code,
+                             const std::string& detail);
+
+/// The backpressure response: 503 with Retry-After, sent by the acceptor
+/// when the request queue is full.
+net::HttpResponse busy_response(unsigned retry_after_seconds);
+
+}  // namespace chainchaos::service

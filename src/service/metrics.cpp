@@ -1,0 +1,106 @@
+#include "service/metrics.hpp"
+
+#include "report/json.hpp"
+
+namespace chainchaos::service {
+
+const char* to_string(Endpoint endpoint) {
+  switch (endpoint) {
+    case Endpoint::kAnalyze: return "analyze";
+    case Endpoint::kLint: return "lint";
+    case Endpoint::kStats: return "stats";
+    case Endpoint::kHealth: return "health";
+    case Endpoint::kOther: return "other";
+  }
+  return "other";
+}
+
+void Metrics::record_request(Endpoint endpoint) {
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  by_endpoint_[static_cast<std::size_t>(endpoint)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void Metrics::record_response(int status, std::uint64_t micros) {
+  if (status >= 500) {
+    responses_5xx_.fetch_add(1, std::memory_order_relaxed);
+  } else if (status >= 400) {
+    responses_4xx_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    responses_2xx_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::size_t bucket = kLatencyBucketUpperUs.size();
+  for (std::size_t i = 0; i < kLatencyBucketUpperUs.size(); ++i) {
+    if (micros <= kLatencyBucketUpperUs[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  latency_[bucket].fetch_add(1, std::memory_order_relaxed);
+  latency_total_us_.fetch_add(micros, std::memory_order_relaxed);
+}
+
+void Metrics::record_rejected() {
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Metrics::note_queue_depth(std::size_t depth) {
+  std::uint64_t seen = queue_high_water_.load(std::memory_order_relaxed);
+  while (depth > seen && !queue_high_water_.compare_exchange_weak(
+                             seen, depth, std::memory_order_relaxed)) {
+  }
+}
+
+std::string Metrics::to_json(const CacheStats& cache) const {
+  report::JsonWriter w;
+  w.begin_object();
+
+  w.key("requests").begin_object();
+  w.key("total").value(requests_total());
+  for (std::size_t i = 0; i < kEndpointCount; ++i) {
+    w.key(to_string(static_cast<Endpoint>(i)))
+        .value(by_endpoint_[i].load(std::memory_order_relaxed));
+  }
+  w.end_object();
+
+  w.key("responses").begin_object();
+  w.key("2xx").value(responses_2xx_.load(std::memory_order_relaxed));
+  w.key("4xx").value(responses_4xx_.load(std::memory_order_relaxed));
+  w.key("5xx").value(responses_5xx_.load(std::memory_order_relaxed));
+  w.key("rejected_busy").value(rejected_.load(std::memory_order_relaxed));
+  w.end_object();
+
+  w.key("latency_us").begin_object();
+  w.key("buckets").begin_array();
+  for (std::size_t i = 0; i < kLatencyBucketCount; ++i) {
+    w.begin_object();
+    if (i < kLatencyBucketUpperUs.size()) {
+      w.key("le").value(kLatencyBucketUpperUs[i]);
+    } else {
+      w.key("le").value("inf");
+    }
+    w.key("count").value(latency_[i].load(std::memory_order_relaxed));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("total_us").value(latency_total_us_.load(std::memory_order_relaxed));
+  w.end_object();
+
+  w.key("queue").begin_object();
+  w.key("high_water_mark").value(queue_high_water());
+  w.end_object();
+
+  w.key("cache").begin_object();
+  w.key("hits").value(cache.hits);
+  w.key("misses").value(cache.misses);
+  w.key("evictions").value(cache.evictions);
+  w.key("insertions").value(cache.insertions);
+  w.key("entries").value(cache.entries);
+  w.key("hit_ratio").value(cache.hit_ratio());
+  w.end_object();
+
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace chainchaos::service

@@ -1,0 +1,77 @@
+// Service metrics: lock-free counters for the /v1/stats endpoint.
+//
+// Everything on the request path is a relaxed atomic increment — the
+// counters are monotonic sums with no cross-counter invariants, so
+// relaxed ordering is sufficient and a stats read mid-traffic sees a
+// merely slightly-stale snapshot. Latency lands in fixed log-spaced
+// microsecond buckets (a poor man's histogram: enough for p50/p99-style
+// eyeballing without dynamic allocation on the hot path).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "service/cache.hpp"
+
+namespace chainchaos::service {
+
+/// Endpoint slots for per-endpoint request counters.
+enum class Endpoint { kAnalyze, kLint, kStats, kHealth, kOther };
+
+inline constexpr std::size_t kEndpointCount = 5;
+
+const char* to_string(Endpoint endpoint);
+
+/// Upper bounds (µs) of the latency buckets; the last bucket is
+/// unbounded.
+inline constexpr std::array<std::uint64_t, 8> kLatencyBucketUpperUs = {
+    50, 200, 1000, 5000, 20000, 100000, 500000, 2000000};
+
+inline constexpr std::size_t kLatencyBucketCount =
+    kLatencyBucketUpperUs.size() + 1;
+
+class Metrics {
+ public:
+  void record_request(Endpoint endpoint);
+
+  /// `status` is the HTTP status sent; `micros` the queue-to-response
+  /// service time.
+  void record_response(int status, std::uint64_t micros);
+
+  /// Accepted connections that were turned away with 503 because the
+  /// request queue was full.
+  void record_rejected();
+
+  /// Tracks the queue-depth high-water mark (CAS max).
+  void note_queue_depth(std::size_t depth);
+
+  std::uint64_t requests_total() const {
+    return requests_total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rejected_total() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t queue_high_water() const {
+    return queue_high_water_.load(std::memory_order_relaxed);
+  }
+
+  /// Renders the full metrics document (request counters, status
+  /// classes, latency buckets, queue high-water mark, cache counters)
+  /// as one JSON object via report::JsonWriter.
+  std::string to_json(const CacheStats& cache) const;
+
+ private:
+  std::atomic<std::uint64_t> requests_total_{0};
+  std::array<std::atomic<std::uint64_t>, kEndpointCount> by_endpoint_{};
+  std::atomic<std::uint64_t> responses_2xx_{0};
+  std::atomic<std::uint64_t> responses_4xx_{0};
+  std::atomic<std::uint64_t> responses_5xx_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::array<std::atomic<std::uint64_t>, kLatencyBucketCount> latency_{};
+  std::atomic<std::uint64_t> latency_total_us_{0};
+  std::atomic<std::uint64_t> queue_high_water_{0};
+};
+
+}  // namespace chainchaos::service

@@ -1,0 +1,279 @@
+#include "service/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "support/str.hpp"
+
+namespace chainchaos::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Granularity of the shutdown-responsiveness polls: both the acceptor
+/// and blocked readers wake this often to check the stopping flag.
+constexpr int kPollIntervalMs = 50;
+
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  return left < 0 ? 0 : static_cast<int>(left);
+}
+
+/// Sends the whole buffer, honouring the deadline. Returns false on any
+/// error or timeout (the connection is then abandoned).
+bool send_all(int fd, const std::uint8_t* data, std::size_t size,
+              Clock::time_point deadline) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int wait = std::min(kPollIntervalMs, remaining_ms(deadline));
+      if (wait == 0) return false;
+      struct pollfd pfd = {fd, POLLOUT, 0};
+      ::poll(&pfd, 1, wait);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool send_response(int fd, const net::HttpResponse& response,
+                   int write_timeout_ms) {
+  const Bytes wire = response.encode();
+  return send_all(fd, wire.data(), wire.size(),
+                  Clock::now() + std::chrono::milliseconds(write_timeout_ms));
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config)
+    : config_(config),
+      cache_(config.cache_capacity, config.cache_shards),
+      handler_(config.handler, &cache_, &metrics_) {}
+
+Server::~Server() { stop(); }
+
+Result<std::uint16_t> Server::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return make_error("service.socket", std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return make_error("service.bind", detail);
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return make_error("service.listen", detail);
+  }
+  socklen_t addr_len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+
+  started_ = true;
+  stopping_.store(false);
+  const unsigned workers = config_.workers == 0 ? 1 : config_.workers;
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+  return port_;
+}
+
+void Server::stop() {
+  if (!started_) return;
+  stopping_.store(true);
+  queue_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  started_ = false;
+}
+
+void Server::acceptor_loop() {
+  while (!stopping_.load()) {
+    struct pollfd pfd = {listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
+    if (ready <= 0) continue;  // timeout (stop check) or EINTR
+
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      break;  // listening socket is gone
+    }
+
+    // Bound blocking sends so a peer that stops reading cannot pin a
+    // worker past the write deadline (reads are already poll()-driven).
+    timeval send_timeout{};
+    send_timeout.tv_sec = config_.write_timeout_ms / 1000;
+    send_timeout.tv_usec = (config_.write_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                 sizeof send_timeout);
+
+    bool accepted = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (queue_.size() < config_.queue_capacity) {
+        queue_.push_back(fd);
+        metrics_.note_queue_depth(queue_.size());
+        accepted = true;
+      }
+    }
+    if (accepted) {
+      queue_cv_.notify_one();
+    } else {
+      // Backpressure: answer immediately instead of queueing unboundedly.
+      metrics_.record_rejected();
+      send_response(fd, busy_response(config_.retry_after_seconds),
+                    config_.write_timeout_ms);
+      ::close(fd);
+    }
+  }
+}
+
+int Server::dequeue() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  queue_cv_.wait(lock,
+                 [this] { return stopping_.load() || !queue_.empty(); });
+  if (queue_.empty()) return -1;  // stopping and fully drained
+  const int fd = queue_.front();
+  queue_.pop_front();
+  return fd;
+}
+
+void Server::worker_loop() {
+  // Keep serving until the queue is drained even when stopping: graceful
+  // shutdown completes queued work rather than dropping it.
+  for (int fd = dequeue(); fd >= 0; fd = dequeue()) {
+    serve_connection(fd);
+  }
+}
+
+void Server::serve_connection(int fd) {
+  std::string buffer;
+  bool keep_alive = true;
+  while (keep_alive) {
+    // --- read one request frame ---------------------------------------
+    const auto read_deadline =
+        Clock::now() + std::chrono::milliseconds(config_.read_timeout_ms);
+    std::size_t frame_bytes = 0;
+    bool fatal = false;
+    while (frame_bytes == 0) {
+      auto probe = net::probe_request_frame(buffer);
+      if (!probe.ok()) {
+        // Hostile or broken framing (oversized headers, bad
+        // Content-Length): reject and drop the connection.
+        net::HttpResponse error = json_error(
+            probe.error().code == "http.headers_too_large" ? 431 : 400,
+            "Bad Request", probe.error().code, probe.error().message);
+        error.headers["connection"] = "close";
+        send_response(fd, error, config_.write_timeout_ms);
+        metrics_.record_response(error.status, 0);
+        fatal = true;
+        break;
+      }
+      if (probe.value().complete) {
+        frame_bytes = probe.value().total_bytes;
+        break;
+      }
+      const int wait = std::min(kPollIntervalMs, remaining_ms(read_deadline));
+      if (wait == 0 && remaining_ms(read_deadline) == 0) {
+        fatal = true;  // idle past the deadline: close silently
+        break;
+      }
+      struct pollfd pfd = {fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, wait);
+      if (ready <= 0) {
+        if (stopping_.load() && buffer.empty()) {
+          // Shutting down, no request started and none pending on this
+          // connection — nothing in flight to drain.
+          fatal = true;
+          break;
+        }
+        continue;
+      }
+      char chunk[16384];
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n == 0) {
+        fatal = true;  // peer closed
+        break;
+      }
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+          continue;
+        }
+        fatal = true;
+        break;
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    if (fatal) break;
+
+    // --- parse, dispatch, respond --------------------------------------
+    const auto start = Clock::now();
+    auto request = net::parse_request(buffer.substr(0, frame_bytes));
+    buffer.erase(0, frame_bytes);
+
+    net::HttpResponse response;
+    if (!request.ok()) {
+      response = json_error(400, "Bad Request", request.error().code,
+                            request.error().message);
+      keep_alive = false;
+    } else {
+      response = handler_.handle(request.value());
+      const auto connection = request.value().headers.find("connection");
+      if (connection != request.value().headers.end() &&
+          to_lower(connection->second) == "close") {
+        keep_alive = false;
+      }
+    }
+    if (stopping_.load()) keep_alive = false;
+    if (!keep_alive) response.headers["connection"] = "close";
+
+    if (!send_response(fd, response, config_.write_timeout_ms)) break;
+    const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                            Clock::now() - start)
+                            .count();
+    metrics_.record_response(response.status,
+                             static_cast<std::uint64_t>(micros));
+  }
+  ::close(fd);
+}
+
+}  // namespace chainchaos::service

@@ -1,0 +1,96 @@
+// chaind: the loopback TCP analysis daemon (DESIGN.md §5.9).
+//
+// Architecture, front to back:
+//
+//   acceptor thread ──► bounded fd queue ──► N worker threads
+//        │ (poll+accept)      │ (mutex+cv)        │ (HTTP/1.1 loop)
+//        │                    │                   ├─ ResultCache probe
+//        └─ queue full:       │                   ├─ RequestHandler
+//           503 + Retry-After └─ high-water mark  └─ Metrics
+//
+// One thread polls the listening socket and enqueues accepted
+// connections; when the queue is at capacity the connection is answered
+// immediately with 503 + Retry-After and closed — backpressure is
+// explicit, not an ever-growing backlog. A fixed pool of workers pops
+// connections and speaks HTTP/1.1 keep-alive over them via the net::
+// codec, with per-connection read/write deadlines so a stalled peer can
+// never pin a worker. stop() is graceful: accepting ends, queued and
+// in-flight requests are served to completion, then workers exit.
+//
+// The server binds 127.0.0.1 only — it is an analysis sidecar, not an
+// internet-facing listener.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/handlers.hpp"
+
+namespace chainchaos::service {
+
+struct ServerConfig {
+  std::uint16_t port = 0;  ///< 0 = ephemeral (read the bound port from port())
+  unsigned workers = 4;
+  std::size_t queue_capacity = 64;   ///< pending connections before 503
+  std::size_t cache_capacity = 4096; ///< result-cache entries; 0 disables
+  std::size_t cache_shards = 8;
+  int read_timeout_ms = 5000;   ///< per-request receive deadline
+  int write_timeout_ms = 5000;  ///< per-response send deadline
+  unsigned retry_after_seconds = 1;  ///< advertised in 503 responses
+  HandlerOptions handler;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();  ///< stops if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds 127.0.0.1:<port>, starts the acceptor and worker threads.
+  /// Returns the bound port (the ephemeral one when config.port == 0).
+  Result<std::uint16_t> start();
+
+  std::uint16_t port() const { return port_; }
+  bool running() const { return started_ && !stopping_.load(); }
+
+  /// Graceful shutdown: stop accepting, serve everything queued and
+  /// in-flight, join all threads. Idempotent.
+  void stop();
+
+  Metrics& metrics() { return metrics_; }
+  CacheStats cache_stats() const { return cache_.stats(); }
+
+ private:
+  void acceptor_loop();
+  void worker_loop();
+  void serve_connection(int fd);
+
+  /// Returns the next queued connection, or -1 once stopping and empty.
+  int dequeue();
+
+  ServerConfig config_;
+  ResultCache cache_;
+  Metrics metrics_;
+  RequestHandler handler_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> queue_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace chainchaos::service

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <limits>
 
 #include "report/json.hpp"
@@ -56,6 +57,53 @@ TEST(JsonWriterTest, EscapesControlQuotesAndBackslash) {
   EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
   EXPECT_EQ(json_escape("tab\there"), "tab\\there");
   EXPECT_EQ(json_escape(std::string("nul\0byte", 8)), "nul\\u0000byte");
+}
+
+TEST(JsonWriterTest, EscapesEveryControlByte) {
+  // RFC 8259: all of 0x00–0x1f must be escaped. The service renders
+  // attacker-supplied certificate fields (subjects, SANs) into JSON, so
+  // a missed control byte would corrupt the response document.
+  for (unsigned byte = 0; byte < 0x20; ++byte) {
+    const std::string in(1, static_cast<char>(byte));
+    const std::string out = json_escape(in);
+    EXPECT_GE(out.size(), 2u) << "byte 0x" << std::hex << byte;
+    EXPECT_EQ(out.front(), '\\') << "byte 0x" << std::hex << byte;
+    switch (byte) {
+      case '\b': EXPECT_EQ(out, "\\b"); break;
+      case '\f': EXPECT_EQ(out, "\\f"); break;
+      case '\n': EXPECT_EQ(out, "\\n"); break;
+      case '\r': EXPECT_EQ(out, "\\r"); break;
+      case '\t': EXPECT_EQ(out, "\\t"); break;
+      default: {
+        char expected[8];
+        std::snprintf(expected, sizeof expected, "\\u%04x", byte);
+        EXPECT_EQ(out, expected);
+      }
+    }
+  }
+  // 0x7f (DEL) and beyond are not JSON control characters: passed through.
+  EXPECT_EQ(json_escape("\x7f"), "\x7f");
+}
+
+TEST(JsonWriterTest, NonAsciiBytesPassThroughVerbatim) {
+  // UTF-8 multi-byte sequences (an IDN subject, say) must survive
+  // unmangled — escaping is for control bytes, not for non-ASCII.
+  const std::string utf8 = "m\xc3\xbcnchen-\xe4\xb8\xad\xe6\x96\x87";
+  EXPECT_EQ(json_escape(utf8), utf8);
+
+  // Even bare high bytes (latin-1 junk from a malformed certificate)
+  // pass through without truncation or sign-extension artifacts.
+  const std::string high("\x80\xff\xfe", 3);
+  EXPECT_EQ(json_escape(high), high);
+}
+
+TEST(JsonWriterTest, EscapedStringsSurviveInsideDocuments) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("detail").value("line1\nline2\x01\"quoted\"");
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"detail\":\"line1\\nline2\\u0001\\\"quoted\\\"\"}");
 }
 
 TEST(JsonWriterTest, NestedContainersGetCommasRight) {

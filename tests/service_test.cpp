@@ -1,0 +1,488 @@
+// Tests for the chaind analysis service (src/service/): result cache,
+// metrics, handler JSON, and the live loopback server — including the
+// ISSUE acceptance scenarios (parallel byte-identical responses cache
+// on vs off, 503 + Retry-After under backpressure, graceful drain).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "service/cache.hpp"
+#include "service/client.hpp"
+#include "service/handlers.hpp"
+#include "service/server.hpp"
+#include "x509/builder.hpp"
+
+namespace chainchaos {
+namespace {
+
+using x509::CertificateBuilder;
+using x509::CertPtr;
+using x509::make_identity;
+using x509::SigningIdentity;
+
+struct ServicePki {
+  SigningIdentity root_id = make_identity(asn1::Name::make("Service Root"));
+  SigningIdentity inter_id = make_identity(asn1::Name::make("Service Inter"));
+  CertPtr root, inter, leaf;
+
+  ServicePki() {
+    CertificateBuilder rb;
+    rb.subject(root_id.name).as_ca().public_key(root_id.keys.pub);
+    root = rb.self_sign(root_id.keys);
+    CertificateBuilder ib;
+    ib.subject(inter_id.name).as_ca().public_key(inter_id.keys.pub);
+    inter = ib.sign(root_id);
+    CertificateBuilder lb;
+    lb.as_leaf("service.example");
+    leaf = lb.sign(inter_id);
+  }
+
+  std::string pem_chain() const {
+    return x509::to_pem(*leaf) + x509::to_pem(*inter) + x509::to_pem(*root);
+  }
+};
+
+ServicePki& pki() {
+  static ServicePki instance;
+  return instance;
+}
+
+// ---------------------------------------------------------------------------
+// Raw-socket helpers (for scenarios the Client deliberately can't reach:
+// half-written requests, rejected connections, crafted bytes)
+// ---------------------------------------------------------------------------
+
+int dial(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+void send_raw(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    ASSERT_GT(n, 0);
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads until the peer closes or `timeout_ms` of silence.
+std::string recv_all(int fd, int timeout_ms = 2000) {
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, timeout_ms) <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Result cache
+// ---------------------------------------------------------------------------
+
+TEST(ResultCacheTest, HitMissAndLruEviction) {
+  service::ResultCache cache(/*capacity=*/2, /*shards=*/1);
+  EXPECT_FALSE(cache.get(to_bytes("a")).has_value());
+  cache.put(to_bytes("a"), "A");
+  cache.put(to_bytes("b"), "B");
+  EXPECT_EQ(cache.get(to_bytes("a")).value(), "A");  // refreshes "a"
+  cache.put(to_bytes("c"), "C");                     // evicts LRU "b"
+  EXPECT_FALSE(cache.get(to_bytes("b")).has_value());
+  EXPECT_EQ(cache.get(to_bytes("a")).value(), "A");
+  EXPECT_EQ(cache.get(to_bytes("c")).value(), "C");
+
+  const service::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_DOUBLE_EQ(stats.hit_ratio(), 3.0 / 5.0);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisables) {
+  service::ResultCache cache(0);
+  cache.put(to_bytes("a"), "A");
+  EXPECT_FALSE(cache.get(to_bytes("a")).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCacheTest, PutSameKeyReplacesValue) {
+  service::ResultCache cache(4);
+  cache.put(to_bytes("k"), "v1");
+  cache.put(to_bytes("k"), "v2");
+  EXPECT_EQ(cache.get(to_bytes("k")).value(), "v2");
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ResultCacheTest, ShardedCacheKeepsAllEntriesUnderCapacity) {
+  service::ResultCache cache(/*capacity=*/64, /*shards=*/8);
+  for (int i = 0; i < 32; ++i) {
+    cache.put(to_bytes("key-" + std::to_string(i)), std::to_string(i));
+  }
+  for (int i = 0; i < 32; ++i) {
+    const auto hit = cache.get(to_bytes("key-" + std::to_string(i)));
+    ASSERT_TRUE(hit.has_value()) << "key-" << i;
+    EXPECT_EQ(*hit, std::to_string(i));
+  }
+}
+
+TEST(ResultCacheTest, KeyDependsOnEndpointDomainAndChain) {
+  const std::vector<Bytes> chain = {to_bytes("cert-one"),
+                                    to_bytes("cert-two")};
+  const Bytes base = service::result_cache_key("analyze", "a.example", chain);
+  EXPECT_EQ(base.size(), 32u);  // SHA-256
+  EXPECT_EQ(base,
+            service::result_cache_key("analyze", "a.example", chain));
+  EXPECT_NE(base, service::result_cache_key("lint", "a.example", chain));
+  EXPECT_NE(base, service::result_cache_key("analyze", "b.example", chain));
+  EXPECT_NE(base, service::result_cache_key("analyze", "a.example",
+                                            {to_bytes("cert-one")}));
+  // Length-prefixed fields: moving a boundary must change the key.
+  EXPECT_NE(base, service::result_cache_key(
+                      "analyze", "a.example",
+                      {to_bytes("cert-on"), to_bytes("ecert-two")}));
+}
+
+// ---------------------------------------------------------------------------
+// Handler (no sockets)
+// ---------------------------------------------------------------------------
+
+TEST(ServiceHandlerTest, RoutesAndErrorStatuses) {
+  service::ResultCache cache(16);
+  service::Metrics metrics;
+  service::RequestHandler handler({}, &cache, &metrics);
+
+  net::HttpRequest req;
+  req.method = "GET";
+  req.target = "/healthz";
+  EXPECT_EQ(handler.handle(req).status, 200);
+
+  req.target = "/v1/stats";
+  EXPECT_EQ(handler.handle(req).status, 200);
+
+  req.target = "/nope";
+  EXPECT_EQ(handler.handle(req).status, 404);
+
+  req.target = "/v1/analyze";  // GET where POST is required
+  EXPECT_EQ(handler.handle(req).status, 405);
+
+  req.method = "POST";
+  req.body = to_bytes("this is not a certificate");
+  const net::HttpResponse bad = handler.handle(req);
+  EXPECT_EQ(bad.status, 400);
+  EXPECT_NE(to_string(bad.body).find("\"error\""), std::string::npos);
+}
+
+TEST(ServiceHandlerTest, AnalyzeMissThenHitSameBody) {
+  service::ResultCache cache(16);
+  service::Metrics metrics;
+  service::RequestHandler handler({}, &cache, &metrics);
+
+  net::HttpRequest req;
+  req.method = "POST";
+  req.target = "/v1/analyze?domain=service.example";
+  req.body = to_bytes(pki().pem_chain());
+
+  const net::HttpResponse first = handler.handle(req);
+  ASSERT_EQ(first.status, 200);
+  EXPECT_EQ(first.headers.at("x-cache"), "miss");
+  const net::HttpResponse second = handler.handle(req);
+  ASSERT_EQ(second.status, 200);
+  EXPECT_EQ(second.headers.at("x-cache"), "hit");
+  EXPECT_EQ(first.body, second.body);
+
+  const std::string body = to_string(first.body);
+  EXPECT_NE(body.find("\"domain\":\"service.example\""), std::string::npos);
+  EXPECT_NE(body.find("\"certificates\":3"), std::string::npos);
+  EXPECT_NE(body.find("\"compliant\":true"), std::string::npos);
+  EXPECT_NE(body.find("\"path_build\""), std::string::npos);
+  EXPECT_NE(body.find("\"lint\""), std::string::npos);
+}
+
+TEST(ServiceHandlerTest, BusyResponseCarriesRetryAfter) {
+  const net::HttpResponse busy = service::busy_response(7);
+  EXPECT_EQ(busy.status, 503);
+  EXPECT_EQ(busy.headers.at("retry-after"), "7");
+  EXPECT_EQ(busy.headers.at("connection"), "close");
+}
+
+TEST(ServiceHandlerTest, DecodeChainBodyAcceptsPemAndDer) {
+  const auto from_pem = service::decode_chain_body(
+      to_bytes(pki().pem_chain()));
+  ASSERT_TRUE(from_pem.ok());
+  EXPECT_EQ(from_pem.value().size(), 3u);
+
+  Bytes der = pki().leaf->der;
+  der.insert(der.end(), pki().inter->der.begin(), pki().inter->der.end());
+  const auto from_der = service::decode_chain_body(der);
+  ASSERT_TRUE(from_der.ok());
+  EXPECT_EQ(from_der.value().size(), 2u);
+
+  EXPECT_FALSE(service::decode_chain_body(to_bytes("garbage")).ok());
+  EXPECT_FALSE(service::decode_chain_body({}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Live server
+// ---------------------------------------------------------------------------
+
+TEST(ServiceServerTest, HealthStatsAndAnalyzeOverRealSocket) {
+  service::ServerConfig config;
+  service::Server server(config);
+  const auto port = server.start();
+  ASSERT_TRUE(port.ok());
+  ASSERT_NE(port.value(), 0);
+  EXPECT_TRUE(server.running());
+
+  service::Client client(port.value());
+  const auto health = client.healthz();
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.value().status, 200);
+
+  const auto first = client.analyze(pki().pem_chain(), "service.example");
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first.value().status, 200);
+  EXPECT_EQ(first.value().headers.at("x-cache"), "miss");
+
+  const auto second = client.analyze(pki().pem_chain(), "service.example");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().headers.at("x-cache"), "hit");
+  EXPECT_EQ(first.value().body, second.value().body);
+
+  const auto lint = client.lint(pki().pem_chain(), "service.example");
+  ASSERT_TRUE(lint.ok());
+  EXPECT_EQ(lint.value().status, 200);
+  EXPECT_NE(to_string(lint.value().body).find("\"findings\""),
+            std::string::npos);
+
+  const auto stats = client.stats();
+  ASSERT_TRUE(stats.ok());
+  const std::string body = to_string(stats.value().body);
+  EXPECT_NE(body.find("\"requests\""), std::string::npos);
+  EXPECT_NE(body.find("\"hits\":1"), std::string::npos);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ServiceServerTest, ParallelClientsByteIdenticalCacheOnVsOff) {
+  constexpr unsigned kClients = 8;
+  constexpr unsigned kRequestsPerClient = 4;
+  const std::string chain = pki().pem_chain();
+
+  // One pass per cache mode; every response body across both passes must
+  // be byte-identical (the cache may only change the x-cache header).
+  std::set<std::string> bodies;
+  for (const std::size_t cache_capacity : {std::size_t{0}, std::size_t{64}}) {
+    service::ServerConfig config;
+    config.cache_capacity = cache_capacity;
+    service::Server server(config);
+    const auto port = server.start();
+    ASSERT_TRUE(port.ok());
+
+    std::vector<std::string> collected(kClients * kRequestsPerClient);
+    std::atomic<unsigned> failures{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (unsigned c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        service::Client client(port.value());
+        for (unsigned r = 0; r < kRequestsPerClient; ++r) {
+          const auto response = client.analyze(chain, "service.example");
+          if (!response.ok() || response.value().status != 200) {
+            failures.fetch_add(1);
+            return;
+          }
+          collected[c * kRequestsPerClient + r] =
+              to_string(response.value().body);
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_EQ(failures.load(), 0u);
+    for (const std::string& body : collected) bodies.insert(body);
+
+    const service::CacheStats stats = server.cache_stats();
+    if (cache_capacity == 0) {
+      EXPECT_EQ(stats.hits, 0u);
+    } else {
+      // 32 identical requests, one distinct chain. Concurrent first
+      // requests may each miss (the cache does not coalesce in-flight
+      // misses), so the worst case is one miss per client.
+      EXPECT_GE(stats.hits, kClients * (kRequestsPerClient - 1));
+      EXPECT_LE(stats.misses, kClients);
+    }
+    server.stop();
+  }
+  EXPECT_EQ(bodies.size(), 1u)
+      << "cache on/off or thread interleaving changed the response bytes";
+}
+
+TEST(ServiceServerTest, FullQueueGets503WithRetryAfter) {
+  service::ServerConfig config;
+  config.workers = 1;
+  config.queue_capacity = 1;
+  config.retry_after_seconds = 3;
+  config.read_timeout_ms = 10000;  // parked connections hold the worker
+  service::Server server(config);
+  const auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  // Idle connections park the single worker, then fill the queue; the
+  // acceptor must answer the overflow connection itself with 503.
+  std::vector<int> parked;
+  std::string rejected;
+  for (int i = 0; i < 10 && rejected.empty(); ++i) {
+    const int fd = dial(port.value());
+    const std::string reply = recv_all(fd, 300);
+    if (!reply.empty()) {
+      rejected = reply;
+      ::close(fd);
+    } else {
+      parked.push_back(fd);
+    }
+  }
+  ASSERT_FALSE(rejected.empty()) << "no connection was ever rejected";
+  EXPECT_NE(rejected.find("503"), std::string::npos);
+  EXPECT_NE(rejected.find("retry-after: 3"), std::string::npos);
+  EXPECT_NE(rejected.find("connection: close"), std::string::npos);
+  EXPECT_GE(server.metrics().rejected_total(), 1u);
+
+  for (const int fd : parked) ::close(fd);
+  server.stop();
+}
+
+TEST(ServiceServerTest, GracefulShutdownDrainsQueuedRequests) {
+  service::ServerConfig config;
+  config.workers = 1;
+  service::Server server(config);
+  const auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  // Park the single worker on an idle connection, then queue a complete
+  // request behind it. stop() must abandon the idle connection, serve
+  // the queued request to completion, and only then let the worker exit.
+  const int idle = dial(port.value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  net::HttpRequest req;
+  req.method = "POST";
+  req.target = "/v1/analyze?domain=service.example";
+  req.host = "127.0.0.1";
+  req.body = to_bytes(pki().pem_chain());
+  const int queued = dial(port.value());
+  send_raw(queued, req.encode());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  server.stop();
+
+  const std::string reply = recv_all(queued);
+  EXPECT_NE(reply.find("200 OK"), std::string::npos);
+  EXPECT_NE(reply.find("\"compliant\":true"), std::string::npos);
+  // Served during shutdown, so the response must announce the close.
+  EXPECT_NE(reply.find("connection: close"), std::string::npos);
+  ::close(idle);
+  ::close(queued);
+}
+
+TEST(ServiceServerTest, MalformedRequestsGetJsonErrors) {
+  service::ServerConfig config;
+  service::Server server(config);
+  const auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  {
+    // Header section beyond kMaxHeaderBytes → 431, connection closed.
+    const int fd = dial(port.value());
+    std::string huge = "POST /v1/analyze HTTP/1.1\r\nhost: x\r\n";
+    huge += "x-pad: " + std::string(net::kMaxHeaderBytes, 'a') + "\r\n\r\n";
+    send_raw(fd, huge);
+    const std::string reply = recv_all(fd);
+    EXPECT_NE(reply.find("431"), std::string::npos);
+    ::close(fd);
+  }
+  {
+    // Negative Content-Length → 400 before any body is read.
+    const int fd = dial(port.value());
+    send_raw(fd,
+             "POST /v1/analyze HTTP/1.1\r\nhost: x\r\n"
+             "content-length: -1\r\n\r\n");
+    const std::string reply = recv_all(fd);
+    EXPECT_NE(reply.find("400"), std::string::npos);
+    EXPECT_NE(reply.find("\"error\""), std::string::npos);
+    ::close(fd);
+  }
+  {
+    // Unknown path → 404 JSON error, connection stays usable (keep-alive).
+    const int fd = dial(port.value());
+    send_raw(fd, "GET /nope HTTP/1.1\r\nhost: x\r\n\r\n");
+    const std::string first = recv_all(fd, 500);
+    EXPECT_NE(first.find("404"), std::string::npos);
+    send_raw(fd, "GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n");
+    const std::string second = recv_all(fd, 500);
+    EXPECT_NE(second.find("200 OK"), std::string::npos);
+    ::close(fd);
+  }
+  server.stop();
+}
+
+TEST(ServiceServerTest, StopIsIdempotentAndRestartNotSupported) {
+  service::Server server({});
+  const auto port = server.start();
+  ASSERT_TRUE(port.ok());
+  server.stop();
+  server.stop();  // second stop is a no-op
+  EXPECT_FALSE(server.running());
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(ServiceMetricsTest, CountersAndJsonShape) {
+  service::Metrics metrics;
+  metrics.record_request(service::Endpoint::kAnalyze);
+  metrics.record_request(service::Endpoint::kLint);
+  metrics.record_response(200, /*latency_us=*/120);
+  metrics.record_response(404, /*latency_us=*/30);
+  metrics.record_rejected();
+  metrics.note_queue_depth(5);
+  metrics.note_queue_depth(2);  // high-water stays 5
+
+  EXPECT_EQ(metrics.requests_total(), 2u);
+  EXPECT_EQ(metrics.rejected_total(), 1u);
+
+  const std::string json = metrics.to_json(service::CacheStats{});
+  EXPECT_NE(json.find("\"analyze\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"lint\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"2xx\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"4xx\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"rejected_busy\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"high_water_mark\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"hit_ratio\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chainchaos

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "net/aia_repository.hpp"
+#include "net/http.hpp"
 #include "tls/certificate_message.hpp"
 #include "tls/handshake.hpp"
 #include "truststore/root_store.hpp"
@@ -233,6 +234,120 @@ TEST(HandshakeTest, UntrustedRootSurfaces) {
   const tls::HandshakeOutcome outcome = tls::simulate_handshake(server, builder);
   EXPECT_TRUE(outcome.wire_ok);
   EXPECT_EQ(outcome.build.status, pathbuild::BuildStatus::kUntrustedRoot);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP hardening: crafted bytes against the request parser (the chaind
+// service reads these straight off an untrusted loopback socket)
+// ---------------------------------------------------------------------------
+
+std::string crafted(const std::string& headers, const std::string& body = {}) {
+  return "POST /v1/analyze HTTP/1.1\r\nhost: x\r\n" + headers + "\r\n" + body;
+}
+
+TEST(HttpHardeningTest, RejectsOversizedHeaderSection) {
+  const std::string raw =
+      crafted("x-pad: " + std::string(net::kMaxHeaderBytes, 'a') + "\r\n");
+  const auto parsed = net::parse_request(raw);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "http.headers_too_large");
+  // The incremental probe must refuse an unterminated header section as
+  // soon as it crosses the cap, without waiting for more bytes
+  // (anti-slow-loris).
+  EXPECT_FALSE(
+      net::probe_request_frame(raw.substr(0, net::kMaxHeaderBytes + 10)).ok());
+}
+
+TEST(HttpHardeningTest, RejectsTooManyHeaders) {
+  std::string headers;
+  for (std::size_t i = 0; i <= net::kMaxHeaderCount; ++i) {
+    headers += "x-h" + std::to_string(i) + ": v\r\n";
+  }
+  const auto parsed = net::parse_request(crafted(headers));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "http.too_many_headers");
+}
+
+TEST(HttpHardeningTest, RejectsNegativeContentLength) {
+  // strtoull-style parsing would wrap "-1" to 2^64-1 and try to buffer
+  // an 18-exabyte body; the strict digits-only grammar refuses it.
+  const auto parsed = net::parse_request(crafted("content-length: -1\r\n"));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "http.bad_content_length");
+}
+
+TEST(HttpHardeningTest, RejectsMalformedContentLengthValues) {
+  for (const char* value : {"1x", "+5", " 12", "0x10", "```", ""}) {
+    const auto parsed = net::parse_request(
+        crafted(std::string("content-length: ") + value + "\r\n"));
+    EXPECT_FALSE(parsed.ok()) << "value: '" << value << "'";
+  }
+}
+
+TEST(HttpHardeningTest, RejectsOverflowingContentLength) {
+  // 2^64 + a bit: must be refused, not wrapped.
+  const auto wrapped = net::parse_request(
+      crafted("content-length: 18446744073709551617\r\n"));
+  ASSERT_FALSE(wrapped.ok());
+  EXPECT_EQ(wrapped.error().code, "http.bad_content_length");
+
+  // In-range but over the body cap: also refused, before buffering.
+  const auto huge = net::parse_request(crafted(
+      "content-length: " + std::to_string(net::kMaxBodyBytes + 1) + "\r\n"));
+  ASSERT_FALSE(huge.ok());
+  EXPECT_EQ(huge.error().code, "http.body_too_large");
+  EXPECT_FALSE(net::probe_request_frame(crafted(
+                   "content-length: " +
+                   std::to_string(net::kMaxBodyBytes + 1) + "\r\n"))
+                   .ok());
+}
+
+TEST(HttpHardeningTest, RejectsDuplicateContentLength) {
+  // Classic request-smuggling vector: two lengths, pick-your-parser.
+  const auto parsed = net::parse_request(
+      crafted("content-length: 2\r\ncontent-length: 3\r\n", "abc"));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "http.duplicate_content_length");
+}
+
+TEST(HttpHardeningTest, RejectsBodyBytesBeyondContentLength) {
+  const auto parsed =
+      net::parse_request(crafted("content-length: 2\r\n", "abcdef"));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "http.trailing_bytes");
+}
+
+TEST(HttpHardeningTest, BodyRoundTripsThroughEncodeAndParse) {
+  net::HttpRequest request;
+  request.method = "POST";
+  request.target = "/v1/lint";
+  request.host = "127.0.0.1";
+  request.body = to_bytes("hello\r\n\r\nworld");  // embedded CRLFCRLF
+  const auto parsed = net::parse_request(request.encode());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().method, "POST");
+  EXPECT_EQ(parsed.value().body, request.body);
+}
+
+TEST(HttpHardeningTest, ProbeTracksFrameIncrementally) {
+  net::HttpRequest request;
+  request.method = "POST";
+  request.target = "/v1/analyze";
+  request.host = "127.0.0.1";
+  request.body = to_bytes("0123456789");
+  const std::string wire = request.encode();
+
+  // Every strict prefix is incomplete; the full frame is complete with
+  // the exact byte count, even with pipelined bytes after it.
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    const auto probe = net::probe_request_frame(wire.substr(0, cut));
+    ASSERT_TRUE(probe.ok()) << "cut at " << cut;
+    EXPECT_FALSE(probe.value().complete) << "cut at " << cut;
+  }
+  const auto full = net::probe_request_frame(wire + "GET / HTTP/1.1\r\n");
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(full.value().complete);
+  EXPECT_EQ(full.value().total_bytes, wire.size());
 }
 
 }  // namespace
