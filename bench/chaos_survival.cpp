@@ -1,0 +1,56 @@
+// Chaos survival bench: mutation + classification throughput of the
+// chaos harness at 1/2/4/8 threads, with the determinism cross-check
+// the crash-free contract promises (DESIGN.md §5.10).
+//
+// Reports inputs/sec for the direct-pipeline campaign — the number that
+// bounds how large a pre-release bombardment CI can afford — and fails
+// (exit 1) if any thread count changes the campaign digest or any input
+// crashes, hangs, or goes unclassified. Not a paper table: this is a
+// harness-health bench, like engine_scaling.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "chaos/campaign.hpp"
+#include "report/table.hpp"
+
+using namespace chainchaos;
+
+int main(int argc, char** argv) {
+  std::size_t count = 520;  // 40 inputs per mutation class
+  if (argc > 1) count = static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10));
+
+  report::Table table("Chaos survival: campaign throughput and digest stability");
+  table.header({"threads", "inputs", "inputs/sec", "crashes", "hangs",
+                "digest(12)"});
+  std::string reference_digest;
+  bool ok = true;
+
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    chaos::CampaignOptions options;
+    options.count = count;
+    options.threads = threads;
+    chaos::Campaign campaign(options);
+
+    const auto start = std::chrono::steady_clock::now();
+    const chaos::CampaignSummary summary = campaign.run();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    if (reference_digest.empty()) reference_digest = summary.digest;
+    if (summary.digest != reference_digest || !summary.contract_ok()) ok = false;
+
+    table.row({std::to_string(threads), std::to_string(summary.inputs),
+               std::to_string(static_cast<std::uint64_t>(
+                   seconds > 0 ? static_cast<double>(count) / seconds : 0)),
+               std::to_string(summary.crashes), std::to_string(summary.hangs),
+               summary.digest.substr(0, 12)});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("%s\n", ok ? "contract held at every thread count"
+                         : "CONTRACT VIOLATION (see rows above)");
+  return ok ? 0 : 1;
+}

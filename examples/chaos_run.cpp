@@ -1,0 +1,82 @@
+// chaos_run: drive a chaos campaign from the command line.
+//
+// Derives --count adversarial inputs (seeded, deterministic) from the
+// mutation engine and pushes each through the full pipeline, printing
+// the campaign summary. The output is a pure function of the flags —
+// no timestamps, no thread-order effects — so two invocations with the
+// same flags must produce byte-identical stdout; scripts/chaos_smoke.sh
+// diffs exactly that.
+//
+//   chaos_run --seed 833 --count 260 --threads 8
+//   chaos_run --mutations B1,B3,S7 --count 60
+//   chaos_run --through-daemon --count 120           # in-process chaind
+//   chaos_run --through-daemon --port 8443 ...       # external chaind
+//   chaos_run --aia-transient 2 --count 130          # flaky AIA web
+//
+// Exit status: 0 when the crash-free contract held (no crash, no hang,
+// no unanswered daemon request), 1 otherwise — so CI can gate on it.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "chaos/campaign.hpp"
+#include "cli_common.hpp"
+#include "support/str.hpp"
+
+int main(int argc, char** argv) {
+  using namespace chainchaos;
+
+  chaos::CampaignOptions options;
+  std::string mutations;
+  std::uint16_t port = 0;
+  bool list = false;
+
+  cli::Flags flags;
+  flags.add("--seed", &options.seed, "N");
+  flags.add("--count", &options.count, "N");
+  flags.add("--threads", &options.threads, "N");
+  flags.add("--domains", &options.corpus_domains, "N");
+  flags.add("--mutations", &mutations, "IDS");
+  flags.add("--deadline-ms", &options.per_input_deadline_ms, "MS");
+  flags.add("--aia-transient", &options.aia_transient_failures, "N");
+  flags.add("--aia-permanent", &options.aia_permanent_failures);
+  flags.add("--aia-retries", &options.aia_max_retries, "N");
+  flags.add("--through-daemon", &options.through_daemon);
+  flags.add("--port", &port, "PORT");
+  flags.add("--list", &list);
+  if (!flags.parse(argc, argv)) return 1;
+  options.daemon_port = port;
+
+  if (list) {
+    for (const chaos::MutationSpec& spec : chaos::all_mutations()) {
+      std::printf("%-3s %-16s %s\n", spec.id, spec.name, spec.paper_row);
+    }
+    return 0;
+  }
+
+  // --mutations B1,bit-flip,S7 — IDs and names mix freely.
+  if (!mutations.empty()) {
+    for (const std::string& token : split(mutations, ',')) {
+      auto cls = chaos::mutation_from_name(token);
+      if (!cls.ok()) {
+        std::fprintf(stderr, "chaos_run: unknown mutation '%s' (--list)\n",
+                     token.c_str());
+        return 1;
+      }
+      options.classes.push_back(cls.value());
+    }
+  }
+
+  std::printf("chaos_run: seed=%llu count=%zu classes=%zu threads=%u%s\n",
+              static_cast<unsigned long long>(options.seed), options.count,
+              options.classes.empty() ? chaos::kMutationClassCount
+                                      : options.classes.size(),
+              options.threads == 0 ? 0u : options.threads,
+              options.through_daemon ? " through-daemon" : "");
+
+  chaos::Campaign campaign(options);
+  const chaos::CampaignSummary summary = campaign.run();
+  std::fputs(summary.to_string().c_str(), stdout);
+
+  return summary.contract_ok() ? 0 : 1;
+}

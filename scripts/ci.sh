@@ -11,7 +11,11 @@
 #      (also registered as the `service_smoke` ctest, so stages 1 and 2
 #      already ran it in-suite; this stage exercises the shipped script
 #      against the tier-1 binaries directly)
-#   4. static analysis: scripts/lint.sh
+#   4. chaos campaign under sanitizers: 5000 mutated inputs (all 13
+#      classes, seeded) through the ASan/UBSan build of the full
+#      pipeline, at 1 and 8 threads — zero crashes/hangs/findings and
+#      byte-identical summaries (the §5.10 crash-free contract)
+#   5. static analysis: scripts/lint.sh
 #
 # Build trees live in build/ and build-asan/ and are reused across runs.
 set -eu
@@ -19,20 +23,39 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "=== [1/4] tier-1 build + tests ==="
+echo "=== [1/5] tier-1 build + tests ==="
 cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [2/4] ASan/UBSan build + tests ==="
+echo "=== [2/5] ASan/UBSan build + tests ==="
 cmake -B build-asan -S . -DCHAINCHAOS_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "=== [3/4] service smoke ==="
+echo "=== [3/5] service smoke ==="
 scripts/service_smoke.sh build/examples/chaind build/examples/chainq
 
-echo "=== [4/4] static analysis ==="
+echo "=== [4/5] chaos campaign under ASan/UBSan ==="
+# The acceptance gate of DESIGN.md §5.10: a 5000-input campaign over
+# every mutation class must classify everything — no crash, no hang, no
+# sanitizer finding — and the summary must not depend on thread count.
+CHAOS_T1=$(mktemp)
+CHAOS_T8=$(mktemp)
+trap 'rm -f "$CHAOS_T1" "$CHAOS_T8"' EXIT
+build-asan/examples/chaos_run --seed 833 --count 5000 --threads 1 \
+    | tail -n +2 >"$CHAOS_T1"
+build-asan/examples/chaos_run --seed 833 --count 5000 --threads 8 \
+    | tail -n +2 >"$CHAOS_T8"
+diff -u "$CHAOS_T1" "$CHAOS_T8"
+grep -q "contract=ok" "$CHAOS_T1"
+# AIA degradation sweeps: flaky (retry-curable) and hard-down webs.
+build-asan/examples/chaos_run --seed 833 --count 1300 --aia-transient 2 \
+    | grep -q "contract=ok"
+build-asan/examples/chaos_run --seed 833 --count 1300 --aia-permanent \
+    | grep -q "contract=ok"
+
+echo "=== [5/5] static analysis ==="
 scripts/lint.sh build
 
 echo "CI: all gates passed"

@@ -270,6 +270,49 @@ Result<std::string> decode_oid_body(BytesView body) {
   return out;
 }
 
+Result<bool> check_nesting(BytesView der, std::size_t max_depth) {
+  // Explicit stack of "end offsets" of the constructed values the cursor
+  // is currently inside; its size is the nesting depth. Lengths are read
+  // with the same tolerances as read_any() so the two walkers agree on
+  // framing; anything read_any() would reject is simply skipped here.
+  std::vector<std::size_t> ends;
+  std::size_t pos = 0;
+  while (pos < der.size() || !ends.empty()) {
+    while (!ends.empty() && pos >= ends.back()) ends.pop_back();
+    if (pos >= der.size()) break;
+    const std::uint8_t tag = der[pos++];
+    if ((tag & 0x1f) == 0x1f) {  // multi-byte tag number
+      while (pos < der.size() && (der[pos] & 0x80)) ++pos;
+      if (pos++ >= der.size()) return true;
+    }
+    if (pos >= der.size()) return true;
+    std::size_t length = der[pos++];
+    if (length & 0x80) {
+      const std::size_t num_octets = length & 0x7f;
+      if (num_octets == 0 || num_octets > 4 ||
+          num_octets > der.size() - pos) {
+        return true;  // indefinite/oversized/truncated: the reader's call
+      }
+      length = 0;
+      for (std::size_t i = 0; i < num_octets; ++i) {
+        length = (length << 8) | der[pos++];
+      }
+    }
+    if (length > der.size() - pos) return true;  // truncated value
+    if (tag & 0x20) {  // constructed: descend
+      if (ends.size() + 1 > max_depth) {
+        return make_error("der.too_deep",
+                          "TLV nesting exceeds depth cap of " +
+                              std::to_string(max_depth));
+      }
+      ends.push_back(pos + length);
+    } else {
+      pos += length;
+    }
+  }
+  return true;
+}
+
 Result<std::string> DerReader::read_oid() {
   Result<DerElement> elem = read(Tag::kOid);
   if (!elem.ok()) return elem.error();

@@ -142,4 +142,20 @@ class DerReader {
 /// Parses an OID body back to dotted-decimal.
 Result<std::string> decode_oid_body(BytesView body);
 
+/// Maximum TLV nesting depth any decoder in the stack accepts. X.509
+/// structures stay below ~16 levels; the cap exists so pathological
+/// inputs (a 10k-deep constructed tower) are rejected with a clean error
+/// instead of driving recursive consumers into stack exhaustion.
+inline constexpr std::size_t kMaxNestingDepth = 64;
+
+/// Walks the TLV tree of `der` *iteratively* (bounded memory, no
+/// recursion) and rejects nesting deeper than `max_depth` with
+/// "der.too_deep". Framing defects (truncation, bad lengths) are not
+/// this gate's business: they pass through so the reader proper can
+/// report them with its usual codes. Every parse entry point that later
+/// descends recursively (x509::parse_certificate, the lint DER scans)
+/// calls this first.
+Result<bool> check_nesting(BytesView der,
+                           std::size_t max_depth = kMaxNestingDepth);
+
 }  // namespace chainchaos::asn1

@@ -1,0 +1,235 @@
+#include "chaos/campaign.hpp"
+
+#include <chrono>
+#include <exception>
+
+#include "chain/analyzer.hpp"
+#include "crypto/sha256.hpp"
+#include "dataset/corpus.hpp"
+#include "engine/engine.hpp"
+#include "lint/lint.hpp"
+#include "pathbuild/path_builder.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+namespace chainchaos::chaos {
+
+namespace {
+
+/// Golden-ratio stride: consecutive input indices get maximally spread
+/// seeds, derived arithmetically (no shared Rng state to race on).
+constexpr std::uint64_t kSeedStride = 0x9e3779b97f4a7c15ULL;
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+struct Campaign::State {
+  std::unique_ptr<dataset::Corpus> corpus;
+  std::unique_ptr<ChainMutator> mutator;
+  std::unique_ptr<service::Server> server;  ///< daemon mode, port == 0
+  std::uint16_t port = 0;
+};
+
+Campaign::Campaign(CampaignOptions options) : options_(std::move(options)) {}
+
+Campaign::~Campaign() = default;
+
+std::string Campaign::analyze_direct(const MutatedChain& input) {
+  // Stage 1: decode. Any certificate that fails to parse classifies the
+  // whole input (the strictest client behaviour; byte-level mutations
+  // mostly terminate here with a clean error code).
+  std::vector<x509::CertPtr> chain;
+  chain.reserve(input.certs.size());
+  for (const Bytes& der : input.certs) {
+    auto cert = x509::parse_certificate(der);
+    if (!cert.ok()) return "parse:" + cert.error().code;
+    chain.push_back(std::move(cert).value());
+  }
+  if (chain.empty()) return "empty";
+
+  // Stage 2: the full analysis pipeline, exactly as measure_corpus and
+  // chaind run it.
+  chain::ChainObservation observation;
+  observation.certificates = chain;
+
+  chain::CompletenessOptions completeness;
+  completeness.store = &state_->corpus->stores().union_store;
+  completeness.aia = &state_->corpus->aia();
+  completeness.aia_enabled = true;
+  const chain::ComplianceAnalyzer analyzer(completeness);
+  const chain::ComplianceReport report = analyzer.analyze(observation);
+
+  const lint::Linter linter{lint::LintOptions{}};
+  const lint::LintReport lint_report = linter.lint(observation, report);
+
+  pathbuild::BuildPolicy policy;
+  policy.aia_completion = true;
+  policy.aia_max_retries = options_.aia_max_retries;
+  pathbuild::PathBuilder builder(policy,
+                                 &state_->corpus->stores().union_store,
+                                 &state_->corpus->aia());
+  builder.set_cache_learning(false);
+  const pathbuild::BuildResult build = builder.build(chain);
+
+  return std::string("ok:") + chain::to_string(report.leaf_placement) + "/" +
+         pathbuild::to_string(build.status) +
+         "/lint=" + std::to_string(lint_report.findings.size());
+}
+
+CampaignSummary Campaign::run() {
+  // --- materialize the fixture -------------------------------------------
+  state_ = std::make_unique<State>();
+  dataset::CorpusConfig corpus_config;
+  corpus_config.domain_count = options_.corpus_domains;
+  state_->corpus = std::make_unique<dataset::Corpus>(corpus_config);
+
+  if (options_.aia_permanent_failures) {
+    net::FaultSpec fault;
+    fault.permanent = true;
+    state_->corpus->aia().inject_fault_all(fault);
+  } else if (options_.aia_transient_failures > 0) {
+    net::FaultSpec fault;
+    fault.transient_failures = options_.aia_transient_failures;
+    state_->corpus->aia().inject_fault_all(fault);
+  }
+
+  state_->mutator = std::make_unique<ChainMutator>(
+      ChainMutator::from_corpus(*state_->corpus));
+
+  if (options_.through_daemon) {
+    if (options_.daemon_port != 0) {
+      state_->port = options_.daemon_port;
+    } else {
+      service::ServerConfig server_config;
+      server_config.handler.roots = &state_->corpus->stores().union_store;
+      server_config.handler.aia = &state_->corpus->aia();
+      server_config.handler.aia_max_retries = options_.aia_max_retries;
+      state_->server = std::make_unique<service::Server>(server_config);
+      auto port = state_->server->start();
+      if (!port.ok()) {
+        CampaignSummary failed;
+        failed.transport_failures = options_.count;
+        failed.digest = "server-start-failed:" + port.error().code;
+        return failed;
+      }
+      state_->port = port.value();
+    }
+  }
+
+  const std::vector<MutationClass> classes =
+      options_.classes.empty()
+          ? [] {
+              std::vector<MutationClass> all;
+              for (const MutationSpec& s : all_mutations()) all.push_back(s.cls);
+              return all;
+            }()
+          : options_.classes;
+
+  // --- drive every input --------------------------------------------------
+  // Results land in an index-keyed vector: whatever order the workers
+  // finish in, the merge below reads them 0..count-1, so summaries are
+  // independent of scheduling.
+  std::vector<InputResult> results(options_.count);
+  const unsigned threads = engine::resolve_threads(options_.threads);
+
+  // Daemon mode: one keep-alive client per worker (Client is
+  // single-connection and not thread-safe by design).
+  std::vector<std::unique_ptr<service::Client>> clients;
+  if (options_.through_daemon) {
+    for (unsigned i = 0; i < threads; ++i) {
+      clients.push_back(std::make_unique<service::Client>(state_->port));
+    }
+  }
+
+  engine::ShardOptions shards;
+  shards.threads = threads;
+  engine::for_each_shard(
+      options_.count, shards,
+      [&](std::size_t first, std::size_t last, unsigned worker) {
+        for (std::size_t i = first; i < last; ++i) {
+          const MutationClass cls = classes[i % classes.size()];
+          const std::uint64_t seed =
+              options_.seed + kSeedStride * (static_cast<std::uint64_t>(i) + 1);
+          InputResult& result = results[i];
+          result.mutation_id = spec(cls).id;
+          const auto start = Clock::now();
+          try {
+            const MutatedChain input = state_->mutator->mutate(cls, seed);
+            if (options_.through_daemon) {
+              const Bytes body = input.wire();
+              auto response = clients[worker]->analyze(
+                  std::string(body.begin(), body.end()));
+              if (!response.ok()) {
+                result.outcome = "net:" + response.error().code;
+                result.transport_failed = true;
+              } else {
+                result.outcome =
+                    "http:" + std::to_string(response.value().status) + ":" +
+                    hex_encode(crypto::Sha256::digest(response.value().body))
+                        .substr(0, 12);
+              }
+            } else {
+              result.outcome = analyze_direct(input);
+            }
+          } catch (const std::exception& e) {
+            result.outcome = std::string("crash:") + e.what();
+            result.crashed = true;
+          } catch (...) {
+            result.outcome = "crash:unknown";
+            result.crashed = true;
+          }
+          const auto elapsed_ms =
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  Clock::now() - start)
+                  .count();
+          if (options_.per_input_deadline_ms != 0 &&
+              static_cast<std::uint64_t>(elapsed_ms) >
+                  options_.per_input_deadline_ms) {
+            result.hung = true;
+          }
+        }
+      });
+
+  if (state_->server) state_->server->stop();
+
+  // --- ordered merge -------------------------------------------------------
+  CampaignSummary summary;
+  summary.inputs = options_.count;
+  std::string transcript;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const InputResult& result = results[i];
+    summary.outcomes[result.mutation_id][result.outcome] += 1;
+    if (result.crashed) ++summary.crashes;
+    if (result.hung) ++summary.hangs;
+    if (result.transport_failed) ++summary.transport_failures;
+    transcript += std::to_string(i);
+    transcript += ':';
+    transcript += result.mutation_id;
+    transcript += ':';
+    transcript += result.outcome;
+    transcript += '\n';
+  }
+  summary.digest = hex_encode(crypto::Sha256::digest(to_bytes(transcript)));
+  return summary;
+}
+
+std::string CampaignSummary::to_string() const {
+  std::string out;
+  out += "inputs=" + std::to_string(inputs);
+  out += " crashes=" + std::to_string(crashes);
+  out += " hangs=" + std::to_string(hangs);
+  out += " transport_failures=" + std::to_string(transport_failures);
+  out += contract_ok() ? " contract=ok\n" : " contract=VIOLATED\n";
+  for (const auto& [mutation_id, histogram] : outcomes) {
+    out += mutation_id;
+    out += ":\n";
+    for (const auto& [outcome, count] : histogram) {
+      out += "  " + outcome + " " + std::to_string(count) + "\n";
+    }
+  }
+  out += "digest=" + digest + "\n";
+  return out;
+}
+
+}  // namespace chainchaos::chaos

@@ -1,0 +1,122 @@
+// chaos::Campaign: the survival harness behind the crash-free contract.
+//
+// A campaign derives `count` adversarial inputs from the mutation engine
+// (class round-robin, per-input seeds spaced by a golden-ratio stride
+// from the campaign seed) and drives every one through the full
+// pipeline: DER parse, certificate decode, chain:: compliance analysis,
+// chainlint, and PathBuilder with AIA completion — either in-process or,
+// in --through-daemon mode, POSTed to a live chaind over a real loopback
+// socket. The contract it enforces (DESIGN.md §5.10):
+//
+//   * no crash     — no exception escapes, no worker dies (and under the
+//                    ci.sh sanitizer stage: no ASan/UBSan finding),
+//   * no hang      — every input classified within the per-input
+//                    deadline,
+//   * determinism  — the summary (per-class outcome histogram + SHA-256
+//                    digest over every per-input verdict) is
+//                    byte-identical across repeated runs and across
+//                    thread counts.
+//
+// Determinism is engineered, not hoped for: per-input seeds derive
+// arithmetically from the input index (never from shared Rng state),
+// results land in an index-keyed vector merged in order, and the
+// summary carries no wall-clock data.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/mutation.hpp"
+
+namespace chainchaos::chaos {
+
+struct CampaignOptions {
+  std::uint64_t seed = 833;
+  std::size_t count = 200;       ///< mutated inputs to derive and run
+  std::vector<MutationClass> classes;  ///< empty = all 13 classes
+  unsigned threads = 1;          ///< campaign workers; 0 = hardware
+  std::uint64_t per_input_deadline_ms = 10000;  ///< hang threshold
+
+  /// Base-corpus shape (kept small: the mutator only harvests a few
+  /// dozen chains from it).
+  std::size_t corpus_domains = 120;
+
+  // --- AIA degradation ---------------------------------------------------
+  /// Injected on every published URI before the run: first N attempts of
+  /// each fetch fail transiently (exercises the retry path end to end).
+  int aia_transient_failures = 0;
+  /// Every AIA URI hard-down (fetches must degrade, never crash).
+  bool aia_permanent_failures = false;
+  /// Retry budget handed to PathBuilder / the daemon handler.
+  int aia_max_retries = 2;
+
+  // --- daemon mode --------------------------------------------------------
+  /// Route every input through chaind's HTTP endpoints instead of
+  /// calling the pipeline in-process.
+  bool through_daemon = false;
+  /// Target an already-running daemon; 0 starts an in-process Server on
+  /// an ephemeral port for the duration of the run.
+  std::uint16_t daemon_port = 0;
+};
+
+struct CampaignSummary {
+  std::size_t inputs = 0;
+  std::size_t crashes = 0;             ///< exceptions that reached the harness
+  std::size_t hangs = 0;               ///< per-input deadline overruns
+  std::size_t transport_failures = 0;  ///< daemon mode: request never answered
+
+  /// mutation id ("B1".."S7") → outcome string → count. Outcome strings
+  /// are verdict-only (error codes, placements, build statuses) — no
+  /// timing, no addresses — so histograms compare byte-for-byte.
+  std::map<std::string, std::map<std::string, std::size_t>> outcomes;
+
+  /// SHA-256 (hex) over every per-input "index:class:outcome" line in
+  /// index order: the strongest determinism witness the harness has.
+  std::string digest;
+
+  bool contract_ok() const {
+    return crashes == 0 && hangs == 0 && transport_failures == 0;
+  }
+
+  /// Deterministic multi-line rendering (what chaos_run prints and the
+  /// smoke test diffs across runs).
+  std::string to_string() const;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignOptions options);
+  ~Campaign();
+
+  Campaign(const Campaign&) = delete;
+  Campaign& operator=(const Campaign&) = delete;
+
+  /// Builds the corpus + mutator, applies the AIA fault schedule, runs
+  /// every input, merges in index order. Never throws; contract
+  /// violations are reported in the summary.
+  CampaignSummary run();
+
+  const CampaignOptions& options() const { return options_; }
+
+ private:
+  struct InputResult {
+    std::string mutation_id;
+    std::string outcome;
+    bool crashed = false;
+    bool hung = false;
+    bool transport_failed = false;
+  };
+
+  /// One input through the in-process pipeline; returns the outcome
+  /// string ("parse:<code>", "empty", or "ok:<placement>/<status>/...").
+  std::string analyze_direct(const MutatedChain& input);
+
+  CampaignOptions options_;
+  struct State;  // corpus, mutator, optional in-process server
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace chainchaos::chaos

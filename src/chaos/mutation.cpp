@@ -1,0 +1,367 @@
+#include "chaos/mutation.hpp"
+
+#include <algorithm>
+
+#include "asn1/der.hpp"
+#include "dataset/corpus.hpp"
+#include "support/rng.hpp"
+#include "x509/builder.hpp"
+
+namespace chainchaos::chaos {
+
+namespace {
+
+constexpr std::array<MutationSpec, kMutationClassCount> kRegistry = {{
+    {MutationClass::kTruncateTlv, "B1", "truncate-tlv",
+     "incomplete chain, transport edition (Table 5 cut mid-TLV)"},
+    {MutationClass::kLengthCorrupt, "B2", "length-corrupt",
+     "DER length field over/under-states the body"},
+    {MutationClass::kBitFlip, "B3", "bit-flip",
+     "random in-flight corruption of an otherwise valid chain"},
+    {MutationClass::kGarbagePrefix, "B4", "garbage-prefix",
+     "junk before the outer SEQUENCE (framing desync)"},
+    {MutationClass::kGarbageSuffix, "B5", "garbage-suffix",
+     "trailing junk after the certificate (framing desync)"},
+    {MutationClass::kDeepNest, "B6", "deep-nest",
+     "constructed-TLV tower vs recursive decoders (der.too_deep)"},
+    {MutationClass::kEmptyChain, "S1", "empty-chain",
+     "zero certificates presented"},
+    {MutationClass::kDuplicateCert, "S2", "duplicate-cert",
+     "Table 9 duplicate-certificates deviation, amplified"},
+    {MutationClass::kReversedOrder, "S3", "reversed-order",
+     "Table 9 reversed-sequence deviation"},
+    {MutationClass::kShuffledOrder, "S4", "shuffled-order",
+     "Table 9 disordered chain, arbitrary permutation"},
+    {MutationClass::kIrrelevantCert, "S5", "irrelevant-cert",
+     "Table 9 irrelevant-certificates deviation (foreign splice)"},
+    {MutationClass::kLongChain, "S6", "long-chain",
+     "input-list restriction probing (finding I-2, 100+ certs)"},
+    {MutationClass::kIssuerCycle, "S7", "issuer-cycle",
+     "cyclic / self-referential issuer graph (work-budget guard)"},
+}};
+
+/// One TLV's layout inside an encoding: where its header, length field,
+/// and body live. Collected by a bounded iterative walk.
+struct TlvSite {
+  std::size_t header_offset = 0;
+  std::size_t length_offset = 0;
+  std::size_t body_offset = 0;
+  std::size_t end_offset = 0;
+};
+
+/// Walks the TLV tree iteratively and records up to `limit` sites.
+/// Tolerant of damage: stops at the first frame it cannot make sense of
+/// (the sites found so far are still usable mutation targets).
+std::vector<TlvSite> tlv_sites(BytesView der, std::size_t limit = 512) {
+  std::vector<TlvSite> sites;
+  std::vector<std::size_t> ends;
+  std::size_t pos = 0;
+  while (pos < der.size() && sites.size() < limit) {
+    while (!ends.empty() && pos >= ends.back()) ends.pop_back();
+    const std::size_t header = pos;
+    const std::uint8_t tag = der[pos++];
+    if ((tag & 0x1f) == 0x1f) break;  // multi-byte tag: not our material
+    if (pos >= der.size()) break;
+    const std::size_t length_offset = pos;
+    const std::uint8_t first = der[pos++];
+    std::size_t length = 0;
+    if (first < 0x80) {
+      length = first;
+    } else {
+      const std::size_t num = first & 0x7f;
+      if (num == 0 || num > 4 || pos + num > der.size()) break;
+      for (std::size_t i = 0; i < num; ++i) {
+        length = (length << 8) | der[pos++];
+      }
+    }
+    if (length > der.size() - pos) break;
+    sites.push_back({header, length_offset, pos, pos + length});
+    if ((tag & 0x20) != 0) {
+      ends.push_back(pos + length);  // descend into constructed body
+    } else {
+      pos += length;
+    }
+  }
+  return sites;
+}
+
+Bytes random_bytes(Rng& rng, std::size_t count) {
+  Bytes out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(static_cast<std::uint8_t>(rng.below(256)));
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::array<MutationSpec, kMutationClassCount>& all_mutations() {
+  return kRegistry;
+}
+
+const MutationSpec& spec(MutationClass cls) {
+  for (const MutationSpec& s : kRegistry) {
+    if (s.cls == cls) return s;
+  }
+  return kRegistry[0];  // unreachable for valid enumerators
+}
+
+Result<MutationClass> mutation_from_name(std::string_view text) {
+  for (const MutationSpec& s : kRegistry) {
+    if (text == s.id || text == s.name) return s.cls;
+  }
+  return make_error("chaos.unknown_mutation", std::string(text));
+}
+
+Bytes MutatedChain::wire() const {
+  Bytes out;
+  for (const Bytes& cert : certs) append(out, cert);
+  return out;
+}
+
+Bytes deep_nested_tlv(std::size_t depth) {
+  // Innermost element: NULL (2 bytes). sizes[i] = total encoded size of
+  // the tower truncated to i constructed levels — computed arithmetically
+  // inside-out so the whole build is O(depth), never O(depth²) rewraps.
+  std::vector<std::size_t> sizes;
+  sizes.reserve(depth + 1);
+  sizes.push_back(2);
+  for (std::size_t i = 0; i < depth; ++i) {
+    const std::size_t body = sizes.back();
+    sizes.push_back(1 + asn1::encode_length(body).size() + body);
+  }
+  Bytes out;
+  out.reserve(sizes.back());
+  for (std::size_t i = depth; i > 0; --i) {
+    out.push_back(0x30);  // SEQUENCE, constructed
+    append(out, asn1::encode_length(sizes[i - 1]));
+  }
+  out.push_back(0x05);  // NULL
+  out.push_back(0x00);
+  return out;
+}
+
+ChainMutator::ChainMutator(std::vector<std::vector<Bytes>> base_chains,
+                           std::vector<Bytes> foreign_pool)
+    : base_chains_(std::move(base_chains)),
+      foreign_pool_(std::move(foreign_pool)) {
+  if (base_chains_.empty()) {
+    base_chains_.push_back({deep_nested_tlv(4)});  // degenerate fallback
+  }
+  if (foreign_pool_.empty()) {
+    // Splice material must come from somewhere: fall back to the last
+    // base chain (still "irrelevant" relative to the others).
+    foreign_pool_ = base_chains_.back();
+  }
+
+  // S7 kit: two CAs signing each other, a leaf hanging off one of them,
+  // and the ouroboros certificate (issuer DN == subject DN but signed by
+  // a different key, so name-chasing loops forever on it).
+  const auto id_a = x509::make_identity(asn1::Name::make("Chaos Cycle CA A"));
+  const auto id_b = x509::make_identity(asn1::Name::make("Chaos Cycle CA B"));
+  cycle_a_ = x509::CertificateBuilder()
+                 .subject(id_a.name)
+                 .public_key(id_a.keys.pub)
+                 .serial(0xc1c1e0a)
+                 .as_ca()
+                 .sign(id_b)
+                 ->der;
+  cycle_b_ = x509::CertificateBuilder()
+                 .subject(id_b.name)
+                 .public_key(id_b.keys.pub)
+                 .serial(0xc1c1e0b)
+                 .as_ca()
+                 .sign(id_a)
+                 ->der;
+  cycle_leaf_ = x509::CertificateBuilder()
+                    .as_leaf("cycle.chaos.example")
+                    .serial(0xc1c1ead)
+                    .sign(id_a)
+                    ->der;
+  const auto id_self =
+      x509::make_identity(asn1::Name::make("Chaos Ouroboros CA"));
+  const auto id_hidden =
+      x509::make_identity(asn1::Name::make("Chaos Hidden Signer"));
+  const x509::SigningIdentity forged{id_self.name, id_hidden.keys};
+  self_referential_ = x509::CertificateBuilder()
+                          .subject(id_self.name)
+                          .public_key(id_self.keys.pub)
+                          .serial(0x5e1f)
+                          .as_ca()
+                          .sign(forged)
+                          ->der;
+}
+
+ChainMutator ChainMutator::from_corpus(const dataset::Corpus& corpus,
+                                       std::size_t base_limit) {
+  std::vector<std::vector<Bytes>> base;
+  std::vector<Bytes> foreign;
+  for (const dataset::DomainRecord& record : corpus.records()) {
+    const auto& certs = record.observation.certificates;
+    if (certs.empty()) continue;
+    if (base.size() < base_limit) {
+      std::vector<Bytes> chain;
+      chain.reserve(certs.size());
+      for (const x509::CertPtr& cert : certs) chain.push_back(cert->der);
+      base.push_back(std::move(chain));
+    } else if (foreign.size() < 32) {
+      for (const x509::CertPtr& cert : certs) foreign.push_back(cert->der);
+    } else {
+      break;
+    }
+  }
+  return ChainMutator(std::move(base), std::move(foreign));
+}
+
+MutatedChain ChainMutator::mutate(MutationClass cls,
+                                  std::uint64_t seed) const {
+  Rng rng(seed ^ Rng::hash(spec(cls).id));
+  MutatedChain out;
+  out.cls = cls;
+  out.mutation_id = spec(cls).id;
+  out.seed = seed;
+
+  // Pick a base chain; structure classes that need >= 2 certificates
+  // advance to the nearest chain that has them.
+  std::size_t base_idx = rng.below(base_chains_.size());
+  const bool wants_pair = cls == MutationClass::kReversedOrder ||
+                          cls == MutationClass::kShuffledOrder;
+  for (std::size_t probe = 0;
+       wants_pair && base_chains_[base_idx].size() < 2 &&
+       probe < base_chains_.size();
+       ++probe) {
+    base_idx = (base_idx + 1) % base_chains_.size();
+  }
+  out.certs = base_chains_[base_idx];
+
+  switch (cls) {
+    // --- byte-level ------------------------------------------------------
+    case MutationClass::kTruncateTlv: {
+      const std::size_t victim = rng.below(out.certs.size());
+      Bytes& der = out.certs[victim];
+      const auto sites = tlv_sites(der);
+      if (!sites.empty()) {
+        const TlvSite& site = sites[rng.below(sites.size())];
+        // Boundary menu: before the TLV, after its header, after its body.
+        const std::size_t cuts[3] = {site.header_offset, site.body_offset,
+                                     site.end_offset};
+        std::size_t cut = cuts[rng.below(3)];
+        if (cut == 0 || cut >= der.size()) cut = site.body_offset;
+        if (cut > 0 && cut < der.size()) der.resize(cut);
+      }
+      break;
+    }
+    case MutationClass::kLengthCorrupt: {
+      const std::size_t victim = rng.below(out.certs.size());
+      Bytes& der = out.certs[victim];
+      const auto sites = tlv_sites(der);
+      if (!sites.empty()) {
+        const TlvSite& site = sites[rng.below(sites.size())];
+        // Reserved, indefinite, overlong, or plain wrong short form.
+        const std::uint8_t menu[4] = {
+            0x85, 0x80, 0xff,
+            static_cast<std::uint8_t>(rng.below(0x80))};
+        der[site.length_offset] = menu[rng.below(4)];
+      }
+      break;
+    }
+    case MutationClass::kBitFlip: {
+      const std::size_t victim = rng.below(out.certs.size());
+      Bytes& der = out.certs[victim];
+      const std::size_t flips = rng.between(1, 8);
+      for (std::size_t i = 0; i < flips && !der.empty(); ++i) {
+        der[rng.below(der.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.below(8));
+      }
+      break;
+    }
+    case MutationClass::kGarbagePrefix: {
+      const std::size_t victim = rng.below(out.certs.size());
+      Bytes garbage = random_bytes(rng, rng.between(1, 64));
+      append(garbage, out.certs[victim]);
+      out.certs[victim] = std::move(garbage);
+      break;
+    }
+    case MutationClass::kGarbageSuffix: {
+      const std::size_t victim = rng.below(out.certs.size());
+      append(out.certs[victim], random_bytes(rng, rng.between(1, 64)));
+      break;
+    }
+    case MutationClass::kDeepNest: {
+      const std::size_t victim = rng.below(out.certs.size());
+      // Straddle the depth cap: some towers parse (shallow), most must be
+      // rejected with der.too_deep, the deepest stress the iterative gate.
+      out.certs[victim] = deep_nested_tlv(rng.between(2, 12000));
+      break;
+    }
+
+    // --- structure-level -------------------------------------------------
+    case MutationClass::kEmptyChain: {
+      out.certs.clear();
+      break;
+    }
+    case MutationClass::kDuplicateCert: {
+      const std::size_t victim = rng.below(out.certs.size());
+      const Bytes dup = out.certs[victim];
+      const std::size_t copies = rng.between(1, 3);
+      for (std::size_t i = 0; i < copies; ++i) {
+        out.certs.insert(
+            out.certs.begin() +
+                static_cast<std::ptrdiff_t>(rng.below(out.certs.size() + 1)),
+            dup);
+      }
+      break;
+    }
+    case MutationClass::kReversedOrder: {
+      std::reverse(out.certs.begin(), out.certs.end());
+      break;
+    }
+    case MutationClass::kShuffledOrder: {
+      // Fisher-Yates with our own Rng (std::shuffle's draw sequence is
+      // implementation-defined; determinism requires owning it).
+      for (std::size_t i = out.certs.size(); i > 1; --i) {
+        std::swap(out.certs[i - 1], out.certs[rng.below(i)]);
+      }
+      break;
+    }
+    case MutationClass::kIrrelevantCert: {
+      const std::size_t splices = rng.between(1, 2);
+      for (std::size_t i = 0; i < splices; ++i) {
+        out.certs.insert(
+            out.certs.begin() +
+                static_cast<std::ptrdiff_t>(rng.below(out.certs.size() + 1)),
+            foreign_pool_[rng.below(foreign_pool_.size())]);
+      }
+      break;
+    }
+    case MutationClass::kLongChain: {
+      const std::size_t target = rng.between(100, 260);
+      while (out.certs.size() < target) {
+        const Bytes& filler =
+            rng.chance(0.5)
+                ? foreign_pool_[rng.below(foreign_pool_.size())]
+                : base_chains_[rng.below(base_chains_.size())].front();
+        out.certs.push_back(filler);
+      }
+      break;
+    }
+    case MutationClass::kIssuerCycle: {
+      switch (rng.below(3)) {
+        case 0:
+          out.certs = {cycle_leaf_, cycle_a_, cycle_b_, cycle_a_, cycle_b_};
+          break;
+        case 1:
+          out.certs = {cycle_leaf_, cycle_a_, cycle_b_};
+          break;
+        default:
+          out.certs = {self_referential_, self_referential_};
+          break;
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace chainchaos::chaos

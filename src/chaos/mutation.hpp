@@ -1,0 +1,138 @@
+// Chain mutation engine: well-formed chains in, adversarial chains out.
+//
+// The paper measures how deployed chains *actually* deviate from RFC
+// 5280 §6 / RFC 8446 expectations; the chaos harness asks the dual
+// question — does every layer of this library survive inputs far worse
+// than anything the measurement corpus contains? The mutator takes the
+// corpus's well-formed chains and derives adversarial variants at two
+// levels:
+//
+//   byte-level      B1..B6  malformed DER (truncation at TLV boundaries,
+//                           corrupted length fields, bit flips, garbage
+//                           framing, pathologically deep nesting)
+//   structure-level S1..S7  well-formed certificates arranged wrongly
+//                           (the paper's Table 9 deviations pushed to
+//                           their extremes: duplicates, reversal,
+//                           shuffles, irrelevant certs, 100+-cert
+//                           chains, issuer cycles, empty chains)
+//
+// Every mutation is a pure function of (class, seed): same inputs, same
+// bytes out, regardless of thread, platform, or run. That determinism is
+// what makes campaign summaries byte-comparable across runs and thread
+// counts (DESIGN.md §5.10).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/bytes.hpp"
+#include "support/result.hpp"
+#include "x509/certificate.hpp"
+
+namespace chainchaos::dataset {
+class Corpus;
+}
+
+namespace chainchaos::chaos {
+
+/// The mutation taxonomy (DESIGN.md §5.10). Byte-level classes damage
+/// the DER encoding itself; structure-level classes keep every
+/// certificate well-formed and damage the *list* — the layer the paper's
+/// Table 9 construction deviations live at.
+enum class MutationClass {
+  // --- byte-level --------------------------------------------------------
+  kTruncateTlv,    ///< B1: cut the encoding at a TLV boundary
+  kLengthCorrupt,  ///< B2: rewrite a length field (over/under/reserved)
+  kBitFlip,        ///< B3: flip 1..8 bits anywhere in the DER
+  kGarbagePrefix,  ///< B4: random bytes before the outer SEQUENCE
+  kGarbageSuffix,  ///< B5: trailing junk after the outer SEQUENCE
+  kDeepNest,       ///< B6: constructed-TLV tower, up to ~12k levels
+  // --- structure-level ---------------------------------------------------
+  kEmptyChain,     ///< S1: zero certificates
+  kDuplicateCert,  ///< S2: same certificate repeated (Table 9 "duplicate")
+  kReversedOrder,  ///< S3: root-first order (Table 9 "reversed")
+  kShuffledOrder,  ///< S4: seeded permutation of the list
+  kIrrelevantCert, ///< S5: certs from an unrelated domain spliced in
+  kLongChain,      ///< S6: 100+-cert list (restriction-limit probing)
+  kIssuerCycle,    ///< S7: A↔B issuer loop / self-referential cert
+};
+
+inline constexpr std::size_t kMutationClassCount = 13;
+
+/// Registry row for one mutation class: the stable ID used in campaign
+/// summaries and the paper anchor the class stresses.
+struct MutationSpec {
+  MutationClass cls;
+  const char* id;         ///< "B1".."B6", "S1".."S7" — stable across PRs
+  const char* name;       ///< kebab-case, accepted by --mutations
+  const char* paper_row;  ///< Table 9 deviation / §6 hazard it extremizes
+};
+
+/// All classes in registry order (B1..B6 then S1..S7).
+const std::array<MutationSpec, kMutationClassCount>& all_mutations();
+
+/// Spec lookup for one class.
+const MutationSpec& spec(MutationClass cls);
+
+/// Parses "B3", "bit-flip", etc. (case-sensitive) to a class.
+Result<MutationClass> mutation_from_name(std::string_view text);
+
+/// One mutated input: the certificate list as raw DER blobs (possibly
+/// not parseable — that is the point) plus its provenance.
+struct MutatedChain {
+  MutationClass cls = MutationClass::kEmptyChain;
+  std::string mutation_id;  ///< e.g. "B1"
+  std::uint64_t seed = 0;   ///< the exact seed that reproduces this input
+  std::vector<Bytes> certs;
+
+  /// Concatenated DER — the wire body POSTed to chaind endpoints.
+  Bytes wire() const;
+};
+
+/// Builds a constructed-TLV tower of exactly `depth` levels in O(depth)
+/// time and bytes (sizes precomputed inside-out, headers emitted
+/// outermost-first — never O(depth²) rewrapping). Exposed for the asn1
+/// depth-cap regression test.
+Bytes deep_nested_tlv(std::size_t depth);
+
+/// The mutation engine. Construction harvests material once (base chains
+/// to damage, a foreign pool for irrelevant-cert splicing, a pre-built
+/// issuer-cycle kit); mutate() is then const, allocation-local, and safe
+/// to call concurrently from any number of campaign workers.
+class ChainMutator {
+ public:
+  /// `base_chains` must be non-empty; each chain is the DER list of one
+  /// well-formed observation. `foreign_pool` feeds kIrrelevantCert and
+  /// kLongChain (falls back to base material when empty).
+  ChainMutator(std::vector<std::vector<Bytes>> base_chains,
+               std::vector<Bytes> foreign_pool);
+
+  /// Harvests up to `base_limit` chains from the corpus records (and a
+  /// foreign pool from the records *after* them, so the two sets never
+  /// share certificates).
+  static ChainMutator from_corpus(const dataset::Corpus& corpus,
+                                  std::size_t base_limit = 64);
+
+  /// Derives one adversarial chain. Pure function of (cls, seed).
+  MutatedChain mutate(MutationClass cls, std::uint64_t seed) const;
+
+  std::size_t base_chain_count() const { return base_chains_.size(); }
+
+ private:
+  std::vector<std::vector<Bytes>> base_chains_;
+  std::vector<Bytes> foreign_pool_;
+
+  // Pre-built S7 material: leaf -> cycle_a -> cycle_b -> cycle_a -> ...
+  // (cycle_a and cycle_b sign each other) and a self-referential
+  // certificate (subject == issuer DN, signed by a *different* key, so
+  // it chains to itself by name forever without being self-signed).
+  Bytes cycle_leaf_;
+  Bytes cycle_a_;
+  Bytes cycle_b_;
+  Bytes self_referential_;
+};
+
+}  // namespace chainchaos::chaos

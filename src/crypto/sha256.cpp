@@ -34,6 +34,7 @@ Sha256::Sha256() : state_(kInitialState), buffer_{} {}
 
 void Sha256::update(BytesView data) {
   assert(!finished_);
+  if (data.empty()) return;  // empty spans may carry a null data()
   total_bits_ += static_cast<std::uint64_t>(data.size()) * 8;
   std::size_t offset = 0;
   if (buffered_ > 0) {

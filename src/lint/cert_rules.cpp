@@ -34,7 +34,10 @@ constexpr std::int64_t kYear2050 = 2524608000;
 /// anything reaching lint already survived parse_certificate().
 constexpr std::size_t kClean = static_cast<std::size_t>(-1);
 
-std::size_t scan_nonminimal_length(BytesView der) {
+std::size_t scan_nonminimal_length(BytesView der,
+                                   std::size_t depth = asn1::kMaxNestingDepth) {
+  if (depth == 0) return kClean;  // parse_certificate's gate makes this
+                                  // unreachable; belt and braces.
   std::size_t pos = 0;
   while (pos < der.size()) {
     const std::uint8_t tag = der[pos++];
@@ -61,7 +64,7 @@ std::size_t scan_nonminimal_length(BytesView der) {
     if (length > der.size() - pos) return kClean;
     if (tag & 0x20) {  // constructed: recurse into the body
       const std::size_t inner =
-          scan_nonminimal_length(der.subspan(pos, length));
+          scan_nonminimal_length(der.subspan(pos, length), depth - 1);
       if (inner != kClean) return pos + inner;
     }
     pos += length;

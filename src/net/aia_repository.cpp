@@ -6,7 +6,7 @@ namespace chainchaos::net {
 
 void AiaRepository::publish(const std::string& uri, x509::CertPtr cert) {
   std::lock_guard<std::mutex> lock(mutex_);
-  entries_[uri] = Entry{std::move(cert), false};
+  entries_[uri] = Entry{std::move(cert), false, FaultSpec{}};
 }
 
 void AiaRepository::mark_unreachable(const std::string& uri) {
@@ -14,12 +14,23 @@ void AiaRepository::mark_unreachable(const std::string& uri) {
   entries_[uri].unreachable = true;
 }
 
-Result<x509::CertPtr> AiaRepository::fetch(const std::string& uri) {
-  // One lock for the whole round-trip keeps the entry lookup and the
-  // counters consistent; fetches are rare (incomplete chains only), so
-  // the serialization is invisible next to the signature-check work the
-  // engine's threads spend their time on.
+void AiaRepository::inject_fault(const std::string& uri, FaultSpec fault) {
   std::lock_guard<std::mutex> lock(mutex_);
+  entries_[uri].fault = fault;
+}
+
+void AiaRepository::inject_fault_all(FaultSpec fault) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [uri, entry] : entries_) entry.fault = fault;
+}
+
+void AiaRepository::clear_faults() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [uri, entry] : entries_) entry.fault = FaultSpec{};
+}
+
+Result<x509::CertPtr> AiaRepository::attempt_locked(const std::string& uri,
+                                                    int attempt) {
   ++stats_.attempts;
   stats_.simulated_latency_ms += latency_ms_;
 
@@ -46,15 +57,41 @@ Result<x509::CertPtr> AiaRepository::fetch(const std::string& uri) {
     return parsed_request.error();
   }
   const auto it = entries_.find(uri);
-  if (it != entries_.end() && it->second.unreachable) {
+  const FaultSpec fault =
+      it != entries_.end() ? it->second.fault : FaultSpec{};
+  stats_.simulated_latency_ms += fault.extra_latency_ms;
+  if (it != entries_.end() &&
+      (it->second.unreachable || fault.permanent)) {
     // Connection-level failure: no HTTP response at all.
     ++stats_.unreachable;
     return make_error("aia.unreachable", uri);
   }
-  const Bytes wire_response =
-      (it == entries_.end() || !it->second.cert)
-          ? http_not_found().encode()
-          : http_ok(it->second.cert->der, "application/pkix-cert").encode();
+  if (attempt < fault.transient_failures) {
+    // Injected transient fault: the connection drops before a response.
+    // Scheduled per fetch() call, so concurrent builders racing on one
+    // URI all see the same outcome sequence.
+    ++stats_.transient_failures;
+    return make_error("aia.transient", uri);
+  }
+  Bytes wire_response;
+  if (it == entries_.end() || !it->second.cert) {
+    wire_response = http_not_found().encode();
+  } else if (fault.garbage_response) {
+    // The origin answers 200 with bytes that are not a certificate —
+    // the CAcert-style wrong-object failure, transport edition.
+    wire_response =
+        http_ok(to_bytes("<html>not a certificate</html>"),
+                "application/pkix-cert")
+            .encode();
+  } else if (fault.truncated_response) {
+    Bytes half(it->second.cert->der.begin(),
+               it->second.cert->der.begin() +
+                   static_cast<std::ptrdiff_t>(it->second.cert->der.size() / 2));
+    wire_response = http_ok(half, "application/pkix-cert").encode();
+  } else {
+    wire_response =
+        http_ok(it->second.cert->der, "application/pkix-cert").encode();
+  }
 
   // --- client side ---
   auto response = parse_response(wire_response);
@@ -68,12 +105,59 @@ Result<x509::CertPtr> AiaRepository::fetch(const std::string& uri) {
   }
   auto cert = x509::parse_certificate(response.value().body);
   if (!cert.ok()) {
+    // Served bytes that do not decode (garbage or truncated object):
+    // permanent as far as retrying is concerned — the origin will keep
+    // serving the same wrong object.
     ++stats_.misses;
+    ++stats_.corrupt_responses;
     return cert.error();
   }
   ++stats_.hits;
   stats_.bytes_served += response.value().body.size();
   return std::move(cert).value();
+}
+
+bool AiaRepository::is_transient(const Error& error) {
+  return error.code == "aia.transient";
+}
+
+Result<x509::CertPtr> AiaRepository::fetch(const std::string& uri) {
+  return fetch(uri, FetchPolicy{});
+}
+
+Result<x509::CertPtr> AiaRepository::fetch(const std::string& uri,
+                                           const FetchPolicy& policy) {
+  // One lock for the whole logical fetch keeps the entry lookup, the
+  // retry schedule, and the counters consistent; fetches are rare
+  // (incomplete chains only), and the backoff is simulated rather than
+  // slept, so the serialization is invisible next to the signature-check
+  // work the engine's threads spend their time on.
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t elapsed_ms = 0;
+  Result<x509::CertPtr> last = make_error("aia.unreachable", uri);
+  for (int attempt = 0; attempt <= policy.max_retries; ++attempt) {
+    last = attempt_locked(uri, attempt);
+    elapsed_ms += latency_ms_;
+    if (last.ok() || !is_transient(last.error())) return last;
+    if (attempt == policy.max_retries) break;
+    // Capped exponential backoff before the next attempt, charged to the
+    // simulated clock and checked against the per-fetch budget.
+    std::uint64_t backoff = policy.base_backoff_ms;
+    for (int k = 0; k < attempt && backoff < policy.max_backoff_ms; ++k) {
+      backoff <<= 1;
+    }
+    if (backoff > policy.max_backoff_ms) backoff = policy.max_backoff_ms;
+    stats_.simulated_latency_ms += backoff;
+    elapsed_ms += backoff;
+    if (policy.deadline_ms != 0 && elapsed_ms >= policy.deadline_ms) {
+      ++stats_.deadline_exceeded;
+      return make_error("aia.deadline",
+                        uri + " (budget " +
+                            std::to_string(policy.deadline_ms) + "ms)");
+    }
+    ++stats_.retries;
+  }
+  return last;
 }
 
 bool AiaRepository::reachable(const std::string& uri) const {

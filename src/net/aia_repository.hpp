@@ -34,7 +34,39 @@ struct FetchStats {
   std::uint64_t bytes_served = 0;
   std::uint64_t simulated_latency_ms = 0;
 
+  // --- robustness counters (fault injection & FetchPolicy) --------------
+  std::uint64_t retries = 0;             ///< re-attempts after a failure
+  std::uint64_t transient_failures = 0;  ///< injected transient faults hit
+  std::uint64_t deadline_exceeded = 0;   ///< fetches abandoned on budget
+  std::uint64_t corrupt_responses = 0;   ///< garbage/truncated bodies served
+
   void reset() { *this = FetchStats{}; }
+};
+
+/// Retry discipline for one logical fetch. The default (no retries, no
+/// deadline) reproduces the historical single-attempt behaviour, so
+/// existing sweeps and benches are bit-identical unless a caller opts
+/// in. Backoff and deadline are *simulated* milliseconds: they are
+/// charged to FetchStats::simulated_latency_ms and checked against the
+/// budget without ever sleeping, keeping campaigns deterministic.
+struct FetchPolicy {
+  int max_retries = 0;                 ///< extra attempts after the first
+  std::uint64_t base_backoff_ms = 50;  ///< backoff before retry k: base<<k
+  std::uint64_t max_backoff_ms = 2000; ///< cap on a single backoff step
+  std::uint64_t deadline_ms = 0;       ///< per-fetch budget; 0 = unlimited
+};
+
+/// Per-URI fault schedule, the paper's §4 failure modes made injectable
+/// plus the chaos harness's transport-level extensions. Transient
+/// failures are counted per fetch() *call* (the first N attempts of
+/// every call fail), so outcomes do not depend on how concurrent
+/// builders interleave — campaigns stay thread-count-deterministic.
+struct FaultSpec {
+  int transient_failures = 0;      ///< first N attempts of each call fail
+  bool permanent = false;          ///< every attempt fails (conn refused)
+  bool garbage_response = false;   ///< 200 OK but the body is not DER
+  bool truncated_response = false; ///< body cut off mid-TLV
+  std::uint64_t extra_latency_ms = 0;  ///< added per attempt (slow link)
 };
 
 class AiaRepository {
@@ -50,11 +82,27 @@ class AiaRepository {
   /// Makes `uri` fail every fetch (connection refused / timeout).
   void mark_unreachable(const std::string& uri);
 
+  /// Installs (or replaces) a fault schedule for `uri`. The URI keeps
+  /// whatever certificate it serves; the fault applies on top.
+  void inject_fault(const std::string& uri, FaultSpec fault);
+
+  /// Installs the same fault schedule on every published URI — the chaos
+  /// campaign's "the whole AIA web is degraded" mode.
+  void inject_fault_all(FaultSpec fault);
+
+  /// Removes every injected fault (published material is untouched).
+  void clear_faults();
+
   /// Fetches the certificate at `uri`, updating statistics. Safe to call
   /// concurrently from any number of analysis threads (the repository is
   /// internally synchronized; the parallel engine shares one repository
-  /// across its whole worker pool).
+  /// across its whole worker pool). The policy overload retries injected
+  /// transient failures with capped exponential backoff until the retry
+  /// cap or the (simulated) deadline is exhausted; the no-argument form
+  /// is the historical single attempt.
   Result<x509::CertPtr> fetch(const std::string& uri);
+  Result<x509::CertPtr> fetch(const std::string& uri,
+                              const FetchPolicy& policy);
 
   /// True if the URI has a live (reachable) certificate.
   bool reachable(const std::string& uri) const;
@@ -69,7 +117,15 @@ class AiaRepository {
   struct Entry {
     x509::CertPtr cert;
     bool unreachable = false;
+    FaultSpec fault;
   };
+
+  /// One attempt under the lock; `attempt` indexes the attempts of the
+  /// enclosing fetch() call (drives the transient-failure schedule).
+  Result<x509::CertPtr> attempt_locked(const std::string& uri, int attempt);
+
+  /// True for failure codes a retry can plausibly cure.
+  static bool is_transient(const Error& error);
 
   mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;

@@ -257,11 +257,19 @@ bool PathBuilder::extend(std::vector<x509::CertPtr>& path,
     if (!policy_.backtracking) return false;  // committed to first choice
   }
 
-  // Last resort: AIA fetch of the missing issuer.
+  // Last resort: AIA fetch of the missing issuer. The policy's retry
+  // knobs turn injected transient faults into bounded extra attempts;
+  // anything that still fails falls through to kNoIssuerFound below.
   if (policy_.aia_completion && aia_ != nullptr && current.aia.has_value() &&
       current.aia->ca_issuers_uri.has_value()) {
     ++stats.aia_fetches;
-    auto fetched = aia_->fetch(*current.aia->ca_issuers_uri);
+    net::FetchPolicy fetch_policy;
+    fetch_policy.max_retries = policy_.aia_max_retries;
+    fetch_policy.base_backoff_ms =
+        static_cast<std::uint64_t>(policy_.aia_backoff_ms);
+    fetch_policy.deadline_ms =
+        static_cast<std::uint64_t>(policy_.aia_deadline_ms);
+    auto fetched = aia_->fetch(*current.aia->ca_issuers_uri, fetch_policy);
     if (fetched.ok() && !in_path(path, *fetched.value()) &&
         issued_by(current, *fetched.value())) {
       path.push_back(fetched.value());

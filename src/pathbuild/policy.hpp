@@ -52,6 +52,17 @@ struct BuildPolicy {
   int max_candidates_per_step = 16;  ///< defensive bound on fan-out
   int max_build_steps = 256;         ///< global work budget (DoS guard)
 
+  // --- AIA fetch robustness ------------------------------------------------
+  /// Retry discipline for AIA completion fetches (net::FetchPolicy).
+  /// The defaults reproduce the historical single-attempt behaviour;
+  /// callers facing flaky repositories (the chaos campaign's injected
+  /// transient faults) dial the retries up. Failures that survive the
+  /// retry budget degrade to kNoIssuerFound — never a crash or an
+  /// unbounded wait (backoff is simulated, deadline-capped).
+  int aia_max_retries = 0;   ///< extra attempts after the first
+  int aia_backoff_ms = 50;   ///< base of the capped exponential backoff
+  int aia_deadline_ms = 0;   ///< per-fetch simulated budget; 0 = unlimited
+
   // --- restriction settings (Table 2 #8-#9) ------------------------------
   int max_constructed_depth = 0;  ///< max certs in built path; 0 = unlimited
   int max_input_list = 0;         ///< GnuTLS-style cap on the *input list*;

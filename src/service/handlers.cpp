@@ -99,7 +99,9 @@ net::HttpResponse RequestHandler::handle(const net::HttpRequest& request) {
       return json_error(405, "Method Not Allowed", "service.bad_method",
                         request.method);
     }
-    return json_body_response(metrics_->to_json(cache_->stats()));
+    return json_body_response(metrics_->to_json(
+        cache_->stats(),
+        options_.aia ? options_.aia->stats() : net::FetchStats{}));
   }
   if (path == "/v1/analyze" || path == "/v1/lint") {
     const bool full = path == "/v1/analyze";
@@ -200,7 +202,13 @@ std::string RequestHandler::render_chain_report(
         .value(report.completeness.missing_certificates);
     w.end_object();
 
-    pathbuild::PathBuilder builder(pathbuild::BuildPolicy{}, store);
+    pathbuild::BuildPolicy build_policy;
+    if (options_.aia != nullptr) {
+      build_policy.aia_completion = true;
+      build_policy.aia_max_retries = options_.aia_max_retries;
+      build_policy.aia_deadline_ms = options_.aia_deadline_ms;
+    }
+    pathbuild::PathBuilder builder(build_policy, store, options_.aia);
     builder.set_cache_learning(false);
     const pathbuild::BuildResult build = builder.build(chain, domain);
     w.key("path_build").begin_object();

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "net/aia_repository.hpp"
 #include "net/http.hpp"
 #include "service/cache.hpp"
 #include "service/metrics.hpp"
@@ -36,6 +37,17 @@ struct HandlerOptions {
   /// Reference time for lint expiry rules; 0 disables them (the corpus
   /// sweeps' determinism convention).
   std::int64_t now = 0;
+
+  /// Optional AIA repository. When set, path building completes missing
+  /// issuers via AIA (with the retry policy below) and /v1/stats reports
+  /// the repository's fetch counters; when null the handler builds from
+  /// the posted certificates alone (the historical behaviour).
+  net::AiaRepository* aia = nullptr;
+
+  /// AIA retry discipline applied when `aia` is set (see
+  /// pathbuild::BuildPolicy's aia_* knobs).
+  int aia_max_retries = 0;
+  int aia_deadline_ms = 0;
 };
 
 /// Splits a request body into certificates: a PEM bundle when the BEGIN

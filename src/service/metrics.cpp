@@ -44,6 +44,18 @@ void Metrics::record_rejected() {
   rejected_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void Metrics::record_client_disconnect() {
+  client_disconnects_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Metrics::record_write_failure() {
+  write_failures_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Metrics::record_worker_recovery() {
+  worker_recoveries_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void Metrics::note_queue_depth(std::size_t depth) {
   std::uint64_t seen = queue_high_water_.load(std::memory_order_relaxed);
   while (depth > seen && !queue_high_water_.compare_exchange_weak(
@@ -51,7 +63,8 @@ void Metrics::note_queue_depth(std::size_t depth) {
   }
 }
 
-std::string Metrics::to_json(const CacheStats& cache) const {
+std::string Metrics::to_json(const CacheStats& cache,
+                             const net::FetchStats& aia) const {
   report::JsonWriter w;
   w.begin_object();
 
@@ -88,6 +101,28 @@ std::string Metrics::to_json(const CacheStats& cache) const {
 
   w.key("queue").begin_object();
   w.key("high_water_mark").value(queue_high_water());
+  w.end_object();
+
+  w.key("connections").begin_object();
+  w.key("disconnects_midrequest")
+      .value(client_disconnects_.load(std::memory_order_relaxed));
+  w.key("write_failures")
+      .value(write_failures_.load(std::memory_order_relaxed));
+  w.key("worker_recoveries")
+      .value(worker_recoveries_.load(std::memory_order_relaxed));
+  w.end_object();
+
+  w.key("aia").begin_object();
+  w.key("attempts").value(aia.attempts);
+  w.key("hits").value(aia.hits);
+  w.key("misses").value(aia.misses);
+  w.key("unreachable").value(aia.unreachable);
+  w.key("retries").value(aia.retries);
+  w.key("transient_failures").value(aia.transient_failures);
+  w.key("deadline_exceeded").value(aia.deadline_exceeded);
+  w.key("corrupt_responses").value(aia.corrupt_responses);
+  w.key("bytes_served").value(aia.bytes_served);
+  w.key("simulated_latency_ms").value(aia.simulated_latency_ms);
   w.end_object();
 
   w.key("cache").begin_object();

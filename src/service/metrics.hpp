@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string>
 
+#include "net/aia_repository.hpp"
 #include "service/cache.hpp"
 
 namespace chainchaos::service {
@@ -44,6 +45,18 @@ class Metrics {
   /// request queue was full.
   void record_rejected();
 
+  /// Peer vanished (EOF/ECONNRESET) with a request partially received —
+  /// a mid-request disconnect, as opposed to an idle keep-alive close.
+  void record_client_disconnect();
+
+  /// Response could not be written back (EPIPE/reset/write deadline).
+  void record_write_failure();
+
+  /// A worker swallowed an unexpected error while serving a connection
+  /// and lived to dequeue the next one (the crash-free contract's
+  /// last line of defence; should stay 0 in healthy operation).
+  void record_worker_recovery();
+
   /// Tracks the queue-depth high-water mark (CAS max).
   void note_queue_depth(std::size_t depth);
 
@@ -56,11 +69,24 @@ class Metrics {
   std::uint64_t queue_high_water() const {
     return queue_high_water_.load(std::memory_order_relaxed);
   }
+  std::uint64_t client_disconnects() const {
+    return client_disconnects_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t write_failures() const {
+    return write_failures_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t worker_recoveries() const {
+    return worker_recoveries_.load(std::memory_order_relaxed);
+  }
 
   /// Renders the full metrics document (request counters, status
-  /// classes, latency buckets, queue high-water mark, cache counters)
-  /// as one JSON object via report::JsonWriter.
-  std::string to_json(const CacheStats& cache) const;
+  /// classes, latency buckets, queue high-water mark, connection
+  /// robustness counters, cache counters, AIA fetch/retry counters)
+  /// as one JSON object via report::JsonWriter. `aia` is the snapshot
+  /// of the handler's repository (all-zero when the service runs
+  /// without AIA completion).
+  std::string to_json(const CacheStats& cache,
+                      const net::FetchStats& aia = net::FetchStats{}) const;
 
  private:
   std::atomic<std::uint64_t> requests_total_{0};
@@ -69,6 +95,9 @@ class Metrics {
   std::atomic<std::uint64_t> responses_4xx_{0};
   std::atomic<std::uint64_t> responses_5xx_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> client_disconnects_{0};
+  std::atomic<std::uint64_t> write_failures_{0};
+  std::atomic<std::uint64_t> worker_recoveries_{0};
   std::array<std::atomic<std::uint64_t>, kLatencyBucketCount> latency_{};
   std::atomic<std::uint64_t> latency_total_us_{0};
   std::atomic<std::uint64_t> queue_high_water_{0};

@@ -181,7 +181,17 @@ void Server::worker_loop() {
   // Keep serving until the queue is drained even when stopping: graceful
   // shutdown completes queued work rather than dropping it.
   for (int fd = dequeue(); fd >= 0; fd = dequeue()) {
-    serve_connection(fd);
+    try {
+      serve_connection(fd);
+    } catch (...) {
+      // Crash-free contract: a connection must never cost a worker
+      // thread. Anything a handler throws (bad_alloc under memory
+      // pressure, a defect surfaced by the chaos campaign) is absorbed
+      // here; the fd is closed and the worker lives to dequeue the next
+      // connection. The counter makes the event visible in /v1/stats.
+      metrics_.record_worker_recovery();
+      ::close(fd);
+    }
   }
 }
 
@@ -231,13 +241,20 @@ void Server::serve_connection(int fd) {
       char chunk[16384];
       const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
       if (n == 0) {
-        fatal = true;  // peer closed
+        // Peer closed. Between requests (empty buffer) that is a normal
+        // keep-alive teardown; with a request partially buffered it is a
+        // mid-request disconnect, counted so the chaos harness can see
+        // the server shrug it off.
+        if (!buffer.empty()) metrics_.record_client_disconnect();
+        fatal = true;
         break;
       }
       if (n < 0) {
         if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
           continue;
         }
+        // ECONNRESET and friends: same taxonomy as the EOF case above.
+        if (!buffer.empty()) metrics_.record_client_disconnect();
         fatal = true;
         break;
       }
@@ -266,7 +283,12 @@ void Server::serve_connection(int fd) {
     if (stopping_.load()) keep_alive = false;
     if (!keep_alive) response.headers["connection"] = "close";
 
-    if (!send_response(fd, response, config_.write_timeout_ms)) break;
+    if (!send_response(fd, response, config_.write_timeout_ms)) {
+      // EPIPE/reset or a write deadline: the response is lost but the
+      // worker is not. Count it and move on to the next connection.
+      metrics_.record_write_failure();
+      break;
+    }
     const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
                             Clock::now() - start)
                             .count();

@@ -498,6 +498,12 @@ Result<bool> apply_extension(Certificate& cert, BytesView ext_der) {
 }  // namespace
 
 Result<CertPtr> parse_certificate(BytesView der) {
+  // Depth gate before any recursive descent: a crafted deeply-nested TLV
+  // tower must fail with a clean error, not exhaust the stack somewhere
+  // inside extension parsing or the lint re-scans downstream.
+  auto nesting = asn1::check_nesting(der);
+  if (!nesting.ok()) return nesting.error();
+
   DerReader outer(der);
   auto cert_seq = outer.read(Tag::kSequence);
   if (!cert_seq.ok()) return cert_seq.error();

@@ -1,0 +1,461 @@
+// Tests for the chaos harness (src/chaos/): the mutation engine's
+// per-class contracts, campaign determinism across seeds and thread
+// counts, the asn1 nesting-depth cap, and the fault-injected AIA
+// retry/backoff/deadline discipline — the ISSUE 4 acceptance scenarios.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "asn1/der.hpp"
+#include "chaos/campaign.hpp"
+#include "chaos/mutation.hpp"
+#include "net/aia_repository.hpp"
+#include "pathbuild/path_builder.hpp"
+#include "x509/builder.hpp"
+#include "x509/certificate.hpp"
+
+namespace chainchaos::chaos {
+namespace {
+
+using x509::CertificateBuilder;
+using x509::CertPtr;
+using x509::make_identity;
+using x509::SigningIdentity;
+
+// ---------------------------------------------------------------------------
+// Mutation engine: a purpose-built 3-cert base chain so every structural
+// assertion can be exact.
+// ---------------------------------------------------------------------------
+
+class MutatorFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto root_id = make_identity(asn1::Name::make("Chaos Root"));
+    const auto inter_id = make_identity(asn1::Name::make("Chaos Inter"));
+    CertificateBuilder rb;
+    rb.subject(root_id.name).as_ca().public_key(root_id.keys.pub);
+    const CertPtr root = rb.self_sign(root_id.keys);
+    CertificateBuilder ib;
+    ib.subject(inter_id.name).as_ca().public_key(inter_id.keys.pub);
+    const CertPtr inter = ib.sign(root_id);
+    CertificateBuilder lb;
+    lb.as_leaf("chaos.example");
+    const CertPtr leaf = lb.sign(inter_id);
+
+    const auto foreign_id = make_identity(asn1::Name::make("Foreign CA"));
+    CertificateBuilder fb;
+    fb.subject(foreign_id.name).as_ca().public_key(foreign_id.keys.pub);
+    const CertPtr foreign = fb.self_sign(foreign_id.keys);
+
+    base_ = new std::vector<Bytes>{leaf->der, inter->der, root->der};
+    mutator_ = new ChainMutator({*base_}, {foreign->der});
+    foreign_der_ = new Bytes(foreign->der);
+  }
+
+  MutatedChain mutate(MutationClass cls, std::uint64_t seed = 1) {
+    return mutator_->mutate(cls, seed);
+  }
+
+  static std::vector<Bytes>* base_;
+  static ChainMutator* mutator_;
+  static Bytes* foreign_der_;
+};
+
+std::vector<Bytes>* MutatorFixture::base_ = nullptr;
+ChainMutator* MutatorFixture::mutator_ = nullptr;
+Bytes* MutatorFixture::foreign_der_ = nullptr;
+
+TEST_F(MutatorFixture, RegistryCoversEveryClassWithStableIds) {
+  ASSERT_EQ(all_mutations().size(), kMutationClassCount);
+  EXPECT_STREQ(spec(MutationClass::kTruncateTlv).id, "B1");
+  EXPECT_STREQ(spec(MutationClass::kDeepNest).id, "B6");
+  EXPECT_STREQ(spec(MutationClass::kEmptyChain).id, "S1");
+  EXPECT_STREQ(spec(MutationClass::kIssuerCycle).id, "S7");
+  EXPECT_EQ(mutation_from_name("B3").value(), MutationClass::kBitFlip);
+  EXPECT_EQ(mutation_from_name("issuer-cycle").value(),
+            MutationClass::kIssuerCycle);
+  EXPECT_FALSE(mutation_from_name("Z9").ok());
+}
+
+TEST_F(MutatorFixture, MutationsAreDeterministicPerSeed) {
+  for (const MutationSpec& s : all_mutations()) {
+    const MutatedChain a = mutate(s.cls, 42);
+    const MutatedChain b = mutate(s.cls, 42);
+    EXPECT_EQ(a.wire(), b.wire()) << s.id << " not reproducible";
+  }
+  // Different seeds must be able to produce different bytes.
+  EXPECT_NE(mutate(MutationClass::kBitFlip, 1).wire(),
+            mutate(MutationClass::kBitFlip, 2).wire());
+}
+
+TEST_F(MutatorFixture, TruncateTlvShortensOneCertificate) {
+  const MutatedChain m = mutate(MutationClass::kTruncateTlv);
+  ASSERT_EQ(m.certs.size(), base_->size());
+  std::size_t shortened = 0;
+  for (std::size_t i = 0; i < m.certs.size(); ++i) {
+    if (m.certs[i].size() < (*base_)[i].size()) ++shortened;
+  }
+  EXPECT_EQ(shortened, 1u);
+}
+
+TEST_F(MutatorFixture, LengthCorruptKeepsSizeChangesBytes) {
+  const MutatedChain m = mutate(MutationClass::kLengthCorrupt);
+  ASSERT_EQ(m.certs.size(), base_->size());
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < m.certs.size(); ++i) {
+    ASSERT_EQ(m.certs[i].size(), (*base_)[i].size());
+    if (m.certs[i] != (*base_)[i]) ++changed;
+  }
+  EXPECT_EQ(changed, 1u);
+}
+
+TEST_F(MutatorFixture, BitFlipTouchesAtMostEightBits) {
+  const MutatedChain m = mutate(MutationClass::kBitFlip);
+  std::size_t flipped_bits = 0;
+  for (std::size_t i = 0; i < m.certs.size(); ++i) {
+    ASSERT_EQ(m.certs[i].size(), (*base_)[i].size());
+    for (std::size_t j = 0; j < m.certs[i].size(); ++j) {
+      flipped_bits += static_cast<std::size_t>(
+          __builtin_popcount(m.certs[i][j] ^ (*base_)[i][j]));
+    }
+  }
+  EXPECT_GE(flipped_bits, 1u);
+  EXPECT_LE(flipped_bits, 8u);
+}
+
+TEST_F(MutatorFixture, GarbageFramingGrowsTheVictim) {
+  const MutatedChain prefix = mutate(MutationClass::kGarbagePrefix);
+  const MutatedChain suffix = mutate(MutationClass::kGarbageSuffix);
+  EXPECT_GT(prefix.wire().size(), mutate(MutationClass::kEmptyChain).wire().size());
+  std::size_t base_total = 0;
+  for (const Bytes& der : *base_) base_total += der.size();
+  EXPECT_GT(prefix.wire().size(), base_total);
+  EXPECT_GT(suffix.wire().size(), base_total);
+}
+
+TEST_F(MutatorFixture, EmptyChainHasNoCertificates) {
+  EXPECT_TRUE(mutate(MutationClass::kEmptyChain).certs.empty());
+  EXPECT_TRUE(mutate(MutationClass::kEmptyChain).wire().empty());
+}
+
+TEST_F(MutatorFixture, DuplicateCertInsertsCopies) {
+  const MutatedChain m = mutate(MutationClass::kDuplicateCert);
+  EXPECT_GT(m.certs.size(), base_->size());
+  std::size_t duplicate_pairs = 0;
+  for (std::size_t i = 0; i < m.certs.size(); ++i) {
+    for (std::size_t j = i + 1; j < m.certs.size(); ++j) {
+      if (m.certs[i] == m.certs[j]) ++duplicate_pairs;
+    }
+  }
+  EXPECT_GE(duplicate_pairs, 1u);
+}
+
+TEST_F(MutatorFixture, ReversedOrderIsExactReversal) {
+  const MutatedChain m = mutate(MutationClass::kReversedOrder);
+  std::vector<Bytes> expected = *base_;
+  std::reverse(expected.begin(), expected.end());
+  EXPECT_EQ(m.certs, expected);
+}
+
+TEST_F(MutatorFixture, ShuffledOrderIsAPermutation) {
+  const MutatedChain m = mutate(MutationClass::kShuffledOrder);
+  std::vector<Bytes> sorted_mutated = m.certs;
+  std::vector<Bytes> sorted_base = *base_;
+  std::sort(sorted_mutated.begin(), sorted_mutated.end());
+  std::sort(sorted_base.begin(), sorted_base.end());
+  EXPECT_EQ(sorted_mutated, sorted_base);
+}
+
+TEST_F(MutatorFixture, IrrelevantCertSplicesForeignMaterial) {
+  const MutatedChain m = mutate(MutationClass::kIrrelevantCert);
+  EXPECT_GT(m.certs.size(), base_->size());
+  EXPECT_NE(std::find(m.certs.begin(), m.certs.end(), *foreign_der_),
+            m.certs.end());
+}
+
+TEST_F(MutatorFixture, LongChainExceedsOneHundredCerts) {
+  const MutatedChain m = mutate(MutationClass::kLongChain);
+  EXPECT_GE(m.certs.size(), 100u);
+  // Every member is still individually well-formed DER.
+  for (const Bytes& der : m.certs) {
+    EXPECT_TRUE(x509::parse_certificate(der).ok());
+  }
+}
+
+TEST_F(MutatorFixture, IssuerCycleCertsParseAndLoop) {
+  // All three variants must yield parseable certificates whose issuer
+  // graph never reaches a trust anchor.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const MutatedChain m = mutate(MutationClass::kIssuerCycle, seed);
+    ASSERT_FALSE(m.certs.empty());
+    for (const Bytes& der : m.certs) {
+      auto cert = x509::parse_certificate(der);
+      ASSERT_TRUE(cert.ok());
+      // Cycle members are CAs or the cycle leaf; none is trusted.
+      EXPECT_FALSE(cert.value()->is_self_signed());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// asn1 nesting-depth cap (the B6 fix, pinned as a regression test)
+// ---------------------------------------------------------------------------
+
+TEST(AsnDepthCapTest, TenThousandDeepTowerRejectedCleanly) {
+  const Bytes tower = deep_nested_tlv(10000);
+  auto verdict = asn1::check_nesting(tower);
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.error().code, "der.too_deep");
+  // The certificate parser must surface the same clean error, not
+  // exhaust the stack.
+  auto parsed = x509::parse_certificate(tower);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "der.too_deep");
+}
+
+TEST(AsnDepthCapTest, ShallowTowersPassTheGate) {
+  EXPECT_TRUE(asn1::check_nesting(deep_nested_tlv(4)).ok());
+  EXPECT_TRUE(asn1::check_nesting(deep_nested_tlv(asn1::kMaxNestingDepth)).ok());
+  EXPECT_FALSE(
+      asn1::check_nesting(deep_nested_tlv(asn1::kMaxNestingDepth + 1)).ok());
+}
+
+TEST(AsnDepthCapTest, DeepTowerBuilderIsLinear) {
+  // 12k levels must be near-instant; the O(depth) construction contract.
+  const Bytes tower = deep_nested_tlv(12000);
+  EXPECT_GT(tower.size(), 24000u);  // >= 2 bytes of header per level
+  EXPECT_EQ(tower[0], 0x30);
+  EXPECT_EQ(tower[tower.size() - 2], 0x05);  // innermost NULL
+}
+
+// ---------------------------------------------------------------------------
+// AIA fault injection + FetchPolicy retry discipline
+// ---------------------------------------------------------------------------
+
+class AiaFaultFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_id_ = make_identity(asn1::Name::make("Fault Root"));
+    CertificateBuilder rb;
+    rb.subject(root_id_.name).as_ca().public_key(root_id_.keys.pub);
+    root_ = rb.self_sign(root_id_.keys);
+    store_.add(root_);
+
+    inter_id_ = make_identity(asn1::Name::make("Fault Inter"));
+    CertificateBuilder ib;
+    ib.subject(inter_id_.name).as_ca().public_key(inter_id_.keys.pub);
+    inter_ = ib.sign(root_id_);
+    aia_.publish(kUri, inter_);
+
+    CertificateBuilder lb;
+    lb.as_leaf("fault.example").aia_ca_issuers(kUri);
+    leaf_ = lb.sign(inter_id_);
+  }
+
+  static constexpr const char* kUri = "http://fault/inter.crt";
+
+  truststore::RootStore store_{"fault"};
+  net::AiaRepository aia_;
+  SigningIdentity root_id_, inter_id_;
+  CertPtr root_, inter_, leaf_;
+};
+
+TEST_F(AiaFaultFixture, TransientFaultFailsSingleAttemptSucceedsWithRetries) {
+  net::FaultSpec fault;
+  fault.transient_failures = 2;
+  aia_.inject_fault(kUri, fault);
+
+  // Historical single-attempt fetch: the injected fault wins.
+  auto once = aia_.fetch(kUri);
+  ASSERT_FALSE(once.ok());
+  EXPECT_EQ(once.error().code, "aia.transient");
+
+  // Retry budget >= fault depth: the fetch recovers.
+  net::FetchPolicy policy;
+  policy.max_retries = 2;
+  auto retried = aia_.fetch(kUri, policy);
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(retried.value()->der, inter_->der);
+
+  const net::FetchStats stats = aia_.stats();
+  EXPECT_GE(stats.retries, 2u);
+  EXPECT_GE(stats.transient_failures, 3u);  // 1 (single) + 2 (retried call)
+}
+
+TEST_F(AiaFaultFixture, RetryBudgetTooSmallStillFailsTransient) {
+  net::FaultSpec fault;
+  fault.transient_failures = 3;
+  aia_.inject_fault(kUri, fault);
+  net::FetchPolicy policy;
+  policy.max_retries = 1;
+  auto result = aia_.fetch(kUri, policy);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "aia.transient");
+}
+
+TEST_F(AiaFaultFixture, DeadlineAbandonsRetryLoop) {
+  net::FaultSpec fault;
+  fault.transient_failures = 100;
+  aia_.inject_fault(kUri, fault);
+  net::FetchPolicy policy;
+  policy.max_retries = 100;
+  policy.deadline_ms = 500;  // a couple of simulated attempts at most
+  auto result = aia_.fetch(kUri, policy);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "aia.deadline");
+  EXPECT_GE(aia_.stats().deadline_exceeded, 1u);
+}
+
+TEST_F(AiaFaultFixture, GarbageAndTruncatedResponsesCountAsCorrupt) {
+  net::FaultSpec garbage;
+  garbage.garbage_response = true;
+  aia_.inject_fault(kUri, garbage);
+  EXPECT_FALSE(aia_.fetch(kUri).ok());
+
+  net::FaultSpec truncated;
+  truncated.truncated_response = true;
+  aia_.inject_fault(kUri, truncated);
+  EXPECT_FALSE(aia_.fetch(kUri).ok());
+
+  EXPECT_EQ(aia_.stats().corrupt_responses, 2u);
+  aia_.clear_faults();
+  EXPECT_TRUE(aia_.fetch(kUri).ok());
+}
+
+TEST_F(AiaFaultFixture, PathBuilderRecoversFromTransientFaultsViaRetry) {
+  net::FaultSpec fault;
+  fault.transient_failures = 2;
+  aia_.inject_fault(kUri, fault);
+
+  pathbuild::BuildPolicy policy;
+  policy.aia_completion = true;
+  policy.aia_max_retries = 2;
+  pathbuild::PathBuilder builder(policy, &store_, &aia_);
+  const pathbuild::BuildResult result =
+      builder.build({leaf_}, "fault.example");
+  EXPECT_EQ(result.status, pathbuild::BuildStatus::kOk);
+  EXPECT_GE(aia_.stats().retries, 2u);
+}
+
+TEST_F(AiaFaultFixture, PathBuilderDegradesOnPermanentFaultNeverHangs) {
+  net::FaultSpec fault;
+  fault.permanent = true;
+  aia_.inject_fault(kUri, fault);
+
+  pathbuild::BuildPolicy policy;
+  policy.aia_completion = true;
+  policy.aia_max_retries = 5;  // retries must not help, or loop
+  pathbuild::PathBuilder builder(policy, &store_, &aia_);
+  const pathbuild::BuildResult result =
+      builder.build({leaf_}, "fault.example");
+  EXPECT_EQ(result.status, pathbuild::BuildStatus::kNoIssuerFound);
+  EXPECT_GE(aia_.stats().unreachable, 1u);
+}
+
+TEST_F(AiaFaultFixture, DefaultPolicyPreservesHistoricalSingleAttempt) {
+  // No faults: fetch(uri) and fetch(uri, {}) must count identically.
+  ASSERT_TRUE(aia_.fetch(kUri).ok());
+  const net::FetchStats after_plain = aia_.stats();
+  EXPECT_EQ(after_plain.attempts, 1u);
+  EXPECT_EQ(after_plain.retries, 0u);
+  ASSERT_TRUE(aia_.fetch(kUri, net::FetchPolicy{}).ok());
+  EXPECT_EQ(aia_.stats().attempts, 2u);
+  EXPECT_EQ(aia_.stats().retries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign: classifies everything, never crashes, deterministic
+// ---------------------------------------------------------------------------
+
+CampaignOptions small_campaign() {
+  CampaignOptions options;
+  options.count = 26;  // two inputs per class
+  options.corpus_domains = 60;
+  options.threads = 1;
+  return options;
+}
+
+TEST(CampaignTest, ClassifiesEveryClassWithoutCrashOrHang) {
+  CampaignOptions options = small_campaign();
+  Campaign campaign(options);
+  const CampaignSummary summary = campaign.run();
+  EXPECT_EQ(summary.inputs, 26u);
+  EXPECT_EQ(summary.crashes, 0u);
+  EXPECT_EQ(summary.hangs, 0u);
+  EXPECT_TRUE(summary.contract_ok());
+  // Every class produced an outcome histogram.
+  EXPECT_EQ(summary.outcomes.size(), kMutationClassCount);
+  for (const auto& [id, histogram] : summary.outcomes) {
+    std::size_t total = 0;
+    for (const auto& [outcome, count] : histogram) {
+      total += count;
+      EXPECT_NE(outcome.rfind("crash:", 0), 0u)
+          << id << " crashed: " << outcome;
+    }
+    EXPECT_EQ(total, 2u) << id;
+  }
+}
+
+TEST(CampaignTest, SummaryByteIdenticalAcrossThreadCounts) {
+  CampaignOptions options = small_campaign();
+  Campaign one(options);
+  const std::string single = one.run().to_string();
+
+  options.threads = 4;
+  Campaign four(options);
+  EXPECT_EQ(four.run().to_string(), single);
+
+  Campaign again(options);
+  EXPECT_EQ(again.run().to_string(), single);
+}
+
+TEST(CampaignTest, DifferentSeedsDifferentDigests) {
+  CampaignOptions options = small_campaign();
+  Campaign a(options);
+  options.seed = 834;
+  Campaign b(options);
+  EXPECT_NE(a.run().digest, b.run().digest);
+}
+
+TEST(CampaignTest, RestrictedClassListIsHonoured) {
+  CampaignOptions options = small_campaign();
+  options.classes = {MutationClass::kEmptyChain, MutationClass::kDeepNest};
+  options.count = 8;
+  Campaign campaign(options);
+  const CampaignSummary summary = campaign.run();
+  EXPECT_TRUE(summary.contract_ok());
+  EXPECT_EQ(summary.outcomes.size(), 2u);
+  EXPECT_TRUE(summary.outcomes.count("S1"));
+  EXPECT_TRUE(summary.outcomes.count("B6"));
+}
+
+TEST(CampaignTest, SurvivesDegradedAiaWeb) {
+  CampaignOptions options = small_campaign();
+  options.aia_transient_failures = 2;
+  options.aia_max_retries = 2;
+  Campaign transient(options);
+  EXPECT_TRUE(transient.run().contract_ok());
+
+  options.aia_transient_failures = 0;
+  options.aia_permanent_failures = true;
+  Campaign permanent(options);
+  EXPECT_TRUE(permanent.run().contract_ok());
+}
+
+TEST(CampaignTest, ThroughDaemonModeHoldsTheContract) {
+  CampaignOptions options = small_campaign();
+  options.through_daemon = true;
+  options.threads = 2;
+  Campaign campaign(options);
+  const CampaignSummary summary = campaign.run();
+  EXPECT_TRUE(summary.contract_ok()) << summary.to_string();
+  // Every outcome must be an HTTP verdict (the daemon answered them all).
+  for (const auto& [id, histogram] : summary.outcomes) {
+    for (const auto& [outcome, count] : histogram) {
+      EXPECT_EQ(outcome.rfind("http:", 0), 0u) << outcome;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chainchaos::chaos

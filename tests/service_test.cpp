@@ -457,6 +457,54 @@ TEST(ServiceServerTest, StopIsIdempotentAndRestartNotSupported) {
   EXPECT_FALSE(server.running());
 }
 
+TEST(ServiceServerTest, SurvivesClientsKilledMidBody) {
+  service::ServerConfig config;
+  config.workers = 2;
+  service::Server server(config);
+  const auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  // More abrupt mid-body deaths than there are workers: each client
+  // advertises a large body, sends a fragment, then resets the
+  // connection (SO_LINGER 0 turns close() into RST). If any of these
+  // cost a worker its thread, the probe request below never completes.
+  for (int i = 0; i < 6; ++i) {
+    const int fd = dial(port.value());
+    send_raw(fd,
+             "POST /v1/analyze HTTP/1.1\r\nhost: x\r\n"
+             "content-length: 100000\r\n\r\npartial-body-then-death");
+    struct linger hard_reset = {1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_reset, sizeof hard_reset);
+    ::close(fd);
+  }
+
+  // Both workers must still be alive and serving.
+  service::Client client(port.value());
+  for (int i = 0; i < 3; ++i) {
+    auto health = client.healthz();
+    ASSERT_TRUE(health.ok());
+    EXPECT_EQ(health.value().status, 200);
+  }
+  auto analyzed = client.analyze(pki().pem_chain(), "service.example");
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_EQ(analyzed.value().status, 200);
+
+  // The disconnects were seen and counted (the recv side may observe
+  // either EOF-with-partial-buffer or ECONNRESET; both count), and no
+  // worker needed the last-resort recovery path.
+  EXPECT_GE(server.metrics().client_disconnects(), 1u);
+  EXPECT_EQ(server.metrics().worker_recoveries(), 0u);
+
+  // The robustness counters are surfaced through /v1/stats.
+  auto stats = client.stats();
+  ASSERT_TRUE(stats.ok());
+  const std::string body = to_string(BytesView(stats.value().body));
+  EXPECT_NE(body.find("\"connections\""), std::string::npos);
+  EXPECT_NE(body.find("\"disconnects_midrequest\""), std::string::npos);
+  EXPECT_NE(body.find("\"aia\""), std::string::npos);
+  server.stop();
+}
+
 // ---------------------------------------------------------------------------
 // Metrics
 // ---------------------------------------------------------------------------
@@ -470,11 +518,21 @@ TEST(ServiceMetricsTest, CountersAndJsonShape) {
   metrics.record_rejected();
   metrics.note_queue_depth(5);
   metrics.note_queue_depth(2);  // high-water stays 5
+  metrics.record_client_disconnect();
+  metrics.record_write_failure();
+  metrics.record_worker_recovery();
 
   EXPECT_EQ(metrics.requests_total(), 2u);
   EXPECT_EQ(metrics.rejected_total(), 1u);
+  EXPECT_EQ(metrics.client_disconnects(), 1u);
+  EXPECT_EQ(metrics.write_failures(), 1u);
+  EXPECT_EQ(metrics.worker_recoveries(), 1u);
 
-  const std::string json = metrics.to_json(service::CacheStats{});
+  net::FetchStats aia;
+  aia.attempts = 7;
+  aia.retries = 3;
+  aia.deadline_exceeded = 1;
+  const std::string json = metrics.to_json(service::CacheStats{}, aia);
   EXPECT_NE(json.find("\"analyze\":1"), std::string::npos);
   EXPECT_NE(json.find("\"lint\":1"), std::string::npos);
   EXPECT_NE(json.find("\"2xx\":1"), std::string::npos);
@@ -482,6 +540,11 @@ TEST(ServiceMetricsTest, CountersAndJsonShape) {
   EXPECT_NE(json.find("\"rejected_busy\":1"), std::string::npos);
   EXPECT_NE(json.find("\"high_water_mark\":5"), std::string::npos);
   EXPECT_NE(json.find("\"hit_ratio\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"disconnects_midrequest\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"write_failures\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"worker_recoveries\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"retries\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"deadline_exceeded\":1"), std::string::npos);
 }
 
 }  // namespace
