@@ -1,0 +1,195 @@
+// trace_overhead: proves the §5.11 overhead budget — tracing must cost
+// the sweep under 3% when on and nothing measurable when off.
+//
+// Two measurements:
+//
+//   1. Macro: the full per-record pipeline (parse → analyze → lint →
+//      pathbuild, exactly what chainprof profiles) over a synthetic
+//      corpus, measured in **process CPU time** (overhead is a CPU-cost
+//      claim, and CPU time is less exposed to the other-process
+//      interference that makes wall time swing ±20% on a shared 1-CPU
+//      box), in off/on pairs whose order alternates between pairs
+//      (cancels drift), gated on the median pairwise overhead
+//      (on - off) / off < 3%. Host-level noise is strictly inflationary
+//      for the median, so the gate takes the best median of up to three
+//      attempts — a genuine regression fails all three.
+//
+//   2. Micro: ns per span site for the three states a CHAINCHAOS_SPAN
+//      can be in — runtime-enabled (two clock reads + buffer stores),
+//      runtime-disabled (one relaxed load), and NoopSpan, which is
+//      byte-for-byte what the macro compiles to under
+//      -DCHAINCHAOS_OBS=OFF. Runtime-disabled ≈ NoopSpan is the
+//      "compiled out in spirit" claim; true compile-out needs the CMake
+//      option, which can't coexist with the enabled path in one binary.
+//
+// Exit status: 0 iff the macro overhead stays under the documented 3%.
+#include <ctime>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "chain/analyzer.hpp"
+#include "engine/engine.hpp"
+#include "lint/lint.hpp"
+#include "obs/trace.hpp"
+#include "pathbuild/path_builder.hpp"
+#include "x509/certificate.hpp"
+
+using namespace chainchaos;
+
+namespace {
+
+// Many short pairs beat few long ones twice over: the off/on halves of
+// a ~0.1s pair run under near-identical machine conditions (so the
+// ratio is clean even while a host-level burst is in progress), and the
+// median over 31 ratios shrugs off the pairs a burst boundary lands on.
+constexpr int kPairs = 31;
+constexpr double kBudgetPercent = 3.0;
+
+double cpu_seconds_now() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) / 1e9;
+}
+
+double sweep_seconds(dataset::Corpus& corpus,
+                     const chain::ComplianceAnalyzer& analyzer,
+                     const lint::Linter& linter) {
+  engine::AnalysisRequest request;
+  request.records = &corpus.records();
+  request.shards.threads = 1;  // single-threaded: process CPU == sweep CPU
+  request.per_record = [&](const dataset::DomainRecord& record, std::size_t,
+                           const chain::ComplianceReport*,
+                           engine::ShardTally&) {
+    CHAINCHAOS_SPAN(obs::Stage::kPipelineRecord);
+    std::vector<x509::CertPtr> chain;
+    chain.reserve(record.observation.certificates.size());
+    for (const x509::CertPtr& cert : record.observation.certificates) {
+      auto parsed = x509::parse_certificate(cert->der);
+      if (!parsed.ok()) return;
+      chain.push_back(std::move(parsed).value());
+    }
+    chain::ChainObservation observation;
+    observation.domain = record.observation.domain;
+    observation.certificates = std::move(chain);
+
+    const chain::ComplianceReport report = analyzer.analyze(observation);
+    linter.lint(observation, report);
+
+    pathbuild::BuildPolicy policy;
+    policy.aia_completion = true;
+    pathbuild::PathBuilder builder(policy, &corpus.stores().union_store,
+                                   &corpus.aia());
+    builder.set_cache_learning(false);
+    builder.build(observation.certificates, observation.domain);
+  };
+  const double start = cpu_seconds_now();
+  engine::run(request);
+  return cpu_seconds_now() - start;
+}
+
+/// ns/iteration of `fn` over `iters` calls (one timed block, no warmup
+/// subtlety — the caller interleaves reps).
+template <typename Fn>
+double nanos_per_call(std::size_t iters, Fn&& fn) {
+  const std::uint64_t start = obs::Tracer::now_ns();
+  for (std::size_t i = 0; i < iters; ++i) fn();
+  return static_cast<double>(obs::Tracer::now_ns() - start) /
+         static_cast<double>(iters);
+}
+
+}  // namespace
+
+int main() {
+  // A small corpus keeps each sweep ~0.1s so pairs are tight (see
+  // kPairs); CHAINCHAOS_DOMAINS still overrides for a full-size run.
+  dataset::CorpusConfig config = bench::config_from_env();
+  if (std::getenv("CHAINCHAOS_DOMAINS") == nullptr) {
+    config.domain_count = 2000;
+  }
+  std::printf("[corpus] %zu synthetic domains, seed %llu\n",
+              config.domain_count,
+              static_cast<unsigned long long>(config.seed));
+  auto corpus = std::make_unique<dataset::Corpus>(std::move(config));
+
+  chain::CompletenessOptions completeness;
+  completeness.store = &corpus->stores().union_store;
+  completeness.aia = &corpus->aia();
+  const chain::ComplianceAnalyzer analyzer(completeness);
+  const lint::Linter linter{lint::LintOptions{}};
+
+  obs::Tracer& tracer = obs::Tracer::instance();
+
+  // --- macro: full sweep, tracing off vs on, in paired reps --------------
+  const auto sweep_off = [&] {
+    tracer.set_enabled(false);
+    return sweep_seconds(*corpus, analyzer, linter);
+  };
+  const auto sweep_on = [&] {
+    tracer.set_enabled(true);
+    tracer.reset();  // quiescent here; keeps buffers from filling up
+    return sweep_seconds(*corpus, analyzer, linter);
+  };
+
+  sweep_off();  // warm-up: key pool, caches, page faults
+
+  const auto measure_median = [&] {
+    std::vector<double> overheads;
+    for (int pair = 0; pair < kPairs; ++pair) {
+      double off, on;
+      if (pair % 2 == 0) {
+        off = sweep_off();
+        on = sweep_on();
+      } else {
+        on = sweep_on();
+        off = sweep_off();
+      }
+      overheads.push_back(100.0 * (on - off) / off);
+    }
+    tracer.set_enabled(false);
+    std::sort(overheads.begin(), overheads.end());
+    const double median = overheads[overheads.size() / 2];
+    std::printf("sweep off/on pairs (%d): overhead median %.2f%% "
+                "[min %.2f%%, max %.2f%%] (budget %.1f%%)\n",
+                kPairs, median, overheads.front(), overheads.back(),
+                kBudgetPercent);
+    return median;
+  };
+
+  constexpr int kAttempts = 3;
+  double overhead_pct = 1e18;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    overhead_pct = std::min(overhead_pct, measure_median());
+    if (overhead_pct < kBudgetPercent) break;  // pass; don't keep burning CPU
+  }
+
+  // --- micro: cost of one span site --------------------------------------
+  // Fits the default per-thread buffer (1<<18 slots) so every iteration
+  // takes the full record path, not the cheaper buffer-full drop path.
+  constexpr std::size_t kIters = 200'000;
+  tracer.set_enabled(true);
+  tracer.reset();
+  const double enabled_ns = nanos_per_call(kIters, [] {
+    CHAINCHAOS_SPAN(obs::Stage::kEngineSteal);
+  });
+  tracer.set_enabled(false);
+  tracer.reset();
+  const double disabled_ns = nanos_per_call(kIters, [] {
+    CHAINCHAOS_SPAN(obs::Stage::kEngineSteal);
+  });
+  const double noop_ns = nanos_per_call(kIters, [] {
+    obs::NoopSpan span(obs::Stage::kEngineSteal);
+    (void)span;
+  });
+  std::printf("span site: enabled %.1f ns, runtime-off %.2f ns, "
+              "compiled-out (NoopSpan) %.2f ns\n",
+              enabled_ns, disabled_ns, noop_ns);
+
+  const bool ok = overhead_pct < kBudgetPercent;
+  std::printf("trace overhead %s\n", ok ? "within budget" : "OVER BUDGET");
+  return ok ? 0 : 1;
+}

@@ -9,6 +9,7 @@
 // Usage:  chaind [--port P] [--workers N] [--queue N] [--cache N]
 //                [--cache-shards N] [--timeout-ms T] [--roots FILE]
 //                [--now UNIX] [--port-file FILE] [--duration SEC]
+//                [--trace]
 //
 // --port 0 (the default) binds an ephemeral port; the bound port is
 // printed on stdout and, with --port-file, written to a file so scripts
@@ -23,6 +24,7 @@
 #include <thread>
 
 #include "cli_common.hpp"
+#include "obs/trace.hpp"
 #include "service/server.hpp"
 #include "x509/certificate.hpp"
 
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
   std::size_t duration_sec = 0;
   const char* roots_path = nullptr;
   std::string port_file;
+  bool trace = false;
 
   cli::Flags flags;
   flags.add("--port", &config.port, "P");
@@ -58,7 +61,14 @@ int main(int argc, char** argv) {
   flags.add("--now", &now, "UNIX");
   flags.add("--port-file", &port_file, "FILE");
   flags.add("--duration", &duration_sec, "SEC");
+  flags.add("--trace", &trace);
   if (!flags.parse(argc, argv)) return 1;
+
+  // --trace turns on span recording for the daemon's lifetime: spans
+  // feed GET /v1/trace (chrome://tracing JSON) and the per-stage
+  // histograms in GET /v1/metrics. Off by default — the relaxed-load
+  // fast path keeps untraced operation at full speed.
+  if (trace) obs::Tracer::instance().set_enabled(true);
 
   config.queue_capacity = queue;
   config.cache_capacity = cache;

@@ -1,0 +1,266 @@
+// chainprof: per-stage profiling of the analysis pipeline (DESIGN.md
+// §5.11).
+//
+// Three modes, selected by flags:
+//
+//   chainprof --domains 2000                in-process corpus sweep:
+//       runs every record through parse → analyzers → chainlint →
+//       PathBuilder with the tracer on, then prints the aggregated
+//       per-stage table (count, total, p50/p99, % of cpu time) and a
+//       coverage line asserting the profile accounts for the sweep's
+//       wall clock.
+//
+//   chainprof --port P [--repeat N]         replay against a live chaind:
+//       POSTs the generated chains to /v1/analyze over one keep-alive
+//       connection and profiles the client side (client.request spans);
+//       pair with a daemon started with --trace and `chainq trace` for
+//       the server half.
+//
+//   chainprof --check-exposition FILE       validate a Prometheus text
+//       exposition document (what scripts/obs_smoke.sh runs over
+//       GET /v1/metrics output); exit 0 iff the checker accepts it.
+//
+// --trace-json FILE additionally writes the raw spans as
+// chrome://tracing JSON in the first two modes.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chain/analyzer.hpp"
+#include "cli_common.hpp"
+#include "dataset/corpus.hpp"
+#include "engine/engine.hpp"
+#include "lint/lint.hpp"
+#include "obs/export.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/trace.hpp"
+#include "pathbuild/path_builder.hpp"
+#include "service/client.hpp"
+#include "x509/certificate.hpp"
+
+using namespace chainchaos;
+
+namespace {
+
+int check_exposition_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "chainprof: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const auto checked = obs::check_exposition(text.str());
+  if (!checked.ok()) {
+    std::fprintf(stderr, "chainprof: %s fails exposition check: %s\n",
+                 path.c_str(), checked.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s: valid Prometheus exposition (%zu samples)\n", path.c_str(),
+              checked.value());
+  return 0;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return out.good();
+}
+
+unsigned distinct_threads(const std::vector<obs::SpanRecord>& spans) {
+  std::uint32_t max_tid = 0;
+  for (const obs::SpanRecord& span : spans) {
+    max_tid = std::max(max_tid, span.thread_id);
+  }
+  return spans.empty() ? 1 : max_tid + 1;
+}
+
+/// Prints the profile plus the coverage line: root spans (parent == -1)
+/// are mutually non-overlapping per thread, so their summed duration
+/// against wall × threads says how much of the run the trace explains.
+void print_profile(const std::vector<obs::SpanRecord>& spans,
+                   std::uint64_t wall_ns) {
+  const unsigned threads = distinct_threads(spans);
+  const auto profile = obs::aggregate_profile(spans);
+  std::fputs(obs::profile_table(profile, wall_ns, threads).c_str(), stdout);
+
+  std::uint64_t root_ns = 0;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.parent < 0) root_ns += span.end_ns - span.start_ns;
+  }
+  const double coverage =
+      wall_ns == 0 ? 0.0
+                   : 100.0 * static_cast<double>(root_ns) /
+                         (static_cast<double>(wall_ns) * threads);
+  std::printf("\nstage total = %.1f%% of wall clock "
+              "(wall %.1f ms, %u thread%s, %zu spans, %llu dropped)\n",
+              coverage, static_cast<double>(wall_ns) / 1e6, threads,
+              threads == 1 ? "" : "s", spans.size(),
+              static_cast<unsigned long long>(obs::Tracer::instance().dropped()));
+}
+
+int sweep_mode(std::size_t domains, std::uint64_t seed, unsigned threads,
+               const std::string& trace_json) {
+  std::printf("chainprof: sweeping %zu synthetic domains (seed %llu, "
+              "threads %u)...\n",
+              domains, static_cast<unsigned long long>(seed), threads);
+  dataset::CorpusConfig config;
+  config.domain_count = domains;
+  config.seed = seed;
+  dataset::Corpus corpus(std::move(config));
+
+  const chain::CompletenessOptions completeness = [&] {
+    chain::CompletenessOptions o;
+    o.store = &corpus.stores().union_store;
+    o.aia = &corpus.aia();
+    return o;
+  }();
+  const chain::ComplianceAnalyzer analyzer(completeness);
+  const lint::Linter linter{lint::LintOptions{}};
+
+  obs::Tracer::instance().set_enabled(true);
+  obs::Tracer::instance().reset();
+
+  engine::AnalysisRequest request;
+  request.records = &corpus.records();
+  request.shards.threads = threads;
+  // The whole pipeline runs inside per_record (rather than via
+  // request.analyzer) so every stage nests under one pipeline.record
+  // span per domain: parse → analyze → lint → pathbuild.
+  request.per_record = [&](const dataset::DomainRecord& record, std::size_t,
+                           const chain::ComplianceReport*,
+                           engine::ShardTally&) {
+    CHAINCHAOS_SPAN(obs::Stage::kPipelineRecord);
+    std::vector<x509::CertPtr> chain;
+    chain.reserve(record.observation.certificates.size());
+    for (const x509::CertPtr& cert : record.observation.certificates) {
+      auto parsed = x509::parse_certificate(cert->der);
+      if (!parsed.ok()) return;
+      chain.push_back(std::move(parsed).value());
+    }
+    chain::ChainObservation observation;
+    observation.domain = record.observation.domain;
+    observation.certificates = std::move(chain);
+
+    const chain::ComplianceReport report = analyzer.analyze(observation);
+    linter.lint(observation, report);
+
+    pathbuild::BuildPolicy policy;
+    policy.aia_completion = true;
+    pathbuild::PathBuilder builder(policy, &corpus.stores().union_store,
+                                   &corpus.aia());
+    builder.set_cache_learning(false);
+    builder.build(observation.certificates, observation.domain);
+  };
+
+  const std::uint64_t wall_start = obs::Tracer::now_ns();
+  const engine::AnalysisResult result = engine::run(request);
+  const std::uint64_t wall_ns = obs::Tracer::now_ns() - wall_start;
+  obs::Tracer::instance().set_enabled(false);
+
+  const std::vector<obs::SpanRecord> spans = obs::Tracer::instance().collect();
+  std::printf("%zu records in %.2fs\n\n", result.records_processed,
+              result.elapsed_seconds);
+  print_profile(spans, wall_ns);
+
+  if (!trace_json.empty()) {
+    if (!write_file(trace_json,
+                    obs::chrome_trace_json(
+                        spans, obs::Tracer::instance().dropped()))) {
+      std::fprintf(stderr, "chainprof: cannot write %s\n", trace_json.c_str());
+      return 1;
+    }
+    std::printf("wrote chrome trace to %s\n", trace_json.c_str());
+  }
+  return 0;
+}
+
+int replay_mode(std::uint16_t port, std::size_t domains, std::uint64_t seed,
+                std::size_t repeat, const std::string& trace_json) {
+  std::printf("chainprof: replaying %zu chains x%zu against "
+              "127.0.0.1:%u...\n",
+              domains, repeat, port);
+  dataset::CorpusConfig config;
+  config.domain_count = domains;
+  config.seed = seed;
+  dataset::Corpus corpus(std::move(config));
+
+  std::vector<std::pair<std::string, std::string>> bodies;  // domain, pem
+  bodies.reserve(corpus.records().size());
+  for (const dataset::DomainRecord& record : corpus.records()) {
+    std::string pem;
+    for (const x509::CertPtr& cert : record.observation.certificates) {
+      pem += x509::to_pem(*cert);
+    }
+    bodies.emplace_back(record.observation.domain, std::move(pem));
+  }
+
+  obs::Tracer::instance().set_enabled(true);
+  obs::Tracer::instance().reset();
+
+  service::Client client(port);
+  std::size_t failures = 0;
+  const std::uint64_t wall_start = obs::Tracer::now_ns();
+  for (std::size_t pass = 0; pass < repeat; ++pass) {
+    for (const auto& [domain, pem] : bodies) {
+      const auto response = client.analyze(pem, domain);
+      if (!response.ok() || response.value().status != 200) ++failures;
+    }
+  }
+  const std::uint64_t wall_ns = obs::Tracer::now_ns() - wall_start;
+  obs::Tracer::instance().set_enabled(false);
+
+  const std::vector<obs::SpanRecord> spans = obs::Tracer::instance().collect();
+  std::printf("%zu requests, %zu failures\n\n", bodies.size() * repeat,
+              failures);
+  print_profile(spans, wall_ns);
+
+  if (!trace_json.empty()) {
+    if (!write_file(trace_json,
+                    obs::chrome_trace_json(
+                        spans, obs::Tracer::instance().dropped()))) {
+      std::fprintf(stderr, "chainprof: cannot write %s\n", trace_json.c_str());
+      return 1;
+    }
+    std::printf("wrote chrome trace to %s\n", trace_json.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t domains = 2000;
+  std::uint64_t seed = 833;
+  unsigned threads = 1;
+  std::size_t repeat = 1;
+  std::uint16_t port = 0;
+  std::size_t buffer = 0;
+  std::string trace_json;
+  std::string exposition;
+
+  cli::Flags flags;
+  flags.add("--domains", &domains, "N");
+  flags.add("--seed", &seed, "S");
+  flags.add("--threads", &threads, "T");
+  flags.add("--port", &port, "P");
+  flags.add("--repeat", &repeat, "N");
+  flags.add("--buffer", &buffer, "SPANS");
+  flags.add("--trace-json", &trace_json, "FILE");
+  flags.add("--check-exposition", &exposition, "FILE");
+  if (!flags.parse(argc, argv)) return 1;
+
+  if (!exposition.empty()) return check_exposition_file(exposition);
+  if (buffer != 0) obs::Tracer::instance().set_buffer_capacity(buffer);
+  if (repeat == 0) repeat = 1;
+
+  if (port != 0) {
+    // Replay defaults to a smaller corpus: every chain is a round trip.
+    if (domains == 2000) domains = 100;
+    return replay_mode(port, domains, seed, repeat, trace_json);
+  }
+  return sweep_mode(domains, seed, threads, trace_json);
+}

@@ -11,6 +11,9 @@
 //   analyze FILE     POST the PEM/DER chain in FILE to /v1/analyze
 //   lint FILE        POST it to /v1/lint
 //   stats            GET /v1/stats
+//   metrics          GET /v1/metrics (Prometheus text exposition)
+//   trace            GET /v1/trace (chrome://tracing JSON; needs a
+//                    daemon started with --trace to be non-empty)
 //   health           GET /healthz (exit 0 iff the daemon answers 200)
 //   make-chain FILE  write a demo root+intermediate+leaf PEM chain to
 //                    FILE (for smoke tests and quickstarts; the root is
@@ -109,6 +112,8 @@ int main(int argc, char** argv) {
   service::Client client(port, timeout_ms);
 
   if (command == "stats") return print_response(client.stats());
+  if (command == "metrics") return print_response(client.metrics());
+  if (command == "trace") return print_response(client.trace());
   if (command == "health") return print_response(client.healthz());
 
   if (command == "analyze" || command == "lint") {

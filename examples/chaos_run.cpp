@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   std::string mutations;
   std::uint16_t port = 0;
   bool list = false;
+  bool report = false;
 
   cli::Flags flags;
   flags.add("--seed", &options.seed, "N");
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
   flags.add("--through-daemon", &options.through_daemon);
   flags.add("--port", &port, "PORT");
   flags.add("--list", &list);
+  flags.add("--report", &report);
   if (!flags.parse(argc, argv)) return 1;
   options.daemon_port = port;
 
@@ -77,6 +79,13 @@ int main(int argc, char** argv) {
   chaos::Campaign campaign(options);
   const chaos::CampaignSummary summary = campaign.run();
   std::fputs(summary.to_string().c_str(), stdout);
+
+  if (report) {
+    // Timing is run-dependent by nature, so the table only appears on
+    // request — default stdout stays byte-identical across runs.
+    std::printf("\nslowest mutation classes:\n%s",
+                summary.timing_report().c_str());
+  }
 
   return summary.contract_ok() ? 0 : 1;
 }

@@ -15,7 +15,11 @@
 #      classes, seeded) through the ASan/UBSan build of the full
 #      pipeline, at 1 and 8 threads — zero crashes/hangs/findings and
 #      byte-identical summaries (the §5.10 crash-free contract)
-#   5. static analysis: scripts/lint.sh
+#   5. observability: the obs smoke (chainprof sweep coverage >= 90%,
+#      live /v1/metrics through the exposition checker) plus the
+#      bench/trace_overhead gate (§5.11 budget: tracing costs the sweep
+#      < 3% when on)
+#   6. static analysis: scripts/lint.sh
 #
 # Build trees live in build/ and build-asan/ and are reused across runs.
 set -eu
@@ -23,20 +27,20 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "=== [1/5] tier-1 build + tests ==="
+echo "=== [1/6] tier-1 build + tests ==="
 cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [2/5] ASan/UBSan build + tests ==="
+echo "=== [2/6] ASan/UBSan build + tests ==="
 cmake -B build-asan -S . -DCHAINCHAOS_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "=== [3/5] service smoke ==="
+echo "=== [3/6] service smoke ==="
 scripts/service_smoke.sh build/examples/chaind build/examples/chainq
 
-echo "=== [4/5] chaos campaign under ASan/UBSan ==="
+echo "=== [4/6] chaos campaign under ASan/UBSan ==="
 # The acceptance gate of DESIGN.md §5.10: a 5000-input campaign over
 # every mutation class must classify everything — no crash, no hang, no
 # sanitizer finding — and the summary must not depend on thread count.
@@ -55,7 +59,14 @@ build-asan/examples/chaos_run --seed 833 --count 1300 --aia-transient 2 \
 build-asan/examples/chaos_run --seed 833 --count 1300 --aia-permanent \
     | grep -q "contract=ok"
 
-echo "=== [5/5] static analysis ==="
+echo "=== [5/6] observability smoke + overhead gate ==="
+scripts/obs_smoke.sh build/examples/chainprof build/examples/chaind \
+    build/examples/chainq
+# The §5.11 budget: tracing must cost the sweep < 3% when enabled
+# (trace_overhead exits non-zero over budget).
+build/bench/trace_overhead
+
+echo "=== [6/6] static analysis ==="
 scripts/lint.sh build
 
 echo "CI: all gates passed"

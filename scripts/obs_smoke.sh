@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the observability subsystem (DESIGN.md §5.11).
+#
+# Two legs:
+#   1. Offline: a chainprof corpus sweep must attribute >= 90% of wall
+#      clock to stage spans with zero drops, and the exported chrome
+#      trace must be structurally sane.
+#   2. Live: chaind with --trace on an ephemeral port; after real
+#      traffic, GET /v1/metrics must pass the Prometheus exposition
+#      checker (via chainprof --check-exposition) and carry both the
+#      service histograms and the tracer's per-stage families, and
+#      GET /v1/trace must return chrome trace JSON.
+#
+# Usage: obs_smoke.sh <chainprof-binary> <chaind-binary> <chainq-binary>
+set -euo pipefail
+
+CHAINPROF=${1:?usage: obs_smoke.sh <chainprof> <chaind> <chainq>}
+CHAIND=${2:?usage: obs_smoke.sh <chainprof> <chaind> <chainq>}
+CHAINQ=${3:?usage: obs_smoke.sh <chainprof> <chaind> <chainq>}
+
+WORKDIR=$(mktemp -d)
+trap 'rm -rf "$WORKDIR"; [ -n "${DAEMON_PID:-}" ] && kill "$DAEMON_PID" 2>/dev/null || true' EXIT
+
+# --- leg 1: offline sweep profile --------------------------------------
+
+"$CHAINPROF" --domains 2000 --trace-json "$WORKDIR/trace.json" \
+    >"$WORKDIR/profile.txt"
+cat "$WORKDIR/profile.txt"
+
+# The acceptance bar: stage spans account for >= 90% of wall clock.
+COVERAGE=$(sed -n 's/^stage total = \([0-9.]*\)% of wall clock.*/\1/p' \
+    "$WORKDIR/profile.txt")
+[ -n "$COVERAGE" ] || { echo "FAIL: no coverage line in chainprof output"; exit 1; }
+awk -v c="$COVERAGE" 'BEGIN { exit (c >= 90.0) ? 0 : 1 }' \
+    || { echo "FAIL: stage coverage $COVERAGE% is below 90%"; exit 1; }
+grep -q " 0 dropped" "$WORKDIR/profile.txt" \
+    || { echo "FAIL: sweep dropped spans (buffer too small?)"; exit 1; }
+echo "sweep coverage: $COVERAGE% of wall clock, no dropped spans"
+
+# The chrome trace export must be structurally sane: complete-event
+# records with durations, and no truncation marker.
+grep -q '"traceEvents"' "$WORKDIR/trace.json" \
+    || { echo "FAIL: trace.json has no traceEvents array"; exit 1; }
+grep -q '"ph":"X"' "$WORKDIR/trace.json" \
+    || { echo "FAIL: trace.json has no complete events"; exit 1; }
+grep -q '"dropped_spans":"0"' "$WORKDIR/trace.json" \
+    || { echo "FAIL: trace.json reports dropped spans"; exit 1; }
+echo "chrome trace export OK"
+
+# --- leg 2: live daemon metrics ----------------------------------------
+
+CHAIN="$WORKDIR/chain.pem"
+PORT_FILE="$WORKDIR/port.txt"
+"$CHAINQ" make-chain "$CHAIN"
+
+"$CHAIND" --port 0 --port-file "$PORT_FILE" --duration 120 --trace \
+    >"$WORKDIR/chaind.log" 2>&1 &
+DAEMON_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.1
+done
+[ -s "$PORT_FILE" ] || { echo "FAIL: chaind never wrote its port file"; exit 1; }
+PORT=$(cat "$PORT_FILE")
+echo "chaind is up on 127.0.0.1:$PORT (tracing on)"
+
+# Real traffic: misses and hits, so the latency and queue-wait
+# histograms and the per-stage span histograms all have observations.
+"$CHAINQ" --port "$PORT" --repeat 5 analyze "$CHAIN" >/dev/null
+"$CHAINQ" --port "$PORT" stats >/dev/null
+
+"$CHAINQ" --port "$PORT" metrics >"$WORKDIR/metrics.txt"
+"$CHAINPROF" --check-exposition "$WORKDIR/metrics.txt" \
+    || { echo "FAIL: /v1/metrics is not valid Prometheus exposition"; exit 1; }
+grep -q 'chainchaos_requests_total{endpoint="analyze"}' "$WORKDIR/metrics.txt" \
+    || { echo "FAIL: metrics missing per-endpoint request counters"; exit 1; }
+grep -q 'chainchaos_queue_wait_seconds_bucket' "$WORKDIR/metrics.txt" \
+    || { echo "FAIL: metrics missing the queue-wait histogram"; exit 1; }
+grep -q 'chainchaos_stage_duration_seconds_service_handle' "$WORKDIR/metrics.txt" \
+    || { echo "FAIL: metrics missing tracer stage histograms (is --trace on?)"; exit 1; }
+echo "/v1/metrics passes the exposition checker"
+
+"$CHAINQ" --port "$PORT" trace >"$WORKDIR/daemon_trace.json"
+grep -q '"traceEvents"' "$WORKDIR/daemon_trace.json" \
+    || { echo "FAIL: /v1/trace has no traceEvents array"; exit 1; }
+echo "/v1/trace serves chrome trace JSON"
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+RC=$?
+DAEMON_PID=""
+[ "$RC" -eq 0 ] || { echo "FAIL: chaind exited with $RC"; exit 1; }
+
+echo "obs smoke OK"

@@ -1,8 +1,11 @@
 #include "chain/analyzer.hpp"
 
+#include "obs/trace.hpp"
+
 namespace chainchaos::chain {
 
 ComplianceReport ComplianceAnalyzer::analyze(const ChainObservation& obs) const {
+  CHAINCHAOS_SPAN(::chainchaos::obs::Stage::kChainAnalyze);
   const Topology topology = Topology::build(obs.certificates);
   return analyze(obs, topology);
 }
@@ -10,9 +13,19 @@ ComplianceReport ComplianceAnalyzer::analyze(const ChainObservation& obs) const 
 ComplianceReport ComplianceAnalyzer::analyze(const ChainObservation& obs,
                                              const Topology& topology) const {
   ComplianceReport report;
-  report.leaf_placement = classify_leaf_placement(obs.certificates, obs.domain);
-  report.order = analyze_order(obs.certificates, topology);
-  report.completeness = analyze_completeness(topology, options_);
+  {
+    CHAINCHAOS_SPAN(::chainchaos::obs::Stage::kChainLeafPlacement);
+    report.leaf_placement =
+        classify_leaf_placement(obs.certificates, obs.domain);
+  }
+  {
+    CHAINCHAOS_SPAN(::chainchaos::obs::Stage::kChainOrder);
+    report.order = analyze_order(obs.certificates, topology);
+  }
+  {
+    CHAINCHAOS_SPAN(::chainchaos::obs::Stage::kChainCompleteness);
+    report.completeness = analyze_completeness(topology, options_);
+  }
   return report;
 }
 

@@ -1,6 +1,8 @@
 #include "chaos/campaign.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <exception>
 
 #include "chain/analyzer.hpp"
@@ -8,6 +10,7 @@
 #include "dataset/corpus.hpp"
 #include "engine/engine.hpp"
 #include "lint/lint.hpp"
+#include "obs/trace.hpp"
 #include "pathbuild/path_builder.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
@@ -153,6 +156,13 @@ CampaignSummary Campaign::run() {
               options_.seed + kSeedStride * (static_cast<std::uint64_t>(i) + 1);
           InputResult& result = results[i];
           result.mutation_id = spec(cls).id;
+          // Tag every span this input produces (parse, analyze, lint,
+          // pathbuild, AIA) with an index-derived trace id so a chrome
+          // trace of a campaign groups by input.
+          const ::chainchaos::obs::TraceContext trace_ctx(
+              ::chainchaos::obs::trace_id_from_string(
+                  "chaos-" + std::to_string(i)));
+          CHAINCHAOS_SPAN(::chainchaos::obs::Stage::kChaosInput);
           const auto start = Clock::now();
           try {
             const MutatedChain input = state_->mutator->mutate(cls, seed);
@@ -179,13 +189,13 @@ CampaignSummary Campaign::run() {
             result.outcome = "crash:unknown";
             result.crashed = true;
           }
-          const auto elapsed_ms =
-              std::chrono::duration_cast<std::chrono::milliseconds>(
+          const auto elapsed_us =
+              std::chrono::duration_cast<std::chrono::microseconds>(
                   Clock::now() - start)
                   .count();
+          result.elapsed_us = static_cast<std::uint64_t>(elapsed_us);
           if (options_.per_input_deadline_ms != 0 &&
-              static_cast<std::uint64_t>(elapsed_ms) >
-                  options_.per_input_deadline_ms) {
+              result.elapsed_us / 1000 > options_.per_input_deadline_ms) {
             result.hung = true;
           }
         }
@@ -200,6 +210,10 @@ CampaignSummary Campaign::run() {
   for (std::size_t i = 0; i < results.size(); ++i) {
     const InputResult& result = results[i];
     summary.outcomes[result.mutation_id][result.outcome] += 1;
+    CampaignSummary::ClassTiming& timing = summary.timings[result.mutation_id];
+    ++timing.count;
+    timing.total_us += result.elapsed_us;
+    timing.max_us = std::max(timing.max_us, result.elapsed_us);
     if (result.crashed) ++summary.crashes;
     if (result.hung) ++summary.hangs;
     if (result.transport_failed) ++summary.transport_failures;
@@ -229,6 +243,32 @@ std::string CampaignSummary::to_string() const {
     }
   }
   out += "digest=" + digest + "\n";
+  return out;
+}
+
+std::string CampaignSummary::timing_report() const {
+  std::vector<std::pair<std::string, ClassTiming>> rows(timings.begin(),
+                                                        timings.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.total_us != b.second.total_us) {
+      return a.second.total_us > b.second.total_us;
+    }
+    return a.first < b.first;  // deterministic tie-break
+  });
+  std::string out =
+      "class  count  total_ms   mean_us    max_us\n";
+  char line[128];
+  for (const auto& [id, t] : rows) {
+    const double mean =
+        t.count == 0 ? 0.0
+                     : static_cast<double>(t.total_us) /
+                           static_cast<double>(t.count);
+    std::snprintf(line, sizeof line, "%-5s %6zu %9.1f %9.1f %9llu\n",
+                  id.c_str(), t.count,
+                  static_cast<double>(t.total_us) / 1000.0, mean,
+                  static_cast<unsigned long long>(t.max_us));
+    out += line;
+  }
   return out;
 }
 

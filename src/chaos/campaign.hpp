@@ -77,6 +77,19 @@ struct CampaignSummary {
   /// index order: the strongest determinism witness the harness has.
   std::string digest;
 
+  /// Wall-clock cost of one mutation class across the campaign. Kept
+  /// strictly out of to_string() and the digest — timing varies run to
+  /// run, the determinism witnesses must not.
+  struct ClassTiming {
+    std::size_t count = 0;
+    std::uint64_t total_us = 0;
+    std::uint64_t max_us = 0;
+  };
+
+  /// mutation id → timing tally, populated from the same per-input
+  /// clock the hang detector uses.
+  std::map<std::string, ClassTiming> timings;
+
   bool contract_ok() const {
     return crashes == 0 && hangs == 0 && transport_failures == 0;
   }
@@ -84,6 +97,11 @@ struct CampaignSummary {
   /// Deterministic multi-line rendering (what chaos_run prints and the
   /// smoke test diffs across runs).
   std::string to_string() const;
+
+  /// Slowest-classes table (total time descending): class id, input
+  /// count, total ms, mean µs, worst-input µs. What chaos_run --report
+  /// prints; never part of to_string().
+  std::string timing_report() const;
 };
 
 class Campaign {
@@ -105,6 +123,7 @@ class Campaign {
   struct InputResult {
     std::string mutation_id;
     std::string outcome;
+    std::uint64_t elapsed_us = 0;
     bool crashed = false;
     bool hung = false;
     bool transport_failed = false;

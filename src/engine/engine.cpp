@@ -5,6 +5,8 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace chainchaos::engine {
 
 unsigned resolve_threads(unsigned requested) {
@@ -35,12 +37,34 @@ void for_each_shard(std::size_t count, const ShardOptions& options,
 
   std::atomic<std::size_t> cursor{0};
   const auto worker_loop = [&](unsigned worker) {
+    CHAINCHAOS_SPAN(obs::Stage::kEngineSweep);
+    std::uint64_t idle_since = 0;
     for (;;) {
       const std::size_t s = cursor.fetch_add(1, std::memory_order_relaxed);
       if (s >= shards) return;
       const std::size_t first = s * shard;
       const std::size_t last = std::min(first + shard, count);
-      shard_fn(first, last, worker);
+#ifndef CHAINCHAOS_OBS_DISABLED
+      // Steal gap: time between finishing the previous shard on this
+      // worker and claiming the next one. Histogram-only — the interval
+      // is cursor traffic, not nested work, so it gets no span.
+      if (obs::Tracer::instance().enabled()) {
+        const std::uint64_t claimed_at = obs::Tracer::now_ns();
+        if (idle_since != 0) {
+          obs::Tracer::instance().record_duration(
+              obs::Stage::kEngineSteal, claimed_at - idle_since);
+        }
+      }
+#endif
+      {
+        CHAINCHAOS_SPAN(obs::Stage::kEngineShard);
+        shard_fn(first, last, worker);
+      }
+#ifndef CHAINCHAOS_OBS_DISABLED
+      if (obs::Tracer::instance().enabled()) {
+        idle_since = obs::Tracer::now_ns();
+      }
+#endif
     }
   };
 

@@ -1,5 +1,7 @@
 #include "lint/lint.hpp"
 
+#include "obs/trace.hpp"
+
 namespace chainchaos::lint {
 
 std::vector<Finding> Linter::lint_certificate(
@@ -19,12 +21,16 @@ LintReport Linter::lint(const chain::ChainObservation& observation,
   out.domain = observation.domain;
   out.certificates = observation.certificates.size();
 
-  const ChainContext chain_ctx{observation, report, options_};
-  for (const ChainRule& r : chain_rules()) {
-    Emitter emitter(r.rule, -1, out.findings);
-    r.check(chain_ctx, emitter);
+  {
+    CHAINCHAOS_SPAN(obs::Stage::kLintChainRules);
+    const ChainContext chain_ctx{observation, report, options_};
+    for (const ChainRule& r : chain_rules()) {
+      Emitter emitter(r.rule, -1, out.findings);
+      r.check(chain_ctx, emitter);
+    }
   }
 
+  CHAINCHAOS_SPAN(obs::Stage::kLintCertRules);
   for (std::size_t i = 0; i < observation.certificates.size(); ++i) {
     const CertContext cert_ctx{*observation.certificates[i], i,
                                observation.certificates.size(), options_};

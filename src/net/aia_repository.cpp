@@ -1,6 +1,7 @@
 #include "net/aia_repository.hpp"
 
 #include "net/http.hpp"
+#include "obs/trace.hpp"
 
 namespace chainchaos::net {
 
@@ -127,6 +128,7 @@ Result<x509::CertPtr> AiaRepository::fetch(const std::string& uri) {
 
 Result<x509::CertPtr> AiaRepository::fetch(const std::string& uri,
                                            const FetchPolicy& policy) {
+  CHAINCHAOS_SPAN(obs::Stage::kAiaFetch);
   // One lock for the whole logical fetch keeps the entry lookup, the
   // retry schedule, and the counters consistent; fetches are rare
   // (incomplete chains only), and the backoff is simulated rather than

@@ -1,0 +1,108 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+
+namespace chainchaos::obs {
+
+namespace {
+
+/// Nearest-rank quantile over a sorted duration list (exact, unlike the
+/// bucket interpolation used for live histograms).
+std::uint64_t nearest_rank(const std::vector<std::uint64_t>& sorted,
+                           double q) {
+  if (sorted.empty()) return 0;
+  const double rank = q * static_cast<double>(sorted.size());
+  std::size_t index = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank + 0.5) - 1;
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  return sorted[index];
+}
+
+}  // namespace
+
+std::vector<StageProfile> aggregate_profile(
+    const std::vector<SpanRecord>& spans) {
+  std::array<std::vector<std::uint64_t>, kStageCount> durations;
+  for (const SpanRecord& span : spans) {
+    if (span.stage == Stage::kCount) continue;
+    durations[static_cast<std::size_t>(span.stage)].push_back(
+        span.end_ns - span.start_ns);
+  }
+
+  std::vector<StageProfile> out;
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    std::vector<std::uint64_t>& list = durations[s];
+    if (list.empty()) continue;
+    std::sort(list.begin(), list.end());
+    StageProfile profile;
+    profile.stage = static_cast<Stage>(s);
+    profile.count = list.size();
+    for (const std::uint64_t d : list) profile.total_ns += d;
+    profile.p50_ns = nearest_rank(list, 0.50);
+    profile.p99_ns = nearest_rank(list, 0.99);
+    profile.max_ns = list.back();
+    out.push_back(profile);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const StageProfile& a, const StageProfile& b) {
+                     if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+                     return a.stage < b.stage;
+                   });
+  return out;
+}
+
+std::string profile_table(const std::vector<StageProfile>& profile,
+                          std::uint64_t wall_ns, unsigned threads) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line, "%-22s %10s %12s %10s %10s %7s\n",
+                "stage", "count", "total_ms", "p50_us", "p99_us", "%cpu");
+  out += line;
+  const double denominator =
+      static_cast<double>(wall_ns) * (threads == 0 ? 1 : threads);
+  for (const StageProfile& stage : profile) {
+    const double pct =
+        denominator > 0.0
+            ? 100.0 * static_cast<double>(stage.total_ns) / denominator
+            : 0.0;
+    std::snprintf(line, sizeof line,
+                  "%-22s %10" PRIu64 " %12.2f %10.1f %10.1f %6.1f%%\n",
+                  to_string(stage.stage), stage.count,
+                  static_cast<double>(stage.total_ns) / 1e6,
+                  static_cast<double>(stage.p50_ns) / 1e3,
+                  static_cast<double>(stage.p99_ns) / 1e3, pct);
+    out += line;
+  }
+  return out;
+}
+
+std::string chrome_trace_json(const std::vector<SpanRecord>& spans,
+                              std::uint64_t dropped) {
+  std::string out = "{\"traceEvents\":[";
+  char event[256];
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (span.stage == Stage::kCount) continue;
+    if (!first) out += ',';
+    first = false;
+    // Timestamps are microseconds (doubles) per the trace-event spec;
+    // keep nanosecond precision in the fraction.
+    std::snprintf(event, sizeof event,
+                  "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                  "\"pid\":1,\"tid\":%u,\"args\":{\"trace_id\":\"%016" PRIx64
+                  "\",\"parent\":%d}}",
+                  to_string(span.stage),
+                  static_cast<double>(span.start_ns) / 1e3,
+                  static_cast<double>(span.end_ns - span.start_ns) / 1e3,
+                  span.thread_id, span.trace_id, span.parent);
+    out += event;
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_spans\":\"";
+  out += std::to_string(dropped);
+  out += "\"}}";
+  return out;
+}
+
+}  // namespace chainchaos::obs

@@ -1,0 +1,49 @@
+// Span exporters: chrome://tracing JSON and the aggregated per-stage
+// profile table (what chainprof prints).
+//
+// Aggregation is ordering-independent by construction: spans are grouped
+// by stage, the duration list is sorted, and quantiles are nearest-rank
+// on the sorted values — so the same set of spans produces a
+// byte-identical profile no matter how many threads produced them or in
+// what order a collector observed them (tests/obs_test.cpp pins this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace chainchaos::obs {
+
+/// Aggregate statistics for one stage over a span collection. Durations
+/// are inclusive (a stage's children are counted inside it).
+struct StageProfile {
+  Stage stage = Stage::kCount;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+/// Groups spans by stage (result ordered by descending total time, ties
+/// by stage enum order). Quantiles are exact nearest-rank over the
+/// sorted per-stage durations.
+std::vector<StageProfile> aggregate_profile(
+    const std::vector<SpanRecord>& spans);
+
+/// Fixed-width table: stage, count, total ms, p50/p99 µs, % of wall.
+/// `wall_ns * threads` is the denominator for the %-column so profiles
+/// from parallel sweeps still sum sensibly (cpu-time share).
+std::string profile_table(const std::vector<StageProfile>& profile,
+                          std::uint64_t wall_ns, unsigned threads);
+
+/// Chrome trace-event JSON (load via chrome://tracing or Perfetto).
+/// Emits one complete ("ph":"X") event per span with microsecond
+/// timestamps; nesting falls out of the ts/dur containment per tid.
+/// `dropped` is surfaced as metadata so truncated traces are flagged.
+std::string chrome_trace_json(const std::vector<SpanRecord>& spans,
+                              std::uint64_t dropped = 0);
+
+}  // namespace chainchaos::obs

@@ -1,0 +1,50 @@
+#include "obs/histogram.hpp"
+
+namespace chainchaos::obs {
+
+std::size_t duration_bucket(std::uint64_t ns) {
+  for (std::size_t i = 0; i < kDurationBucketUpperNs.size(); ++i) {
+    if (ns <= kDurationBucketUpperNs[i]) return i;
+  }
+  return kDurationBucketUpperNs.size();
+}
+
+double quantile_from_buckets(const std::uint64_t* counts,
+                             std::size_t bucket_count,
+                             const std::uint64_t* upper_bounds, double q) {
+  if (bucket_count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < bucket_count; ++i) total += counts[i];
+  if (total == 0) return 0.0;
+
+  // Continuous rank in [0, total]; rank r falls in the first bucket
+  // whose cumulative count reaches it.
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bucket_count; ++i) {
+    if (counts[i] == 0) continue;
+    const std::uint64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= rank) {
+      if (i == bucket_count - 1) {
+        // +Inf bucket: clamp to the largest finite bound.
+        return bucket_count >= 2
+                   ? static_cast<double>(upper_bounds[bucket_count - 2])
+                   : 0.0;
+      }
+      const double lower =
+          i == 0 ? 0.0 : static_cast<double>(upper_bounds[i - 1]);
+      const double upper = static_cast<double>(upper_bounds[i]);
+      const double fraction =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(counts[i]);
+      return lower + (upper - lower) * fraction;
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(upper_bounds[bucket_count - 2]);
+}
+
+}  // namespace chainchaos::obs

@@ -1,0 +1,45 @@
+// Log-spaced duration buckets and quantile estimation, shared by the
+// tracer's per-stage statistics and service::Metrics.
+//
+// Quantiles come from linear interpolation inside the bucket that holds
+// the target rank — the classic Prometheus histogram_quantile() model —
+// so an 8-bucket histogram yields a usable p50/p99 without storing raw
+// samples. The math lives here, once, and tests pin it on hand-built
+// bucket contents.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace chainchaos::obs {
+
+/// Upper bounds (ns) of the tracer's duration buckets; the last bucket
+/// is unbounded. Geometric ×4 steps from 1µs to ~4.3s cover everything
+/// from a single DER parse to a pathological AIA-laden build.
+inline constexpr std::array<std::uint64_t, 12> kDurationBucketUpperNs = {
+    1'000,         4'000,         16'000,        64'000,
+    256'000,       1'024'000,     4'096'000,     16'384'000,
+    65'536'000,    262'144'000,   1'048'576'000, 4'294'967'296};
+
+inline constexpr std::size_t kDurationBucketCount =
+    kDurationBucketUpperNs.size() + 1;
+
+/// Bucket index for one observation (last bucket = overflow).
+std::size_t duration_bucket(std::uint64_t ns);
+
+/// Estimates the q-quantile (q in [0,1]) of a log-bucketed histogram by
+/// linear interpolation within the bucket containing the target rank.
+///
+/// `counts` has one more entry than `upper_bounds` (the trailing +Inf
+/// bucket). Conventions, pinned by tests:
+///   * empty histogram -> 0;
+///   * the first bucket interpolates from lower bound 0;
+///   * a rank landing in the +Inf bucket returns the largest finite
+///     bound (there is nothing defensible to interpolate toward).
+double quantile_from_buckets(const std::uint64_t* counts,
+                             std::size_t bucket_count,
+                             const std::uint64_t* upper_bounds,
+                             double q);
+
+}  // namespace chainchaos::obs

@@ -1,0 +1,358 @@
+#include "obs/prometheus.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace chainchaos::obs {
+
+namespace {
+
+void append_labels(std::string& out, const Labels& labels) {
+  if (labels.empty()) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [name, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += name;
+    out += "=\"";
+    for (const char c : value) {
+      // The exposition format escapes backslash, quote and newline.
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += '"';
+  }
+  out += '}';
+}
+
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.9g", value);
+  return buffer;
+}
+
+}  // namespace
+
+void PromWriter::family(std::string_view name, std::string_view help,
+                        std::string_view type) {
+  out_ += "# HELP ";
+  out_ += name;
+  out_ += ' ';
+  out_ += help;
+  out_ += "\n# TYPE ";
+  out_ += name;
+  out_ += ' ';
+  out_ += type;
+  out_ += '\n';
+}
+
+void PromWriter::sample(std::string_view name, const Labels& labels,
+                        double value) {
+  out_ += name;
+  append_labels(out_, labels);
+  out_ += ' ';
+  out_ += format_double(value);
+  out_ += '\n';
+}
+
+void PromWriter::sample(std::string_view name, const Labels& labels,
+                        std::uint64_t value) {
+  out_ += name;
+  append_labels(out_, labels);
+  out_ += ' ';
+  out_ += std::to_string(value);
+  out_ += '\n';
+}
+
+void PromWriter::histogram(std::string_view name, std::string_view help,
+                           const Labels& labels,
+                           const std::uint64_t* bucket_counts,
+                           std::size_t bucket_count,
+                           const std::uint64_t* upper_bounds,
+                           double unit_per_second,
+                           std::uint64_t total_units) {
+  family(name, help, "histogram");
+  std::uint64_t cumulative = 0;
+  std::uint64_t total_count = 0;
+  for (std::size_t i = 0; i < bucket_count; ++i) {
+    total_count += bucket_counts[i];
+  }
+  const std::string bucket_name = std::string(name) + "_bucket";
+  for (std::size_t i = 0; i + 1 < bucket_count; ++i) {
+    cumulative += bucket_counts[i];
+    Labels with_le = labels;
+    with_le.emplace_back(
+        "le", format_double(static_cast<double>(upper_bounds[i]) /
+                            unit_per_second));
+    sample(bucket_name, with_le, cumulative);
+  }
+  Labels inf = labels;
+  inf.emplace_back("le", "+Inf");
+  sample(bucket_name, inf, total_count);
+  sample(std::string(name) + "_sum", labels,
+         static_cast<double>(total_units) / unit_per_second);
+  sample(std::string(name) + "_count", labels, total_count);
+}
+
+std::string render_stage_metrics(const StageStatsSnapshot& snapshot) {
+  PromWriter w;
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    const StageStats& stats = snapshot[s];
+    if (stats.count == 0) continue;
+    const Stage stage = static_cast<Stage>(s);
+    const std::string metric =
+        std::string("chainchaos_stage_duration_seconds_") +
+        [&] {
+          // Stage names use '.'; metric-name charset does not allow it.
+          std::string flat = to_string(stage);
+          for (char& c : flat) {
+            if (c == '.') c = '_';
+          }
+          return flat;
+        }();
+    w.histogram(metric, "Per-stage pipeline duration", {},
+                stats.buckets.data(), stats.buckets.size(),
+                kDurationBucketUpperNs.data(), 1e9, stats.total_ns);
+  }
+  return w.take();
+}
+
+// ---------------------------------------------------------------------------
+// Exposition checker
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  const auto tail = [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  if (!head(name[0])) return false;
+  for (std::size_t i = 1; i < name.size(); ++i) {
+    if (!tail(name[i])) return false;
+  }
+  return true;
+}
+
+bool valid_value(std::string_view token) {
+  if (token == "+Inf" || token == "-Inf" || token == "NaN") return true;
+  if (token.empty()) return false;
+  char* end = nullptr;
+  const std::string copy(token);
+  std::strtod(copy.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != copy.c_str();
+}
+
+struct ParsedSample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+/// Parses one sample line; returns an error message or empty on success.
+std::string parse_sample(std::string_view line, ParsedSample* out) {
+  std::size_t pos = 0;
+  while (pos < line.size() && line[pos] != '{' && line[pos] != ' ') ++pos;
+  out->name = std::string(line.substr(0, pos));
+  if (!valid_metric_name(out->name)) return "bad metric name";
+
+  if (pos < line.size() && line[pos] == '{') {
+    ++pos;
+    while (pos < line.size() && line[pos] != '}') {
+      std::size_t eq = line.find('=', pos);
+      if (eq == std::string_view::npos) return "label without '='";
+      const std::string label_name = std::string(line.substr(pos, eq - pos));
+      if (!valid_metric_name(label_name)) return "bad label name";
+      if (eq + 1 >= line.size() || line[eq + 1] != '"') {
+        return "unquoted label value";
+      }
+      std::string value;
+      std::size_t i = eq + 2;
+      for (; i < line.size() && line[i] != '"'; ++i) {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          ++i;
+          value += line[i] == 'n' ? '\n' : line[i];
+          continue;
+        }
+        value += line[i];
+      }
+      if (i >= line.size()) return "unterminated label value";
+      out->labels[label_name] = value;
+      pos = i + 1;
+      if (pos < line.size() && line[pos] == ',') ++pos;
+    }
+    if (pos >= line.size() || line[pos] != '}') return "unterminated label set";
+    ++pos;
+  }
+
+  if (pos >= line.size() || line[pos] != ' ') return "missing value";
+  const std::string_view rest = line.substr(pos + 1);
+  // Optional trailing timestamp after the value.
+  const std::size_t space = rest.find(' ');
+  const std::string_view value_token =
+      space == std::string_view::npos ? rest : rest.substr(0, space);
+  if (!valid_value(value_token)) return "bad sample value";
+  if (value_token == "+Inf") {
+    out->value = HUGE_VAL;
+  } else if (value_token == "-Inf") {
+    out->value = -HUGE_VAL;
+  } else if (value_token == "NaN") {
+    out->value = NAN;
+  } else {
+    out->value = std::strtod(std::string(value_token).c_str(), nullptr);
+  }
+  return {};
+}
+
+/// Family name of a sample: histogram series fold into their base name.
+std::string family_of(const std::string& name,
+                      const std::map<std::string, std::string>& types) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::size_t len = std::string(suffix).size();
+    if (name.size() > len &&
+        name.compare(name.size() - len, len, suffix) == 0) {
+      const std::string base = name.substr(0, name.size() - len);
+      const auto it = types.find(base);
+      if (it != types.end() && it->second == "histogram") return base;
+    }
+  }
+  return name;
+}
+
+}  // namespace
+
+Result<std::size_t> check_exposition(std::string_view text) {
+  if (text.empty()) return make_error("prom.empty", "no exposition content");
+  if (text.back() != '\n') {
+    return make_error("prom.trailing", "document must end with a newline");
+  }
+
+  std::map<std::string, std::string> types;  // family -> type
+  struct HistogramState {
+    std::uint64_t last_bucket = 0;
+    bool saw_inf = false;
+    bool saw_sum = false;
+    bool saw_count = false;
+    std::uint64_t inf_count = 0;
+  };
+  std::map<std::string, HistogramState> histograms;  // family+labels key
+  std::size_t samples = 0;
+  std::size_t line_no = 0;
+
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      // Only HELP/TYPE comments carry structure; anything else is free text.
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::string_view rest = line.substr(7);
+        const std::size_t space = rest.find(' ');
+        if (space == std::string_view::npos) {
+          return make_error("prom.type", "TYPE line without a type at line " +
+                                             std::to_string(line_no));
+        }
+        const std::string name = std::string(rest.substr(0, space));
+        const std::string type = std::string(rest.substr(space + 1));
+        if (!valid_metric_name(name)) {
+          return make_error("prom.type", "bad family name at line " +
+                                             std::to_string(line_no));
+        }
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return make_error("prom.type",
+                            "unknown type '" + type + "' at line " +
+                                std::to_string(line_no));
+        }
+        if (types.count(name) != 0) {
+          return make_error("prom.type", "duplicate TYPE for " + name);
+        }
+        types[name] = type;
+      }
+      continue;
+    }
+
+    ParsedSample sample;
+    const std::string problem = parse_sample(line, &sample);
+    if (!problem.empty()) {
+      return make_error("prom.sample",
+                        problem + " at line " + std::to_string(line_no));
+    }
+    ++samples;
+
+    const std::string family = family_of(sample.name, types);
+    const auto type_it = types.find(family);
+    if (type_it == types.end()) {
+      return make_error("prom.untyped", "sample '" + sample.name +
+                                            "' has no preceding TYPE");
+    }
+
+    if (type_it->second == "histogram") {
+      std::string key = family;
+      for (const auto& [label, value] : sample.labels) {
+        if (label == "le") continue;
+        key += ';' + label + '=' + value;
+      }
+      HistogramState& state = histograms[key];
+      if (sample.name == family + "_bucket") {
+        const auto le = sample.labels.find("le");
+        if (le == sample.labels.end()) {
+          return make_error("prom.histogram",
+                            "bucket without le label at line " +
+                                std::to_string(line_no));
+        }
+        const std::uint64_t count =
+            static_cast<std::uint64_t>(sample.value);
+        if (count < state.last_bucket) {
+          return make_error("prom.histogram",
+                            "non-monotonic buckets for " + family);
+        }
+        state.last_bucket = count;
+        if (le->second == "+Inf") {
+          state.saw_inf = true;
+          state.inf_count = count;
+        }
+      } else if (sample.name == family + "_sum") {
+        state.saw_sum = true;
+      } else if (sample.name == family + "_count") {
+        state.saw_count = true;
+        if (state.saw_inf &&
+            static_cast<std::uint64_t>(sample.value) != state.inf_count) {
+          return make_error("prom.histogram",
+                            "_count disagrees with +Inf bucket for " +
+                                family);
+        }
+      }
+    }
+  }
+
+  for (const auto& [key, state] : histograms) {
+    if (!state.saw_inf || !state.saw_sum || !state.saw_count) {
+      return make_error("prom.histogram",
+                        "incomplete histogram family: " + key);
+    }
+  }
+  if (samples == 0) {
+    return make_error("prom.empty", "no samples in exposition");
+  }
+  return samples;
+}
+
+}  // namespace chainchaos::obs

@@ -1,0 +1,65 @@
+// Prometheus text exposition (version 0.0.4): the writer behind
+// GET /v1/metrics and a small conformance checker the smoke tests and
+// unit tests run over every document we emit.
+//
+// Durations are exported in seconds (the Prometheus convention), so the
+// µs/ns bucket bounds of the internal histograms are converted at render
+// time; counters stay raw.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "support/result.hpp"
+
+namespace chainchaos::obs {
+
+/// Label set: ordered name/value pairs rendered as {a="b",c="d"}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Streaming writer for one exposition document. Families must be
+/// announced (help/type) before their samples — exactly the discipline
+/// check_exposition() enforces.
+class PromWriter {
+ public:
+  /// Emits `# HELP` and `# TYPE` for a family. `type` is one of
+  /// counter|gauge|histogram.
+  void family(std::string_view name, std::string_view help,
+              std::string_view type);
+
+  void sample(std::string_view name, const Labels& labels, double value);
+  void sample(std::string_view name, const Labels& labels,
+              std::uint64_t value);
+
+  /// Renders one full histogram family (cumulative `_bucket` samples
+  /// with an `le="+Inf"` terminator, `_sum`, `_count`) from per-bucket
+  /// counts whose bounds are in `unit_per_second`-ths of a second (1e6
+  /// for µs bounds, 1e9 for ns).
+  void histogram(std::string_view name, std::string_view help,
+                 const Labels& labels, const std::uint64_t* bucket_counts,
+                 std::size_t bucket_count,
+                 const std::uint64_t* upper_bounds, double unit_per_second,
+                 std::uint64_t total_units);
+
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Renders the tracer's per-stage duration histograms (stages with zero
+/// observations are skipped).
+std::string render_stage_metrics(const StageStatsSnapshot& snapshot);
+
+/// Validates Prometheus text exposition format: line grammar, metric and
+/// label name charsets, numeric values, `# TYPE` before first sample of
+/// a family, no duplicate TYPE, histogram completeness (`le="+Inf"`
+/// bucket present, `_sum`/`_count` present, cumulative bucket counts
+/// non-decreasing). Returns the number of sample lines on success.
+Result<std::size_t> check_exposition(std::string_view text);
+
+}  // namespace chainchaos::obs

@@ -1,0 +1,259 @@
+// chaintrace: pipeline-wide tracing and per-stage profiling (DESIGN.md
+// §5.11).
+//
+// The paper's attribution analyses hinge on knowing *where* a chain's
+// cost and verdict come from — parse, analyzers, lint, path building,
+// AIA completion — so every pipeline stage opens a Span around its work.
+// The design budget is "never slows the sweep":
+//
+//   * one relaxed atomic load per span site while tracing is off (the
+//     default), and the whole subsystem compiles out to literally
+//     nothing under -DCHAINCHAOS_OBS=OFF;
+//   * when tracing is on, a span is two timestamp reads (rdtsc on
+//     x86-64, calibrated against steady_clock once) plus plain stores
+//     into a preallocated per-thread buffer — no locks, no allocation,
+//     no contention on the hot path;
+//   * completed spans additionally land in a per-thread per-stage
+//     histogram updated with single-writer relaxed stores (never a
+//     lock-prefixed read-modify-write); collectors sum across threads,
+//     which is what GET /v1/metrics exports live.
+//
+// Buffers are append-only: slots are reserved at span start (so a child
+// can point at its parent before the parent finishes) and marked done
+// with a release store at span end, which lets a collector thread read a
+// consistent snapshot mid-flight without stopping the writers. When a
+// buffer fills, further spans on that thread are dropped and counted —
+// tracing degrades, it never stalls the pipeline.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace chainchaos::obs {
+
+/// Stable stage identities. The enum (not a string) is what span sites
+/// record, so per-stage histograms are a flat array and the hot path
+/// never hashes a name. to_string() spells the wire/profile name.
+enum class Stage : std::uint8_t {
+  kPipelineRecord,     ///< one corpus record through the full pipeline
+  kX509Parse,          ///< DER -> x509::Certificate
+  kChainAnalyze,       ///< ComplianceAnalyzer::analyze (whole)
+  kChainLeafPlacement,
+  kChainOrder,
+  kChainCompleteness,
+  kLintChainRules,
+  kLintCertRules,
+  kPathBuild,          ///< PathBuilder::build (whole)
+  kPathStep,           ///< one extend() step (backtracking granularity)
+  kAiaFetch,           ///< one AiaRepository::fetch call
+  kEngineSweep,        ///< one engine::run / for_each_shard traversal
+  kEngineShard,        ///< one shard execution on a worker
+  kEngineSteal,        ///< gap between shards on a worker (cursor/queue)
+  kServiceRead,        ///< socket read of one request frame
+  kServiceHandle,      ///< RequestHandler::handle
+  kServiceWrite,       ///< response serialization + send
+  kServiceQueueWait,   ///< accept -> dequeue (histogram-only, cross-thread)
+  kClientRequest,      ///< service::Client round trip
+  kChaosInput,         ///< one chaos campaign input end to end
+  kCount,
+};
+
+inline constexpr std::size_t kStageCount = static_cast<std::size_t>(Stage::kCount);
+
+const char* to_string(Stage stage);
+
+/// One completed (or in-flight) span. Plain data; written by exactly one
+/// thread, readable by collectors once `done` is set (release/acquire).
+struct SpanRecord {
+  std::uint64_t start_ns = 0;  ///< steady clock, relative to tracer epoch
+  std::uint64_t end_ns = 0;
+  std::uint64_t trace_id = 0;  ///< request/record correlation id; 0 = none
+  std::int32_t parent = -1;    ///< slot index in the same thread's buffer
+  std::uint32_t thread_id = 0; ///< registration order, dense from 0
+  Stage stage = Stage::kCount;
+};
+
+/// Snapshot of the per-stage aggregate statistics (counts, total time,
+/// log-spaced duration histograms). This is what /v1/metrics exports and
+/// it is readable at any time — it is all relaxed atomics underneath.
+struct StageStats {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::array<std::uint64_t, kDurationBucketCount> buckets{};
+};
+
+using StageStatsSnapshot = std::array<StageStats, kStageCount>;
+
+namespace detail {
+
+/// Per-thread span storage. Registered once per thread with the tracer;
+/// the owning thread appends without synchronization beyond the
+/// per-record done flag, collectors scan [0, cursor).
+struct ThreadBuffer {
+  explicit ThreadBuffer(std::size_t capacity);
+
+  struct Slot {
+    SpanRecord record;
+    std::atomic<bool> done{false};
+  };
+
+  /// Per-stage aggregates for spans completed on this thread. The owning
+  /// thread is the only writer, so updates are relaxed load+store pairs
+  /// (plain movs), not atomic RMWs; collectors sum across buffers under
+  /// the registry mutex.
+  struct StageCell {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> total_ns{0};
+    std::array<std::atomic<std::uint64_t>, kDurationBucketCount> buckets{};
+  };
+
+  std::unique_ptr<Slot[]> slots;
+  std::size_t capacity = 0;
+  std::atomic<std::size_t> cursor{0};   ///< slots reserved so far
+  std::atomic<std::uint64_t> dropped{0};
+  std::array<StageCell, kStageCount> stages{};
+  std::uint32_t thread_id = 0;
+
+  // Owning-thread-only state (never touched by collectors).
+  std::vector<std::int32_t> stack;     ///< open span slots, for parenting
+  std::uint64_t trace_id = 0;          ///< current TraceContext value
+  std::uint64_t last_span_end_ns = 0;  ///< for steal-gap accounting
+};
+
+}  // namespace detail
+
+/// Process-wide tracer. All spans from all threads funnel into it; the
+/// singleton keeps instrumentation sites dependency-free (no tracer
+/// pointer threaded through every API).
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Runtime switch; starts off. While off, a span site costs one
+  /// relaxed load. Enabling mid-run only affects spans opened after.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Spans each thread can hold before dropping (default 1<<18). Takes
+  /// effect for threads whose first span comes after the call.
+  void set_buffer_capacity(std::size_t capacity);
+  std::size_t buffer_capacity() const;
+
+  /// Clears collected spans and stage statistics. Only call while no
+  /// instrumented work is in flight (between runs); the live daemon
+  /// never resets, it only accumulates.
+  void reset();
+
+  /// Snapshot of every completed span, ordered (thread_id, slot index).
+  /// Safe to call while writers are appending: in-flight spans are
+  /// simply not included yet.
+  std::vector<SpanRecord> collect() const;
+
+  /// Spans dropped because a thread buffer filled (visible in exports so
+  /// truncated profiles are never mistaken for complete ones).
+  std::uint64_t dropped() const;
+
+  StageStatsSnapshot stage_stats() const;
+
+  /// Nanoseconds since the tracer epoch (first use); the time base every
+  /// SpanRecord uses.
+  static std::uint64_t now_ns();
+
+  /// Records a duration directly into the per-stage histogram without
+  /// materializing a span — for cross-thread intervals (queue wait) that
+  /// have no single owning stack.
+  void record_duration(Stage stage, std::uint64_t duration_ns);
+
+  // --- instrumentation internals (called via ScopedSpan) ---------------
+  detail::ThreadBuffer& thread_buffer();
+  std::int32_t begin_span(Stage stage);
+  void end_span(std::int32_t slot);
+
+ private:
+  Tracer() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> capacity_{1u << 18};
+
+  // Registry of all thread buffers ever created (mutex only at thread
+  // registration and collection — never on the span path).
+  mutable std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<detail::ThreadBuffer>> buffers_;
+};
+
+/// RAII span. Inert (and branch-predictably cheap) while tracing is off.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(Stage stage) {
+    if (Tracer::instance().enabled()) {
+      slot_ = Tracer::instance().begin_span(stage);
+    }
+  }
+  ~ScopedSpan() {
+    if (slot_ >= 0) Tracer::instance().end_span(slot_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// True when this span is actually recording (tracing on + slot won).
+  bool active() const { return slot_ >= 0; }
+
+ private:
+  std::int32_t slot_ = -2;  ///< -2 inactive, -1 dropped, >=0 buffer slot
+};
+
+/// The no-op stand-in the span macros compile to under
+/// -DCHAINCHAOS_OBS=OFF — and the yardstick bench/trace_overhead uses
+/// for the compiled-out baseline. Guaranteed zero work.
+class NoopSpan {
+ public:
+  explicit NoopSpan(Stage) {}
+  bool active() const { return false; }
+};
+
+/// Scoped trace-id: spans opened while alive carry `id` (request
+/// correlation across stages). Nesting restores the previous id. Inert
+/// while tracing is off (no thread-buffer registration, no stores).
+class TraceContext {
+ public:
+  explicit TraceContext(std::uint64_t id);
+  ~TraceContext();
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+ private:
+  std::uint64_t previous_ = 0;
+  bool active_ = false;
+};
+
+/// FNV-1a of an arbitrary wire trace-id string (x-trace-id headers are
+/// client-chosen text; spans need a fixed-width id).
+std::uint64_t trace_id_from_string(std::string_view s);
+
+}  // namespace chainchaos::obs
+
+// Span macros: the only spelling instrumentation sites use, so the
+// compile-out path is a one-line switch. CHAINCHAOS_OBS_DISABLED is set
+// project-wide by -DCHAINCHAOS_OBS=OFF.
+#ifdef CHAINCHAOS_OBS_DISABLED
+#define CHAINCHAOS_SPAN_NAME2(line) chainchaos_span_##line
+#define CHAINCHAOS_SPAN_NAME(line) CHAINCHAOS_SPAN_NAME2(line)
+#define CHAINCHAOS_SPAN(stage) \
+  ::chainchaos::obs::NoopSpan CHAINCHAOS_SPAN_NAME(__LINE__){stage}
+#else
+#define CHAINCHAOS_SPAN_NAME2(line) chainchaos_span_##line
+#define CHAINCHAOS_SPAN_NAME(line) CHAINCHAOS_SPAN_NAME2(line)
+#define CHAINCHAOS_SPAN(stage) \
+  ::chainchaos::obs::ScopedSpan CHAINCHAOS_SPAN_NAME(__LINE__){stage}
+#endif

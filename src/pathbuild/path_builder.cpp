@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "chain/issuance.hpp"
+#include "obs/trace.hpp"
 #include "support/str.hpp"
 
 namespace chainchaos::pathbuild {
@@ -210,6 +211,9 @@ bool PathBuilder::extend(std::vector<x509::CertPtr>& path,
                          const std::vector<x509::CertPtr>& pool,
                          int child_list_pos, BuildStats& stats,
                          BuildStatus& failure) const {
+  // One span per construction step: backtracking shows up as sibling
+  // step spans under the same pathbuild.build parent.
+  CHAINCHAOS_SPAN(obs::Stage::kPathStep);
   if (++stats.steps > policy_.max_build_steps) {
     failure = BuildStatus::kWorkBudgetExceeded;
     return false;
@@ -331,6 +335,7 @@ BuildStatus PathBuilder::validate(const std::vector<x509::CertPtr>& path,
 
 BuildResult PathBuilder::build(const std::vector<x509::CertPtr>& server_list,
                                const std::string& hostname) const {
+  CHAINCHAOS_SPAN(obs::Stage::kPathBuild);
   BuildResult result;
   if (server_list.empty()) {
     result.status = BuildStatus::kEmptyInput;

@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/trace.hpp"
 #include "support/str.hpp"
 
 namespace chainchaos::service {
@@ -110,6 +111,17 @@ Result<net::HttpResponse> Client::round_trip(const std::string& wire) {
 
 Result<net::HttpResponse> Client::request(net::HttpRequest req) {
   req.host = "127.0.0.1:" + std::to_string(port_);
+  std::string trace_header;
+  if (const auto it = req.headers.find("x-trace-id");
+      it != req.headers.end()) {
+    trace_header = it->second;
+  } else {
+    trace_header = "c" + std::to_string(port_) + "-" +
+                   std::to_string(++trace_seq_);
+    req.headers["x-trace-id"] = trace_header;
+  }
+  const obs::TraceContext trace_ctx(obs::trace_id_from_string(trace_header));
+  CHAINCHAOS_SPAN(obs::Stage::kClientRequest);
   const std::string wire = req.encode();
 
   const bool fresh = fd_ < 0;
@@ -150,6 +162,18 @@ Result<net::HttpResponse> Client::lint(const std::string& body,
 Result<net::HttpResponse> Client::stats() {
   net::HttpRequest req;
   req.target = "/v1/stats";
+  return request(std::move(req));
+}
+
+Result<net::HttpResponse> Client::metrics() {
+  net::HttpRequest req;
+  req.target = "/v1/metrics";
+  return request(std::move(req));
+}
+
+Result<net::HttpResponse> Client::trace() {
+  net::HttpRequest req;
+  req.target = "/v1/trace";
   return request(std::move(req));
 }
 

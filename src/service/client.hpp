@@ -37,12 +37,21 @@ class Client {
   /// GET /v1/stats.
   Result<net::HttpResponse> stats();
 
+  /// GET /v1/metrics (Prometheus text exposition).
+  Result<net::HttpResponse> metrics();
+
+  /// GET /v1/trace (chrome://tracing JSON of the daemon's spans).
+  Result<net::HttpResponse> trace();
+
   /// GET /healthz.
   Result<net::HttpResponse> healthz();
 
   /// Sends an arbitrary request (host/content-length are filled in) and
-  /// reads the response. Reconnects once if the kept-alive connection
-  /// turned out to be stale.
+  /// reads the response. Every request carries an x-trace-id header — a
+  /// deterministic per-client sequence unless the caller set one — which
+  /// the daemon tags its spans with and echoes on the response.
+  /// Reconnects once if the kept-alive connection turned out to be
+  /// stale.
   Result<net::HttpResponse> request(net::HttpRequest req);
 
  private:
@@ -53,6 +62,7 @@ class Client {
   std::uint16_t port_;
   int timeout_ms_;
   int fd_ = -1;
+  std::uint64_t trace_seq_ = 0;
 };
 
 }  // namespace chainchaos::service

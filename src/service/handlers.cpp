@@ -4,6 +4,9 @@
 #include "chain/analyzer.hpp"
 #include "crypto/sha256.hpp"
 #include "lint/lint.hpp"
+#include "obs/export.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/trace.hpp"
 #include "pathbuild/path_builder.hpp"
 #include "report/json.hpp"
 #include "support/str.hpp"
@@ -102,6 +105,34 @@ net::HttpResponse RequestHandler::handle(const net::HttpRequest& request) {
     return json_body_response(metrics_->to_json(
         cache_->stats(),
         options_.aia ? options_.aia->stats() : net::FetchStats{}));
+  }
+  if (path == "/v1/metrics") {
+    metrics_->record_request(Endpoint::kMetrics);
+    if (request.method != "GET") {
+      return json_error(405, "Method Not Allowed", "service.bad_method",
+                        request.method);
+    }
+    // Service counters first, then the tracer's per-stage duration
+    // histograms (live even while tracing spans are off — the stage
+    // table only fills once tracing is enabled).
+    std::string text = metrics_->to_prometheus(
+        cache_->stats(),
+        options_.aia ? options_.aia->stats() : net::FetchStats{});
+    text += obs::render_stage_metrics(obs::Tracer::instance().stage_stats());
+    net::HttpResponse resp;
+    resp.headers["content-type"] = "text/plain; version=0.0.4";
+    resp.body = to_bytes(text);
+    return resp;
+  }
+  if (path == "/v1/trace") {
+    metrics_->record_request(Endpoint::kTrace);
+    if (request.method != "GET") {
+      return json_error(405, "Method Not Allowed", "service.bad_method",
+                        request.method);
+    }
+    return json_body_response(
+        obs::chrome_trace_json(obs::Tracer::instance().collect(),
+                               obs::Tracer::instance().dropped()));
   }
   if (path == "/v1/analyze" || path == "/v1/lint") {
     const bool full = path == "/v1/analyze";

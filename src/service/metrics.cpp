@@ -1,8 +1,58 @@
 #include "service/metrics.hpp"
 
+#include "obs/histogram.hpp"
+#include "obs/prometheus.hpp"
 #include "report/json.hpp"
 
 namespace chainchaos::service {
+
+namespace {
+
+/// Snapshot of one µs-bucketed histogram (counts + quantiles), shared by
+/// the JSON and Prometheus renderers.
+struct LatencySnapshot {
+  std::array<std::uint64_t, kLatencyBucketCount> counts{};
+  std::uint64_t total_us = 0;
+  double p50 = 0, p90 = 0, p99 = 0;
+};
+
+LatencySnapshot snapshot_histogram(
+    const std::array<std::atomic<std::uint64_t>, kLatencyBucketCount>& cells,
+    const std::atomic<std::uint64_t>& total_us) {
+  LatencySnapshot snap;
+  for (std::size_t i = 0; i < kLatencyBucketCount; ++i) {
+    snap.counts[i] = cells[i].load(std::memory_order_relaxed);
+  }
+  snap.total_us = total_us.load(std::memory_order_relaxed);
+  snap.p50 = obs::quantile_from_buckets(snap.counts.data(), kLatencyBucketCount,
+                                        kLatencyBucketUpperUs.data(), 0.50);
+  snap.p90 = obs::quantile_from_buckets(snap.counts.data(), kLatencyBucketCount,
+                                        kLatencyBucketUpperUs.data(), 0.90);
+  snap.p99 = obs::quantile_from_buckets(snap.counts.data(), kLatencyBucketCount,
+                                        kLatencyBucketUpperUs.data(), 0.99);
+  return snap;
+}
+
+void write_histogram_json(report::JsonWriter& w, const LatencySnapshot& snap) {
+  w.key("buckets").begin_array();
+  for (std::size_t i = 0; i < kLatencyBucketCount; ++i) {
+    w.begin_object();
+    if (i < kLatencyBucketUpperUs.size()) {
+      w.key("le").value(kLatencyBucketUpperUs[i]);
+    } else {
+      w.key("le").value("inf");
+    }
+    w.key("count").value(snap.counts[i]);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("total_us").value(snap.total_us);
+  w.key("p50_us").value(snap.p50);
+  w.key("p90_us").value(snap.p90);
+  w.key("p99_us").value(snap.p99);
+}
+
+}  // namespace
 
 const char* to_string(Endpoint endpoint) {
   switch (endpoint) {
@@ -10,6 +60,8 @@ const char* to_string(Endpoint endpoint) {
     case Endpoint::kLint: return "lint";
     case Endpoint::kStats: return "stats";
     case Endpoint::kHealth: return "health";
+    case Endpoint::kMetrics: return "metrics";
+    case Endpoint::kTrace: return "trace";
     case Endpoint::kOther: return "other";
   }
   return "other";
@@ -38,6 +90,18 @@ void Metrics::record_response(int status, std::uint64_t micros) {
   }
   latency_[bucket].fetch_add(1, std::memory_order_relaxed);
   latency_total_us_.fetch_add(micros, std::memory_order_relaxed);
+}
+
+void Metrics::record_queue_wait(std::uint64_t micros) {
+  std::size_t bucket = kLatencyBucketUpperUs.size();
+  for (std::size_t i = 0; i < kLatencyBucketUpperUs.size(); ++i) {
+    if (micros <= kLatencyBucketUpperUs[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  queue_wait_[bucket].fetch_add(1, std::memory_order_relaxed);
+  queue_wait_total_us_.fetch_add(micros, std::memory_order_relaxed);
 }
 
 void Metrics::record_rejected() {
@@ -84,19 +148,12 @@ std::string Metrics::to_json(const CacheStats& cache,
   w.end_object();
 
   w.key("latency_us").begin_object();
-  w.key("buckets").begin_array();
-  for (std::size_t i = 0; i < kLatencyBucketCount; ++i) {
-    w.begin_object();
-    if (i < kLatencyBucketUpperUs.size()) {
-      w.key("le").value(kLatencyBucketUpperUs[i]);
-    } else {
-      w.key("le").value("inf");
-    }
-    w.key("count").value(latency_[i].load(std::memory_order_relaxed));
-    w.end_object();
-  }
-  w.end_array();
-  w.key("total_us").value(latency_total_us_.load(std::memory_order_relaxed));
+  write_histogram_json(w, snapshot_histogram(latency_, latency_total_us_));
+  w.end_object();
+
+  w.key("queue_wait_us").begin_object();
+  write_histogram_json(w,
+                       snapshot_histogram(queue_wait_, queue_wait_total_us_));
   w.end_object();
 
   w.key("queue").begin_object();
@@ -135,6 +192,95 @@ std::string Metrics::to_json(const CacheStats& cache,
   w.end_object();
 
   w.end_object();
+  return w.take();
+}
+
+std::string Metrics::to_prometheus(const CacheStats& cache,
+                                   const net::FetchStats& aia) const {
+  obs::PromWriter w;
+
+  w.family("chainchaos_requests_total", "Requests received by endpoint",
+           "counter");
+  for (std::size_t i = 0; i < kEndpointCount; ++i) {
+    w.sample("chainchaos_requests_total",
+             {{"endpoint", to_string(static_cast<Endpoint>(i))}},
+             by_endpoint_[i].load(std::memory_order_relaxed));
+  }
+
+  w.family("chainchaos_responses_total", "Responses sent by status class",
+           "counter");
+  w.sample("chainchaos_responses_total", {{"class", "2xx"}},
+           responses_2xx_.load(std::memory_order_relaxed));
+  w.sample("chainchaos_responses_total", {{"class", "4xx"}},
+           responses_4xx_.load(std::memory_order_relaxed));
+  w.sample("chainchaos_responses_total", {{"class", "5xx"}},
+           responses_5xx_.load(std::memory_order_relaxed));
+
+  w.family("chainchaos_rejected_total",
+           "Connections answered 503 because the queue was full", "counter");
+  w.sample("chainchaos_rejected_total", {}, rejected_total());
+
+  w.family("chainchaos_client_disconnects_total",
+           "Mid-request client disconnects", "counter");
+  w.sample("chainchaos_client_disconnects_total", {}, client_disconnects());
+
+  w.family("chainchaos_write_failures_total",
+           "Responses lost to write errors or deadlines", "counter");
+  w.sample("chainchaos_write_failures_total", {}, write_failures());
+
+  w.family("chainchaos_worker_recoveries_total",
+           "Worker threads that absorbed an unexpected handler error",
+           "counter");
+  w.sample("chainchaos_worker_recoveries_total", {}, worker_recoveries());
+
+  w.family("chainchaos_queue_high_water", "Request queue depth high-water mark",
+           "gauge");
+  w.sample("chainchaos_queue_high_water", {}, queue_high_water());
+
+  const LatencySnapshot latency =
+      snapshot_histogram(latency_, latency_total_us_);
+  w.histogram("chainchaos_request_duration_seconds",
+              "Handler time per response (parse to send)", {},
+              latency.counts.data(), kLatencyBucketCount,
+              kLatencyBucketUpperUs.data(), 1e6, latency.total_us);
+
+  const LatencySnapshot queue_wait =
+      snapshot_histogram(queue_wait_, queue_wait_total_us_);
+  w.histogram("chainchaos_queue_wait_seconds",
+              "Time connections sat in the accept queue", {},
+              queue_wait.counts.data(), kLatencyBucketCount,
+              kLatencyBucketUpperUs.data(), 1e6, queue_wait.total_us);
+
+  w.family("chainchaos_cache_operations_total",
+           "Result cache lookups and mutations", "counter");
+  w.sample("chainchaos_cache_operations_total", {{"op", "hit"}}, cache.hits);
+  w.sample("chainchaos_cache_operations_total", {{"op", "miss"}},
+           cache.misses);
+  w.sample("chainchaos_cache_operations_total", {{"op", "eviction"}},
+           cache.evictions);
+  w.sample("chainchaos_cache_operations_total", {{"op", "insertion"}},
+           cache.insertions);
+
+  w.family("chainchaos_cache_entries", "Result cache resident entries",
+           "gauge");
+  w.sample("chainchaos_cache_entries", {}, cache.entries);
+
+  w.family("chainchaos_aia_fetches_total", "AIA fetch outcomes", "counter");
+  w.sample("chainchaos_aia_fetches_total", {{"outcome", "hit"}}, aia.hits);
+  w.sample("chainchaos_aia_fetches_total", {{"outcome", "miss"}}, aia.misses);
+  w.sample("chainchaos_aia_fetches_total", {{"outcome", "unreachable"}},
+           aia.unreachable);
+  w.sample("chainchaos_aia_fetches_total", {{"outcome", "transient"}},
+           aia.transient_failures);
+  w.sample("chainchaos_aia_fetches_total", {{"outcome", "deadline"}},
+           aia.deadline_exceeded);
+  w.sample("chainchaos_aia_fetches_total", {{"outcome", "corrupt"}},
+           aia.corrupt_responses);
+
+  w.family("chainchaos_aia_retries_total", "AIA fetch retry attempts",
+           "counter");
+  w.sample("chainchaos_aia_retries_total", {}, aia.retries);
+
   return w.take();
 }
 

@@ -19,9 +19,10 @@
 namespace chainchaos::service {
 
 /// Endpoint slots for per-endpoint request counters.
-enum class Endpoint { kAnalyze, kLint, kStats, kHealth, kOther };
+enum class Endpoint { kAnalyze, kLint, kStats, kHealth, kMetrics, kTrace,
+                      kOther };
 
-inline constexpr std::size_t kEndpointCount = 5;
+inline constexpr std::size_t kEndpointCount = 7;
 
 const char* to_string(Endpoint endpoint);
 
@@ -37,9 +38,15 @@ class Metrics {
  public:
   void record_request(Endpoint endpoint);
 
-  /// `status` is the HTTP status sent; `micros` the queue-to-response
-  /// service time.
+  /// `status` is the HTTP status sent; `micros` the parse-to-response
+  /// handler time (queue wait is accounted separately below).
   void record_response(int status, std::uint64_t micros);
+
+  /// Time a connection sat in the accept queue before a worker dequeued
+  /// it. Kept in its own histogram so backpressure (long queue waits) is
+  /// distinguishable from slow analysis (long handler times) in
+  /// /v1/stats.
+  void record_queue_wait(std::uint64_t micros);
 
   /// Accepted connections that were turned away with 503 because the
   /// request queue was full.
@@ -88,6 +95,13 @@ class Metrics {
   std::string to_json(const CacheStats& cache,
                       const net::FetchStats& aia = net::FetchStats{}) const;
 
+  /// Renders the same counters in Prometheus text exposition format
+  /// (version 0.0.4) for GET /v1/metrics; the latency and queue-wait
+  /// histograms become `_bucket`/`_sum`/`_count` families in seconds.
+  std::string to_prometheus(const CacheStats& cache,
+                            const net::FetchStats& aia =
+                                net::FetchStats{}) const;
+
  private:
   std::atomic<std::uint64_t> requests_total_{0};
   std::array<std::atomic<std::uint64_t>, kEndpointCount> by_endpoint_{};
@@ -100,6 +114,8 @@ class Metrics {
   std::atomic<std::uint64_t> worker_recoveries_{0};
   std::array<std::atomic<std::uint64_t>, kLatencyBucketCount> latency_{};
   std::atomic<std::uint64_t> latency_total_us_{0};
+  std::array<std::atomic<std::uint64_t>, kLatencyBucketCount> queue_wait_{};
+  std::atomic<std::uint64_t> queue_wait_total_us_{0};
   std::atomic<std::uint64_t> queue_high_water_{0};
 };
 

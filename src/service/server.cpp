@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/trace.hpp"
 #include "support/str.hpp"
 
 namespace chainchaos::service {
@@ -150,7 +151,7 @@ void Server::acceptor_loop() {
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       if (queue_.size() < config_.queue_capacity) {
-        queue_.push_back(fd);
+        queue_.push_back(QueuedConnection{fd, Clock::now()});
         metrics_.note_queue_depth(queue_.size());
         accepted = true;
       }
@@ -168,13 +169,29 @@ void Server::acceptor_loop() {
 }
 
 int Server::dequeue() {
-  std::unique_lock<std::mutex> lock(queue_mutex_);
-  queue_cv_.wait(lock,
-                 [this] { return stopping_.load() || !queue_.empty(); });
-  if (queue_.empty()) return -1;  // stopping and fully drained
-  const int fd = queue_.front();
-  queue_.pop_front();
-  return fd;
+  QueuedConnection next;
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    queue_cv_.wait(lock,
+                   [this] { return stopping_.load() || !queue_.empty(); });
+    if (queue_.empty()) return -1;  // stopping and fully drained
+    next = queue_.front();
+    queue_.pop_front();
+  }
+  const auto wait_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           Clock::now() - next.enqueued)
+                           .count();
+  metrics_.record_queue_wait(static_cast<std::uint64_t>(wait_us));
+#ifndef CHAINCHAOS_OBS_DISABLED
+  // Cross-thread interval (acceptor enqueued, worker dequeued): histogram
+  // only, no span — a span needs a single owning thread stack.
+  if (obs::Tracer::instance().enabled()) {
+    obs::Tracer::instance().record_duration(
+        obs::Stage::kServiceQueueWait,
+        static_cast<std::uint64_t>(wait_us) * 1000);
+  }
+#endif
+  return next.fd;
 }
 
 void Server::worker_loop() {
@@ -204,6 +221,12 @@ void Server::serve_connection(int fd) {
         Clock::now() + std::chrono::milliseconds(config_.read_timeout_ms);
     std::size_t frame_bytes = 0;
     bool fatal = false;
+    // service.read measures first-byte-to-complete-frame, so idle
+    // keep-alive time between requests never pollutes the stage.
+    std::uint64_t read_begin_ns =
+        !buffer.empty() && obs::Tracer::instance().enabled()
+            ? obs::Tracer::now_ns()
+            : 0;
     while (frame_bytes == 0) {
       auto probe = net::probe_request_frame(buffer);
       if (!probe.ok()) {
@@ -259,13 +282,32 @@ void Server::serve_connection(int fd) {
         break;
       }
       buffer.append(chunk, static_cast<std::size_t>(n));
+      if (read_begin_ns == 0 && obs::Tracer::instance().enabled()) {
+        read_begin_ns = obs::Tracer::now_ns();
+      }
     }
     if (fatal) break;
+    if (read_begin_ns != 0) {
+      obs::Tracer::instance().record_duration(
+          obs::Stage::kServiceRead, obs::Tracer::now_ns() - read_begin_ns);
+    }
 
     // --- parse, dispatch, respond --------------------------------------
     const auto start = Clock::now();
     auto request = net::parse_request(buffer.substr(0, frame_bytes));
     buffer.erase(0, frame_bytes);
+
+    // Correlate every span this request produces with the caller-chosen
+    // x-trace-id (if any); the header is echoed on the response so the
+    // caller can line up client- and server-side spans — including on
+    // the cache-hit path, which never reaches the analyzers.
+    std::string trace_header;
+    if (request.ok()) {
+      const auto it = request.value().headers.find("x-trace-id");
+      if (it != request.value().headers.end()) trace_header = it->second;
+    }
+    obs::TraceContext trace_ctx(
+        trace_header.empty() ? 0 : obs::trace_id_from_string(trace_header));
 
     net::HttpResponse response;
     if (!request.ok()) {
@@ -273,6 +315,7 @@ void Server::serve_connection(int fd) {
                             request.error().message);
       keep_alive = false;
     } else {
+      CHAINCHAOS_SPAN(obs::Stage::kServiceHandle);
       response = handler_.handle(request.value());
       const auto connection = request.value().headers.find("connection");
       if (connection != request.value().headers.end() &&
@@ -280,10 +323,16 @@ void Server::serve_connection(int fd) {
         keep_alive = false;
       }
     }
+    if (!trace_header.empty()) response.headers["x-trace-id"] = trace_header;
     if (stopping_.load()) keep_alive = false;
     if (!keep_alive) response.headers["connection"] = "close";
 
-    if (!send_response(fd, response, config_.write_timeout_ms)) {
+    bool sent = false;
+    {
+      CHAINCHAOS_SPAN(obs::Stage::kServiceWrite);
+      sent = send_response(fd, response, config_.write_timeout_ms);
+    }
+    if (!sent) {
       // EPIPE/reset or a write deadline: the response is lost but the
       // worker is not. Count it and move on to the next connection.
       metrics_.record_write_failure();

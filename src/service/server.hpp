@@ -22,6 +22,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -85,9 +86,17 @@ class Server {
   std::atomic<bool> stopping_{false};
   bool started_ = false;
 
+  /// A queued connection remembers when it was accepted so the dequeue
+  /// can charge the wait to the queue-wait histogram (backpressure),
+  /// separate from handler time (analysis cost).
+  struct QueuedConnection {
+    int fd;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
-  std::deque<int> queue_;
+  std::deque<QueuedConnection> queue_;
 
   std::thread acceptor_;
   std::vector<std::thread> workers_;

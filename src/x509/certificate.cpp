@@ -3,6 +3,7 @@
 #include "asn1/der.hpp"
 #include "asn1/oids.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/trace.hpp"
 #include "support/str.hpp"
 
 namespace chainchaos::x509 {
@@ -498,6 +499,7 @@ Result<bool> apply_extension(Certificate& cert, BytesView ext_der) {
 }  // namespace
 
 Result<CertPtr> parse_certificate(BytesView der) {
+  CHAINCHAOS_SPAN(obs::Stage::kX509Parse);
   // Depth gate before any recursive descent: a crafted deeply-nested TLV
   // tower must fail with a clean error, not exhaust the stack somewhere
   // inside extension parsing or the lint re-scans downstream.

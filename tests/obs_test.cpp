@@ -1,0 +1,511 @@
+// Tests for src/obs/ (DESIGN.md §5.11): span nesting/parenting
+// invariants, ordering-independent profile aggregation, the pinned
+// quantile interpolation math, Prometheus writer + exposition checker,
+// chrome trace export, and the service integration — x-trace-id
+// round-trips (including the cache-hit path), the queue-wait histogram,
+// and GET /v1/metrics passing the checker.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/histogram.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/trace.hpp"
+#include "service/client.hpp"
+#include "service/metrics.hpp"
+#include "service/server.hpp"
+#include "x509/builder.hpp"
+
+namespace chainchaos {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tracer span invariants
+// ---------------------------------------------------------------------------
+
+/// The tracer is process-global; every test runs against a clean,
+/// enabled tracer and leaves it off (the suite's other tests must not
+/// see stray spans).
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#ifdef CHAINCHAOS_OBS_DISABLED
+    GTEST_SKIP() << "CHAINCHAOS_SPAN compiles to NoopSpan under "
+                    "-DCHAINCHAOS_OBS=OFF; span-recording tests only "
+                    "apply to the instrumented build";
+#endif
+    obs::Tracer::instance().set_enabled(false);
+    obs::Tracer::instance().reset();
+    obs::Tracer::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    obs::Tracer::instance().set_enabled(false);
+    obs::Tracer::instance().reset();
+  }
+};
+
+TEST_F(TracerTest, NestedSpansLinkParentsAndNest) {
+  {
+    const obs::TraceContext ctx(obs::trace_id_from_string("req-1"));
+    CHAINCHAOS_SPAN(obs::Stage::kChainAnalyze);  // slot 0
+    {
+      CHAINCHAOS_SPAN(obs::Stage::kChainOrder);  // slot 1
+      {
+        CHAINCHAOS_SPAN(obs::Stage::kChainCompleteness);  // slot 2
+      }
+    }
+  }
+  CHAINCHAOS_SPAN(obs::Stage::kLintChainRules);  // slot 3, closes at scope end
+
+  const auto spans = obs::Tracer::instance().collect();
+  ASSERT_EQ(spans.size(), 3u);  // slot 3 still open -> not collected
+
+  EXPECT_EQ(spans[0].stage, obs::Stage::kChainAnalyze);
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[1].stage, obs::Stage::kChainOrder);
+  EXPECT_EQ(spans[1].parent, 0);
+  EXPECT_EQ(spans[2].stage, obs::Stage::kChainCompleteness);
+  EXPECT_EQ(spans[2].parent, 1);
+
+  // Temporal containment: a child starts no earlier and ends no later
+  // than its parent.
+  EXPECT_GE(spans[1].start_ns, spans[0].start_ns);
+  EXPECT_LE(spans[1].end_ns, spans[0].end_ns);
+  EXPECT_GE(spans[2].start_ns, spans[1].start_ns);
+  EXPECT_LE(spans[2].end_ns, spans[1].end_ns);
+
+  // All three ran under the TraceContext and share its id.
+  const std::uint64_t id = obs::trace_id_from_string("req-1");
+  for (const obs::SpanRecord& span : spans) {
+    EXPECT_EQ(span.trace_id, id);
+    EXPECT_EQ(span.thread_id, spans[0].thread_id);
+  }
+}
+
+TEST_F(TracerTest, SiblingSpansShareParent) {
+  {
+    CHAINCHAOS_SPAN(obs::Stage::kPathBuild);  // slot 0
+    { CHAINCHAOS_SPAN(obs::Stage::kPathStep); }
+    { CHAINCHAOS_SPAN(obs::Stage::kPathStep); }
+  }
+  const auto spans = obs::Tracer::instance().collect();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[1].parent, 0);
+  EXPECT_EQ(spans[2].parent, 0);
+  // Siblings do not overlap.
+  EXPECT_LE(spans[1].end_ns, spans[2].start_ns);
+}
+
+TEST_F(TracerTest, DisabledTracerRecordsNothing) {
+  obs::Tracer::instance().set_enabled(false);
+  {
+    obs::ScopedSpan span(obs::Stage::kX509Parse);
+    EXPECT_FALSE(span.active());
+  }
+  { CHAINCHAOS_SPAN(obs::Stage::kChainAnalyze); }
+  const obs::TraceContext ctx(12345);  // must also be inert
+
+  EXPECT_TRUE(obs::Tracer::instance().collect().empty());
+  const obs::StageStatsSnapshot stats = obs::Tracer::instance().stage_stats();
+  for (const obs::StageStats& stage : stats) {
+    EXPECT_EQ(stage.count, 0u);
+    EXPECT_EQ(stage.total_ns, 0u);
+  }
+}
+
+TEST_F(TracerTest, NoopSpanIsInert) {
+  // NoopSpan is what CHAINCHAOS_SPAN compiles to under
+  // -DCHAINCHAOS_OBS=OFF; it must never record regardless of runtime
+  // state.
+  obs::NoopSpan span(obs::Stage::kX509Parse);
+  EXPECT_FALSE(span.active());
+  EXPECT_TRUE(obs::Tracer::instance().collect().empty());
+}
+
+TEST_F(TracerTest, SpansFeedStageHistograms) {
+  { CHAINCHAOS_SPAN(obs::Stage::kLintCertRules); }
+  { CHAINCHAOS_SPAN(obs::Stage::kLintCertRules); }
+  const obs::StageStatsSnapshot stats = obs::Tracer::instance().stage_stats();
+  const obs::StageStats& cell =
+      stats[static_cast<std::size_t>(obs::Stage::kLintCertRules)];
+  EXPECT_EQ(cell.count, 2u);
+  std::uint64_t bucket_sum = 0;
+  for (const std::uint64_t b : cell.buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, 2u);
+}
+
+TEST_F(TracerTest, TraceContextNestsAndRestores) {
+  const std::uint64_t outer = obs::trace_id_from_string("outer");
+  const std::uint64_t inner = obs::trace_id_from_string("inner");
+  {
+    const obs::TraceContext outer_ctx(outer);
+    { CHAINCHAOS_SPAN(obs::Stage::kChainOrder); }
+    {
+      const obs::TraceContext inner_ctx(inner);
+      { CHAINCHAOS_SPAN(obs::Stage::kChainOrder); }
+    }
+    { CHAINCHAOS_SPAN(obs::Stage::kChainOrder); }
+  }
+  const auto spans = obs::Tracer::instance().collect();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].trace_id, outer);
+  EXPECT_EQ(spans[1].trace_id, inner);
+  EXPECT_EQ(spans[2].trace_id, outer);  // restored after inner scope
+}
+
+// ---------------------------------------------------------------------------
+// Ordering-independent aggregation
+// ---------------------------------------------------------------------------
+
+obs::SpanRecord make_span(obs::Stage stage, std::uint64_t start_ns,
+                          std::uint64_t duration_ns, std::uint32_t tid) {
+  obs::SpanRecord span;
+  span.stage = stage;
+  span.start_ns = start_ns;
+  span.end_ns = start_ns + duration_ns;
+  span.thread_id = tid;
+  return span;
+}
+
+/// The same 120 spans, assigned to thread ids by `threads`-way
+/// round-robin. Durations are a fixed pseudo-pattern so quantiles are
+/// non-trivial.
+std::vector<obs::SpanRecord> partitioned_spans(unsigned threads) {
+  std::vector<obs::SpanRecord> spans;
+  for (std::uint32_t i = 0; i < 120; ++i) {
+    const obs::Stage stage =
+        i % 3 == 0 ? obs::Stage::kX509Parse
+                   : (i % 3 == 1 ? obs::Stage::kChainAnalyze
+                                 : obs::Stage::kPathBuild);
+    spans.push_back(make_span(stage, 1000 * i, 500 + (i * 7919) % 9000,
+                              i % threads));
+  }
+  return spans;
+}
+
+TEST(ObsExportTest, ProfileIsByteIdenticalAcrossThreadPartitioning) {
+  const std::vector<obs::SpanRecord> one = partitioned_spans(1);
+  std::vector<obs::SpanRecord> eight = partitioned_spans(8);
+
+  // Collectors see buffers in registration order; emulate a different
+  // observation order entirely.
+  std::reverse(eight.begin(), eight.end());
+
+  const auto profile_one = obs::aggregate_profile(one);
+  const auto profile_eight = obs::aggregate_profile(eight);
+  ASSERT_EQ(profile_one.size(), profile_eight.size());
+  for (std::size_t i = 0; i < profile_one.size(); ++i) {
+    EXPECT_EQ(profile_one[i].stage, profile_eight[i].stage);
+    EXPECT_EQ(profile_one[i].count, profile_eight[i].count);
+    EXPECT_EQ(profile_one[i].total_ns, profile_eight[i].total_ns);
+    EXPECT_EQ(profile_one[i].p50_ns, profile_eight[i].p50_ns);
+    EXPECT_EQ(profile_one[i].p99_ns, profile_eight[i].p99_ns);
+    EXPECT_EQ(profile_one[i].max_ns, profile_eight[i].max_ns);
+  }
+
+  // The rendered table — what chainprof prints — must be byte-identical
+  // too (1-thread vs 8-thread partitioning of the same work).
+  EXPECT_EQ(obs::profile_table(profile_one, 1'000'000, 4),
+            obs::profile_table(profile_eight, 1'000'000, 4));
+}
+
+TEST(ObsExportTest, ProfileOrdersByTotalDescending) {
+  std::vector<obs::SpanRecord> spans;
+  spans.push_back(make_span(obs::Stage::kX509Parse, 0, 100, 0));
+  spans.push_back(make_span(obs::Stage::kChainAnalyze, 0, 5000, 0));
+  spans.push_back(make_span(obs::Stage::kPathBuild, 0, 300, 0));
+  const auto profile = obs::aggregate_profile(spans);
+  ASSERT_EQ(profile.size(), 3u);
+  EXPECT_EQ(profile[0].stage, obs::Stage::kChainAnalyze);
+  EXPECT_EQ(profile[1].stage, obs::Stage::kPathBuild);
+  EXPECT_EQ(profile[2].stage, obs::Stage::kX509Parse);
+}
+
+TEST(ObsExportTest, ChromeTraceJsonShape) {
+  std::vector<obs::SpanRecord> spans;
+  obs::SpanRecord parent = make_span(obs::Stage::kChainAnalyze, 1000, 9000, 2);
+  parent.trace_id = 0xabcdef;
+  spans.push_back(parent);
+  obs::SpanRecord child = make_span(obs::Stage::kChainOrder, 2000, 1000, 2);
+  child.parent = 0;
+  spans.push_back(child);
+
+  const std::string json = obs::chrome_trace_json(spans, 7);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"chain.analyze\""), std::string::npos);
+  EXPECT_NE(json.find("\"chain.order\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+  EXPECT_NE(json.find("0000000000abcdef"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_spans\":\"7\""), std::string::npos);
+  // Microsecond conversion: start 1000ns -> ts 1.000, duration 9000ns
+  // -> dur 9.000.
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":9.000"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Quantile interpolation (pinned math)
+// ---------------------------------------------------------------------------
+
+TEST(ObsHistogramTest, QuantilePinnedValues) {
+  const std::uint64_t bounds[2] = {100, 200};
+
+  {  // empty histogram -> 0
+    const std::uint64_t counts[3] = {0, 0, 0};
+    EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(counts, 3, bounds, 0.5), 0.0);
+  }
+  {  // first bucket interpolates from lower bound 0
+    const std::uint64_t counts[3] = {4, 0, 0};
+    // rank = 0.5 * 4 = 2; fraction 2/4 of [0, 100] -> 50
+    EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(counts, 3, bounds, 0.5), 50.0);
+    // rank = 0.1 * 4 = 0.4; fraction 0.4/4 -> 10
+    EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(counts, 3, bounds, 0.1), 10.0);
+  }
+  {  // interpolation inside a later bucket
+    const std::uint64_t counts[3] = {2, 2, 0};
+    // rank = 0.75 * 4 = 3; bucket 1 holds ranks (2, 4]; fraction
+    // (3-2)/2 of [100, 200] -> 150
+    EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(counts, 3, bounds, 0.75),
+                     150.0);
+  }
+  {  // a rank landing in +Inf clamps to the largest finite bound
+    const std::uint64_t counts[3] = {1, 0, 3};
+    EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(counts, 3, bounds, 1.0),
+                     200.0);
+  }
+  {  // q clamped into [0, 1]
+    const std::uint64_t counts[3] = {4, 0, 0};
+    EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(counts, 3, bounds, -1.0), 0.0);
+  }
+}
+
+TEST(ObsHistogramTest, DurationBucketBoundaries) {
+  EXPECT_EQ(obs::duration_bucket(0), 0u);
+  EXPECT_EQ(obs::duration_bucket(1000), 0u);     // inclusive upper bound
+  EXPECT_EQ(obs::duration_bucket(1001), 1u);
+  EXPECT_EQ(obs::duration_bucket(~0ULL),
+            obs::kDurationBucketUpperNs.size());  // +Inf bucket
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus writer + exposition checker
+// ---------------------------------------------------------------------------
+
+TEST(PromTest, WriterOutputPassesChecker) {
+  obs::PromWriter w;
+  w.family("demo_requests_total", "Demo requests", "counter");
+  w.sample("demo_requests_total", {{"endpoint", "analyze"}},
+           std::uint64_t{42});
+  w.sample("demo_requests_total", {{"endpoint", "lint"}}, std::uint64_t{7});
+
+  const std::uint64_t counts[3] = {5, 3, 2};
+  const std::uint64_t bounds[2] = {1000, 10000};
+  w.histogram("demo_duration_seconds", "Demo durations", {}, counts, 3,
+              bounds, 1e6, 12345);
+
+  const std::string text = w.take();
+  const auto checked = obs::check_exposition(text);
+  ASSERT_TRUE(checked.ok()) << checked.error().to_string() << "\n" << text;
+  // 2 counter samples + 3 buckets + _sum + _count.
+  EXPECT_EQ(checked.value(), 7u);
+
+  // Cumulative buckets: 5, 8, 10; +Inf equals _count.
+  EXPECT_NE(text.find("le=\"+Inf\"} 10"), std::string::npos);
+  EXPECT_NE(text.find("demo_duration_seconds_count 10"), std::string::npos);
+  // µs -> seconds: bound 1000µs renders as 0.001.
+  EXPECT_NE(text.find("le=\"0.001\""), std::string::npos);
+}
+
+TEST(PromTest, CheckerRejectsMalformedDocuments) {
+  // Sample before its TYPE.
+  EXPECT_FALSE(obs::check_exposition("foo 1\n# TYPE foo counter\n").ok());
+  // Duplicate TYPE.
+  EXPECT_FALSE(obs::check_exposition("# TYPE foo counter\nfoo 1\n"
+                                     "# TYPE foo counter\nfoo 2\n")
+                   .ok());
+  // Invalid metric name.
+  EXPECT_FALSE(
+      obs::check_exposition("# TYPE 9bad counter\n9bad 1\n").ok());
+  // Non-numeric value.
+  EXPECT_FALSE(
+      obs::check_exposition("# TYPE foo counter\nfoo banana\n").ok());
+  // Missing trailing newline.
+  EXPECT_FALSE(obs::check_exposition("# TYPE foo counter\nfoo 1").ok());
+  // Histogram without +Inf bucket / _count.
+  EXPECT_FALSE(obs::check_exposition("# TYPE h histogram\n"
+                                     "h_bucket{le=\"1\"} 1\nh_sum 1\n")
+                   .ok());
+  // Histogram with decreasing cumulative buckets.
+  EXPECT_FALSE(obs::check_exposition("# TYPE h histogram\n"
+                                     "h_bucket{le=\"1\"} 5\n"
+                                     "h_bucket{le=\"2\"} 3\n"
+                                     "h_bucket{le=\"+Inf\"} 5\n"
+                                     "h_sum 1\nh_count 5\n")
+                   .ok());
+  // Empty document.
+  EXPECT_FALSE(obs::check_exposition("").ok());
+}
+
+TEST(PromTest, StageMetricsRenderAndValidate) {
+  obs::StageStatsSnapshot snapshot{};
+  auto& cell = snapshot[static_cast<std::size_t>(obs::Stage::kX509Parse)];
+  cell.count = 3;
+  cell.total_ns = 6000;
+  cell.buckets[0] = 3;
+
+  const std::string text = obs::render_stage_metrics(snapshot);
+  EXPECT_NE(text.find("chainchaos_stage_duration_seconds_x509_parse"),
+            std::string::npos);
+  const auto checked = obs::check_exposition(text);
+  ASSERT_TRUE(checked.ok()) << checked.error().to_string();
+  // Zero-count stages are skipped: exactly one histogram family.
+  EXPECT_EQ(checked.value(), obs::kDurationBucketCount + 2);
+}
+
+// ---------------------------------------------------------------------------
+// service::Metrics: queue wait + quantiles + Prometheus
+// ---------------------------------------------------------------------------
+
+TEST(ServiceMetricsObsTest, QueueWaitIsSeparateFromHandlerTime) {
+  service::Metrics metrics;
+  metrics.record_response(200, 100);     // handler: 100µs
+  metrics.record_queue_wait(900000);     // queue: 900ms (backpressure)
+
+  const std::string json = metrics.to_json(service::CacheStats{});
+  // Both histograms present and independent.
+  EXPECT_NE(json.find("\"latency_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue_wait_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_us\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"total_us\":900000"), std::string::npos);
+  EXPECT_NE(json.find("\"p50_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_us\""), std::string::npos);
+}
+
+TEST(ServiceMetricsObsTest, ToPrometheusPassesChecker) {
+  service::Metrics metrics;
+  metrics.record_request(service::Endpoint::kAnalyze);
+  metrics.record_request(service::Endpoint::kMetrics);
+  metrics.record_response(200, 150);
+  metrics.record_response(404, 20);
+  metrics.record_queue_wait(42);
+  metrics.note_queue_depth(3);
+
+  const std::string text = metrics.to_prometheus(service::CacheStats{});
+  const auto checked = obs::check_exposition(text);
+  ASSERT_TRUE(checked.ok()) << checked.error().to_string() << "\n" << text;
+  EXPECT_NE(text.find("chainchaos_request_duration_seconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(text.find("chainchaos_queue_wait_seconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(text.find("chainchaos_queue_high_water 3"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Live service integration: x-trace-id round trip, /v1/metrics
+// ---------------------------------------------------------------------------
+
+std::string demo_chain_pem() {
+  using x509::CertificateBuilder;
+  const x509::SigningIdentity root_id =
+      x509::make_identity(asn1::Name::make("Obs Test Root"));
+  const x509::SigningIdentity inter_id =
+      x509::make_identity(asn1::Name::make("Obs Test Inter"));
+  CertificateBuilder rb;
+  rb.subject(root_id.name).as_ca().public_key(root_id.keys.pub);
+  const x509::CertPtr root = rb.self_sign(root_id.keys);
+  CertificateBuilder ib;
+  ib.subject(inter_id.name).as_ca().public_key(inter_id.keys.pub);
+  const x509::CertPtr inter = ib.sign(root_id);
+  CertificateBuilder lb;
+  lb.as_leaf("obs.example");
+  const x509::CertPtr leaf = lb.sign(inter_id);
+  return x509::to_pem(*leaf) + x509::to_pem(*inter) + x509::to_pem(*root);
+}
+
+TEST(ServiceObsTest, TraceIdRoundTripsIncludingCacheHit) {
+  service::ServerConfig config;
+  config.workers = 2;
+  service::Server server(config);
+  auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  service::Client client(port.value());
+  const std::string pem = demo_chain_pem();
+
+  // The client attaches a deterministic per-request id ("c<port>-<seq>")
+  // and the server echoes it.
+  auto first = client.analyze(pem, "obs.example");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().status, 200);
+  const std::string expected_1 =
+      "c" + std::to_string(port.value()) + "-1";
+  ASSERT_NE(first.value().headers.find("x-trace-id"),
+            first.value().headers.end());
+  EXPECT_EQ(first.value().headers.at("x-trace-id"), expected_1);
+  EXPECT_EQ(first.value().headers.at("x-cache"), "miss");
+
+  // Same chain again: served from cache — the echo must survive the
+  // cache-hit path too, with the *new* request's id.
+  auto second = client.analyze(pem, "obs.example");
+  ASSERT_TRUE(second.ok());
+  const std::string expected_2 =
+      "c" + std::to_string(port.value()) + "-2";
+  ASSERT_NE(second.value().headers.find("x-trace-id"),
+            second.value().headers.end());
+  EXPECT_EQ(second.value().headers.at("x-trace-id"), expected_2);
+  EXPECT_EQ(second.value().headers.at("x-cache"), "hit");
+
+  // A caller-chosen id wins over the generated one.
+  net::HttpRequest req;
+  req.method = "GET";
+  req.target = "/healthz";
+  req.headers["x-trace-id"] = "my-own-trace";
+  auto custom = client.request(std::move(req));
+  ASSERT_TRUE(custom.ok());
+  EXPECT_EQ(custom.value().headers.at("x-trace-id"), "my-own-trace");
+
+  // /v1/stats reports the queue-wait histogram populated by the above.
+  auto stats = client.stats();
+  ASSERT_TRUE(stats.ok());
+  const std::string json = to_string(stats.value().body);
+  EXPECT_NE(json.find("\"queue_wait_us\""), std::string::npos);
+
+  server.stop();
+}
+
+TEST(ServiceObsTest, MetricsEndpointPassesExpositionCheck) {
+  service::ServerConfig config;
+  config.workers = 2;
+  service::Server server(config);
+  auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  service::Client client(port.value());
+  ASSERT_TRUE(client.analyze(demo_chain_pem(), "obs.example").ok());
+
+  auto metrics = client.metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics.value().status, 200);
+  EXPECT_NE(metrics.value().headers.at("content-type").find("text/plain"),
+            std::string::npos);
+  const std::string text = to_string(metrics.value().body);
+  const auto checked = obs::check_exposition(text);
+  ASSERT_TRUE(checked.ok()) << checked.error().to_string();
+  EXPECT_NE(text.find("chainchaos_requests_total{endpoint=\"analyze\"} 1"),
+            std::string::npos);
+
+  // /v1/trace answers valid (possibly empty) chrome trace JSON.
+  auto trace = client.trace();
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace.value().status, 200);
+  EXPECT_NE(to_string(trace.value().body).find("\"traceEvents\""),
+            std::string::npos);
+
+  server.stop();
+}
+
+}  // namespace
+}  // namespace chainchaos
