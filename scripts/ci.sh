@@ -19,7 +19,11 @@
 #      live /v1/metrics through the exposition checker) plus the
 #      bench/trace_overhead gate (§5.11 budget: tracing costs the sweep
 #      < 3% when on)
-#   6. static analysis: scripts/lint.sh
+#   6. crypto hot path: the bench/crypto_verify gate (§5.12 budget:
+#      Montgomery modexp >= 3x the schoolbook ladder and bit-exact with
+#      it, the full sweep faster than the schoolbook baseline, tallies
+#      byte-identical across classic/memo-off/memo-on/4-thread arms)
+#   7. static analysis: scripts/lint.sh
 #
 # Build trees live in build/ and build-asan/ and are reused across runs.
 set -eu
@@ -27,20 +31,20 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "=== [1/6] tier-1 build + tests ==="
+echo "=== [1/7] tier-1 build + tests ==="
 cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [2/6] ASan/UBSan build + tests ==="
+echo "=== [2/7] ASan/UBSan build + tests ==="
 cmake -B build-asan -S . -DCHAINCHAOS_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "=== [3/6] service smoke ==="
+echo "=== [3/7] service smoke ==="
 scripts/service_smoke.sh build/examples/chaind build/examples/chainq
 
-echo "=== [4/6] chaos campaign under ASan/UBSan ==="
+echo "=== [4/7] chaos campaign under ASan/UBSan ==="
 # The acceptance gate of DESIGN.md §5.10: a 5000-input campaign over
 # every mutation class must classify everything — no crash, no hang, no
 # sanitizer finding — and the summary must not depend on thread count.
@@ -59,14 +63,21 @@ build-asan/examples/chaos_run --seed 833 --count 1300 --aia-transient 2 \
 build-asan/examples/chaos_run --seed 833 --count 1300 --aia-permanent \
     | grep -q "contract=ok"
 
-echo "=== [5/6] observability smoke + overhead gate ==="
+echo "=== [5/7] observability smoke + overhead gate ==="
 scripts/obs_smoke.sh build/examples/chainprof build/examples/chaind \
     build/examples/chainq
 # The §5.11 budget: tracing must cost the sweep < 3% when enabled
 # (trace_overhead exits non-zero over budget).
 build/bench/trace_overhead
 
-echo "=== [6/6] static analysis ==="
+echo "=== [6/7] crypto hot-path gate ==="
+# The §5.12 budget: Montgomery must carry the verification sweeps —
+# >= 3x the classic ladder on the micro, a faster full-corpus sweep
+# than the forced-schoolbook baseline, byte-identical tallies across
+# every verifier configuration (crypto_verify exits non-zero otherwise).
+build/bench/crypto_verify
+
+echo "=== [7/7] static analysis ==="
 scripts/lint.sh build
 
 echo "CI: all gates passed"

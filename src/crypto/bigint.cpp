@@ -317,7 +317,17 @@ BigInt BigInt::operator/(const BigInt& d) const {
 }
 
 BigInt BigInt::mod_pow(const BigInt& base, const BigInt& exp, const BigInt& m) {
-  assert(!m.is_zero());
+  if (m.is_zero()) throw std::domain_error("BigInt::mod_pow: modulus is zero");
+  if (m == BigInt(1)) return BigInt{};  // everything is 0 mod 1
+  if (exp.is_zero()) return BigInt(1);
+  if (MontgomeryContext::suitable(m)) return MontgomeryContext(m).pow(base, exp);
+  return mod_pow_classic(base, exp, m);
+}
+
+BigInt BigInt::mod_pow_classic(const BigInt& base, const BigInt& exp,
+                               const BigInt& m) {
+  if (m.is_zero()) throw std::domain_error("BigInt::mod_pow: modulus is zero");
+  if (m == BigInt(1)) return BigInt{};
   BigInt result(1);
   BigInt b = base % m;
   const int ebits = exp.bit_length();
@@ -325,6 +335,194 @@ BigInt BigInt::mod_pow(const BigInt& base, const BigInt& exp, const BigInt& m) {
     if (exp.bit(i)) result = (result * b) % m;
     b = (b * b) % m;
   }
+  return result;
+}
+
+// ---- Montgomery arithmetic ----------------------------------------------
+
+namespace {
+
+// Double-width accumulator matching MontgomeryContext::Word.
+#if defined(__SIZEOF_INT128__)
+using Wide = unsigned __int128;
+#else
+using Wide = std::uint64_t;
+#endif
+
+constexpr int kWordBits = static_cast<int>(sizeof(MontgomeryContext::Word)) * 8;
+constexpr int kLimbsPerWord = kWordBits / 32;
+
+// Packs the BigInt's little-endian 32-bit limbs into `words` CIOS words.
+std::vector<MontgomeryContext::Word> pack_words(
+    const std::vector<std::uint32_t>& limbs, std::size_t words) {
+  std::vector<MontgomeryContext::Word> out(words, 0);
+  for (std::size_t i = 0; i < limbs.size(); ++i) {
+    out[i / kLimbsPerWord] |= static_cast<MontgomeryContext::Word>(limbs[i])
+                              << (32 * (i % kLimbsPerWord));
+  }
+  return out;
+}
+
+}  // namespace
+
+bool MontgomeryContext::suitable(const BigInt& modulus) {
+  return modulus.is_odd() && modulus > BigInt(1);
+}
+
+MontgomeryContext::MontgomeryContext(const BigInt& modulus)
+    : modulus_(modulus) {
+  if (!suitable(modulus)) {
+    throw std::domain_error("MontgomeryContext: modulus must be odd and > 1");
+  }
+  const std::size_t words =
+      (modulus.limbs_.size() + kLimbsPerWord - 1) / kLimbsPerWord;
+  n_ = pack_words(modulus.limbs_, words);
+
+  // n0inv = -n^{-1} mod 2^w via Newton iteration: each step doubles the
+  // number of correct low bits, so six steps from the (3-bit-correct)
+  // seed n_[0] cover 64 bits with margin (extra steps are fixpoints).
+  Word inv = n_[0];
+  for (int i = 0; i < 6; ++i) inv *= Word{2} - n_[0] * inv;
+  n0inv_ = Word{0} - inv;
+
+  // R^2 mod n with R = 2^(wk); one divmod at construction, never again.
+  const int k_bits = static_cast<int>(n_.size()) * kWordBits;
+  const BigInt rr = (BigInt(1) << (2 * k_bits)) % modulus_;
+  rr_ = pack_words(rr.limbs_, n_.size());
+}
+
+void MontgomeryContext::mont_mul(const Word* a, const Word* b, Word* out,
+                                 Word* scratch) const {
+  const std::size_t k = n_.size();
+  const Word* n = n_.data();
+  Word* t = scratch;  // k+1 words
+  std::fill(t, t + k + 1, Word{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    // One fused pass: t = (t + a[i]*b + m*n) / 2^w, with m chosen so
+    // the low word vanishes. Two separate carry chains (the a[i]*b one
+    // and the m*n one) because their sum would overflow the wide
+    // accumulator; fusing still halves the passes over t versus the
+    // textbook two-loop form.
+    const Wide ai = a[i];
+    Wide u = t[0] + ai * b[0];
+    const Word m = static_cast<Word>(u) * n0inv_;
+    Wide v = static_cast<Word>(u) + static_cast<Wide>(m) * n[0];
+    Wide carry_a = u >> kWordBits;
+    Wide carry_m = v >> kWordBits;
+    for (std::size_t j = 1; j < k; ++j) {
+      u = t[j] + ai * b[j] + carry_a;
+      carry_a = u >> kWordBits;
+      v = static_cast<Word>(u) + static_cast<Wide>(m) * n[j] + carry_m;
+      t[j - 1] = static_cast<Word>(v);
+      carry_m = v >> kWordBits;
+    }
+    // Top: t[k] <= 1 (the t < 2n loop invariant), so this sum fits.
+    u = t[k] + carry_a + carry_m;
+    t[k - 1] = static_cast<Word>(u);
+    t[k] = static_cast<Word>(u >> kWordBits);
+  }
+
+  // Final conditional subtraction: the loop invariant bounds t < 2n.
+  bool ge = t[k] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t j = k; j-- > 0;) {
+      if (t[j] != n[j]) {
+        ge = t[j] > n[j];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    Word borrow = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const Word tj = t[j];
+      const Word nj = n[j];
+      out[j] = tj - nj - borrow;
+      borrow = (tj < nj || (tj == nj && borrow)) ? Word{1} : Word{0};
+    }
+  } else {
+    std::copy(t, t + k, out);
+  }
+}
+
+BigInt MontgomeryContext::pow(const BigInt& base, const BigInt& exp) const {
+  const std::size_t k = n_.size();
+  if (exp.is_zero()) return BigInt(1);  // modulus > 1 by construction
+
+  std::vector<Word> scratch(k + 1);
+  std::vector<Word> one(k, 0);
+  one[0] = 1;
+
+  // Reduce the base and convert it into the Montgomery domain.
+  const BigInt reduced = base % modulus_;
+  std::vector<Word> xm = pack_words(reduced.limbs_, k);
+  mont_mul(xm.data(), rr_.data(), xm.data(), scratch.data());
+
+  // Window width by exponent size: RSA's e=65537 stays narrow, a full
+  // private-exponent ladder earns the bigger table.
+  const int ebits = exp.bit_length();
+  int window = 1;
+  if (ebits > 512) {
+    window = 5;
+  } else if (ebits > 128) {
+    window = 4;
+  } else if (ebits > 24) {
+    window = 3;
+  } else if (ebits > 8) {
+    window = 2;
+  }
+
+  // Precompute the odd powers x^1, x^3, ..., x^(2^window - 1).
+  const std::size_t table_size = std::size_t{1} << (window - 1);
+  std::vector<Word> table(table_size * k);
+  std::copy(xm.begin(), xm.end(), table.begin());
+  if (table_size > 1) {
+    std::vector<Word> x2(k);
+    mont_mul(xm.data(), xm.data(), x2.data(), scratch.data());
+    for (std::size_t idx = 1; idx < table_size; ++idx) {
+      mont_mul(table.data() + (idx - 1) * k, x2.data(), table.data() + idx * k,
+               scratch.data());
+    }
+  }
+
+  // acc = 1 in the Montgomery domain (= R mod n).
+  std::vector<Word> acc(k, 0);
+  mont_mul(rr_.data(), one.data(), acc.data(), scratch.data());
+
+  // Left-to-right sliding window over the exponent bits.
+  int i = ebits - 1;
+  while (i >= 0) {
+    if (!exp.bit(i)) {
+      mont_mul(acc.data(), acc.data(), acc.data(), scratch.data());
+      --i;
+      continue;
+    }
+    int j = i - window + 1;
+    if (j < 0) j = 0;
+    while (!exp.bit(j)) ++j;  // keep the window ending on a set bit
+    std::uint32_t value = 0;
+    for (int s = i; s >= j; --s) {
+      mont_mul(acc.data(), acc.data(), acc.data(), scratch.data());
+      value = (value << 1) | static_cast<std::uint32_t>(exp.bit(s));
+    }
+    mont_mul(acc.data(), table.data() + ((value - 1) / 2) * k, acc.data(),
+             scratch.data());
+    i = j - 1;
+  }
+
+  // Leave the Montgomery domain (multiply by 1 un-scales by R).
+  mont_mul(acc.data(), one.data(), acc.data(), scratch.data());
+
+  BigInt result;
+  result.limbs_.resize(k * kLimbsPerWord);
+  for (std::size_t w = 0; w < k; ++w) {
+    for (int p = 0; p < kLimbsPerWord; ++p) {
+      result.limbs_[w * kLimbsPerWord + p] =
+          static_cast<std::uint32_t>(acc[w] >> (32 * p));
+    }
+  }
+  result.trim();
   return result;
 }
 

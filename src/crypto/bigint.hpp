@@ -1,9 +1,12 @@
 // Arbitrary-precision unsigned integers.
 //
 // Sized for the library's needs: 512-1024-bit RSA moduli. Schoolbook
-// multiplication is O(n^2) but n is ~16 limbs, so modular exponentiation
-// of a full signature verify costs well under a millisecond — fast enough
-// to sign/verify tens of thousands of synthetic certificates per second.
+// multiplication is O(n^2) but n is ~16 limbs, so even the classic
+// divide-per-step exponentiation stays under a millisecond. The hot
+// path, though, is MontgomeryContext (DESIGN.md §5.12): CIOS Montgomery
+// multiplication plus sliding-window exponentiation, which replaces the
+// Knuth division after every multiply with a shift-free reduction and
+// carries the signature-verification sweeps.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +17,8 @@
 #include "support/rng.hpp"
 
 namespace chainchaos::crypto {
+
+class MontgomeryContext;
 
 /// Unsigned big integer, little-endian limbs of 32 bits.
 class BigInt {
@@ -66,8 +71,21 @@ class BigInt {
   BigInt operator<<(int bits) const;
   BigInt operator>>(int bits) const;
 
-  /// (base ^ exp) mod m; m must be > 1.
+  /// (base ^ exp) mod m. Explicit edge-case semantics:
+  ///   * m == 0 throws std::domain_error (there is no residue ring),
+  ///   * m == 1 returns 0 (every value is congruent to 0 mod 1),
+  ///   * exp == 0 returns 1 (for m > 1), exp == 1 returns base % m,
+  ///   * base >= m is reduced first.
+  /// Odd m > 1 dispatches to MontgomeryContext; even m falls back to
+  /// mod_pow_classic. Both paths are bit-exact equal.
   static BigInt mod_pow(const BigInt& base, const BigInt& exp, const BigInt& m);
+
+  /// The plain square-and-multiply ladder with a full division per step.
+  /// Same edge-case semantics as mod_pow. Works for any m >= 1 (even
+  /// moduli included) and serves as the differential-testing reference
+  /// for the Montgomery path.
+  static BigInt mod_pow_classic(const BigInt& base, const BigInt& exp,
+                                const BigInt& m);
 
   /// Greatest common divisor.
   static BigInt gcd(BigInt a, BigInt b);
@@ -76,11 +94,56 @@ class BigInt {
   static BigInt mod_inverse(const BigInt& a, const BigInt& m);
 
  private:
+  friend class MontgomeryContext;  // reads/builds limb vectors directly
+
   void trim();
   static void divmod(const BigInt& num, const BigInt& den, BigInt& quot,
                      BigInt& rem);
 
   std::vector<std::uint32_t> limbs_;  // little-endian; empty == 0
+};
+
+/// Precomputed Montgomery state for one odd modulus > 1 (DESIGN.md
+/// §5.12): modulus words, -n^{-1} mod 2^w and R^2 mod n with
+/// R = 2^(w*k). pow() runs CIOS multiplication inside a sliding-window
+/// ladder, so the per-step cost is one pass of multiply-accumulate
+/// instead of a full Knuth division. Construction costs one divmod
+/// (for R^2); contexts are immutable after that and safe to share
+/// across threads — pow() keeps all scratch on its own stack.
+class MontgomeryContext {
+ public:
+  /// The word type of the internal CIOS loops. Where the compiler has a
+  /// 128-bit accumulator, 64-bit words quarter the partial-product
+  /// count versus the BigInt's 32-bit limbs; the 32-bit fallback keeps
+  /// the same algorithm on a 64-bit accumulator.
+#if defined(__SIZEOF_INT128__)
+  using Word = std::uint64_t;
+#else
+  using Word = std::uint32_t;
+#endif
+
+  /// Requires suitable(modulus); throws std::domain_error otherwise.
+  explicit MontgomeryContext(const BigInt& modulus);
+
+  /// Montgomery reduction needs gcd(modulus, 2^w) == 1: odd moduli > 1.
+  static bool suitable(const BigInt& modulus);
+
+  const BigInt& modulus() const { return modulus_; }
+  std::size_t word_count() const { return n_.size(); }
+
+  /// (base ^ exp) mod modulus; bit-exact with BigInt::mod_pow_classic.
+  BigInt pow(const BigInt& base, const BigInt& exp) const;
+
+ private:
+  /// out = a * b * R^{-1} mod n (CIOS). All pointers are k-word arrays;
+  /// `scratch` holds k+1 words. `out` may alias `a` or `b`.
+  void mont_mul(const Word* a, const Word* b, Word* out,
+                Word* scratch) const;
+
+  BigInt modulus_;
+  std::vector<Word> n_;   ///< modulus words, little-endian
+  std::vector<Word> rr_;  ///< R^2 mod n, k words
+  Word n0inv_ = 0;        ///< -n^{-1} mod 2^w
 };
 
 }  // namespace chainchaos::crypto

@@ -93,6 +93,41 @@ Bytes RsaPublicKey::fingerprint_material() const {
   return out;
 }
 
+RsaPublicKey& RsaPublicKey::operator=(const RsaPublicKey& other) {
+  if (this == &other) return *this;
+  n = other.n;
+  e = other.e;
+  delete accel_.exchange(nullptr, std::memory_order_acq_rel);
+  return *this;
+}
+
+RsaPublicKey& RsaPublicKey::operator=(RsaPublicKey&& other) noexcept {
+  if (this == &other) return *this;
+  n = std::move(other.n);
+  e = std::move(other.e);
+  delete accel_.exchange(other.accel_.exchange(nullptr, std::memory_order_acq_rel),
+                         std::memory_order_acq_rel);
+  return *this;
+}
+
+const detail::RsaKeyAccel& RsaPublicKey::accel() const {
+  if (const detail::RsaKeyAccel* existing =
+          accel_.load(std::memory_order_acquire)) {
+    return *existing;
+  }
+  auto* fresh = new detail::RsaKeyAccel;
+  fresh->fingerprint = Sha256::digest(fingerprint_material());
+  if (MontgomeryContext::suitable(n)) fresh->mont.emplace(n);
+  const detail::RsaKeyAccel* expected = nullptr;
+  if (accel_.compare_exchange_strong(expected, fresh,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+    return *fresh;
+  }
+  delete fresh;  // lost the publication race; use the winner
+  return *expected;
+}
+
 RsaKeyPair generate_keypair(Rng& rng, int modulus_bits) {
   assert(modulus_bits >= 128 && modulus_bits % 2 == 0);
   const BigInt e(65537);
@@ -122,14 +157,11 @@ RsaKeyPair generate_keypair(Rng& rng, int modulus_bits) {
   }
 }
 
-namespace {
-
 // PKCS#1 v1.5 style DigestInfo-less padding:
 //   0x00 0x01 FF..FF 0x00 || SHA-256(message)
 // (We omit the ASN.1 DigestInfo wrapper; the hash algorithm is fixed
 // library-wide, so the wrapper would carry no information.)
-Bytes build_padded_digest(BytesView message, std::size_t width) {
-  const Bytes digest = Sha256::digest(message);
+Bytes rsa_pad_digest(BytesView digest, std::size_t width) {
   if (width < digest.size() + 11) {
     throw std::invalid_argument("rsa: modulus too small for digest");
   }
@@ -143,11 +175,13 @@ Bytes build_padded_digest(BytesView message, std::size_t width) {
   return em;
 }
 
-}  // namespace
+Bytes rsa_padded_digest(BytesView message, std::size_t width) {
+  return rsa_pad_digest(Sha256::digest(message), width);
+}
 
 Bytes rsa_sign(const RsaPrivateKey& key, BytesView message) {
   const std::size_t width = static_cast<std::size_t>((key.n.bit_length() + 7) / 8);
-  const Bytes em = build_padded_digest(message, width);
+  const Bytes em = rsa_padded_digest(message, width);
   const BigInt m = BigInt::from_bytes(em);
   BigInt s;
   if (key.has_crt()) {
@@ -163,15 +197,8 @@ Bytes rsa_sign(const RsaPrivateKey& key, BytesView message) {
   return s.to_bytes_padded(width);
 }
 
-bool rsa_verify(const RsaPublicKey& key, BytesView message, BytesView signature) {
-  const std::size_t width = key.modulus_bytes();
-  if (signature.size() != width) return false;
-  const BigInt s = BigInt::from_bytes(signature);
-  if (s >= key.n) return false;
-  const BigInt m = BigInt::mod_pow(s, key.e, key.n);
-  const Bytes expected = build_padded_digest(message, width);
-  return equal(m.to_bytes_padded(width), expected);
-}
+// rsa_verify lives in verifier.cpp: it is a thin shim over
+// crypto::Verifier, the single verification entry point.
 
 KeyPool& KeyPool::instance() {
   static KeyPool pool;

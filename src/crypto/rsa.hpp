@@ -8,9 +8,11 @@
 // Nothing here is intended to protect production traffic.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "crypto/bigint.hpp"
@@ -26,10 +28,36 @@ bool is_probable_prime(const BigInt& n, Rng& rng, int rounds = 24);
 /// Searches for a prime of exactly `bits` bits.
 BigInt generate_prime(Rng& rng, int bits);
 
+namespace detail {
+
+/// Per-key acceleration state, built lazily on first use and cached on
+/// the key (DESIGN.md §5.12): the Montgomery context for the modulus
+/// (absent when the modulus is even or trivial — hostile parsed SPKIs
+/// can carry anything) and the SHA-256 key fingerprint the verification
+/// memo keys on.
+struct RsaKeyAccel {
+  Bytes fingerprint;               ///< SHA-256 over n||e
+  std::optional<MontgomeryContext> mont;
+};
+
+}  // namespace detail
+
 /// RSA public key: (n, e).
 struct RsaPublicKey {
   BigInt n;
   BigInt e;
+
+  RsaPublicKey() = default;
+  RsaPublicKey(BigInt n_value, BigInt e_value)
+      : n(std::move(n_value)), e(std::move(e_value)) {}
+  RsaPublicKey(const RsaPublicKey& other) : n(other.n), e(other.e) {}
+  RsaPublicKey(RsaPublicKey&& other) noexcept
+      : n(std::move(other.n)),
+        e(std::move(other.e)),
+        accel_(other.accel_.exchange(nullptr, std::memory_order_acq_rel)) {}
+  RsaPublicKey& operator=(const RsaPublicKey& other);
+  RsaPublicKey& operator=(RsaPublicKey&& other) noexcept;
+  ~RsaPublicKey() { delete accel_.load(std::memory_order_acquire); }
 
   /// Modulus size in whole bytes (signature width).
   std::size_t modulus_bytes() const {
@@ -41,9 +69,20 @@ struct RsaPublicKey {
   /// handled at the asn1 layer; this returns n||e big-endian bytes.
   Bytes fingerprint_material() const;
 
+  /// Lazily built Montgomery context + key fingerprint, cached on the
+  /// key so repeated verifications against one issuer skip the setup
+  /// divmod. Thread-safe: concurrent first calls race benignly and one
+  /// winner is published with compare-exchange; losers delete theirs.
+  const detail::RsaKeyAccel& accel() const;
+
   bool operator==(const RsaPublicKey& o) const {
     return n == o.n && e == o.e;
   }
+
+ private:
+  /// Copies do not share the cache (each rebuilds lazily); the pointer
+  /// is owned and freed by the destructor.
+  mutable std::atomic<const detail::RsaKeyAccel*> accel_{nullptr};
 };
 
 /// RSA private key. Carries the CRT components (p, q, dp, dq, qinv) so
@@ -75,7 +114,20 @@ RsaKeyPair generate_keypair(Rng& rng, int modulus_bits = 512);
 /// modulus. Returns a signature of exactly modulus_bytes() bytes.
 Bytes rsa_sign(const RsaPrivateKey& key, BytesView message);
 
-/// Verifies a signature produced by rsa_sign.
+/// The PKCS#1-v1.5-style encoded message both sign and verify compare
+/// against: 0x00 0x01 FF..FF 0x00 || digest, `width` bytes. Throws
+/// std::invalid_argument when width < digest + 11. The BytesView
+/// overload takes the digest directly so a caller that already hashed
+/// the message (the Verifier shares one digest between the memo key and
+/// this comparison) doesn't pay for SHA-256 twice.
+Bytes rsa_pad_digest(BytesView digest, std::size_t width);
+
+/// rsa_pad_digest(SHA-256(message), width).
+Bytes rsa_padded_digest(BytesView message, std::size_t width);
+
+/// Verifies a signature produced by rsa_sign. Routed through
+/// crypto::Verifier (verifier.hpp) — the single verification entry
+/// point — so calls share the Montgomery fast path and the memo.
 bool rsa_verify(const RsaPublicKey& key, BytesView message, BytesView signature);
 
 /// Process-wide pool of deterministically generated keypairs.

@@ -1,0 +1,221 @@
+#include "crypto/verifier.hpp"
+
+#include <atomic>
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+#include "obs/trace.hpp"
+
+namespace chainchaos::crypto {
+
+const char* to_string(SignatureAlgorithm algorithm) {
+  switch (algorithm) {
+    case SignatureAlgorithm::kRsaSha256: return "rsa-sha256";
+  }
+  return "?";
+}
+
+// ---- memo ----------------------------------------------------------------
+
+VerifyMemo::VerifyMemo(std::size_t max_entries_per_shard)
+    : max_entries_per_shard_(max_entries_per_shard > 0 ? max_entries_per_shard
+                                                       : 1) {}
+
+std::size_t VerifyMemo::KeyHash::operator()(const Bytes& key) const {
+  std::uint64_t h = 0;
+  std::memcpy(&h, key.data(), std::min<std::size_t>(sizeof h, key.size()));
+  return static_cast<std::size_t>(h);
+}
+
+std::optional<bool> VerifyMemo::lookup(const Bytes& key) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = shards_[key.back() % kShardCount];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return std::nullopt;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void VerifyMemo::insert(const Bytes& key, bool verified) {
+  Shard& shard = shards_[key.back() % kShardCount];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.entries.size() >= max_entries_per_shard_) {
+    // Wholesale shard clear: correctness never depends on retention,
+    // and clearing beats per-entry LRU bookkeeping on the hot path.
+    evictions_.fetch_add(shard.entries.size(), std::memory_order_relaxed);
+    shard.entries.clear();
+  }
+  if (shard.entries.emplace(key, verified).second) {
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+VerifyMemoStats VerifyMemo::stats() const {
+  VerifyMemoStats out;
+  out.lookups = lookups_.load(std::memory_order_relaxed);
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = out.lookups - out.hits;
+  out.insertions = insertions_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    out.entries += shard.entries.size();
+  }
+  return out;
+}
+
+void VerifyMemo::reset() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.entries.clear();
+  }
+  lookups_.store(0, std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
+  insertions_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+}
+
+VerifyMemo& process_verify_memo() {
+  static VerifyMemo memo;
+  return memo;
+}
+
+// ---- memo scoping --------------------------------------------------------
+
+namespace {
+
+// The active scope, per thread. `active` distinguishes "no scope, use
+// the process memo" from "scope over nullptr, memoization off".
+thread_local VerifyMemo* t_scope_memo = nullptr;
+thread_local bool t_scope_active = false;
+
+// Computation counters (process-wide; relaxed sums, mergeable by
+// construction like every other stats block in the tree).
+std::atomic<std::uint64_t> g_verifications{0};
+std::atomic<std::uint64_t> g_montgomery{0};
+std::atomic<std::uint64_t> g_classic{0};
+
+// Bench/CI hook; see Verifier::set_force_classic.
+std::atomic<bool> g_force_classic{false};
+
+}  // namespace
+
+VerifyMemoScope::VerifyMemoScope(VerifyMemo* memo)
+    : previous_memo_(t_scope_memo), previous_active_(t_scope_active) {
+  t_scope_memo = memo;
+  t_scope_active = true;
+}
+
+VerifyMemoScope::~VerifyMemoScope() {
+  t_scope_memo = previous_memo_;
+  t_scope_active = previous_active_;
+}
+
+// ---- verifier ------------------------------------------------------------
+
+Verifier Verifier::current() {
+  return Verifier(t_scope_active ? t_scope_memo : &process_verify_memo());
+}
+
+namespace {
+
+// The actual RSA check, memo-blind, over the precomputed SHA-256 of
+// the message (the caller shares that digest with the memo key, so the
+// message is hashed exactly once per verify). Hostile parsed SPKIs can
+// carry any (n, e) — including n of 0, 1 or even — so every branch
+// degrades to "signature does not verify" rather than throwing into
+// the sweep.
+bool verify_rsa(const RsaPublicKey& key, const Bytes& digest,
+                BytesView signature) {
+  g_verifications.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t width = key.modulus_bytes();
+  if (signature.size() != width) return false;
+  if (width < Sha256::kDigestSize + 11) return false;  // modulus too small
+  const BigInt s = BigInt::from_bytes(signature);
+  if (s >= key.n) return false;
+
+  const detail::RsaKeyAccel& accel = key.accel();
+  BigInt m;
+  if (accel.mont.has_value() &&
+      !g_force_classic.load(std::memory_order_relaxed)) {
+    g_montgomery.fetch_add(1, std::memory_order_relaxed);
+    m = accel.mont->pow(s, key.e);
+  } else {
+    g_classic.fetch_add(1, std::memory_order_relaxed);
+    m = BigInt::mod_pow_classic(s, key.e, key.n);
+  }
+  const Bytes expected = rsa_pad_digest(digest, width);
+  return equal(m.to_bytes_padded(width), expected);
+}
+
+// Memo key: SHA-256(TBS) || key fingerprint || signature — a plain
+// concatenation, not another hash pass. The first two parts are
+// fixed-width digests and the signature is the remainder, so the key
+// is injective over the triple, and skipping a second SHA-256 keeps
+// the lookup far cheaper than the modexp it may save. The signature
+// bytes are part of the key on purpose — see the VerifyMemo class
+// comment for why a signature-blind key would break determinism.
+Bytes memo_key(const PublicKey& key, const Bytes& digest,
+               BytesView signature) {
+  const Bytes& fingerprint = key.fingerprint();
+  Bytes out;
+  out.reserve(digest.size() + fingerprint.size() + signature.size());
+  append(out, digest);
+  append(out, fingerprint);
+  append(out, signature);
+  return out;
+}
+
+}  // namespace
+
+bool Verifier::verify(const PublicKey& key, BytesView message,
+                      BytesView signature) const {
+  CHAINCHAOS_SPAN(obs::Stage::kCryptoVerify);
+  switch (key.algorithm()) {
+    case SignatureAlgorithm::kRsaSha256:
+      break;  // handled below; future families branch here
+  }
+  const Bytes digest = Sha256::digest(message);
+  if (memo_ == nullptr) return verify_rsa(key.rsa(), digest, signature);
+
+  const Bytes cache_key = memo_key(key, digest, signature);
+  if (const std::optional<bool> hit = memo_->lookup(cache_key)) return *hit;
+  const bool verified = verify_rsa(key.rsa(), digest, signature);
+  memo_->insert(cache_key, verified);
+  return verified;
+}
+
+VerifierStats Verifier::computation_stats() {
+  VerifierStats out;
+  out.verifications = g_verifications.load(std::memory_order_relaxed);
+  out.montgomery = g_montgomery.load(std::memory_order_relaxed);
+  out.classic = g_classic.load(std::memory_order_relaxed);
+  return out;
+}
+
+void Verifier::reset_computation_stats() {
+  g_verifications.store(0, std::memory_order_relaxed);
+  g_montgomery.store(0, std::memory_order_relaxed);
+  g_classic.store(0, std::memory_order_relaxed);
+}
+
+void Verifier::set_force_classic(bool force) {
+  g_force_classic.store(force, std::memory_order_relaxed);
+}
+
+VerifySnapshot verify_snapshot() {
+  VerifySnapshot out;
+  out.memo = process_verify_memo().stats();
+  out.computation = Verifier::computation_stats();
+  return out;
+}
+
+// The legacy free function, now a shim over the Verifier front door so
+// existing callers (tests, benches) share the fast path and the memo.
+bool rsa_verify(const RsaPublicKey& key, BytesView message,
+                BytesView signature) {
+  return Verifier::current().verify(PublicKey(key), message, signature);
+}
+
+}  // namespace chainchaos::crypto

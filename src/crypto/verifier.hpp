@@ -1,0 +1,219 @@
+// The verification front door (DESIGN.md §5.12).
+//
+// Every signature check in the library — Certificate::verify_signed_by,
+// the issuance predicate, the daemon's request paths — funnels through
+// crypto::Verifier. That single entry point is what makes the two perf
+// levers compose: the per-key Montgomery context (RsaPublicKey::accel)
+// removes the per-exponentiation setup, and the sweep-wide VerifyMemo
+// removes repeat exponentiations entirely (heavily shared intermediates
+// mean the same (TBS, issuer key, signature) triple is checked thousands
+// of times per corpus).
+//
+// It is also the PQC seam for ROADMAP item 5: keys are algorithm-tagged
+// PublicKey values, so a new signature family is a new enum case plus a
+// verify branch — x509 and the analyzers never hardcode RSA again.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "crypto/rsa.hpp"
+#include "support/bytes.hpp"
+
+namespace chainchaos::crypto {
+
+/// Signature families the library can verify. One live member today;
+/// the tag exists so certificates and stores stay algorithm-agnostic.
+enum class SignatureAlgorithm : std::uint8_t {
+  kRsaSha256,  ///< PKCS#1-v1.5-style RSA over SHA-256
+};
+
+const char* to_string(SignatureAlgorithm algorithm);
+
+/// Algorithm-tagged public key (variant-style). RsaPublicKey converts
+/// implicitly, so existing construction sites keep reading naturally;
+/// consumers dispatch on algorithm() instead of assuming RSA.
+class PublicKey {
+ public:
+  PublicKey() = default;
+  /*implicit*/ PublicKey(RsaPublicKey rsa)
+      : algorithm_(SignatureAlgorithm::kRsaSha256), rsa_(std::move(rsa)) {}
+
+  SignatureAlgorithm algorithm() const { return algorithm_; }
+  bool is_rsa() const { return algorithm_ == SignatureAlgorithm::kRsaSha256; }
+
+  /// The RSA payload. Only meaningful when is_rsa(); a future PQC
+  /// member would sit alongside with its own accessor.
+  const RsaPublicKey& rsa() const { return rsa_; }
+
+  /// Signature width in bytes for this key (RSA: modulus bytes).
+  std::size_t signature_width() const { return rsa_.modulus_bytes(); }
+
+  /// Bytes that feed key-identifier derivation (SKID) and the memo's
+  /// key fingerprint.
+  Bytes fingerprint_material() const { return rsa_.fingerprint_material(); }
+
+  /// Cached SHA-256 of fingerprint_material() (via the key accel).
+  const Bytes& fingerprint() const { return rsa_.accel().fingerprint; }
+
+  bool operator==(const PublicKey& o) const {
+    return algorithm_ == o.algorithm_ && rsa_ == o.rsa_;
+  }
+
+ private:
+  SignatureAlgorithm algorithm_ = SignatureAlgorithm::kRsaSha256;
+  RsaPublicKey rsa_;
+};
+
+/// Mergeable snapshot of one memo's counters. Deltas of two snapshots
+/// are themselves valid stats (all members are monotonic sums except
+/// `entries`, a gauge).
+struct VerifyMemoStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;  ///< resident entries (gauge, not a sum)
+
+  double hit_ratio() const {
+    return lookups > 0 ? static_cast<double>(hits) /
+                             static_cast<double>(lookups)
+                       : 0.0;
+  }
+};
+
+/// Sweep-wide signature-verification memo. Mutex-striped exactly like
+/// the issuance memo (64 shards, one uncontended lock per lookup), so
+/// every engine worker can share one instance; counters are atomics and
+/// therefore mergeable across workers by construction.
+///
+/// Keying (the determinism-critical detail): the memo key is
+/// SHA-256(TBS DER) || key fingerprint || signature bytes — injective
+/// over the triple because the first two parts are fixed-width.
+/// Folding the signature in goes beyond the obvious (TBS, key) pair on
+/// purpose — chaos-mutated corpora contain same-TBS/different-signature
+/// certificates, and a signature-blind key would make results depend on
+/// insertion order, breaking the engine's byte-identical-tallies
+/// contract. With the signature in the key, a memoized answer is always
+/// exactly the answer the full verification would produce.
+class VerifyMemo {
+ public:
+  /// `max_entries_per_shard` bounds residency; a full shard is cleared
+  /// wholesale before the next insert (cheap, and correctness never
+  /// depends on retention).
+  explicit VerifyMemo(std::size_t max_entries_per_shard = 1u << 16);
+
+  VerifyMemo(const VerifyMemo&) = delete;
+  VerifyMemo& operator=(const VerifyMemo&) = delete;
+
+  /// The verified bit for `key`, if present. Counts a lookup.
+  std::optional<bool> lookup(const Bytes& key);
+
+  /// Records the verification outcome for `key`.
+  void insert(const Bytes& key, bool verified);
+
+  VerifyMemoStats stats() const;
+
+  /// Drops all entries and zeroes the counters. Must not race a sweep.
+  void reset();
+
+ private:
+  static constexpr std::size_t kShardCount = 64;
+
+  /// Memo keys start with a SHA-256 digest, so their leading bytes are
+  /// already uniform: the map hash is an identity read of the first 8
+  /// bytes, and shard selection uses the last byte (signature tail —
+  /// modexp output, also uniform, and disjoint from the bucket bits).
+  struct KeyHash {
+    std::size_t operator()(const Bytes& key) const;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;  ///< stats() locks shards of a const memo
+    std::unordered_map<Bytes, bool, KeyHash> entries;
+  };
+
+  Shard shards_[kShardCount];
+  std::size_t max_entries_per_shard_;
+  std::atomic<std::uint64_t> lookups_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+/// The process-wide memo: what Verifier::current() uses when no scope
+/// overrides it. The daemon accumulates into this one across requests,
+/// which is what /v1/stats and /v1/metrics export.
+VerifyMemo& process_verify_memo();
+
+/// Thread-local memo override, installed by engine workers so a sweep
+/// can direct all of its verifications into one request-owned memo —
+/// or disable memoization entirely (scope over nullptr) for the
+/// memo-on/off determinism checks. Nests; the destructor restores the
+/// previous scope.
+class VerifyMemoScope {
+ public:
+  explicit VerifyMemoScope(VerifyMemo* memo);
+  ~VerifyMemoScope();
+
+  VerifyMemoScope(const VerifyMemoScope&) = delete;
+  VerifyMemoScope& operator=(const VerifyMemoScope&) = delete;
+
+ private:
+  VerifyMemo* previous_memo_;
+  bool previous_active_;
+};
+
+/// Process-wide computation counters: how many signature checks ran the
+/// exponentiation, and on which path. Memo hits never reach these.
+struct VerifierStats {
+  std::uint64_t verifications = 0;  ///< full checks (montgomery + classic)
+  std::uint64_t montgomery = 0;     ///< odd modulus: CIOS fast path
+  std::uint64_t classic = 0;        ///< even/trivial modulus fallback
+};
+
+/// The single verification entry point. A Verifier is a cheap value
+/// (one memo pointer); current() resolves the active memo (thread
+/// scope, else the process memo).
+class Verifier {
+ public:
+  /// `memo` may be nullptr: verify without memoization.
+  explicit Verifier(VerifyMemo* memo) : memo_(memo) {}
+
+  /// The verifier every call site should use.
+  static Verifier current();
+
+  /// Verifies `signature` over `message` under `key`. Dispatches on the
+  /// key's algorithm tag; opens a crypto.verify span; consults the memo
+  /// (when one is attached) before doing the exponentiation.
+  bool verify(const PublicKey& key, BytesView message,
+              BytesView signature) const;
+
+  static VerifierStats computation_stats();
+  static void reset_computation_stats();
+
+  /// Bench/CI hook: when true, verify runs the classic ladder even
+  /// where a Montgomery context is available, so bench/crypto_verify
+  /// can measure the fast path's end-to-end sweep speedup against the
+  /// schoolbook baseline in one binary. Not for production use.
+  static void set_force_classic(bool force);
+
+ private:
+  VerifyMemo* memo_;
+};
+
+/// Flattened snapshot for the observability layer: the process memo's
+/// counters plus the computation counters, as /v1/stats and the
+/// Prometheus exposition render them.
+struct VerifySnapshot {
+  VerifyMemoStats memo;
+  VerifierStats computation;
+};
+
+VerifySnapshot verify_snapshot();
+
+}  // namespace chainchaos::crypto

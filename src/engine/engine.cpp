@@ -103,10 +103,25 @@ AnalysisResult run(const AnalysisRequest& request) {
   };
   std::vector<WorkerState> workers(threads);
 
+  // Resolve the sweep's memo once; every worker installs it as its
+  // thread-local scope so verification deep in the analyzers (issuance
+  // predicate, self-signed checks, path building) lands in the shared
+  // memo without a parameter threaded through each layer. Scoping also
+  // pins worker 0 (the calling thread), which might otherwise carry an
+  // unrelated caller scope into the sweep.
+  crypto::VerifyMemo* memo =
+      request.verify_memo_enabled
+          ? (request.verify_memo != nullptr ? request.verify_memo
+                                            : &crypto::process_verify_memo())
+          : nullptr;
+  const crypto::VerifyMemoStats memo_before =
+      memo != nullptr ? memo->stats() : crypto::VerifyMemoStats{};
+
   const auto start = std::chrono::steady_clock::now();
   for_each_shard(
       records.size(), request.shards,
       [&](std::size_t first, std::size_t last, unsigned worker) {
+        const crypto::VerifyMemoScope memo_scope(memo);
         WorkerState& state = workers[worker];
         for (std::size_t i = first; i < last; ++i) {
           const dataset::DomainRecord& record = records[i];
@@ -133,6 +148,16 @@ AnalysisResult run(const AnalysisRequest& request) {
   const auto stop = std::chrono::steady_clock::now();
   result.elapsed_seconds =
       std::chrono::duration<double>(stop - start).count();
+
+  if (memo != nullptr) {
+    const crypto::VerifyMemoStats after = memo->stats();
+    result.verify_memo.lookups = after.lookups - memo_before.lookups;
+    result.verify_memo.hits = after.hits - memo_before.hits;
+    result.verify_memo.misses = after.misses - memo_before.misses;
+    result.verify_memo.insertions = after.insertions - memo_before.insertions;
+    result.verify_memo.evictions = after.evictions - memo_before.evictions;
+    result.verify_memo.entries = after.entries;
+  }
 
   for (const WorkerState& state : workers) {
     result.tally.merge(state.tally);

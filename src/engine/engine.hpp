@@ -27,6 +27,7 @@
 #include <functional>
 #include <vector>
 
+#include "crypto/verifier.hpp"
 #include "dataset/corpus.hpp"
 #include "engine/tally.hpp"
 
@@ -86,6 +87,20 @@ struct AnalysisRequest {
                      const chain::ComplianceReport* report,
                      ShardTally& tally)>
       per_record;
+
+  /// Sweep-wide signature-verification memo (DESIGN.md §5.12). Every
+  /// worker shares the one memo via a thread-local scope installed for
+  /// the duration of its shards; the memo's counters are atomics and
+  /// merge across workers by construction. nullptr = the process-wide
+  /// memo (the daemon's accumulator). The memo only short-circuits
+  /// repeat (TBS, key, signature) triples, so tallies are byte-identical
+  /// with it on, off, or shared between runs.
+  crypto::VerifyMemo* verify_memo = nullptr;
+
+  /// false: workers verify with no memo at all (the determinism tests'
+  /// memo-off arm; also the escape hatch if residency ever matters more
+  /// than repeat suppression).
+  bool verify_memo_enabled = true;
 };
 
 struct AnalysisResult {
@@ -96,6 +111,11 @@ struct AnalysisResult {
   unsigned threads_used = 0;
   std::size_t shard_count = 0;
   double elapsed_seconds = 0.0;
+
+  /// This sweep's verification-memo activity: counter fields are the
+  /// delta over the run (even on the shared process memo), `entries` is
+  /// the residency after the sweep. All zero when the memo was disabled.
+  crypto::VerifyMemoStats verify_memo;
 
   double records_per_second() const {
     return elapsed_seconds > 0.0

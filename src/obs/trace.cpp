@@ -17,6 +17,7 @@ const char* to_string(Stage stage) {
     case Stage::kPathBuild: return "pathbuild.build";
     case Stage::kPathStep: return "pathbuild.step";
     case Stage::kAiaFetch: return "net.aia_fetch";
+    case Stage::kCryptoVerify: return "crypto.verify";
     case Stage::kEngineSweep: return "engine.sweep";
     case Stage::kEngineShard: return "engine.shard";
     case Stage::kEngineSteal: return "engine.steal";

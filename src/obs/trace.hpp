@@ -53,6 +53,7 @@ enum class Stage : std::uint8_t {
   kPathBuild,          ///< PathBuilder::build (whole)
   kPathStep,           ///< one extend() step (backtracking granularity)
   kAiaFetch,           ///< one AiaRepository::fetch call
+  kCryptoVerify,       ///< one crypto::Verifier::verify call
   kEngineSweep,        ///< one engine::run / for_each_shard traversal
   kEngineShard,        ///< one shard execution on a worker
   kEngineSteal,        ///< gap between shards on a worker (cursor/queue)

@@ -3,6 +3,7 @@
 #include "asn1/der.hpp"
 #include "chain/analyzer.hpp"
 #include "crypto/sha256.hpp"
+#include "crypto/verifier.hpp"
 #include "lint/lint.hpp"
 #include "obs/export.hpp"
 #include "obs/prometheus.hpp"
@@ -104,7 +105,8 @@ net::HttpResponse RequestHandler::handle(const net::HttpRequest& request) {
     }
     return json_body_response(metrics_->to_json(
         cache_->stats(),
-        options_.aia ? options_.aia->stats() : net::FetchStats{}));
+        options_.aia ? options_.aia->stats() : net::FetchStats{},
+        crypto::verify_snapshot()));
   }
   if (path == "/v1/metrics") {
     metrics_->record_request(Endpoint::kMetrics);
@@ -117,7 +119,8 @@ net::HttpResponse RequestHandler::handle(const net::HttpRequest& request) {
     // table only fills once tracing is enabled).
     std::string text = metrics_->to_prometheus(
         cache_->stats(),
-        options_.aia ? options_.aia->stats() : net::FetchStats{});
+        options_.aia ? options_.aia->stats() : net::FetchStats{},
+        crypto::verify_snapshot());
     text += obs::render_stage_metrics(obs::Tracer::instance().stage_stats());
     net::HttpResponse resp;
     resp.headers["content-type"] = "text/plain; version=0.0.4";

@@ -128,7 +128,8 @@ void Metrics::note_queue_depth(std::size_t depth) {
 }
 
 std::string Metrics::to_json(const CacheStats& cache,
-                             const net::FetchStats& aia) const {
+                             const net::FetchStats& aia,
+                             const crypto::VerifySnapshot& verify) const {
   report::JsonWriter w;
   w.begin_object();
 
@@ -191,12 +192,26 @@ std::string Metrics::to_json(const CacheStats& cache,
   w.key("hit_ratio").value(cache.hit_ratio());
   w.end_object();
 
+  w.key("verify").begin_object();
+  w.key("memo_lookups").value(verify.memo.lookups);
+  w.key("memo_hits").value(verify.memo.hits);
+  w.key("memo_misses").value(verify.memo.misses);
+  w.key("memo_insertions").value(verify.memo.insertions);
+  w.key("memo_evictions").value(verify.memo.evictions);
+  w.key("memo_entries").value(verify.memo.entries);
+  w.key("memo_hit_ratio").value(verify.memo.hit_ratio());
+  w.key("verifications").value(verify.computation.verifications);
+  w.key("montgomery").value(verify.computation.montgomery);
+  w.key("classic").value(verify.computation.classic);
+  w.end_object();
+
   w.end_object();
   return w.take();
 }
 
 std::string Metrics::to_prometheus(const CacheStats& cache,
-                                   const net::FetchStats& aia) const {
+                                   const net::FetchStats& aia,
+                                   const crypto::VerifySnapshot& verify) const {
   obs::PromWriter w;
 
   w.family("chainchaos_requests_total", "Requests received by endpoint",
@@ -280,6 +295,30 @@ std::string Metrics::to_prometheus(const CacheStats& cache,
   w.family("chainchaos_aia_retries_total", "AIA fetch retry attempts",
            "counter");
   w.sample("chainchaos_aia_retries_total", {}, aia.retries);
+
+  w.family("chainchaos_verify_memo_total",
+           "Signature verification memo lookups by result", "counter");
+  w.sample("chainchaos_verify_memo_total", {{"result", "hit"}},
+           verify.memo.hits);
+  w.sample("chainchaos_verify_memo_total", {{"result", "miss"}},
+           verify.memo.misses);
+
+  w.family("chainchaos_verify_memo_entries",
+           "Signature verification memo resident entries", "gauge");
+  w.sample("chainchaos_verify_memo_entries", {}, verify.memo.entries);
+
+  w.family("chainchaos_verify_memo_evictions_total",
+           "Memo shard clears forced by the residency bound", "counter");
+  w.sample("chainchaos_verify_memo_evictions_total", {},
+           verify.memo.evictions);
+
+  w.family("chainchaos_signature_verifications_total",
+           "Signature verifications actually computed, by modexp path",
+           "counter");
+  w.sample("chainchaos_signature_verifications_total",
+           {{"path", "montgomery"}}, verify.computation.montgomery);
+  w.sample("chainchaos_signature_verifications_total", {{"path", "classic"}},
+           verify.computation.classic);
 
   return w.take();
 }

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string>
 
+#include "crypto/verifier.hpp"
 #include "net/aia_repository.hpp"
 #include "service/cache.hpp"
 
@@ -88,19 +89,24 @@ class Metrics {
 
   /// Renders the full metrics document (request counters, status
   /// classes, latency buckets, queue high-water mark, connection
-  /// robustness counters, cache counters, AIA fetch/retry counters)
-  /// as one JSON object via report::JsonWriter. `aia` is the snapshot
-  /// of the handler's repository (all-zero when the service runs
-  /// without AIA completion).
+  /// robustness counters, cache counters, AIA fetch/retry counters,
+  /// signature-verification memo counters) as one JSON object via
+  /// report::JsonWriter. `aia` is the snapshot of the handler's
+  /// repository (all-zero when the service runs without AIA
+  /// completion); `verify` the crypto::verify_snapshot() of the
+  /// process.
   std::string to_json(const CacheStats& cache,
-                      const net::FetchStats& aia = net::FetchStats{}) const;
+                      const net::FetchStats& aia = net::FetchStats{},
+                      const crypto::VerifySnapshot& verify =
+                          crypto::VerifySnapshot{}) const;
 
   /// Renders the same counters in Prometheus text exposition format
   /// (version 0.0.4) for GET /v1/metrics; the latency and queue-wait
   /// histograms become `_bucket`/`_sum`/`_count` families in seconds.
   std::string to_prometheus(const CacheStats& cache,
-                            const net::FetchStats& aia =
-                                net::FetchStats{}) const;
+                            const net::FetchStats& aia = net::FetchStats{},
+                            const crypto::VerifySnapshot& verify =
+                                crypto::VerifySnapshot{}) const;
 
  private:
   std::atomic<std::uint64_t> requests_total_{0};

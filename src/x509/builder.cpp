@@ -20,6 +20,12 @@ Bytes derive_key_id(const crypto::RsaPublicKey& key) {
   return digest;
 }
 
+Bytes derive_key_id(const crypto::PublicKey& key) {
+  Bytes digest = crypto::Sha256::digest(key.fingerprint_material());
+  digest.resize(20);
+  return digest;
+}
+
 namespace {
 
 // Serial numbers only need to be unique-ish per test corpus; a counter
@@ -64,7 +70,7 @@ CertificateBuilder& CertificateBuilder::validity(std::int64_t not_before,
   return *this;
 }
 
-CertificateBuilder& CertificateBuilder::public_key(crypto::RsaPublicKey key) {
+CertificateBuilder& CertificateBuilder::public_key(crypto::PublicKey key) {
   cert_.public_key = std::move(key);
   key_set_ = true;
   return *this;

@@ -29,8 +29,10 @@ struct SigningIdentity {
 SigningIdentity make_identity(const asn1::Name& name);
 
 /// SKID derivation used library-wide: first 20 bytes of SHA-256 over the
-/// public key material (RFC 5280 §4.2.1.2 style).
+/// public key material (RFC 5280 §4.2.1.2 style). The tagged-key
+/// overload serves certificates, whose keys carry an algorithm tag.
 Bytes derive_key_id(const crypto::RsaPublicKey& key);
+Bytes derive_key_id(const crypto::PublicKey& key);
 
 class CertificateBuilder {
  public:
@@ -49,7 +51,9 @@ class CertificateBuilder {
 
   // --- key material -------------------------------------------------------
   /// Subject key; defaults to a pooled key derived from the subject CN.
-  CertificateBuilder& public_key(crypto::RsaPublicKey key);
+  /// Accepts a bare RsaPublicKey (implicit conversion) or an
+  /// already-tagged key copied from another certificate.
+  CertificateBuilder& public_key(crypto::PublicKey key);
 
   // --- role presets --------------------------------------------------------
   /// CA certificate: BasicConstraints CA=true (+ optional path length),

@@ -38,8 +38,8 @@ bool Certificate::is_self_signed() const {
   return is_self_issued() && verify_signed_by(public_key);
 }
 
-bool Certificate::verify_signed_by(const crypto::RsaPublicKey& issuer_key) const {
-  return crypto::rsa_verify(issuer_key, tbs_der, signature);
+bool Certificate::verify_signed_by(const crypto::PublicKey& issuer_key) const {
+  return crypto::Verifier::current().verify(issuer_key, tbs_der, signature);
 }
 
 bool Certificate::matches_host(std::string_view host) const {
@@ -170,14 +170,16 @@ void add_extension(DerWriter& list, std::string_view ext_oid, bool critical,
   list.add_raw(ext.wrap_sequence());
 }
 
-Bytes encode_spki(const crypto::RsaPublicKey& key) {
+Bytes encode_spki(const crypto::PublicKey& key) {
+  // One encoder per algorithm family; RSA is the only member today
+  // (a PQC key would branch on key.algorithm() to its own OID/layout).
   DerWriter alg;
   alg.add_oid(oid::kRsaEncryption);
   alg.add_null();
 
   DerWriter rsa_key;
-  rsa_key.add_integer(key.n);
-  rsa_key.add_integer(key.e);
+  rsa_key.add_integer(key.rsa().n);
+  rsa_key.add_integer(key.rsa().e);
 
   DerWriter spki;
   spki.add_tlv(Tag::kSequence, alg.wrap_sequence());

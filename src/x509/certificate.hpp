@@ -14,7 +14,7 @@
 
 #include "asn1/name.hpp"
 #include "crypto/bigint.hpp"
-#include "crypto/rsa.hpp"
+#include "crypto/verifier.hpp"
 #include "support/bytes.hpp"
 #include "support/result.hpp"
 #include "x509/extensions.hpp"
@@ -35,7 +35,10 @@ class Certificate {
   asn1::Name subject;
   std::int64_t not_before = 0;  ///< unix seconds, inclusive
   std::int64_t not_after = 0;   ///< unix seconds, inclusive
-  crypto::RsaPublicKey public_key;
+  /// Algorithm-tagged subject key (RSA today; the PQC seam of ROADMAP
+  /// item 5 adds members behind the same type, not new Certificate
+  /// fields). RsaPublicKey assigns/converts implicitly.
+  crypto::PublicKey public_key;
 
   // --- Extensions (absent optional == extension not present) ------------
   std::optional<BasicConstraints> basic_constraints;
@@ -64,7 +67,9 @@ class Certificate {
   bool is_self_issued() const { return subject == issuer; }
 
   /// Whether the signature verifies under the candidate issuer key.
-  bool verify_signed_by(const crypto::RsaPublicKey& issuer_key) const;
+  /// Routed through crypto::Verifier::current(): the Montgomery fast
+  /// path plus whatever verification memo is in scope.
+  bool verify_signed_by(const crypto::PublicKey& issuer_key) const;
 
   /// CA certificate per BasicConstraints (absent extension => not a CA).
   bool is_ca() const {

@@ -72,10 +72,11 @@ std::string to_text(const Certificate& cert) {
   out += "        Not After : " + format_time(cert.not_after) + "\n";
   out += "    Subject: " + cert.subject.to_string() + "\n";
   out += "    Subject Public Key Info:\n";
-  out += "        RSA Public-Key: (" +
-         std::to_string(cert.public_key.n.bit_length()) + " bit)\n";
-  out += "        Modulus: " + cert.public_key.n.to_hex() + "\n";
-  out += "        Exponent: " + cert.public_key.e.to_hex() + "\n";
+  const crypto::RsaPublicKey& rsa = cert.public_key.rsa();
+  out += "        RSA Public-Key: (" + std::to_string(rsa.n.bit_length()) +
+         " bit)\n";
+  out += "        Modulus: " + rsa.n.to_hex() + "\n";
+  out += "        Exponent: " + rsa.e.to_hex() + "\n";
 
   out += "    X509v3 extensions:\n";
   if (cert.basic_constraints.has_value()) {

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "crypto/bigint.hpp"
 #include "crypto/rsa.hpp"
 #include "crypto/sha256.hpp"
+#include "crypto/verifier.hpp"
 
 namespace chainchaos::crypto {
 namespace {
@@ -348,6 +351,255 @@ TEST(KeyPoolTest, NamedKeysAreStableAndDistinct) {
   const RsaKeyPair& b = pool.for_name("test-ca-beta");
   EXPECT_TRUE(a1.pub == a2.pub);
   EXPECT_FALSE(a1.pub == b.pub);
+}
+
+// ---------------------------------------------------------------------------
+// Montgomery exponentiation (DESIGN.md §5.12)
+// ---------------------------------------------------------------------------
+
+TEST(ModPowTest, KnownAnswer512Bit) {
+  const BigInt base = BigInt::from_hex(
+      "a3223bc4cbdc41a02143330585801cda7f48c58b64c9a69301198142a1f49a57"
+      "7be905086083c3d4c5519c77d34582a3ea33b39d9b7a8a3e25b186b17007c3a7");
+  const BigInt exp = BigInt::from_hex(
+      "a000cb226e0e202e46022f6fd072bac82058d49d41eaf61951ea91e4998980cd"
+      "bd1f1ed42234dd9155264721f95c79bad2d1137ec0f8e259a06b6544d1e128cf");
+  const BigInt odd_mod = BigInt::from_hex(
+      "cdbf0d1032ac3f7dbd6f76b8d0db94019f7aec16cb66190d705dc3ba45f628d6"
+      "3dbd4db19985d62d99016dafe4e879da349d943c9fa545deb5f800a8f4612d07");
+  const BigInt odd_expected = BigInt::from_hex(
+      "a7900b7f6c94f6901301dfa221105f14db923c6bd724df86930ece2b60eb4a8d"
+      "fcc3d8ca0dcf840c0c0058bc23a7b7110e6762f934117329db8111e81fa7f6d5");
+  EXPECT_EQ(BigInt::mod_pow(base, exp, odd_mod), odd_expected);
+  EXPECT_EQ(BigInt::mod_pow_classic(base, exp, odd_mod), odd_expected);
+
+  // Even modulus exercises the classic fallback inside mod_pow.
+  const BigInt even_mod = odd_mod - BigInt(1);
+  const BigInt even_expected = BigInt::from_hex(
+      "93ec4a4d36294bf0fce15bbdb365b34dd45ed2fb8db552e286be57511755351a"
+      "95897f857f606b3d7b7ce01c93263bab4fdc60bfe16e8e8b3e93ef41a0938b4b");
+  EXPECT_EQ(BigInt::mod_pow(base, exp, even_mod), even_expected);
+  EXPECT_EQ(BigInt::mod_pow_classic(base, exp, even_mod), even_expected);
+}
+
+TEST(ModPowTest, EdgeCaseSemantics) {
+  const BigInt b(12345), e(678), zero, one(1);
+  EXPECT_THROW(BigInt::mod_pow(b, e, zero), std::domain_error);
+  EXPECT_THROW(BigInt::mod_pow_classic(b, e, zero), std::domain_error);
+  EXPECT_EQ(BigInt::mod_pow(b, e, one), zero);
+  EXPECT_EQ(BigInt::mod_pow_classic(b, e, one), zero);
+  EXPECT_EQ(BigInt::mod_pow(b, zero, BigInt(7)), one);
+  EXPECT_EQ(BigInt::mod_pow(b, one, BigInt(7)), b % BigInt(7));
+  EXPECT_EQ(BigInt::mod_pow(zero, e, BigInt(7)), zero);
+  // base >= m must be reduced before the ladder.
+  EXPECT_EQ(BigInt::mod_pow(BigInt(10), BigInt(2), BigInt(7)), BigInt(2));
+}
+
+// The differential contract the whole PR rests on: mod_pow (Montgomery
+// for odd moduli, classic for even) and mod_pow_classic agree bit-exact
+// over 10k random (base, exp, mod) triples of mixed widths and parities.
+TEST(ModPowTest, DifferentialTenThousandTriples) {
+  Rng rng(424242);
+  for (int i = 0; i < 10000; ++i) {
+    const int mod_bits = 2 + static_cast<int>(rng.next() % 159);
+    const BigInt m = BigInt::random_with_bits(rng, mod_bits);
+    const BigInt base =
+        BigInt::random_with_bits(rng, 2 + static_cast<int>(rng.next() % 190));
+    const BigInt exp =
+        BigInt::random_with_bits(rng, 2 + static_cast<int>(rng.next() % 96));
+    const BigInt fast = BigInt::mod_pow(base, exp, m);
+    const BigInt reference = BigInt::mod_pow_classic(base, exp, m);
+    ASSERT_EQ(fast, reference)
+        << "triple " << i << ": " << base.to_hex() << " ^ " << exp.to_hex()
+        << " mod " << m.to_hex() << " (modulus "
+        << (m.is_odd() ? "odd" : "even") << ")";
+  }
+}
+
+TEST(MontgomeryContextTest, SuitableRequiresOddModulusAboveOne) {
+  EXPECT_FALSE(MontgomeryContext::suitable(BigInt(0)));
+  EXPECT_FALSE(MontgomeryContext::suitable(BigInt(1)));
+  EXPECT_FALSE(MontgomeryContext::suitable(BigInt(4096)));
+  EXPECT_TRUE(MontgomeryContext::suitable(BigInt(3)));
+  EXPECT_TRUE(MontgomeryContext::suitable(BigInt(0xffffffffffffffffULL)));
+  EXPECT_THROW(MontgomeryContext(BigInt(8)), std::domain_error);
+  EXPECT_THROW(MontgomeryContext(BigInt(0)), std::domain_error);
+}
+
+// One immutable context serves many exponentiations (that is the whole
+// point of caching it on the key): reuse across full-width exponents
+// must stay bit-exact with the classic ladder.
+TEST(MontgomeryContextTest, ReusedContextMatchesClassicOn512BitExponents) {
+  Rng rng(31337);
+  BigInt m = BigInt::random_with_bits(rng, 512);
+  if (!m.is_odd()) m = m + BigInt(1);
+  const MontgomeryContext context(m);
+  EXPECT_EQ(context.modulus(), m);
+  for (int i = 0; i < 8; ++i) {
+    const BigInt base = BigInt::random_with_bits(rng, 511) % m;
+    const BigInt exp = BigInt::random_with_bits(rng, 512);
+    EXPECT_EQ(context.pow(base, exp),
+              BigInt::mod_pow_classic(base, exp, m));
+  }
+  // Degenerate inputs through the same context.
+  EXPECT_EQ(context.pow(BigInt(0), BigInt(5)), BigInt(0));
+  EXPECT_EQ(context.pow(BigInt(7), BigInt(0)), BigInt(1));
+  EXPECT_EQ(context.pow(m + BigInt(3), BigInt(1)), BigInt(3));
+}
+
+// ---------------------------------------------------------------------------
+// Verifier front door (DESIGN.md §5.12)
+// ---------------------------------------------------------------------------
+
+TEST(VerifierTest, PublicKeyCarriesAlgorithmTag) {
+  Rng rng(106);
+  const RsaKeyPair pair = generate_keypair(rng, 512);
+  const PublicKey key(pair.pub);
+  EXPECT_EQ(key.algorithm(), SignatureAlgorithm::kRsaSha256);
+  EXPECT_TRUE(key.is_rsa());
+  EXPECT_TRUE(key.rsa() == pair.pub);
+  EXPECT_EQ(key.signature_width(), pair.pub.modulus_bytes());
+  EXPECT_EQ(key.fingerprint(), Sha256::digest(pair.pub.fingerprint_material()));
+  EXPECT_STREQ(to_string(key.algorithm()), "rsa-sha256");
+}
+
+TEST(VerifierTest, MemoAbsorbsRepeatTriples) {
+  Rng rng(107);
+  const RsaKeyPair pair = generate_keypair(rng, 512);
+  const Bytes message = to_bytes("memoized message");
+  const Bytes signature = rsa_sign(pair.priv, message);
+
+  VerifyMemo memo;
+  const VerifyMemoScope scope(&memo);
+  const Verifier verifier = Verifier::current();
+  const PublicKey key(pair.pub);
+  EXPECT_TRUE(verifier.verify(key, message, signature));
+  EXPECT_TRUE(verifier.verify(key, message, signature));
+  EXPECT_TRUE(verifier.verify(key, message, signature));
+
+  const VerifyMemoStats stats = memo.stats();
+  EXPECT_EQ(stats.lookups, 3u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_ratio(), 2.0 / 3.0);
+}
+
+// The determinism-critical keying property: two signatures over the
+// same message under the same key are distinct memo entries — a
+// signature-blind key would replay the first answer for both.
+TEST(VerifierTest, SameMessageDifferentSignatureNotAliased) {
+  Rng rng(108);
+  const RsaKeyPair pair = generate_keypair(rng, 512);
+  const Bytes message = to_bytes("one TBS, two signatures");
+  const Bytes good = rsa_sign(pair.priv, message);
+  Bytes bad = good;
+  bad[bad.size() / 2] ^= 0x01;
+
+  VerifyMemo memo;
+  const VerifyMemoScope scope(&memo);
+  const Verifier verifier = Verifier::current();
+  const PublicKey key(pair.pub);
+  EXPECT_TRUE(verifier.verify(key, message, good));
+  EXPECT_FALSE(verifier.verify(key, message, bad));
+  // Replay both out of the memo: answers must not cross.
+  EXPECT_TRUE(verifier.verify(key, message, good));
+  EXPECT_FALSE(verifier.verify(key, message, bad));
+
+  const VerifyMemoStats stats = memo.stats();
+  EXPECT_EQ(stats.lookups, 4u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.insertions, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(VerifierTest, MemoScopeOverridesAndRestores) {
+  Rng rng(109);
+  const RsaKeyPair pair = generate_keypair(rng, 512);
+  const Bytes message = to_bytes("scoped");
+  const Bytes signature = rsa_sign(pair.priv, message);
+  const PublicKey key(pair.pub);
+
+  VerifyMemo outer;
+  const VerifyMemoScope outer_scope(&outer);
+  EXPECT_TRUE(Verifier::current().verify(key, message, signature));
+  EXPECT_EQ(outer.stats().lookups, 1u);
+  {
+    // Scope over nullptr disables memoization entirely.
+    const VerifyMemoScope inner_scope(nullptr);
+    EXPECT_TRUE(Verifier::current().verify(key, message, signature));
+    EXPECT_EQ(outer.stats().lookups, 1u);  // outer memo untouched
+  }
+  // Destructor restored the outer scope.
+  EXPECT_TRUE(Verifier::current().verify(key, message, signature));
+  const VerifyMemoStats stats = outer.stats();
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+
+  outer.reset();
+  EXPECT_EQ(outer.stats().lookups, 0u);
+  EXPECT_EQ(outer.stats().entries, 0u);
+}
+
+TEST(VerifierTest, MemoEvictsWholesaleWhenShardFills) {
+  Rng rng(110);
+  const RsaKeyPair pair = generate_keypair(rng, 512);
+  VerifyMemo memo(/*max_entries_per_shard=*/1);
+  const VerifyMemoScope scope(&memo);
+  const Verifier verifier = Verifier::current();
+  const PublicKey key(pair.pub);
+  // Distinct messages spread across shards; each shard holds at most
+  // one entry, so insertions into an occupied shard evict first.
+  for (int i = 0; i < 32; ++i) {
+    const Bytes message = to_bytes("evict " + std::to_string(i));
+    verifier.verify(key, message, rsa_sign(pair.priv, message));
+  }
+  const VerifyMemoStats stats = memo.stats();
+  EXPECT_EQ(stats.lookups, 32u);
+  EXPECT_EQ(stats.insertions, 32u);
+  EXPECT_EQ(stats.entries + stats.evictions, 32u);
+}
+
+TEST(VerifierTest, ForcedClassicPathAgreesWithMontgomery) {
+  Rng rng(111);
+  const RsaKeyPair pair = generate_keypair(rng, 512);
+  const Bytes message = to_bytes("both paths");
+  const Bytes good = rsa_sign(pair.priv, message);
+  Bytes bad = good;
+  bad[0] ^= 0x80;
+
+  const VerifyMemoScope no_memo(nullptr);
+  const Verifier verifier = Verifier::current();
+  const PublicKey key(pair.pub);
+  EXPECT_TRUE(verifier.verify(key, message, good));
+  EXPECT_FALSE(verifier.verify(key, message, bad));
+  Verifier::set_force_classic(true);
+  EXPECT_TRUE(verifier.verify(key, message, good));
+  EXPECT_FALSE(verifier.verify(key, message, bad));
+  Verifier::set_force_classic(false);
+}
+
+TEST(RsaTest, KnownAnswerVector) {
+  // Generated offline: 512-bit n = p*q, e = 65537, signature =
+  // pad(SHA-256(msg))^d mod n. Pins the exact padding layout and byte
+  // order — a verifier that drifts from sign() could still pass
+  // round-trip tests, but not this one.
+  RsaPublicKey pub(
+      BigInt::from_hex(
+          "6a45893428055add0ef05440247402a5d5db7207264f81fab7bfce0fceac0755"
+          "5f6d9325e0f5c29bd19dfd97e4014db13c74ffa63234f89c1a584c52d59d1101"),
+      BigInt(65537));
+  const Bytes message = to_bytes("chainchaos RSA known-answer vector");
+  const Bytes signature = *hex_decode(
+      "0a755bc6a3d761c0f679f6758ec354678288712c7dc42dc5b6720dddcc892365"
+      "937a480233de90f752f5eaa390ed1055c951407a92c20856b09a577798210126");
+  EXPECT_TRUE(rsa_verify(pub, message, signature));
+  Bytes tampered = signature;
+  tampered.back() ^= 0x01;
+  EXPECT_FALSE(rsa_verify(pub, message, tampered));
+  EXPECT_FALSE(rsa_verify(pub, to_bytes("chainchaos rsa known-answer vector"),
+                          signature));
 }
 
 TEST(KeyPoolTest, LeafSlotsAreStable) {

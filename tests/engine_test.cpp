@@ -5,6 +5,8 @@
 #include <numeric>
 #include <vector>
 
+#include "chain/issuance.hpp"
+#include "crypto/verifier.hpp"
 #include "difftest/harness.hpp"
 #include "engine/engine.hpp"
 
@@ -227,6 +229,54 @@ TEST(TallyTest, ShardMergeSumsNamedCountersPerKey) {
   EXPECT_EQ(a.counters.at("only.in.a"), 1u);
   EXPECT_EQ(a.counters.at("only.in.b"), 7u);
   EXPECT_EQ(a.counters.size(), 3u);
+}
+
+// --- Verification memo determinism (DESIGN.md §5.12) ----------------------
+
+// The memo's contract inside the engine: it only short-circuits repeat
+// (TBS, key, signature) triples, so tallies are byte-identical with the
+// memo disabled, with a private memo at 1 thread, and with the same
+// kind of memo shared by 8 workers. The issuance cache is reset before
+// each arm so the fingerprint-pair memo above the verifier doesn't
+// absorb the repeats and mask what this test is checking.
+TEST_F(EngineFixture, VerifyMemoKeepsTalliesByteIdentical) {
+  const auto memo_sweep = [this](bool memo_on, unsigned threads,
+                                 crypto::VerifyMemo* memo) {
+    chain::reset_issuance_cache();
+    AnalysisRequest request;
+    request.records = &corpus().records();
+    request.shards.threads = threads;
+    request.analyzer = &analyzer();
+    request.verify_memo = memo;
+    request.verify_memo_enabled = memo_on;
+    return run(request);
+  };
+
+  const AnalysisResult off = memo_sweep(false, 1, nullptr);
+  crypto::VerifyMemo memo_one;
+  const AnalysisResult one = memo_sweep(true, 1, &memo_one);
+  crypto::VerifyMemo memo_eight;
+  const AnalysisResult eight = memo_sweep(true, 8, &memo_eight);
+
+  EXPECT_EQ(one.tally, off.tally);
+  EXPECT_EQ(eight.tally, off.tally);
+  EXPECT_EQ(summary_table(one.tally.compliance).render(),
+            summary_table(off.tally.compliance).render());
+  EXPECT_EQ(summary_table(eight.tally.compliance).render(),
+            summary_table(off.tally.compliance).render());
+
+  // The memo-off arm reports no activity; the memo-on arms actually
+  // exercised the memo, and their counters are internally consistent.
+  EXPECT_EQ(off.verify_memo.lookups, 0u);
+  EXPECT_GT(one.verify_memo.lookups, 0u);
+  EXPECT_EQ(one.verify_memo.hits + one.verify_memo.misses,
+            one.verify_memo.lookups);
+  EXPECT_EQ(eight.verify_memo.hits + eight.verify_memo.misses,
+            eight.verify_memo.lookups);
+  // The 8-thread arm does at least the single-thread arm's lookups
+  // (exactly equal up to benign compute-twice races in the issuance
+  // memo above the verifier, so >= is the stable bound).
+  EXPECT_GE(eight.verify_memo.lookups, one.verify_memo.lookups);
 }
 
 // --- Differential harness on the engine -----------------------------------

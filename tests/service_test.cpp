@@ -282,6 +282,9 @@ TEST(ServiceServerTest, HealthStatsAndAnalyzeOverRealSocket) {
   const std::string body = to_string(stats.value().body);
   EXPECT_NE(body.find("\"requests\""), std::string::npos);
   EXPECT_NE(body.find("\"hits\":1"), std::string::npos);
+  // The §5.12 verification counters ride along in the same payload.
+  EXPECT_NE(body.find("\"verify\""), std::string::npos);
+  EXPECT_NE(body.find("\"memo_hit_ratio\""), std::string::npos);
 
   server.stop();
   EXPECT_FALSE(server.running());
