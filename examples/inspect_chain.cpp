@@ -16,6 +16,8 @@
 #include "chain/analyzer.hpp"
 #include "dataset/defects.hpp"
 #include "lint/lint.hpp"
+#include "parsdiff/diff.hpp"
+#include "parsdiff/profile.hpp"
 
 using namespace chainchaos;
 
@@ -129,6 +131,39 @@ int main(int argc, char** argv) {
   }
   std::printf("overall:            %s\n",
               report.compliant() ? "COMPLIANT" : "NON-COMPLIANT");
+
+  // Parser panel: the same DER under every leniency profile. Chains a
+  // strict parser drops while a lax one serves them are deployment
+  // hazards in their own right (DESIGN.md §5.13).
+  {
+    std::vector<BytesView> ders;
+    ders.reserve(chain.size());
+    for (const x509::CertPtr& cert : chain) ders.emplace_back(cert->der);
+    const parsdiff::ChainDiff diff = parsdiff::diff_chain(ders);
+    std::printf("\n=== parser profiles ===\n");
+    const auto& panel = parsdiff::profiles();
+    for (std::size_t p = 0; p < panel.size(); ++p) {
+      const parsdiff::ProfileOutcome& outcome = diff.outcomes[p];
+      std::printf("%-14s %-26s ", std::string(panel[p].name).c_str(),
+                  std::string(panel[p].models).c_str());
+      if (outcome.accepted) {
+        std::printf("accept\n");
+      } else {
+        std::printf("REJECT [cert %zu] %s: %s\n", outcome.cert_index,
+                    outcome.error_code.c_str(), outcome.error_detail.c_str());
+      }
+    }
+    if (diff.discrepancy) {
+      const lint::Rule* rule = parsdiff::find_pd_rule(diff.pd_class);
+      std::printf("panel split: %s — %s\n",
+                  std::string(diff.pd_class).c_str(),
+                  rule != nullptr ? std::string(rule->description).c_str()
+                                  : "");
+    } else {
+      std::printf("panel agrees (%s)\n",
+                  diff.accept_count > 0 ? "all accept" : "all reject");
+    }
+  }
 
   // Per-chain chainlint findings: every rule the deployment trips, with
   // its severity and the RFC/paper citation it enforces.

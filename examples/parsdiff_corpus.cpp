@@ -1,0 +1,108 @@
+// parsdiff_corpus: the parser-differential sweep over corpus + chaos
+// inputs.
+//
+// Generates a synthetic corpus, derives chaos-mutated wire images from
+// it (byte-level classes deterministically seeded, exactly the campaign
+// formula), and parses every input under every leniency profile in one
+// sharded pass. Prints the accept/reject matrix and per-PD-class counts
+// as text tables or JSON. The JSON carries no timing, so output is
+// byte-identical for any --threads value — scripts/parsdiff_smoke.sh
+// diffs 1 thread against 8.
+//
+// Usage:  parsdiff_corpus [--domains N] [--chaos M] [--seed S]
+//                         [--threads T] [--json]
+#include <cstdio>
+
+#include "chaos/mutation.hpp"
+#include "cli_common.hpp"
+#include "parsdiff/sweep.hpp"
+
+using namespace chainchaos;
+
+namespace {
+
+/// Golden-ratio seed stride — the chaos campaign's spacing, reused so a
+/// parsdiff input N is the same bytes a campaign input N would be.
+constexpr std::uint64_t kSeedStride = 0x9e3779b97f4a7c15ULL;
+
+/// Derives `count` byte-level mutated inputs from the corpus. Round-
+/// robin over B1..B6: the structure-level classes rearrange well-formed
+/// certificates, so the parser panel would only re-measure base chains.
+std::vector<parsdiff::LabeledInput> derive_chaos_inputs(
+    const dataset::Corpus& corpus, std::size_t count, std::uint64_t seed) {
+  std::vector<chaos::MutationClass> classes;
+  for (const chaos::MutationSpec& s : chaos::all_mutations()) {
+    if (s.id[0] == 'B') classes.push_back(s.cls);
+  }
+  const chaos::ChainMutator mutator = chaos::ChainMutator::from_corpus(corpus);
+  std::vector<parsdiff::LabeledInput> inputs;
+  inputs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const chaos::MutationClass cls = classes[i % classes.size()];
+    chaos::MutatedChain mutated = mutator.mutate(
+        cls, seed + kSeedStride * (static_cast<std::uint64_t>(i) + 1));
+    parsdiff::LabeledInput input;
+    input.label = mutated.mutation_id;
+    input.certs = std::move(mutated.certs);
+    inputs.push_back(std::move(input));
+  }
+  return inputs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t domains = 2000;
+  std::size_t chaos_count = 0;
+  std::uint64_t seed = 833;
+  unsigned threads = 0;
+  bool json = false;
+  cli::Flags flags;
+  flags.add("--domains", &domains, "N");
+  flags.add("--chaos", &chaos_count, "M");
+  flags.add("--seed", &seed, "S");
+  flags.add("--threads", &threads, "T");
+  flags.add("--json", &json);
+  if (!flags.parse(argc, argv)) return 1;
+
+  dataset::CorpusConfig config;
+  config.domain_count = domains;
+  config.seed = seed;
+  if (!json) {
+    std::printf("generating %zu synthetic domains (seed %llu)...\n", domains,
+                static_cast<unsigned long long>(seed));
+  }
+  const dataset::Corpus corpus(std::move(config));
+
+  std::vector<parsdiff::LabeledInput> extra;
+  if (chaos_count > 0) {
+    if (!json) {
+      std::printf("deriving %zu chaos-mutated inputs (B1..B6)...\n",
+                  chaos_count);
+    }
+    extra = derive_chaos_inputs(corpus, chaos_count, seed);
+  }
+
+  parsdiff::SweepRequest request;
+  request.records = &corpus.records();
+  request.extra = extra.empty() ? nullptr : &extra;
+  request.shards.threads = threads;
+  const parsdiff::SweepSummary summary = parsdiff::run_sweep(request);
+
+  if (json) {
+    std::printf("%s\n", parsdiff::summary_json(summary).c_str());
+  } else {
+    std::fputs(parsdiff::summary_table(summary).render().c_str(), stdout);
+    std::fputs("\n", stdout);
+    std::fputs(parsdiff::class_table(summary).render().c_str(), stdout);
+    std::printf(
+        "\nswept %llu inputs (%llu corpus, %llu chaos) on %u threads in "
+        "%.2fs: %llu discrepancies\n",
+        static_cast<unsigned long long>(summary.inputs),
+        static_cast<unsigned long long>(summary.corpus_chains),
+        static_cast<unsigned long long>(summary.extra_inputs),
+        summary.threads_used, summary.elapsed_seconds,
+        static_cast<unsigned long long>(summary.discrepancies));
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the parser-differential sweep (DESIGN.md
+# §5.13).
+#
+# Runs parsdiff_corpus over a 2000-domain corpus plus 5000 chaos-mutated
+# inputs on 1 thread and again on 8, and asserts:
+#   * both runs exit 0,
+#   * the two JSON matrices are byte-identical (the sweep's determinism
+#     contract: counters are commutative sums, JSON carries no timing),
+#   * the sweep actually found discrepancies (the chaos inputs guarantee
+#     the panel splits somewhere).
+#
+# Usage: parsdiff_smoke.sh <parsdiff_corpus-binary>
+set -euo pipefail
+
+PARSDIFF=${1:?usage: parsdiff_smoke.sh <parsdiff_corpus>}
+
+WORKDIR=$(mktemp -d)
+trap 'rm -rf "$WORKDIR"' EXIT
+
+run_sweep() {
+  "$PARSDIFF" --domains 2000 --chaos 5000 --seed 833 --threads "$1" --json
+}
+
+run_sweep 1 >"$WORKDIR/run1.json" \
+    || { echo "FAIL: 1-thread sweep failed"; exit 1; }
+run_sweep 8 >"$WORKDIR/run2.json" \
+    || { echo "FAIL: 8-thread sweep failed"; exit 1; }
+
+diff -u "$WORKDIR/run1.json" "$WORKDIR/run2.json" \
+    || { echo "FAIL: sweep output differs between 1 and 8 threads"; exit 1; }
+echo "sweep matrices are byte-identical across thread counts"
+
+grep -q '"discrepancies":0[,}]' "$WORKDIR/run1.json" \
+    && { echo "FAIL: sweep found no discrepancies"; exit 1; }
+# 2000 requested domains plus the corpus's exemplar records, and all
+# 5000 chaos inputs.
+CORPUS=$(grep -o '"corpus_chains":[0-9]*' "$WORKDIR/run1.json" | cut -d: -f2)
+EXTRA=$(grep -o '"extra_inputs":[0-9]*' "$WORKDIR/run1.json" | cut -d: -f2)
+[ "${CORPUS:-0}" -ge 2000 ] \
+    || { echo "FAIL: corpus coverage $CORPUS < 2000 chains"; exit 1; }
+[ "${EXTRA:-0}" -eq 5000 ] \
+    || { echo "FAIL: chaos coverage $EXTRA != 5000 inputs"; exit 1; }
+
+echo "parsdiff smoke OK"

@@ -174,16 +174,22 @@ Result<DerElement> DerReader::read_any() {
     if (num_octets > data_.size() - pos_) {
       return make_error("der.truncated", "length octets");
     }
+    // Leading-zero length octets (e.g. 82 00 85) are BER, not DER. The
+    // default profile tolerates them when the resulting length still
+    // needs long form (they round-trip safely; chainlint reports them as
+    // cert.der_nonminimal_length); strict DER rejects them outright; the
+    // BER profile additionally accepts long form below 0x80.
+    if (profile_->length_rule == LengthRule::kStrictDer &&
+        data_[pos_] == 0x00) {
+      return make_error("der.bad_length", "leading-zero length octet");
+    }
     length = 0;
     for (std::size_t i = 0; i < num_octets; ++i) {
       length = (length << 8) | data_[pos_++];
     }
-    if (length < 0x80) {
+    if (length < 0x80 && profile_->length_rule != LengthRule::kBer) {
       return make_error("der.bad_length", "non-minimal long-form length");
     }
-    // Leading-zero length octets (e.g. 82 00 85) are BER, not DER; they
-    // round-trip safely, so the reader tolerates them and chainlint
-    // reports them (cert.der_nonminimal_length).
   }
   if (length > data_.size() - pos_) {
     return make_error("der.truncated", "value octets");
@@ -218,6 +224,13 @@ Result<bool> DerReader::read_boolean() {
   if (!elem.ok()) return elem.error();
   if (elem.value().body.size() != 1) {
     return make_error("der.bad_boolean", "body must be one octet");
+  }
+  // X.690 §11.1: DER requires TRUE to be exactly 0xff. BER (and the
+  // default profile, matching the historical reader) accepts any
+  // non-zero octet.
+  if (profile_->strict_boolean && elem.value().body[0] != 0x00 &&
+      elem.value().body[0] != 0xff) {
+    return make_error("der.bad_boolean", "DER TRUE must be 0xff");
   }
   return elem.value().body[0] != 0;
 }
@@ -319,13 +332,72 @@ Result<std::string> DerReader::read_oid() {
   return decode_oid_body(elem.value().body);
 }
 
+namespace {
+
+/// X.680 §41.4: the PrintableString alphabet.
+bool is_printable_char(std::uint8_t c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+         (c >= '0' && c <= '9') || c == ' ' || c == '\'' || c == '(' ||
+         c == ')' || c == '+' || c == ',' || c == '-' || c == '.' ||
+         c == '/' || c == ':' || c == '=' || c == '?';
+}
+
+/// Structural UTF-8 well-formedness (RFC 3629): sequence lengths,
+/// continuation bytes, no overlongs, no surrogates, <= U+10FFFF.
+bool is_valid_utf8(BytesView body) {
+  std::size_t i = 0;
+  while (i < body.size()) {
+    const std::uint8_t b = body[i];
+    std::size_t len;
+    std::uint32_t cp;
+    if (b < 0x80) { ++i; continue; }
+    if ((b & 0xe0) == 0xc0) { len = 2; cp = b & 0x1f; }
+    else if ((b & 0xf0) == 0xe0) { len = 3; cp = b & 0x0f; }
+    else if ((b & 0xf8) == 0xf0) { len = 4; cp = b & 0x07; }
+    else return false;
+    if (i + len > body.size()) return false;
+    for (std::size_t k = 1; k < len; ++k) {
+      if ((body[i + k] & 0xc0) != 0x80) return false;
+      cp = (cp << 6) | (body[i + k] & 0x3f);
+    }
+    if (len == 2 && cp < 0x80) return false;
+    if (len == 3 && cp < 0x800) return false;
+    if (len == 4 && cp < 0x10000) return false;
+    if (cp > 0x10ffff || (cp >= 0xd800 && cp <= 0xdfff)) return false;
+    i += len;
+  }
+  return true;
+}
+
+/// Legacy directory-string tags some parsers map through verbatim
+/// (TeletexString, VideotexString, UniversalString, BMPString).
+bool is_legacy_string_tag(std::uint8_t tag) {
+  return tag == 0x14 || tag == 0x15 || tag == 0x1c || tag == 0x1e;
+}
+
+}  // namespace
+
 Result<std::string> DerReader::read_string() {
   Result<DerElement> elem = read_any();
   if (!elem.ok()) return elem.error();
   const DerElement& e = elem.value();
-  if (!e.is(Tag::kUtf8String) && !e.is(Tag::kPrintableString) &&
-      !e.is(Tag::kIa5String)) {
+  const bool standard = e.is(Tag::kUtf8String) ||
+                        e.is(Tag::kPrintableString) || e.is(Tag::kIa5String);
+  if (!standard &&
+      !(profile_->extra_string_tags && is_legacy_string_tag(e.tag))) {
     return make_error("der.unexpected_tag", "expected a string type");
+  }
+  if (profile_->validate_printable_charset && e.is(Tag::kPrintableString)) {
+    for (std::uint8_t c : e.body) {
+      if (!is_printable_char(c)) {
+        return make_error("der.bad_string",
+                          "byte outside the PrintableString alphabet");
+      }
+    }
+  }
+  if (profile_->validate_utf8 && e.is(Tag::kUtf8String) &&
+      !is_valid_utf8(e.body)) {
+    return make_error("der.bad_string", "malformed UTF-8");
   }
   return to_string(e.body);
 }
@@ -352,6 +424,109 @@ Result<std::int64_t> DerReader::read_generalized_time() {
     return make_error("der.bad_time", "field out of range");
   }
   return days_from_civil(y, mo, d) * 86400 + h * 3600 + mi * 60 + s;
+}
+
+namespace {
+
+/// Time-text parser behind read_time() for the lax syntaxes the strict
+/// GeneralizedTime reader rejects: UTCTime two-digit years (pivoted),
+/// omitted seconds, fractional seconds (floored), explicit ±HHMM
+/// offsets. Only consulted when a profile enables at least one of them.
+Result<std::int64_t> parse_time_text(const std::string& text,
+                                     const ParseProfile& p, bool utc) {
+  std::size_t i = 0;
+  const auto digits = [&](std::size_t n, int* out) -> bool {
+    if (i + n > text.size()) return false;
+    int v = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      const char c = text[i + k];
+      if (c < '0' || c > '9') return false;
+      v = v * 10 + (c - '0');
+    }
+    i += n;
+    *out = v;
+    return true;
+  };
+  int y = 0, mo = 0, d = 0, h = 0, mi = 0, s = 0;
+  if (utc) {
+    int yy = 0;
+    if (!digits(2, &yy)) return make_error("der.bad_time", "bad UTCTime year");
+    y = yy < p.utc_pivot_year ? 2000 + yy : 1900 + yy;
+  } else if (!digits(4, &y)) {
+    return make_error("der.bad_time", "bad year");
+  }
+  if (!digits(2, &mo) || !digits(2, &d) || !digits(2, &h) || !digits(2, &mi)) {
+    return make_error("der.bad_time", "bad date/time digits");
+  }
+  if (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+    if (!digits(2, &s)) return make_error("der.bad_time", "bad seconds");
+  } else if (!p.allow_missing_seconds) {
+    return make_error("der.bad_time", "seconds field required");
+  }
+  if (i < text.size() && text[i] == '.') {
+    if (utc || !p.allow_fractional_seconds) {
+      return make_error("der.bad_time", "fractional seconds not accepted");
+    }
+    ++i;
+    std::size_t frac_digits = 0;
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+      ++i;
+      ++frac_digits;
+    }
+    if (frac_digits == 0) return make_error("der.bad_time", "empty fraction");
+    // The fraction itself is floored away: validity is whole seconds.
+  }
+  std::int64_t offset_seconds = 0;
+  if (i < text.size() && text[i] == 'Z') {
+    ++i;
+  } else if (i < text.size() && (text[i] == '+' || text[i] == '-')) {
+    if (!p.allow_time_offsets) {
+      return make_error("der.bad_time", "explicit offset not accepted");
+    }
+    const bool negative = text[i] == '-';
+    ++i;
+    int oh = 0, om = 0;
+    if (!digits(2, &oh) || !digits(2, &om) || oh > 23 || om > 59) {
+      return make_error("der.bad_time", "bad offset");
+    }
+    offset_seconds =
+        static_cast<std::int64_t>(negative ? -1 : 1) * (oh * 3600 + om * 60);
+  } else {
+    return make_error("der.bad_time", "missing Z or offset");
+  }
+  if (i != text.size()) {
+    return make_error("der.bad_time", "trailing characters");
+  }
+  if (mo < 1 || mo > 12 || d < 1 || d > 31 || h > 23 || mi > 59 || s > 60) {
+    return make_error("der.bad_time", "field out of range");
+  }
+  return days_from_civil(y, static_cast<unsigned>(mo),
+                         static_cast<unsigned>(d)) *
+             86400 +
+         h * 3600 + mi * 60 + s - offset_seconds;
+}
+
+}  // namespace
+
+Result<std::int64_t> DerReader::read_time() {
+  const ParseProfile& p = *profile_;
+  const Result<std::uint8_t> tag = peek_tag();
+  if (tag.ok() && tag.value() == static_cast<std::uint8_t>(Tag::kUtcTime) &&
+      p.accept_utc_time) {
+    Result<DerElement> elem = read(Tag::kUtcTime);
+    if (!elem.ok()) return elem.error();
+    return parse_time_text(to_string(elem.value().body), p, /*utc=*/true);
+  }
+  if (!p.allow_missing_seconds && !p.allow_time_offsets &&
+      !p.allow_fractional_seconds) {
+    // No laxness in play: exactly the historical strict reader (same
+    // outcomes, same error codes and messages — an unexpected UTCTime
+    // still reports der.unexpected_tag here).
+    return read_generalized_time();
+  }
+  Result<DerElement> elem = read(Tag::kGeneralizedTime);
+  if (!elem.ok()) return elem.error();
+  return parse_time_text(to_string(elem.value().body), p, /*utc=*/false);
 }
 
 }  // namespace chainchaos::asn1

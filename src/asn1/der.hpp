@@ -11,6 +11,7 @@
 #include <string>
 #include <string_view>
 
+#include "asn1/profile.hpp"
 #include "crypto/bigint.hpp"
 #include "support/bytes.hpp"
 #include "support/result.hpp"
@@ -107,10 +108,20 @@ struct DerElement {
   bool is(Tag t) const { return tag == static_cast<std::uint8_t>(t); }
 };
 
-/// Sequential DER reader over a byte view.
+/// Sequential DER reader over a byte view. Construction without a
+/// profile reads with the historical default tolerances; passing a
+/// ParseProfile applies that profile's leniency knobs. The profile is
+/// borrowed, not copied — it must outlive the reader (the presets in
+/// parsdiff/profile.cpp are process-lifetime statics).
 class DerReader {
  public:
-  explicit DerReader(BytesView data) : data_(data) {}
+  explicit DerReader(BytesView data,
+                     const ParseProfile& profile = default_parse_profile())
+      : data_(data), profile_(&profile) {}
+
+  /// The leniency profile this reader decodes under; hand it to nested
+  /// readers so a parse applies one profile throughout.
+  const ParseProfile& profile() const { return *profile_; }
 
   bool at_end() const { return pos_ >= data_.size(); }
   std::size_t remaining() const { return data_.size() - pos_; }
@@ -134,9 +145,17 @@ class DerReader {
   Result<std::string> read_string();  ///< UTF8/Printable/IA5
   Result<std::int64_t> read_generalized_time();
 
+  /// Profile-aware validity-time reader: GeneralizedTime always, UTCTime
+  /// when the profile accepts it, with the profile's missing-seconds /
+  /// offset / fractional-second tolerances applied. Under the default
+  /// profile this is read_generalized_time() exactly (same outcomes,
+  /// same error codes).
+  Result<std::int64_t> read_time();
+
  private:
   BytesView data_;
   std::size_t pos_ = 0;
+  const ParseProfile* profile_;
 };
 
 /// Parses an OID body back to dotted-decimal.

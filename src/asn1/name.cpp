@@ -75,21 +75,21 @@ Bytes Name::encode() const {
   return rdn_sequence.wrap_sequence();
 }
 
-Result<Name> Name::decode(BytesView der) {
-  DerReader outer(der);
+Result<Name> Name::decode(BytesView der, const ParseProfile& profile) {
+  DerReader outer(der, profile);
   Result<DerElement> seq = outer.read(Tag::kSequence);
   if (!seq.ok()) return seq.error();
 
   Name name;
-  DerReader rdns(seq.value().body);
+  DerReader rdns(seq.value().body, profile);
   while (!rdns.at_end()) {
     Result<DerElement> set = rdns.read(Tag::kSet);
     if (!set.ok()) return set.error();
-    DerReader set_reader(set.value().body);
+    DerReader set_reader(set.value().body, profile);
     while (!set_reader.at_end()) {
       Result<DerElement> atv = set_reader.read(Tag::kSequence);
       if (!atv.ok()) return atv.error();
-      DerReader atv_reader(atv.value().body);
+      DerReader atv_reader(atv.value().body, profile);
       Result<std::string> oid_text = atv_reader.read_oid();
       if (!oid_text.ok()) return oid_text.error();
       Result<std::string> value = atv_reader.read_string();

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "asn1/profile.hpp"
 #include "support/bytes.hpp"
 #include "support/result.hpp"
 
@@ -48,7 +49,10 @@ class Name {
   /// DER encoding (RDNSequence).
   Bytes encode() const;
 
-  static Result<Name> decode(BytesView der);
+  /// Decodes an RDNSequence; attribute values are read under `profile`'s
+  /// string-type/charset knobs (default = historical behaviour).
+  static Result<Name> decode(
+      BytesView der, const ParseProfile& profile = default_parse_profile());
 
   bool operator==(const Name&) const = default;
   auto operator<=>(const Name&) const = default;

@@ -1,0 +1,11 @@
+#include "asn1/profile.hpp"
+
+namespace chainchaos::asn1 {
+
+const ParseProfile& default_parse_profile() {
+  // Every knob at its default: the historical reader, bit for bit.
+  static const ParseProfile profile;
+  return profile;
+}
+
+}  // namespace chainchaos::asn1

@@ -1,0 +1,94 @@
+// ParseProfile: explicit leniency knobs for the DER/X.509 decoders.
+//
+// ParsEval (PAPERS.md) shows real X.509 parsers disagree wildly on
+// out-in-the-wild bytes: OpenSSL swallows BER length forms strict DER
+// forbids, browsers accept time syntaxes libraries reject, GnuTLS maps
+// legacy string types others refuse. This struct makes each of those
+// tolerances an explicit, independently testable knob instead of an
+// accident of one implementation.
+//
+// The DEFAULT-constructed profile reproduces this library's historical
+// behaviour bit for bit (every knob here defaults to what the reader
+// did before profiles existed), so parse paths that never mention a
+// profile are unchanged. Named profile presets modeled on the
+// OpenSSL/GnuTLS/browser behaviours live one layer up, in
+// parsdiff/profile.hpp — asn1 only defines the knob vocabulary.
+#pragma once
+
+namespace chainchaos::asn1 {
+
+/// How the reader treats DER length-octet minimality (RFC 5280 requires
+/// DER; X.690 §10.1 requires minimal lengths).
+enum class LengthRule {
+  /// Reject every BER-ism: long form where short form fits, excess
+  /// leading zero octets, long form below 0x80.
+  kStrictDer,
+  /// The historical default: leading-zero length octets round-trip
+  /// safely and are tolerated (chainlint reports them as
+  /// cert.der_nonminimal_length); long form below 0x80 is rejected.
+  kLeadingZeroTolerant,
+  /// Full BER tolerance: leading zeros AND non-minimal long form (e.g.
+  /// 81 05) are accepted, as OpenSSL's d2i does.
+  kBer,
+};
+
+/// Leniency knobs threaded through DerReader and x509::parse_certificate.
+/// Every default reproduces the pre-profile reader exactly.
+struct ParseProfile {
+  // --- length framing (X.690 §10.1) --------------------------------------
+  LengthRule length_rule = LengthRule::kLeadingZeroTolerant;
+
+  // --- BOOLEAN content (X.690 §11.1) -------------------------------------
+  /// DER requires TRUE to be exactly 0xff; BER accepts any non-zero
+  /// octet. false (default) = accept any non-zero.
+  bool strict_boolean = false;
+
+  // --- time syntax (RFC 5280 §4.1.2.5) -----------------------------------
+  /// Accept UTCTime (tag 0x17) where a time is expected. The historical
+  /// reader (and the builder) speak GeneralizedTime only.
+  bool accept_utc_time = false;
+  /// Two-digit-year pivot for UTCTime: YY < pivot → 20YY, else 19YY.
+  /// RFC 5280 pins 50 (1950..2049); kept a knob because deployed
+  /// parsers have shipped other pivots.
+  int utc_pivot_year = 50;
+  /// Accept times with the seconds field omitted (YYMMDDHHMMZ /
+  /// YYYYMMDDHHMMZ) — valid BER, forbidden by DER and RFC 5280.
+  bool allow_missing_seconds = false;
+  /// Accept explicit "+HHMM"/"-HHMM" offsets instead of the mandatory
+  /// trailing "Z".
+  bool allow_time_offsets = false;
+  /// Accept GeneralizedTime fractional seconds ("...SS.fffZ") —
+  /// forbidden by RFC 5280, seen in the wild, tolerated by some stacks.
+  bool allow_fractional_seconds = false;
+
+  // --- string types / charsets (X.680 §41, RFC 5280 §4.1.2.4) ------------
+  /// Accept the legacy directory string tags (TeletexString 0x14,
+  /// VideotexString 0x15, UniversalString 0x1c, BMPString 0x1e) where a
+  /// string is expected, raw bytes passed through. The historical
+  /// reader accepts UTF8String/PrintableString/IA5String only.
+  bool extra_string_tags = false;
+  /// Enforce the PrintableString alphabet (A-Za-z0-9 '()+,-./:=? and
+  /// space); the historical reader takes the bytes verbatim.
+  bool validate_printable_charset = false;
+  /// Require UTF8String bodies to be well-formed UTF-8.
+  bool validate_utf8 = false;
+
+  // --- framing slack around the certificate ------------------------------
+  /// Reject bytes trailing the outermost Certificate SEQUENCE. The
+  /// historical parser reads one TLV and ignores the rest.
+  bool reject_trailing_bytes = false;
+
+  // --- extension criticality (RFC 5280 §4.2) -----------------------------
+  /// Fail the parse on a critical extension this implementation does not
+  /// process (the RFC-mandated behaviour browsers enforce; the
+  /// historical parser notes and ignores).
+  bool reject_unknown_critical = false;
+
+  bool operator==(const ParseProfile&) const = default;
+};
+
+/// The process-wide default profile (all knobs at their historical
+/// values). DerReader uses it when constructed without a profile.
+const ParseProfile& default_parse_profile();
+
+}  // namespace chainchaos::asn1

@@ -11,6 +11,8 @@
 #include "engine/engine.hpp"
 #include "lint/lint.hpp"
 #include "obs/trace.hpp"
+#include "parsdiff/diff.hpp"
+#include "parsdiff/profile.hpp"
 #include "pathbuild/path_builder.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
@@ -24,6 +26,24 @@ namespace {
 constexpr std::uint64_t kSeedStride = 0x9e3779b97f4a7c15ULL;
 
 using Clock = std::chrono::steady_clock;
+
+/// "PD-xx reject=<comma-joined profile names>" for a split panel; empty
+/// when the panel agrees. Pure function of the input bytes.
+std::string describe_divergence(const std::vector<Bytes>& certs) {
+  const parsdiff::ChainDiff diff = parsdiff::diff_chain(certs);
+  if (!diff.discrepancy) return {};
+  std::string out(diff.pd_class);
+  out += " reject=";
+  const auto& panel = parsdiff::profiles();
+  bool first = true;
+  for (std::size_t p = 0; p < panel.size(); ++p) {
+    if (diff.outcomes[p].accepted) continue;
+    if (!first) out += ',';
+    first = false;
+    out += panel[p].name;
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -166,6 +186,13 @@ CampaignSummary Campaign::run() {
           const auto start = Clock::now();
           try {
             const MutatedChain input = state_->mutator->mutate(cls, seed);
+            // Byte-level classes additionally run the parser panel:
+            // which leniency profiles accept what the mutation produced
+            // (the structure-level classes mutate parsed-model state, so
+            // the panel would only re-measure the base chains).
+            if (!result.mutation_id.empty() && result.mutation_id[0] == 'B') {
+              result.divergence = describe_divergence(input.certs);
+            }
             if (options_.through_daemon) {
               const Bytes body = input.wire();
               auto response = clients[worker]->analyze(
@@ -214,6 +241,9 @@ CampaignSummary Campaign::run() {
     ++timing.count;
     timing.total_us += result.elapsed_us;
     timing.max_us = std::max(timing.max_us, result.elapsed_us);
+    if (!result.divergence.empty()) {
+      summary.profile_divergence[result.mutation_id][result.divergence] += 1;
+    }
     if (result.crashed) ++summary.crashes;
     if (result.hung) ++summary.hangs;
     if (result.transport_failed) ++summary.transport_failures;
@@ -240,6 +270,13 @@ std::string CampaignSummary::to_string() const {
     out += ":\n";
     for (const auto& [outcome, count] : histogram) {
       out += "  " + outcome + " " + std::to_string(count) + "\n";
+    }
+  }
+  for (const auto& [mutation_id, histogram] : profile_divergence) {
+    out += mutation_id;
+    out += " divergence:\n";
+    for (const auto& [desc, count] : histogram) {
+      out += "  " + desc + " " + std::to_string(count) + "\n";
     }
   }
   out += "digest=" + digest + "\n";

@@ -73,6 +73,16 @@ struct CampaignSummary {
   /// timing, no addresses — so histograms compare byte-for-byte.
   std::map<std::string, std::map<std::string, std::size_t>> outcomes;
 
+  /// mutation id → "PD-xx reject=<comma-joined profiles>" → count, for
+  /// the byte-level classes (B1–B6): each mutated input is additionally
+  /// parsed under every parsdiff panel profile, and inputs where the
+  /// panel splits record which profiles rejected and the discrepancy
+  /// class. Purely additive — the outcome histogram, transcript and
+  /// digest are computed exactly as before — and a pure function of the
+  /// input bytes, so it shares the campaign's determinism contract.
+  std::map<std::string, std::map<std::string, std::size_t>>
+      profile_divergence;
+
   /// SHA-256 (hex) over every per-input "index:class:outcome" line in
   /// index order: the strongest determinism witness the harness has.
   std::string digest;
@@ -123,6 +133,7 @@ class Campaign {
   struct InputResult {
     std::string mutation_id;
     std::string outcome;
+    std::string divergence;  ///< "" or "PD-xx reject=<profiles>"
     std::uint64_t elapsed_us = 0;
     bool crashed = false;
     bool hung = false;

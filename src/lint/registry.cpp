@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
 
 namespace chainchaos::lint {
 
@@ -55,12 +56,43 @@ std::vector<const Rule*> all_rules() {
   return out;
 }
 
+namespace {
+
+struct FamilyRegistry {
+  std::mutex mu;
+  std::vector<const std::vector<Rule>*> families;
+};
+
+FamilyRegistry& family_registry() {
+  static FamilyRegistry registry;
+  return registry;
+}
+
+}  // namespace
+
+void register_rule_family(const std::vector<Rule>* family) {
+  if (family == nullptr) return;
+  FamilyRegistry& registry = family_registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const std::vector<Rule>* existing : registry.families) {
+    if (existing == family) return;
+  }
+  registry.families.push_back(family);
+}
+
 const Rule* find_rule(std::string_view id) {
   for (const CertRule& r : cert_rules()) {
     if (r.rule.id == id) return &r.rule;
   }
   for (const ChainRule& r : chain_rules()) {
     if (r.rule.id == id) return &r.rule;
+  }
+  FamilyRegistry& registry = family_registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const std::vector<Rule>* family : registry.families) {
+    for (const Rule& rule : *family) {
+      if (rule.id == id) return &rule;
+    }
   }
   return nullptr;
 }

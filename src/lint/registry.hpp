@@ -86,7 +86,19 @@ const std::vector<ChainRule>& chain_rules();
 /// Every registered rule descriptor (cert + chain), sorted by ID.
 std::vector<const Rule*> all_rules();
 
-/// Descriptor lookup; nullptr when the ID is unknown.
+/// Descriptor lookup; nullptr when the ID is unknown. Resolves both the
+/// built-in chainlint rules and any auxiliary families registered via
+/// register_rule_family().
 const Rule* find_rule(std::string_view id);
+
+/// Registers an auxiliary family of rule descriptors (e.g. the parsdiff
+/// PD-* discrepancy classes) so find_rule() can resolve their IDs with
+/// the same severity/citation metadata as chainlint rules. Auxiliary
+/// families are deliberately NOT folded into all_rules(): the lint JSON
+/// rule listing stays byte-identical, and each family surfaces through
+/// its own subsystem's report. Pointers must stay valid for the process
+/// lifetime (point them at static tables). Registering the same family
+/// pointer twice is a no-op; thread-safe.
+void register_rule_family(const std::vector<Rule>* family);
 
 }  // namespace chainchaos::lint

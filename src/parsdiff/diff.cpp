@@ -1,0 +1,165 @@
+#include "parsdiff/diff.hpp"
+
+#include "lint/registry.hpp"
+#include "parsdiff/profile.hpp"
+#include "x509/certificate.hpp"
+
+namespace chainchaos::parsdiff {
+
+namespace {
+
+using lint::Rule;
+using lint::Severity;
+
+const std::vector<Rule>& pd_rule_table() {
+  static const std::vector<Rule> rules = {
+      {"PD-01", Severity::kWarn, "X.690 §10.1",
+       "length-form leniency: profiles disagree on BER vs minimal-DER "
+       "length octets"},
+      {"PD-02", Severity::kWarn, "X.690 §11.1",
+       "boolean-encoding leniency: non-canonical BOOLEAN accepted by "
+       "some profiles"},
+      {"PD-03", Severity::kError, "RFC 5280 §4.1.2.5",
+       "time-syntax leniency: UTCTime/offset/fraction tolerance differs "
+       "across profiles"},
+      {"PD-04", Severity::kWarn, "X.680 §41, RFC 3629",
+       "string leniency: legacy string tags or charset validation "
+       "differs across profiles"},
+      {"PD-05", Severity::kError, "X.690 §8.1",
+       "trailing bytes after the Certificate SEQUENCE split the panel"},
+      {"PD-06", Severity::kError, "RFC 5280 §4.2",
+       "unknown critical extension: rejection requirement differs "
+       "across profiles"},
+      {"PD-07", Severity::kInfo, "(none)",
+       "other divergence: the panel split on accept/reject for a cause "
+       "outside the named classes"},
+  };
+  return rules;
+}
+
+/// "expected tag 0x18, found 0x17" and friends — the generic tag
+/// mismatch that is really a time-leniency difference.
+bool mentions_time_tag(std::string_view detail) {
+  return detail.find("0x17") != std::string_view::npos ||
+         detail.find("0x18") != std::string_view::npos;
+}
+
+}  // namespace
+
+const std::vector<Rule>& pd_rules() {
+  static const bool registered = [] {
+    lint::register_rule_family(&pd_rule_table());
+    return true;
+  }();
+  (void)registered;
+  return pd_rule_table();
+}
+
+const Rule* find_pd_rule(std::string_view id) {
+  for (const Rule& rule : pd_rules()) {
+    if (rule.id == id) return &rule;
+  }
+  return nullptr;
+}
+
+std::string_view classify_error(std::string_view error_code,
+                                std::string_view error_detail) {
+  if (error_code == "x509.unknown_critical_ext") return "PD-06";
+  if (error_code == "x509.trailing_bytes") return "PD-05";
+  if (error_code == "der.bad_time") return "PD-03";
+  if (error_code == "der.bad_string") return "PD-04";
+  if (error_code == "der.bad_boolean") return "PD-02";
+  if (error_code == "der.bad_length") return "PD-01";
+  if (error_code == "der.unexpected_tag") {
+    if (mentions_time_tag(error_detail)) return "PD-03";
+    if (error_detail.find("string type") != std::string_view::npos) {
+      return "PD-04";
+    }
+  }
+  return "PD-07";
+}
+
+ChainDiff diff_chain(const std::vector<Bytes>& certs) {
+  std::vector<BytesView> views(certs.begin(), certs.end());
+  return diff_chain(views);
+}
+
+ChainDiff diff_chain(const std::vector<BytesView>& certs) {
+  const std::vector<ProfileSpec>& panel = profiles();
+  ChainDiff diff;
+  diff.outcomes.reserve(panel.size());
+  for (const ProfileSpec& spec : panel) {
+    ProfileOutcome outcome;
+    outcome.accepted = true;
+    for (std::size_t i = 0; i < certs.size(); ++i) {
+      auto parsed = x509::parse_certificate(certs[i], spec.profile);
+      if (!parsed.ok()) {
+        outcome.accepted = false;
+        outcome.cert_index = i;
+        outcome.error_code = parsed.error().code;
+        outcome.error_detail = parsed.error().message;
+        break;
+      }
+    }
+    // Empty inputs: no blob for any profile to object to; the whole
+    // panel trivially accepts.
+    if (outcome.accepted) {
+      ++diff.accept_count;
+    } else {
+      ++diff.reject_count;
+    }
+    diff.outcomes.push_back(std::move(outcome));
+  }
+  diff.discrepancy = diff.accept_count > 0 && diff.reject_count > 0;
+  if (diff.discrepancy) {
+    // First rejecting profile in registry order names the class; the
+    // panel order is fixed, so the attribution is deterministic.
+    for (const ProfileOutcome& outcome : diff.outcomes) {
+      if (!outcome.accepted) {
+        diff.pd_class =
+            classify_error(outcome.error_code, outcome.error_detail);
+        break;
+      }
+    }
+  }
+  return diff;
+}
+
+std::vector<Bytes> split_der_blobs(BytesView wire) {
+  std::vector<Bytes> blobs;
+  std::size_t pos = 0;
+  while (pos < wire.size()) {
+    const std::size_t start = pos;
+    std::size_t p = pos + 1;  // past the tag byte
+    bool well_formed = p < wire.size();
+    std::uint64_t length = 0;
+    if (well_formed) {
+      const std::uint8_t first = wire[p++];
+      if (first < 0x80) {
+        length = first;
+      } else if (first == 0x80) {
+        well_formed = false;  // indefinite length
+      } else {
+        const std::size_t octets = first & 0x7f;
+        if (octets > 8 || p + octets > wire.size()) {
+          well_formed = false;
+        } else {
+          for (std::size_t k = 0; k < octets; ++k) length = length << 8 | wire[p++];
+        }
+      }
+    }
+    if (!well_formed || length > wire.size() - p) {
+      // Damaged header or overrunning length: the remainder is one
+      // final blob, so every byte lands in exactly one unit.
+      blobs.emplace_back(wire.begin() + static_cast<std::ptrdiff_t>(start),
+                         wire.end());
+      break;
+    }
+    pos = p + static_cast<std::size_t>(length);
+    blobs.emplace_back(wire.begin() + static_cast<std::ptrdiff_t>(start),
+                       wire.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
+  return blobs;
+}
+
+}  // namespace chainchaos::parsdiff

@@ -1,0 +1,90 @@
+// Per-input differential parsing and the PD-* discrepancy taxonomy.
+//
+// diff_chain() parses every certificate blob of one input under every
+// panel profile (parsdiff/profile.hpp) and reduces the outcome vector to
+// a verdict: agreement (all accept, or all reject) or a discrepancy,
+// classified into one of the stable PD-* classes below. Classes are
+// lint::Rule descriptors — same ID/severity/citation shape as chainlint
+// rules, registered with lint::register_rule_family() so
+// lint::find_rule("PD-03") resolves — but they are NOT part of
+// lint::all_rules(): a parser differential is a property of an input
+// across parsers, not a finding of one parser, so it reports through the
+// parsdiff sweep rather than the lint sweep.
+//
+//   PD-01 length-leniency     profiles disagree on BER/DER length forms
+//   PD-02 boolean-encoding    non-canonical BOOLEAN accepted by some
+//   PD-03 time-syntax         UTCTime/offset/fraction tolerance differs
+//   PD-04 string-leniency     legacy string tags / charset checks differ
+//   PD-05 trailing-bytes      garbage after the Certificate SEQUENCE
+//   PD-06 critical-extension  unknown-critical rejection differs
+//   PD-07 other-divergence    accept/reject split with any other cause
+//
+// Everything here is a pure function of the input bytes — safe to call
+// concurrently from engine workers, deterministic by construction.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/rule.hpp"
+#include "support/bytes.hpp"
+
+namespace chainchaos::parsdiff {
+
+/// The PD-* class descriptors, sorted by ID. First use registers the
+/// family with lint::register_rule_family().
+const std::vector<lint::Rule>& pd_rules();
+
+/// Descriptor lookup within the PD family; nullptr when unknown.
+const lint::Rule* find_pd_rule(std::string_view id);
+
+/// One profile's verdict on one input.
+struct ProfileOutcome {
+  bool accepted = false;
+  /// First failing certificate index and its error, when rejected.
+  std::size_t cert_index = 0;
+  std::string error_code;
+  std::string error_detail;
+};
+
+/// The differential verdict for one input (a sequence of certificate
+/// blobs — a served chain, or a chaos-mutated wire image).
+struct ChainDiff {
+  /// One outcome per profiles() entry, in registry order.
+  std::vector<ProfileOutcome> outcomes;
+
+  /// True when at least one profile accepts and at least one rejects.
+  bool discrepancy = false;
+
+  /// PD-* class ID when `discrepancy`; empty otherwise. Derived from the
+  /// error code of the first rejecting profile (registry order), which
+  /// makes the classification deterministic.
+  std::string_view pd_class;
+
+  std::size_t accept_count = 0;
+  std::size_t reject_count = 0;
+};
+
+/// Parses every blob under every panel profile and classifies.
+ChainDiff diff_chain(const std::vector<BytesView>& certs);
+ChainDiff diff_chain(const std::vector<Bytes>& certs);
+
+/// Maps a parse error to its PD class ID ("PD-07" for anything the
+/// named classes don't cover). The detail disambiguates generic codes:
+/// a der.unexpected_tag naming the time tags (0x17/0x18) is time
+/// leniency, one expecting "a string type" is string leniency. Exposed
+/// for the campaign wiring.
+std::string_view classify_error(std::string_view error_code,
+                                std::string_view error_detail);
+
+/// Lenient top-level TLV splitter: walks `wire` as a sequence of
+/// tag/length/value blobs and returns the raw byte span of each, without
+/// requiring any blob to parse as a certificate. Length forms up to BER
+/// leading-zero tolerance are honoured; when a length field is damaged
+/// or overruns, the remainder of the buffer becomes the final blob, so
+/// every input byte is attributed to exactly one blob and chaos-mutated
+/// wire images still split into parseable units.
+std::vector<Bytes> split_der_blobs(BytesView wire);
+
+}  // namespace chainchaos::parsdiff

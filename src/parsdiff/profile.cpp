@@ -1,0 +1,89 @@
+#include "parsdiff/profile.hpp"
+
+namespace chainchaos::parsdiff {
+
+namespace {
+
+using asn1::LengthRule;
+using asn1::ParseProfile;
+
+ParseProfile strict_der_profile() {
+  ParseProfile p;
+  p.length_rule = LengthRule::kStrictDer;
+  p.strict_boolean = true;
+  p.validate_printable_charset = true;
+  p.validate_utf8 = true;
+  p.reject_trailing_bytes = true;
+  p.reject_unknown_critical = true;
+  return p;
+}
+
+ParseProfile openssl_like_profile() {
+  // OpenSSL's d2i layer is BER-tolerant on lengths and accepts the full
+  // UTCTime/GeneralizedTime repertoire including missing seconds.
+  ParseProfile p;
+  p.length_rule = LengthRule::kBer;
+  p.accept_utc_time = true;
+  p.allow_missing_seconds = true;
+  return p;
+}
+
+ParseProfile gnutls_like_profile() {
+  // GnuTLS (libtasn1) accepts the legacy string universe — TeletexString,
+  // VideotexString, VisibleString, BMPString — without charset checks,
+  // and tolerates leading-zero lengths like the default profile.
+  ParseProfile p;
+  p.extra_string_tags = true;
+  p.accept_utc_time = true;
+  return p;
+}
+
+ParseProfile browser_like_profile() {
+  // Browser verifiers parse time laxly (UTCTime pivot, missing seconds,
+  // offsets, fractional seconds) but enforce RFC 5280 §4.2 on unknown
+  // critical extensions.
+  ParseProfile p;
+  p.accept_utc_time = true;
+  p.allow_missing_seconds = true;
+  p.allow_time_offsets = true;
+  p.allow_fractional_seconds = true;
+  p.reject_unknown_critical = true;
+  return p;
+}
+
+std::vector<ProfileSpec> build_panel() {
+  return {
+      {"default", "chainchaos historical",
+       "leading-zero length tolerance only; everything else strict-ish",
+       asn1::default_parse_profile()},
+      {"strict-der", "X.690 DER verbatim",
+       "minimal lengths, DER booleans, charset+UTF-8 checks, no trailing "
+       "bytes, unknown-critical rejected",
+       strict_der_profile()},
+      {"openssl-ber", "OpenSSL d2i",
+       "BER lengths, UTCTime accepted, seconds optional",
+       openssl_like_profile()},
+      {"gnutls-string", "GnuTLS/libtasn1",
+       "legacy string tags accepted, UTCTime accepted, no charset checks",
+       gnutls_like_profile()},
+      {"browser-time", "Chrome/Firefox verifiers",
+       "lax time (pivot, offsets, fractions), unknown-critical rejected",
+       browser_like_profile()},
+  };
+}
+
+}  // namespace
+
+const std::vector<ProfileSpec>& profiles() {
+  static const std::vector<ProfileSpec> panel = build_panel();
+  return panel;
+}
+
+const ProfileSpec* find_profile(std::string_view name) {
+  for (const ProfileSpec& spec : profiles()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+}  // namespace chainchaos::parsdiff

@@ -1,0 +1,36 @@
+// Named parser leniency profiles for the differential sweep.
+//
+// Each profile is a complete asn1::ParseProfile knob assignment modeled
+// on a family of real-world X.509 parsers (see src/clients/profiles.hpp
+// for the corresponding client validation profiles, and DESIGN.md §5.13
+// for the knob-by-knob table). The set is small and fixed: parser
+// differentials are only meaningful against a stable panel, so the
+// profile list is a compile-time registry with a stable order — matrix
+// columns, JSON keys and campaign divergence tallies all iterate it in
+// registry order.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "asn1/profile.hpp"
+
+namespace chainchaos::parsdiff {
+
+/// One panel member: a named, documented knob assignment.
+struct ProfileSpec {
+  std::string_view name;         ///< stable short name ("strict-der")
+  std::string_view models;       ///< which real parser family it mimics
+  std::string_view description;  ///< one-line knob summary
+  asn1::ParseProfile profile;
+};
+
+/// The fixed panel, in stable registry order. Index 0 is always the
+/// library default profile (historical chainchaos behaviour), so
+/// outcome vectors can compare "everyone else" against it.
+const std::vector<ProfileSpec>& profiles();
+
+/// Lookup by name; nullptr when unknown.
+const ProfileSpec* find_profile(std::string_view name);
+
+}  // namespace chainchaos::parsdiff

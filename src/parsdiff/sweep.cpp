@@ -1,0 +1,182 @@
+#include "parsdiff/sweep.hpp"
+
+#include <chrono>
+
+#include "report/json.hpp"
+
+namespace chainchaos::parsdiff {
+
+namespace {
+
+constexpr std::string_view kAcceptPrefix = "pd.accept/";
+constexpr std::string_view kRejectPrefix = "pd.reject/";
+constexpr std::string_view kClassPrefix = "pd.class/";
+constexpr std::string_view kLabelPrefix = "pd.label/";
+constexpr std::string_view kDiscrepancy = "pd.discrepancy";
+
+/// Folds one input's verdict into a worker tally. `label` is empty for
+/// corpus chains.
+void account(const ChainDiff& diff, std::string_view label,
+             engine::ShardTally& tally) {
+  const std::vector<ProfileSpec>& panel = profiles();
+  for (std::size_t p = 0; p < panel.size(); ++p) {
+    const std::string_view prefix =
+        diff.outcomes[p].accepted ? kAcceptPrefix : kRejectPrefix;
+    ++tally.counters[std::string(prefix) + std::string(panel[p].name)];
+  }
+  if (!diff.discrepancy) return;
+  ++tally.counters[std::string(kDiscrepancy)];
+  ++tally.counters[std::string(kClassPrefix) + std::string(diff.pd_class)];
+  if (!label.empty()) {
+    ++tally.counters[std::string(kLabelPrefix) + std::string(label) + "/" +
+                     std::string(diff.pd_class)];
+  }
+}
+
+void fold_counters(const std::map<std::string, std::uint64_t>& counters,
+                   SweepSummary& summary) {
+  for (const auto& [key, count] : counters) {
+    const std::string_view k = key;
+    if (k == kDiscrepancy) {
+      summary.discrepancies += count;
+    } else if (k.substr(0, kAcceptPrefix.size()) == kAcceptPrefix) {
+      summary.matrix[std::string(k.substr(kAcceptPrefix.size()))].accepted +=
+          count;
+    } else if (k.substr(0, kRejectPrefix.size()) == kRejectPrefix) {
+      summary.matrix[std::string(k.substr(kRejectPrefix.size()))].rejected +=
+          count;
+    } else if (k.substr(0, kClassPrefix.size()) == kClassPrefix) {
+      summary.by_class[std::string(k.substr(kClassPrefix.size()))] += count;
+    } else if (k.substr(0, kLabelPrefix.size()) == kLabelPrefix) {
+      summary.by_label_class[std::string(k.substr(kLabelPrefix.size()))] +=
+          count;
+    }
+  }
+}
+
+}  // namespace
+
+SweepSummary run_sweep(const SweepRequest& request) {
+  SweepSummary summary;
+  // Every profile appears in the matrix even when zero inputs ran, so
+  // renderings have a fixed shape.
+  for (const ProfileSpec& spec : profiles()) {
+    summary.matrix[std::string(spec.name)] = ProfileTotals{};
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+
+  if (request.records != nullptr && !request.records->empty()) {
+    engine::AnalysisRequest engine_request;
+    engine_request.records = request.records;
+    engine_request.shards = request.shards;
+    engine_request.per_record = [](const dataset::DomainRecord& record,
+                                   std::size_t,
+                                   const chain::ComplianceReport*,
+                                   engine::ShardTally& tally) {
+      std::vector<BytesView> certs;
+      certs.reserve(record.observation.certificates.size());
+      for (const auto& cert : record.observation.certificates) {
+        certs.emplace_back(cert->der);
+      }
+      account(diff_chain(certs), /*label=*/{}, tally);
+    };
+    const engine::AnalysisResult result = engine::run(engine_request);
+    summary.corpus_chains = result.records_processed;
+    summary.threads_used = result.threads_used;
+    fold_counters(result.tally.counters, summary);
+  }
+
+  if (request.extra != nullptr && !request.extra->empty()) {
+    const std::vector<LabeledInput>& extra = *request.extra;
+    const unsigned threads = engine::resolve_threads(request.shards.threads);
+    std::vector<engine::ShardTally> tallies(threads);
+    engine::for_each_shard(
+        extra.size(), request.shards,
+        [&](std::size_t first, std::size_t last, unsigned worker) {
+          engine::ShardTally& tally = tallies[worker];
+          for (std::size_t i = first; i < last; ++i) {
+            account(diff_chain(extra[i].certs), extra[i].label, tally);
+          }
+        });
+    engine::ShardTally merged;
+    for (const engine::ShardTally& tally : tallies) merged.merge(tally);
+    summary.extra_inputs = extra.size();
+    if (summary.threads_used == 0) summary.threads_used = threads;
+    fold_counters(merged.counters, summary);
+  }
+
+  summary.inputs = summary.corpus_chains + summary.extra_inputs;
+  summary.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return summary;
+}
+
+report::Table summary_table(const SweepSummary& summary) {
+  report::Table table("parser-differential accept/reject matrix");
+  table.header({"profile", "models", "accepted", "rejected"});
+  for (const ProfileSpec& spec : profiles()) {
+    const auto it = summary.matrix.find(std::string(spec.name));
+    const ProfileTotals totals =
+        it == summary.matrix.end() ? ProfileTotals{} : it->second;
+    table.row({std::string(spec.name), std::string(spec.models),
+               report::count_pct(totals.accepted, summary.inputs),
+               report::count_pct(totals.rejected, summary.inputs)});
+  }
+  return table;
+}
+
+report::Table class_table(const SweepSummary& summary) {
+  report::Table table("discrepancy classes");
+  table.header({"class", "severity", "citation", "inputs", "description"});
+  for (const lint::Rule& rule : pd_rules()) {
+    const auto it = summary.by_class.find(std::string(rule.id));
+    const std::uint64_t count = it == summary.by_class.end() ? 0 : it->second;
+    table.row({std::string(rule.id), lint::to_string(rule.severity),
+               std::string(rule.citation), report::with_commas(count),
+               std::string(rule.description)});
+  }
+  return table;
+}
+
+std::string summary_json(const SweepSummary& summary) {
+  report::JsonWriter json;
+  json.begin_object();
+  json.key("inputs").value(summary.inputs);
+  json.key("corpus_chains").value(summary.corpus_chains);
+  json.key("extra_inputs").value(summary.extra_inputs);
+  json.key("discrepancies").value(summary.discrepancies);
+
+  json.key("matrix").begin_array();
+  for (const ProfileSpec& spec : profiles()) {
+    const auto it = summary.matrix.find(std::string(spec.name));
+    const ProfileTotals totals =
+        it == summary.matrix.end() ? ProfileTotals{} : it->second;
+    json.begin_object();
+    json.key("profile").value(spec.name);
+    json.key("models").value(spec.models);
+    json.key("accepted").value(totals.accepted);
+    json.key("rejected").value(totals.rejected);
+    json.end_object();
+  }
+  json.end_array();
+
+  json.key("by_class").begin_object();
+  for (const lint::Rule& rule : pd_rules()) {
+    const auto it = summary.by_class.find(std::string(rule.id));
+    json.key(rule.id).value(it == summary.by_class.end() ? 0 : it->second);
+  }
+  json.end_object();
+
+  json.key("by_label_class").begin_object();
+  for (const auto& [key, count] : summary.by_label_class) {
+    json.key(key).value(count);
+  }
+  json.end_object();
+
+  json.end_object();
+  return json.take();
+}
+
+}  // namespace chainchaos::parsdiff

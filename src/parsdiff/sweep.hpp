@@ -1,0 +1,86 @@
+// The corpus-wide parser-differential sweep.
+//
+// One sharded pass (engine::run for corpus records, engine::for_each_shard
+// for extra labeled inputs) parses every input under every panel profile
+// and merges three views: the per-profile accept/reject matrix, the
+// discrepancy count per PD-* class, and per-mutation-class divergence
+// tallies for the labeled inputs. All accounting goes through
+// ShardTally::counters (commutative per-key sums), so — like every other
+// sweep in the tree — the summary is byte-identical for any thread
+// count. summary_json() deliberately excludes timing/thread fields: the
+// smoke test diffs the 1-thread and 8-thread renderings byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "parsdiff/diff.hpp"
+#include "parsdiff/profile.hpp"
+#include "report/table.hpp"
+
+namespace chainchaos::parsdiff {
+
+/// A non-corpus input: a label (e.g. the chaos mutation class "B2") plus
+/// the certificate blobs of one wire image.
+struct LabeledInput {
+  std::string label;
+  std::vector<Bytes> certs;
+};
+
+struct SweepRequest {
+  /// Corpus chains to sweep (optional; the served DER of each record).
+  const std::vector<dataset::DomainRecord>* records = nullptr;
+
+  /// Pre-generated extra inputs, e.g. chaos-mutated wire images
+  /// (optional). Generation is the caller's job — the sweep only
+  /// parses — which keeps this library independent of chaos::.
+  const std::vector<LabeledInput>* extra = nullptr;
+
+  engine::ShardOptions shards;
+};
+
+/// One profile's accept/reject totals over the sweep (a matrix column).
+struct ProfileTotals {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+
+  bool operator==(const ProfileTotals&) const = default;
+};
+
+struct SweepSummary {
+  std::uint64_t inputs = 0;         ///< corpus chains + extra inputs
+  std::uint64_t corpus_chains = 0;
+  std::uint64_t extra_inputs = 0;
+  std::uint64_t discrepancies = 0;  ///< inputs where the panel split
+
+  /// Matrix: profile name (registry order preserved via profiles()) to
+  /// accept/reject totals.
+  std::map<std::string, ProfileTotals> matrix;
+
+  /// Discrepancy counts per PD-* class.
+  std::map<std::string, std::uint64_t> by_class;
+
+  /// For labeled inputs: "label/PD-xx" to count, e.g. "B2/PD-01".
+  std::map<std::string, std::uint64_t> by_label_class;
+
+  unsigned threads_used = 0;     ///< not part of summary_json()
+  double elapsed_seconds = 0.0;  ///< not part of summary_json()
+
+  bool operator==(const SweepSummary&) const = default;
+};
+
+/// Runs the sweep; deterministic for any thread count.
+SweepSummary run_sweep(const SweepRequest& request);
+
+/// The accept/reject matrix plus per-class counts as a text table.
+report::Table summary_table(const SweepSummary& summary);
+report::Table class_table(const SweepSummary& summary);
+
+/// Machine-readable rendering: stable key order, no timing fields —
+/// byte-identical across runs and thread counts.
+std::string summary_json(const SweepSummary& summary);
+
+}  // namespace chainchaos::parsdiff

@@ -8,6 +8,8 @@
 #include "obs/export.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
+#include "parsdiff/diff.hpp"
+#include "parsdiff/profile.hpp"
 #include "pathbuild/path_builder.hpp"
 #include "report/json.hpp"
 #include "support/str.hpp"
@@ -137,6 +139,14 @@ net::HttpResponse RequestHandler::handle(const net::HttpRequest& request) {
         obs::chrome_trace_json(obs::Tracer::instance().collect(),
                                obs::Tracer::instance().dropped()));
   }
+  if (path == "/v1/parsdiff") {
+    metrics_->record_request(Endpoint::kParsdiff);
+    if (request.method != "POST") {
+      return json_error(405, "Method Not Allowed", "service.bad_method",
+                        request.method);
+    }
+    return handle_parsdiff(request);
+  }
   if (path == "/v1/analyze" || path == "/v1/lint") {
     const bool full = path == "/v1/analyze";
     metrics_->record_request(full ? Endpoint::kAnalyze : Endpoint::kLint);
@@ -178,6 +188,78 @@ net::HttpResponse RequestHandler::handle_chain_endpoint(
   net::HttpResponse resp = json_body_response(std::move(body));
   resp.headers["x-cache"] = "miss";
   return resp;
+}
+
+net::HttpResponse RequestHandler::handle_parsdiff(
+    const net::HttpRequest& request) {
+  if (request.body.empty()) {
+    return json_error(400, "Bad Request", "service.empty_body", "");
+  }
+
+  // Lenient split: PEM blocks are base64-decoded without requiring the
+  // contents to parse, raw bodies go through the TLV splitter. A body
+  // every profile rejects is still a valid differential query.
+  std::vector<Bytes> blobs;
+  const std::string text = chainchaos::to_string(request.body);
+  constexpr std::string_view kBegin = "-----BEGIN CERTIFICATE-----";
+  constexpr std::string_view kEnd = "-----END CERTIFICATE-----";
+  if (text.find(kBegin) != std::string::npos) {
+    std::size_t pos = 0;
+    while (true) {
+      const std::size_t begin = text.find(kBegin, pos);
+      if (begin == std::string::npos) break;
+      const std::size_t start = begin + kBegin.size();
+      const std::size_t end = text.find(kEnd, start);
+      if (end == std::string::npos) break;
+      std::string b64;
+      for (const char c : text.substr(start, end - start)) {
+        if (c != '\n' && c != '\r' && c != ' ' && c != '\t') b64 += c;
+      }
+      if (auto decoded = base64_decode(b64); decoded.has_value()) {
+        blobs.push_back(std::move(*decoded));
+      }
+      pos = end + kEnd.size();
+    }
+  } else {
+    blobs = parsdiff::split_der_blobs(request.body);
+  }
+  if (blobs.empty()) {
+    return json_error(400, "Bad Request", "service.empty_chain",
+                      "no certificate blobs in body");
+  }
+
+  const parsdiff::ChainDiff diff = parsdiff::diff_chain(blobs);
+  const auto& panel = parsdiff::profiles();
+  report::JsonWriter w;
+  w.begin_object();
+  w.key("certificates").value(static_cast<std::uint64_t>(blobs.size()));
+  w.key("discrepancy").value(diff.discrepancy);
+  if (diff.discrepancy) {
+    w.key("class").value(diff.pd_class);
+    if (const lint::Rule* rule = parsdiff::find_pd_rule(diff.pd_class)) {
+      w.key("class_description").value(rule->description);
+    }
+  } else {
+    w.key("class").null();
+  }
+  w.key("profiles").begin_array();
+  for (std::size_t p = 0; p < panel.size(); ++p) {
+    const parsdiff::ProfileOutcome& outcome = diff.outcomes[p];
+    w.begin_object();
+    w.key("profile").value(panel[p].name);
+    w.key("models").value(panel[p].models);
+    w.key("accepted").value(outcome.accepted);
+    if (!outcome.accepted) {
+      w.key("cert_index")
+          .value(static_cast<std::uint64_t>(outcome.cert_index));
+      w.key("error").value(outcome.error_code);
+      w.key("detail").value(outcome.error_detail);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return json_body_response(w.take());
 }
 
 std::string RequestHandler::render_chain_report(

@@ -69,6 +69,12 @@ class RequestHandler {
   net::HttpResponse handle_chain_endpoint(const net::HttpRequest& request,
                                           bool full_analysis);
 
+  /// /v1/parsdiff: parses the posted blobs under every parsdiff panel
+  /// profile and reports the accept/reject vector plus the PD-* class
+  /// when the panel splits. Unlike the chain endpoints the body is split
+  /// leniently — inputs that no profile accepts are still reportable.
+  net::HttpResponse handle_parsdiff(const net::HttpRequest& request);
+
   /// Cache-miss path: run analyzers and render the response body.
   std::string render_chain_report(const std::vector<x509::CertPtr>& chain,
                                   const std::string& domain,

@@ -62,6 +62,7 @@ const char* to_string(Endpoint endpoint) {
     case Endpoint::kHealth: return "health";
     case Endpoint::kMetrics: return "metrics";
     case Endpoint::kTrace: return "trace";
+    case Endpoint::kParsdiff: return "parsdiff";
     case Endpoint::kOther: return "other";
   }
   return "other";

@@ -21,9 +21,9 @@ namespace chainchaos::service {
 
 /// Endpoint slots for per-endpoint request counters.
 enum class Endpoint { kAnalyze, kLint, kStats, kHealth, kMetrics, kTrace,
-                      kOther };
+                      kParsdiff, kOther };
 
-inline constexpr std::size_t kEndpointCount = 7;
+inline constexpr std::size_t kEndpointCount = 8;
 
 const char* to_string(Endpoint endpoint);
 

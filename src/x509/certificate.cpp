@@ -275,12 +275,13 @@ namespace {
 
 // ---- parsing ------------------------------------------------------------
 
-Result<BasicConstraints> parse_basic_constraints(BytesView value) {
-  DerReader outer(value);
+Result<BasicConstraints> parse_basic_constraints(
+    BytesView value, const asn1::ParseProfile& profile) {
+  DerReader outer(value, profile);
   auto seq = outer.read(Tag::kSequence);
   if (!seq.ok()) return seq.error();
   BasicConstraints bc;
-  DerReader body(seq.value().body);
+  DerReader body(seq.value().body, profile);
   if (!body.at_end()) {
     auto tag = body.peek_tag();
     if (tag.ok() && tag.value() == static_cast<std::uint8_t>(Tag::kBoolean)) {
@@ -297,8 +298,9 @@ Result<BasicConstraints> parse_basic_constraints(BytesView value) {
   return bc;
 }
 
-Result<KeyUsage> parse_key_usage(BytesView value) {
-  DerReader reader(value);
+Result<KeyUsage> parse_key_usage(BytesView value,
+                                 const asn1::ParseProfile& profile) {
+  DerReader reader(value, profile);
   auto bits = reader.read_bit_string();
   if (!bits.ok()) return bits.error();
   if (bits.value().empty()) return make_error("x509.bad_key_usage", "no bits");
@@ -311,12 +313,13 @@ Result<KeyUsage> parse_key_usage(BytesView value) {
   return ku;
 }
 
-Result<ExtKeyUsage> parse_ext_key_usage(BytesView value) {
-  DerReader outer(value);
+Result<ExtKeyUsage> parse_ext_key_usage(BytesView value,
+                                        const asn1::ParseProfile& profile) {
+  DerReader outer(value, profile);
   auto seq = outer.read(Tag::kSequence);
   if (!seq.ok()) return seq.error();
   ExtKeyUsage eku;
-  DerReader body(seq.value().body);
+  DerReader body(seq.value().body, profile);
   while (!body.at_end()) {
     auto purpose = body.read_oid();
     if (!purpose.ok()) return purpose.error();
@@ -325,12 +328,13 @@ Result<ExtKeyUsage> parse_ext_key_usage(BytesView value) {
   return eku;
 }
 
-Result<SubjectAltName> parse_san(BytesView value) {
-  DerReader outer(value);
+Result<SubjectAltName> parse_san(BytesView value,
+                                 const asn1::ParseProfile& profile) {
+  DerReader outer(value, profile);
   auto seq = outer.read(Tag::kSequence);
   if (!seq.ok()) return seq.error();
   SubjectAltName san;
-  DerReader body(seq.value().body);
+  DerReader body(seq.value().body, profile);
   while (!body.at_end()) {
     auto name = body.read_any();
     if (!name.ok()) return name.error();
@@ -345,16 +349,17 @@ Result<SubjectAltName> parse_san(BytesView value) {
   return san;
 }
 
-Result<AuthorityInfoAccess> parse_aia(BytesView value) {
-  DerReader outer(value);
+Result<AuthorityInfoAccess> parse_aia(BytesView value,
+                                      const asn1::ParseProfile& profile) {
+  DerReader outer(value, profile);
   auto seq = outer.read(Tag::kSequence);
   if (!seq.ok()) return seq.error();
   AuthorityInfoAccess aia;
-  DerReader body(seq.value().body);
+  DerReader body(seq.value().body, profile);
   while (!body.at_end()) {
     auto access = body.read(Tag::kSequence);
     if (!access.ok()) return access.error();
-    DerReader ad(access.value().body);
+    DerReader ad(access.value().body, profile);
     auto method = ad.read_oid();
     if (!method.ok()) return method.error();
     auto location = ad.read_any();
@@ -370,20 +375,21 @@ Result<AuthorityInfoAccess> parse_aia(BytesView value) {
   return aia;
 }
 
-Result<NameConstraints> parse_name_constraints(BytesView value) {
-  DerReader outer(value);
+Result<NameConstraints> parse_name_constraints(
+    BytesView value, const asn1::ParseProfile& profile) {
+  DerReader outer(value, profile);
   auto seq = outer.read(Tag::kSequence);
   if (!seq.ok()) return seq.error();
   NameConstraints nc;
-  DerReader body(seq.value().body);
+  DerReader body(seq.value().body, profile);
   const auto read_subtrees =
-      [](BytesView subtree_der,
-         std::vector<std::string>* out) -> Result<bool> {
-    DerReader subtrees(subtree_der);
+      [&profile](BytesView subtree_der,
+                 std::vector<std::string>* out) -> Result<bool> {
+    DerReader subtrees(subtree_der, profile);
     while (!subtrees.at_end()) {
       auto subtree = subtrees.read(Tag::kSequence);
       if (!subtree.ok()) return subtree.error();
-      DerReader inner(subtree.value().body);
+      DerReader inner(subtree.value().body, profile);
       auto base = inner.read_any();
       if (!base.ok()) return base.error();
       if (base.value().tag == asn1::context_primitive(2)) {
@@ -407,16 +413,18 @@ Result<NameConstraints> parse_name_constraints(BytesView value) {
   return nc;
 }
 
-Result<Bytes> parse_skid(BytesView value) {
-  DerReader reader(value);
+Result<Bytes> parse_skid(BytesView value,
+                         const asn1::ParseProfile& profile) {
+  DerReader reader(value, profile);
   return reader.read_octet_string();
 }
 
-Result<Bytes> parse_akid(BytesView value) {
-  DerReader outer(value);
+Result<Bytes> parse_akid(BytesView value,
+                         const asn1::ParseProfile& profile) {
+  DerReader outer(value, profile);
   auto seq = outer.read(Tag::kSequence);
   if (!seq.ok()) return seq.error();
-  DerReader body(seq.value().body);
+  DerReader body(seq.value().body, profile);
   while (!body.at_end()) {
     auto e = body.read_any();
     if (!e.ok()) return e.error();
@@ -427,16 +435,17 @@ Result<Bytes> parse_akid(BytesView value) {
   return make_error("x509.bad_akid", "no keyIdentifier field");
 }
 
-Result<crypto::RsaPublicKey> parse_spki(const DerElement& spki_seq) {
-  DerReader spki(spki_seq.body);
+Result<crypto::RsaPublicKey> parse_spki(const DerElement& spki_seq,
+                                        const asn1::ParseProfile& profile) {
+  DerReader spki(spki_seq.body, profile);
   auto alg = spki.read(Tag::kSequence);
   if (!alg.ok()) return alg.error();
   auto key_bits = spki.read_bit_string();
   if (!key_bits.ok()) return key_bits.error();
-  DerReader key_outer(key_bits.value());
+  DerReader key_outer(key_bits.value(), profile);
   auto key_seq = key_outer.read(Tag::kSequence);
   if (!key_seq.ok()) return key_seq.error();
-  DerReader key(key_seq.value().body);
+  DerReader key(key_seq.value().body, profile);
   auto n = key.read_integer();
   if (!n.ok()) return n.error();
   auto e = key.read_integer();
@@ -444,16 +453,19 @@ Result<crypto::RsaPublicKey> parse_spki(const DerElement& spki_seq) {
   return crypto::RsaPublicKey{std::move(n).value(), std::move(e).value()};
 }
 
-Result<bool> apply_extension(Certificate& cert, BytesView ext_der) {
-  DerReader ext(ext_der);
+Result<bool> apply_extension(Certificate& cert, BytesView ext_der,
+                             const asn1::ParseProfile& profile) {
+  DerReader ext(ext_der, profile);
   auto ext_oid = ext.read_oid();
   if (!ext_oid.ok()) return ext_oid.error();
   // Optional critical flag.
+  bool critical = false;
   if (!ext.at_end()) {
     auto tag = ext.peek_tag();
     if (tag.ok() && tag.value() == static_cast<std::uint8_t>(Tag::kBoolean)) {
-      auto critical = ext.read_boolean();
-      if (!critical.ok()) return critical.error();
+      auto flag = ext.read_boolean();
+      if (!flag.ok()) return flag.error();
+      critical = flag.value();
     }
   }
   auto value = ext.read_octet_string();
@@ -462,45 +474,56 @@ Result<bool> apply_extension(Certificate& cert, BytesView ext_der) {
 
   const std::string& o = ext_oid.value();
   if (o == oid::kBasicConstraints) {
-    auto bc = parse_basic_constraints(v);
+    auto bc = parse_basic_constraints(v, profile);
     if (!bc.ok()) return bc.error();
     cert.basic_constraints = bc.value();
   } else if (o == oid::kKeyUsage) {
-    auto ku = parse_key_usage(v);
+    auto ku = parse_key_usage(v, profile);
     if (!ku.ok()) return ku.error();
     cert.key_usage = ku.value();
   } else if (o == oid::kExtKeyUsage) {
-    auto eku = parse_ext_key_usage(v);
+    auto eku = parse_ext_key_usage(v, profile);
     if (!eku.ok()) return eku.error();
     cert.ext_key_usage = std::move(eku).value();
   } else if (o == oid::kSubjectKeyIdentifier) {
-    auto skid = parse_skid(v);
+    auto skid = parse_skid(v, profile);
     if (!skid.ok()) return skid.error();
     cert.subject_key_id = std::move(skid).value();
   } else if (o == oid::kAuthorityKeyIdentifier) {
-    auto akid = parse_akid(v);
+    auto akid = parse_akid(v, profile);
     if (!akid.ok()) return akid.error();
     cert.authority_key_id = std::move(akid).value();
   } else if (o == oid::kSubjectAltName) {
-    auto san = parse_san(v);
+    auto san = parse_san(v, profile);
     if (!san.ok()) return san.error();
     cert.subject_alt_name = std::move(san).value();
   } else if (o == oid::kAuthorityInfoAccess) {
-    auto aia_val = parse_aia(v);
+    auto aia_val = parse_aia(v, profile);
     if (!aia_val.ok()) return aia_val.error();
     cert.aia = std::move(aia_val).value();
   } else if (o == oid::kNameConstraints) {
-    auto nc = parse_name_constraints(v);
+    auto nc = parse_name_constraints(v, profile);
     if (!nc.ok()) return nc.error();
     cert.name_constraints = std::move(nc).value();
+  } else {
+    // Unknown extension. The historical parser ignores it; RFC 5280
+    // §4.2 requires rejecting certificates with unprocessed *critical*
+    // extensions, which the stricter profiles enforce.
+    if (critical && profile.reject_unknown_critical) {
+      return make_error("x509.unknown_critical_ext", o);
+    }
   }
-  // Unknown extensions are ignored (we never emit critical unknowns).
   return true;
 }
 
 }  // namespace
 
 Result<CertPtr> parse_certificate(BytesView der) {
+  return parse_certificate(der, asn1::default_parse_profile());
+}
+
+Result<CertPtr> parse_certificate(BytesView der,
+                                  const asn1::ParseProfile& profile) {
   CHAINCHAOS_SPAN(obs::Stage::kX509Parse);
   // Depth gate before any recursive descent: a crafted deeply-nested TLV
   // tower must fail with a clean error, not exhaust the stack somewhere
@@ -508,16 +531,21 @@ Result<CertPtr> parse_certificate(BytesView der) {
   auto nesting = asn1::check_nesting(der);
   if (!nesting.ok()) return nesting.error();
 
-  DerReader outer(der);
+  DerReader outer(der, profile);
   auto cert_seq = outer.read(Tag::kSequence);
   if (!cert_seq.ok()) return cert_seq.error();
+  if (profile.reject_trailing_bytes && !outer.at_end()) {
+    return make_error("x509.trailing_bytes",
+                      std::to_string(outer.remaining()) +
+                          " byte(s) after the Certificate SEQUENCE");
+  }
 
   auto cert = std::make_shared<Certificate>();
   cert->der.assign(der.begin(), der.begin() + static_cast<std::ptrdiff_t>(
                                                   cert_seq.value().size));
   cert->fingerprint = crypto::Sha256::digest(cert->der);
 
-  DerReader body(cert_seq.value().body);
+  DerReader body(cert_seq.value().body, profile);
 
   // TBS: capture raw bytes for signature verification.
   const std::size_t tbs_start_in_body = 0;
@@ -538,7 +566,7 @@ Result<CertPtr> parse_certificate(BytesView der) {
   cert->signature = std::move(signature).value();
 
   // ---- decode the TBS fields ----
-  DerReader tbs(tbs_elem.value().body);
+  DerReader tbs(tbs_elem.value().body, profile);
 
   auto version = tbs.read(asn1::context_constructed(0));
   if (!version.ok()) return version.error();
@@ -555,7 +583,7 @@ Result<CertPtr> parse_certificate(BytesView der) {
   {
     DerWriter issuer_der;
     issuer_der.add_tlv(Tag::kSequence, issuer_elem.value().body);
-    auto issuer = asn1::Name::decode(issuer_der.bytes());
+    auto issuer = asn1::Name::decode(issuer_der.bytes(), profile);
     if (!issuer.ok()) return issuer.error();
     cert->issuer = std::move(issuer).value();
   }
@@ -563,10 +591,10 @@ Result<CertPtr> parse_certificate(BytesView der) {
   auto validity = tbs.read(Tag::kSequence);
   if (!validity.ok()) return validity.error();
   {
-    DerReader v(validity.value().body);
-    auto nb = v.read_generalized_time();
+    DerReader v(validity.value().body, profile);
+    auto nb = v.read_time();
     if (!nb.ok()) return nb.error();
-    auto na = v.read_generalized_time();
+    auto na = v.read_time();
     if (!na.ok()) return na.error();
     cert->not_before = nb.value();
     cert->not_after = na.value();
@@ -577,28 +605,28 @@ Result<CertPtr> parse_certificate(BytesView der) {
   {
     DerWriter subject_der;
     subject_der.add_tlv(Tag::kSequence, subject_elem.value().body);
-    auto subject = asn1::Name::decode(subject_der.bytes());
+    auto subject = asn1::Name::decode(subject_der.bytes(), profile);
     if (!subject.ok()) return subject.error();
     cert->subject = std::move(subject).value();
   }
 
   auto spki_elem = tbs.read(Tag::kSequence);
   if (!spki_elem.ok()) return spki_elem.error();
-  auto key = parse_spki(spki_elem.value());
+  auto key = parse_spki(spki_elem.value(), profile);
   if (!key.ok()) return key.error();
   cert->public_key = std::move(key).value();
 
   if (!tbs.at_end()) {
     auto exts_wrapper = tbs.read(asn1::context_constructed(3));
     if (!exts_wrapper.ok()) return exts_wrapper.error();
-    DerReader wrapper(exts_wrapper.value().body);
+    DerReader wrapper(exts_wrapper.value().body, profile);
     auto exts_seq = wrapper.read(Tag::kSequence);
     if (!exts_seq.ok()) return exts_seq.error();
-    DerReader exts(exts_seq.value().body);
+    DerReader exts(exts_seq.value().body, profile);
     while (!exts.at_end()) {
       auto ext = exts.read(Tag::kSequence);
       if (!ext.ok()) return ext.error();
-      auto applied = apply_extension(*cert, ext.value().body);
+      auto applied = apply_extension(*cert, ext.value().body, profile);
       if (!applied.ok()) return applied.error();
     }
   }

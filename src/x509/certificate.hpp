@@ -102,6 +102,15 @@ Bytes encode_certificate(const Certificate& cert);
 /// (but not the signature — that needs the issuer's key).
 Result<CertPtr> parse_certificate(BytesView der);
 
+/// Profile-parameterized parse: the same decoder run under an explicit
+/// set of asn1::ParseProfile leniency knobs (BER length tolerance, time
+/// and string laxness, trailing-byte and unknown-critical strictness).
+/// parse_certificate(der) above is exactly this with the default
+/// profile, byte-identical to the historical behaviour. The parsdiff
+/// sweep calls this once per profile to build its accept/reject matrix.
+Result<CertPtr> parse_certificate(BytesView der,
+                                  const asn1::ParseProfile& profile);
+
 /// PEM-style armor ("-----BEGIN CERTIFICATE-----", base64 body). The
 /// label matches real PEM so dumps look familiar.
 std::string to_pem(const Certificate& cert);

@@ -1,0 +1,590 @@
+// Parser-differential tests: the asn1::ParseProfile leniency knobs, the
+// PD-* discrepancy taxonomy, and the sharded sweep's determinism.
+//
+// The crafted inputs here are the executable form of DESIGN.md §5.13's
+// knob table: for every knob there is an input the default profile
+// handles exactly as the historical parser did (pinning byte-identity)
+// and an input where the panel splits, classified into its PD class.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "asn1/der.hpp"
+#include "asn1/oids.hpp"
+#include "dataset/corpus.hpp"
+#include "lint/registry.hpp"
+#include "parsdiff/diff.hpp"
+#include "parsdiff/profile.hpp"
+#include "parsdiff/sweep.hpp"
+#include "x509/builder.hpp"
+#include "x509/certificate.hpp"
+
+namespace chainchaos::parsdiff {
+namespace {
+
+using asn1::DerReader;
+using asn1::DerWriter;
+using asn1::ParseProfile;
+using asn1::Tag;
+
+const ParseProfile& profile_named(std::string_view name) {
+  const ProfileSpec* spec = find_profile(name);
+  EXPECT_NE(spec, nullptr) << name;
+  return spec->profile;
+}
+
+// --- DER crafting helpers -------------------------------------------------
+
+/// A single TLV with raw text content.
+Bytes text_tlv(std::uint8_t tag, std::string_view text) {
+  DerWriter w;
+  w.add_tlv(tag, to_bytes(text));
+  return w.take();
+}
+
+/// A freshly issued self-signed CA certificate (the surgery donor: its
+/// TBS layout is version, serial, sigalg, issuer, validity, subject,
+/// SPKI, extensions).
+Bytes donor_cert_der() {
+  static const Bytes der = [] {
+    const x509::SigningIdentity id =
+        x509::make_identity(asn1::Name::make("Parsdiff CA", "Parsdiff", "US"));
+    x509::CertificateBuilder b;
+    b.subject(id.name).as_ca().public_key(id.keys.pub);
+    b.validity(1700000000, 1900000000);
+    return b.self_sign(id.keys)->der;
+  }();
+  return der;
+}
+
+/// Rebuilds a certificate DER after letting `edit` mutate the decoded
+/// TBS field list (signature becomes stale — parse never checks it).
+Bytes rebuild_cert(const Bytes& der,
+                   const std::function<void(
+                       std::vector<asn1::DerElement>&)>& edit) {
+  DerReader outer(der);
+  auto cert_seq = outer.read(Tag::kSequence);
+  EXPECT_TRUE(cert_seq.ok());
+  DerReader body(cert_seq.value().body);
+  auto tbs = body.read_any();
+  auto sigalg = body.read_any();
+  auto sig = body.read_any();
+  EXPECT_TRUE(tbs.ok() && sigalg.ok() && sig.ok());
+
+  std::vector<asn1::DerElement> fields;
+  DerReader tbs_reader(tbs.value().body);
+  while (!tbs_reader.at_end()) {
+    auto field = tbs_reader.read_any();
+    EXPECT_TRUE(field.ok());
+    fields.push_back(std::move(field).value());
+  }
+  edit(fields);
+
+  DerWriter tbs_writer;
+  for (const asn1::DerElement& field : fields) {
+    tbs_writer.add_tlv(field.tag, field.body);
+  }
+  DerWriter cert_writer;
+  cert_writer.add_tlv(tbs.value().tag, tbs_writer.bytes());
+  cert_writer.add_tlv(sigalg.value().tag, sigalg.value().body);
+  cert_writer.add_tlv(sig.value().tag, sig.value().body);
+  return cert_writer.wrap_sequence();
+}
+
+constexpr std::size_t kValidityIndex = 4;
+constexpr std::size_t kSubjectIndex = 5;
+
+/// Donor cert with its Validity SEQUENCE body swapped for two time TLVs.
+Bytes cert_with_validity(const Bytes& not_before_tlv,
+                         const Bytes& not_after_tlv) {
+  return rebuild_cert(donor_cert_der(), [&](auto& fields) {
+    ASSERT_GE(fields.size(), std::size_t{7});
+    ASSERT_EQ(fields[kValidityIndex].tag, 0x30);
+    Bytes body = not_before_tlv;
+    append(body, not_after_tlv);
+    fields[kValidityIndex].body = std::move(body);
+  });
+}
+
+/// Donor cert whose subject CN value uses the given string tag.
+Bytes cert_with_subject_string_tag(std::uint8_t tag) {
+  return rebuild_cert(donor_cert_der(), [&](auto& fields) {
+    ASSERT_GE(fields.size(), std::size_t{7});
+    DerWriter atv;
+    atv.add_oid(asn1::oid::kCommonName);
+    atv.add_tlv(tag, to_bytes("Legacy Name"));
+    DerWriter set;
+    set.add_tlv(Tag::kSet, atv.wrap_sequence());
+    fields[kSubjectIndex].body = set.take();
+  });
+}
+
+/// Donor cert with one extra extension appended to the extension list.
+Bytes cert_with_extra_extension(std::string_view oid, bool critical) {
+  return rebuild_cert(donor_cert_der(), [&](auto& fields) {
+    ASSERT_FALSE(fields.empty());
+    asn1::DerElement& wrapper = fields.back();
+    ASSERT_EQ(wrapper.tag, asn1::context_constructed(3));
+    DerReader wrapper_reader(wrapper.body);
+    auto list = wrapper_reader.read(Tag::kSequence);
+    ASSERT_TRUE(list.ok());
+    DerWriter ext;
+    ext.add_oid(oid);
+    if (critical) ext.add_boolean(true);
+    const Bytes null_value = {0x05, 0x00};
+    ext.add_octet_string(null_value);
+    DerWriter new_list;
+    new_list.add_raw(list.value().body);
+    new_list.add_raw(ext.wrap_sequence());
+    wrapper.body = new_list.wrap_sequence();
+  });
+}
+
+/// Donor cert with the BasicConstraints critical flag re-encoded as the
+/// BER-legal, DER-illegal TRUE value 0x01 (the bytes `06 03 55 1d 13 01
+/// 01 ff` → `... 01 01 01`; same length, so no enclosing fixups).
+Bytes cert_with_ber_boolean() {
+  Bytes der = donor_cert_der();
+  const Bytes pattern = {0x06, 0x03, 0x55, 0x1d, 0x13, 0x01, 0x01, 0xff};
+  auto it = std::search(der.begin(), der.end(), pattern.begin(), pattern.end());
+  EXPECT_NE(it, der.end());
+  *(it + static_cast<std::ptrdiff_t>(pattern.size()) - 1) = 0x01;
+  return der;
+}
+
+/// Donor cert rewrapped with a leading-zero long-form outer length
+/// (BER): 30 83 00 hh ll instead of 30 82 hh ll.
+Bytes cert_with_leading_zero_length() {
+  const Bytes der = donor_cert_der();
+  DerReader reader(der);
+  auto seq = reader.read(Tag::kSequence);
+  EXPECT_TRUE(seq.ok());
+  const Bytes& body = seq.value().body;
+  EXPECT_LT(body.size(), std::size_t{0x10000});
+  Bytes out = {0x30, 0x83, 0x00,
+               static_cast<std::uint8_t>(body.size() >> 8),
+               static_cast<std::uint8_t>(body.size() & 0xff)};
+  append(out, body);
+  return out;
+}
+
+std::vector<Bytes> one(Bytes der) {
+  std::vector<Bytes> certs;
+  certs.push_back(std::move(der));
+  return certs;
+}
+
+bool profile_accepts(const ChainDiff& diff, std::string_view name) {
+  const auto& panel = profiles();
+  for (std::size_t p = 0; p < panel.size(); ++p) {
+    if (panel[p].name == name) return diff.outcomes[p].accepted;
+  }
+  ADD_FAILURE() << "unknown profile " << name;
+  return false;
+}
+
+// --- profile registry -----------------------------------------------------
+
+TEST(ParsdiffProfiles, PanelIsStableAndLedByDefault) {
+  const auto& panel = profiles();
+  ASSERT_GE(panel.size(), std::size_t{5});
+  EXPECT_EQ(panel.front().name, "default");
+  EXPECT_EQ(panel.front().profile, asn1::default_parse_profile());
+  // The default profile must be the all-defaults knob assignment: that
+  // is what "byte-identical to historical behaviour" pins.
+  EXPECT_EQ(asn1::default_parse_profile(), ParseProfile{});
+  EXPECT_NE(find_profile("strict-der"), nullptr);
+  EXPECT_EQ(find_profile("no-such-profile"), nullptr);
+}
+
+TEST(ParsdiffRules, PdFamilyResolvesViaLintButStaysOutOfAllRules) {
+  ASSERT_EQ(pd_rules().size(), std::size_t{7});
+  EXPECT_NE(find_pd_rule("PD-03"), nullptr);
+  EXPECT_EQ(find_pd_rule("PD-99"), nullptr);
+  // Registered as an auxiliary family: find_rule resolves the IDs...
+  const lint::Rule* rule = lint::find_rule("PD-05");
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->citation, "X.690 §8.1");
+  // ...but all_rules() — the chainlint JSON rule listing — is unchanged.
+  for (const lint::Rule* r : lint::all_rules()) {
+    EXPECT_NE(r->id.substr(0, 3), "PD-");
+  }
+}
+
+TEST(ParsdiffRules, ClassifierMapsCodesAndFallsBackToPd07) {
+  EXPECT_EQ(classify_error("der.bad_length", ""), "PD-01");
+  EXPECT_EQ(classify_error("der.bad_boolean", ""), "PD-02");
+  EXPECT_EQ(classify_error("der.bad_time", ""), "PD-03");
+  EXPECT_EQ(classify_error("der.bad_string", ""), "PD-04");
+  EXPECT_EQ(classify_error("x509.trailing_bytes", ""), "PD-05");
+  EXPECT_EQ(classify_error("x509.unknown_critical_ext", ""), "PD-06");
+  EXPECT_EQ(classify_error("der.unexpected_tag",
+                           "expected tag 0x18, found 0x17"),
+            "PD-03");
+  EXPECT_EQ(classify_error("der.unexpected_tag", "expected a string type"),
+            "PD-04");
+  // Anything else is the catch-all class.
+  EXPECT_EQ(classify_error("der.truncated", "no tag byte"), "PD-07");
+  EXPECT_EQ(classify_error("der.unexpected_tag", "expected tag 0x30"),
+            "PD-07");
+}
+
+// --- length knob (satellite: the leading-zero tolerance is a knob now) ---
+
+TEST(ParsdiffLengthKnob, LeadingZeroLengthDefaultAcceptsStrictRejects) {
+  // 02 82 00 81 <129 bytes>: leading-zero long-form length. The default
+  // profile tolerates it (pinned historical behaviour); strict DER
+  // rejects the leading zero.
+  Bytes der = {0x02, 0x82, 0x00, 0x81};
+  der.resize(der.size() + 0x81, 0x05);
+
+  DerReader lax(der);
+  EXPECT_TRUE(lax.read_integer().ok());
+
+  DerReader strict(der, profile_named("strict-der"));
+  auto rejected = strict.read_integer();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code, "der.bad_length");
+  EXPECT_EQ(rejected.error().message, "leading-zero length octet");
+}
+
+TEST(ParsdiffLengthKnob, NonMinimalLongFormNeedsBer) {
+  // 02 81 01 05: long form for a length below 0x80 — BER, not DER.
+  const Bytes der = {0x02, 0x81, 0x01, 0x05};
+
+  DerReader lax(der);  // default: rejected, exactly as before the knob
+  auto rejected = lax.read_integer();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code, "der.bad_length");
+  EXPECT_EQ(rejected.error().message, "non-minimal long-form length");
+
+  DerReader ber(der, profile_named("openssl-ber"));
+  auto accepted = ber.read_integer();
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_EQ(accepted.value().low_u64(), std::uint64_t{5});
+}
+
+// --- boolean knob ---------------------------------------------------------
+
+TEST(ParsdiffBooleanKnob, NonCanonicalTrueRejectedOnlyUnderStrict) {
+  const Bytes ber_true = {0x01, 0x01, 0x01};
+  DerReader lax(ber_true);
+  auto value = lax.read_boolean();
+  ASSERT_TRUE(value.ok());  // historical: any non-zero octet is TRUE
+  EXPECT_TRUE(value.value());
+
+  DerReader strict(ber_true, profile_named("strict-der"));
+  auto rejected = strict.read_boolean();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code, "der.bad_boolean");
+
+  const Bytes der_true = {0x01, 0x01, 0xff};
+  DerReader strict_ok(der_true, profile_named("strict-der"));
+  ASSERT_TRUE(strict_ok.read_boolean().ok());
+}
+
+// --- time knobs (satellite: edge-case coverage across profiles) ----------
+
+std::int64_t read_time_or_die(const Bytes& tlv, const ParseProfile& profile) {
+  DerReader reader(tlv, profile);
+  auto value = reader.read_time();
+  EXPECT_TRUE(value.ok()) << (value.ok() ? "" : value.error().to_string());
+  return value.ok() ? value.value() : 0;
+}
+
+Error read_time_error(const Bytes& tlv, const ParseProfile& profile) {
+  DerReader reader(tlv, profile);
+  auto value = reader.read_time();
+  EXPECT_FALSE(value.ok());
+  return value.ok() ? Error{} : value.error();
+}
+
+constexpr std::uint8_t kUtc = 0x17;
+constexpr std::uint8_t kGen = 0x18;
+
+TEST(ParsdiffTimeKnob, UtcTimePivotSplitsTheCentury) {
+  const ParseProfile& utc_ok = profile_named("openssl-ber");
+  // 49 pivots to 2049, 50 to 1950 (RFC 5280 §4.1.2.5.1).
+  EXPECT_EQ(read_time_or_die(text_tlv(kUtc, "491231235959Z"), utc_ok),
+            read_time_or_die(text_tlv(kGen, "20491231235959Z"), utc_ok));
+  EXPECT_EQ(read_time_or_die(text_tlv(kUtc, "500101000000Z"), utc_ok),
+            read_time_or_die(text_tlv(kGen, "19500101000000Z"), utc_ok));
+  // Default profile: UTCTime is still an unexpected tag, same error as
+  // the historical reader.
+  const Error err =
+      read_time_error(text_tlv(kUtc, "491231235959Z"), ParseProfile{});
+  EXPECT_EQ(err.code, "der.unexpected_tag");
+  EXPECT_EQ(err.message, "expected tag 0x18, found 0x17");
+}
+
+TEST(ParsdiffTimeKnob, MissingSecondsNeedTheirKnob) {
+  // UTCTime without seconds: accepted by openssl-ber, rejected by
+  // gnutls-string (UTCTime yes, missing seconds no).
+  EXPECT_EQ(read_time_or_die(text_tlv(kUtc, "9901012359Z"),
+                             profile_named("openssl-ber")),
+            read_time_or_die(text_tlv(kGen, "19990101235900Z"),
+                             profile_named("openssl-ber")));
+  EXPECT_EQ(read_time_error(text_tlv(kUtc, "9901012359Z"),
+                            profile_named("gnutls-string"))
+                .message,
+            "seconds field required");
+  // GeneralizedTime without seconds under browser-time.
+  EXPECT_EQ(read_time_or_die(text_tlv(kGen, "199912312359Z"),
+                             profile_named("browser-time")),
+            read_time_or_die(text_tlv(kGen, "19991231235900Z"),
+                             profile_named("browser-time")));
+  EXPECT_EQ(read_time_error(text_tlv(kGen, "199912312359Z"), ParseProfile{})
+                .code,
+            "der.bad_time");
+}
+
+TEST(ParsdiffTimeKnob, ExplicitOffsetsShiftToUtc) {
+  const ParseProfile& browser = profile_named("browser-time");
+  EXPECT_EQ(read_time_or_die(text_tlv(kGen, "20300101120000+0230"), browser),
+            read_time_or_die(text_tlv(kGen, "20300101093000Z"), browser));
+  EXPECT_EQ(read_time_or_die(text_tlv(kGen, "20300101120000-0100"), browser),
+            read_time_or_die(text_tlv(kGen, "20300101130000Z"), browser));
+  // openssl-ber leaves offsets off.
+  EXPECT_EQ(read_time_error(text_tlv(kGen, "20300101120000+0230"),
+                            profile_named("openssl-ber"))
+                .message,
+            "explicit offset not accepted");
+}
+
+TEST(ParsdiffTimeKnob, FractionalSecondsFloorAndStayGeneralizedOnly) {
+  const ParseProfile& browser = profile_named("browser-time");
+  EXPECT_EQ(read_time_or_die(text_tlv(kGen, "20300101120000.75Z"), browser),
+            read_time_or_die(text_tlv(kGen, "20300101120000Z"), browser));
+  // UTCTime never grows fractions, even under the laxest profile.
+  EXPECT_EQ(read_time_error(text_tlv(kUtc, "990101235959.5Z"), browser).code,
+            "der.bad_time");
+  EXPECT_EQ(
+      read_time_error(text_tlv(kGen, "20300101120000.75Z"), ParseProfile{})
+          .code,
+      "der.bad_time");
+}
+
+// --- string knobs ---------------------------------------------------------
+
+TEST(ParsdiffStringKnob, LegacyTagsAndCharsets) {
+  const Bytes teletex = text_tlv(0x14, "legacy");
+  DerReader lax(teletex);
+  EXPECT_FALSE(lax.read_string().ok());  // historical: rejected
+  DerReader gnutls(teletex, profile_named("gnutls-string"));
+  auto value = gnutls.read_string();
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), "legacy");
+
+  // '@' is outside the PrintableString alphabet: only the strict
+  // profile checks.
+  const Bytes bad_printable = text_tlv(0x13, "user@host");
+  DerReader lax2(bad_printable);
+  EXPECT_TRUE(lax2.read_string().ok());
+  DerReader strict(bad_printable, profile_named("strict-der"));
+  auto rejected = strict.read_string();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code, "der.bad_string");
+
+  // Malformed UTF-8 in a UTF8String: strict-only as well.
+  Bytes bad_utf8 = {0x0c, 0x02, 0xff, 0xfe};
+  DerReader lax3(bad_utf8);
+  EXPECT_TRUE(lax3.read_string().ok());
+  DerReader strict2(bad_utf8, profile_named("strict-der"));
+  auto rejected2 = strict2.read_string();
+  ASSERT_FALSE(rejected2.ok());
+  EXPECT_EQ(rejected2.error().message, "malformed UTF-8");
+}
+
+// --- certificate-level defaults stay byte-identical ----------------------
+
+TEST(ParsdiffDefaults, ExplicitDefaultProfileMatchesImplicitParse) {
+  const std::vector<Bytes> inputs = {
+      donor_cert_der(),
+      cert_with_leading_zero_length(),
+      cert_with_ber_boolean(),
+      cert_with_validity(text_tlv(kUtc, "491231235959Z"),
+                         text_tlv(kGen, "20491231235959Z")),
+      cert_with_extra_extension("1.2.3.4", /*critical=*/true),
+      {0x30, 0x01},  // truncated
+  };
+  for (const Bytes& der : inputs) {
+    auto implicit = x509::parse_certificate(der);
+    auto explicit_default =
+        x509::parse_certificate(der, asn1::default_parse_profile());
+    ASSERT_EQ(implicit.ok(), explicit_default.ok());
+    if (implicit.ok()) {
+      EXPECT_EQ(implicit.value()->fingerprint,
+                explicit_default.value()->fingerprint);
+    } else {
+      EXPECT_EQ(implicit.error().code, explicit_default.error().code);
+      EXPECT_EQ(implicit.error().message, explicit_default.error().message);
+    }
+  }
+}
+
+// --- PD classes: positive + negative per class ---------------------------
+
+TEST(ParsdiffClasses, Pd01LengthLeniency) {
+  const ChainDiff split = diff_chain(one(cert_with_leading_zero_length()));
+  ASSERT_TRUE(split.discrepancy);
+  EXPECT_EQ(split.pd_class, "PD-01");
+  EXPECT_TRUE(profile_accepts(split, "default"));
+  EXPECT_TRUE(profile_accepts(split, "openssl-ber"));
+  EXPECT_FALSE(profile_accepts(split, "strict-der"));
+
+  const ChainDiff clean = diff_chain(one(donor_cert_der()));
+  EXPECT_FALSE(clean.discrepancy);
+  EXPECT_EQ(clean.accept_count, profiles().size());
+}
+
+TEST(ParsdiffClasses, Pd02BooleanEncoding) {
+  const ChainDiff split = diff_chain(one(cert_with_ber_boolean()));
+  ASSERT_TRUE(split.discrepancy);
+  EXPECT_EQ(split.pd_class, "PD-02");
+  EXPECT_TRUE(profile_accepts(split, "default"));
+  EXPECT_FALSE(profile_accepts(split, "strict-der"));
+  // The canonical encoding splits nobody.
+  EXPECT_FALSE(diff_chain(one(donor_cert_der())).discrepancy);
+}
+
+TEST(ParsdiffClasses, Pd03TimeSyntax) {
+  // UTCTime validity: the lax-time profiles accept, default and strict
+  // reject with the tag mismatch the classifier maps to PD-03.
+  const ChainDiff utc =
+      diff_chain(one(cert_with_validity(text_tlv(kUtc, "250101000000Z"),
+                                        text_tlv(kUtc, "491231235959Z"))));
+  ASSERT_TRUE(utc.discrepancy);
+  EXPECT_EQ(utc.pd_class, "PD-03");
+  EXPECT_FALSE(profile_accepts(utc, "default"));
+  EXPECT_TRUE(profile_accepts(utc, "openssl-ber"));
+  EXPECT_TRUE(profile_accepts(utc, "browser-time"));
+
+  // Offset syntax: browser-time only.
+  const ChainDiff offset = diff_chain(
+      one(cert_with_validity(text_tlv(kGen, "20250101000000+0100"),
+                             text_tlv(kGen, "20490101000000Z"))));
+  ASSERT_TRUE(offset.discrepancy);
+  EXPECT_EQ(offset.pd_class, "PD-03");
+  EXPECT_TRUE(profile_accepts(offset, "browser-time"));
+  EXPECT_FALSE(profile_accepts(offset, "openssl-ber"));
+
+  // Proper GeneralizedTime: no split.
+  const ChainDiff clean = diff_chain(
+      one(cert_with_validity(text_tlv(kGen, "20250101000000Z"),
+                             text_tlv(kGen, "20490101000000Z"))));
+  EXPECT_FALSE(clean.discrepancy);
+}
+
+TEST(ParsdiffClasses, Pd04StringLeniency) {
+  const ChainDiff split = diff_chain(one(cert_with_subject_string_tag(0x14)));
+  ASSERT_TRUE(split.discrepancy);
+  EXPECT_EQ(split.pd_class, "PD-04");
+  EXPECT_TRUE(profile_accepts(split, "gnutls-string"));
+  EXPECT_FALSE(profile_accepts(split, "default"));
+  // The same subject as a PrintableString is fine everywhere.
+  EXPECT_FALSE(
+      diff_chain(one(cert_with_subject_string_tag(0x13))).discrepancy);
+}
+
+TEST(ParsdiffClasses, Pd05TrailingBytes) {
+  Bytes der = donor_cert_der();
+  der.push_back(0xde);
+  der.push_back(0xad);
+  const ChainDiff split = diff_chain(one(der));
+  ASSERT_TRUE(split.discrepancy);
+  EXPECT_EQ(split.pd_class, "PD-05");
+  EXPECT_TRUE(profile_accepts(split, "default"));  // historical: ignored
+  EXPECT_FALSE(profile_accepts(split, "strict-der"));
+  EXPECT_FALSE(diff_chain(one(donor_cert_der())).discrepancy);
+}
+
+TEST(ParsdiffClasses, Pd06UnknownCriticalExtension) {
+  const ChainDiff split =
+      diff_chain(one(cert_with_extra_extension("1.2.3.4", true)));
+  ASSERT_TRUE(split.discrepancy);
+  EXPECT_EQ(split.pd_class, "PD-06");
+  EXPECT_TRUE(profile_accepts(split, "default"));  // historical: ignored
+  EXPECT_FALSE(profile_accepts(split, "strict-der"));
+  EXPECT_FALSE(profile_accepts(split, "browser-time"));
+  // Unknown but non-critical: nobody objects (RFC 5280 §4.2 only
+  // requires rejecting *critical* unknowns).
+  EXPECT_FALSE(
+      diff_chain(one(cert_with_extra_extension("1.2.3.4", false)))
+          .discrepancy);
+}
+
+TEST(ParsdiffClasses, AllRejectIsAgreementNotDiscrepancy) {
+  const Bytes garbage = {0x30, 0x03, 0xff, 0xff, 0xff};
+  const ChainDiff diff = diff_chain(one(garbage));
+  EXPECT_FALSE(diff.discrepancy);
+  EXPECT_EQ(diff.reject_count, profiles().size());
+  EXPECT_TRUE(diff.pd_class.empty());
+}
+
+// --- lenient splitter -----------------------------------------------------
+
+TEST(ParsdiffSplitter, SplitsConcatenatedTlvsAndDamagedTails) {
+  Bytes wire = donor_cert_der();
+  const std::size_t first_size = wire.size();
+  append(wire, donor_cert_der());
+  const std::vector<Bytes> blobs = split_der_blobs(wire);
+  ASSERT_EQ(blobs.size(), std::size_t{2});
+  EXPECT_EQ(blobs[0].size(), first_size);
+  EXPECT_EQ(blobs[0], blobs[1]);
+
+  // Overrunning length: the remainder becomes one final blob.
+  const Bytes damaged = {0x30, 0x7f, 0x01, 0x02};
+  const std::vector<Bytes> tail = split_der_blobs(damaged);
+  ASSERT_EQ(tail.size(), std::size_t{1});
+  EXPECT_EQ(tail[0], damaged);
+
+  EXPECT_TRUE(split_der_blobs({}).empty());
+}
+
+// --- the sweep ------------------------------------------------------------
+
+TEST(ParsdiffSweep, DeterministicAcrossThreadCountsAndCountsAddUp) {
+  dataset::CorpusConfig config;
+  config.domain_count = 150;
+  config.seed = 833;
+  const dataset::Corpus corpus(std::move(config));
+
+  std::vector<LabeledInput> extra;
+  extra.push_back({"T-utc", one(cert_with_validity(
+                                text_tlv(kUtc, "250101000000Z"),
+                                text_tlv(kUtc, "491231235959Z")))});
+  extra.push_back({"T-crit", one(cert_with_extra_extension("1.2.3.4", true))});
+  Bytes trailing = donor_cert_der();
+  trailing.push_back(0x00);
+  extra.push_back({"T-trail", one(trailing)});
+
+  SweepRequest request;
+  request.records = &corpus.records();
+  request.extra = &extra;
+
+  request.shards.threads = 1;
+  const SweepSummary single = run_sweep(request);
+  request.shards.threads = 4;
+  const SweepSummary parallel = run_sweep(request);
+
+  EXPECT_EQ(summary_json(single), summary_json(parallel));
+
+  EXPECT_EQ(single.extra_inputs, extra.size());
+  EXPECT_EQ(single.inputs, single.corpus_chains + single.extra_inputs);
+  for (const auto& [name, totals] : single.matrix) {
+    EXPECT_EQ(totals.accepted + totals.rejected, single.inputs) << name;
+  }
+  // The three crafted inputs split the panel and land in their classes.
+  EXPECT_GE(single.discrepancies, std::uint64_t{3});
+  EXPECT_EQ(single.by_label_class.at("T-utc/PD-03"), std::uint64_t{1});
+  EXPECT_EQ(single.by_label_class.at("T-crit/PD-06"), std::uint64_t{1});
+  EXPECT_EQ(single.by_label_class.at("T-trail/PD-05"), std::uint64_t{1});
+  // Corpus chains are builder output: strictly DER, accepted by every
+  // profile — the matrix's corpus rows are all-accept.
+  const auto strict = single.matrix.at("strict-der");
+  EXPECT_GE(strict.accepted, single.corpus_chains);
+}
+
+}  // namespace
+}  // namespace chainchaos::parsdiff

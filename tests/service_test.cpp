@@ -221,6 +221,51 @@ TEST(ServiceHandlerTest, AnalyzeMissThenHitSameBody) {
   EXPECT_NE(body.find("\"lint\""), std::string::npos);
 }
 
+TEST(ServiceHandlerTest, ParsdiffAcceptsPemAndDerAndReportsTheSplit) {
+  service::ResultCache cache(16);
+  service::Metrics metrics;
+  service::RequestHandler handler({}, &cache, &metrics);
+
+  net::HttpRequest req;
+  req.method = "GET";
+  req.target = "/v1/parsdiff";
+  EXPECT_EQ(handler.handle(req).status, 405);
+
+  req.method = "POST";
+  EXPECT_EQ(handler.handle(req).status, 400);  // empty body
+
+  // A clean PEM chain: every profile accepts, no discrepancy.
+  req.body = to_bytes(pki().pem_chain());
+  const net::HttpResponse clean = handler.handle(req);
+  ASSERT_EQ(clean.status, 200);
+  const std::string clean_body = to_string(clean.body);
+  EXPECT_NE(clean_body.find("\"certificates\":3"), std::string::npos);
+  EXPECT_NE(clean_body.find("\"discrepancy\":false"), std::string::npos);
+  EXPECT_NE(clean_body.find("\"profile\":\"strict-der\""), std::string::npos);
+
+  // Raw concatenated DER also works (the lenient TLV splitter).
+  Bytes der = pki().leaf->der;
+  append(der, pki().inter->der);
+  req.body = der;
+  const net::HttpResponse raw = handler.handle(req);
+  ASSERT_EQ(raw.status, 200);
+  EXPECT_NE(to_string(raw.body).find("\"certificates\":2"),
+            std::string::npos);
+
+  // A PEM block whose DER carries trailing garbage: the strict profile
+  // rejects, the default ignores — a PD-05 split.
+  Bytes trailing = pki().leaf->der;
+  trailing.push_back(0xde);
+  req.body = to_bytes("-----BEGIN CERTIFICATE-----\n" +
+                      base64_encode(trailing) +
+                      "\n-----END CERTIFICATE-----\n");
+  const net::HttpResponse split = handler.handle(req);
+  ASSERT_EQ(split.status, 200);
+  const std::string split_body = to_string(split.body);
+  EXPECT_NE(split_body.find("\"discrepancy\":true"), std::string::npos);
+  EXPECT_NE(split_body.find("\"class\":\"PD-05\""), std::string::npos);
+}
+
 TEST(ServiceHandlerTest, BusyResponseCarriesRetryAfter) {
   const net::HttpResponse busy = service::busy_response(7);
   EXPECT_EQ(busy.status, 503);
