@@ -7,6 +7,18 @@
 // as for every bench). The issuance memo is reset before each timed run
 // so each configuration does the full signature-verification work
 // instead of riding the previous run's cache.
+//
+// Packed mode (DESIGN.md §5.14) follows the RAM scaling runs: the
+// corpus is packed to the binary on-disk format and swept twice via
+// mmap — once unreplicated to assert the packed summary is
+// byte-identical to the in-RAM baseline, then replicated to at least
+// CHAINCHAOS_PACKED_RECORDS records (default 1,000,000; 0 skips the
+// phase) reporting records/sec, bytes/sec, and the resident-set growth,
+// which must stay under half the file size (the streaming sweep decodes
+// shards lazily and returns their pages to the kernel, so RSS must not
+// track file size).
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -15,10 +27,150 @@
 
 #include "bench_common.hpp"
 #include "chain/issuance.hpp"
+#include "corpusio/source.hpp"
+#include "corpusio/writer.hpp"
 #include "engine/engine.hpp"
 #include "report/table.hpp"
 
 using namespace chainchaos;
+
+namespace {
+
+long max_rss_kb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // kilobytes on Linux
+}
+
+/// The packed-corpus phase; returns false on any gate failure.
+bool run_packed_phase(const dataset::Corpus& corpus,
+                      const std::string& baseline_summary) {
+  std::size_t target = 1000000;
+  if (const char* env = std::getenv("CHAINCHAOS_PACKED_RECORDS")) {
+    target = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
+  if (target == 0) {
+    std::printf("\n[packed] skipped (CHAINCHAOS_PACKED_RECORDS=0)\n");
+    return true;
+  }
+
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string dir = tmpdir != nullptr ? tmpdir : "/tmp";
+  const std::string path = dir + "/engine_scaling_packed.chc";
+
+  // --- identity gate: unreplicated packed sweep == in-RAM baseline ----
+  bool ok = true;
+  {
+    auto packed = corpusio::pack_corpus(corpus, path);
+    if (!packed.ok()) {
+      std::fprintf(stderr, "[packed] pack failed: %s\n",
+                   packed.error().to_string().c_str());
+      return false;
+    }
+    auto opened = corpusio::PackedCorpus::open(path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "[packed] open failed: %s\n",
+                   opened.error().to_string().c_str());
+      return false;
+    }
+    chain::CompletenessOptions options;
+    options.store = &opened.value()->stores().union_store;
+    options.aia = &opened.value()->aia();
+    const chain::ComplianceAnalyzer analyzer(options);
+    const corpusio::PackedRecordSource source(&opened.value()->reader());
+    chain::reset_issuance_cache();
+    engine::AnalysisRequest request;
+    request.source = &source;
+    request.analyzer = &analyzer;
+    const engine::AnalysisResult result = engine::run(request);
+    const std::string summary =
+        engine::summary_table(result.tally.compliance).render();
+    if (summary != baseline_summary || source.decode_errors() != 0) {
+      std::fprintf(stderr,
+                   "[packed] IDENTITY FAILURE: mmap sweep diverged from the "
+                   "in-RAM baseline (%llu decode errors)\n",
+                   static_cast<unsigned long long>(source.decode_errors()));
+      ok = false;
+    } else {
+      std::printf("\n[packed] mmap sweep is byte-identical to the in-RAM "
+                  "baseline\n");
+    }
+  }
+
+  // --- scale run: replicate to >= target records ----------------------
+  const std::size_t replicate =
+      (target + corpus.size() - 1) / corpus.size();
+  {
+    auto packed = corpusio::pack_corpus(corpus, path, replicate);
+    if (!packed.ok()) {
+      std::fprintf(stderr, "[packed] pack failed: %s\n",
+                   packed.error().to_string().c_str());
+      std::remove(path.c_str());
+      return false;
+    }
+  }
+  auto opened = corpusio::PackedCorpus::open(path);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "[packed] open failed: %s\n",
+                 opened.error().to_string().c_str());
+    std::remove(path.c_str());
+    return false;
+  }
+  const std::size_t file_bytes = opened.value()->reader().file_bytes();
+  std::printf("[packed] %zu records, %.1f MiB at %s\n",
+              opened.value()->reader().size(),
+              static_cast<double>(file_bytes) / (1024.0 * 1024.0),
+              path.c_str());
+
+  chain::CompletenessOptions options;
+  options.store = &opened.value()->stores().union_store;
+  options.aia = &opened.value()->aia();
+  const chain::ComplianceAnalyzer analyzer(options);
+  const corpusio::PackedRecordSource source(&opened.value()->reader());
+  chain::reset_issuance_cache();
+  const long rss_before_kb = max_rss_kb();
+  engine::AnalysisRequest request;
+  request.source = &source;
+  request.analyzer = &analyzer;
+  const engine::AnalysisResult result = engine::run(request);
+  const long rss_after_kb = max_rss_kb();
+
+  const double bytes_per_sec =
+      result.elapsed_seconds > 0.0
+          ? static_cast<double>(source.bytes_visited()) /
+                result.elapsed_seconds
+          : 0.0;
+  const long rss_delta_kb =
+      rss_after_kb > rss_before_kb ? rss_after_kb - rss_before_kb : 0;
+  std::printf("[packed] swept %zu records on %u threads in %.2fs: "
+              "%.0f records/sec, %.1f MiB/sec\n",
+              result.records_processed, result.threads_used,
+              result.elapsed_seconds, result.records_per_second(),
+              bytes_per_sec / (1024.0 * 1024.0));
+  std::printf("[packed] peak RSS grew %.1f MiB over a %.1f MiB file\n",
+              static_cast<double>(rss_delta_kb) / 1024.0,
+              static_cast<double>(file_bytes) / (1024.0 * 1024.0));
+  if (source.decode_errors() != 0 ||
+      result.records_processed != opened.value()->reader().size()) {
+    std::fprintf(stderr, "[packed] SWEEP FAILURE: %llu decode errors\n",
+                 static_cast<unsigned long long>(source.decode_errors()));
+    ok = false;
+  }
+  // Streaming gate: resident growth must not track the file. Half the
+  // file size is a generous bound — with per-shard release the real
+  // growth is a few shards' worth of pages.
+  if (static_cast<unsigned long long>(rss_delta_kb) * 1024ULL >
+      static_cast<unsigned long long>(file_bytes) / 2ULL) {
+    std::fprintf(stderr,
+                 "[packed] MEMORY FAILURE: RSS growth exceeds half the "
+                 "file size — streaming is not streaming\n");
+    ok = false;
+  }
+  std::remove(path.c_str());
+  return ok;
+}
+
+}  // namespace
 
 int main() {
   dataset::CorpusConfig config = bench::config_from_env();
@@ -84,5 +236,7 @@ int main() {
               deterministic ? "IDENTICAL (deterministic sharding)"
                             : "DIVERGED");
   std::fputs(baseline_summary.c_str(), stdout);
-  return deterministic ? 0 : 1;
+
+  const bool packed_ok = run_packed_phase(corpus, baseline_summary);
+  return deterministic && packed_ok ? 0 : 1;
 }

@@ -26,10 +26,15 @@
 #   7. parser-differential smoke under ASan/UBSan: the §5.13 sweep
 #      (2000-domain corpus + 5000 chaos inputs) against the sanitizer
 #      build, 1 thread vs 8, byte-identical matrices, discrepancies found
-#   8. tidy gate: scripts/tidy_gate.sh — clang-tidy with
+#   8. packed corpus smoke under ASan/UBSan: the §5.14 store against the
+#      sanitizer build — pack, verify, extract, mmap sweep byte-identical
+#      to the regenerated in-RAM sweep and across thread counts,
+#      corrupted files rejected with typed errors (hostile-byte decoding
+#      under ASan/UBSan is the point)
+#   9. tidy gate: scripts/tidy_gate.sh — clang-tidy with
 #      warnings-as-errors when available, the portable fallback scanner
 #      otherwise; gating either way, self-test proves it can fail
-#   9. header hygiene: scripts/lint.sh
+#  10. header hygiene: scripts/lint.sh
 #
 # Build trees live in build/ and build-asan/ and are reused across runs.
 set -eu
@@ -37,20 +42,20 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "=== [1/9] tier-1 build + tests ==="
+echo "=== [1/10] tier-1 build + tests ==="
 cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [2/9] ASan/UBSan build + tests ==="
+echo "=== [2/10] ASan/UBSan build + tests ==="
 cmake -B build-asan -S . -DCHAINCHAOS_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "=== [3/9] service smoke ==="
+echo "=== [3/10] service smoke ==="
 scripts/service_smoke.sh build/examples/chaind build/examples/chainq
 
-echo "=== [4/9] chaos campaign under ASan/UBSan ==="
+echo "=== [4/10] chaos campaign under ASan/UBSan ==="
 # The acceptance gate of DESIGN.md §5.10: a 5000-input campaign over
 # every mutation class must classify everything — no crash, no hang, no
 # sanitizer finding — and the summary must not depend on thread count.
@@ -69,32 +74,40 @@ build-asan/examples/chaos_run --seed 833 --count 1300 --aia-transient 2 \
 build-asan/examples/chaos_run --seed 833 --count 1300 --aia-permanent \
     | grep -q "contract=ok"
 
-echo "=== [5/9] observability smoke + overhead gate ==="
+echo "=== [5/10] observability smoke + overhead gate ==="
 scripts/obs_smoke.sh build/examples/chainprof build/examples/chaind \
     build/examples/chainq
 # The §5.11 budget: tracing must cost the sweep < 3% when enabled
 # (trace_overhead exits non-zero over budget).
 build/bench/trace_overhead
 
-echo "=== [6/9] crypto hot-path gate ==="
+echo "=== [6/10] crypto hot-path gate ==="
 # The §5.12 budget: Montgomery must carry the verification sweeps —
 # >= 3x the classic ladder on the micro, a faster full-corpus sweep
 # than the forced-schoolbook baseline, byte-identical tallies across
 # every verifier configuration (crypto_verify exits non-zero otherwise).
 build/bench/crypto_verify
 
-echo "=== [7/9] parser-differential smoke under ASan/UBSan ==="
+echo "=== [7/10] parser-differential smoke under ASan/UBSan ==="
 # The §5.13 determinism contract against the sanitizer build: the sweep
 # must be byte-identical across thread counts and must surface
 # discrepancies on the chaos-mutated inputs, with zero ASan/UBSan
 # findings along the way.
 scripts/parsdiff_smoke.sh build-asan/examples/parsdiff_corpus
 
-echo "=== [8/9] tidy gate ==="
+echo "=== [8/10] packed corpus smoke under ASan/UBSan ==="
+# The §5.14 store against the sanitizer build: packing, checksum
+# verification, record extraction, the mmap streaming sweep's
+# byte-identity contract, and — the part sanitizers exist for —
+# corrupted files decoded to typed errors without UB.
+scripts/corpusio_smoke.sh build-asan/examples/corpus_pack \
+    build-asan/examples/corpus_cat build-asan/examples/measure_corpus
+
+echo "=== [9/10] tidy gate ==="
 scripts/tidy_gate.sh --self-test
 scripts/tidy_gate.sh build
 
-echo "=== [9/9] header hygiene ==="
+echo "=== [10/10] header hygiene ==="
 scripts/lint.sh
 
 echo "CI: all gates passed"

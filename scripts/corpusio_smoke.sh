@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the packed corpus store (DESIGN.md §5.14).
+#
+# Packs a 2000-domain corpus to the binary format, then asserts:
+#   * corpus_cat reads back the header (record count, seed) and the
+#     full checksum verification passes,
+#   * a single record extracts as PEM,
+#   * the mmap streaming sweep (measure_corpus --corpus) produces a
+#     summary byte-identical to regenerating and sweeping the same
+#     corpus in RAM,
+#   * the packed sweep is byte-identical between 1 and 8 threads,
+#   * a corrupted copy is rejected with a typed error, not swept.
+#
+# Usage: corpusio_smoke.sh <corpus_pack> <corpus_cat> <measure_corpus>
+set -euo pipefail
+
+PACK=${1:?usage: corpusio_smoke.sh <corpus_pack> <corpus_cat> <measure_corpus>}
+CAT=${2:?usage: corpusio_smoke.sh <corpus_pack> <corpus_cat> <measure_corpus>}
+MEASURE=${3:?usage: corpusio_smoke.sh <corpus_pack> <corpus_cat> <measure_corpus>}
+
+WORKDIR=$(mktemp -d)
+trap 'rm -rf "$WORKDIR"' EXIT
+
+CORPUS="$WORKDIR/corpus.chc"
+
+"$PACK" --out "$CORPUS" --domains 2000 --seed 833 \
+    || { echo "FAIL: corpus_pack failed"; exit 1; }
+
+# --- header + verification ------------------------------------------------
+"$CAT" "$CORPUS" >"$WORKDIR/header.txt" \
+    || { echo "FAIL: corpus_cat header dump failed"; exit 1; }
+grep -q "format version   1" "$WORKDIR/header.txt" \
+    || { echo "FAIL: header does not report format version 1"; exit 1; }
+grep -q "seed=833" "$WORKDIR/header.txt" \
+    || { echo "FAIL: header does not carry the seed"; exit 1; }
+"$CAT" "$CORPUS" --verify \
+    || { echo "FAIL: checksum verification failed"; exit 1; }
+
+# --- single-record extraction --------------------------------------------
+"$CAT" "$CORPUS" --record 0 >"$WORKDIR/record0.pem" \
+    || { echo "FAIL: record extraction failed"; exit 1; }
+grep -q -- "-----BEGIN CERTIFICATE-----" "$WORKDIR/record0.pem" \
+    || { echo "FAIL: extracted record carries no PEM"; exit 1; }
+
+# --- packed sweep == regenerated in-RAM sweep ----------------------------
+# Strip the mode-specific progress lines; the summary tables and engine
+# tallies must match byte for byte.
+"$MEASURE" --corpus "$CORPUS" --threads 4 \
+    | grep -v "^streaming\|^engine:" >"$WORKDIR/packed.txt" \
+    || { echo "FAIL: packed sweep failed"; exit 1; }
+"$MEASURE" --domains 2000 --seed 833 --threads 4 \
+    | grep -v "^generating\|^engine:" >"$WORKDIR/ram.txt" \
+    || { echo "FAIL: in-RAM sweep failed"; exit 1; }
+diff -u "$WORKDIR/ram.txt" "$WORKDIR/packed.txt" \
+    || { echo "FAIL: packed sweep diverges from the in-RAM sweep"; exit 1; }
+echo "packed sweep is byte-identical to the regenerated in-RAM sweep"
+
+# --- thread-count determinism over the mmap source -----------------------
+"$MEASURE" --corpus "$CORPUS" --threads 1 \
+    | grep -v "^engine:" >"$WORKDIR/packed_t1.txt"
+"$MEASURE" --corpus "$CORPUS" --threads 8 \
+    | grep -v "^engine:" >"$WORKDIR/packed_t8.txt"
+diff -u "$WORKDIR/packed_t1.txt" "$WORKDIR/packed_t8.txt" \
+    || { echo "FAIL: packed sweep differs between 1 and 8 threads"; exit 1; }
+echo "packed sweep is byte-identical across thread counts"
+
+# --- corruption is rejected, not swept -----------------------------------
+cp "$CORPUS" "$WORKDIR/bad.chc"
+printf 'XXXX' | dd of="$WORKDIR/bad.chc" bs=1 count=4 conv=notrunc 2>/dev/null
+if "$MEASURE" --corpus "$WORKDIR/bad.chc" --threads 1 2>"$WORKDIR/bad.err"; then
+  echo "FAIL: corrupted corpus was swept"; exit 1
+fi
+grep -q "corpusio.bad_magic" "$WORKDIR/bad.err" \
+    || { echo "FAIL: corruption not reported as corpusio.bad_magic"; exit 1; }
+
+echo "corpusio smoke OK"

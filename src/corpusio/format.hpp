@@ -1,0 +1,247 @@
+// Packed corpus wire format (DESIGN.md §5.14): the versioned binary
+// on-disk layout shared by CorpusWriter and CorpusReader.
+//
+// A packed corpus is one file, little-endian throughout:
+//
+//   [header  | 104 bytes, fixed]
+//   [data    | variable-length records, back to back]
+//   [env     | the sweep environment: root stores + AIA snapshot]
+//   [index   | record_count fixed-width 32-byte entries]
+//
+// The header carries magic, format version, section offsets/sizes, the
+// generating CorpusConfig essentials (seed, domain count, exemplars
+// flag) and the file checksum. Each record is the raw DER certificates
+// of one domain plus its ground-truth label block, closed by a
+// per-record FNV-1a64 checksum; the index entry repeats the checksum
+// and a label summary so listings never touch the data section. All
+// integers are encoded/decoded via memcpy helpers — nothing in the
+// file is ever reinterpret_cast into a struct, so truncated or hostile
+// files can only produce typed errors, never UB.
+//
+// Version policy: the format version is bumped on any layout change;
+// readers reject versions they do not know ("corpusio.unsupported_
+// version") rather than guessing. Wire values of DefectType are frozen
+// at v1 — appending new enum members is compatible, reordering is not.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "support/bytes.hpp"
+
+namespace chainchaos::corpusio {
+
+/// File magic: 8 bytes at offset 0.
+inline constexpr char kMagic[8] = {'C', 'H', 'C', 'O', 'R', 'P', 'U', 'S'};
+
+/// Current (and only) format version.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Fixed header size for version 1.
+inline constexpr std::uint32_t kHeaderBytes = 104;
+
+/// Fixed index entry size for version 1.
+inline constexpr std::uint32_t kIndexEntryBytes = 32;
+
+/// Largest wire value of dataset::DefectType frozen at v1 (kLeafOther).
+inline constexpr std::uint8_t kMaxDefectWire = 15;
+
+/// Record label flag bits.
+inline constexpr std::uint8_t kFlagRootIncluded = 1u << 0;
+inline constexpr std::uint8_t kFlagRareHierarchy = 1u << 1;
+inline constexpr std::uint8_t kFlagAkidlessTerminal = 1u << 2;
+inline constexpr std::uint8_t kFlagExclusiveStoreDomain = 1u << 3;
+inline constexpr std::uint8_t kFlagExemplar = 1u << 4;
+
+/// Header flag bits.
+inline constexpr std::uint32_t kHeaderFlagExemplars = 1u << 0;
+
+// --- FNV-1a 64 --------------------------------------------------------------
+// The per-record and whole-file integrity checksum. Not cryptographic —
+// it guards against truncation, bit rot and editing mistakes, which is
+// what an on-disk measurement corpus needs; tamper evidence is out of
+// scope (the threat model is `scp` mishaps, not adversaries).
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+inline std::uint64_t fnv1a64(std::uint64_t state, BytesView bytes) {
+  for (const std::uint8_t b : bytes) {
+    state ^= b;
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+inline std::uint64_t fnv1a64(BytesView bytes) {
+  return fnv1a64(kFnvOffset, bytes);
+}
+
+// --- little-endian append helpers (writer side) -----------------------------
+
+inline void put_u8(Bytes& out, std::uint8_t v) { out.push_back(v); }
+
+inline void put_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+inline void put_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+// --- bounds-checked sequential reader (reader side) -------------------------
+
+/// A cursor over a byte range. Every read checks remaining length and
+/// fails (returns false) instead of walking past the end; decoders turn
+/// a false into a typed truncation error.
+class Cursor {
+ public:
+  Cursor(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit Cursor(BytesView bytes) : Cursor(bytes.data(), bytes.size()) {}
+
+  std::size_t offset() const { return offset_; }
+  std::size_t remaining() const { return size_ - offset_; }
+  bool done() const { return offset_ == size_; }
+
+  bool read_u8(std::uint8_t& v) {
+    if (remaining() < 1) return false;
+    v = data_[offset_++];
+    return true;
+  }
+
+  bool read_u16(std::uint16_t& v) {
+    if (remaining() < 2) return false;
+    v = static_cast<std::uint16_t>(data_[offset_] |
+                                   (data_[offset_ + 1] << 8));
+    offset_ += 2;
+    return true;
+  }
+
+  bool read_u32(std::uint32_t& v) {
+    if (remaining() < 4) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[offset_ + i]) << (8 * i);
+    }
+    offset_ += 4;
+    return true;
+  }
+
+  bool read_u64(std::uint64_t& v) {
+    if (remaining() < 8) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[offset_ + i]) << (8 * i);
+    }
+    offset_ += 8;
+    return true;
+  }
+
+  /// Views `n` bytes without copying; the view aliases the underlying
+  /// buffer (for a reader, the mapped file).
+  bool read_view(std::size_t n, BytesView& view) {
+    if (remaining() < n) return false;
+    view = BytesView(data_ + offset_, n);
+    offset_ += n;
+    return true;
+  }
+
+  bool read_string(std::size_t n, std::string& out) {
+    BytesView view;
+    if (!read_view(n, view)) return false;
+    out.assign(reinterpret_cast<const char*>(view.data()), view.size());
+    return true;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+};
+
+/// One decoded fixed-width index entry.
+struct IndexEntry {
+  std::uint64_t offset = 0;    ///< absolute file offset of the record
+  std::uint32_t length = 0;    ///< record bytes incl. trailing checksum
+  std::uint8_t primary_defect = 0;  ///< label summary (DefectType wire)
+  std::uint8_t leaf_defect = 0;
+  std::uint8_t flags = 0;           ///< kFlag* bits
+  std::uint8_t cert_count = 0;      ///< clamped at 255
+  std::uint64_t checksum = 0;       ///< copy of the record checksum
+};
+
+inline void encode_index_entry(Bytes& out, const IndexEntry& entry) {
+  put_u64(out, entry.offset);
+  put_u32(out, entry.length);
+  put_u8(out, entry.primary_defect);
+  put_u8(out, entry.leaf_defect);
+  put_u8(out, entry.flags);
+  put_u8(out, entry.cert_count);
+  put_u64(out, entry.checksum);
+  put_u64(out, 0);  // reserved
+}
+
+inline bool decode_index_entry(Cursor& cursor, IndexEntry& entry) {
+  std::uint64_t reserved = 0;
+  return cursor.read_u64(entry.offset) && cursor.read_u32(entry.length) &&
+         cursor.read_u8(entry.primary_defect) &&
+         cursor.read_u8(entry.leaf_defect) && cursor.read_u8(entry.flags) &&
+         cursor.read_u8(entry.cert_count) && cursor.read_u64(entry.checksum) &&
+         cursor.read_u64(reserved);
+}
+
+/// The decoded file header.
+struct FileHeader {
+  std::uint32_t version = kFormatVersion;
+  std::uint64_t record_count = 0;
+  std::uint64_t data_offset = 0;
+  std::uint64_t data_bytes = 0;
+  std::uint64_t env_offset = 0;
+  std::uint64_t env_bytes = 0;
+  std::uint64_t index_offset = 0;
+  std::uint64_t index_bytes = 0;
+  std::uint64_t seed = 0;            ///< generating CorpusConfig::seed
+  std::uint64_t domain_count = 0;    ///< generating domain_count
+  std::uint32_t flags = 0;           ///< kHeaderFlag* bits
+  std::uint64_t file_checksum = 0;   ///< see writer.cpp for the formula
+
+  bool include_exemplars() const {
+    return (flags & kHeaderFlagExemplars) != 0;
+  }
+};
+
+/// Serializes the header (exactly kHeaderBytes bytes). When
+/// `zero_checksum` the checksum field is written as zero — the form the
+/// checksum itself is computed over.
+inline Bytes encode_header(const FileHeader& header, bool zero_checksum) {
+  Bytes out;
+  out.reserve(kHeaderBytes);
+  out.insert(out.end(), kMagic, kMagic + sizeof kMagic);
+  put_u32(out, header.version);
+  put_u32(out, kHeaderBytes);
+  put_u64(out, header.record_count);
+  put_u64(out, header.data_offset);
+  put_u64(out, header.data_bytes);
+  put_u64(out, header.env_offset);
+  put_u64(out, header.env_bytes);
+  put_u64(out, header.index_offset);
+  put_u64(out, header.index_bytes);
+  put_u64(out, header.seed);
+  put_u64(out, header.domain_count);
+  put_u32(out, header.flags);
+  put_u32(out, 0);  // reserved
+  put_u64(out, zero_checksum ? 0 : header.file_checksum);
+  return out;
+}
+
+}  // namespace chainchaos::corpusio

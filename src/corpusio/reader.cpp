@@ -1,0 +1,425 @@
+#include "corpusio/reader.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace chainchaos::corpusio {
+
+namespace {
+
+Error truncated(const std::string& what) {
+  return make_error("corpusio.truncated", what);
+}
+
+Error bad_index(const std::string& what) {
+  return make_error("corpusio.bad_index", what);
+}
+
+}  // namespace
+
+// --- MappedFile -------------------------------------------------------------
+
+Result<MappedFile> MappedFile::map(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return make_error("corpusio.io",
+                      path + ": " + std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return make_error("corpusio.io",
+                      path + ": fstat: " + std::strerror(errno));
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return make_error("corpusio.truncated", path + ": empty file");
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (addr == MAP_FAILED) {
+    return make_error("corpusio.io",
+                      path + ": mmap: " + std::strerror(errno));
+  }
+  MappedFile file;
+  file.data_ = static_cast<const std::uint8_t*>(addr);
+  file.size_ = size;
+  return file;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<std::uint8_t*>(data_), size_);
+    }
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+  }
+}
+
+void MappedFile::dont_need(std::size_t offset, std::size_t length) const {
+  if (data_ == nullptr || length == 0 || offset >= size_) return;
+  if (length > size_ - offset) length = size_ - offset;
+  const std::size_t page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  // Round the start up and the end down: only pages fully inside the
+  // range are dropped, so neighbouring records still being visited are
+  // never evicted under a worker's feet.
+  const std::size_t begin = (offset + page - 1) / page * page;
+  const std::size_t end = (offset + length) / page * page;
+  if (end <= begin) return;
+  ::madvise(const_cast<std::uint8_t*>(data_) + begin, end - begin,
+            MADV_DONTNEED);
+}
+
+// --- CorpusReader -----------------------------------------------------------
+
+Result<std::unique_ptr<CorpusReader>> CorpusReader::open(
+    const std::string& path) {
+  auto mapped = MappedFile::map(path);
+  if (!mapped.ok()) return mapped.error();
+
+  auto reader = std::unique_ptr<CorpusReader>(new CorpusReader());
+  reader->file_ = std::move(mapped).value();
+  const MappedFile& file = reader->file_;
+
+  // --- header ---------------------------------------------------------
+  if (file.size() < kHeaderBytes) {
+    return truncated(path + ": smaller than the fixed header");
+  }
+  Cursor cursor(file.data(), kHeaderBytes);
+  BytesView magic;
+  cursor.read_view(sizeof kMagic, magic);
+  if (std::memcmp(magic.data(), kMagic, sizeof kMagic) != 0) {
+    return make_error("corpusio.bad_magic", path);
+  }
+  FileHeader& h = reader->header_;
+  std::uint32_t header_bytes = 0;
+  std::uint32_t reserved32 = 0;
+  if (!cursor.read_u32(h.version) || !cursor.read_u32(header_bytes) ||
+      !cursor.read_u64(h.record_count) || !cursor.read_u64(h.data_offset) ||
+      !cursor.read_u64(h.data_bytes) || !cursor.read_u64(h.env_offset) ||
+      !cursor.read_u64(h.env_bytes) || !cursor.read_u64(h.index_offset) ||
+      !cursor.read_u64(h.index_bytes) || !cursor.read_u64(h.seed) ||
+      !cursor.read_u64(h.domain_count) || !cursor.read_u32(h.flags) ||
+      !cursor.read_u32(reserved32) || !cursor.read_u64(h.file_checksum)) {
+    return truncated(path + ": header");
+  }
+  if (h.version != kFormatVersion) {
+    return make_error("corpusio.unsupported_version",
+                      path + ": format version " + std::to_string(h.version));
+  }
+  if (header_bytes != kHeaderBytes) {
+    return make_error("corpusio.unsupported_version",
+                      path + ": header size " + std::to_string(header_bytes));
+  }
+  if (h.record_count == 0) {
+    return make_error("corpusio.empty", path + ": zero records");
+  }
+
+  // --- section coherence ----------------------------------------------
+  // Sections must be header | data | env | index, contiguous, and end
+  // exactly at EOF. Additions are checked in u64 where they could wrap.
+  const std::uint64_t file_size = file.size();
+  if (h.data_offset != kHeaderBytes ||
+      h.env_offset != h.data_offset + h.data_bytes ||
+      h.index_offset != h.env_offset + h.env_bytes ||
+      h.index_offset + h.index_bytes != file_size ||
+      h.index_offset < h.env_offset || h.env_offset < h.data_offset) {
+    return truncated(path + ": section layout does not cover the file");
+  }
+  if (h.index_bytes != h.record_count * kIndexEntryBytes) {
+    return bad_index(path + ": index size does not match record count");
+  }
+  // A record is at minimum: u32 label_bytes + 8-byte fixed labels +
+  // 4 empty strings (2 bytes each) + u32 cert_count + u64 checksum.
+  constexpr std::uint64_t kMinRecordBytes = 4 + 8 + 8 + 4 + 8;
+  if (h.record_count > h.data_bytes / kMinRecordBytes) {
+    return bad_index(path + ": record count impossible for data size");
+  }
+
+  // --- index scan -----------------------------------------------------
+  // Every entry must lie inside the data section, be at least the
+  // minimum record size, and start exactly where the previous record
+  // ended (ascending, non-overlapping, gap-free — the writer packs
+  // records back to back, so anything else is corruption).
+  Cursor index(file.data() + h.index_offset,
+               static_cast<std::size_t>(h.index_bytes));
+  std::uint64_t expected_offset = h.data_offset;
+  for (std::uint64_t i = 0; i < h.record_count; ++i) {
+    IndexEntry entry;
+    if (!decode_index_entry(index, entry)) {
+      return truncated(path + ": index entry " + std::to_string(i));
+    }
+    if (entry.length < kMinRecordBytes) {
+      return bad_index(path + ": record " + std::to_string(i) + " too short");
+    }
+    if (entry.offset < expected_offset) {
+      return make_error("corpusio.overlap",
+                        path + ": record " + std::to_string(i) +
+                            " overlaps its predecessor");
+    }
+    if (entry.offset != expected_offset) {
+      return bad_index(path + ": record " + std::to_string(i) +
+                       " leaves a gap");
+    }
+    if (entry.offset + entry.length > h.env_offset) {
+      return bad_index(path + ": record " + std::to_string(i) +
+                       " extends past the data section");
+    }
+    expected_offset = entry.offset + entry.length;
+  }
+  if (expected_offset != h.env_offset) {
+    return bad_index(path + ": records do not cover the data section");
+  }
+  return reader;
+}
+
+IndexEntry CorpusReader::index_entry(std::size_t i) const {
+  Cursor cursor(
+      file_.data() + header_.index_offset + i * std::size_t{kIndexEntryBytes},
+      kIndexEntryBytes);
+  IndexEntry entry;
+  decode_index_entry(cursor, entry);  // in-bounds by open()'s validation
+  return entry;
+}
+
+Result<dataset::DomainRecord> CorpusReader::decode_record(
+    std::size_t i) const {
+  const IndexEntry entry = index_entry(i);
+  const std::uint8_t* base =
+      file_.data() + static_cast<std::size_t>(entry.offset);
+  const std::size_t length = entry.length;
+  const std::string where = "record " + std::to_string(i);
+
+  // Checksum covers everything but the trailing checksum itself.
+  Cursor tail(base + length - 8, 8);
+  std::uint64_t stored = 0;
+  tail.read_u64(stored);
+  if (stored != entry.checksum ||
+      fnv1a64(BytesView(base, length - 8)) != stored) {
+    return make_error("corpusio.checksum_mismatch", where);
+  }
+
+  Cursor cursor(base, length - 8);
+  std::uint32_t label_bytes = 0;
+  if (!cursor.read_u32(label_bytes) || cursor.remaining() < label_bytes) {
+    return truncated(where + ": label block");
+  }
+
+  dataset::DomainRecord record;
+  {
+    Cursor labels(base + cursor.offset(), label_bytes);
+    std::uint8_t primary = 0;
+    std::uint8_t leaf = 0;
+    std::uint8_t flags = 0;
+    std::uint8_t reserved = 0;
+    std::uint32_t missing = 0;
+    if (!labels.read_u8(primary) || !labels.read_u8(leaf) ||
+        !labels.read_u8(flags) || !labels.read_u8(reserved) ||
+        !labels.read_u32(missing)) {
+      return truncated(where + ": label fields");
+    }
+    if (primary > kMaxDefectWire || leaf > kMaxDefectWire) {
+      return bad_index(where + ": defect value out of range");
+    }
+    record.primary_defect = static_cast<dataset::DefectType>(primary);
+    record.leaf_defect = static_cast<dataset::DefectType>(leaf);
+    record.root_included = (flags & kFlagRootIncluded) != 0;
+    record.rare_hierarchy = (flags & kFlagRareHierarchy) != 0;
+    record.akidless_terminal = (flags & kFlagAkidlessTerminal) != 0;
+    record.exclusive_store_domain = (flags & kFlagExclusiveStoreDomain) != 0;
+    record.exemplar = (flags & kFlagExemplar) != 0;
+    record.missing_count = static_cast<int>(missing);
+    std::string* fields[4] = {&record.observation.domain,
+                              &record.observation.ca_name,
+                              &record.observation.server_software,
+                              &record.exemplar_name};
+    for (std::string* field : fields) {
+      std::uint16_t n = 0;
+      if (!labels.read_u16(n) || !labels.read_string(n, *field)) {
+        return truncated(where + ": label strings");
+      }
+    }
+  }
+  // Skip over the label block in the outer cursor.
+  {
+    BytesView skipped;
+    cursor.read_view(label_bytes, skipped);
+  }
+
+  std::uint32_t cert_count = 0;
+  if (!cursor.read_u32(cert_count)) return truncated(where + ": cert count");
+  record.observation.certificates.reserve(cert_count);
+  for (std::uint32_t c = 0; c < cert_count; ++c) {
+    std::uint32_t der_len = 0;
+    BytesView der;
+    if (!cursor.read_u32(der_len) || !cursor.read_view(der_len, der)) {
+      return truncated(where + ": certificate " + std::to_string(c));
+    }
+    auto cert = x509::parse_certificate(der);
+    if (!cert.ok()) {
+      return make_error("corpusio.bad_certificate",
+                        where + ": " + cert.error().to_string());
+    }
+    record.observation.certificates.push_back(std::move(cert).value());
+  }
+  if (!cursor.done()) {
+    return bad_index(where + ": trailing bytes after certificates");
+  }
+  return record;
+}
+
+Result<EnvironmentBlock> CorpusReader::environment() const {
+  Cursor cursor(file_.data() + static_cast<std::size_t>(header_.env_offset),
+                static_cast<std::size_t>(header_.env_bytes));
+  EnvironmentBlock env;
+
+  std::uint32_t core_count = 0;
+  if (!cursor.read_u32(core_count)) return truncated("env: core root count");
+  env.core_roots.reserve(core_count);
+  for (std::uint32_t i = 0; i < core_count; ++i) {
+    std::uint32_t der_len = 0;
+    BytesView der;
+    if (!cursor.read_u32(der_len) || !cursor.read_view(der_len, der)) {
+      return truncated("env: core root " + std::to_string(i));
+    }
+    auto cert = x509::parse_certificate(der);
+    if (!cert.ok()) {
+      return make_error("corpusio.bad_certificate",
+                        "env core root: " + cert.error().to_string());
+    }
+    env.core_roots.push_back(std::move(cert).value());
+  }
+
+  std::uint32_t exclusive_count = 0;
+  if (!cursor.read_u32(exclusive_count)) {
+    return truncated("env: exclusive root count");
+  }
+  env.exclusive_roots.reserve(exclusive_count);
+  for (std::uint32_t i = 0; i < exclusive_count; ++i) {
+    std::uint32_t mask = 0;
+    std::uint32_t der_len = 0;
+    BytesView der;
+    if (!cursor.read_u32(mask) || !cursor.read_u32(der_len) ||
+        !cursor.read_view(der_len, der)) {
+      return truncated("env: exclusive root " + std::to_string(i));
+    }
+    auto cert = x509::parse_certificate(der);
+    if (!cert.ok()) {
+      return make_error("corpusio.bad_certificate",
+                        "env exclusive root: " + cert.error().to_string());
+    }
+    env.exclusive_roots.emplace_back(std::move(cert).value(), mask);
+  }
+
+  std::uint32_t aia_count = 0;
+  if (!cursor.read_u32(aia_count)) return truncated("env: AIA count");
+  env.aia_entries.reserve(aia_count);
+  for (std::uint32_t i = 0; i < aia_count; ++i) {
+    std::uint8_t flags = 0;
+    std::uint16_t uri_len = 0;
+    net::AiaEntrySnapshot entry;
+    if (!cursor.read_u8(flags) || !cursor.read_u16(uri_len) ||
+        !cursor.read_string(uri_len, entry.uri)) {
+      return truncated("env: AIA entry " + std::to_string(i));
+    }
+    entry.unreachable = (flags & 2) != 0;
+    if ((flags & 1) != 0) {
+      std::uint32_t der_len = 0;
+      BytesView der;
+      if (!cursor.read_u32(der_len) || !cursor.read_view(der_len, der)) {
+        return truncated("env: AIA certificate " + std::to_string(i));
+      }
+      auto cert = x509::parse_certificate(der);
+      if (!cert.ok()) {
+        return make_error("corpusio.bad_certificate",
+                          "env AIA entry: " + cert.error().to_string());
+      }
+      entry.cert = std::move(cert).value();
+    }
+    env.aia_entries.push_back(std::move(entry));
+  }
+  if (!cursor.done()) {
+    return truncated("env: trailing bytes after AIA entries");
+  }
+  return env;
+}
+
+Result<bool> CorpusReader::verify() const {
+  // Whole-file checksum: header with the checksum field zeroed, then the
+  // digest of every post-header byte in file order (writer.cpp formula).
+  FileHeader copy = header_;
+  std::uint64_t expected = fnv1a64(encode_header(copy, true));
+  const std::uint64_t body_hash =
+      fnv1a64(BytesView(file_.data() + kHeaderBytes,
+                        file_.size() - kHeaderBytes));
+  Bytes body_digest;
+  put_u64(body_digest, body_hash);
+  expected = fnv1a64(expected, body_digest);
+  if (expected != header_.file_checksum) {
+    return make_error("corpusio.checksum_mismatch", "file checksum");
+  }
+  for (std::size_t i = 0; i < size(); ++i) {
+    const IndexEntry entry = index_entry(i);
+    const std::uint8_t* base =
+        file_.data() + static_cast<std::size_t>(entry.offset);
+    Cursor tail(base + entry.length - 8, 8);
+    std::uint64_t stored = 0;
+    tail.read_u64(stored);
+    if (stored != entry.checksum ||
+        fnv1a64(BytesView(base, entry.length - 8)) != stored) {
+      return make_error("corpusio.checksum_mismatch",
+                        "record " + std::to_string(i));
+    }
+  }
+  return true;
+}
+
+std::uint64_t CorpusReader::record_bytes(std::size_t first,
+                                         std::size_t last) const {
+  if (first >= last || last > size()) return 0;
+  const IndexEntry head = index_entry(first);
+  const IndexEntry tail = index_entry(last - 1);
+  return tail.offset + tail.length - head.offset;
+}
+
+void CorpusReader::release_records(std::size_t first, std::size_t last) const {
+  if (first >= last || last > size()) return;
+  const IndexEntry head = index_entry(first);
+  const std::uint64_t bytes = record_bytes(first, last);
+  file_.dont_need(static_cast<std::size_t>(head.offset),
+                  static_cast<std::size_t>(bytes));
+}
+
+// --- PackedCorpus -----------------------------------------------------------
+
+Result<std::unique_ptr<PackedCorpus>> PackedCorpus::open(
+    const std::string& path) {
+  auto reader = CorpusReader::open(path);
+  if (!reader.ok()) return reader.error();
+  auto corpus = std::unique_ptr<PackedCorpus>(new PackedCorpus());
+  corpus->reader_ = std::move(reader).value();
+
+  auto env = corpus->reader_->environment();
+  if (!env.ok()) return env.error();
+  corpus->stores_ = truststore::make_program_stores(
+      env.value().core_roots, env.value().exclusive_roots);
+  corpus->aia_.replay_snapshot(env.value().aia_entries);
+  return corpus;
+}
+
+}  // namespace chainchaos::corpusio

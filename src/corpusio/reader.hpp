@@ -1,0 +1,133 @@
+// CorpusReader: memory-mapped random access over a packed corpus file.
+//
+// open() maps the file read-only and validates everything cheap enough
+// to check without touching the data section: magic, version, header
+// coherence, section bounds, and a full index scan (every record byte
+// range must lie inside the data section, in ascending order, without
+// overlaps). Per-record checksums are verified on decode; the whole-
+// file checksum via verify() (an explicit full read — corpus_cat
+// --verify and the round-trip tests call it, sweeps do not, keeping
+// cold start near zero). Every failure is a typed Error
+// ("corpusio.bad_magic", "corpusio.unsupported_version",
+// "corpusio.truncated", "corpusio.bad_index", "corpusio.overlap",
+// "corpusio.checksum_mismatch", "corpusio.empty", ...); no input can
+// reach undefined behaviour.
+//
+// Streaming: decode_record() materializes one dataset::DomainRecord at
+// a time from the mapped bytes (parsing its DER certificates afresh),
+// and release_records() hands consumed page ranges back to the kernel
+// (madvise MADV_DONTNEED), which is what keeps a multi-million-record
+// sweep's resident set roughly constant instead of proportional to the
+// file.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "corpusio/format.hpp"
+#include "dataset/corpus.hpp"
+#include "net/aia_repository.hpp"
+#include "support/result.hpp"
+#include "truststore/root_store.hpp"
+
+namespace chainchaos::corpusio {
+
+/// RAII read-only file mapping (POSIX mmap).
+class MappedFile {
+ public:
+  static Result<MappedFile> map(const std::string& path);
+
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  BytesView view() const { return BytesView(data_, size_); }
+
+  /// Advises the kernel that [offset, offset+length) will not be needed
+  /// again; the range is widened/shrunk to page boundaries internally.
+  /// Purely an RSS hint — later accesses refault transparently.
+  void dont_need(std::size_t offset, std::size_t length) const;
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// The decoded environment block: everything a sweep needs besides the
+/// records themselves.
+struct EnvironmentBlock {
+  std::vector<x509::CertPtr> core_roots;
+  std::vector<std::pair<x509::CertPtr, unsigned>> exclusive_roots;
+  std::vector<net::AiaEntrySnapshot> aia_entries;
+};
+
+class CorpusReader {
+ public:
+  /// Maps and validates `path` (see file comment for what open checks).
+  static Result<std::unique_ptr<CorpusReader>> open(const std::string& path);
+
+  const FileHeader& header() const { return header_; }
+  std::size_t size() const {
+    return static_cast<std::size_t>(header_.record_count);
+  }
+  std::size_t file_bytes() const { return file_.size(); }
+
+  /// The validated index entry for record `i` (i < size()).
+  IndexEntry index_entry(std::size_t i) const;
+
+  /// Decodes record `i`: verifies the per-record checksum, rebuilds the
+  /// label set and parses every DER certificate.
+  Result<dataset::DomainRecord> decode_record(std::size_t i) const;
+
+  /// Decodes the environment block (root-store material + AIA
+  /// snapshot).
+  Result<EnvironmentBlock> environment() const;
+
+  /// Recomputes and compares the whole-file checksum plus every
+  /// per-record checksum. Reads the entire file.
+  Result<bool> verify() const;
+
+  /// Total data-section bytes spanned by records [first, last).
+  std::uint64_t record_bytes(std::size_t first, std::size_t last) const;
+
+  /// Returns the pages holding records [first, last) to the kernel.
+  void release_records(std::size_t first, std::size_t last) const;
+
+ private:
+  CorpusReader() = default;
+
+  MappedFile file_;
+  FileHeader header_;
+};
+
+/// A packed corpus opened for analysis: the reader plus the rebuilt
+/// sweep environment (program root stores, replayed AIA repository).
+/// This is what the --corpus CLI paths hold on to: `stores()` and
+/// `aia()` slot into chain::CompletenessOptions exactly like a
+/// generated dataset::Corpus's, so sweep summaries come out
+/// byte-identical to the in-RAM run of the same config.
+class PackedCorpus {
+ public:
+  static Result<std::unique_ptr<PackedCorpus>> open(const std::string& path);
+
+  const CorpusReader& reader() const { return *reader_; }
+  const truststore::ProgramStores& stores() const { return stores_; }
+  net::AiaRepository& aia() { return aia_; }
+
+ private:
+  PackedCorpus() = default;
+
+  std::unique_ptr<CorpusReader> reader_;
+  truststore::ProgramStores stores_;
+  net::AiaRepository aia_;
+};
+
+}  // namespace chainchaos::corpusio

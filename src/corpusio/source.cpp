@@ -1,0 +1,23 @@
+#include "corpusio/source.hpp"
+
+namespace chainchaos::corpusio {
+
+void PackedRecordSource::visit(
+    std::size_t first, std::size_t last,
+    const std::function<void(const dataset::DomainRecord&, std::size_t)>& fn)
+    const {
+  if (first >= last) return;
+  for (std::size_t i = first; i < last; ++i) {
+    auto record = reader_->decode_record(i);
+    if (!record.ok()) {
+      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    fn(record.value(), i);
+  }
+  bytes_visited_.fetch_add(reader_->record_bytes(first, last),
+                           std::memory_order_relaxed);
+  if (release_pages_) reader_->release_records(first, last);
+}
+
+}  // namespace chainchaos::corpusio

@@ -1,0 +1,58 @@
+// PackedRecordSource: the engine::RecordSource over a memory-mapped
+// packed corpus.
+//
+// Each visit() decodes its shard's records lazily out of the mapping —
+// one dataset::DomainRecord materialized at a time — and (by default)
+// hands the shard's pages back to the kernel afterwards, so a sweep's
+// resident set stays roughly constant no matter how large the file is.
+// Records that fail to decode are counted and skipped rather than
+// aborting the sweep mid-shard; callers check decode_errors() after the
+// run (the byte-identity tests require it to be zero).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "corpusio/reader.hpp"
+#include "engine/engine.hpp"
+
+namespace chainchaos::corpusio {
+
+class PackedRecordSource final : public engine::RecordSource {
+ public:
+  /// `reader` must outlive the source. `release_pages` = false keeps
+  /// pages resident (useful when the same file is swept repeatedly).
+  explicit PackedRecordSource(const CorpusReader* reader,
+                              bool release_pages = true)
+      : reader_(reader), release_pages_(release_pages) {}
+
+  std::size_t size() const override { return reader_->size(); }
+
+  void visit(std::size_t first, std::size_t last,
+             const std::function<void(const dataset::DomainRecord&,
+                                      std::size_t)>& fn) const override;
+
+  /// Records skipped because they failed to decode (0 on a sound file).
+  std::uint64_t decode_errors() const {
+    return decode_errors_.load(std::memory_order_relaxed);
+  }
+
+  /// Data-section bytes spanned by every record visited so far — the
+  /// numerator of the bench's bytes/sec figure.
+  std::uint64_t bytes_visited() const {
+    return bytes_visited_.load(std::memory_order_relaxed);
+  }
+
+  void reset_counters() {
+    decode_errors_.store(0, std::memory_order_relaxed);
+    bytes_visited_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  const CorpusReader* reader_;
+  bool release_pages_;
+  mutable std::atomic<std::uint64_t> decode_errors_{0};
+  mutable std::atomic<std::uint64_t> bytes_visited_{0};
+};
+
+}  // namespace chainchaos::corpusio

@@ -1,0 +1,224 @@
+#include "corpusio/writer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "x509/certificate.hpp"
+
+namespace chainchaos::corpusio {
+
+namespace {
+
+/// Encodes a length-prefixed string (u16 length). Strings longer than
+/// 64 KiB do not occur in corpus metadata; truncating would corrupt
+/// labels, so the caller rejects them instead.
+bool put_string16(Bytes& out, const std::string& s) {
+  if (s.size() > std::numeric_limits<std::uint16_t>::max()) return false;
+  put_u16(out, static_cast<std::uint16_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+  return true;
+}
+
+std::uint8_t label_flags(const dataset::DomainRecord& record) {
+  std::uint8_t flags = 0;
+  if (record.root_included) flags |= kFlagRootIncluded;
+  if (record.rare_hierarchy) flags |= kFlagRareHierarchy;
+  if (record.akidless_terminal) flags |= kFlagAkidlessTerminal;
+  if (record.exclusive_store_domain) flags |= kFlagExclusiveStoreDomain;
+  if (record.exemplar) flags |= kFlagExemplar;
+  return flags;
+}
+
+}  // namespace
+
+Result<bool> CorpusWriter::open(const std::string& path,
+                                const PackOptions& options) {
+  out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!out_) return make_error("corpusio.io", "cannot create " + path);
+  header_.seed = options.seed;
+  header_.domain_count = options.domain_count;
+  header_.flags = options.include_exemplars ? kHeaderFlagExemplars : 0;
+  header_.data_offset = kHeaderBytes;
+  // Placeholder header; finish() rewrites it with real offsets and the
+  // checksum. Written as zeros so a crashed pack never validates.
+  const Bytes placeholder(kHeaderBytes, 0);
+  out_.write(reinterpret_cast<const char*>(placeholder.data()),
+             static_cast<std::streamsize>(placeholder.size()));
+  if (!out_) return make_error("corpusio.io", "header write failed");
+  return true;
+}
+
+Result<bool> CorpusWriter::write_body(BytesView bytes) {
+  body_hash_ = fnv1a64(body_hash_, bytes);
+  body_bytes_ += bytes.size();
+  out_.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  if (!out_) return make_error("corpusio.io", "body write failed");
+  return true;
+}
+
+Result<bool> CorpusWriter::add_record(const dataset::DomainRecord& record) {
+  if (finished_ || !out_.is_open()) {
+    return make_error("corpusio.io", "writer is not open");
+  }
+  if (env_roots_.size() + env_exclusive_.size() + env_aia_.size() > 0) {
+    return make_error("corpusio.io", "records must precede environment");
+  }
+  const chain::ChainObservation& obs = record.observation;
+
+  Bytes blob;
+  // --- label block, length-prefixed so future versions can grow it ----
+  Bytes labels;
+  put_u8(labels, static_cast<std::uint8_t>(record.primary_defect));
+  put_u8(labels, static_cast<std::uint8_t>(record.leaf_defect));
+  put_u8(labels, label_flags(record));
+  put_u8(labels, 0);  // reserved
+  put_u32(labels, static_cast<std::uint32_t>(record.missing_count));
+  if (!put_string16(labels, obs.domain) ||
+      !put_string16(labels, obs.ca_name) ||
+      !put_string16(labels, obs.server_software) ||
+      !put_string16(labels, record.exemplar_name)) {
+    return make_error("corpusio.oversized_label", obs.domain);
+  }
+  put_u32(blob, static_cast<std::uint32_t>(labels.size()));
+  append(blob, labels);
+
+  // --- certificates, raw DER, length-prefixed -------------------------
+  put_u32(blob, static_cast<std::uint32_t>(obs.certificates.size()));
+  for (const x509::CertPtr& cert : obs.certificates) {
+    if (!cert) return make_error("corpusio.null_certificate", obs.domain);
+    put_u32(blob, static_cast<std::uint32_t>(cert->der.size()));
+    append(blob, cert->der);
+  }
+
+  const std::uint64_t checksum = fnv1a64(blob);
+  put_u64(blob, checksum);
+
+  IndexEntry entry;
+  entry.offset = kHeaderBytes + body_bytes_;
+  entry.length = static_cast<std::uint32_t>(blob.size());
+  entry.primary_defect = static_cast<std::uint8_t>(record.primary_defect);
+  entry.leaf_defect = static_cast<std::uint8_t>(record.leaf_defect);
+  entry.flags = label_flags(record);
+  entry.cert_count = static_cast<std::uint8_t>(
+      std::min<std::size_t>(obs.certificates.size(), 255));
+  entry.checksum = checksum;
+
+  auto written = write_body(blob);
+  if (!written.ok()) return written.error();
+  index_.push_back(entry);
+  return true;
+}
+
+void CorpusWriter::add_core_root(const x509::CertPtr& root) {
+  put_u32(env_roots_, static_cast<std::uint32_t>(root->der.size()));
+  append(env_roots_, root->der);
+  ++core_root_count_;
+}
+
+void CorpusWriter::add_exclusive_root(const x509::CertPtr& root,
+                                      unsigned mask) {
+  put_u32(env_exclusive_, static_cast<std::uint32_t>(mask));
+  put_u32(env_exclusive_, static_cast<std::uint32_t>(root->der.size()));
+  append(env_exclusive_, root->der);
+  ++exclusive_count_;
+}
+
+void CorpusWriter::add_aia_entry(const std::string& uri,
+                                 const x509::CertPtr& cert,
+                                 bool unreachable) {
+  std::uint8_t flags = 0;
+  if (cert) flags |= 1;
+  if (unreachable) flags |= 2;
+  put_u8(env_aia_, flags);
+  put_string16(env_aia_, uri);
+  if (cert) {
+    put_u32(env_aia_, static_cast<std::uint32_t>(cert->der.size()));
+    append(env_aia_, cert->der);
+  }
+  ++aia_count_;
+}
+
+Result<bool> CorpusWriter::finish() {
+  if (finished_ || !out_.is_open()) {
+    return make_error("corpusio.io", "writer is not open");
+  }
+  finished_ = true;
+  header_.record_count = index_.size();
+  header_.data_bytes = body_bytes_;
+
+  // --- environment block ----------------------------------------------
+  header_.env_offset = kHeaderBytes + body_bytes_;
+  Bytes env;
+  put_u32(env, core_root_count_);
+  append(env, env_roots_);
+  put_u32(env, exclusive_count_);
+  append(env, env_exclusive_);
+  put_u32(env, aia_count_);
+  append(env, env_aia_);
+  auto written = write_body(env);
+  if (!written.ok()) return written.error();
+  header_.env_bytes = env.size();
+
+  // --- index ----------------------------------------------------------
+  header_.index_offset = kHeaderBytes + body_bytes_;
+  Bytes index;
+  index.reserve(index_.size() * kIndexEntryBytes);
+  for (const IndexEntry& entry : index_) encode_index_entry(index, entry);
+  written = write_body(index);
+  if (!written.ok()) return written.error();
+  header_.index_bytes = index.size();
+
+  // --- header + checksum ----------------------------------------------
+  // The file checksum covers the header (checksum field zeroed) followed
+  // by the running hash of every body byte in file order; folding the
+  // body in via its own digest lets the writer stream the body before
+  // the header fields are final.
+  std::uint64_t checksum = fnv1a64(encode_header(header_, true));
+  Bytes body_digest;
+  put_u64(body_digest, body_hash_);
+  checksum = fnv1a64(checksum, body_digest);
+  header_.file_checksum = checksum;
+
+  out_.seekp(0);
+  const Bytes head = encode_header(header_, false);
+  out_.write(reinterpret_cast<const char*>(head.data()),
+             static_cast<std::streamsize>(head.size()));
+  out_.flush();
+  if (!out_) return make_error("corpusio.io", "header rewrite failed");
+  out_.close();
+  return true;
+}
+
+Result<bool> pack_corpus(const dataset::Corpus& corpus,
+                         const std::string& path, std::size_t replicate) {
+  if (replicate == 0) replicate = 1;
+  CorpusWriter writer;
+  PackOptions options;
+  options.seed = corpus.config().seed;
+  options.domain_count = corpus.config().domain_count;
+  options.include_exemplars = corpus.config().include_exemplars;
+  auto opened = writer.open(path, options);
+  if (!opened.ok()) return opened.error();
+
+  for (std::size_t round = 0; round < replicate; ++round) {
+    for (const dataset::DomainRecord& record : corpus.records()) {
+      auto added = writer.add_record(record);
+      if (!added.ok()) return added.error();
+    }
+  }
+
+  for (const x509::CertPtr& root : corpus.zoo().core_roots()) {
+    writer.add_core_root(root);
+  }
+  for (const auto& [root, mask] : corpus.zoo().exclusive_roots()) {
+    writer.add_exclusive_root(root, mask);
+  }
+  for (const net::AiaEntrySnapshot& entry :
+       corpus.aia().snapshot_entries()) {
+    writer.add_aia_entry(entry.uri, entry.cert, entry.unreachable);
+  }
+  return writer.finish();
+}
+
+}  // namespace chainchaos::corpusio

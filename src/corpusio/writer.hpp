@@ -1,0 +1,88 @@
+// CorpusWriter: streams a generated corpus into the packed binary
+// format (format.hpp).
+//
+// Usage is append-only: open(), add_record() per domain (records land
+// in the data section immediately — nothing but the 32-byte-per-record
+// index is buffered, so packing is O(1) memory in the corpus size),
+// optional environment material, then finish(), which writes the env
+// block, the index, and finally the header with section offsets and
+// the file checksum. pack_corpus() bundles the whole recipe for a
+// dataset::Corpus, including the AIA snapshot and root-store material
+// that lets a later mmap sweep reproduce analysis byte-identically
+// without rebuilding the CA zoo.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "corpusio/format.hpp"
+#include "dataset/corpus.hpp"
+#include "support/result.hpp"
+
+namespace chainchaos::corpusio {
+
+struct PackOptions {
+  std::uint64_t seed = 833;
+  std::uint64_t domain_count = 0;
+  bool include_exemplars = true;
+};
+
+class CorpusWriter {
+ public:
+  CorpusWriter() = default;
+  CorpusWriter(const CorpusWriter&) = delete;
+  CorpusWriter& operator=(const CorpusWriter&) = delete;
+
+  /// Creates/truncates `path` and writes the header placeholder.
+  Result<bool> open(const std::string& path, const PackOptions& options);
+
+  /// Appends one domain record: label block + length-prefixed DER
+  /// certificates + record checksum.
+  Result<bool> add_record(const dataset::DomainRecord& record);
+
+  // --- environment block (must come after the last add_record) ----------
+  /// A root trusted by every program store.
+  void add_core_root(const x509::CertPtr& root);
+  /// A root trusted by the program subset in `mask` (truststore bits).
+  void add_exclusive_root(const x509::CertPtr& root, unsigned mask);
+  /// One AIA repository entry (cert may be null for a bare
+  /// unreachable marker).
+  void add_aia_entry(const std::string& uri, const x509::CertPtr& cert,
+                     bool unreachable);
+
+  /// Writes env + index + final header. The writer is unusable after.
+  Result<bool> finish();
+
+  std::uint64_t records_written() const { return index_.size(); }
+  std::uint64_t bytes_written() const { return body_bytes_ + kHeaderBytes; }
+
+ private:
+  /// Appends to the data/env/index body, maintaining the running body
+  /// checksum (file order).
+  Result<bool> write_body(BytesView bytes);
+
+  std::ofstream out_;
+  FileHeader header_;
+  std::vector<IndexEntry> index_;
+  Bytes env_roots_;        ///< encoded core+exclusive root sub-blocks
+  std::uint32_t core_root_count_ = 0;
+  Bytes env_exclusive_;
+  std::uint32_t exclusive_count_ = 0;
+  Bytes env_aia_;
+  std::uint32_t aia_count_ = 0;
+  std::uint64_t body_bytes_ = 0;   ///< bytes written after the header
+  std::uint64_t body_hash_ = kFnvOffset;
+  bool finished_ = false;
+};
+
+/// Packs `corpus` (records, config essentials, root-store material, AIA
+/// snapshot) to `path`. `replicate` appends the record range that many
+/// times — the cheap way to build multi-million-record benchmark files
+/// out of a modest generated corpus (labels and chains repeat; every
+/// record is still independently indexed and checksummed).
+Result<bool> pack_corpus(const dataset::Corpus& corpus,
+                         const std::string& path, std::size_t replicate = 1);
+
+}  // namespace chainchaos::corpusio

@@ -49,6 +49,7 @@ class Corpus {
   std::size_t size() const { return records_.size(); }
 
   net::AiaRepository& aia() { return *aia_; }
+  const net::AiaRepository& aia() const { return *aia_; }
   const truststore::ProgramStores& stores() const { return stores_; }
   CaZoo& zoo() { return *zoo_; }
   const CaZoo& zoo() const { return *zoo_; }

@@ -1,5 +1,6 @@
 #include "dataset/serialize.hpp"
 
+#include <cstdlib>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -17,7 +18,12 @@ void export_corpus(const Corpus& corpus, std::ostream& out) {
         << record.observation.ca_name << "\t"
         << record.observation.server_software << "\t"
         << to_string(record.primary_defect) << "\t"
-        << to_string(record.leaf_defect) << "\n";
+        << to_string(record.leaf_defect) << "\t"
+        << (record.root_included ? 1 : 0) << "\t"
+        << (record.rare_hierarchy ? 1 : 0) << "\t"
+        << (record.akidless_terminal ? 1 : 0) << "\t"
+        << (record.exclusive_store_domain ? 1 : 0) << "\t"
+        << record.missing_count << "\n";
     for (const x509::CertPtr& cert : record.observation.certificates) {
       out << x509::to_pem(*cert);
     }
@@ -57,11 +63,34 @@ Result<std::vector<ExportedRecord>> import_corpus(std::istream& in) {
       if (in_pem) return make_error("corpus.truncated_pem", line);
       const std::vector<std::string> fields =
           split(line.substr(8), '\t');
-      if (fields.size() != 5) {
+      // 5 fields: historical bundles (labels default). 10: current.
+      if (fields.size() != 5 && fields.size() != 10) {
         return make_error("corpus.bad_domain_line", line);
       }
-      records.push_back(ExportedRecord{fields[0], fields[1], fields[2],
-                                       fields[3], fields[4], {}});
+      ExportedRecord record;
+      record.domain = fields[0];
+      record.ca_name = fields[1];
+      record.server_software = fields[2];
+      record.primary_defect = fields[3];
+      record.leaf_defect = fields[4];
+      if (fields.size() == 10) {
+        const auto parse_bool = [](const std::string& s, bool& out) {
+          if (s != "0" && s != "1") return false;
+          out = s == "1";
+          return true;
+        };
+        char* end = nullptr;
+        const long missing = std::strtol(fields[9].c_str(), &end, 10);
+        if (!parse_bool(fields[5], record.root_included) ||
+            !parse_bool(fields[6], record.rare_hierarchy) ||
+            !parse_bool(fields[7], record.akidless_terminal) ||
+            !parse_bool(fields[8], record.exclusive_store_domain) ||
+            end == fields[9].c_str() || *end != '\0' || missing < 0) {
+          return make_error("corpus.bad_domain_line", line);
+        }
+        record.missing_count = static_cast<int>(missing);
+      }
+      records.push_back(std::move(record));
       current = &records.back();
       continue;
     }

@@ -4,9 +4,13 @@
 // Format: a single text file. Each domain starts with a tab-separated
 // metadata line —
 //   #domain <name>\t<ca>\t<server>\t<primary-defect>\t<leaf-defect>
-// — followed by the served chain as standard PEM blocks. The format is
-// greppable, versionable, and consumable by external tooling (any PEM
-// parser skips the metadata lines as comments).
+//          \t<root-included>\t<rare-hierarchy>\t<akidless-terminal>
+//          \t<exclusive-store>\t<missing-count>
+// — booleans as 0/1 — followed by the served chain as standard PEM
+// blocks. The format is greppable, versionable, and consumable by
+// external tooling (any PEM parser skips the metadata lines as
+// comments). The importer also accepts the historical 5-field line
+// (labels default to false/0), so old bundles keep loading.
 #pragma once
 
 #include <iosfwd>
@@ -19,13 +23,19 @@
 namespace chainchaos::dataset {
 
 /// A domain entry read back from an exported bundle. Certificates are
-/// reparsed; defect labels survive as strings.
+/// reparsed; defect labels survive as strings, the boolean/count
+/// ground-truth labels as values (false/0 for 5-field legacy bundles).
 struct ExportedRecord {
   std::string domain;
   std::string ca_name;
   std::string server_software;
   std::string primary_defect;
   std::string leaf_defect;
+  bool root_included = false;
+  bool rare_hierarchy = false;
+  bool akidless_terminal = false;
+  bool exclusive_store_domain = false;
+  int missing_count = 0;
   std::vector<x509::CertPtr> certificates;
 };
 

@@ -85,15 +85,18 @@ void for_each_shard(std::size_t count, const ShardOptions& options,
 
 AnalysisResult run(const AnalysisRequest& request) {
   AnalysisResult result;
-  if (request.records == nullptr) return result;
-  const std::vector<dataset::DomainRecord>& records = *request.records;
+  const VectorRecordSource vector_source(request.records);
+  const RecordSource* source =
+      request.source != nullptr ? request.source : &vector_source;
+  if (request.source == nullptr && request.records == nullptr) return result;
+  const std::size_t count = source->size();
 
   const unsigned threads = resolve_threads(request.shards.threads);
   result.threads_used = threads;
-  if (!records.empty()) {
-    const std::size_t shard = resolve_shard_size(records.size(), threads,
-                                                 request.shards.shard_size);
-    result.shard_count = (records.size() + shard - 1) / shard;
+  if (count > 0) {
+    const std::size_t shard =
+        resolve_shard_size(count, threads, request.shards.shard_size);
+    result.shard_count = (count + shard - 1) / shard;
   }
 
   struct WorkerState {
@@ -119,31 +122,32 @@ AnalysisResult run(const AnalysisRequest& request) {
 
   const auto start = std::chrono::steady_clock::now();
   for_each_shard(
-      records.size(), request.shards,
+      count, request.shards,
       [&](std::size_t first, std::size_t last, unsigned worker) {
         const crypto::VerifyMemoScope memo_scope(memo);
         WorkerState& state = workers[worker];
-        for (std::size_t i = first; i < last; ++i) {
-          const dataset::DomainRecord& record = records[i];
-          if (request.filter && !request.filter(record)) {
-            ++state.skipped;
-            continue;
-          }
-          ++state.processed;
-          chain::ComplianceReport report;
-          const chain::ComplianceReport* report_ptr = nullptr;
-          if (request.analyzer != nullptr) {
-            report = request.analyzer->analyze(record.observation);
-            report_ptr = &report;
-            state.tally.compliance.account(report);
-            if (request.key_of) {
-              state.tally.by_key[request.key_of(record)].account(report);
-            }
-          }
-          if (request.per_record) {
-            request.per_record(record, i, report_ptr, state.tally);
-          }
-        }
+        source->visit(
+            first, last,
+            [&](const dataset::DomainRecord& record, std::size_t i) {
+              if (request.filter && !request.filter(record)) {
+                ++state.skipped;
+                return;
+              }
+              ++state.processed;
+              chain::ComplianceReport report;
+              const chain::ComplianceReport* report_ptr = nullptr;
+              if (request.analyzer != nullptr) {
+                report = request.analyzer->analyze(record.observation);
+                report_ptr = &report;
+                state.tally.compliance.account(report);
+                if (request.key_of) {
+                  state.tally.by_key[request.key_of(record)].account(report);
+                }
+              }
+              if (request.per_record) {
+                request.per_record(record, i, report_ptr, state.tally);
+              }
+            });
       });
   const auto stop = std::chrono::steady_clock::now();
   result.elapsed_seconds =

@@ -33,6 +33,51 @@
 
 namespace chainchaos::engine {
 
+/// Where a sweep's records come from. The engine only ever touches a
+/// record inside a shard-sized visit, so a source may materialize
+/// records lazily (the packed-corpus reader decodes each record from a
+/// memory-mapped file and discards it after the callback) or hand out
+/// references into long-lived storage (the in-RAM corpus vector).
+/// Implementations must tolerate concurrent visit() calls from
+/// different workers on disjoint ranges.
+class RecordSource {
+ public:
+  virtual ~RecordSource() = default;
+
+  /// Total records in the source.
+  virtual std::size_t size() const = 0;
+
+  /// Invokes `fn(record, index)` for every index in [first, last), in
+  /// ascending order. The record reference is only guaranteed valid for
+  /// the duration of the callback.
+  virtual void visit(
+      std::size_t first, std::size_t last,
+      const std::function<void(const dataset::DomainRecord&, std::size_t)>&
+          fn) const = 0;
+};
+
+/// RecordSource over an in-RAM record vector (the historical sweep
+/// input): visit() hands out references into the vector, no copies.
+class VectorRecordSource final : public RecordSource {
+ public:
+  explicit VectorRecordSource(
+      const std::vector<dataset::DomainRecord>* records)
+      : records_(records) {}
+
+  std::size_t size() const override {
+    return records_ != nullptr ? records_->size() : 0;
+  }
+
+  void visit(std::size_t first, std::size_t last,
+             const std::function<void(const dataset::DomainRecord&,
+                                      std::size_t)>& fn) const override {
+    for (std::size_t i = first; i < last; ++i) fn((*records_)[i], i);
+  }
+
+ private:
+  const std::vector<dataset::DomainRecord>* records_;
+};
+
 /// Worker-pool shape shared by every engine entry point.
 struct ShardOptions {
   unsigned threads = 0;        ///< 0 = std::thread::hardware_concurrency
@@ -61,8 +106,14 @@ void for_each_shard(std::size_t count, const ShardOptions& options,
 
 /// One batch-analysis job over a record range.
 struct AnalysisRequest {
-  /// The records to analyze (required; must outlive the run).
+  /// The records to analyze (must outlive the run). Ignored when
+  /// `source` is set; exactly one of the two must be non-null.
   const std::vector<dataset::DomainRecord>* records = nullptr;
+
+  /// Alternative record supply: any RecordSource (the packed-corpus
+  /// mmap reader, a filtered view, ...). When set it wins over
+  /// `records`. Must outlive the run.
+  const RecordSource* source = nullptr;
 
   ShardOptions shards;
 

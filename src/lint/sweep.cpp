@@ -16,13 +16,15 @@ constexpr std::string_view kChainsWithFindings = "lint.chains_with_findings";
 
 CorpusLintSummary lint_corpus(const CorpusLintRequest& request) {
   CorpusLintSummary summary;
-  if (request.records == nullptr || request.analyzer == nullptr) {
+  if ((request.records == nullptr && request.source == nullptr) ||
+      request.analyzer == nullptr) {
     return summary;
   }
 
   const Linter linter(request.options);
   engine::AnalysisRequest engine_request;
   engine_request.records = request.records;
+  engine_request.source = request.source;
   engine_request.shards = request.shards;
   engine_request.analyzer = request.analyzer;
   engine_request.per_record =

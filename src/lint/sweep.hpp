@@ -21,8 +21,13 @@
 namespace chainchaos::lint {
 
 struct CorpusLintRequest {
-  /// Records to lint (required; must outlive the run).
+  /// Records to lint (required unless `source` is set; must outlive the
+  /// run).
   const std::vector<dataset::DomainRecord>* records = nullptr;
+
+  /// Alternative record supply, e.g. a corpusio::PackedRecordSource over
+  /// a memory-mapped corpus file. Wins over `records` when set.
+  const engine::RecordSource* source = nullptr;
 
   engine::ShardOptions shards;
 

@@ -183,4 +183,24 @@ std::size_t AiaRepository::published_count() const {
   return entries_.size();
 }
 
+std::vector<AiaEntrySnapshot> AiaRepository::snapshot_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<AiaEntrySnapshot> snapshot;
+  snapshot.reserve(entries_.size());
+  for (const auto& [uri, entry] : entries_) {
+    snapshot.push_back(AiaEntrySnapshot{uri, entry.cert, entry.unreachable});
+  }
+  return snapshot;
+}
+
+void AiaRepository::replay_snapshot(
+    const std::vector<AiaEntrySnapshot>& entries) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const AiaEntrySnapshot& entry : entries) {
+    Entry& slot = entries_[entry.uri];
+    if (entry.cert) slot.cert = entry.cert;
+    slot.unreachable = entry.unreachable;
+  }
+}
+
 }  // namespace chainchaos::net

@@ -19,6 +19,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "support/result.hpp"
 #include "x509/certificate.hpp"
@@ -69,6 +70,15 @@ struct FaultSpec {
   std::uint64_t extra_latency_ms = 0;  ///< added per attempt (slow link)
 };
 
+/// One published URI's durable state, as captured by snapshot_entries().
+/// Fault schedules are deliberately absent: they are runtime chaos
+/// configuration, not corpus content.
+struct AiaEntrySnapshot {
+  std::string uri;
+  x509::CertPtr cert;        ///< may be null (bare unreachable marker)
+  bool unreachable = false;
+};
+
 class AiaRepository {
  public:
   /// Per-fetch simulated round-trip cost (a plain-HTTP fetch of a small
@@ -112,6 +122,16 @@ class AiaRepository {
   void reset_stats();
 
   std::size_t published_count() const;
+
+  /// Every entry's durable state in deterministic (map) order — what the
+  /// packed-corpus writer persists so a later mmap sweep can rebuild an
+  /// identically-behaving repository via replay_snapshot().
+  std::vector<AiaEntrySnapshot> snapshot_entries() const;
+
+  /// Re-applies a snapshot: publishes each certificate and re-marks
+  /// unreachable URIs. Entries merge over whatever is already present
+  /// (later publishes overwrite, matching publish() semantics).
+  void replay_snapshot(const std::vector<AiaEntrySnapshot>& entries);
 
  private:
   struct Entry {

@@ -66,9 +66,11 @@ SweepSummary run_sweep(const SweepRequest& request) {
 
   const auto start = std::chrono::steady_clock::now();
 
-  if (request.records != nullptr && !request.records->empty()) {
+  if ((request.records != nullptr && !request.records->empty()) ||
+      request.source != nullptr) {
     engine::AnalysisRequest engine_request;
     engine_request.records = request.records;
+    engine_request.source = request.source;
     engine_request.shards = request.shards;
     engine_request.per_record = [](const dataset::DomainRecord& record,
                                    std::size_t,

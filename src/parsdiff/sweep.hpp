@@ -34,6 +34,10 @@ struct SweepRequest {
   /// Corpus chains to sweep (optional; the served DER of each record).
   const std::vector<dataset::DomainRecord>* records = nullptr;
 
+  /// Alternative chain supply, e.g. a corpusio::PackedRecordSource over
+  /// a memory-mapped corpus file (optional; wins over `records`).
+  const engine::RecordSource* source = nullptr;
+
   /// Pre-generated extra inputs, e.g. chaos-mutated wire images
   /// (optional). Generation is the caller's job — the sweep only
   /// parses — which keeps this library independent of chaos::.

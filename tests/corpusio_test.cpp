@@ -1,0 +1,341 @@
+// Packed corpus store (DESIGN.md §5.14): round-trip fidelity, sweep
+// byte-identity RAM vs mmap, and hostile-file rejection.
+//
+// The corruption tests patch real packed files byte-by-byte — bad
+// magic, unknown version, truncation, index entries pointing past EOF
+// or over each other, flipped data bytes — and assert each produces its
+// typed corpusio.* error. Under ASan/UBSan these double as proof that
+// no malformed input reaches undefined behaviour.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+
+#include "chain/analyzer.hpp"
+#include "corpusio/reader.hpp"
+#include "corpusio/source.hpp"
+#include "corpusio/writer.hpp"
+#include "dataset/corpus.hpp"
+#include "engine/engine.hpp"
+
+namespace chainchaos {
+namespace {
+
+dataset::Corpus& corpus() {
+  static dataset::Corpus* instance = [] {
+    dataset::CorpusConfig config;
+    config.domain_count = 150;
+    return new dataset::Corpus(std::move(config));
+  }();
+  return *instance;
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Packs the shared corpus once; every test reads this file (the
+/// corruption tests copy it first).
+const std::string& packed_path() {
+  static const std::string path = [] {
+    const std::string p = temp_path("corpusio_test.chc");
+    auto packed = corpusio::pack_corpus(corpus(), p);
+    EXPECT_TRUE(packed.ok());
+    return p;
+  }();
+  return path;
+}
+
+Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+  return Bytes(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, BytesView bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  EXPECT_TRUE(out.good());
+}
+
+/// Copies the good file, applies `mutate`, returns the error code
+/// CorpusReader::open produced (empty string = opened fine).
+std::string open_error_after(const char* name,
+                             const std::function<void(Bytes&)>& mutate) {
+  Bytes bytes = read_file(packed_path());
+  mutate(bytes);
+  const std::string path = temp_path(name);
+  write_file(path, bytes);
+  auto opened = corpusio::CorpusReader::open(path);
+  std::remove(path.c_str());
+  return opened.ok() ? std::string() : opened.error().code;
+}
+
+// ---------------------------------------------------------------------------
+// Round trip
+// ---------------------------------------------------------------------------
+
+TEST(CorpusIo, RoundTripPreservesEveryRecord) {
+  auto opened = corpusio::CorpusReader::open(packed_path());
+  ASSERT_TRUE(opened.ok()) << opened.error().to_string();
+  const corpusio::CorpusReader& reader = *opened.value();
+  ASSERT_EQ(reader.size(), corpus().records().size());
+  EXPECT_EQ(reader.header().seed, corpus().config().seed);
+  EXPECT_EQ(reader.header().domain_count, corpus().config().domain_count);
+  EXPECT_TRUE(reader.header().include_exemplars());
+
+  for (std::size_t i = 0; i < reader.size(); ++i) {
+    auto decoded = reader.decode_record(i);
+    ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+    const dataset::DomainRecord& got = decoded.value();
+    const dataset::DomainRecord& want = corpus().records()[i];
+    EXPECT_EQ(got.observation.domain, want.observation.domain);
+    EXPECT_EQ(got.observation.ca_name, want.observation.ca_name);
+    EXPECT_EQ(got.observation.server_software,
+              want.observation.server_software);
+    EXPECT_EQ(got.primary_defect, want.primary_defect);
+    EXPECT_EQ(got.leaf_defect, want.leaf_defect);
+    EXPECT_EQ(got.root_included, want.root_included);
+    EXPECT_EQ(got.rare_hierarchy, want.rare_hierarchy);
+    EXPECT_EQ(got.akidless_terminal, want.akidless_terminal);
+    EXPECT_EQ(got.exclusive_store_domain, want.exclusive_store_domain);
+    EXPECT_EQ(got.missing_count, want.missing_count);
+    EXPECT_EQ(got.exemplar, want.exemplar);
+    EXPECT_EQ(got.exemplar_name, want.exemplar_name);
+    ASSERT_EQ(got.observation.certificates.size(),
+              want.observation.certificates.size());
+    for (std::size_t c = 0; c < got.observation.certificates.size(); ++c) {
+      EXPECT_TRUE(equal(got.observation.certificates[c]->der,
+                        want.observation.certificates[c]->der));
+    }
+
+    // The index label summary matches the decoded record.
+    const corpusio::IndexEntry entry = reader.index_entry(i);
+    EXPECT_EQ(entry.primary_defect,
+              static_cast<std::uint8_t>(want.primary_defect));
+    EXPECT_EQ(entry.cert_count, want.observation.certificates.size());
+  }
+  EXPECT_TRUE(reader.verify().ok());
+}
+
+TEST(CorpusIo, EnvironmentBlockCarriesTheSweepEnvironment) {
+  auto opened = corpusio::CorpusReader::open(packed_path());
+  ASSERT_TRUE(opened.ok());
+  auto env = opened.value()->environment();
+  ASSERT_TRUE(env.ok()) << env.error().to_string();
+  EXPECT_EQ(env.value().core_roots.size(), corpus().zoo().core_roots().size());
+  EXPECT_EQ(env.value().exclusive_roots.size(),
+            corpus().zoo().exclusive_roots().size());
+  const auto want_aia = corpus().aia().snapshot_entries();
+  ASSERT_EQ(env.value().aia_entries.size(), want_aia.size());
+  for (std::size_t i = 0; i < want_aia.size(); ++i) {
+    EXPECT_EQ(env.value().aia_entries[i].uri, want_aia[i].uri);
+    EXPECT_EQ(env.value().aia_entries[i].unreachable, want_aia[i].unreachable);
+    EXPECT_EQ(env.value().aia_entries[i].cert != nullptr,
+              want_aia[i].cert != nullptr);
+  }
+}
+
+TEST(CorpusIo, ReplicateMultipliesTheRecordRange) {
+  const std::string path = temp_path("corpusio_replicate.chc");
+  ASSERT_TRUE(corpusio::pack_corpus(corpus(), path, 3).ok());
+  auto opened = corpusio::CorpusReader::open(path);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value()->size(), corpus().records().size() * 3);
+  // Replica of record 0 at one range-length offset decodes identically.
+  auto first = opened.value()->decode_record(0);
+  auto replica = opened.value()->decode_record(corpus().records().size());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(replica.ok());
+  EXPECT_EQ(first.value().observation.domain,
+            replica.value().observation.domain);
+  EXPECT_TRUE(opened.value()->verify().ok());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Sweep byte-identity
+// ---------------------------------------------------------------------------
+
+engine::AnalysisResult run_ram(unsigned threads) {
+  chain::CompletenessOptions options;
+  options.store = &corpus().stores().union_store;
+  options.aia = &corpus().aia();
+  const chain::ComplianceAnalyzer analyzer(options);
+  engine::AnalysisRequest request;
+  request.records = &corpus().records();
+  request.shards.threads = threads;
+  request.analyzer = &analyzer;
+  return engine::run(request);
+}
+
+TEST(CorpusIo, PackedSweepMatchesRamSweepAtAnyThreadCount) {
+  auto packed = corpusio::PackedCorpus::open(packed_path());
+  ASSERT_TRUE(packed.ok()) << packed.error().to_string();
+
+  chain::CompletenessOptions options;
+  options.store = &packed.value()->stores().union_store;
+  options.aia = &packed.value()->aia();
+  const chain::ComplianceAnalyzer analyzer(options);
+
+  const engine::AnalysisResult want = run_ram(1);
+  for (const unsigned threads : {1u, 8u}) {
+    const corpusio::PackedRecordSource source(&packed.value()->reader());
+    engine::AnalysisRequest request;
+    request.source = &source;
+    request.shards.threads = threads;
+    request.analyzer = &analyzer;
+    const engine::AnalysisResult got = engine::run(request);
+    EXPECT_EQ(source.decode_errors(), 0u);
+    EXPECT_GT(source.bytes_visited(), 0u);
+    EXPECT_EQ(got.records_processed, want.records_processed);
+    EXPECT_EQ(got.tally, want.tally) << threads << " threads";
+  }
+}
+
+TEST(CorpusIo, VectorSourceIsEquivalentToDirectRecords) {
+  chain::CompletenessOptions options;
+  options.store = &corpus().stores().union_store;
+  options.aia = &corpus().aia();
+  const chain::ComplianceAnalyzer analyzer(options);
+
+  const engine::VectorRecordSource source(&corpus().records());
+  engine::AnalysisRequest request;
+  request.source = &source;
+  request.shards.threads = 2;
+  request.analyzer = &analyzer;
+  const engine::AnalysisResult got = engine::run(request);
+  const engine::AnalysisResult want = run_ram(2);
+  EXPECT_EQ(got.records_processed, want.records_processed);
+  EXPECT_EQ(got.tally, want.tally);
+}
+
+// ---------------------------------------------------------------------------
+// Hostile files: every corruption is a typed error, never UB
+// ---------------------------------------------------------------------------
+
+TEST(CorpusIo, RejectsBadMagic) {
+  EXPECT_EQ(open_error_after("bad_magic.chc",
+                             [](Bytes& b) { b[0] = 'X'; }),
+            "corpusio.bad_magic");
+}
+
+TEST(CorpusIo, RejectsUnsupportedVersion) {
+  EXPECT_EQ(open_error_after("bad_version.chc",
+                             [](Bytes& b) { b[8] = 99; }),
+            "corpusio.unsupported_version");
+}
+
+TEST(CorpusIo, RejectsFilesSmallerThanTheHeader) {
+  EXPECT_EQ(open_error_after("tiny.chc",
+                             [](Bytes& b) { b.resize(50); }),
+            "corpusio.truncated");
+  EXPECT_EQ(open_error_after("empty.chc", [](Bytes& b) { b.clear(); }),
+            "corpusio.truncated");
+}
+
+TEST(CorpusIo, RejectsTruncatedIndex) {
+  // Chopping the tail off the file shears the index; the section
+  // layout no longer covers the file.
+  EXPECT_EQ(open_error_after("trunc_index.chc",
+                             [](Bytes& b) { b.resize(b.size() - 16); }),
+            "corpusio.truncated");
+}
+
+TEST(CorpusIo, RejectsRecordLengthPastSection) {
+  auto opened = corpusio::CorpusReader::open(packed_path());
+  ASSERT_TRUE(opened.ok());
+  const std::size_t index_offset =
+      static_cast<std::size_t>(opened.value()->header().index_offset);
+  const std::size_t last =
+      index_offset + (opened.value()->size() - 1) * corpusio::kIndexEntryBytes;
+  // The length field sits 8 bytes into the entry; 0xffffffff runs far
+  // past the data section.
+  EXPECT_EQ(open_error_after("bad_length.chc",
+                             [last](Bytes& b) {
+                               b[last + 8] = 0xff;
+                               b[last + 9] = 0xff;
+                               b[last + 10] = 0xff;
+                               b[last + 11] = 0xff;
+                             }),
+            "corpusio.bad_index");
+}
+
+TEST(CorpusIo, RejectsOverlappingRecords) {
+  auto opened = corpusio::CorpusReader::open(packed_path());
+  ASSERT_TRUE(opened.ok());
+  const std::size_t index_offset =
+      static_cast<std::size_t>(opened.value()->header().index_offset);
+  const corpusio::IndexEntry first = opened.value()->index_entry(0);
+  // Point record 1 back at record 0's offset.
+  EXPECT_EQ(open_error_after(
+                "overlap.chc",
+                [index_offset, first](Bytes& b) {
+                  const std::size_t second =
+                      index_offset + corpusio::kIndexEntryBytes;
+                  for (int i = 0; i < 8; ++i) {
+                    b[second + i] =
+                        static_cast<std::uint8_t>(first.offset >> (8 * i));
+                  }
+                }),
+            "corpusio.overlap");
+}
+
+TEST(CorpusIo, RejectsZeroRecordFiles) {
+  const std::string path = temp_path("zero_records.chc");
+  corpusio::CorpusWriter writer;
+  ASSERT_TRUE(writer.open(path, corpusio::PackOptions{}).ok());
+  ASSERT_TRUE(writer.finish().ok());
+  auto opened = corpusio::CorpusReader::open(path);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.error().code, "corpusio.empty");
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIo, DetectsFlippedDataBytes) {
+  // Flip one byte inside record 0's certificate data: open() still
+  // succeeds (it never reads the data section), but decoding the record
+  // and whole-file verification both report the checksum mismatch.
+  Bytes bytes = read_file(packed_path());
+  bytes[corpusio::kHeaderBytes + 60] ^= 0x40;
+  const std::string path = temp_path("bitrot.chc");
+  write_file(path, bytes);
+  auto opened = corpusio::CorpusReader::open(path);
+  ASSERT_TRUE(opened.ok()) << opened.error().to_string();
+  auto decoded = opened.value()->decode_record(0);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, "corpusio.checksum_mismatch");
+  auto verified = opened.value()->verify();
+  ASSERT_FALSE(verified.ok());
+  EXPECT_EQ(verified.error().code, "corpusio.checksum_mismatch");
+  // A sweep over the damaged file skips the record and counts it.
+  const corpusio::PackedRecordSource source(opened.value().get());
+  source.visit(0, 1, [](const dataset::DomainRecord&, std::size_t) {
+    FAIL() << "corrupt record must not be visited";
+  });
+  EXPECT_EQ(source.decode_errors(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIo, WriterRefusesRecordsAfterEnvironment) {
+  const std::string path = temp_path("order.chc");
+  corpusio::CorpusWriter writer;
+  ASSERT_TRUE(writer.open(path, corpusio::PackOptions{}).ok());
+  writer.add_core_root(corpus().zoo().core_roots().front());
+  auto added = writer.add_record(corpus().records().front());
+  ASSERT_FALSE(added.ok());
+  EXPECT_EQ(added.error().code, "corpusio.io");
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIo, MissingFileIsAnIoError) {
+  auto opened = corpusio::CorpusReader::open("/no/such/corpus.chc");
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.error().code, "corpusio.io");
+}
+
+}  // namespace
+}  // namespace chainchaos

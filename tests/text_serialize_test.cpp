@@ -100,6 +100,13 @@ TEST_F(SerializeFixture, RoundTripPreservesEverything) {
     EXPECT_EQ(got.ca_name, want.observation.ca_name);
     EXPECT_EQ(got.server_software, want.observation.server_software);
     EXPECT_EQ(got.primary_defect, to_string(want.primary_defect));
+    EXPECT_EQ(got.leaf_defect, to_string(want.leaf_defect));
+    EXPECT_EQ(got.root_included, want.root_included) << got.domain;
+    EXPECT_EQ(got.rare_hierarchy, want.rare_hierarchy) << got.domain;
+    EXPECT_EQ(got.akidless_terminal, want.akidless_terminal) << got.domain;
+    EXPECT_EQ(got.exclusive_store_domain, want.exclusive_store_domain)
+        << got.domain;
+    EXPECT_EQ(got.missing_count, want.missing_count) << got.domain;
     ASSERT_EQ(got.certificates.size(), want.observation.certificates.size())
         << got.domain;
     for (std::size_t c = 0; c < got.certificates.size(); ++c) {
@@ -135,6 +142,22 @@ TEST_F(SerializeFixture, ImportRejectsMalformedBundles) {
   EXPECT_TRUE(reject("#domain only\ttwo\tfields\n"));
   EXPECT_TRUE(reject("#domain a\tb\tc\td\te\n-----BEGIN CERTIFICATE-----\n"));
   EXPECT_TRUE(reject("random noise\n"));
+  // 10-field lines with out-of-domain label values.
+  EXPECT_TRUE(reject("#domain a\tb\tc\td\te\t2\t0\t0\t0\t0\n"));   // bool = 2
+  EXPECT_TRUE(reject("#domain a\tb\tc\td\te\t0\t0\t0\t0\t-1\n"));  // count < 0
+  EXPECT_TRUE(reject("#domain a\tb\tc\td\te\t0\t0\t0\t0\tx\n"));   // not a number
+  // 6..9 fields are neither the legacy nor the current arity.
+  EXPECT_TRUE(reject("#domain a\tb\tc\td\te\t1\n"));
+
+  // Legacy 5-field lines still import, labels defaulting.
+  {
+    std::stringstream in("#domain a\tb\tc\tnone\tnone\n");
+    auto legacy = dataset::import_corpus(in);
+    ASSERT_TRUE(legacy.ok()) << legacy.error().to_string();
+    ASSERT_EQ(legacy.value().size(), 1u);
+    EXPECT_FALSE(legacy.value()[0].root_included);
+    EXPECT_EQ(legacy.value()[0].missing_count, 0);
+  }
 
   std::stringstream empty("");
   auto ok = dataset::import_corpus(empty);
