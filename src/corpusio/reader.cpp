@@ -7,6 +7,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <limits>
 #include <utility>
 
 namespace chainchaos::corpusio {
@@ -132,16 +133,27 @@ Result<std::unique_ptr<CorpusReader>> CorpusReader::open(
 
   // --- section coherence ----------------------------------------------
   // Sections must be header | data | env | index, contiguous, and end
-  // exactly at EOF. Additions are checked in u64 where they could wrap.
+  // exactly at EOF. Each section size is bounded against the bytes left
+  // after its (already-bounded) offset BEFORE it joins any sum, so no
+  // check below can wrap mod 2^64 — a crafted header cannot alias an
+  // out-of-range section back onto EOF.
   const std::uint64_t file_size = file.size();
   if (h.data_offset != kHeaderBytes ||
-      h.env_offset != h.data_offset + h.data_bytes ||
-      h.index_offset != h.env_offset + h.env_bytes ||
-      h.index_offset + h.index_bytes != file_size ||
-      h.index_offset < h.env_offset || h.env_offset < h.data_offset) {
+      h.data_bytes > file_size - h.data_offset) {
+    return truncated(path + ": data section exceeds the file");
+  }
+  if (h.env_offset != h.data_offset + h.data_bytes ||
+      h.env_bytes > file_size - h.env_offset) {
+    return truncated(path + ": env section exceeds the file");
+  }
+  if (h.index_offset != h.env_offset + h.env_bytes ||
+      h.index_bytes != file_size - h.index_offset) {
     return truncated(path + ": section layout does not cover the file");
   }
-  if (h.index_bytes != h.record_count * kIndexEntryBytes) {
+  // Division instead of record_count * kIndexEntryBytes: the product of
+  // two hostile u64 fields could wrap to a plausible value.
+  if (h.index_bytes % kIndexEntryBytes != 0 ||
+      h.record_count != h.index_bytes / kIndexEntryBytes) {
     return bad_index(path + ": index size does not match record count");
   }
   // A record is at minimum: u32 label_bytes + 8-byte fixed labels +
@@ -243,6 +255,10 @@ Result<dataset::DomainRecord> CorpusReader::decode_record(
     record.akidless_terminal = (flags & kFlagAkidlessTerminal) != 0;
     record.exclusive_store_domain = (flags & kFlagExclusiveStoreDomain) != 0;
     record.exemplar = (flags & kFlagExemplar) != 0;
+    if (missing > static_cast<std::uint32_t>(
+                      std::numeric_limits<int>::max())) {
+      return bad_index(where + ": missing count out of range");
+    }
     record.missing_count = static_cast<int>(missing);
     std::string* fields[4] = {&record.observation.domain,
                               &record.observation.ca_name,

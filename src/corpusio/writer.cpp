@@ -19,6 +19,8 @@ bool put_string16(Bytes& out, const std::string& s) {
   return true;
 }
 
+constexpr std::uint64_t kMaxU32 = std::numeric_limits<std::uint32_t>::max();
+
 std::uint8_t label_flags(const dataset::DomainRecord& record) {
   std::uint8_t flags = 0;
   if (record.root_included) flags |= kFlagRootIncluded;
@@ -87,8 +89,19 @@ Result<bool> CorpusWriter::add_record(const dataset::DomainRecord& record) {
   put_u32(blob, static_cast<std::uint32_t>(obs.certificates.size()));
   for (const x509::CertPtr& cert : obs.certificates) {
     if (!cert) return make_error("corpusio.null_certificate", obs.domain);
+    if (cert->der.size() > kMaxU32) {
+      return make_error("corpusio.oversized_record",
+                        obs.domain + ": certificate DER exceeds 4 GiB");
+    }
     put_u32(blob, static_cast<std::uint32_t>(cert->der.size()));
     append(blob, cert->der);
+  }
+  // +8 for the trailing checksum, which entry.length includes. This
+  // also bounds the cert-count field: a count that could wrap its u32
+  // implies a blob at least 4x this large.
+  if (blob.size() + 8 > kMaxU32) {
+    return make_error("corpusio.oversized_record",
+                      obs.domain + ": record exceeds 4 GiB");
   }
 
   const std::uint64_t checksum = fnv1a64(blob);
@@ -124,19 +137,32 @@ void CorpusWriter::add_exclusive_root(const x509::CertPtr& root,
   ++exclusive_count_;
 }
 
-void CorpusWriter::add_aia_entry(const std::string& uri,
-                                 const x509::CertPtr& cert,
-                                 bool unreachable) {
+Result<bool> CorpusWriter::add_aia_entry(const std::string& uri,
+                                         const x509::CertPtr& cert,
+                                         bool unreachable) {
+  // Staged in a local buffer: on rejection nothing lands in env_aia_,
+  // so a partial entry can never desynchronise the entries after it.
+  Bytes entry;
   std::uint8_t flags = 0;
   if (cert) flags |= 1;
   if (unreachable) flags |= 2;
-  put_u8(env_aia_, flags);
-  put_string16(env_aia_, uri);
-  if (cert) {
-    put_u32(env_aia_, static_cast<std::uint32_t>(cert->der.size()));
-    append(env_aia_, cert->der);
+  put_u8(entry, flags);
+  if (!put_string16(entry, uri)) {
+    return make_error("corpusio.oversized_label",
+                      "AIA URI longer than 64 KiB: " + uri.substr(0, 64) +
+                          "...");
   }
+  if (cert) {
+    if (cert->der.size() > kMaxU32) {
+      return make_error("corpusio.oversized_record",
+                        "AIA certificate DER exceeds 4 GiB");
+    }
+    put_u32(entry, static_cast<std::uint32_t>(cert->der.size()));
+    append(entry, cert->der);
+  }
+  append(env_aia_, entry);
   ++aia_count_;
+  return true;
 }
 
 Result<bool> CorpusWriter::finish() {
@@ -216,7 +242,9 @@ Result<bool> pack_corpus(const dataset::Corpus& corpus,
   }
   for (const net::AiaEntrySnapshot& entry :
        corpus.aia().snapshot_entries()) {
-    writer.add_aia_entry(entry.uri, entry.cert, entry.unreachable);
+    auto added = writer.add_aia_entry(entry.uri, entry.cert,
+                                      entry.unreachable);
+    if (!added.ok()) return added.error();
   }
   return writer.finish();
 }

@@ -48,9 +48,10 @@ class CorpusWriter {
   /// A root trusted by the program subset in `mask` (truststore bits).
   void add_exclusive_root(const x509::CertPtr& root, unsigned mask);
   /// One AIA repository entry (cert may be null for a bare
-  /// unreachable marker).
-  void add_aia_entry(const std::string& uri, const x509::CertPtr& cert,
-                     bool unreachable);
+  /// unreachable marker). Rejects URIs over 64 KiB with
+  /// corpusio.oversized_label instead of writing a partial entry.
+  Result<bool> add_aia_entry(const std::string& uri,
+                             const x509::CertPtr& cert, bool unreachable);
 
   /// Writes env + index + final header. The writer is unusable after.
   Result<bool> finish();

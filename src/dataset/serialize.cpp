@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -85,7 +86,8 @@ Result<std::vector<ExportedRecord>> import_corpus(std::istream& in) {
             !parse_bool(fields[6], record.rare_hierarchy) ||
             !parse_bool(fields[7], record.akidless_terminal) ||
             !parse_bool(fields[8], record.exclusive_store_domain) ||
-            end == fields[9].c_str() || *end != '\0' || missing < 0) {
+            end == fields[9].c_str() || *end != '\0' || missing < 0 ||
+            missing > std::numeric_limits<int>::max()) {
           return make_error("corpus.bad_domain_line", line);
         }
         record.missing_count = static_cast<int>(missing);

@@ -237,6 +237,28 @@ TEST(CorpusIo, RejectsFilesSmallerThanTheHeader) {
             "corpusio.truncated");
 }
 
+TEST(CorpusIo, RejectsWrappedSectionLayout) {
+  // A header whose section sums wrap mod 2^64 back onto EOF: adding
+  // 2^63 to data_bytes, env_offset, index_offset and index_bytes keeps
+  // every pairwise equality true modulo 2^64 (index_offset+index_bytes
+  // wraps to exactly file size), and record_count grows by 2^58 so the
+  // index size still "matches" record_count * 32. The index would then
+  // sit 2^63 bytes past EOF; open() must reject the header instead of
+  // ever forming that pointer.
+  const auto add_top_bit = [](Bytes& b, std::size_t off) {
+    b[off + 7] ^= 0x80;  // += 2^63 on a little-endian u64 header field
+  };
+  EXPECT_EQ(open_error_after("wrapped.chc",
+                             [&add_top_bit](Bytes& b) {
+                               add_top_bit(b, 32);  // data_bytes
+                               add_top_bit(b, 40);  // env_offset
+                               add_top_bit(b, 56);  // index_offset
+                               add_top_bit(b, 64);  // index_bytes
+                               b[16 + 7] += 0x04;   // record_count += 2^58
+                             }),
+            "corpusio.truncated");
+}
+
 TEST(CorpusIo, RejectsTruncatedIndex) {
   // Chopping the tail off the file shears the index; the section
   // layout no longer covers the file.
@@ -317,6 +339,52 @@ TEST(CorpusIo, DetectsFlippedDataBytes) {
     FAIL() << "corrupt record must not be visited";
   });
   EXPECT_EQ(source.decode_errors(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIo, RejectsOutOfRangeMissingCount) {
+  auto opened = corpusio::CorpusReader::open(packed_path());
+  ASSERT_TRUE(opened.ok());
+  const corpusio::IndexEntry entry = opened.value()->index_entry(0);
+  const std::size_t index_offset =
+      static_cast<std::size_t>(opened.value()->header().index_offset);
+
+  Bytes bytes = read_file(packed_path());
+  // missing_count sits 8 bytes into the record (u32 label_bytes + 4
+  // fixed label bytes). Set it to 0xffffffff — above INT_MAX — then
+  // re-seal the record checksum in both the trailer and the index
+  // entry, so only the range check can reject the record.
+  const std::size_t base = static_cast<std::size_t>(entry.offset);
+  for (int i = 0; i < 4; ++i) bytes[base + 8 + i] = 0xff;
+  const std::uint64_t checksum =
+      corpusio::fnv1a64(BytesView(bytes.data() + base, entry.length - 8));
+  for (int i = 0; i < 8; ++i) {
+    const auto byte = static_cast<std::uint8_t>(checksum >> (8 * i));
+    bytes[base + entry.length - 8 + i] = byte;  // record trailer
+    bytes[index_offset + 16 + i] = byte;        // index entry copy
+  }
+  const std::string path = temp_path("big_missing.chc");
+  write_file(path, bytes);
+  auto reopened = corpusio::CorpusReader::open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.error().to_string();
+  auto decoded = reopened.value()->decode_record(0);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, "corpusio.bad_index");
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIo, WriterRejectsOversizedAiaUri) {
+  const std::string path = temp_path("big_aia.chc");
+  corpusio::CorpusWriter writer;
+  ASSERT_TRUE(writer.open(path, corpusio::PackOptions{}).ok());
+  auto added =
+      writer.add_aia_entry(std::string(70000, 'a'), nullptr, true);
+  ASSERT_FALSE(added.ok());
+  EXPECT_EQ(added.error().code, "corpusio.oversized_label");
+  // The rejected entry left no partial bytes behind: a small entry
+  // still round-trips.
+  ASSERT_TRUE(
+      writer.add_aia_entry("http://aia.example/ca.der", nullptr, true).ok());
   std::remove(path.c_str());
 }
 

@@ -146,6 +146,8 @@ TEST_F(SerializeFixture, ImportRejectsMalformedBundles) {
   EXPECT_TRUE(reject("#domain a\tb\tc\td\te\t2\t0\t0\t0\t0\n"));   // bool = 2
   EXPECT_TRUE(reject("#domain a\tb\tc\td\te\t0\t0\t0\t0\t-1\n"));  // count < 0
   EXPECT_TRUE(reject("#domain a\tb\tc\td\te\t0\t0\t0\t0\tx\n"));   // not a number
+  // count above INT_MAX (would truncate through the int field)
+  EXPECT_TRUE(reject("#domain a\tb\tc\td\te\t0\t0\t0\t0\t2147483648\n"));
   // 6..9 fields are neither the legacy nor the current arity.
   EXPECT_TRUE(reject("#domain a\tb\tc\td\te\t1\n"));
 
