@@ -8,6 +8,11 @@
 // cache-on rows should therefore show both a large hit ratio and a
 // correspondingly higher request rate; the bench fails if cache-on and
 // cache-off ever disagree on a response body.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -58,9 +63,64 @@ struct RunResult {
   std::set<std::string> bodies;  ///< distinct response bodies seen
 };
 
+int dial(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Hostile company for the immunity phase: idle keep-alive parkers and
+/// slow-loris drippers sharing the event loop with the good clients.
+struct HostileCompany {
+  std::vector<int> idle_fds;
+  std::vector<std::thread> drippers;
+  std::atomic<bool> stop{false};
+
+  void start(std::uint16_t port, unsigned idle, unsigned loris) {
+    for (unsigned i = 0; i < idle; ++i) {
+      const int fd = dial(port);
+      if (fd >= 0) idle_fds.push_back(fd);
+    }
+    for (unsigned i = 0; i < loris; ++i) {
+      drippers.emplace_back([this, port] {
+        const int fd = dial(port);
+        if (fd < 0) return;
+        const std::string opener = "POST /v1/analyze HTTP/1.1\r\n";
+        const std::string pad = "x-bench-pad: aaaaaaaa\r\n";
+        ::send(fd, opener.data(), opener.size(), MSG_NOSIGNAL);
+        std::size_t cursor = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          if (::send(fd, pad.data() + cursor % pad.size(), 1, MSG_NOSIGNAL) <=
+              0) {
+            break;  // evicted — stay gone, like a real starved attacker
+          }
+          ++cursor;
+        }
+        ::close(fd);
+      });
+    }
+  }
+
+  void finish() {
+    stop.store(true);
+    for (std::thread& t : drippers) t.join();
+    for (const int fd : idle_fds) ::close(fd);
+  }
+};
+
 RunResult run_load(unsigned workers, bool cache_on,
                    const std::vector<std::string>& chains,
-                   unsigned clients, unsigned requests_per_client) {
+                   unsigned clients, unsigned requests_per_client,
+                   unsigned hostile_idle = 0, unsigned hostile_loris = 0) {
   service::ServerConfig config;
   config.workers = workers;
   config.queue_capacity = 256;
@@ -71,6 +131,11 @@ RunResult run_load(unsigned workers, bool cache_on,
     std::fprintf(stderr, "bench: server failed to start: %s\n",
                  port.error().to_string().c_str());
     std::exit(1);
+  }
+
+  HostileCompany hostile;
+  if (hostile_idle != 0 || hostile_loris != 0) {
+    hostile.start(port.value(), hostile_idle, hostile_loris);
   }
 
   RunResult result;
@@ -98,6 +163,7 @@ RunResult run_load(unsigned workers, bool cache_on,
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
           .count();
+  hostile.finish();
 
   const std::uint64_t total =
       static_cast<std::uint64_t>(clients) * requests_per_client;
@@ -145,6 +211,52 @@ int main() {
     }
   }
   std::fputs(table.render().c_str(), stdout);
+
+  // High-concurrency scaling: the event loop must hold throughput as
+  // the client count climbs past the worker count (total request volume
+  // held constant so the rows compare like for like).
+  report::Table scale_table("chaind scaling: 4 workers, cache on, loopback");
+  scale_table.header({"clients", "req/sec", "errors"});
+  const unsigned total_requests = 8 * requests_per_client * 4;
+  double rps_at_8 = 0.0;
+  for (const unsigned clients : {8u, 64u, 128u}) {
+    const RunResult run = run_load(4, true, chains, clients,
+                                   std::max(total_requests / clients, 8u));
+    std::snprintf(buf, sizeof buf, "%.0f", run.requests_per_second);
+    scale_table.row({std::to_string(clients), buf,
+                     std::to_string(run.errors)});
+    if (run.errors != 0) ok = false;
+    all_bodies.insert(run.bodies.begin(), run.bodies.end());
+    if (clients == 8) rps_at_8 = run.requests_per_second;
+    if (clients == 64 && run.requests_per_second < 0.4 * rps_at_8) {
+      std::printf("\nFAIL: 64 clients ran at %.0f req/s vs %.0f at 8 — "
+                  "throughput collapsed under concurrency\n",
+                  run.requests_per_second, rps_at_8);
+      ok = false;
+    }
+  }
+  std::fputs(scale_table.render().c_str(), stdout);
+
+  // Slow-client immunity: 32 idle parkers and 8 slow-loris drippers
+  // share the loop with 8 good clients; the good clients must keep
+  // most of their clean-room throughput and see zero errors.
+  const RunResult clean =
+      run_load(4, true, chains, kClients, requests_per_client);
+  const RunResult contested =
+      run_load(4, true, chains, kClients, requests_per_client, 32, 8);
+  std::printf("\n[immunity] 8 good clients + 32 idle + 8 slow-loris: "
+              "%.0f req/s vs %.0f clean (errors %llu)\n",
+              contested.requests_per_second, clean.requests_per_second,
+              static_cast<unsigned long long>(contested.errors));
+  if (contested.errors != 0 || clean.errors != 0) ok = false;
+  if (contested.requests_per_second < 0.3 * clean.requests_per_second) {
+    std::printf("FAIL: hostile clients stole %.0f%% of throughput\n",
+                100.0 * (1.0 - contested.requests_per_second /
+                                   clean.requests_per_second));
+    ok = false;
+  }
+  all_bodies.insert(clean.bodies.begin(), clean.bodies.end());
+  all_bodies.insert(contested.bodies.begin(), contested.bodies.end());
 
   // Every configuration must agree byte-for-byte: one body per chain.
   if (all_bodies.size() != kDistinctChains) {

@@ -9,13 +9,24 @@
 // Usage:  chaind [--port P] [--workers N] [--queue N] [--cache N]
 //                [--cache-shards N] [--timeout-ms T] [--roots FILE]
 //                [--now UNIX] [--port-file FILE] [--duration SEC]
-//                [--trace]
+//                [--trace] [--max-connections N] [--idle-timeout-ms T]
+//                [--poll]
 //
 // --port 0 (the default) binds an ephemeral port; the bound port is
 // printed on stdout and, with --port-file, written to a file so scripts
 // can discover it. SIGINT/SIGTERM trigger a graceful shutdown that
 // drains in-flight requests; --duration limits the daemon's lifetime for
 // unattended smoke runs.
+//
+// Connection scaling (DESIGN.md §5.15): the event loop holds any number
+// of idle keep-alive connections without occupying a worker, bounded by
+// --max-connections (0 = fd-limited; over-budget connects get an
+// immediate 503-and-close) and --idle-timeout-ms (0 = --timeout-ms). The
+// process raises RLIMIT_NOFILE to its hard cap at startup so the fd
+// budget, not a conservative soft limit, is the ceiling. --poll forces
+// the portable poll(2) backend in place of epoll.
+#include <sys/resource.h>
+
 #include <csignal>
 #include <cstdio>
 #include <chrono>
@@ -62,7 +73,20 @@ int main(int argc, char** argv) {
   flags.add("--port-file", &port_file, "FILE");
   flags.add("--duration", &duration_sec, "SEC");
   flags.add("--trace", &trace);
+  flags.add("--max-connections", &config.max_connections, "N");
+  flags.add("--idle-timeout-ms", &config.idle_timeout_ms, "T");
+  flags.add("--poll", &config.force_poll);
   if (!flags.parse(argc, argv)) return 1;
+
+  // Lift the soft fd limit to the hard cap: every connection costs one
+  // fd, and the reserved-fd admission path (not the soft limit) is what
+  // should decide behaviour at exhaustion.
+  struct rlimit nofile {};
+  if (::getrlimit(RLIMIT_NOFILE, &nofile) == 0 &&
+      nofile.rlim_cur < nofile.rlim_max) {
+    nofile.rlim_cur = nofile.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &nofile);
+  }
 
   // --trace turns on span recording for the daemon's lifetime: spans
   // feed GET /v1/trace (chrome://tracing JSON) and the per-stage
@@ -105,9 +129,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("chaind listening on 127.0.0.1:%u (workers=%u queue=%zu "
-              "cache=%zu/%zu shards)\n",
+              "cache=%zu/%zu shards, backend=%s)\n",
               server.port(), config.workers, config.queue_capacity,
-              config.cache_capacity, config.cache_shards);
+              config.cache_capacity, config.cache_shards,
+              server.using_epoll() ? "epoll" : "poll");
   std::fflush(stdout);
   if (!port_file.empty()) {
     std::ofstream out(port_file);

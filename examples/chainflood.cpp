@@ -1,0 +1,298 @@
+// chainflood: socket-level load generator for a running chaind.
+//
+// Drives the connection-scaling behaviours that DESIGN.md §5.15
+// promises, from outside the process, so scripts/epoll_smoke.sh can
+// gate on them:
+//
+//   idle       open --connections keep-alive connections (one healthz
+//              each to prove the stream works), hold them open for
+//              --hold-ms, and probe request latency the whole time;
+//   slowloris  --clients connections drip one header byte per
+//              --drip-interval-ms, each from its own thread, while
+//              well-behaved probes measure added latency;
+//   storm      --connections short-lived connections cycling clean
+//              close / RST / non-HTTP garbage.
+//
+// Probes run on their own service::Client during the hold; any probe
+// error, or a probe slower than --latency-budget-ms, fails the run.
+// --expect-shed requires at least one admission 503-and-close (and its
+// absence otherwise is enforced); --expect-evicted requires the daemon
+// to have dropped at least one of the hostile/idle connections before
+// the hold ended. Exit status 0 = every gate held.
+//
+//   chainflood --port 8443 --mode idle --connections 10000 --hold-ms 4000
+//   chainflood --port 8443 --mode slowloris --clients 64 --latency-budget-ms 1000
+//   chainflood --port 8443 --mode idle --connections 128 --expect-shed
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli_common.hpp"
+#include "net/http.hpp"
+#include "service/client.hpp"
+
+using namespace chainchaos;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+int dial(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one complete HTTP response frame; empty string on timeout/EOF.
+std::string recv_frame(int fd, int timeout_ms) {
+  std::string buffer;
+  char buf[4096];
+  for (;;) {
+    const auto probe = net::probe_response_frame(buffer);
+    if (!probe.ok()) return {};
+    if (probe.value().complete) return buffer.substr(0, probe.value().total_bytes);
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, timeout_ms) <= 0) return {};
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return {};
+    buffer.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+std::string healthz_wire() {
+  return "GET /healthz HTTP/1.1\r\nhost: 127.0.0.1\r\n"
+         "content-length: 0\r\n\r\n";
+}
+
+/// EOF or error visible on the socket without blocking?
+bool peer_closed(int fd) {
+  char byte = 0;
+  const ssize_t n = ::recv(fd, &byte, 1, MSG_DONTWAIT | MSG_PEEK);
+  if (n == 0) return true;
+  return n < 0 && errno != EAGAIN && errno != EWOULDBLOCK;
+}
+
+struct ProbeResult {
+  std::size_t attempted = 0;
+  std::size_t failed = 0;
+  long max_latency_ms = 0;
+};
+
+/// Issues `probes` healthz round-trips spread across `hold_ms`.
+ProbeResult run_probes(std::uint16_t port, std::size_t probes, int hold_ms,
+                       int budget_ms) {
+  ProbeResult result;
+  if (probes == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
+    return result;
+  }
+  const int slice_ms = hold_ms / static_cast<int>(probes);
+  service::Client client(port, budget_ms > 0 ? budget_ms * 2 : 5000);
+  for (std::size_t i = 0; i < probes; ++i) {
+    const auto before = Clock::now();
+    const auto reply = client.healthz();
+    const long took = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          Clock::now() - before)
+                          .count();
+    ++result.attempted;
+    if (took > result.max_latency_ms) result.max_latency_ms = took;
+    if (!reply.ok() || reply.value().status != 200 ||
+        (budget_ms > 0 && took > budget_ms)) {
+      ++result.failed;
+    }
+    const long remaining = slice_ms - took;
+    if (remaining > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(remaining));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 0;
+  std::string mode = "idle";
+  std::size_t connections = 1000;
+  std::size_t clients = 16;
+  int hold_ms = 5000;
+  std::size_t probes = 5;
+  int latency_budget_ms = 0;
+  int drip_interval_ms = 20;
+  bool expect_shed = false;
+  bool expect_evicted = false;
+
+  cli::Flags flags;
+  flags.add("--port", &port, "P");
+  flags.add("--mode", &mode, "idle|slowloris|storm");
+  flags.add("--connections", &connections, "N");
+  flags.add("--clients", &clients, "N");
+  flags.add("--hold-ms", &hold_ms, "MS");
+  flags.add("--probes", &probes, "N");
+  flags.add("--latency-budget-ms", &latency_budget_ms, "MS");
+  flags.add("--drip-interval-ms", &drip_interval_ms, "MS");
+  flags.add("--expect-shed", &expect_shed);
+  flags.add("--expect-evicted", &expect_evicted);
+  if (!flags.parse(argc, argv)) return 1;
+  if (port == 0) {
+    std::fprintf(stderr, "chainflood: --port is required\n");
+    return 1;
+  }
+
+  // Each held connection costs one fd; take the hard cap so the target
+  // daemon's limits, not ours, decide what happens.
+  struct rlimit nofile {};
+  if (::getrlimit(RLIMIT_NOFILE, &nofile) == 0 &&
+      nofile.rlim_cur < nofile.rlim_max) {
+    nofile.rlim_cur = nofile.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &nofile);
+  }
+
+  std::size_t shed = 0;
+  std::size_t held = 0;
+  std::size_t evicted = 0;
+  std::size_t errors = 0;
+  ProbeResult probed;
+
+  if (mode == "idle") {
+    std::vector<int> fds;
+    fds.reserve(connections);
+    for (std::size_t i = 0; i < connections; ++i) {
+      const int fd = dial(port);
+      if (fd < 0) {
+        ++errors;
+        continue;
+      }
+      fds.push_back(fd);
+    }
+    // One healthz per connection proves the stream: held connections
+    // answer 200; admission-shed connections already have a 503 queued
+    // (or are closed), which the same read surfaces.
+    const std::string wire = healthz_wire();
+    for (const int fd : fds) send_all(fd, wire);
+    for (const int fd : fds) {
+      // Only a 503 that also closes the stream is an admission shed; an
+      // in-stream 503 (burst overload) keeps the connection alive and
+      // therefore counts as held.
+      const std::string reply = recv_frame(fd, 5000);
+      const bool closes = reply.find("connection: close") != std::string::npos;
+      if (reply.find(" 503 ") != std::string::npos && closes) {
+        ++shed;
+      } else if (!reply.empty()) {
+        ++held;
+      } else {
+        ++errors;
+      }
+    }
+    probed = run_probes(port, probes, hold_ms, latency_budget_ms);
+    for (const int fd : fds) {
+      if (peer_closed(fd)) ++evicted;
+      ::close(fd);
+    }
+  } else if (mode == "slowloris") {
+    std::atomic<std::size_t> dropped{0};
+    std::atomic<std::size_t> dial_errors{0};
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    const auto deadline = Clock::now() + std::chrono::milliseconds(hold_ms);
+    for (std::size_t i = 0; i < clients; ++i) {
+      threads.emplace_back([&, i] {
+        const int fd = dial(port);
+        if (fd < 0) {
+          ++dial_errors;
+          return;
+        }
+        const std::string opener = "POST /v1/analyze HTTP/1.1\r\n";
+        const std::string pad = "x-chaos-pad-" + std::to_string(i) +
+                                ": aaaaaaaa\r\n";
+        bool alive = send_all(fd, opener);
+        std::size_t cursor = 0;
+        while (alive && Clock::now() < deadline) {
+          pollfd pfd{fd, POLLIN, 0};
+          if (::poll(&pfd, 1, drip_interval_ms) > 0 && peer_closed(fd)) {
+            alive = false;
+            break;
+          }
+          alive = send_all(fd, pad.substr(cursor % pad.size(), 1));
+          ++cursor;
+        }
+        if (!alive) ++dropped;
+        ::close(fd);
+      });
+    }
+    probed = run_probes(port, probes, hold_ms, latency_budget_ms);
+    for (std::thread& t : threads) t.join();
+    held = clients - dropped.load() - dial_errors.load();
+    evicted = dropped.load();
+    errors = dial_errors.load();
+  } else if (mode == "storm") {
+    for (std::size_t i = 0; i < connections; ++i) {
+      const int fd = dial(port);
+      if (fd < 0) {
+        ++errors;
+        continue;
+      }
+      switch (i % 3) {
+        case 0:  // clean close, no bytes
+          break;
+        case 1: {  // hard RST
+          linger hard{1, 0};
+          ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+          break;
+        }
+        case 2:  // bytes that are not HTTP
+          send_all(fd, std::string("\x16\x03\x01garbage-not-http\r\n", 21));
+          break;
+      }
+      ::close(fd);
+      ++held;
+    }
+    probed = run_probes(port, probes, hold_ms, latency_budget_ms);
+  } else {
+    std::fprintf(stderr, "chainflood: unknown mode '%s'\n", mode.c_str());
+    return 1;
+  }
+
+  std::printf("chainflood: mode=%s held=%zu shed=%zu evicted=%zu errors=%zu "
+              "probes=%zu/%zu max_latency_ms=%ld\n",
+              mode.c_str(), held, shed, evicted, errors,
+              probed.attempted - probed.failed, probed.attempted,
+              probed.max_latency_ms);
+
+  bool ok = probed.failed == 0;
+  if (mode != "storm" && errors != 0) ok = false;
+  if (expect_shed && shed == 0) ok = false;
+  if (!expect_shed && shed != 0) ok = false;
+  if (expect_evicted && evicted == 0) ok = false;
+  if (!ok) std::fprintf(stderr, "chainflood: FAILED\n");
+  return ok ? 0 : 1;
+}

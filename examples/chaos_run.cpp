@@ -12,6 +12,9 @@
 //   chaos_run --through-daemon --count 120           # in-process chaind
 //   chaos_run --through-daemon --port 8443 ...       # external chaind
 //   chaos_run --aia-transient 2 --count 130          # flaky AIA web
+//   chaos_run --through-daemon --socket-faults ...   # + transport faults
+//                                                      (slow-loris, stalls,
+//                                                      never-readers, storms)
 //
 // Exit status: 0 when the crash-free contract held (no crash, no hang,
 // no unanswered daemon request), 1 otherwise — so CI can gate on it.
@@ -44,10 +47,19 @@ int main(int argc, char** argv) {
   flags.add("--aia-retries", &options.aia_max_retries, "N");
   flags.add("--through-daemon", &options.through_daemon);
   flags.add("--port", &port, "PORT");
+  flags.add("--socket-faults", &options.socket_faults);
+  flags.add("--socket-clients", &options.socket_fault_clients, "N");
+  flags.add("--storm", &options.socket_fault_storm, "N");
   flags.add("--list", &list);
   flags.add("--report", &report);
   if (!flags.parse(argc, argv)) return 1;
   options.daemon_port = port;
+  if (options.socket_faults && !options.through_daemon) {
+    std::fprintf(stderr,
+                 "chaos_run: --socket-faults requires --through-daemon "
+                 "(the faults attack a live socket)\n");
+    return 1;
+  }
 
   if (list) {
     for (const chaos::MutationSpec& spec : chaos::all_mutations()) {

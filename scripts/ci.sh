@@ -35,6 +35,11 @@
 #      warnings-as-errors when available, the portable fallback scanner
 #      otherwise; gating either way, self-test proves it can fail
 #  10. header hygiene: scripts/lint.sh
+#  11. connection-scale smoke + socket-fault campaign: the §5.15 event
+#      core at scale (10k idle soak with bounded RSS, slow-loris
+#      immunity/eviction, connection storm, admission shedding) against
+#      the tier-1 binaries, then the four transport fault classes over a
+#      live daemon under ASan/UBSan
 #
 # Build trees live in build/ and build-asan/ and are reused across runs.
 set -eu
@@ -42,20 +47,20 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "=== [1/10] tier-1 build + tests ==="
+echo "=== [1/11] tier-1 build + tests ==="
 cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [2/10] ASan/UBSan build + tests ==="
+echo "=== [2/11] ASan/UBSan build + tests ==="
 cmake -B build-asan -S . -DCHAINCHAOS_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "=== [3/10] service smoke ==="
+echo "=== [3/11] service smoke ==="
 scripts/service_smoke.sh build/examples/chaind build/examples/chainq
 
-echo "=== [4/10] chaos campaign under ASan/UBSan ==="
+echo "=== [4/11] chaos campaign under ASan/UBSan ==="
 # The acceptance gate of DESIGN.md §5.10: a 5000-input campaign over
 # every mutation class must classify everything — no crash, no hang, no
 # sanitizer finding — and the summary must not depend on thread count.
@@ -74,28 +79,28 @@ build-asan/examples/chaos_run --seed 833 --count 1300 --aia-transient 2 \
 build-asan/examples/chaos_run --seed 833 --count 1300 --aia-permanent \
     | grep -q "contract=ok"
 
-echo "=== [5/10] observability smoke + overhead gate ==="
+echo "=== [5/11] observability smoke + overhead gate ==="
 scripts/obs_smoke.sh build/examples/chainprof build/examples/chaind \
     build/examples/chainq
 # The §5.11 budget: tracing must cost the sweep < 3% when enabled
 # (trace_overhead exits non-zero over budget).
 build/bench/trace_overhead
 
-echo "=== [6/10] crypto hot-path gate ==="
+echo "=== [6/11] crypto hot-path gate ==="
 # The §5.12 budget: Montgomery must carry the verification sweeps —
 # >= 3x the classic ladder on the micro, a faster full-corpus sweep
 # than the forced-schoolbook baseline, byte-identical tallies across
 # every verifier configuration (crypto_verify exits non-zero otherwise).
 build/bench/crypto_verify
 
-echo "=== [7/10] parser-differential smoke under ASan/UBSan ==="
+echo "=== [7/11] parser-differential smoke under ASan/UBSan ==="
 # The §5.13 determinism contract against the sanitizer build: the sweep
 # must be byte-identical across thread counts and must surface
 # discrepancies on the chaos-mutated inputs, with zero ASan/UBSan
 # findings along the way.
 scripts/parsdiff_smoke.sh build-asan/examples/parsdiff_corpus
 
-echo "=== [8/10] packed corpus smoke under ASan/UBSan ==="
+echo "=== [8/11] packed corpus smoke under ASan/UBSan ==="
 # The §5.14 store against the sanitizer build: packing, checksum
 # verification, record extraction, the mmap streaming sweep's
 # byte-identity contract, and — the part sanitizers exist for —
@@ -103,11 +108,21 @@ echo "=== [8/10] packed corpus smoke under ASan/UBSan ==="
 scripts/corpusio_smoke.sh build-asan/examples/corpus_pack \
     build-asan/examples/corpus_cat build-asan/examples/measure_corpus
 
-echo "=== [9/10] tidy gate ==="
+echo "=== [9/11] tidy gate ==="
 scripts/tidy_gate.sh --self-test
 scripts/tidy_gate.sh build
 
-echo "=== [10/10] header hygiene ==="
+echo "=== [10/11] header hygiene ==="
 scripts/lint.sh
+
+echo "=== [11/11] connection-scale smoke + socket faults under ASan/UBSan ==="
+# The §5.15 gates: the event-driven core must hold 10k idle keep-alive
+# connections with bounded memory, shrug off slow-loris clients, and
+# shed cleanly at the admission/fd budget...
+scripts/epoll_smoke.sh build/examples/chaind build/examples/chainq \
+    build/examples/chainflood
+# ...and survive socket-level hostility with the sanitizers watching.
+build-asan/examples/chaos_run --seed 833 --count 260 --through-daemon \
+    --socket-faults | grep -q "contract=ok"
 
 echo "CI: all gates passed"

@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# Connection-scale smoke test for the event-driven chaind core
+# (DESIGN.md §5.15).
+#
+# Phases:
+#   1. idle soak       10k keep-alive connections held open at once;
+#                      the daemon's peak connection gauge must reach
+#                      >= 90% of the target and its RSS growth must stay
+#                      under CHAINCHAOS_RSS_BUDGET_KB (default 400 MB).
+#   2. loris immunity  64 slow-loris clients drip header bytes while
+#                      well-behaved probes must stay under a 1 s latency
+#                      budget.
+#   3. loris eviction  16 slow-loris clients must be evicted by the read
+#                      deadline (daemon counters prove it).
+#   4. storm           300 connections cycling clean close / RST /
+#                      non-HTTP garbage; the daemon must stay healthy.
+#   5. admission       a --max-connections 64 daemon floods with 128
+#                      idle connections; the surplus must be shed with
+#                      503-and-close and counted in rejected_busy.
+#
+# The 10k target scales down automatically on hosts with a low fd hard
+# limit; override with CHAINCHAOS_IDLE_CONNS.
+#
+# Usage: epoll_smoke.sh <chaind-binary> <chainq-binary> <chainflood-binary>
+set -euo pipefail
+
+CHAIND=${1:?usage: epoll_smoke.sh <chaind> <chainq> <chainflood>}
+CHAINQ=${2:?usage: epoll_smoke.sh <chaind> <chainq> <chainflood>}
+CHAINFLOOD=${3:?usage: epoll_smoke.sh <chaind> <chainq> <chainflood>}
+
+WORKDIR=$(mktemp -d)
+DAEMON_PID=""
+trap 'rm -rf "$WORKDIR"; [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true' EXIT
+
+# Both ends of the soak need one fd per connection: lift the soft limit
+# to the hard cap, and scale the idle target to what the host allows.
+HARD_LIMIT=$(ulimit -Hn)
+[ "$HARD_LIMIT" = "unlimited" ] && HARD_LIMIT=1048576
+ulimit -Sn "$HARD_LIMIT" 2>/dev/null || true
+IDLE=${CHAINCHAOS_IDLE_CONNS:-10000}
+HEADROOM=$((HARD_LIMIT - 512))
+if [ "$HEADROOM" -lt "$IDLE" ]; then
+  IDLE=$HEADROOM
+  echo "scaling idle target to $IDLE (fd hard limit $HARD_LIMIT)"
+fi
+[ "$IDLE" -ge 64 ] || { echo "FAIL: fd limit too low for the soak"; exit 1; }
+RSS_BUDGET_KB=${CHAINCHAOS_RSS_BUDGET_KB:-400000}
+
+start_daemon() {  # start_daemon <logfile> [extra chaind flags...]
+  local log=$1
+  shift
+  : >"$PORT_FILE.tmp"
+  "$CHAIND" --port 0 --port-file "$PORT_FILE.tmp" --duration 300 \
+      --timeout-ms 2000 --queue 256 "$@" >"$log" 2>&1 &
+  DAEMON_PID=$!
+  for _ in $(seq 1 100); do
+    [ -s "$PORT_FILE.tmp" ] && break
+    sleep 0.1
+  done
+  [ -s "$PORT_FILE.tmp" ] || { echo "FAIL: chaind never wrote its port"; exit 1; }
+  PORT=$(cat "$PORT_FILE.tmp")
+}
+
+stop_daemon() {
+  kill -TERM "$DAEMON_PID"
+  wait "$DAEMON_PID" || { echo "FAIL: chaind exited non-zero"; exit 1; }
+  DAEMON_PID=""
+}
+
+stat_field() {  # stat_field <key> -> prints the integer value
+  "$CHAINQ" --port "$PORT" stats | sed -n "s/.*\"$1\":\([0-9]*\).*/\1/p"
+}
+
+PORT_FILE="$WORKDIR/port"
+start_daemon "$WORKDIR/chaind.log" --idle-timeout-ms 60000
+echo "chaind is up on 127.0.0.1:$PORT"
+grep -q "backend=" "$WORKDIR/chaind.log" \
+    || { echo "FAIL: no backend in the startup banner"; exit 1; }
+
+RSS_BEFORE=$(awk '/VmRSS/{print $2}' "/proc/$DAEMON_PID/status")
+
+echo "--- phase 1: ${IDLE}-connection idle soak"
+"$CHAINFLOOD" --port "$PORT" --mode idle --connections "$IDLE" \
+    --hold-ms 4000 --probes 4 --latency-budget-ms 2000 \
+    || { echo "FAIL: idle soak"; exit 1; }
+PEAK=$(stat_field peak)
+[ -n "$PEAK" ] && [ "$PEAK" -ge $((IDLE * 90 / 100)) ] \
+    || { echo "FAIL: peak connections $PEAK < 90% of $IDLE"; exit 1; }
+RSS_AFTER=$(awk '/VmRSS/{print $2}' "/proc/$DAEMON_PID/status")
+RSS_DELTA=$((RSS_AFTER - RSS_BEFORE))
+echo "peak=$PEAK rss_delta=${RSS_DELTA}kB"
+[ "$RSS_DELTA" -lt "$RSS_BUDGET_KB" ] \
+    || { echo "FAIL: RSS grew ${RSS_DELTA}kB (budget ${RSS_BUDGET_KB}kB)"; exit 1; }
+
+echo "--- phase 2: slow-loris immunity (64 clients)"
+"$CHAINFLOOD" --port "$PORT" --mode slowloris --clients 64 \
+    --hold-ms 3000 --probes 6 --latency-budget-ms 1000 --drip-interval-ms 25 \
+    || { echo "FAIL: probes suffered under slow-loris load"; exit 1; }
+
+echo "--- phase 3: slow-loris eviction (16 clients)"
+"$CHAINFLOOD" --port "$PORT" --mode slowloris --clients 16 \
+    --hold-ms 3500 --probes 3 --expect-evicted \
+    || { echo "FAIL: slow-loris clients were not evicted"; exit 1; }
+EVICTED=$(stat_field evicted_slow_read)
+[ -n "$EVICTED" ] && [ "$EVICTED" -ge 1 ] \
+    || { echo "FAIL: daemon counted no slow-read evictions"; exit 1; }
+
+echo "--- phase 4: connection storm (300 connections)"
+"$CHAINFLOOD" --port "$PORT" --mode storm --connections 300 \
+    --hold-ms 500 --probes 2 \
+    || { echo "FAIL: daemon unhealthy after the storm"; exit 1; }
+"$CHAINQ" --port "$PORT" health >/dev/null
+
+stop_daemon
+grep -q "shutting down" "$WORKDIR/chaind.log" \
+    || { echo "FAIL: no graceful shutdown banner"; exit 1; }
+
+echo "--- phase 5: admission control (--max-connections 64, 128 dials)"
+start_daemon "$WORKDIR/chaind-admission.log" --max-connections 64
+"$CHAINFLOOD" --port "$PORT" --mode idle --connections 128 \
+    --hold-ms 1000 --probes 0 --expect-shed \
+    || { echo "FAIL: surplus connections were not shed"; exit 1; }
+REJECTED=$(stat_field rejected_busy)
+[ -n "$REJECTED" ] && [ "$REJECTED" -ge 1 ] \
+    || { echo "FAIL: admission sheds not counted in rejected_busy"; exit 1; }
+STATS=$("$CHAINQ" --port "$PORT" stats)
+echo "$STATS" | grep -q '"accept_errors"' \
+    || { echo "FAIL: stats missing accept_errors"; exit 1; }
+echo "$STATS" | grep -q '"fd_exhausted"' \
+    || { echo "FAIL: stats missing fd_exhausted"; exit 1; }
+stop_daemon
+grep -q "shutting down" "$WORKDIR/chaind-admission.log" \
+    || { echo "FAIL: no graceful shutdown banner (admission daemon)"; exit 1; }
+
+echo "epoll smoke OK"

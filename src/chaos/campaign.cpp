@@ -6,6 +6,7 @@
 #include <exception>
 
 #include "chain/analyzer.hpp"
+#include "chaos/socket_chaos.hpp"
 #include "crypto/sha256.hpp"
 #include "dataset/corpus.hpp"
 #include "engine/engine.hpp"
@@ -128,6 +129,13 @@ CampaignSummary Campaign::run() {
       server_config.handler.roots = &state_->corpus->stores().union_store;
       server_config.handler.aia = &state_->corpus->aia();
       server_config.handler.aia_max_retries = options_.aia_max_retries;
+      if (options_.socket_faults) {
+        // Hostile connections must be evicted well inside the fault
+        // budget; the sweep's well-behaved loopback clients never get
+        // near these deadlines.
+        server_config.read_timeout_ms = 800;
+        server_config.write_timeout_ms = 800;
+      }
       state_->server = std::make_unique<service::Server>(server_config);
       auto port = state_->server->start();
       if (!port.ok()) {
@@ -228,11 +236,23 @@ CampaignSummary Campaign::run() {
         }
       });
 
+  // --- socket faults (same daemon, after the byte-level sweep) -----------
+  SocketFaultReport socket_report;
+  if (options_.through_daemon && options_.socket_faults) {
+    SocketFaultOptions fault_options;
+    fault_options.port = state_->port;
+    fault_options.clients = options_.socket_fault_clients;
+    fault_options.storm_connections = options_.socket_fault_storm;
+    socket_report = run_socket_faults(fault_options);
+  }
+
   if (state_->server) state_->server->stop();
 
   // --- ordered merge -------------------------------------------------------
   CampaignSummary summary;
   summary.inputs = options_.count;
+  summary.socket_faults = socket_report.outcomes;
+  summary.socket_fault_failures = socket_report.failures;
   std::string transcript;
   for (std::size_t i = 0; i < results.size(); ++i) {
     const InputResult& result = results[i];
@@ -264,6 +284,9 @@ std::string CampaignSummary::to_string() const {
   out += " crashes=" + std::to_string(crashes);
   out += " hangs=" + std::to_string(hangs);
   out += " transport_failures=" + std::to_string(transport_failures);
+  if (!socket_faults.empty()) {
+    out += " socket_fault_failures=" + std::to_string(socket_fault_failures);
+  }
   out += contract_ok() ? " contract=ok\n" : " contract=VIOLATED\n";
   for (const auto& [mutation_id, histogram] : outcomes) {
     out += mutation_id;
@@ -277,6 +300,12 @@ std::string CampaignSummary::to_string() const {
     out += " divergence:\n";
     for (const auto& [desc, count] : histogram) {
       out += "  " + desc + " " + std::to_string(count) + "\n";
+    }
+  }
+  if (!socket_faults.empty()) {
+    out += "socket faults:\n";
+    for (const auto& [name, outcome] : socket_faults) {
+      out += "  " + name + " " + outcome + "\n";
     }
   }
   out += "digest=" + digest + "\n";

@@ -60,6 +60,16 @@ struct CampaignOptions {
   /// Target an already-running daemon; 0 starts an in-process Server on
   /// an ephemeral port for the duration of the run.
   std::uint16_t daemon_port = 0;
+
+  // --- socket faults (daemon mode only) -----------------------------------
+  /// After the mutation sweep, run the transport-level fault classes
+  /// (socket_chaos.hpp) against the same daemon: slow-loris, mid-frame
+  /// stalls, never-reading clients, connection storms. A campaign-owned
+  /// server gets tightened read/write deadlines (800 ms) so evictions
+  /// land well inside the fault budget.
+  bool socket_faults = false;
+  std::size_t socket_fault_clients = 8;  ///< hostile clients per class
+  std::size_t socket_fault_storm = 128;  ///< F4 connection-storm cycles
 };
 
 struct CampaignSummary {
@@ -83,6 +93,13 @@ struct CampaignSummary {
   std::map<std::string, std::map<std::string, std::size_t>>
       profile_divergence;
 
+  /// Socket-fault class → outcome string (run_socket_faults), present
+  /// only when the campaign ran with socket_faults. Deterministic as
+  /// long as the daemon's deadlines fit the eviction budget; kept out of
+  /// the digest (which witnesses the mutation transcript alone).
+  std::map<std::string, std::string> socket_faults;
+  std::size_t socket_fault_failures = 0;
+
   /// SHA-256 (hex) over every per-input "index:class:outcome" line in
   /// index order: the strongest determinism witness the harness has.
   std::string digest;
@@ -101,7 +118,8 @@ struct CampaignSummary {
   std::map<std::string, ClassTiming> timings;
 
   bool contract_ok() const {
-    return crashes == 0 && hangs == 0 && transport_failures == 0;
+    return crashes == 0 && hangs == 0 && transport_failures == 0 &&
+           socket_fault_failures == 0;
   }
 
   /// Deterministic multi-line rendering (what chaos_run prints and the

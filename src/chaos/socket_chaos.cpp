@@ -1,0 +1,310 @@
+#include "chaos/socket_chaos.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.hpp"
+
+namespace chainchaos::chaos {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int dial(std::uint16_t port, int rcvbuf = 0) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (rcvbuf > 0) {
+    // Before connect, so the tiny buffer caps the advertised window.
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads (and discards) until the peer closes or the budget runs out.
+/// True = the server terminated the connection within the budget.
+bool drain_until_closed(int fd, Clock::time_point deadline) {
+  char scrap[4096];
+  while (Clock::now() < deadline) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return true;  // fd itself broke: the connection is gone
+    }
+    if (ready == 0) continue;
+    const ssize_t n = ::recv(fd, scrap, sizeof scrap, 0);
+    if (n == 0) return true;  // FIN
+    if (n < 0 && errno != EINTR && errno != EAGAIN) return true;  // RST
+  }
+  return false;
+}
+
+/// A 200 from /healthz on a fresh, well-behaved connection.
+bool probe_healthy(std::uint16_t port) {
+  service::Client client(port, /*timeout_ms=*/3000);
+  const auto health = client.healthz();
+  return health.ok() && health.value().status == 200;
+}
+
+std::string outcome_line(std::size_t evicted, std::size_t total,
+                         bool healthy) {
+  return "evicted=" + std::to_string(evicted) + "/" + std::to_string(total) +
+         (healthy ? " healthy=ok" : " healthy=FAILED");
+}
+
+// --- F1: slow-loris --------------------------------------------------------
+//
+// Every client opens a request line, then drips one header byte per
+// interval, forever. The frame never completes, so the server's read
+// deadline (anchored at the frame's first byte, immune to the drip) must
+// evict each one. A probe runs mid-drip: the event loop must keep serving
+// well-behaved clients while the loris connections are live.
+std::string run_slowloris(const SocketFaultOptions& options,
+                          std::size_t& failures) {
+  struct Loris {
+    int fd = -1;
+    std::size_t pos = 0;
+    bool dead = false;
+  };
+  const std::string opener = "POST /v1/analyze HTTP/1.1\r\n";
+  const std::string drip = "x-chaos-pad: aaaaaaaa\r\n";
+
+  std::vector<Loris> clients(options.clients);
+  for (Loris& loris : clients) {
+    loris.fd = dial(options.port);
+    if (loris.fd < 0 || !send_all(loris.fd, opener)) {
+      if (loris.fd >= 0) ::close(loris.fd);
+      loris.fd = -1;
+      loris.dead = true;  // could not even start; counts as not evicted
+    }
+  }
+
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(options.eviction_budget_ms);
+  const auto probe_at =
+      Clock::now() + std::chrono::milliseconds(options.eviction_budget_ms / 4);
+  bool probed = false;
+  bool healthy_during = true;
+  std::size_t evicted = 0;
+
+  while (Clock::now() < deadline && evicted < options.clients) {
+    for (Loris& loris : clients) {
+      if (loris.dead) continue;
+      // Detect the server-side close first…
+      pollfd pfd{loris.fd, POLLIN, 0};
+      if (::poll(&pfd, 1, 0) > 0) {
+        char scrap[64];
+        const ssize_t n = ::recv(loris.fd, scrap, sizeof scrap, 0);
+        if (n == 0 || (n < 0 && errno != EINTR && errno != EAGAIN)) {
+          ::close(loris.fd);
+          loris.dead = true;
+          ++evicted;
+          continue;
+        }
+      }
+      // …then drip the next byte. EPIPE/ECONNRESET also means evicted.
+      const char byte = drip[loris.pos % drip.size()];
+      // Never complete "\r\n\r\n": skip the final byte of the pad line's
+      // CRLF so the header block stays open. (The pad line alone cannot
+      // terminate the frame — a lone "\r\n" would — so dripping the full
+      // cycle is safe; this is belt and braces.)
+      const ssize_t n = ::send(loris.fd, &byte, 1, MSG_NOSIGNAL);
+      if (n < 0 && errno != EINTR && errno != EAGAIN) {
+        ::close(loris.fd);
+        loris.dead = true;
+        ++evicted;
+        continue;
+      }
+      loris.pos++;
+    }
+    if (!probed && Clock::now() >= probe_at) {
+      probed = true;
+      healthy_during = probe_healthy(options.port);
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options.drip_interval_ms));
+  }
+  for (Loris& loris : clients) {
+    if (!loris.dead && loris.fd >= 0) ::close(loris.fd);
+  }
+  if (!probed) healthy_during = probe_healthy(options.port);
+
+  const bool healthy = healthy_during && probe_healthy(options.port);
+  if (evicted < options.clients || !healthy) ++failures;
+  return outcome_line(evicted, options.clients, healthy);
+}
+
+// --- F2: mid-frame stall ---------------------------------------------------
+//
+// The frame starts honestly — request line, headers, a Content-Length of
+// 4096 — and 100 body bytes arrive. Then nothing. The read deadline must
+// fire even though the connection "looked" productive.
+std::string run_midframe_stall(const SocketFaultOptions& options,
+                               std::size_t& failures) {
+  const std::string stalled =
+      "POST /v1/analyze HTTP/1.1\r\nhost: chaos\r\n"
+      "content-length: 4096\r\n\r\n" +
+      std::string(100, 'b');
+
+  std::vector<int> fds;
+  for (std::size_t i = 0; i < options.clients; ++i) {
+    const int fd = dial(options.port);
+    if (fd < 0) continue;
+    send_all(fd, stalled);
+    fds.push_back(fd);
+  }
+
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(options.eviction_budget_ms);
+  std::size_t evicted = 0;
+  for (const int fd : fds) {
+    // The evictions run concurrently server-side (all frames anchored at
+    // roughly the same instant), so one shared deadline covers them all.
+    if (drain_until_closed(fd, deadline)) ++evicted;
+    ::close(fd);
+  }
+
+  const bool healthy = probe_healthy(options.port);
+  if (evicted < fds.size() || fds.size() < options.clients || !healthy) {
+    ++failures;
+  }
+  return outcome_line(evicted, options.clients, healthy);
+}
+
+// --- F3: never-reading client ---------------------------------------------
+//
+// Pipelines a burst of /v1/metrics requests through a window capped by a
+// tiny SO_RCVBUF and never reads. The server must cut the connection on
+// its own — by the write deadline once its send buffer jams, or by the
+// idle deadline if the kernel absorbed everything — without ever
+// blocking the event loop.
+std::string run_never_reading(const SocketFaultOptions& options,
+                              std::size_t& failures) {
+  std::string burst;
+  for (int i = 0; i < 256; ++i) {
+    burst += "GET /v1/metrics HTTP/1.1\r\nhost: chaos\r\n\r\n";
+  }
+
+  std::vector<int> fds;
+  for (std::size_t i = 0; i < options.clients; ++i) {
+    const int fd = dial(options.port, /*rcvbuf=*/1024);
+    if (fd < 0) continue;
+    send_all(fd, burst);
+    fds.push_back(fd);
+  }
+
+  // Stay deaf while the server's deadlines do their work, then drain to
+  // observe the close. (Draining earlier would reopen the flow-control
+  // window and defeat the fault.)
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(options.eviction_budget_ms / 4));
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(options.eviction_budget_ms);
+  std::size_t evicted = 0;
+  for (const int fd : fds) {
+    if (drain_until_closed(fd, deadline)) ++evicted;
+    ::close(fd);
+  }
+
+  const bool healthy = probe_healthy(options.port);
+  if (evicted < fds.size() || fds.size() < options.clients || !healthy) {
+    ++failures;
+  }
+  return outcome_line(evicted, options.clients, healthy);
+}
+
+// --- F4: connection storm --------------------------------------------------
+//
+// Rapid connect/abuse/close cycles: a third close cleanly, a third turn
+// close() into RST (SO_LINGER 0), a third send TLS-looking garbage
+// first. The daemon must absorb all of it and keep serving.
+std::string run_storm(const SocketFaultOptions& options,
+                      std::size_t& failures) {
+  std::size_t stormed = 0;
+  for (std::size_t i = 0; i < options.storm_connections; ++i) {
+    const int fd = dial(options.port);
+    if (fd < 0) continue;
+    switch (i % 3) {
+      case 0:
+        break;  // connect + immediate clean close
+      case 1: {
+        struct linger hard_reset = {1, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_reset,
+                     sizeof hard_reset);
+        break;
+      }
+      case 2:
+        send_all(fd, std::string("\x16\x03\x01garbage-not-http\r\n", 21));
+        break;
+    }
+    ::close(fd);
+    ++stormed;
+  }
+
+  const bool healthy = probe_healthy(options.port);
+  if (stormed < options.storm_connections || !healthy) ++failures;
+  return "stormed=" + std::to_string(stormed) + "/" +
+         std::to_string(options.storm_connections) +
+         (healthy ? " healthy=ok" : " healthy=FAILED");
+}
+
+}  // namespace
+
+SocketFaultReport run_socket_faults(const SocketFaultOptions& options) {
+  SocketFaultReport report;
+  if (options.port == 0) {
+    report.failures = 1;
+    report.outcomes["error"] = "no daemon port";
+    return report;
+  }
+  report.outcomes["F1-slowloris"] = run_slowloris(options, report.failures);
+  report.outcomes["F2-midframe-stall"] =
+      run_midframe_stall(options, report.failures);
+  report.outcomes["F3-never-reading"] =
+      run_never_reading(options, report.failures);
+  report.outcomes["F4-storm"] = run_storm(options, report.failures);
+  return report;
+}
+
+std::string SocketFaultReport::to_string() const {
+  std::string out;
+  for (const auto& [name, outcome] : outcomes) {
+    out += name + ": " + outcome + "\n";
+  }
+  out += failures == 0 ? "socket_faults=ok\n" : "socket_faults=VIOLATED\n";
+  return out;
+}
+
+}  // namespace chainchaos::chaos

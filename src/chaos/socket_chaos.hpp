@@ -1,0 +1,56 @@
+// chaos::run_socket_faults: transport-level hostility against a live
+// chaind daemon.
+//
+// The mutation campaign (campaign.hpp) attacks the daemon with bytes it
+// will happily read; this module attacks the way the bytes arrive. Four
+// fault classes, each modelled on a real operational failure:
+//
+//   F1 slow-loris    — clients drip header bytes forever and never
+//                      complete a frame,
+//   F2 mid-frame     — a frame starts (headers + partial body), then the
+//                      client goes silent,
+//   F3 never-reading — clients pipeline a burst of requests and never
+//                      read a byte of the responses (tiny SO_RCVBUF
+//                      closes the flow-control window),
+//   F4 storm         — a connection storm cycling clean close, RST
+//                      (SO_LINGER 0) and garbage-then-close.
+//
+// The contract mirrors the event loop's robustness headline: every
+// hostile connection must be evicted by the server's own deadlines
+// within `eviction_budget_ms` — no cooperation from the peer — and a
+// well-behaved probe client must get a 200 both while the faults are
+// live and after they end.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace chainchaos::chaos {
+
+struct SocketFaultOptions {
+  std::uint16_t port = 0;  ///< daemon to attack (required)
+  std::size_t clients = 8;             ///< hostile clients per class
+  std::size_t storm_connections = 128; ///< F4 connect/abuse/close cycles
+  int drip_interval_ms = 20;           ///< F1 inter-byte delay
+  /// How long a hostile connection may survive before the class counts
+  /// as a failure. Must exceed the daemon's read/write timeouts.
+  int eviction_budget_ms = 8000;
+};
+
+struct SocketFaultReport {
+  /// class name ("F1-slowloris"…) → outcome string, e.g.
+  /// "evicted=8/8 healthy=ok". Deterministic when the daemon's deadlines
+  /// fit inside the eviction budget.
+  std::map<std::string, std::string> outcomes;
+  std::size_t failures = 0;  ///< classes whose contract did not hold
+
+  bool ok() const { return failures == 0; }
+  std::string to_string() const;
+};
+
+/// Runs all four fault classes, in order, against 127.0.0.1:`port`.
+/// Never throws; failures are reported in the result.
+SocketFaultReport run_socket_faults(const SocketFaultOptions& options);
+
+}  // namespace chainchaos::chaos

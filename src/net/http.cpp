@@ -206,6 +206,58 @@ Result<RequestFrame> probe_request_frame(std::string_view raw) {
   return frame;
 }
 
+Result<ResponseFrame> probe_response_frame(std::string_view raw) {
+  const std::size_t boundary = raw.find("\r\n\r\n");
+  if (boundary == std::string_view::npos) {
+    if (raw.size() > kMaxHeaderBytes) {
+      return make_error("http.headers_too_large",
+                        "no terminator within " +
+                            std::to_string(kMaxHeaderBytes) + " bytes");
+    }
+    return ResponseFrame{};  // need more bytes
+  }
+  if (boundary + 4 > kMaxHeaderBytes) {
+    return make_error("http.headers_too_large",
+                      std::to_string(boundary + 4) + " bytes");
+  }
+  const std::size_t line_end = raw.find("\r\n");
+  if (!starts_with(raw.substr(0, line_end), "HTTP/1.")) {
+    return make_error("http.bad_status_line",
+                      std::string(raw.substr(0, line_end)));
+  }
+
+  // Scan the header block for Content-Length only; full validation
+  // happens in parse_response once the frame is complete.
+  std::optional<std::size_t> content_length;
+  std::size_t line_start = line_end + 2;
+  while (line_start < boundary + 2) {
+    std::size_t next = raw.find("\r\n", line_start);
+    if (next == std::string_view::npos || next > boundary) next = boundary;
+    const std::string line(raw.substr(line_start, next - line_start));
+    std::string name, value;
+    if (parse_header_line(line, &name, &value) && name == "content-length") {
+      auto parsed = parse_content_length(value);
+      if (!parsed.ok()) return parsed.error();
+      content_length = parsed.value();
+    }
+    line_start = next + 2;
+  }
+  if (!content_length.has_value()) {
+    return make_error("http.missing_content_length",
+                      "pipelined responses cannot be framed to EOF");
+  }
+
+  ResponseFrame frame;
+  frame.total_bytes = boundary + 4 + *content_length;
+  frame.complete = raw.size() >= frame.total_bytes;
+  return frame;
+}
+
+bool wants_close(const std::map<std::string, std::string>& headers) {
+  const auto it = headers.find("connection");
+  return it != headers.end() && to_lower(it->second) == "close";
+}
+
 Bytes HttpResponse::encode() const {
   std::string head = "HTTP/1.1 " + std::to_string(status) + " " + reason +
                      "\r\n";

@@ -82,6 +82,23 @@ struct HttpResponse {
 
 Result<HttpResponse> parse_response(BytesView raw);
 
+/// Incremental framing probe for a client reading pipelined responses:
+/// given the bytes received so far, reports whether a complete response
+/// message is present and how long it is. Unlike parse_response (which
+/// may treat everything-to-EOF as the body), a pipelined stream has no
+/// EOF delimiter, so a complete header section without a Content-Length
+/// is an error ("http.missing_content_length") — chaind always sends
+/// one, and anything else cannot be framed.
+struct ResponseFrame {
+  bool complete = false;        ///< full header + body received
+  std::size_t total_bytes = 0;  ///< frame length when complete
+};
+
+Result<ResponseFrame> probe_response_frame(std::string_view raw);
+
+/// True when the header map carries "connection: close" (any case).
+bool wants_close(const std::map<std::string, std::string>& headers);
+
 /// Canonical response helpers.
 HttpResponse http_ok(Bytes body, const std::string& content_type);
 HttpResponse http_not_found();

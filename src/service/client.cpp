@@ -15,28 +15,6 @@
 
 namespace chainchaos::service {
 
-namespace {
-
-/// Finds the extent of one complete response in `buffer` (headers +
-/// content-length body). chaind always sends content-length, so the
-/// "body runs to EOF" case never applies on this path.
-/// Returns 0 while incomplete.
-std::size_t response_frame_bytes(const std::string& buffer) {
-  const std::size_t boundary = buffer.find("\r\n\r\n");
-  if (boundary == std::string::npos) return 0;
-  std::size_t content_length = 0;
-  // Headers from our own encoder are lower-case already.
-  const std::string head = to_lower(buffer.substr(0, boundary));
-  const std::size_t pos = head.find("content-length:");
-  if (pos != std::string::npos) {
-    content_length = std::strtoull(head.c_str() + pos + 15, nullptr, 10);
-  }
-  const std::size_t total = boundary + 4 + content_length;
-  return buffer.size() >= total ? total : 0;
-}
-
-}  // namespace
-
 Client::Client(std::uint16_t port, int timeout_ms)
     : port_(port), timeout_ms_(timeout_ms) {}
 
@@ -86,16 +64,15 @@ Result<net::HttpResponse> Client::round_trip(const std::string& wire) {
 
   std::string buffer;
   for (;;) {
-    const std::size_t total = response_frame_bytes(buffer);
-    if (total != 0) {
+    auto probe = net::probe_response_frame(buffer);
+    if (!probe.ok()) return probe.error();
+    if (probe.value().complete) {
+      const std::size_t total = probe.value().total_bytes;
       auto response = net::parse_response(to_bytes(buffer.substr(0, total)));
       if (!response.ok()) return response.error();
       // A "connection: close" response will not be followed by another;
       // drop the socket so the next request redials.
-      const auto it = response.value().headers.find("connection");
-      if (it != response.value().headers.end() && it->second == "close") {
-        disconnect();
-      }
+      if (net::wants_close(response.value().headers)) disconnect();
       return response;
     }
     char chunk[16384];
@@ -107,6 +84,76 @@ Result<net::HttpResponse> Client::round_trip(const std::string& wire) {
     }
     buffer.append(chunk, static_cast<std::size_t>(n));
   }
+}
+
+Result<std::vector<net::HttpResponse>> Client::pipeline(
+    std::vector<net::HttpRequest> requests) {
+  std::string wire;
+  for (net::HttpRequest& req : requests) {
+    req.host = "127.0.0.1:" + std::to_string(port_);
+    if (req.headers.find("x-trace-id") == req.headers.end()) {
+      req.headers["x-trace-id"] = "c" + std::to_string(port_) + "-" +
+                                  std::to_string(++trace_seq_);
+    }
+    wire += req.encode();
+  }
+
+  if (fd_ < 0) {
+    auto connected = connect_once();
+    if (!connected.ok()) return connected.error();
+  }
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string detail = std::strerror(errno);
+      disconnect();
+      return make_error("client.send", detail);
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::vector<net::HttpResponse> out;
+  out.reserve(requests.size());
+  std::string buffer;
+  while (out.size() < requests.size()) {
+    auto probe = net::probe_response_frame(buffer);
+    if (!probe.ok()) return probe.error();
+    if (probe.value().complete) {
+      const std::size_t total = probe.value().total_bytes;
+      auto response = net::parse_response(to_bytes(buffer.substr(0, total)));
+      if (!response.ok()) return response.error();
+      buffer.erase(0, total);
+      const bool closing = net::wants_close(response.value().headers);
+      out.push_back(std::move(response.value()));
+      if (closing) {
+        // The server ended the stream; later requests were discarded.
+        // Returning the shorter vector lets the caller see exactly how
+        // far the pipeline got.
+        disconnect();
+        return out;
+      }
+      continue;
+    }
+    char chunk[16384];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n == 0) {
+      disconnect();
+      return make_error("client.closed",
+                        "server closed mid-pipeline after " +
+                            std::to_string(out.size()) + " responses");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string detail = std::strerror(errno);
+      disconnect();
+      return make_error("client.recv", detail);
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  return out;
 }
 
 Result<net::HttpResponse> Client::request(net::HttpRequest req) {

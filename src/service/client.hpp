@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "net/http.hpp"
 #include "support/result.hpp"
@@ -53,6 +54,17 @@ class Client {
   /// Reconnects once if the kept-alive connection turned out to be
   /// stale.
   Result<net::HttpResponse> request(net::HttpRequest req);
+
+  /// HTTP/1.1 pipelining: encodes all requests (host/x-trace-id filled
+  /// in as for request()), sends them in one burst on one connection,
+  /// then reads the responses back in order. A "connection: close"
+  /// response ends the stream early — the returned vector is then
+  /// shorter than `requests`, which the caller can detect; an EOF before
+  /// the final response without a close header is an error. No
+  /// stale-connection retry: a pipelined burst is not idempotent to
+  /// replay, so the caller decides.
+  Result<std::vector<net::HttpResponse>> pipeline(
+      std::vector<net::HttpRequest> requests);
 
  private:
   Result<bool> connect_once();

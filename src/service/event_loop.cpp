@@ -1,0 +1,204 @@
+#include "service/event_loop.hpp"
+
+#include <cerrno>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+#include <unistd.h>
+
+namespace chainchaos::service {
+
+// ---------------------------------------------------------------------------
+// Poller
+// ---------------------------------------------------------------------------
+
+Poller::Poller(bool force_poll) {
+#ifdef __linux__
+  if (!force_poll) {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    // On failure fall through to the poll backend — epoll is an
+    // optimisation, not a requirement.
+  }
+#else
+  (void)force_poll;
+#endif
+}
+
+Poller::~Poller() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+#ifdef __linux__
+namespace {
+std::uint32_t epoll_mask(bool read, bool write) {
+  std::uint32_t events = 0;
+  if (read) events |= EPOLLIN;
+  if (write) events |= EPOLLOUT;
+  return events;
+}
+}  // namespace
+#endif
+
+void Poller::add(int fd, std::uint64_t tag, bool want_read, bool want_write) {
+  interests_[fd] = Interest{tag, want_read, want_write};
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = epoll_mask(want_read, want_write);
+    ev.data.u64 = tag;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+#endif
+}
+
+void Poller::set(int fd, bool want_read, bool want_write) {
+  const auto it = interests_.find(fd);
+  if (it == interests_.end()) return;
+  it->second.read = want_read;
+  it->second.write = want_write;
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = epoll_mask(want_read, want_write);
+    ev.data.u64 = it->second.tag;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  }
+#endif
+}
+
+void Poller::remove(int fd) {
+  interests_.erase(fd);
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+#endif
+}
+
+int Poller::wait(std::vector<Event>& out, int timeout_ms) {
+  out.clear();
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    epoll_event ready[256];
+    const int n = ::epoll_wait(epoll_fd_, ready, 256, timeout_ms);
+    if (n <= 0) return 0;  // timeout or EINTR
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      Event ev;
+      ev.tag = ready[i].data.u64;
+      ev.readable = (ready[i].events & EPOLLIN) != 0;
+      ev.writable = (ready[i].events & EPOLLOUT) != 0;
+      ev.error = (ready[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      out.push_back(ev);
+    }
+    return n;
+  }
+#endif
+  // poll(2) backend: rebuild the fd set each call. O(watched) per wait
+  // rather than O(ready) — acceptable for the portability fallback.
+  scratch_.clear();
+  scratch_.reserve(interests_.size());
+  for (const auto& [fd, interest] : interests_) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    if (interest.read) pfd.events |= POLLIN;
+    if (interest.write) pfd.events |= POLLOUT;
+    scratch_.push_back(pfd);
+  }
+  const int n = ::poll(scratch_.data(),
+                       static_cast<nfds_t>(scratch_.size()), timeout_ms);
+  if (n <= 0) return 0;
+  for (const pollfd& pfd : scratch_) {
+    if (pfd.revents == 0) continue;
+    const auto it = interests_.find(pfd.fd);
+    if (it == interests_.end()) continue;
+    Event ev;
+    ev.tag = it->second.tag;
+    ev.readable = (pfd.revents & POLLIN) != 0;
+    ev.writable = (pfd.revents & POLLOUT) != 0;
+    ev.error = (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    out.push_back(ev);
+  }
+  return static_cast<int>(out.size());
+}
+
+// ---------------------------------------------------------------------------
+// TimeoutWheel
+// ---------------------------------------------------------------------------
+
+TimeoutWheel::TimeoutWheel(std::size_t slot_count, int tick_ms,
+                           Clock::time_point origin)
+    : slots_(slot_count == 0 ? 1 : slot_count),
+      origin_(origin),
+      tick_ms_(tick_ms <= 0 ? 1 : tick_ms) {}
+
+std::uint64_t TimeoutWheel::tick_index(Clock::time_point t) const {
+  if (t <= origin_) return 0;
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      t - origin_)
+                      .count();
+  return static_cast<std::uint64_t>(ms) /
+         static_cast<std::uint64_t>(tick_ms_);
+}
+
+void TimeoutWheel::insert(std::uint64_t id, Clock::time_point deadline) {
+  // A deadline inside the current tick would land in a slot the cursor
+  // already passed and sit there a full revolution; clamp forward one
+  // tick so it fires on the next sweep instead.
+  std::uint64_t tick = tick_index(deadline);
+  if (tick <= cursor_) tick = cursor_ + 1;
+  slots_[tick % slots_.size()].push_back(id);
+}
+
+void TimeoutWheel::schedule(std::uint64_t id, Clock::time_point deadline) {
+  const auto it = deadlines_.find(id);
+  if (it != deadlines_.end()) {
+    if (it->second == deadline) return;  // unchanged: keep the slot entry
+    it->second = deadline;
+    // The stale slot entry is abandoned; collect_due drops it when its
+    // slot comes around (the map no longer points there).
+  } else {
+    deadlines_.emplace(id, deadline);
+  }
+  insert(id, deadline);
+}
+
+void TimeoutWheel::cancel(std::uint64_t id) { deadlines_.erase(id); }
+
+void TimeoutWheel::collect_due(Clock::time_point now,
+                               std::vector<std::uint64_t>& due) {
+  const std::uint64_t target = tick_index(now);
+  if (target <= cursor_) return;
+  // Never sweep more than one full revolution: every slot would be
+  // visited twice for nothing if the loop stalled that long.
+  const std::uint64_t first = target - cursor_ > slots_.size()
+                                  ? target - slots_.size() + 1
+                                  : cursor_ + 1;
+  std::vector<std::uint64_t> survivors;
+  for (std::uint64_t tick = first; tick <= target; ++tick) {
+    std::vector<std::uint64_t>& slot = slots_[tick % slots_.size()];
+    if (slot.empty()) continue;
+    for (const std::uint64_t id : slot) {
+      const auto it = deadlines_.find(id);
+      if (it == deadlines_.end()) continue;  // cancelled or moved away
+      if (it->second <= now) {
+        due.push_back(id);
+        deadlines_.erase(it);
+      } else {
+        // Rescheduled later, or a wrap-around from a future revolution:
+        // carry it forward. A re-insert may duplicate an entry the move
+        // left in another slot — harmless, the map gates every visit.
+        survivors.push_back(id);
+      }
+    }
+    slot.clear();
+  }
+  cursor_ = target;
+  for (const std::uint64_t id : survivors) {
+    const auto it = deadlines_.find(id);
+    if (it != deadlines_.end()) insert(id, it->second);
+  }
+}
+
+}  // namespace chainchaos::service

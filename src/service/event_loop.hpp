@@ -1,0 +1,102 @@
+// Event-loop plumbing beneath chaind's readiness-driven server core
+// (DESIGN.md §5.15): a Poller that prefers epoll(7) on Linux but always
+// carries a portable poll(2) backend, and a hashed TimeoutWheel that
+// tracks one deadline per connection without a timer thread or a sorted
+// structure.
+//
+// Both classes are single-thread affine by design — only the server's
+// event-loop thread touches them — so neither takes a lock anywhere.
+#pragma once
+
+#include <poll.h>
+
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace chainchaos::service {
+
+/// Readiness multiplexer over many non-blocking fds. Registration keys
+/// every fd to an opaque u64 tag (the server uses connection ids, which
+/// unlike fds are never recycled — a stale event can therefore never be
+/// misrouted to a new connection that reused the fd).
+class Poller {
+ public:
+  struct Event {
+    std::uint64_t tag = 0;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;  ///< POLLERR/POLLHUP-class condition
+  };
+
+  /// `force_poll` selects the poll(2) backend even where epoll exists
+  /// (exercised by tests and chaind --poll so the fallback stays honest).
+  explicit Poller(bool force_poll = false);
+  ~Poller();
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  bool using_epoll() const { return epoll_fd_ >= 0; }
+
+  void add(int fd, std::uint64_t tag, bool want_read, bool want_write);
+  void set(int fd, bool want_read, bool want_write);  ///< update interest
+  void remove(int fd);
+
+  std::size_t watched() const { return interests_.size(); }
+
+  /// Blocks up to `timeout_ms`, replaces `out` with the ready set.
+  /// Returns the number of events (0 on timeout; EINTR reads as 0).
+  int wait(std::vector<Event>& out, int timeout_ms);
+
+ private:
+  struct Interest {
+    std::uint64_t tag = 0;
+    bool read = false;
+    bool write = false;
+  };
+
+  int epoll_fd_ = -1;  ///< -1 = poll(2) backend
+  /// fd → interest. The epoll backend keeps it too: epoll_ctl(MOD)
+  /// needs the full event mask and tag rebuilt on every change.
+  std::unordered_map<int, Interest> interests_;
+  std::vector<pollfd> scratch_;  ///< poll backend: rebuilt per wait()
+};
+
+/// Hashed timer wheel: slots × tick granularity, one pending deadline
+/// per id. schedule() on an existing id moves its deadline; entries left
+/// behind in old slots are dropped lazily when their slot comes around
+/// (the id → authoritative-deadline map decides, the slot lists are only
+/// hints). Deadlines beyond one revolution are re-hashed on expiry, so
+/// arbitrarily long timeouts cost one spurious visit per revolution —
+/// never a missed firing.
+class TimeoutWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  TimeoutWheel(std::size_t slot_count, int tick_ms, Clock::time_point origin);
+
+  void schedule(std::uint64_t id, Clock::time_point deadline);
+  void cancel(std::uint64_t id);
+
+  /// Appends every id whose deadline has passed to `due` (and forgets
+  /// it); the caller re-checks its own authoritative state before
+  /// acting, because a deadline may have been re-armed since.
+  void collect_due(Clock::time_point now, std::vector<std::uint64_t>& due);
+
+  std::size_t pending() const { return deadlines_.size(); }
+  int tick_ms() const { return tick_ms_; }
+
+ private:
+  std::uint64_t tick_index(Clock::time_point t) const;
+  void insert(std::uint64_t id, Clock::time_point deadline);
+
+  std::vector<std::vector<std::uint64_t>> slots_;
+  std::unordered_map<std::uint64_t, Clock::time_point> deadlines_;
+  Clock::time_point origin_;
+  int tick_ms_;
+  std::uint64_t cursor_ = 0;  ///< last fully processed tick index
+};
+
+}  // namespace chainchaos::service

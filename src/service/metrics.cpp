@@ -68,6 +68,15 @@ const char* to_string(Endpoint endpoint) {
   return "other";
 }
 
+const char* to_string(Eviction kind) {
+  switch (kind) {
+    case Eviction::kSlowRead: return "slow_read";
+    case Eviction::kSlowWrite: return "slow_write";
+    case Eviction::kIdle: return "idle";
+  }
+  return "idle";
+}
+
 void Metrics::record_request(Endpoint endpoint) {
   requests_total_.fetch_add(1, std::memory_order_relaxed);
   by_endpoint_[static_cast<std::size_t>(endpoint)].fetch_add(
@@ -128,6 +137,33 @@ void Metrics::note_queue_depth(std::size_t depth) {
   }
 }
 
+void Metrics::record_accept_error() {
+  accept_errors_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Metrics::record_fd_exhausted() {
+  fd_exhausted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Metrics::record_connection_open() {
+  connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t open =
+      connections_open_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::uint64_t seen = connections_peak_.load(std::memory_order_relaxed);
+  while (open > seen && !connections_peak_.compare_exchange_weak(
+                            seen, open, std::memory_order_relaxed)) {
+  }
+}
+
+void Metrics::record_connection_close() {
+  connections_open_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Metrics::record_eviction(Eviction kind) {
+  evictions_[static_cast<std::size_t>(kind)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
 std::string Metrics::to_json(const CacheStats& cache,
                              const net::FetchStats& aia,
                              const crypto::VerifySnapshot& verify) const {
@@ -169,6 +205,14 @@ std::string Metrics::to_json(const CacheStats& cache,
       .value(write_failures_.load(std::memory_order_relaxed));
   w.key("worker_recoveries")
       .value(worker_recoveries_.load(std::memory_order_relaxed));
+  w.key("open").value(connections_open());
+  w.key("peak").value(connections_peak());
+  w.key("accepted").value(connections_accepted());
+  w.key("accept_errors").value(accept_errors());
+  w.key("fd_exhausted").value(fd_exhausted());
+  w.key("evicted_slow_read").value(evictions(Eviction::kSlowRead));
+  w.key("evicted_slow_write").value(evictions(Eviction::kSlowWrite));
+  w.key("evicted_idle").value(evictions(Eviction::kIdle));
   w.end_object();
 
   w.key("aia").begin_object();
@@ -252,6 +296,38 @@ std::string Metrics::to_prometheus(const CacheStats& cache,
   w.family("chainchaos_queue_high_water", "Request queue depth high-water mark",
            "gauge");
   w.sample("chainchaos_queue_high_water", {}, queue_high_water());
+
+  w.family("chainchaos_connections_open", "Connections currently admitted",
+           "gauge");
+  w.sample("chainchaos_connections_open", {}, connections_open());
+
+  w.family("chainchaos_connections_peak",
+           "High-water mark of concurrently open connections", "gauge");
+  w.sample("chainchaos_connections_peak", {}, connections_peak());
+
+  w.family("chainchaos_connections_accepted_total",
+           "Connections admitted into the event loop", "counter");
+  w.sample("chainchaos_connections_accepted_total", {},
+           connections_accepted());
+
+  w.family("chainchaos_accept_errors_total",
+           "accept() failures other than EAGAIN/EINTR", "counter");
+  w.sample("chainchaos_accept_errors_total", {}, accept_errors());
+
+  w.family("chainchaos_fd_exhausted_total",
+           "accept() EMFILE/ENFILE events absorbed by the reserved fd",
+           "counter");
+  w.sample("chainchaos_fd_exhausted_total", {}, fd_exhausted());
+
+  w.family("chainchaos_evictions_total",
+           "Connections closed by the event loop for missing a deadline",
+           "counter");
+  w.sample("chainchaos_evictions_total", {{"kind", "slow_read"}},
+           evictions(Eviction::kSlowRead));
+  w.sample("chainchaos_evictions_total", {{"kind", "slow_write"}},
+           evictions(Eviction::kSlowWrite));
+  w.sample("chainchaos_evictions_total", {{"kind", "idle"}},
+           evictions(Eviction::kIdle));
 
   const LatencySnapshot latency =
       snapshot_histogram(latency_, latency_total_us_);

@@ -35,6 +35,16 @@ inline constexpr std::array<std::uint64_t, 8> kLatencyBucketUpperUs = {
 inline constexpr std::size_t kLatencyBucketCount =
     kLatencyBucketUpperUs.size() + 1;
 
+/// Why the event loop forcibly closed a connection (DESIGN.md §5.15):
+/// a frame that dripped in slower than the read deadline, a peer that
+/// would not drain its response before the write deadline, or a
+/// keep-alive connection idle past the idle deadline.
+enum class Eviction { kSlowRead, kSlowWrite, kIdle };
+
+inline constexpr std::size_t kEvictionKindCount = 3;
+
+const char* to_string(Eviction kind);
+
 class Metrics {
  public:
   void record_request(Endpoint endpoint);
@@ -68,6 +78,21 @@ class Metrics {
   /// Tracks the queue-depth high-water mark (CAS max).
   void note_queue_depth(std::size_t depth);
 
+  /// accept() returned an error other than EAGAIN/EINTR.
+  void record_accept_error();
+
+  /// accept() hit EMFILE/ENFILE and the reserved-fd shed path ran.
+  void record_fd_exhausted();
+
+  /// A connection was admitted into the event loop.
+  void record_connection_open();
+
+  /// An admitted connection left the event loop (any reason).
+  void record_connection_close();
+
+  /// The event loop evicted a connection for missing a deadline.
+  void record_eviction(Eviction kind);
+
   std::uint64_t requests_total() const {
     return requests_total_.load(std::memory_order_relaxed);
   }
@@ -85,6 +110,25 @@ class Metrics {
   }
   std::uint64_t worker_recoveries() const {
     return worker_recoveries_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t accept_errors() const {
+    return accept_errors_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t fd_exhausted() const {
+    return fd_exhausted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t connections_open() const {
+    return connections_open_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t connections_peak() const {
+    return connections_peak_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evictions(Eviction kind) const {
+    return evictions_[static_cast<std::size_t>(kind)].load(
+        std::memory_order_relaxed);
   }
 
   /// Renders the full metrics document (request counters, status
@@ -123,6 +167,12 @@ class Metrics {
   std::array<std::atomic<std::uint64_t>, kLatencyBucketCount> queue_wait_{};
   std::atomic<std::uint64_t> queue_wait_total_us_{0};
   std::atomic<std::uint64_t> queue_high_water_{0};
+  std::atomic<std::uint64_t> accept_errors_{0};
+  std::atomic<std::uint64_t> fd_exhausted_{0};
+  std::atomic<std::uint64_t> connections_open_{0};
+  std::atomic<std::uint64_t> connections_peak_{0};
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::array<std::atomic<std::uint64_t>, kEvictionKindCount> evictions_{};
 };
 
 }  // namespace chainchaos::service

@@ -1,17 +1,18 @@
 #include "service/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
-#include <poll.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <unordered_map>
 
 #include "obs/trace.hpp"
+#include "service/event_loop.hpp"
 #include "support/str.hpp"
 
 namespace chainchaos::service {
@@ -20,49 +21,600 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Granularity of the shutdown-responsiveness polls: both the acceptor
-/// and blocked readers wake this often to check the stopping flag.
+/// Upper bound on one poller wait; also the timeout wheel's tick. The
+/// loop re-checks the stopping flag at least this often even with no
+/// socket activity.
 constexpr int kPollIntervalMs = 50;
+constexpr std::size_t kWheelSlots = 256;
 
-int remaining_ms(Clock::time_point deadline) {
-  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-                        deadline - Clock::now())
-                        .count();
-  return left < 0 ? 0 : static_cast<int>(left);
-}
+/// Poller tags 0 and 1 are the listening socket and the wake pipe;
+/// connection ids start above them and are never reused, so a stale
+/// readiness event can never be misrouted to a newer connection.
+constexpr std::uint64_t kListenTag = 0;
+constexpr std::uint64_t kWakeTag = 1;
+constexpr std::uint64_t kFirstConnId = 2;
 
-/// Sends the whole buffer, honouring the deadline. Returns false on any
-/// error or timeout (the connection is then abandoned).
-bool send_all(int fd, const std::uint8_t* data, std::size_t size,
-              Clock::time_point deadline) {
-  std::size_t sent = 0;
-  while (sent < size) {
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-    if (n > 0) {
-      sent += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      const int wait = std::min(kPollIntervalMs, remaining_ms(deadline));
-      if (wait == 0) return false;
-      struct pollfd pfd = {fd, POLLOUT, 0};
-      ::poll(&pfd, 1, wait);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    return false;
-  }
-  return true;
-}
-
-bool send_response(int fd, const net::HttpResponse& response,
-                   int write_timeout_ms) {
-  const Bytes wire = response.encode();
-  return send_all(fd, wire.data(), wire.size(),
-                  Clock::now() + std::chrono::milliseconds(write_timeout_ms));
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Event-loop state (DESIGN.md §5.15)
+// ---------------------------------------------------------------------------
+
+struct Server::Loop {
+  /// One queued response in a connection's pipeline window. Slots are
+  /// created in request order and written strictly front-to-back; a slot
+  /// born with a response (parse errors, overload 503s) is `ready`
+  /// immediately, handler responses become ready when their Completion
+  /// merges.
+  struct Slot {
+    bool ready = false;
+    bool close_after = false;
+    /// False when the response was already counted at creation (the
+    /// probe-error and overload paths record their metrics immediately,
+    /// matching the pre-event-loop server).
+    bool count_response = true;
+    int status = 0;
+    Bytes wire;           ///< encoded response (valid once ready)
+    std::size_t sent = 0; ///< partial-write continuation cursor
+    Clock::time_point parsed_at{};
+    std::uint64_t write_begin_ns = 0;
+    bool write_started = false;
+  };
+
+  struct Connection {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::string in;          ///< received, not yet parsed
+    std::deque<Slot> slots;  ///< pipeline window, front = next to write
+    std::uint64_t base_seq = 0;  ///< seq of slots.front()
+    std::uint64_t next_seq = 0;  ///< seq the next request will take
+    std::size_t inflight = 0;    ///< slots awaiting a worker completion
+    bool draining = false;  ///< no more reads; close once slots flush
+    bool frame_started = false;
+    std::uint64_t frame_begin_ns = 0;
+    Clock::time_point read_deadline{};
+    bool read_armed = false;
+    Clock::time_point write_deadline{};
+    bool write_armed = false;
+    bool want_read = true;
+    bool want_write = false;
+  };
+
+  explicit Loop(Server& server)
+      : srv(server),
+        poller(server.config_.force_poll),
+        wheel(kWheelSlots, kPollIntervalMs, Clock::now()) {}
+
+  Server& srv;
+  Poller poller;
+  TimeoutWheel wheel;
+  std::unordered_map<std::uint64_t, Connection> conns;
+  std::uint64_t next_id = kFirstConnId;
+  std::size_t inflight = 0;  ///< work items dispatched, completions pending
+  bool drain_started = false;
+  std::vector<Poller::Event> events;
+  std::vector<std::uint64_t> due;
+
+  std::size_t pipeline_depth() const {
+    return srv.config_.pipeline_depth == 0 ? 1 : srv.config_.pipeline_depth;
+  }
+  std::chrono::milliseconds idle_timeout() const {
+    return std::chrono::milliseconds(srv.config_.idle_timeout_ms > 0
+                                         ? srv.config_.idle_timeout_ms
+                                         : srv.config_.read_timeout_ms);
+  }
+
+  void run() {
+    while (true) {
+      if (srv.stopping_.load() && !drain_started) begin_drain();
+      if (drain_started && conns.empty() && inflight == 0) break;
+      poller.wait(events, kPollIntervalMs);
+      for (const Poller::Event& ev : events) {
+        if (ev.tag == kListenTag) {
+          accept_ready();
+        } else if (ev.tag == kWakeTag) {
+          drain_wake_pipe();
+        } else {
+          on_conn_event(ev);
+        }
+      }
+      drain_completions();
+      check_deadlines();
+    }
+  }
+
+  // --- lifecycle ---------------------------------------------------------
+
+  void begin_drain() {
+    drain_started = true;
+    poller.remove(srv.listen_fd_);
+    // Idle connections have nothing to drain; everything else finishes
+    // under its deadlines with "connection: close" forced on the way out.
+    std::vector<std::uint64_t> idle;
+    for (const auto& [id, c] : conns) {
+      if (c.slots.empty() && c.inflight == 0 && c.in.empty()) {
+        idle.push_back(id);
+      }
+    }
+    for (const std::uint64_t id : idle) close_conn(id, false);
+  }
+
+  void close_conn(std::uint64_t id, bool responses_lost) {
+    const auto it = conns.find(id);
+    if (it == conns.end()) return;
+    if (responses_lost) srv.metrics_.record_write_failure();
+    wheel.cancel(id);
+    poller.remove(it->second.fd);
+    ::close(it->second.fd);
+    srv.metrics_.record_connection_close();
+    conns.erase(it);
+  }
+
+  /// True when closing this connection now would lose responses the
+  /// client is still owed (pending or partially written slots).
+  static bool owes_responses(const Connection& c) {
+    return !c.slots.empty() || c.inflight > 0;
+  }
+
+  /// Peer vanished (EOF, ECONNRESET, POLLERR/POLLHUP). Unparsed bytes
+  /// mean a mid-request disconnect, counted separately from an idle
+  /// keep-alive teardown.
+  void peer_gone(std::uint64_t id) {
+    const auto it = conns.find(id);
+    if (it == conns.end()) return;
+    if (!it->second.in.empty()) srv.metrics_.record_client_disconnect();
+    close_conn(id, owes_responses(it->second));
+  }
+
+  // --- accept + admission ------------------------------------------------
+
+  void accept_ready() {
+    if (drain_started) return;
+    for (;;) {
+      int fd = ::accept(srv.listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        srv.metrics_.record_accept_error();
+        if (errno == EMFILE || errno == ENFILE) {
+          // fd budget exhausted. Close the reserved fd to free one slot,
+          // accept the connection that is otherwise stuck in the backlog,
+          // shed it with 503, then re-arm the reserve. Without this the
+          // loop would spin on a permanently-ready listener.
+          srv.metrics_.record_fd_exhausted();
+          if (srv.reserve_fd_ >= 0) {
+            ::close(srv.reserve_fd_);
+            srv.reserve_fd_ = -1;
+          }
+          fd = ::accept(srv.listen_fd_, nullptr, nullptr);
+          if (fd >= 0) shed(fd);
+          srv.reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+          if (fd < 0) return;  // nothing acceptable even with the slot free
+          continue;
+        }
+        if (errno == ECONNABORTED || errno == EPROTO) continue;
+        return;
+      }
+      if (srv.stopping_.load()) {
+        ::close(fd);
+        continue;
+      }
+      if (srv.config_.max_connections != 0 &&
+          conns.size() >= srv.config_.max_connections) {
+        shed(fd);
+        continue;
+      }
+      if (!set_nonblocking(fd)) {
+        srv.metrics_.record_accept_error();
+        ::close(fd);
+        continue;
+      }
+      const std::uint64_t id = next_id++;
+      Connection c;
+      c.fd = fd;
+      c.id = id;
+      c.read_deadline = Clock::now() + idle_timeout();
+      c.read_armed = true;
+      conns.emplace(id, std::move(c));
+      wheel.schedule(id, conns[id].read_deadline);
+      poller.add(fd, id, /*want_read=*/true, /*want_write=*/false);
+      srv.metrics_.record_connection_open();
+    }
+  }
+
+  /// Admission rejection: best-effort 503 + Retry-After, then close. The
+  /// socket never enters the loop, so the send must not block.
+  void shed(int fd) {
+    srv.metrics_.record_rejected();
+    const Bytes wire =
+        busy_response(srv.config_.retry_after_seconds).encode();
+    (void)::send(fd, wire.data(), wire.size(),
+                 MSG_NOSIGNAL | MSG_DONTWAIT);
+    ::close(fd);
+  }
+
+  // --- readiness dispatch ------------------------------------------------
+
+  void on_conn_event(const Poller::Event& ev) {
+    const std::uint64_t id = ev.tag;
+    if (ev.readable) {
+      if (!on_readable(id)) return;
+    }
+    if (ev.error) {
+      // Error with no readable data (or data already drained): the peer
+      // is gone. When readable was set, on_readable has already seen the
+      // EOF/error if there was one.
+      if (conns.count(id) != 0) peer_gone(id);
+      return;
+    }
+    pump(id);
+  }
+
+  /// Pulls a bounded burst of bytes off the socket. Returns false when
+  /// the connection was closed (EOF or hard error).
+  bool on_readable(std::uint64_t id) {
+    const auto it = conns.find(id);
+    if (it == conns.end()) return false;
+    Connection& c = it->second;
+    char chunk[16384];
+    for (int burst = 0; burst < 4; ++burst) {
+      if (c.draining) break;
+      const ssize_t n = ::recv(c.fd, chunk, sizeof chunk, 0);
+      if (n > 0) {
+        c.in.append(chunk, static_cast<std::size_t>(n));
+        if (!c.frame_started) note_frame_start(c);
+        if (static_cast<std::size_t>(n) < sizeof chunk) break;
+        continue;
+      }
+      if (n == 0) {
+        peer_gone(id);
+        return false;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      peer_gone(id);
+      return false;
+    }
+    return true;
+  }
+
+  /// The first byte of a new frame anchors the read deadline and the
+  /// service.read measurement: a frame must complete within
+  /// read_timeout_ms of its first byte no matter how slowly the rest
+  /// drips in, and idle keep-alive time never pollutes the stage.
+  void note_frame_start(Connection& c) {
+    c.frame_started = true;
+    c.read_deadline =
+        Clock::now() + std::chrono::milliseconds(srv.config_.read_timeout_ms);
+    c.read_armed = true;
+    c.frame_begin_ns =
+        obs::Tracer::instance().enabled() ? obs::Tracer::now_ns() : 0;
+  }
+
+  /// Parse + flush + recompute interest/deadlines for one connection.
+  void pump(std::uint64_t id) {
+    const auto it = conns.find(id);
+    if (it == conns.end()) return;
+    do_parse(it->second);
+    if (!do_flush(id)) return;
+    settle(id);
+  }
+
+  // --- incremental parse + dispatch --------------------------------------
+
+  void do_parse(Connection& c) {
+    while (!c.draining && !c.in.empty() &&
+           c.slots.size() < pipeline_depth()) {
+      auto probe = net::probe_request_frame(c.in);
+      if (!probe.ok()) {
+        // Hostile or broken framing (oversized headers, bad
+        // Content-Length): reject and drop the connection once the
+        // error response flushes.
+        net::HttpResponse error = json_error(
+            probe.error().code == "http.headers_too_large" ? 431 : 400,
+            "Bad Request", probe.error().code, probe.error().message);
+        error.headers["connection"] = "close";
+        srv.metrics_.record_response(error.status, 0);
+        push_ready_slot(c, error, /*close_after=*/true,
+                        /*count_response=*/false, Clock::time_point{});
+        c.draining = true;
+        c.in.clear();
+        c.frame_started = false;
+        return;
+      }
+      if (!probe.value().complete) return;
+
+      const std::size_t frame_bytes = probe.value().total_bytes;
+      if (c.frame_begin_ns != 0) {
+        obs::Tracer::instance().record_duration(
+            obs::Stage::kServiceRead,
+            obs::Tracer::now_ns() - c.frame_begin_ns);
+      }
+      const auto parsed_at = Clock::now();
+      auto request = net::parse_request(c.in.substr(0, frame_bytes));
+      c.in.erase(0, frame_bytes);
+      c.frame_started = false;
+      c.frame_begin_ns = 0;
+
+      if (!request.ok()) {
+        net::HttpResponse error =
+            json_error(400, "Bad Request", request.error().code,
+                       request.error().message);
+        error.headers["connection"] = "close";
+        push_ready_slot(c, error, /*close_after=*/true,
+                        /*count_response=*/true, parsed_at);
+        c.draining = true;
+        return;
+      }
+
+      dispatch(c, std::move(request.value()), parsed_at);
+      // The leftover bytes (if any) are the next pipelined frame; its
+      // read deadline anchors here.
+      if (!c.in.empty() && !c.frame_started) note_frame_start(c);
+    }
+  }
+
+  /// Queues the request for the worker pool, or answers 503 in place
+  /// when the queue is full. Either way the request occupies exactly one
+  /// pipeline slot, so the response stream never desynchronises.
+  void dispatch(Connection& c, net::HttpRequest request,
+                Clock::time_point parsed_at) {
+    std::string trace_header;
+    if (const auto it = request.headers.find("x-trace-id");
+        it != request.headers.end()) {
+      trace_header = it->second;
+    }
+    const bool asked_close = net::wants_close(request.headers);
+
+    bool queued = false;
+    {
+      std::lock_guard<std::mutex> lock(srv.queue_mutex_);
+      if (srv.work_queue_.size() < srv.config_.queue_capacity) {
+        srv.work_queue_.push_back(
+            WorkItem{c.id, c.next_seq, std::move(request), parsed_at});
+        srv.metrics_.note_queue_depth(srv.work_queue_.size());
+        queued = true;
+      }
+    }
+    if (queued) {
+      srv.queue_cv_.notify_one();
+      Slot slot;
+      slot.parsed_at = parsed_at;
+      c.slots.push_back(std::move(slot));
+      c.next_seq++;
+      c.inflight++;
+      inflight++;
+      return;
+    }
+
+    // Backpressure on an established connection: the 503 takes the
+    // request's slot and — unlike the admission path — does not close,
+    // so pipelined successors stay in sync.
+    srv.metrics_.record_rejected();
+    net::HttpResponse busy = busy_response(srv.config_.retry_after_seconds);
+    const bool close_after = asked_close || srv.stopping_.load();
+    if (!close_after) busy.headers.erase("connection");
+    if (!trace_header.empty()) busy.headers["x-trace-id"] = trace_header;
+    push_ready_slot(c, busy, close_after, /*count_response=*/false,
+                    parsed_at);
+  }
+
+  void push_ready_slot(Connection& c, const net::HttpResponse& response,
+                       bool close_after, bool count_response,
+                       Clock::time_point parsed_at) {
+    Slot slot;
+    slot.ready = true;
+    slot.close_after = close_after;
+    slot.count_response = count_response;
+    slot.status = response.status;
+    slot.wire = response.encode();
+    slot.parsed_at = parsed_at;
+    c.slots.push_back(std::move(slot));
+    c.next_seq++;
+  }
+
+  // --- ordered write-back -------------------------------------------------
+
+  /// Writes the ready prefix of the pipeline window. Returns false when
+  /// the connection was closed (write error or a close_after slot
+  /// completing).
+  bool do_flush(std::uint64_t id) {
+    const auto it = conns.find(id);
+    if (it == conns.end()) return false;
+    Connection& c = it->second;
+    while (!c.slots.empty() && c.slots.front().ready) {
+      Slot& slot = c.slots.front();
+      if (!slot.write_started) {
+        slot.write_started = true;
+        c.write_deadline = Clock::now() + std::chrono::milliseconds(
+                                              srv.config_.write_timeout_ms);
+        c.write_armed = true;
+        slot.write_begin_ns =
+            obs::Tracer::instance().enabled() ? obs::Tracer::now_ns() : 0;
+      }
+      while (slot.sent < slot.wire.size()) {
+        const ssize_t n =
+            ::send(c.fd, slot.wire.data() + slot.sent,
+                   slot.wire.size() - slot.sent, MSG_NOSIGNAL);
+        if (n > 0) {
+          slot.sent += static_cast<std::size_t>(n);
+          continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          return true;  // wait for writability; deadline stays armed
+        }
+        // EPIPE/reset: this response and everything behind it is lost.
+        close_conn(id, true);
+        return false;
+      }
+
+      // Response fully written.
+      if (slot.write_begin_ns != 0) {
+        obs::Tracer::instance().record_duration(
+            obs::Stage::kServiceWrite,
+            obs::Tracer::now_ns() - slot.write_begin_ns);
+      }
+      c.write_armed = false;
+      if (slot.count_response) {
+        const auto micros =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - slot.parsed_at)
+                .count();
+        srv.metrics_.record_response(slot.status,
+                                     static_cast<std::uint64_t>(micros));
+      }
+      const bool close_after = slot.close_after;
+      c.slots.pop_front();
+      c.base_seq++;
+      if (close_after) {
+        close_conn(id, owes_responses(c));
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // --- worker completions --------------------------------------------------
+
+  void drain_wake_pipe() {
+    char sink[256];
+    while (::read(srv.wake_rx_, sink, sizeof sink) > 0) {
+    }
+  }
+
+  void drain_completions() {
+    std::vector<Completion> batch;
+    {
+      std::lock_guard<std::mutex> lock(srv.completions_mutex_);
+      batch.swap(srv.completions_);
+    }
+    if (batch.empty()) return;
+    std::vector<std::uint64_t> touched;
+    for (Completion& done : batch) {
+      inflight--;
+      const auto it = conns.find(done.conn);
+      if (it == conns.end()) continue;  // loss was counted at close
+      Connection& c = it->second;
+      c.inflight--;
+      const std::uint64_t idx = done.seq - c.base_seq;
+      if (idx >= c.slots.size()) continue;  // cannot happen; stay safe
+      bool close_after = done.close_after;
+      if (srv.stopping_.load()) close_after = true;
+      if (close_after) done.response.headers["connection"] = "close";
+      Slot& slot = c.slots[idx];
+      slot.ready = true;
+      slot.close_after = close_after;
+      slot.status = done.response.status;
+      slot.wire = done.response.encode();
+      touched.push_back(done.conn);
+    }
+    for (const std::uint64_t id : touched) {
+      if (conns.count(id) == 0) continue;  // closed by an earlier flush
+      // Full pump, not just a flush: completions free pipeline slots, and
+      // frames already buffered in `c.in` must parse into them now — the
+      // kernel may hold no more bytes, so no readable event will come.
+      pump(id);
+    }
+  }
+
+  // --- interest + deadline bookkeeping ------------------------------------
+
+  void settle(std::uint64_t id) {
+    const auto it = conns.find(id);
+    if (it == conns.end()) return;
+    Connection& c = it->second;
+
+    if (c.draining) {
+      c.read_armed = false;
+    } else if (c.in.empty() && !c.frame_started) {
+      if (c.slots.empty() && c.inflight == 0) {
+        if (drain_started) {
+          close_conn(id, false);
+          return;
+        }
+        // Fully idle keep-alive connection: only the idle deadline runs.
+        c.read_deadline = Clock::now() + idle_timeout();
+        c.read_armed = true;
+      } else {
+        // Responses still owed but nothing half-read: the write deadline
+        // (armed per response) governs; no read clock runs.
+        c.read_armed = false;
+      }
+    }
+    // A started frame keeps the deadline note_frame_start() armed.
+
+    const bool want_read = !c.draining && c.slots.size() < pipeline_depth();
+    const bool want_write = !c.slots.empty() && c.slots.front().ready &&
+                            c.slots.front().sent < c.slots.front().wire.size();
+    if (want_read != c.want_read || want_write != c.want_write) {
+      c.want_read = want_read;
+      c.want_write = want_write;
+      poller.set(c.fd, want_read, want_write);
+    }
+    rearm(c);
+  }
+
+  void rearm(Connection& c) {
+    bool armed = false;
+    Clock::time_point deadline{};
+    if (c.read_armed) {
+      deadline = c.read_deadline;
+      armed = true;
+    }
+    if (c.write_armed && (!armed || c.write_deadline < deadline)) {
+      deadline = c.write_deadline;
+      armed = true;
+    }
+    if (armed) {
+      wheel.schedule(c.id, deadline);
+    } else {
+      wheel.cancel(c.id);
+    }
+  }
+
+  void check_deadlines() {
+    const auto now = Clock::now();
+    due.clear();
+    wheel.collect_due(now, due);
+    for (const std::uint64_t id : due) {
+      const auto it = conns.find(id);
+      if (it == conns.end()) continue;
+      Connection& c = it->second;
+      if (c.write_armed && now >= c.write_deadline) {
+        // Peer would not drain its response in time (a never-reading
+        // client): the response is lost, the connection goes.
+        srv.metrics_.record_eviction(Eviction::kSlowWrite);
+        srv.metrics_.record_write_failure();
+        close_conn(id, false);
+        continue;
+      }
+      if (c.read_armed && now >= c.read_deadline) {
+        if (c.frame_started) {
+          // Slow-loris: the frame's first byte is older than the read
+          // timeout and it still has not completed.
+          srv.metrics_.record_eviction(Eviction::kSlowRead);
+          close_conn(id, owes_responses(c));
+        } else {
+          srv.metrics_.record_eviction(Eviction::kIdle);
+          close_conn(id, false);
+        }
+        continue;
+      }
+      // False wakeup (deadline moved since this wheel entry): re-arm.
+      rearm(c);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Server lifecycle
+// ---------------------------------------------------------------------------
 
 Server::Server(ServerConfig config)
     : config_(config),
@@ -70,6 +622,17 @@ Server::Server(ServerConfig config)
       handler_(config.handler, &cache_, &metrics_) {}
 
 Server::~Server() { stop(); }
+
+bool Server::using_epoll() const {
+  return loop_ != nullptr && loop_->poller.using_epoll();
+}
+
+void Server::wake_loop() {
+  if (wake_tx_ >= 0) {
+    const char byte = 'w';
+    (void)::write(wake_tx_, &byte, 1);  // pipe full = wakeup already pending
+  }
+}
 
 Result<std::uint16_t> Server::start() {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -79,272 +642,171 @@ Result<std::uint16_t> Server::start() {
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
 
+  auto fail = [this](const char* code) -> Result<std::uint16_t> {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return make_error(code, detail);
+  };
+
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(config_.port);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
       0) {
-    const std::string detail = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return make_error("service.bind", detail);
+    return fail("service.bind");
   }
-  if (::listen(listen_fd_, 128) < 0) {
-    const std::string detail = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return make_error("service.listen", detail);
+  if (::listen(listen_fd_, 1024) < 0) {
+    return fail("service.listen");
+  }
+  if (!set_nonblocking(listen_fd_)) {
+    return fail("service.nonblock");
   }
   socklen_t addr_len = sizeof addr;
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
   port_ = ntohs(addr.sin_port);
 
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) {
+    return fail("service.pipe");
+  }
+  wake_rx_ = pipe_fds[0];
+  wake_tx_ = pipe_fds[1];
+  set_nonblocking(wake_rx_);
+  set_nonblocking(wake_tx_);
+  reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+
   started_ = true;
   stopping_.store(false);
+  workers_done_ = false;
+  loop_ = std::make_unique<Loop>(*this);
+  loop_->poller.add(listen_fd_, kListenTag, /*want_read=*/true,
+                    /*want_write=*/false);
+  loop_->poller.add(wake_rx_, kWakeTag, /*want_read=*/true,
+                    /*want_write=*/false);
+
   const unsigned workers = config_.workers == 0 ? 1 : config_.workers;
   workers_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this] { worker_thread(); });
   }
-  acceptor_ = std::thread([this] { acceptor_loop(); });
+  loop_thread_ = std::thread([this] { loop_->run(); });
   return port_;
 }
 
 void Server::stop() {
   if (!started_) return;
   stopping_.store(true);
+  wake_loop();
+  // The loop drains: it sheds idle connections, serves everything
+  // buffered or in flight (workers are still running), and exits once no
+  // connection or dispatched request remains.
+  if (loop_thread_.joinable()) loop_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    workers_done_ = true;  // the loop is gone, so the queue is final
+  }
   queue_cv_.notify_all();
-  if (acceptor_.joinable()) acceptor_.join();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  loop_.reset();
+  completions_.clear();
+  for (int* fd : {&listen_fd_, &wake_rx_, &wake_tx_, &reserve_fd_}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
   }
   started_ = false;
 }
 
-void Server::acceptor_loop() {
-  while (!stopping_.load()) {
-    struct pollfd pfd = {listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
-    if (ready <= 0) continue;  // timeout (stop check) or EINTR
+// ---------------------------------------------------------------------------
+// Worker pool: handlers only, never I/O
+// ---------------------------------------------------------------------------
 
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-      break;  // listening socket is gone
-    }
-
-    // Bound blocking sends so a peer that stops reading cannot pin a
-    // worker past the write deadline (reads are already poll()-driven).
-    timeval send_timeout{};
-    send_timeout.tv_sec = config_.write_timeout_ms / 1000;
-    send_timeout.tv_usec = (config_.write_timeout_ms % 1000) * 1000;
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
-                 sizeof send_timeout);
-
-    bool accepted = false;
+void Server::worker_thread() {
+  for (;;) {
+    WorkItem item;
     {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
-      if (queue_.size() < config_.queue_capacity) {
-        queue_.push_back(QueuedConnection{fd, Clock::now()});
-        metrics_.note_queue_depth(queue_.size());
-        accepted = true;
-      }
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(
+          lock, [this] { return workers_done_ || !work_queue_.empty(); });
+      if (work_queue_.empty()) return;  // done and fully drained
+      item = std::move(work_queue_.front());
+      work_queue_.pop_front();
     }
-    if (accepted) {
-      queue_cv_.notify_one();
-    } else {
-      // Backpressure: answer immediately instead of queueing unboundedly.
-      metrics_.record_rejected();
-      send_response(fd, busy_response(config_.retry_after_seconds),
-                    config_.write_timeout_ms);
-      ::close(fd);
-    }
-  }
-}
 
-int Server::dequeue() {
-  QueuedConnection next;
-  {
-    std::unique_lock<std::mutex> lock(queue_mutex_);
-    queue_cv_.wait(lock,
-                   [this] { return stopping_.load() || !queue_.empty(); });
-    if (queue_.empty()) return -1;  // stopping and fully drained
-    next = queue_.front();
-    queue_.pop_front();
-  }
-  const auto wait_us = std::chrono::duration_cast<std::chrono::microseconds>(
-                           Clock::now() - next.enqueued)
-                           .count();
-  metrics_.record_queue_wait(static_cast<std::uint64_t>(wait_us));
+    const auto wait_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - item.parsed_at)
+            .count();
+    metrics_.record_queue_wait(static_cast<std::uint64_t>(wait_us));
 #ifndef CHAINCHAOS_OBS_DISABLED
-  // Cross-thread interval (acceptor enqueued, worker dequeued): histogram
-  // only, no span — a span needs a single owning thread stack.
-  if (obs::Tracer::instance().enabled()) {
-    obs::Tracer::instance().record_duration(
-        obs::Stage::kServiceQueueWait,
-        static_cast<std::uint64_t>(wait_us) * 1000);
-  }
-#endif
-  return next.fd;
-}
-
-void Server::worker_loop() {
-  // Keep serving until the queue is drained even when stopping: graceful
-  // shutdown completes queued work rather than dropping it.
-  for (int fd = dequeue(); fd >= 0; fd = dequeue()) {
-    try {
-      serve_connection(fd);
-    } catch (...) {
-      // Crash-free contract: a connection must never cost a worker
-      // thread. Anything a handler throws (bad_alloc under memory
-      // pressure, a defect surfaced by the chaos campaign) is absorbed
-      // here; the fd is closed and the worker lives to dequeue the next
-      // connection. The counter makes the event visible in /v1/stats.
-      metrics_.record_worker_recovery();
-      ::close(fd);
-    }
-  }
-}
-
-void Server::serve_connection(int fd) {
-  std::string buffer;
-  bool keep_alive = true;
-  while (keep_alive) {
-    // --- read one request frame ---------------------------------------
-    const auto read_deadline =
-        Clock::now() + std::chrono::milliseconds(config_.read_timeout_ms);
-    std::size_t frame_bytes = 0;
-    bool fatal = false;
-    // service.read measures first-byte-to-complete-frame, so idle
-    // keep-alive time between requests never pollutes the stage.
-    std::uint64_t read_begin_ns =
-        !buffer.empty() && obs::Tracer::instance().enabled()
-            ? obs::Tracer::now_ns()
-            : 0;
-    while (frame_bytes == 0) {
-      auto probe = net::probe_request_frame(buffer);
-      if (!probe.ok()) {
-        // Hostile or broken framing (oversized headers, bad
-        // Content-Length): reject and drop the connection.
-        net::HttpResponse error = json_error(
-            probe.error().code == "http.headers_too_large" ? 431 : 400,
-            "Bad Request", probe.error().code, probe.error().message);
-        error.headers["connection"] = "close";
-        send_response(fd, error, config_.write_timeout_ms);
-        metrics_.record_response(error.status, 0);
-        fatal = true;
-        break;
-      }
-      if (probe.value().complete) {
-        frame_bytes = probe.value().total_bytes;
-        break;
-      }
-      const int wait = std::min(kPollIntervalMs, remaining_ms(read_deadline));
-      if (wait == 0 && remaining_ms(read_deadline) == 0) {
-        fatal = true;  // idle past the deadline: close silently
-        break;
-      }
-      struct pollfd pfd = {fd, POLLIN, 0};
-      const int ready = ::poll(&pfd, 1, wait);
-      if (ready <= 0) {
-        if (stopping_.load() && buffer.empty()) {
-          // Shutting down, no request started and none pending on this
-          // connection — nothing in flight to drain.
-          fatal = true;
-          break;
-        }
-        continue;
-      }
-      char chunk[16384];
-      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-      if (n == 0) {
-        // Peer closed. Between requests (empty buffer) that is a normal
-        // keep-alive teardown; with a request partially buffered it is a
-        // mid-request disconnect, counted so the chaos harness can see
-        // the server shrug it off.
-        if (!buffer.empty()) metrics_.record_client_disconnect();
-        fatal = true;
-        break;
-      }
-      if (n < 0) {
-        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
-          continue;
-        }
-        // ECONNRESET and friends: same taxonomy as the EOF case above.
-        if (!buffer.empty()) metrics_.record_client_disconnect();
-        fatal = true;
-        break;
-      }
-      buffer.append(chunk, static_cast<std::size_t>(n));
-      if (read_begin_ns == 0 && obs::Tracer::instance().enabled()) {
-        read_begin_ns = obs::Tracer::now_ns();
-      }
-    }
-    if (fatal) break;
-    if (read_begin_ns != 0) {
+    // Cross-thread interval (loop parsed, worker dequeued): histogram
+    // only, no span — a span needs a single owning thread stack.
+    if (obs::Tracer::instance().enabled()) {
       obs::Tracer::instance().record_duration(
-          obs::Stage::kServiceRead, obs::Tracer::now_ns() - read_begin_ns);
+          obs::Stage::kServiceQueueWait,
+          static_cast<std::uint64_t>(wait_us) * 1000);
+    }
+#endif
+    if (config_.handler_stall_ms > 0) {
+      // Test seam: makes "worker busy" a deterministic state so overload
+      // tests can fill the queue without racing real handler latency.
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config_.handler_stall_ms));
     }
 
-    // --- parse, dispatch, respond --------------------------------------
-    const auto start = Clock::now();
-    auto request = net::parse_request(buffer.substr(0, frame_bytes));
-    buffer.erase(0, frame_bytes);
-
-    // Correlate every span this request produces with the caller-chosen
-    // x-trace-id (if any); the header is echoed on the response so the
-    // caller can line up client- and server-side spans — including on
-    // the cache-hit path, which never reaches the analyzers.
     std::string trace_header;
-    if (request.ok()) {
-      const auto it = request.value().headers.find("x-trace-id");
-      if (it != request.value().headers.end()) trace_header = it->second;
+    if (const auto it = item.request.headers.find("x-trace-id");
+        it != item.request.headers.end()) {
+      trace_header = it->second;
     }
-    obs::TraceContext trace_ctx(
-        trace_header.empty() ? 0 : obs::trace_id_from_string(trace_header));
 
-    net::HttpResponse response;
-    if (!request.ok()) {
-      response = json_error(400, "Bad Request", request.error().code,
-                            request.error().message);
-      keep_alive = false;
-    } else {
-      CHAINCHAOS_SPAN(obs::Stage::kServiceHandle);
-      response = handler_.handle(request.value());
-      const auto connection = request.value().headers.find("connection");
-      if (connection != request.value().headers.end() &&
-          to_lower(connection->second) == "close") {
-        keep_alive = false;
+    Completion done;
+    done.conn = item.conn;
+    done.seq = item.seq;
+    try {
+      // Correlate every span this request produces with the
+      // caller-chosen x-trace-id (if any); the header is echoed on the
+      // response so the caller can line up client- and server-side spans
+      // — including on the cache-hit path, which never reaches the
+      // analyzers.
+      obs::TraceContext trace_ctx(
+          trace_header.empty() ? 0
+                               : obs::trace_id_from_string(trace_header));
+      net::HttpResponse response;
+      {
+        CHAINCHAOS_SPAN(obs::Stage::kServiceHandle);
+        response = handler_.handle(item.request);
       }
+      done.close_after = net::wants_close(item.request.headers);
+      done.response = std::move(response);
+    } catch (...) {
+      // Crash-free contract: a request must never cost a worker thread.
+      // Anything a handler throws (bad_alloc under memory pressure, a
+      // defect surfaced by the chaos campaign) is absorbed here; the
+      // client gets a 500 and the worker lives to dequeue the next
+      // request. The counter makes the event visible in /v1/stats.
+      metrics_.record_worker_recovery();
+      done.response =
+          json_error(500, "Internal Server Error", "service.handler_error",
+                     "handler raised an unexpected error");
+      done.close_after = true;
     }
-    if (!trace_header.empty()) response.headers["x-trace-id"] = trace_header;
-    if (stopping_.load()) keep_alive = false;
-    if (!keep_alive) response.headers["connection"] = "close";
+    if (!trace_header.empty()) {
+      done.response.headers["x-trace-id"] = trace_header;
+    }
 
-    bool sent = false;
     {
-      CHAINCHAOS_SPAN(obs::Stage::kServiceWrite);
-      sent = send_response(fd, response, config_.write_timeout_ms);
+      std::lock_guard<std::mutex> lock(completions_mutex_);
+      completions_.push_back(std::move(done));
     }
-    if (!sent) {
-      // EPIPE/reset or a write deadline: the response is lost but the
-      // worker is not. Count it and move on to the next connection.
-      metrics_.record_write_failure();
-      break;
-    }
-    const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
-                            Clock::now() - start)
-                            .count();
-    metrics_.record_response(response.status,
-                             static_cast<std::uint64_t>(micros));
+    wake_loop();
   }
-  ::close(fd);
 }
 
 }  // namespace chainchaos::service

@@ -1,21 +1,44 @@
-// chaind: the loopback TCP analysis daemon (DESIGN.md §5.9).
+// chaind: the loopback TCP analysis daemon (DESIGN.md §5.9, §5.15).
 //
 // Architecture, front to back:
 //
-//   acceptor thread ──► bounded fd queue ──► N worker threads
-//        │ (poll+accept)      │ (mutex+cv)        │ (HTTP/1.1 loop)
-//        │                    │                   ├─ ResultCache probe
-//        └─ queue full:       │                   ├─ RequestHandler
-//           503 + Retry-After └─ high-water mark  └─ Metrics
+//   event-loop thread ──► bounded work queue ──► N worker threads
+//        │ (epoll/poll readiness)  │ (mutex+cv)       │ (handlers only)
+//        ├─ accept + admission     │                  └─ completions ─┐
+//        ├─ incremental parse      └─ queue full: 503 + Retry-After   │
+//        ├─ timeout wheel (read/write/idle deadlines)                 │
+//        └─ ordered response write-back ◄── wake pipe ◄───────────────┘
 //
-// One thread polls the listening socket and enqueues accepted
-// connections; when the queue is at capacity the connection is answered
-// immediately with 503 + Retry-After and closed — backpressure is
-// explicit, not an ever-growing backlog. A fixed pool of workers pops
-// connections and speaks HTTP/1.1 keep-alive over them via the net::
-// codec, with per-connection read/write deadlines so a stalled peer can
-// never pin a worker. stop() is graceful: accepting ends, queued and
-// in-flight requests are served to completion, then workers exit.
+// One thread owns every socket: it accepts, reads request bytes into
+// per-connection buffers, frames them incrementally with
+// net::probe_request_frame, and writes responses back with
+// partial-write continuation — all fds non-blocking, all readiness via
+// epoll(7) (poll(2) where epoll is unavailable or --poll forces the
+// fallback). Workers never touch a socket: they pop parsed requests,
+// run the handler, and post the response to a completion list the loop
+// drains through a wake pipe. HTTP/1.1 keep-alive and pipelining are
+// native: each connection holds an ordered window of response slots
+// (up to pipeline_depth) and the loop writes the ready prefix strictly
+// in order, so responses can be computed in parallel without ever
+// desynchronising the stream.
+//
+// Robustness is the point of the design:
+//   * a timeout wheel enforces read (frame must complete within
+//     read_timeout_ms of its first byte — slow-loris drips do not
+//     extend it), write (peer must drain each response within
+//     write_timeout_ms), and idle deadlines without a thread or timer
+//     per connection;
+//   * admission control: max_connections caps the loop's population
+//     (excess accepts get 503 + Retry-After and close), and a reserved
+//     fd lets accept() under EMFILE/ENFILE degrade to accept+503+close
+//     instead of spinning with the backlog full;
+//   * overload on an established connection answers 503 in the
+//     request's pipeline slot — backpressure is explicit and never
+//     desequences the stream;
+//   * stop() is graceful: accepting ends, in-flight and buffered
+//     requests are served to completion (their responses forced
+//     "connection: close"), idle connections are shed, then the loop
+//     and workers exit.
 //
 // The server binds 127.0.0.1 only — it is an analysis sidecar, not an
 // internet-facing listener.
@@ -26,6 +49,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -37,12 +61,17 @@ namespace chainchaos::service {
 struct ServerConfig {
   std::uint16_t port = 0;  ///< 0 = ephemeral (read the bound port from port())
   unsigned workers = 4;
-  std::size_t queue_capacity = 64;   ///< pending connections before 503
+  std::size_t queue_capacity = 64;   ///< pending requests before 503
   std::size_t cache_capacity = 4096; ///< result-cache entries; 0 disables
   std::size_t cache_shards = 8;
-  int read_timeout_ms = 5000;   ///< per-request receive deadline
+  int read_timeout_ms = 5000;   ///< first frame byte -> complete frame
   int write_timeout_ms = 5000;  ///< per-response send deadline
   unsigned retry_after_seconds = 1;  ///< advertised in 503 responses
+  int idle_timeout_ms = 0;      ///< keep-alive idle deadline; 0 = read timeout
+  std::size_t max_connections = 0;  ///< admission cap; 0 = unlimited
+  std::size_t pipeline_depth = 32;  ///< unanswered requests per connection
+  bool force_poll = false;  ///< use poll(2) even where epoll is available
+  int handler_stall_ms = 0; ///< test seam: worker sleeps before each handle
   HandlerOptions handler;
 };
 
@@ -54,14 +83,18 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds 127.0.0.1:<port>, starts the acceptor and worker threads.
+  /// Binds 127.0.0.1:<port>, starts the event loop and worker threads.
   /// Returns the bound port (the ephemeral one when config.port == 0).
   Result<std::uint16_t> start();
 
   std::uint16_t port() const { return port_; }
   bool running() const { return started_ && !stopping_.load(); }
 
-  /// Graceful shutdown: stop accepting, serve everything queued and
+  /// True when the running event loop is on the epoll backend (false on
+  /// the poll(2) fallback, or before start()).
+  bool using_epoll() const;
+
+  /// Graceful shutdown: stop accepting, serve everything buffered and
   /// in-flight, join all threads. Idempotent.
   void stop();
 
@@ -69,12 +102,30 @@ class Server {
   CacheStats cache_stats() const { return cache_.stats(); }
 
  private:
-  void acceptor_loop();
-  void worker_loop();
-  void serve_connection(int fd);
+  using Clock = std::chrono::steady_clock;
 
-  /// Returns the next queued connection, or -1 once stopping and empty.
-  int dequeue();
+  /// One parsed request handed to the worker pool. `conn`/`seq` name the
+  /// pipeline slot the response must land in; `parsed_at` anchors both
+  /// the queue-wait histogram and the response-latency measurement.
+  struct WorkItem {
+    std::uint64_t conn = 0;
+    std::uint64_t seq = 0;
+    net::HttpRequest request;
+    Clock::time_point parsed_at{};
+  };
+
+  /// A handler result travelling back to the event loop.
+  struct Completion {
+    std::uint64_t conn = 0;
+    std::uint64_t seq = 0;
+    net::HttpResponse response;
+    bool close_after = false;
+  };
+
+  struct Loop;  ///< the event-loop state, private to server.cpp
+
+  void worker_thread();
+  void wake_loop();
 
   ServerConfig config_;
   ResultCache cache_;
@@ -82,23 +133,23 @@ class Server {
   RequestHandler handler_;
 
   int listen_fd_ = -1;
+  int wake_rx_ = -1;   ///< loop end of the wake pipe
+  int wake_tx_ = -1;   ///< worker end of the wake pipe
+  int reserve_fd_ = -1;  ///< sacrificial fd for EMFILE accept recovery
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   bool started_ = false;
 
-  /// A queued connection remembers when it was accepted so the dequeue
-  /// can charge the wait to the queue-wait histogram (backpressure),
-  /// separate from handler time (analysis cost).
-  struct QueuedConnection {
-    int fd;
-    std::chrono::steady_clock::time_point enqueued;
-  };
-
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
-  std::deque<QueuedConnection> queue_;
+  std::deque<WorkItem> work_queue_;
+  bool workers_done_ = false;  ///< set under queue_mutex_ after loop exit
 
-  std::thread acceptor_;
+  std::mutex completions_mutex_;
+  std::vector<Completion> completions_;
+
+  std::unique_ptr<Loop> loop_;
+  std::thread loop_thread_;
   std::vector<std::thread> workers_;
 };
 

@@ -457,5 +457,31 @@ TEST(CampaignTest, ThroughDaemonModeHoldsTheContract) {
   }
 }
 
+TEST(CampaignTest, SocketFaultClassesEvictHostileClients) {
+  CampaignOptions options = small_campaign();
+  options.through_daemon = true;
+  options.threads = 2;
+  options.socket_faults = true;
+  options.socket_fault_clients = 4;
+  options.socket_fault_storm = 48;
+  Campaign campaign(options);
+  const CampaignSummary summary = campaign.run();
+  EXPECT_TRUE(summary.contract_ok()) << summary.to_string();
+  EXPECT_EQ(summary.socket_fault_failures, 0u) << summary.to_string();
+  // All four classes ran, every hostile client was evicted, and the
+  // daemon stayed healthy throughout.
+  ASSERT_EQ(summary.socket_faults.size(), 4u);
+  EXPECT_EQ(summary.socket_faults.at("F1-slowloris"),
+            "evicted=4/4 healthy=ok");
+  EXPECT_EQ(summary.socket_faults.at("F2-midframe-stall"),
+            "evicted=4/4 healthy=ok");
+  EXPECT_EQ(summary.socket_faults.at("F3-never-reading"),
+            "evicted=4/4 healthy=ok");
+  EXPECT_EQ(summary.socket_faults.at("F4-storm"),
+            "stormed=48/48 healthy=ok");
+  // The socket-fault outcomes ride in the summary rendering.
+  EXPECT_NE(summary.to_string().find("socket faults:"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace chainchaos::chaos

@@ -5,19 +5,24 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
+#include <memory>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "service/cache.hpp"
 #include "service/client.hpp"
+#include "service/event_loop.hpp"
 #include "service/handlers.hpp"
 #include "service/server.hpp"
 #include "x509/builder.hpp"
@@ -95,6 +100,36 @@ std::string recv_all(int fd, int timeout_ms = 2000) {
     out.append(buf, static_cast<std::size_t>(n));
   }
   return out;
+}
+
+/// Reads exactly `count` complete response frames off a kept-alive
+/// connection (recv_all would block until close). Returns fewer frames
+/// on timeout, EOF, or unframeable bytes.
+std::vector<std::string> recv_frames(int fd, std::size_t count,
+                                     int timeout_ms = 5000) {
+  std::vector<std::string> frames;
+  std::string buffer;
+  char buf[4096];
+  while (frames.size() < count) {
+    const auto probe = net::probe_response_frame(buffer);
+    if (!probe.ok()) break;
+    if (probe.value().complete) {
+      frames.push_back(buffer.substr(0, probe.value().total_bytes));
+      buffer.erase(0, probe.value().total_bytes);
+      continue;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, timeout_ms) <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    buffer.append(buf, static_cast<std::size_t>(n));
+  }
+  return frames;
+}
+
+std::string recv_frame(int fd, int timeout_ms = 5000) {
+  const std::vector<std::string> frames = recv_frames(fd, 1, timeout_ms);
+  return frames.empty() ? std::string() : frames.front();
 }
 
 // ---------------------------------------------------------------------------
@@ -393,32 +428,42 @@ TEST(ServiceServerTest, FullQueueGets503WithRetryAfter) {
   config.workers = 1;
   config.queue_capacity = 1;
   config.retry_after_seconds = 3;
-  config.read_timeout_ms = 10000;  // parked connections hold the worker
+  config.handler_stall_ms = 400;  // test seam: hold the worker in-handler
   service::Server server(config);
   const auto port = server.start();
   ASSERT_TRUE(port.ok());
 
-  // Idle connections park the single worker, then fill the queue; the
-  // acceptor must answer the overflow connection itself with 503.
-  std::vector<int> parked;
-  std::string rejected;
-  for (int i = 0; i < 10 && rejected.empty(); ++i) {
-    const int fd = dial(port.value());
-    const std::string reply = recv_all(fd, 300);
-    if (!reply.empty()) {
-      rejected = reply;
-      ::close(fd);
-    } else {
-      parked.push_back(fd);
-    }
-  }
-  ASSERT_FALSE(rejected.empty()) << "no connection was ever rejected";
-  EXPECT_NE(rejected.find("503"), std::string::npos);
-  EXPECT_NE(rejected.find("retry-after: 3"), std::string::npos);
-  EXPECT_NE(rejected.find("connection: close"), std::string::npos);
-  EXPECT_GE(server.metrics().rejected_total(), 1u);
+  // Occupy the single worker with one request, then pipeline three more
+  // on a second connection while it is stalled: the first fills the
+  // queue (capacity 1), the other two overflow. The event loop must
+  // answer the overflow in-stream with 503 + Retry-After — and because
+  // the connection itself is healthy, WITHOUT closing it, so the
+  // pipeline stays in sync.
+  const int primer = dial(port.value());
+  send_raw(primer, "GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n");
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
 
-  for (const int fd : parked) ::close(fd);
+  const int fd = dial(port.value());
+  const std::string probe = "GET /v1/stats HTTP/1.1\r\nhost: x\r\n\r\n";
+  send_raw(fd, probe + probe + probe);
+  const std::vector<std::string> replies = recv_frames(fd, 3);
+  ASSERT_EQ(replies.size(), 3u);
+  EXPECT_NE(replies[0].find("200 OK"), std::string::npos);
+  for (int i = 1; i <= 2; ++i) {
+    EXPECT_NE(replies[i].find("503"), std::string::npos) << replies[i];
+    EXPECT_NE(replies[i].find("retry-after: 3"), std::string::npos);
+    EXPECT_EQ(replies[i].find("connection: close"), std::string::npos)
+        << "an in-stream 503 must not tear down a healthy connection";
+  }
+  EXPECT_GE(server.metrics().rejected_total(), 2u);
+
+  // The stream is still usable after the shed responses.
+  send_raw(fd, "GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n");
+  const std::string after = recv_frame(fd);
+  EXPECT_NE(after.find("200 OK"), std::string::npos);
+
+  ::close(primer);
+  ::close(fd);
   server.stop();
 }
 
@@ -429,30 +474,48 @@ TEST(ServiceServerTest, GracefulShutdownDrainsQueuedRequests) {
   const auto port = server.start();
   ASSERT_TRUE(port.ok());
 
-  // Park the single worker on an idle connection, then queue a complete
-  // request behind it. stop() must abandon the idle connection, serve
-  // the queued request to completion, and only then let the worker exit.
+  // One idle connection and one with a half-sent request. stop() must
+  // abandon the idle connection immediately, but keep the half-read one
+  // alive until its frame completes and is served.
   const int idle = dial(port.value());
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
 
   net::HttpRequest req;
   req.method = "POST";
   req.target = "/v1/analyze?domain=service.example";
   req.host = "127.0.0.1";
   req.body = to_bytes(pki().pem_chain());
-  const int queued = dial(port.value());
-  send_raw(queued, req.encode());
+  const std::string wire = req.encode();
+  const std::size_t half = wire.size() / 2;
+
+  const int pending = dial(port.value());
+  send_raw(pending, wire.substr(0, half));
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
 
+  std::thread finisher([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    const std::string rest = wire.substr(half);
+    std::size_t sent = 0;
+    while (sent < rest.size()) {
+      const ssize_t n =
+          ::send(pending, rest.data() + sent, rest.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+  });
   server.stop();
+  finisher.join();
 
-  const std::string reply = recv_all(queued);
+  const std::string reply = recv_all(pending);
   EXPECT_NE(reply.find("200 OK"), std::string::npos);
   EXPECT_NE(reply.find("\"compliant\":true"), std::string::npos);
   // Served during shutdown, so the response must announce the close.
   EXPECT_NE(reply.find("connection: close"), std::string::npos);
+
+  // The idle connection was closed by the drain, with no bytes sent.
+  char byte = 0;
+  EXPECT_EQ(::recv(idle, &byte, 1, MSG_DONTWAIT), 0);
   ::close(idle);
-  ::close(queued);
+  ::close(pending);
 }
 
 TEST(ServiceServerTest, MalformedRequestsGetJsonErrors) {
@@ -554,6 +617,471 @@ TEST(ServiceServerTest, SurvivesClientsKilledMidBody) {
 }
 
 // ---------------------------------------------------------------------------
+// Event loop: incremental parsing, deadlines, admission control
+// ---------------------------------------------------------------------------
+
+TEST(ServiceServerTest, ByteAtATimeParsingMatchesWholeFrame) {
+  service::Server server({});
+  const auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  const std::string wire = "GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n";
+  const int whole = dial(port.value());
+  send_raw(whole, wire);
+  const std::string baseline = recv_frame(whole);
+  ::close(whole);
+  ASSERT_NE(baseline.find("200 OK"), std::string::npos);
+
+  const int drip = dial(port.value());
+  for (const char byte : wire) send_raw(drip, std::string(1, byte));
+  EXPECT_EQ(recv_frame(drip), baseline);
+  ::close(drip);
+  server.stop();
+}
+
+TEST(ServiceServerTest, AdversarialSplitPointsMatchWholeFrame) {
+  service::ServerConfig config;
+  config.cache_capacity = 0;  // every response is a fresh computation
+  service::Server server(config);
+  const auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  net::HttpRequest req;
+  req.method = "POST";
+  req.target = "/v1/analyze?domain=service.example";
+  req.host = "127.0.0.1";
+  req.body = to_bytes(pki().pem_chain());
+  const std::string wire = req.encode();
+  const std::size_t boundary = wire.find("\r\n\r\n");
+  ASSERT_NE(boundary, std::string::npos);
+
+  const int whole = dial(port.value());
+  send_raw(whole, wire);
+  const std::string baseline = recv_frame(whole);
+  ::close(whole);
+  ASSERT_NE(baseline.find("200 OK"), std::string::npos);
+
+  // Each split lands on a parser state transition: mid-request-line,
+  // mid-header-name, inside the blank-line CRLFCRLF, exactly at the
+  // header/body boundary, and mid-body.
+  const std::vector<std::size_t> splits = {
+      3, wire.find("host") + 2, boundary + 2, boundary + 4,
+      boundary + 4 + (wire.size() - boundary - 4) / 2};
+  for (const std::size_t split : splits) {
+    ASSERT_LT(split, wire.size());
+    const int fd = dial(port.value());
+    send_raw(fd, wire.substr(0, split));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    send_raw(fd, wire.substr(split));
+    EXPECT_EQ(recv_frame(fd), baseline) << "split at byte " << split;
+    ::close(fd);
+  }
+
+  // A split straddling a pipeline boundary: two frames, cut inside the
+  // second frame's request line.
+  const std::string h = "GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n";
+  const int base_fd = dial(port.value());
+  send_raw(base_fd, h);
+  const std::string h_reply = recv_frame(base_fd);
+  ::close(base_fd);
+  const int fd = dial(port.value());
+  send_raw(fd, (h + h).substr(0, h.size() + 5));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  send_raw(fd, (h + h).substr(h.size() + 5));
+  const std::vector<std::string> replies = recv_frames(fd, 2);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0], h_reply);
+  EXPECT_EQ(replies[1], h_reply);
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ServiceServerTest, IdleAndSlowReadDeadlinesEvict) {
+  service::ServerConfig config;
+  config.read_timeout_ms = 300;
+  config.idle_timeout_ms = 250;
+  service::Server server(config);
+  const auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  const int idle = dial(port.value());
+  const int loris = dial(port.value());
+  // A slow-loris opener: a partial header that never completes. The read
+  // deadline anchors at the first byte of the frame, so dribbling more
+  // bytes would not extend it either.
+  send_raw(loris, "POST /v1/analyze HTTP/1.1\r\nhost: x\r\n");
+
+  // Both must be evicted without any cooperation from the peer, and
+  // silently (an unfinished frame gets no response bytes).
+  EXPECT_EQ(recv_all(idle, 2000), "");
+  EXPECT_EQ(recv_all(loris, 2000), "");
+  EXPECT_GE(server.metrics().evictions(service::Eviction::kIdle), 1u);
+  EXPECT_GE(server.metrics().evictions(service::Eviction::kSlowRead), 1u);
+  ::close(idle);
+  ::close(loris);
+  server.stop();
+}
+
+TEST(ServiceServerTest, WriteDeadlineEvictsNeverReadingClient) {
+  service::ServerConfig config;
+  config.write_timeout_ms = 300;
+  service::Server server(config);
+  const auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  // A client that requests a large amount of data and never reads it. A
+  // tiny receive buffer (set before connect so it caps the advertised
+  // window) makes the server's send queue fill quickly; the single
+  // event-loop write deadline must then evict the connection. This pins
+  // the one-mechanism write timeout that replaced SO_SNDTIMEO.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  const int tiny = 1024;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof tiny);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port.value());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  // The kernel absorbs responses until the server's send buffer is full
+  // (autotuned up to net.ipv4.tcp_wmem[2], typically 4 MiB), so the
+  // burst must overflow that before the write deadline can engage.
+  std::string burst;
+  for (int i = 0; i < 4000; ++i) {
+    burst += "GET /v1/metrics HTTP/1.1\r\nhost: x\r\n\r\n";
+  }
+  send_raw(fd, burst);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(8);
+  while (server.metrics().evictions(service::Eviction::kSlowWrite) == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_GE(server.metrics().evictions(service::Eviction::kSlowWrite), 1u);
+  EXPECT_GE(server.metrics().write_failures(), 1u);
+
+  // Well-behaved clients were never affected.
+  service::Client client(port.value());
+  const auto health = client.healthz();
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.value().status, 200);
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ServiceServerTest, AdmissionCapSheds503AndCloses) {
+  service::ServerConfig config;
+  config.max_connections = 2;
+  config.retry_after_seconds = 5;
+  service::Server server(config);
+  const auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  // Two admitted keep-alive connections occupy the budget.
+  auto a = std::make_unique<service::Client>(port.value());
+  auto b = std::make_unique<service::Client>(port.value());
+  ASSERT_TRUE(a->healthz().ok());
+  ASSERT_TRUE(b->healthz().ok());
+
+  // The third connection is shed at the door: 503 + Retry-After,
+  // connection: close, then EOF (recv_all runs until close).
+  const int fd = dial(port.value());
+  const std::string reply = recv_all(fd, 3000);
+  ::close(fd);
+  EXPECT_NE(reply.find("503"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("retry-after: 5"), std::string::npos);
+  EXPECT_NE(reply.find("connection: close"), std::string::npos);
+  EXPECT_GE(server.metrics().rejected_total(), 1u);
+
+  // Freeing one admitted connection frees a slot.
+  a.reset();
+  service::Client late(port.value());
+  bool admitted = false;
+  for (int attempt = 0; attempt < 20 && !admitted; ++attempt) {
+    const auto health = late.healthz();
+    admitted = health.ok() && health.value().status == 200;
+    if (!admitted) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(admitted) << "slot was never reclaimed after a client left";
+  server.stop();
+}
+
+TEST(ServiceServerTest, FdExhaustionShedsWithReservedFd) {
+  service::Server server({});
+  const auto port = server.start();
+  ASSERT_TRUE(port.ok());
+  {
+    service::Client client(port.value());
+    ASSERT_TRUE(client.healthz().ok());
+  }
+
+  struct rlimit orig{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &orig), 0);
+  struct rlimit low = orig;
+  low.rlim_cur = 1024;
+  if (orig.rlim_max != RLIM_INFINITY && low.rlim_cur > orig.rlim_max) {
+    low.rlim_cur = orig.rlim_max;
+  }
+  if (::setrlimit(RLIMIT_NOFILE, &low) != 0) {
+    GTEST_SKIP() << "cannot lower RLIMIT_NOFILE";
+  }
+
+  // Exhaust the fd table, then free exactly one slot: the client socket
+  // below takes it, so the server's accept() is the call that hits
+  // EMFILE. The reserved-fd fallback must still answer 503-and-close
+  // instead of leaving the connection dangling in the backlog.
+  std::vector<int> hogs;
+  for (;;) {
+    const int hog = ::open("/dev/null", O_RDONLY);
+    if (hog < 0) break;
+    hogs.push_back(hog);
+  }
+  ASSERT_FALSE(hogs.empty());
+  ::close(hogs.back());
+  hogs.pop_back();
+
+  const int fd = dial(port.value());
+  const std::string reply = recv_all(fd, 3000);
+  ::close(fd);
+  for (const int hog : hogs) ::close(hog);
+  ::setrlimit(RLIMIT_NOFILE, &orig);
+
+  EXPECT_NE(reply.find("503"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("connection: close"), std::string::npos);
+  EXPECT_GE(server.metrics().fd_exhausted(), 1u);
+  EXPECT_GE(server.metrics().accept_errors(), 1u);
+
+  // With the pressure gone, the reserve is re-armed and service resumes.
+  service::Client after(port.value());
+  const auto health = after.healthz();
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.value().status, 200);
+  server.stop();
+}
+
+TEST(ServiceServerTest, PollFallbackServesIdentically) {
+  service::ServerConfig config;
+  config.force_poll = true;
+  service::Server server(config);
+  const auto port = server.start();
+  ASSERT_TRUE(port.ok());
+  EXPECT_FALSE(server.using_epoll());
+
+  service::Client client(port.value());
+  const auto health = client.healthz();
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.value().status, 200);
+  const auto analyzed = client.analyze(pki().pem_chain(), "service.example");
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_EQ(analyzed.value().status, 200);
+
+  std::vector<net::HttpRequest> reqs(3);
+  for (auto& req : reqs) req.target = "/v1/stats";
+  const auto piped = client.pipeline(std::move(reqs));
+  ASSERT_TRUE(piped.ok());
+  ASSERT_EQ(piped.value().size(), 3u);
+  for (const auto& response : piped.value()) {
+    EXPECT_EQ(response.status, 200);
+  }
+  server.stop();
+}
+
+#ifdef __linux__
+TEST(ServiceServerTest, EpollBackendSelectedByDefaultOnLinux) {
+  service::Server server({});
+  const auto port = server.start();
+  ASSERT_TRUE(port.ok());
+  EXPECT_TRUE(server.using_epoll());
+  server.stop();
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// service::Client pipelining
+// ---------------------------------------------------------------------------
+
+TEST(ServiceClientTest, PipelinedAnalyzeOrderedByteIdentical) {
+  service::ServerConfig config;
+  config.cache_capacity = 0;
+  service::Server server(config);
+  const auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  const std::string chain = pki().pem_chain();
+  const std::vector<std::string> domains = {"d0.example", "d1.example",
+                                            "d2.example", "d3.example",
+                                            "d4.example"};
+  // Sequential baseline on its own connection.
+  std::vector<std::string> expected;
+  {
+    service::Client seq(port.value());
+    for (const std::string& domain : domains) {
+      const auto response = seq.analyze(chain, domain);
+      ASSERT_TRUE(response.ok());
+      ASSERT_EQ(response.value().status, 200);
+      expected.push_back(to_string(response.value().body));
+    }
+  }
+
+  service::Client piped(port.value());
+  std::vector<net::HttpRequest> reqs;
+  for (const std::string& domain : domains) {
+    net::HttpRequest req;
+    req.method = "POST";
+    req.target = "/v1/analyze?domain=" + domain;
+    req.headers["content-type"] = "application/x-pem-file";
+    req.body = to_bytes(chain);
+    reqs.push_back(std::move(req));
+  }
+  const auto out = piped.pipeline(std::move(reqs));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().size(), domains.size());
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    EXPECT_EQ(out.value()[i].status, 200);
+    const std::string body = to_string(out.value()[i].body);
+    EXPECT_EQ(body, expected[i]) << "response " << i << " out of order";
+    EXPECT_NE(body.find("\"domain\":\"" + domains[i] + "\""),
+              std::string::npos);
+  }
+  server.stop();
+}
+
+TEST(ServiceClientTest, PipelineHonoursConnectionClose) {
+  service::Server server({});
+  const auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  service::Client client(port.value());
+  std::vector<net::HttpRequest> reqs(3);
+  for (auto& req : reqs) req.target = "/healthz";
+  reqs[1].headers["connection"] = "close";
+  const auto out = client.pipeline(std::move(reqs));
+  ASSERT_TRUE(out.ok());
+  // The server honours the close after the second response; the third
+  // request was discarded, and the shorter vector reports exactly that.
+  ASSERT_EQ(out.value().size(), 2u);
+  EXPECT_EQ(out.value()[0].status, 200);
+  EXPECT_EQ(out.value()[1].status, 200);
+  EXPECT_EQ(out.value()[1].headers.at("connection"), "close");
+
+  // The client redials transparently for the next request.
+  const auto again = client.healthz();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().status, 200);
+  server.stop();
+}
+
+TEST(ServiceClientTest, MidPipelineOverloadKeepsStreamInSync) {
+  service::ServerConfig config;
+  config.workers = 1;
+  config.queue_capacity = 1;
+  config.retry_after_seconds = 2;
+  config.handler_stall_ms = 400;
+  service::Server server(config);
+  const auto port = server.start();
+  ASSERT_TRUE(port.ok());
+
+  // Stall the single worker, then pipeline three requests: the middle of
+  // the stream is shed with 503s, but responses still come back in
+  // request order on the same connection.
+  const int primer = dial(port.value());
+  send_raw(primer, "GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n");
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+
+  service::Client client(port.value());
+  std::vector<net::HttpRequest> reqs(3);
+  for (auto& req : reqs) req.target = "/v1/stats";
+  const auto out = client.pipeline(std::move(reqs));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out.value().size(), 3u);
+  EXPECT_EQ(out.value()[0].status, 200);
+  EXPECT_EQ(out.value()[1].status, 503);
+  EXPECT_EQ(out.value()[1].headers.at("retry-after"), "2");
+  EXPECT_EQ(out.value()[2].status, 503);
+
+  // No desynchronisation: the next request on the same connection pairs
+  // with its own response.
+  const auto after = client.stats();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().status, 200);
+  ::close(primer);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// TimeoutWheel (unit, fake clock)
+// ---------------------------------------------------------------------------
+
+TEST(TimeoutWheelTest, FiresCancelsAndReschedules) {
+  const auto origin = std::chrono::steady_clock::now();
+  const auto at = [origin](int ms) {
+    return origin + std::chrono::milliseconds(ms);
+  };
+  service::TimeoutWheel wheel(/*slots=*/8, /*tick_ms=*/10, origin);
+
+  wheel.schedule(1, at(15));
+  wheel.schedule(2, at(15));
+  wheel.schedule(3, at(15));
+  wheel.cancel(2);
+  wheel.schedule(3, at(500));  // reschedule far beyond one revolution
+  EXPECT_EQ(wheel.pending(), 2u);
+
+  std::vector<std::uint64_t> due;
+  wheel.collect_due(at(30), due);
+  EXPECT_EQ(due, (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(wheel.pending(), 1u);
+
+  due.clear();
+  wheel.collect_due(at(120), due);  // full revolution: 3 still not due
+  EXPECT_TRUE(due.empty());
+  EXPECT_EQ(wheel.pending(), 1u);
+
+  due.clear();
+  wheel.collect_due(at(510), due);
+  EXPECT_EQ(due, (std::vector<std::uint64_t>{3}));
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimeoutWheelTest, DeadlineInsideCurrentTickStillFires) {
+  const auto origin = std::chrono::steady_clock::now();
+  const auto at = [origin](int ms) {
+    return origin + std::chrono::milliseconds(ms);
+  };
+  service::TimeoutWheel wheel(/*slots=*/8, /*tick_ms=*/10, origin);
+
+  // A deadline inside the cursor's own tick must be clamped forward, not
+  // scheduled a full revolution away.
+  wheel.schedule(7, at(1));
+  std::vector<std::uint64_t> due;
+  wheel.collect_due(at(5), due);  // still inside tick 0: nothing sweeps
+  EXPECT_TRUE(due.empty());
+  wheel.collect_due(at(11), due);
+  EXPECT_EQ(due, (std::vector<std::uint64_t>{7}));
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimeoutWheelTest, RescheduleEarlierWins) {
+  const auto origin = std::chrono::steady_clock::now();
+  const auto at = [origin](int ms) {
+    return origin + std::chrono::milliseconds(ms);
+  };
+  service::TimeoutWheel wheel(/*slots=*/8, /*tick_ms=*/10, origin);
+
+  wheel.schedule(9, at(400));
+  wheel.schedule(9, at(25));  // moved earlier: the new deadline rules
+  std::vector<std::uint64_t> due;
+  wheel.collect_due(at(30), due);
+  EXPECT_EQ(due, (std::vector<std::uint64_t>{9}));
+  EXPECT_EQ(wheel.pending(), 0u);
+  // The stale slot entry from the first schedule must not resurrect it.
+  due.clear();
+  wheel.collect_due(at(410), due);
+  EXPECT_TRUE(due.empty());
+}
+
+// ---------------------------------------------------------------------------
 // Metrics
 // ---------------------------------------------------------------------------
 
@@ -569,12 +1097,28 @@ TEST(ServiceMetricsTest, CountersAndJsonShape) {
   metrics.record_client_disconnect();
   metrics.record_write_failure();
   metrics.record_worker_recovery();
+  metrics.record_connection_open();
+  metrics.record_connection_open();
+  metrics.record_connection_close();
+  metrics.record_accept_error();
+  metrics.record_fd_exhausted();
+  metrics.record_eviction(service::Eviction::kSlowRead);
+  metrics.record_eviction(service::Eviction::kSlowWrite);
+  metrics.record_eviction(service::Eviction::kIdle);
 
   EXPECT_EQ(metrics.requests_total(), 2u);
   EXPECT_EQ(metrics.rejected_total(), 1u);
   EXPECT_EQ(metrics.client_disconnects(), 1u);
   EXPECT_EQ(metrics.write_failures(), 1u);
   EXPECT_EQ(metrics.worker_recoveries(), 1u);
+  EXPECT_EQ(metrics.connections_open(), 1u);
+  EXPECT_EQ(metrics.connections_peak(), 2u);
+  EXPECT_EQ(metrics.connections_accepted(), 2u);
+  EXPECT_EQ(metrics.accept_errors(), 1u);
+  EXPECT_EQ(metrics.fd_exhausted(), 1u);
+  EXPECT_EQ(metrics.evictions(service::Eviction::kSlowRead), 1u);
+  EXPECT_EQ(metrics.evictions(service::Eviction::kSlowWrite), 1u);
+  EXPECT_EQ(metrics.evictions(service::Eviction::kIdle), 1u);
 
   net::FetchStats aia;
   aia.attempts = 7;
@@ -591,8 +1135,28 @@ TEST(ServiceMetricsTest, CountersAndJsonShape) {
   EXPECT_NE(json.find("\"disconnects_midrequest\":1"), std::string::npos);
   EXPECT_NE(json.find("\"write_failures\":1"), std::string::npos);
   EXPECT_NE(json.find("\"worker_recoveries\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"open\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"peak\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"accepted\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"accept_errors\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"fd_exhausted\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"evicted_slow_read\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"evicted_slow_write\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"evicted_idle\":1"), std::string::npos);
   EXPECT_NE(json.find("\"retries\":3"), std::string::npos);
   EXPECT_NE(json.find("\"deadline_exceeded\":1"), std::string::npos);
+
+  const std::string prom = metrics.to_prometheus(service::CacheStats{}, aia);
+  EXPECT_NE(prom.find("chainchaos_connections_open 1"), std::string::npos);
+  EXPECT_NE(prom.find("chainchaos_connections_peak 2"), std::string::npos);
+  EXPECT_NE(prom.find("chainchaos_connections_accepted_total 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("chainchaos_accept_errors_total 1"), std::string::npos);
+  EXPECT_NE(prom.find("chainchaos_fd_exhausted_total 1"), std::string::npos);
+  EXPECT_NE(prom.find("chainchaos_evictions_total{kind=\"slow_read\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("chainchaos_evictions_total{kind=\"idle\"} 1"),
+            std::string::npos);
 }
 
 }  // namespace
