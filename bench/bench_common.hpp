@@ -9,10 +9,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "dataset/corpus.hpp"
+#include "report/json.hpp"
 
 namespace chainchaos::bench {
 
@@ -42,5 +47,55 @@ inline std::unique_ptr<dataset::Corpus> make_corpus() {
 inline void print_paper_note(const char* table, const char* claim) {
   std::printf("\n[paper] %s: %s\n", table, claim);
 }
+
+/// `--json FILE` from a bench's argv (the only flag benches accept);
+/// nullptr when absent.
+inline const char* json_flag(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+/// Machine-readable bench results behind --json FILE: flat name -> number
+/// metrics recorded as the run progresses, written as one JSON document
+/// at the end so CI can trend records/sec and requests/sec across
+/// commits instead of scraping the human tables off stdout.
+class JsonReporter {
+ public:
+  void record(const std::string& name, double value) {
+    doubles_.emplace_back(name, value);
+  }
+  void record_count(const std::string& name, std::uint64_t value) {
+    counts_.emplace_back(name, value);
+  }
+
+  /// Writes {"bench":...,"ok":...,"metrics":{...}}. Returns false (with
+  /// a stderr note) when the file cannot be written.
+  bool write(const char* path, const char* bench_name, bool ok) const {
+    if (path == nullptr) return true;
+    report::JsonWriter w;
+    w.begin_object();
+    w.key("bench").value(bench_name);
+    w.key("ok").value(ok);
+    w.key("metrics").begin_object();
+    for (const auto& [name, value] : counts_) w.key(name).value(value);
+    for (const auto& [name, value] : doubles_) w.key(name).value(value);
+    w.end_object();
+    w.end_object();
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "[json] cannot write %s\n", path);
+      return false;
+    }
+    out << w.take() << "\n";
+    std::printf("[json] wrote %s\n", path);
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> doubles_;
+  std::vector<std::pair<std::string, std::uint64_t>> counts_;
+};
 
 }  // namespace chainchaos::bench

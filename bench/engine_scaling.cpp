@@ -44,7 +44,8 @@ long max_rss_kb() {
 
 /// The packed-corpus phase; returns false on any gate failure.
 bool run_packed_phase(const dataset::Corpus& corpus,
-                      const std::string& baseline_summary) {
+                      const std::string& baseline_summary,
+                      bench::JsonReporter& reporter) {
   std::size_t target = 1000000;
   if (const char* env = std::getenv("CHAINCHAOS_PACKED_RECORDS")) {
     target = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
@@ -150,6 +151,11 @@ bool run_packed_phase(const dataset::Corpus& corpus,
   std::printf("[packed] peak RSS grew %.1f MiB over a %.1f MiB file\n",
               static_cast<double>(rss_delta_kb) / 1024.0,
               static_cast<double>(file_bytes) / (1024.0 * 1024.0));
+  reporter.record_count("packed_records", result.records_processed);
+  reporter.record("packed_records_per_sec", result.records_per_second());
+  reporter.record("packed_mib_per_sec", bytes_per_sec / (1024.0 * 1024.0));
+  reporter.record("packed_rss_delta_mib",
+                  static_cast<double>(rss_delta_kb) / 1024.0);
   if (source.decode_errors() != 0 ||
       result.records_processed != opened.value()->reader().size()) {
     std::fprintf(stderr, "[packed] SWEEP FAILURE: %llu decode errors\n",
@@ -172,7 +178,9 @@ bool run_packed_phase(const dataset::Corpus& corpus,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* json_path = bench::json_flag(argc, argv);
+  bench::JsonReporter reporter;
   dataset::CorpusConfig config = bench::config_from_env();
   if (std::getenv("CHAINCHAOS_DOMAINS") == nullptr) {
     config.domain_count = 50000;  // scaling needs a corpus worth sharding
@@ -224,6 +232,10 @@ int main() {
                       ? baseline_elapsed / result.elapsed_seconds
                       : 0.0);
     table.row({std::to_string(threads), elapsed, rps, speedup});
+
+    const std::string prefix = "threads_" + std::to_string(threads);
+    reporter.record(prefix + "_elapsed_seconds", result.elapsed_seconds);
+    reporter.record(prefix + "_records_per_sec", result.records_per_second());
   }
   std::fputs(table.render().c_str(), stdout);
 
@@ -237,6 +249,9 @@ int main() {
                             : "DIVERGED");
   std::fputs(baseline_summary.c_str(), stdout);
 
-  const bool packed_ok = run_packed_phase(corpus, baseline_summary);
-  return deterministic && packed_ok ? 0 : 1;
+  const bool packed_ok = run_packed_phase(corpus, baseline_summary, reporter);
+  const bool ok = deterministic && packed_ok;
+  reporter.record_count("deterministic", deterministic ? 1 : 0);
+  if (!reporter.write(json_path, "engine_scaling", ok)) return 1;
+  return ok ? 0 : 1;
 }

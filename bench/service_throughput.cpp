@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "report/table.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
@@ -179,7 +180,9 @@ RunResult run_load(unsigned workers, bool cache_on,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* json_path = bench::json_flag(argc, argv);
+  bench::JsonReporter reporter;
   unsigned requests_per_client = 200;
   if (const char* env = std::getenv("CHAINCHAOS_REQUESTS")) {
     requests_per_client = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
@@ -208,6 +211,9 @@ int main() {
                  cache_on ? buf : "-", std::to_string(run.errors)});
       if (run.errors != 0) ok = false;
       all_bodies.insert(run.bodies.begin(), run.bodies.end());
+      reporter.record("workers_" + std::to_string(workers) + "_cache_" +
+                          (cache_on ? "on" : "off") + "_req_per_sec",
+                      run.requests_per_second);
     }
   }
   std::fputs(table.render().c_str(), stdout);
@@ -227,6 +233,8 @@ int main() {
                      std::to_string(run.errors)});
     if (run.errors != 0) ok = false;
     all_bodies.insert(run.bodies.begin(), run.bodies.end());
+    reporter.record("clients_" + std::to_string(clients) + "_req_per_sec",
+                    run.requests_per_second);
     if (clients == 8) rps_at_8 = run.requests_per_second;
     if (clients == 64 && run.requests_per_second < 0.4 * rps_at_8) {
       std::printf("\nFAIL: 64 clients ran at %.0f req/s vs %.0f at 8 — "
@@ -257,6 +265,9 @@ int main() {
   }
   all_bodies.insert(clean.bodies.begin(), clean.bodies.end());
   all_bodies.insert(contested.bodies.begin(), contested.bodies.end());
+  reporter.record("immunity_clean_req_per_sec", clean.requests_per_second);
+  reporter.record("immunity_contested_req_per_sec",
+                  contested.requests_per_second);
 
   // Every configuration must agree byte-for-byte: one body per chain.
   if (all_bodies.size() != kDistinctChains) {
@@ -269,5 +280,6 @@ int main() {
                 "(%zu bodies for %zu chains)\n",
                 all_bodies.size(), kDistinctChains);
   }
+  if (!reporter.write(json_path, "service_throughput", ok)) return 1;
   return ok ? 0 : 1;
 }

@@ -10,7 +10,15 @@
 //                [--cache-shards N] [--timeout-ms T] [--roots FILE]
 //                [--now UNIX] [--port-file FILE] [--duration SEC]
 //                [--trace] [--max-connections N] [--idle-timeout-ms T]
-//                [--poll]
+//                [--poll] [--events FILE] [--events-per-sec N]
+//                [--flight FILE] [--slow-ms T]
+//
+// chainwatch (DESIGN.md §5.16): --events FILE streams the structured
+// event log as JSONL to FILE (rate-limited to --events-per-sec lines);
+// --flight FILE arms the crash flight recorder — on SIGSEGV/SIGABRT the
+// newest events and spans are dumped to FILE before the process dies;
+// --slow-ms T emits a slow_request event for any handler invocation
+// exceeding T milliseconds. Any of the three enables event recording.
 //
 // --port 0 (the default) binds an ephemeral port; the bound port is
 // printed on stdout and, with --port-file, written to a file so scripts
@@ -35,6 +43,8 @@
 #include <thread>
 
 #include "cli_common.hpp"
+#include "obs/event_log.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 #include "service/server.hpp"
 #include "x509/certificate.hpp"
@@ -60,6 +70,10 @@ int main(int argc, char** argv) {
   const char* roots_path = nullptr;
   std::string port_file;
   bool trace = false;
+  const char* events_path = nullptr;
+  std::size_t events_per_sec = 1000;
+  const char* flight_path = nullptr;
+  int slow_ms = 0;
 
   cli::Flags flags;
   flags.add("--port", &config.port, "P");
@@ -76,6 +90,10 @@ int main(int argc, char** argv) {
   flags.add("--max-connections", &config.max_connections, "N");
   flags.add("--idle-timeout-ms", &config.idle_timeout_ms, "T");
   flags.add("--poll", &config.force_poll);
+  flags.add("--events", &events_path, "FILE");
+  flags.add("--events-per-sec", &events_per_sec, "N");
+  flags.add("--flight", &flight_path, "FILE");
+  flags.add("--slow-ms", &slow_ms, "T");
   if (!flags.parse(argc, argv)) return 1;
 
   // Lift the soft fd limit to the hard cap: every connection costs one
@@ -94,11 +112,30 @@ int main(int argc, char** argv) {
   // fast path keeps untraced operation at full speed.
   if (trace) obs::Tracer::instance().set_enabled(true);
 
+  // chainwatch: the event ring backs the JSONL sink, the flight recorder
+  // and the slow-request watch alike, so any of the three turns it on.
+  if (events_path != nullptr || flight_path != nullptr || slow_ms > 0) {
+    obs::EventLog::instance().set_enabled(true);
+  }
+  if (events_path != nullptr &&
+      !obs::EventLog::instance().open_sink(events_path, events_per_sec)) {
+    std::fprintf(stderr, "chaind: cannot open event sink %s\n", events_path);
+    return 1;
+  }
+  if (flight_path != nullptr) {
+    if (!obs::flight::set_dump_path(flight_path)) {
+      std::fprintf(stderr, "chaind: bad flight path %s\n", flight_path);
+      return 1;
+    }
+    obs::flight::install_signal_handlers();
+  }
+
   config.queue_capacity = queue;
   config.cache_capacity = cache;
   config.cache_shards = cache_shards;
   config.read_timeout_ms = timeout_ms;
   config.write_timeout_ms = timeout_ms;
+  config.slow_request_ms = slow_ms;
   config.handler.now = now;
 
   // Anchors: --roots FILE pins the trust store; without it each request

@@ -14,16 +14,29 @@
 //   metrics          GET /v1/metrics (Prometheus text exposition)
 //   trace            GET /v1/trace (chrome://tracing JSON; needs a
 //                    daemon started with --trace to be non-empty)
+//   timeseries       GET /v1/timeseries (the chainwatch counter ring)
+//   flight           GET /v1/flight (newest events + spans, on demand)
+//   watch            live top-style view: polls /v1/timeseries and
+//                    prints one rate row (req/s, evict/s, p99, ...) per
+//                    new sample; --samples N rows then exit (0 = until
+//                    killed). Exits non-zero if any cumulative counter
+//                    ever decreases between samples.
 //   health           GET /healthz (exit 0 iff the daemon answers 200)
 //   make-chain FILE  write a demo root+intermediate+leaf PEM chain to
 //                    FILE (for smoke tests and quickstarts; the root is
 //                    included so chaind can self-anchor the analysis)
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <thread>
 
 #include "cli_common.hpp"
+#include "obs/histogram.hpp"
 #include "service/client.hpp"
+#include "service/metrics.hpp"
 #include "x509/builder.hpp"
 
 using namespace chainchaos;
@@ -75,6 +88,145 @@ int print_response(const Result<net::HttpResponse>& response) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// chainq watch: the live view over /v1/timeseries.
+
+using SampleMap = std::map<std::string, std::uint64_t>;
+
+std::uint64_t sample_value(const SampleMap& sample, const char* key) {
+  const auto it = sample.find(key);
+  return it != sample.end() ? it->second : 0;
+}
+
+/// Extracts the flat per-second sample objects from a /v1/timeseries
+/// body. The endpoint emits each sample as one flat object of integer
+/// fields precisely so this loop needs no JSON library: every "key":N
+/// pair inside {...} is one column.
+std::vector<SampleMap> parse_samples(const std::string& body) {
+  std::vector<SampleMap> out;
+  std::size_t pos = body.find("\"samples\":[");
+  if (pos == std::string::npos) return out;
+  while ((pos = body.find('{', pos)) != std::string::npos) {
+    const std::size_t end = body.find('}', pos);
+    if (end == std::string::npos) break;
+    SampleMap sample;
+    std::size_t p = pos;
+    for (;;) {
+      const std::size_t k0 = body.find('"', p);
+      if (k0 == std::string::npos || k0 > end) break;
+      const std::size_t k1 = body.find('"', k0 + 1);
+      if (k1 == std::string::npos || k1 > end) break;
+      const std::size_t colon = body.find(':', k1);
+      if (colon == std::string::npos || colon > end) break;
+      char* num_end = nullptr;
+      const unsigned long long v =
+          std::strtoull(body.c_str() + colon + 1, &num_end, 10);
+      sample[body.substr(k0 + 1, k1 - k0 - 1)] = v;
+      p = static_cast<std::size_t>(num_end - body.c_str());
+    }
+    out.push_back(std::move(sample));
+    pos = end + 1;
+  }
+  return out;
+}
+
+/// Columns that are cumulative counters: a decrease between consecutive
+/// samples means the exporter tore a snapshot, which watch treats as a
+/// hard failure (that is the regression /v1/stats had before
+/// MetricsSnapshot).
+const char* const kCumulativeColumns[] = {
+    "requests_total", "responses_2xx",     "responses_4xx",
+    "responses_5xx",  "rejected_busy",     "connections_accepted",
+    "evictions_total", "cache_hits",       "cache_misses",
+    "cache_evictions", "aia_attempts",     "verify_verifications",
+    "latency_total_us", "loop_ticks",      "pump_stalls",
+    "events_emitted"};
+
+int watch(service::Client& client, std::size_t max_rows, int interval_ms) {
+  SampleMap prev;
+  bool have_prev = false;
+  std::uint64_t last_seq = 0;
+  std::size_t printed = 0;
+  bool tearing = false;
+  std::printf("%8s %9s %9s %9s %9s %8s %6s %6s\n", "uptime_s", "req/s",
+              "2xx/s", "evict/s", "hit%", "p99_ms", "conns", "wheel");
+  while (max_rows == 0 || printed < max_rows) {
+    const auto response = client.timeseries();
+    if (!response.ok()) {
+      std::fprintf(stderr, "chainq: %s\n",
+                   response.error().to_string().c_str());
+      return 1;
+    }
+    if (response.value().status != 200) {
+      std::fprintf(stderr, "chainq: HTTP %d from /v1/timeseries\n",
+                   response.value().status);
+      return 1;
+    }
+    for (const SampleMap& sample :
+         parse_samples(chainchaos::to_string(response.value().body))) {
+      const std::uint64_t seq = sample_value(sample, "seq");
+      if (have_prev && seq <= last_seq) continue;
+      if (have_prev) {
+        const std::uint64_t dt_ms = sample_value(sample, "uptime_ms") -
+                                    sample_value(prev, "uptime_ms");
+        const double dt = dt_ms > 0 ? static_cast<double>(dt_ms) / 1000.0
+                                    : 1.0;
+        for (const char* column : kCumulativeColumns) {
+          if (sample_value(sample, column) < sample_value(prev, column)) {
+            std::fprintf(stderr,
+                         "chainq: counter %s went backwards (%llu -> %llu)\n",
+                         column,
+                         static_cast<unsigned long long>(
+                             sample_value(prev, column)),
+                         static_cast<unsigned long long>(
+                             sample_value(sample, column)));
+            tearing = true;
+          }
+        }
+        std::uint64_t buckets[service::kLatencyBucketCount];
+        for (std::size_t b = 0; b < service::kLatencyBucketCount; ++b) {
+          const std::string key = "latency_bucket_" + std::to_string(b);
+          const std::uint64_t cur = sample_value(sample, key.c_str());
+          const std::uint64_t old = sample_value(prev, key.c_str());
+          if (cur < old) tearing = true;
+          buckets[b] = cur >= old ? cur - old : 0;
+        }
+        const double p99_us = obs::quantile_from_buckets(
+            buckets, service::kLatencyBucketCount,
+            service::kLatencyBucketUpperUs.data(), 0.99);
+        const auto rate = [&](const char* column) {
+          return static_cast<double>(sample_value(sample, column) -
+                                     sample_value(prev, column)) /
+                 dt;
+        };
+        const double hits = rate("cache_hits");
+        const double misses = rate("cache_misses");
+        const double lookups = hits + misses;
+        std::printf("%8.1f %9.1f %9.1f %9.1f %9.1f %8.2f %6llu %6llu\n",
+                    static_cast<double>(sample_value(sample, "uptime_ms")) /
+                        1000.0,
+                    rate("requests_total"), rate("responses_2xx"),
+                    rate("evictions_total"),
+                    lookups > 0.0 ? 100.0 * hits / lookups : 0.0,
+                    p99_us / 1000.0,
+                    static_cast<unsigned long long>(
+                        sample_value(sample, "connections_open")),
+                    static_cast<unsigned long long>(
+                        sample_value(sample, "wheel_pending")));
+        std::fflush(stdout);
+        ++printed;
+      }
+      prev = sample;
+      last_seq = seq;
+      have_prev = true;
+      if (max_rows != 0 && printed >= max_rows) break;
+    }
+    if (max_rows != 0 && printed >= max_rows) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return tearing ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -82,12 +234,16 @@ int main(int argc, char** argv) {
   std::string domain = "chainq.example";
   std::size_t repeat = 1;
   int timeout_ms = 5000;
+  std::size_t samples = 5;
+  int interval_ms = 1000;
 
   cli::Flags flags("<command> [file]");
   flags.add("--port", &port, "P");
   flags.add("--domain", &domain, "D");
   flags.add("--repeat", &repeat, "N");
   flags.add("--timeout-ms", &timeout_ms, "T");
+  flags.add("--samples", &samples, "N");
+  flags.add("--interval-ms", &interval_ms, "MS");
   if (!flags.parse(argc, argv)) return 1;
 
   const auto& args = flags.positionals();
@@ -114,6 +270,9 @@ int main(int argc, char** argv) {
   if (command == "stats") return print_response(client.stats());
   if (command == "metrics") return print_response(client.metrics());
   if (command == "trace") return print_response(client.trace());
+  if (command == "timeseries") return print_response(client.timeseries());
+  if (command == "flight") return print_response(client.flight());
+  if (command == "watch") return watch(client, samples, interval_ms);
   if (command == "health") return print_response(client.healthz());
 
   if (command == "analyze" || command == "lint") {

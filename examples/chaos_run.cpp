@@ -15,6 +15,10 @@
 //   chaos_run --through-daemon --socket-faults ...   # + transport faults
 //                                                      (slow-loris, stalls,
 //                                                      never-readers, storms)
+//   chaos_run --flight crash.jsonl ...               # arm the flight
+//                                                      recorder: findings
+//                                                      land in the event
+//                                                      ring, crashes dump it
 //
 // Exit status: 0 when the crash-free contract held (no crash, no hang,
 // no unanswered daemon request), 1 otherwise — so CI can gate on it.
@@ -24,6 +28,8 @@
 
 #include "chaos/campaign.hpp"
 #include "cli_common.hpp"
+#include "obs/event_log.hpp"
+#include "obs/flight.hpp"
 #include "support/str.hpp"
 
 int main(int argc, char** argv) {
@@ -34,6 +40,7 @@ int main(int argc, char** argv) {
   std::uint16_t port = 0;
   bool list = false;
   bool report = false;
+  const char* flight_path = nullptr;
 
   cli::Flags flags;
   flags.add("--seed", &options.seed, "N");
@@ -52,7 +59,21 @@ int main(int argc, char** argv) {
   flags.add("--storm", &options.socket_fault_storm, "N");
   flags.add("--list", &list);
   flags.add("--report", &report);
+  flags.add("--flight", &flight_path, "FILE");
   if (!flags.parse(argc, argv)) return 1;
+
+  // --flight FILE arms the crash flight recorder: event recording comes
+  // on (chaos.finding events land in the ring), and if the campaign
+  // takes the process down the newest events + spans are dumped to FILE
+  // before it dies. stdout stays byte-identical — events never print.
+  if (flight_path != nullptr) {
+    if (!chainchaos::obs::flight::set_dump_path(flight_path)) {
+      std::fprintf(stderr, "chaos_run: bad flight path %s\n", flight_path);
+      return 1;
+    }
+    chainchaos::obs::EventLog::instance().set_enabled(true);
+    chainchaos::obs::flight::install_signal_handlers();
+  }
   options.daemon_port = port;
   if (options.socket_faults && !options.through_daemon) {
     std::fprintf(stderr,

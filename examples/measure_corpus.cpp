@@ -16,6 +16,7 @@
 // is byte-identical to analysing the generated corpus in RAM.
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 
 #include "chain/analyzer.hpp"
 #include "cli_common.hpp"
@@ -27,6 +28,34 @@
 using namespace chainchaos;
 
 namespace {
+
+/// --progress sink: interval reports from the engine, rendered as one
+/// stderr line each. Reports may arrive out of order across workers, so
+/// the sink only prints when records_done advances — the printed lines
+/// are monotonically increasing by construction. stdout is untouched:
+/// the summary stays byte-identical with the flag on or off.
+class StderrProgress final : public engine::ProgressSink {
+ public:
+  void on_progress(const engine::SweepProgress& p) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!p.final_report && p.records_done <= last_printed_) return;
+    last_printed_ = p.records_done;
+    std::fprintf(stderr,
+                 "[progress] %zu/%zu records (%.1f%%) %.0f records/sec "
+                 "ETA %.0fs%s\n",
+                 p.records_done, p.records_total,
+                 p.records_total > 0
+                     ? 100.0 * static_cast<double>(p.records_done) /
+                           static_cast<double>(p.records_total)
+                     : 100.0,
+                 p.records_per_second, p.eta_seconds,
+                 p.final_report ? " (done)" : "");
+  }
+
+ private:
+  std::mutex mutex_;
+  std::size_t last_printed_ = 0;
+};
 
 void print_result(const engine::AnalysisResult& result) {
   std::fputs(engine::summary_table(result.tally.compliance).render().c_str(),
@@ -47,6 +76,8 @@ int main(int argc, char** argv) {
   const char* export_path = nullptr;
   const char* import_path = nullptr;
   const char* corpus_path = nullptr;
+  bool progress = false;
+  int progress_interval_ms = 500;
   cli::Flags flags;
   flags.add("--domains", &domains, "N");
   flags.add("--seed", &seed, "S");
@@ -54,7 +85,11 @@ int main(int argc, char** argv) {
   flags.add("--export", &export_path, "FILE");
   flags.add("--import", &import_path, "FILE");
   flags.add("--corpus", &corpus_path, "FILE");
+  flags.add("--progress", &progress);
+  flags.add("--progress-interval-ms", &progress_interval_ms, "MS");
   if (!flags.parse(argc, argv)) return 1;
+
+  StderrProgress progress_sink;
 
   if (corpus_path != nullptr) {
     auto packed = corpusio::PackedCorpus::open(corpus_path);
@@ -75,6 +110,8 @@ int main(int argc, char** argv) {
     request.source = &source;
     request.shards.threads = threads;
     request.analyzer = &analyzer;
+    if (progress) request.progress = &progress_sink;
+    request.progress_interval_ms = progress_interval_ms;
     print_result(engine::run(request));
     if (source.decode_errors() != 0) {
       std::fprintf(stderr, "%llu records failed to decode\n",
@@ -129,6 +166,8 @@ int main(int argc, char** argv) {
     request.records = &records;
     request.shards.threads = threads;
     request.analyzer = &analyzer;
+    if (progress) request.progress = &progress_sink;
+    request.progress_interval_ms = progress_interval_ms;
     print_result(engine::run(request));
     return 0;
   }
@@ -149,6 +188,8 @@ int main(int argc, char** argv) {
   request.records = &corpus.records();
   request.shards.threads = threads;
   request.analyzer = &analyzer;
+  if (progress) request.progress = &progress_sink;
+  request.progress_interval_ms = progress_interval_ms;
   print_result(engine::run(request));
 
   if (export_path != nullptr) {

@@ -16,9 +16,11 @@
 #      pipeline, at 1 and 8 threads — zero crashes/hangs/findings and
 #      byte-identical summaries (the §5.10 crash-free contract)
 #   5. observability: the obs smoke (chainprof sweep coverage >= 90%,
-#      live /v1/metrics through the exposition checker) plus the
-#      bench/trace_overhead gate (§5.11 budget: tracing costs the sweep
-#      < 3% when on)
+#      live /v1/metrics through the exposition checker, the §5.16
+#      chainwatch legs — event sink, /v1/timeseries + chainq watch,
+#      SIGSEGV flight dump, --progress determinism) plus the
+#      bench/trace_overhead gate (§5.11 budget: tracing and event
+#      emission each cost the sweep < 3% when on)
 #   6. crypto hot path: the bench/crypto_verify gate (§5.12 budget:
 #      Montgomery modexp >= 3x the schoolbook ladder and bit-exact with
 #      it, the full sweep faster than the schoolbook baseline, tallies
@@ -80,11 +82,14 @@ build-asan/examples/chaos_run --seed 833 --count 1300 --aia-permanent \
     | grep -q "contract=ok"
 
 echo "=== [5/11] observability smoke + overhead gate ==="
+# The smoke covers §5.11 (sweep coverage, live exposition) and §5.16
+# (event sink, /v1/timeseries + chainq watch, SIGSEGV flight dump,
+# --progress determinism); the trailing trace_overhead argument runs
+# the §5.11/§5.16 budget gate — tracing AND event emission must each
+# cost the sweep < 3% when enabled (non-zero exit over budget).
 scripts/obs_smoke.sh build/examples/chainprof build/examples/chaind \
-    build/examples/chainq
-# The §5.11 budget: tracing must cost the sweep < 3% when enabled
-# (trace_overhead exits non-zero over budget).
-build/bench/trace_overhead
+    build/examples/chainq build/examples/measure_corpus \
+    build/bench/trace_overhead
 
 echo "=== [6/11] crypto hot-path gate ==="
 # The §5.12 budget: Montgomery must carry the verification sweeps —

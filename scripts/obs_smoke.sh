@@ -1,22 +1,41 @@
 #!/usr/bin/env bash
-# End-to-end smoke test for the observability subsystem (DESIGN.md §5.11).
+# End-to-end smoke test for the observability subsystem (DESIGN.md §5.11
+# tracing + §5.16 chainwatch).
 #
-# Two legs:
+# Five legs:
 #   1. Offline: a chainprof corpus sweep must attribute >= 90% of wall
 #      clock to stage spans with zero drops, and the exported chrome
 #      trace must be structurally sane.
-#   2. Live: chaind with --trace on an ephemeral port; after real
-#      traffic, GET /v1/metrics must pass the Prometheus exposition
-#      checker (via chainprof --check-exposition) and carry both the
-#      service histograms and the tracer's per-stage families, and
-#      GET /v1/trace must return chrome trace JSON.
+#   2. Live: chaind with --trace and --events on an ephemeral port;
+#      after real traffic, GET /v1/metrics must pass the Prometheus
+#      exposition checker (via chainprof --check-exposition) and carry
+#      the service histograms, the tracer's per-stage families and the
+#      chainwatch event counters; GET /v1/trace must return chrome
+#      trace JSON; the JSONL event sink must carry the connection
+#      lifecycle.
+#   3. Time series: after ~6s of sampled load, GET /v1/timeseries must
+#      hold >= 5 one-second samples, and `chainq watch` must render
+#      rate rows from them without ever seeing a counter go backwards
+#      (its exit status is the non-negative-rates gate).
+#   4. Flight recorder: a chaind armed with --flight and then killed
+#      with SIGSEGV must die by that signal yet leave a parseable
+#      flight dump containing the served request's events.
+#   5. Progress: measure_corpus --progress must stream monotonically
+#      increasing [progress] lines on stderr while leaving the summary
+#      on stdout byte-identical to a run without the flag.
 #
-# Usage: obs_smoke.sh <chainprof-binary> <chaind-binary> <chainq-binary>
+# Usage: obs_smoke.sh <chainprof> <chaind> <chainq> <measure_corpus> \
+#                     [trace_overhead]
+# When the optional trace_overhead binary is given it runs last, gating
+# the <3% budget with the event-emission arm included.
 set -euo pipefail
 
-CHAINPROF=${1:?usage: obs_smoke.sh <chainprof> <chaind> <chainq>}
-CHAIND=${2:?usage: obs_smoke.sh <chainprof> <chaind> <chainq>}
-CHAINQ=${3:?usage: obs_smoke.sh <chainprof> <chaind> <chainq>}
+USAGE="usage: obs_smoke.sh <chainprof> <chaind> <chainq> <measure_corpus> [trace_overhead]"
+CHAINPROF=${1:?$USAGE}
+CHAIND=${2:?$USAGE}
+CHAINQ=${3:?$USAGE}
+MEASURE=${4:?$USAGE}
+TRACE_OVERHEAD=${5:-}
 
 WORKDIR=$(mktemp -d)
 trap 'rm -rf "$WORKDIR"; [ -n "${DAEMON_PID:-}" ] && kill "$DAEMON_PID" 2>/dev/null || true' EXIT
@@ -47,14 +66,15 @@ grep -q '"dropped_spans":"0"' "$WORKDIR/trace.json" \
     || { echo "FAIL: trace.json reports dropped spans"; exit 1; }
 echo "chrome trace export OK"
 
-# --- leg 2: live daemon metrics ----------------------------------------
+# --- leg 2: live daemon metrics + event sink ---------------------------
 
 CHAIN="$WORKDIR/chain.pem"
 PORT_FILE="$WORKDIR/port.txt"
+EVENTS="$WORKDIR/events.jsonl"
 "$CHAINQ" make-chain "$CHAIN"
 
 "$CHAIND" --port 0 --port-file "$PORT_FILE" --duration 120 --trace \
-    >"$WORKDIR/chaind.log" 2>&1 &
+    --events "$EVENTS" >"$WORKDIR/chaind.log" 2>&1 &
 DAEMON_PID=$!
 
 for _ in $(seq 1 100); do
@@ -63,7 +83,7 @@ for _ in $(seq 1 100); do
 done
 [ -s "$PORT_FILE" ] || { echo "FAIL: chaind never wrote its port file"; exit 1; }
 PORT=$(cat "$PORT_FILE")
-echo "chaind is up on 127.0.0.1:$PORT (tracing on)"
+echo "chaind is up on 127.0.0.1:$PORT (tracing + events on)"
 
 # Real traffic: misses and hits, so the latency and queue-wait
 # histograms and the per-stage span histograms all have observations.
@@ -79,6 +99,10 @@ grep -q 'chainchaos_queue_wait_seconds_bucket' "$WORKDIR/metrics.txt" \
     || { echo "FAIL: metrics missing the queue-wait histogram"; exit 1; }
 grep -q 'chainchaos_stage_duration_seconds_service_handle' "$WORKDIR/metrics.txt" \
     || { echo "FAIL: metrics missing tracer stage histograms (is --trace on?)"; exit 1; }
+grep -q 'chainchaos_events_emitted_total' "$WORKDIR/metrics.txt" \
+    || { echo "FAIL: metrics missing chainwatch event counters"; exit 1; }
+grep -q 'chainchaos_loop_tick_duration_seconds_bucket' "$WORKDIR/metrics.txt" \
+    || { echo "FAIL: metrics missing the event-loop tick histogram"; exit 1; }
 echo "/v1/metrics passes the exposition checker"
 
 "$CHAINQ" --port "$PORT" trace >"$WORKDIR/daemon_trace.json"
@@ -86,10 +110,135 @@ grep -q '"traceEvents"' "$WORKDIR/daemon_trace.json" \
     || { echo "FAIL: /v1/trace has no traceEvents array"; exit 1; }
 echo "/v1/trace serves chrome trace JSON"
 
+# The JSONL sink must carry the connection lifecycle for the traffic
+# just served: structured lines, conn.open, and the access-log record.
+[ -s "$EVENTS" ] || { echo "FAIL: --events sink is empty"; exit 1; }
+head -n 1 "$EVENTS" | grep -q '^{"seq":' \
+    || { echo "FAIL: event sink lines are not structured JSONL"; exit 1; }
+grep -q '"kind":"conn.open"' "$EVENTS" \
+    || { echo "FAIL: event sink has no conn.open events"; exit 1; }
+grep -q '"kind":"request"' "$EVENTS" \
+    || { echo "FAIL: event sink has no request events"; exit 1; }
+grep -q 'POST /v1/analyze' "$EVENTS" \
+    || { echo "FAIL: event sink request lines lack the access-log detail"; exit 1; }
+echo "--events JSONL sink carries the connection lifecycle"
+
+# --- leg 3: time-series ring + chainq watch ----------------------------
+
+# Keep a trickle of load flowing while the per-second sampler fills the
+# ring: >= 5 samples needs a bit over 5 seconds of daemon uptime.
+(
+  for _ in $(seq 1 12); do
+    "$CHAINQ" --port "$PORT" --repeat 3 analyze "$CHAIN" >/dev/null 2>&1 || true
+    sleep 0.5
+  done
+) &
+LOAD_PID=$!
+sleep 6.2
+"$CHAINQ" --port "$PORT" timeseries >"$WORKDIR/timeseries.json"
+SAMPLES=$(grep -o '"seq":' "$WORKDIR/timeseries.json" | wc -l)
+[ "$SAMPLES" -ge 5 ] \
+    || { echo "FAIL: /v1/timeseries has $SAMPLES samples, want >= 5"; exit 1; }
+grep -q '"columns"' "$WORKDIR/timeseries.json" \
+    || { echo "FAIL: /v1/timeseries is missing the columns array"; exit 1; }
+grep -q '"requests_total"' "$WORKDIR/timeseries.json" \
+    || { echo "FAIL: /v1/timeseries is missing the requests_total column"; exit 1; }
+echo "/v1/timeseries holds $SAMPLES one-second samples"
+
+# chainq watch renders rate rows from the sample backlog; it exits
+# non-zero if any cumulative counter ever moves backwards between
+# samples, so a zero exit IS the non-negative-rates gate.
+"$CHAINQ" --port "$PORT" --samples 3 --interval-ms 200 watch \
+    >"$WORKDIR/watch.txt" \
+    || { echo "FAIL: chainq watch saw a counter go backwards"; exit 1; }
+cat "$WORKDIR/watch.txt"
+WATCH_ROWS=$(($(wc -l <"$WORKDIR/watch.txt") - 1))  # minus the header
+[ "$WATCH_ROWS" -ge 3 ] \
+    || { echo "FAIL: chainq watch printed $WATCH_ROWS rows, want >= 3"; exit 1; }
+echo "chainq watch rendered $WATCH_ROWS rate rows with no negative deltas"
+
+# The on-demand flight endpoint must return the live ring's events.
+"$CHAINQ" --port "$PORT" flight >"$WORKDIR/flight_live.json"
+grep -q '"events_enabled":true' "$WORKDIR/flight_live.json" \
+    || { echo "FAIL: /v1/flight reports events disabled"; exit 1; }
+grep -q '"kind":"request"' "$WORKDIR/flight_live.json" \
+    || { echo "FAIL: /v1/flight has no request events"; exit 1; }
+echo "/v1/flight serves the live event ring"
+
+kill "$LOAD_PID" 2>/dev/null || true
+wait "$LOAD_PID" 2>/dev/null || true
 kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID"
 RC=$?
 DAEMON_PID=""
 [ "$RC" -eq 0 ] || { echo "FAIL: chaind exited with $RC"; exit 1; }
+
+# --- leg 4: crash flight recorder --------------------------------------
+
+FLIGHT="$WORKDIR/flight.jsonl"
+: >"$PORT_FILE"
+"$CHAIND" --port 0 --port-file "$PORT_FILE" --duration 120 \
+    --flight "$FLIGHT" >"$WORKDIR/chaind_flight.log" 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.1
+done
+[ -s "$PORT_FILE" ] || { echo "FAIL: flight chaind never wrote its port file"; exit 1; }
+PORT=$(cat "$PORT_FILE")
+
+# Put a request through so its events are in the ring when we crash it.
+"$CHAINQ" --port "$PORT" analyze "$CHAIN" >/dev/null
+
+kill -SEGV "$DAEMON_PID"
+wait "$DAEMON_PID" && RC=0 || RC=$?
+DAEMON_PID=""
+[ "$RC" -eq 139 ] \
+    || { echo "FAIL: SIGSEGV'd chaind exited $RC, want 139 (died by signal)"; exit 1; }
+[ -s "$FLIGHT" ] || { echo "FAIL: no flight dump after SIGSEGV"; exit 1; }
+head -n 1 "$FLIGHT" | grep -q '"flight":1' \
+    || { echo "FAIL: flight dump is missing its header line"; exit 1; }
+grep -q '"signal":11' "$FLIGHT" \
+    || { echo "FAIL: flight dump does not record SIGSEGV"; exit 1; }
+grep -q '"kind":"request"' "$FLIGHT" \
+    || { echo "FAIL: flight dump lost the served request's events"; exit 1; }
+grep -q 'POST /v1/analyze' "$FLIGHT" \
+    || { echo "FAIL: flight dump request event lacks the access-log detail"; exit 1; }
+grep -q '"flight_end"' "$FLIGHT" \
+    || { echo "FAIL: flight dump is truncated (no footer)"; exit 1; }
+# Every line is a JSON object: parseable by any JSONL reader.
+BAD_LINES=$(grep -cv '^{.*}$' "$FLIGHT" || true)
+[ "$BAD_LINES" -eq 0 ] \
+    || { echo "FAIL: flight dump has $BAD_LINES non-JSONL lines"; exit 1; }
+echo "SIGSEGV flight dump is parseable and holds the request's events"
+
+# --- leg 5: sweep progress reporting -----------------------------------
+
+# The progress stream rides stderr; stdout must stay byte-identical to
+# a run without the flag, except the `engine:` timing footer, which is
+# run-dependent with or without --progress.
+"$MEASURE" --domains 2000 --threads 4 >"$WORKDIR/plain.out" 2>/dev/null
+"$MEASURE" --domains 2000 --threads 4 --progress --progress-interval-ms 10 \
+    >"$WORKDIR/progress.out" 2>"$WORKDIR/progress.err"
+diff <(grep -v '^engine:' "$WORKDIR/plain.out") \
+     <(grep -v '^engine:' "$WORKDIR/progress.out") \
+    || { echo "FAIL: --progress changed the measurement summary"; exit 1; }
+grep -q '^\[progress\]' "$WORKDIR/progress.err" \
+    || { echo "FAIL: --progress printed no progress lines"; exit 1; }
+grep -q '(done)$' "$WORKDIR/progress.err" \
+    || { echo "FAIL: --progress never printed the final report"; exit 1; }
+# Record counts must be monotonically increasing line over line.
+sed -n 's/^\[progress\] \([0-9]*\)\/.*/\1/p' "$WORKDIR/progress.err" \
+    | awk 'NR > 1 && $1 < prev { exit 1 } { prev = $1 }' \
+    || { echo "FAIL: --progress record counts went backwards"; exit 1; }
+PROGRESS_LINES=$(grep -c '^\[progress\]' "$WORKDIR/progress.err")
+echo "measure_corpus --progress: $PROGRESS_LINES monotone lines, summary unchanged"
+
+# --- optional: the <3% overhead gate with events enabled ---------------
+
+if [ -n "$TRACE_OVERHEAD" ]; then
+  "$TRACE_OVERHEAD" \
+      || { echo "FAIL: trace/event overhead over the 3% budget"; exit 1; }
+fi
 
 echo "obs smoke OK"

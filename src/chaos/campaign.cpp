@@ -11,6 +11,7 @@
 #include "dataset/corpus.hpp"
 #include "engine/engine.hpp"
 #include "lint/lint.hpp"
+#include "obs/event_log.hpp"
 #include "obs/trace.hpp"
 #include "parsdiff/diff.hpp"
 #include "parsdiff/profile.hpp"
@@ -232,6 +233,17 @@ CampaignSummary Campaign::run() {
           if (options_.per_input_deadline_ms != 0 &&
               result.elapsed_us / 1000 > options_.per_input_deadline_ms) {
             result.hung = true;
+          }
+          // A contract violation is a chainwatch finding: the event ring
+          // (and the flight recorder over it) records which input broke
+          // the process, tagged with the same trace id as its spans.
+          if ((result.crashed || result.hung || result.transport_failed) &&
+              ::chainchaos::obs::EventLog::instance().enabled()) {
+            ::chainchaos::obs::EventLog::instance().emit(
+                ::chainchaos::obs::EventLevel::kError, "chaos.finding",
+                result.mutation_id + ":" + result.outcome, i, 0,
+                ::chainchaos::obs::trace_id_from_string(
+                    "chaos-" + std::to_string(i)));
           }
         }
       });

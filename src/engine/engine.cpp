@@ -5,6 +5,7 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/event_log.hpp"
 #include "obs/trace.hpp"
 
 namespace chainchaos::engine {
@@ -120,7 +121,42 @@ AnalysisResult run(const AnalysisRequest& request) {
   const crypto::VerifyMemoStats memo_before =
       memo != nullptr ? memo->stats() : crypto::VerifyMemoStats{};
 
+  // Progress accounting rides shared relaxed atomics the shard loop
+  // bumps as ranges finish; the reporting path reads only these and the
+  // clock, never the tallies, so progress on/off cannot change the
+  // sweep's byte-identical summary.
+  std::atomic<std::size_t> records_done{0};
+  std::atomic<std::size_t> shards_done{0};
+  std::atomic<std::int64_t> last_report_ms{0};
+
   const auto start = std::chrono::steady_clock::now();
+
+  const auto emit_progress = [&](bool final_report, double elapsed) {
+    SweepProgress p;
+    p.records_done = records_done.load(std::memory_order_relaxed);
+    p.records_total = count;
+    p.shards_done = shards_done.load(std::memory_order_relaxed);
+    p.shard_count = result.shard_count;
+    p.elapsed_seconds = elapsed;
+    p.records_per_second =
+        elapsed > 0.0 ? static_cast<double>(p.records_done) / elapsed : 0.0;
+    const std::size_t remaining = count - p.records_done;
+    p.eta_seconds = p.records_per_second > 0.0
+                        ? static_cast<double>(remaining) / p.records_per_second
+                        : 0.0;
+    p.final_report = final_report;
+    if (request.progress != nullptr) request.progress->on_progress(p);
+    if (obs::EventLog::instance().enabled()) {
+      obs::EventLog::instance().emit(
+          obs::EventLevel::kInfo, "sweep.progress",
+          std::to_string(p.shards_done) + "/" + std::to_string(p.shard_count) +
+              " shards",
+          p.records_done);
+    }
+  };
+  const bool report_progress =
+      request.progress != nullptr || obs::EventLog::instance().enabled();
+
   for_each_shard(
       count, request.shards,
       [&](std::size_t first, std::size_t last, unsigned worker) {
@@ -148,10 +184,31 @@ AnalysisResult run(const AnalysisRequest& request) {
                 request.per_record(record, i, report_ptr, state.tally);
               }
             });
+        records_done.fetch_add(last - first, std::memory_order_relaxed);
+        shards_done.fetch_add(1, std::memory_order_relaxed);
+        if (report_progress) {
+          // Whichever worker crosses the interval first wins the CAS and
+          // delivers the report; losers skip, so reports never pile up.
+          const auto now = std::chrono::steady_clock::now();
+          const std::int64_t elapsed_ms =
+              std::chrono::duration_cast<std::chrono::milliseconds>(now -
+                                                                    start)
+                  .count();
+          std::int64_t prev = last_report_ms.load(std::memory_order_relaxed);
+          if (elapsed_ms - prev >=
+                  static_cast<std::int64_t>(request.progress_interval_ms) &&
+              last_report_ms.compare_exchange_strong(
+                  prev, elapsed_ms, std::memory_order_relaxed)) {
+            emit_progress(false, static_cast<double>(elapsed_ms) / 1000.0);
+          }
+        }
       });
   const auto stop = std::chrono::steady_clock::now();
   result.elapsed_seconds =
       std::chrono::duration<double>(stop - start).count();
+  if (report_progress && count > 0) {
+    emit_progress(true, result.elapsed_seconds);
+  }
 
   if (memo != nullptr) {
     const crypto::VerifyMemoStats after = memo->stats();

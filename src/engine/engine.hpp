@@ -104,6 +104,34 @@ void for_each_shard(std::size_t count, const ShardOptions& options,
                                              std::size_t last,
                                              unsigned worker)>& shard_fn);
 
+/// One progress report from a running sweep (DESIGN.md §5.16). Built
+/// from shared relaxed atomics the workers bump as shards finish — the
+/// reporting path never touches the tallies, so enabling progress can
+/// not perturb the byte-identical summary contract.
+struct SweepProgress {
+  std::size_t records_done = 0;   ///< records visited so far
+  std::size_t records_total = 0;  ///< source size (before filtering)
+  std::size_t shards_done = 0;
+  std::size_t shard_count = 0;
+  double elapsed_seconds = 0.0;
+  double records_per_second = 0.0;
+  double eta_seconds = 0.0;  ///< at the current rate; 0 when done/unknown
+  bool final_report = false;  ///< the one guaranteed 100% report
+};
+
+/// Receives SweepProgress callbacks during engine::run. on_progress may
+/// be invoked concurrently from any worker thread (whichever worker
+/// crosses the reporting interval delivers the report), so
+/// implementations must be thread-safe. Reports are rate-limited to the
+/// request's progress_interval_ms; ordering across workers is not
+/// guaranteed — consumers wanting monotonic output should track the
+/// highest records_done they have seen.
+class ProgressSink {
+ public:
+  virtual ~ProgressSink() = default;
+  virtual void on_progress(const SweepProgress& progress) = 0;
+};
+
 /// One batch-analysis job over a record range.
 struct AnalysisRequest {
   /// The records to analyze (must outlive the run). Ignored when
@@ -152,6 +180,12 @@ struct AnalysisRequest {
   /// memo-off arm; also the escape hatch if residency ever matters more
   /// than repeat suppression).
   bool verify_memo_enabled = true;
+
+  /// Optional sweep-progress consumer (records/sec, shard completion,
+  /// ETA). Reports fire at most every progress_interval_ms plus one
+  /// final 100% report; null = no reporting, zero overhead.
+  ProgressSink* progress = nullptr;
+  int progress_interval_ms = 500;
 };
 
 struct AnalysisResult {

@@ -1,0 +1,201 @@
+#include "obs/event_log.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "obs/prometheus.hpp"
+#include "obs/trace.hpp"
+#include "report/json.hpp"
+
+namespace chainchaos::obs {
+
+const char* to_string(EventLevel level) {
+  switch (level) {
+    case EventLevel::kDebug: return "debug";
+    case EventLevel::kInfo: return "info";
+    case EventLevel::kWarn: return "warn";
+    case EventLevel::kError: return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void copy_truncated(char* dst, std::size_t dst_size, std::string_view src) {
+  const std::size_t n = src.size() < dst_size - 1 ? src.size() : dst_size - 1;
+  if (n != 0) std::memcpy(dst, src.data(), n);  // empty views may have no data()
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+EventLog::EventLog() { set_capacity(4096); }
+
+EventLog& EventLog::instance() {
+  static EventLog* log = new EventLog();  // leaked: outlives exiting threads
+  return *log;
+}
+
+void EventLog::set_capacity(std::size_t capacity) {
+  const std::size_t cap = round_up_pow2(capacity == 0 ? 1 : capacity);
+  // The old slot array is never freed: an emitter that loaded the
+  // pointer before the resize may still be writing into it, and the
+  // flight recorder must never dereference freed memory. Retired arrays
+  // are parked (not dropped) so the memory stays reachable — resizes are
+  // rare (startup, test setup), so the parking lot stays bounded.
+  if (slots_ != nullptr) retired_.push_back(slots_);
+  slots_ = new Slot[cap];
+  capacity_ = cap;
+  mask_ = cap - 1;
+  cursor_.store(0, std::memory_order_relaxed);
+}
+
+void EventLog::emit(EventLevel level, std::string_view kind,
+                    std::string_view detail, std::uint64_t value,
+                    std::uint64_t conn_id, std::uint64_t trace_id) {
+  if (!enabled()) return;
+  const std::uint64_t seq = cursor_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq & mask_];
+  // Zero the commit word first: readers that catch the slot mid-rewrite
+  // see commit != seq + 1 on either side of their copy and skip it.
+  slot.commit.store(0, std::memory_order_release);
+  EventRecord& r = slot.record;
+  r.seq = seq;
+  r.t_ns = Tracer::now_ns();
+  r.conn_id = conn_id;
+  r.trace_id = trace_id;
+  r.value = value;
+  r.level = level;
+  copy_truncated(r.kind, sizeof r.kind, kind);
+  copy_truncated(r.detail, sizeof r.detail, detail);
+  slot.commit.store(seq + 1, std::memory_order_release);
+
+  if (sink_open_.load(std::memory_order_relaxed)) sink_write(r);
+}
+
+bool EventLog::open_sink(const std::string& path,
+                         std::uint64_t max_lines_per_sec) {
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  if (sink_fd_ >= 0) ::close(sink_fd_);
+  sink_fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  sink_limit_ = max_lines_per_sec == 0 ? 1 : max_lines_per_sec;
+  window_start_s_ = 0;
+  window_count_ = 0;
+  sink_open_.store(sink_fd_ >= 0, std::memory_order_relaxed);
+  return sink_fd_ >= 0;
+}
+
+void EventLog::close_sink() {
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  sink_open_.store(false, std::memory_order_relaxed);
+  if (sink_fd_ >= 0) ::close(sink_fd_);
+  sink_fd_ = -1;
+}
+
+void EventLog::sink_write(const EventRecord& record) {
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  if (sink_fd_ < 0) return;  // closed between the check and the lock
+  const std::uint64_t second = record.t_ns / 1000000000ULL;
+  if (second != window_start_s_) {
+    window_start_s_ = second;
+    window_count_ = 0;
+  }
+  if (window_count_ >= sink_limit_) {
+    sink_suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ++window_count_;
+  std::string line = to_jsonl(record);
+  line.push_back('\n');
+  ssize_t off = 0;
+  while (off < static_cast<ssize_t>(line.size())) {
+    const ssize_t n =
+        ::write(sink_fd_, line.data() + off, line.size() - off);
+    if (n <= 0) return;  // sink error: drop the tail, keep the ring
+    off += n;
+  }
+  sink_written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<EventRecord> EventLog::collect(std::size_t max) const {
+  std::vector<EventRecord> out;
+  const std::uint64_t end = cursor_.load(std::memory_order_acquire);
+  std::uint64_t window = max < capacity_ ? max : capacity_;
+  const std::uint64_t begin = end > window ? end - window : 0;
+  out.reserve(static_cast<std::size_t>(end - begin));
+  for (std::uint64_t seq = begin; seq < end; ++seq) {
+    const Slot& slot = slots_[seq & mask_];
+    if (slot.commit.load(std::memory_order_acquire) != seq + 1) continue;
+    EventRecord copy = slot.record;
+    // Re-check after the copy: a lapping writer that rewrote the slot
+    // mid-copy zeroed (or advanced) the commit word, so the copy is torn.
+    if (slot.commit.load(std::memory_order_acquire) != seq + 1) continue;
+    out.push_back(copy);
+  }
+  return out;
+}
+
+void EventLog::reset() {
+  close_sink();
+  enabled_.store(false, std::memory_order_relaxed);
+  set_capacity(capacity_);
+  sink_written_.store(0, std::memory_order_relaxed);
+  sink_suppressed_.store(0, std::memory_order_relaxed);
+}
+
+std::string to_jsonl(const EventRecord& record) {
+  report::JsonWriter w;
+  w.begin_object();
+  w.key("seq");
+  w.value(record.seq);
+  w.key("t_ns");
+  w.value(record.t_ns);
+  w.key("level");
+  w.value(to_string(record.level));
+  w.key("kind");
+  w.value(record.kind);
+  if (record.conn_id != 0) {
+    w.key("conn");
+    w.value(record.conn_id);
+  }
+  if (record.trace_id != 0) {
+    w.key("trace");
+    w.value(record.trace_id);
+  }
+  if (record.value != 0) {
+    w.key("value");
+    w.value(record.value);
+  }
+  if (record.detail[0] != '\0') {
+    w.key("detail");
+    w.value(record.detail);
+  }
+  w.end_object();
+  return w.take();
+}
+
+std::string render_event_metrics() {
+  const EventLog& log = EventLog::instance();
+  PromWriter w;
+  w.family("chainchaos_events_emitted_total",
+           "Structured events recorded in the chainwatch ring", "counter");
+  w.sample("chainchaos_events_emitted_total", {}, log.emitted());
+  w.family("chainchaos_events_sink_written_total",
+           "Events written to the JSONL sink", "counter");
+  w.sample("chainchaos_events_sink_written_total", {}, log.sink_written());
+  w.family("chainchaos_events_sink_suppressed_total",
+           "Sink lines suppressed by the per-second rate limiter", "counter");
+  w.sample("chainchaos_events_sink_suppressed_total", {},
+           log.sink_suppressed());
+  return w.take();
+}
+
+}  // namespace chainchaos::obs

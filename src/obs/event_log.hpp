@@ -1,0 +1,141 @@
+// chainwatch event log: structured, lock-free ring of discrete events
+// (DESIGN.md §5.16).
+//
+// Spans (trace.hpp) answer "where does the time go"; events answer "what
+// happened, in order" — a connection opened, a request arrived, a handler
+// ran slow, an eviction fired, a sweep shard finished. Each event is a
+// fixed-size POD record so the newest window can be dumped from a signal
+// handler without touching the allocator, and the ring is the flight
+// recorder's primary data source.
+//
+// Concurrency model:
+//   * emit() is wait-free for writers: one relaxed fetch_add reserves a
+//     sequence number, the slot at seq % capacity is overwritten, and a
+//     per-slot commit word (seq + 1, release) publishes it;
+//   * readers (collect(), the flight dump) walk the newest window and
+//     re-check the commit word after copying — a record that changed
+//     mid-copy is torn and silently skipped rather than misreported;
+//   * the optional JSONL sink is mutex-guarded and rate-limited (token
+//     window per wall-clock second); when the limit trips, events still
+//     land in the ring — only the file line is suppressed and counted.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace chainchaos::obs {
+
+enum class EventLevel : std::uint8_t { kDebug, kInfo, kWarn, kError };
+
+const char* to_string(EventLevel level);
+
+/// One structured event. Fixed-size POD: the kind/detail strings are
+/// truncating char arrays (always NUL-terminated) so a record can be
+/// copied and formatted from an async-signal context.
+struct EventRecord {
+  std::uint64_t seq = 0;       ///< global emission order, dense from 0
+  std::uint64_t t_ns = 0;      ///< Tracer::now_ns() timestamp
+  std::uint64_t conn_id = 0;   ///< connection correlation id; 0 = none
+  std::uint64_t trace_id = 0;  ///< x-trace-id hash; 0 = none
+  std::uint64_t value = 0;     ///< kind-specific payload (status, micros…)
+  EventLevel level = EventLevel::kInfo;
+  char kind[24] = {0};    ///< dotted event name, e.g. "conn.open"
+  char detail[96] = {0};  ///< free-text payload, e.g. "POST /v1/analyze"
+};
+
+/// Process-wide event ring. Singleton for the same reason Tracer is one:
+/// emission sites (epoll loop, worker pool, engine shards, chaos
+/// campaign) must not need a logger threaded through every API.
+class EventLog {
+ public:
+  static EventLog& instance();
+
+  /// Runtime switch; starts off. While off, emit() is one relaxed load.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Resizes the ring (rounded up to a power of two, default 4096).
+  /// Only call while no emitters are running — it reallocates the slots.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const { return capacity_; }
+
+  /// Records an event in the ring and, when a sink is open and the rate
+  /// limiter allows, appends one JSONL line to it. Safe from any thread;
+  /// never allocates on the ring path.
+  void emit(EventLevel level, std::string_view kind, std::string_view detail,
+            std::uint64_t value = 0, std::uint64_t conn_id = 0,
+            std::uint64_t trace_id = 0);
+
+  /// Opens a JSONL sink at `path` (append). At most `max_lines_per_sec`
+  /// events are written per wall-clock second; the overflow is counted
+  /// in sink_suppressed(). Returns false when the file cannot be opened.
+  bool open_sink(const std::string& path, std::uint64_t max_lines_per_sec = 1000);
+  void close_sink();
+
+  /// Newest `max` committed events, oldest first. Torn slots (overwritten
+  /// mid-copy by a lapping writer) are skipped.
+  std::vector<EventRecord> collect(std::size_t max) const;
+
+  std::uint64_t emitted() const {
+    return cursor_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sink_written() const {
+    return sink_written_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sink_suppressed() const {
+    return sink_suppressed_.load(std::memory_order_relaxed);
+  }
+
+  /// Clears the ring and counters and closes any sink. Tests only; the
+  /// live daemon accumulates forever (the ring wraps by design).
+  void reset();
+
+  // --- flight-recorder internals (async-signal-safe accessors) ---------
+  struct Slot {
+    std::atomic<std::uint64_t> commit{0};  ///< seq + 1 once published
+    EventRecord record;
+  };
+  const Slot* slots() const { return slots_; }
+  std::uint64_t cursor() const {
+    return cursor_.load(std::memory_order_acquire);
+  }
+
+ private:
+  EventLog();
+
+  void sink_write(const EventRecord& record);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> cursor_{0};
+  Slot* slots_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  /// Arrays replaced by set_capacity — kept alive (emitters may still
+  /// hold the pointer), parked here so the memory stays reachable.
+  std::vector<Slot*> retired_;
+
+  mutable std::mutex sink_mutex_;
+  std::atomic<bool> sink_open_{false};
+  int sink_fd_ = -1;
+  std::uint64_t sink_limit_ = 0;
+  std::uint64_t window_start_s_ = 0;
+  std::uint64_t window_count_ = 0;
+  std::atomic<std::uint64_t> sink_written_{0};
+  std::atomic<std::uint64_t> sink_suppressed_{0};
+};
+
+/// One event as a single JSONL line (no trailing newline).
+std::string to_jsonl(const EventRecord& record);
+
+/// Prometheus families for the event subsystem (emitted/sink counters),
+/// appended to /v1/metrics alongside the stage metrics.
+std::string render_event_metrics();
+
+}  // namespace chainchaos::obs

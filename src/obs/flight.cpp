@@ -1,0 +1,207 @@
+#include "obs/flight.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "obs/event_log.hpp"
+#include "obs/trace.hpp"
+
+namespace chainchaos::obs::flight {
+
+namespace {
+
+char g_path[256] = {0};
+std::size_t g_max_events = 256;
+std::size_t g_max_spans = 256;
+
+// --- async-signal-safe line builder -----------------------------------
+// One dump line is formatted into a fixed stack buffer and written with
+// a single write(2). Overlong content is truncated, never overflowed.
+
+struct Line {
+  char buf[768];
+  std::size_t len = 0;
+
+  void put(char c) {
+    if (len < sizeof buf) buf[len++] = c;
+  }
+  void str(const char* s) {
+    while (*s != '\0') put(*s++);
+  }
+  void u64(std::uint64_t v) {
+    char digits[20];
+    std::size_t n = 0;
+    do {
+      digits[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) put(digits[--n]);
+  }
+  /// JSON string body: control bytes, '"' and '\\' become '_' so no
+  /// escape sequence can blow up the fixed buffer mid-character.
+  void escaped(const char* s, std::size_t max) {
+    for (std::size_t i = 0; i < max && s[i] != '\0'; ++i) {
+      const unsigned char c = static_cast<unsigned char>(s[i]);
+      put(c < 0x20 || c == '"' || c == '\\' ? '_' : static_cast<char>(c));
+    }
+  }
+  std::size_t flush(int fd) {
+    put('\n');
+    std::size_t off = 0;
+    while (off < len) {
+      const ssize_t n = ::write(fd, buf + off, len - off);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    const std::size_t written = off;
+    len = 0;
+    return written;
+  }
+};
+
+std::size_t dump_events(int fd) {
+  const EventLog& log = EventLog::instance();
+  const EventLog::Slot* slots = log.slots();
+  const std::uint64_t end = log.cursor();
+  const std::uint64_t cap = log.capacity();
+  std::uint64_t window = g_max_events < cap ? g_max_events : cap;
+  const std::uint64_t begin = end > window ? end - window : 0;
+  const std::uint64_t mask = cap - 1;
+  std::size_t count = 0;
+  Line line;
+  for (std::uint64_t seq = begin; seq < end; ++seq) {
+    const EventLog::Slot& slot = slots[seq & mask];
+    if (slot.commit.load(std::memory_order_acquire) != seq + 1) continue;
+    const EventRecord r = slot.record;
+    if (slot.commit.load(std::memory_order_acquire) != seq + 1) continue;
+    line.str("{\"e\":{\"seq\":");
+    line.u64(r.seq);
+    line.str(",\"t_ns\":");
+    line.u64(r.t_ns);
+    line.str(",\"level\":\"");
+    line.str(to_string(r.level));
+    line.str("\",\"kind\":\"");
+    line.escaped(r.kind, sizeof r.kind);
+    line.str("\",\"conn\":");
+    line.u64(r.conn_id);
+    line.str(",\"trace\":");
+    line.u64(r.trace_id);
+    line.str(",\"value\":");
+    line.u64(r.value);
+    line.str(",\"detail\":\"");
+    line.escaped(r.detail, sizeof r.detail);
+    line.str("\"}}");
+    line.flush(fd);
+    ++count;
+  }
+  return count;
+}
+
+std::size_t dump_spans(int fd) {
+  const detail::ThreadBuffer* buffers[Tracer::kMaxFlightBuffers];
+  const std::size_t n_buffers = Tracer::instance().flight_buffers(
+      buffers, Tracer::kMaxFlightBuffers);
+  std::size_t count = 0;
+  Line line;
+  for (std::size_t b = 0; b < n_buffers && count < g_max_spans; ++b) {
+    const detail::ThreadBuffer& buffer = *buffers[b];
+    const std::size_t cursor =
+        buffer.cursor.load(std::memory_order_acquire);
+    // Newest spans matter most in a crash; walk backwards from the
+    // cursor and stop once this buffer's share of the budget is spent.
+    const std::size_t share = g_max_spans / (n_buffers == 0 ? 1 : n_buffers);
+    const std::size_t take = share == 0 ? 1 : share;
+    std::size_t taken = 0;
+    for (std::size_t i = cursor; i > 0 && taken < take && count < g_max_spans;
+         --i) {
+      const detail::ThreadBuffer::Slot& slot = buffer.slots[i - 1];
+      if (!slot.done.load(std::memory_order_acquire)) continue;
+      const SpanRecord r = slot.record;
+      line.str("{\"s\":{\"stage\":\"");
+      line.str(to_string(r.stage));
+      line.str("\",\"thread\":");
+      line.u64(r.thread_id);
+      line.str(",\"trace\":");
+      line.u64(r.trace_id);
+      line.str(",\"start_ns\":");
+      line.u64(r.start_ns);
+      line.str(",\"end_ns\":");
+      line.u64(r.end_ns);
+      line.str("}}");
+      line.flush(fd);
+      ++taken;
+      ++count;
+    }
+  }
+  return count;
+}
+
+void on_fatal_signal(int sig) {
+  // A fault inside the dump must not loop: restore the default
+  // disposition first so any nested signal kills the process outright.
+  ::signal(sig, SIG_DFL);
+  if (g_path[0] != '\0') {
+    const int fd = ::open(g_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      dump_to_fd(fd, sig);
+      ::close(fd);
+    }
+  }
+  ::raise(sig);
+}
+
+}  // namespace
+
+bool set_dump_path(const char* path) {
+  const std::size_t n = std::strlen(path);
+  if (n == 0 || n >= sizeof g_path) return false;
+  std::memcpy(g_path, path, n + 1);
+  return true;
+}
+
+void set_limits(std::size_t max_events, std::size_t max_spans) {
+  g_max_events = max_events == 0 ? 1 : max_events;
+  g_max_spans = max_spans == 0 ? 1 : max_spans;
+}
+
+void install_signal_handlers() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof action);
+  action.sa_handler = on_fatal_signal;
+  sigemptyset(&action.sa_mask);
+  for (const int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE}) {
+    ::sigaction(sig, &action, nullptr);
+  }
+}
+
+std::size_t dump_to_fd(int fd, int signal) {
+  Line line;
+  line.str("{\"flight\":1,\"signal\":");
+  line.u64(static_cast<std::uint64_t>(signal < 0 ? 0 : signal));
+  line.str("}");
+  line.flush(fd);
+  const std::size_t events = dump_events(fd);
+  const std::size_t spans = dump_spans(fd);
+  line.str("{\"flight_end\":{\"events\":");
+  line.u64(events);
+  line.str(",\"spans\":");
+  line.u64(spans);
+  line.str("}}");
+  line.flush(fd);
+  return events + spans;
+}
+
+bool dump_now() {
+  if (g_path[0] == '\0') return false;
+  const int fd = ::open(g_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  dump_to_fd(fd, 0);
+  ::close(fd);
+  return true;
+}
+
+}  // namespace chainchaos::obs::flight

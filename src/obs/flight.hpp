@@ -1,0 +1,48 @@
+// chainwatch flight recorder: the newest events + spans dumped to a file
+// when the process dies — or on demand (DESIGN.md §5.16).
+//
+// The chaos campaign's whole premise is that the daemon will sometimes
+// be driven into a crash; the flight recorder makes those crashes
+// diagnosable by preserving what the process was doing in its final
+// moments. Everything here obeys async-signal-safety rules:
+//
+//   * the dump path calls only open(2)/write(2)/close(2) plus
+//     sigaction/raise — never malloc, never a mutex, never stdio;
+//   * event and span sources are pre-existing, pre-allocated, lock-free
+//     structures (EventLog's ring, the Tracer's flight-buffer mirror);
+//   * all formatting is manual decimal/escape into fixed stack buffers;
+//   * torn ring slots are detected via the commit word and skipped.
+//
+// The dump format is JSONL: a header line, one line per event ({"e":…})
+// and span ({"s":…}), and a footer with totals — parseable by any JSON
+// tool one line at a time even when the file is truncated mid-write.
+#pragma once
+
+#include <cstddef>
+
+namespace chainchaos::obs::flight {
+
+/// Where crash dumps go (copied into a fixed internal buffer; paths
+/// longer than 255 bytes are rejected). Must be set before a dump.
+bool set_dump_path(const char* path);
+
+/// Newest-N limits per source (defaults: 256 events, 256 spans).
+void set_limits(std::size_t max_events, std::size_t max_spans);
+
+/// Installs dump-then-reraise handlers for SIGSEGV, SIGABRT, SIGBUS and
+/// SIGFPE. The handler writes the dump, restores the default
+/// disposition, and re-raises, so the process still dies by the
+/// original signal (exit status and core behavior are preserved).
+void install_signal_handlers();
+
+/// Writes a dump to an already-open fd. Async-signal-safe; `signal` is
+/// recorded in the header (0 = on-demand dump). Returns the number of
+/// records (events + spans) dumped.
+std::size_t dump_to_fd(int fd, int signal);
+
+/// On-demand dump to the configured path (ordinary context, still uses
+/// only the signal-safe writer). Returns false when no path is set or
+/// the file cannot be opened.
+bool dump_now();
+
+}  // namespace chainchaos::obs::flight

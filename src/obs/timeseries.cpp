@@ -1,0 +1,71 @@
+#include "obs/timeseries.hpp"
+
+#include "report/json.hpp"
+
+namespace chainchaos::obs {
+
+TimeSeriesRing::TimeSeriesRing(std::vector<std::string> columns,
+                               std::size_t window)
+    : columns_(std::move(columns)), window_(window == 0 ? 1 : window) {
+  ring_.resize(window_);
+}
+
+void TimeSeriesRing::push(std::uint64_t uptime_ms,
+                          std::vector<std::uint64_t> values) {
+  values.resize(columns_.size(), 0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Sample& slot = ring_[pushed_ % window_];
+  slot.seq = pushed_;
+  slot.uptime_ms = uptime_ms;
+  slot.values = std::move(values);
+  ++pushed_;
+}
+
+std::uint64_t TimeSeriesRing::pushed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pushed_;
+}
+
+std::vector<TimeSeriesRing::Sample> TimeSeriesRing::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Sample> out;
+  const std::uint64_t count = pushed_ < window_ ? pushed_ : window_;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = pushed_ - count; i < pushed_; ++i) {
+    out.push_back(ring_[i % window_]);
+  }
+  return out;
+}
+
+std::string TimeSeriesRing::to_json() const {
+  const std::vector<Sample> samples = snapshot();
+  report::JsonWriter w;
+  w.begin_object();
+  w.key("window");
+  w.value(static_cast<std::uint64_t>(window_));
+  w.key("pushed");
+  w.value(pushed());
+  w.key("columns");
+  w.begin_array();
+  for (const std::string& name : columns_) w.value(name);
+  w.end_array();
+  w.key("samples");
+  w.begin_array();
+  for (const Sample& sample : samples) {
+    w.begin_object();
+    w.key("seq");
+    w.value(sample.seq);
+    w.key("uptime_ms");
+    w.value(sample.uptime_ms);
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      w.key(columns_[i]);
+      w.value(i < sample.values.size() ? sample.values[i] : 0);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace chainchaos::obs

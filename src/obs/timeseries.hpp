@@ -1,0 +1,61 @@
+// chainwatch time-series ring: per-second snapshots of the service
+// counters over a fixed window (DESIGN.md §5.16).
+//
+// The epoll loop pushes one row per sample interval (default 1 s); the
+// ring holds the newest `window` rows (default 300 = five minutes) and
+// wraps. Each row is the same ordered list of named columns, all
+// monotonic counters or gauges sampled at one instant, so a consumer
+// (chainq watch) can difference consecutive rows to get req/s,
+// eviction/s, and latency-bucket deltas without ever seeing a negative
+// rate — the whole row is taken from one MetricsSnapshot.
+//
+// Pushes happen on one thread (the loop) at 1 Hz and reads are rare
+// (GET /v1/timeseries), so a plain mutex is the right tool here; the
+// lock-free machinery lives where the hot paths are (EventLog, Tracer).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace chainchaos::obs {
+
+class TimeSeriesRing {
+ public:
+  struct Sample {
+    std::uint64_t seq = 0;        ///< push order, dense from 0
+    std::uint64_t uptime_ms = 0;  ///< server uptime at sample time
+    std::vector<std::uint64_t> values;  ///< one per column, same order
+  };
+
+  TimeSeriesRing(std::vector<std::string> columns, std::size_t window);
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  std::size_t window() const { return window_; }
+
+  /// Appends one row. `values` must have exactly columns().size()
+  /// entries (short rows are zero-padded defensively).
+  void push(std::uint64_t uptime_ms, std::vector<std::uint64_t> values);
+
+  /// Rows pushed over the ring's lifetime (>= window once wrapped).
+  std::uint64_t pushed() const;
+
+  /// The retained window, oldest first.
+  std::vector<Sample> snapshot() const;
+
+  /// The /v1/timeseries body: window, push count, column names, and the
+  /// retained samples as flat objects of integer fields.
+  std::string to_json() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::size_t window_;
+
+  mutable std::mutex mutex_;
+  std::vector<Sample> ring_;
+  std::uint64_t pushed_ = 0;
+};
+
+}  // namespace chainchaos::obs

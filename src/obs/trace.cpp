@@ -119,8 +119,25 @@ detail::ThreadBuffer& Tracer::thread_buffer() {
     std::lock_guard<std::mutex> lock(registry_mutex_);
     buffer->thread_id = static_cast<std::uint32_t>(buffers_.size());
     buffers_.push_back(std::move(owned));
+    if (buffer->thread_id < kMaxFlightBuffers) {
+      flight_registry_[buffer->thread_id].store(buffer,
+                                                std::memory_order_release);
+      flight_count_.store(buffer->thread_id + 1, std::memory_order_release);
+    }
   }
   return *buffer;
+}
+
+std::size_t Tracer::flight_buffers(const detail::ThreadBuffer** out,
+                                   std::size_t max) const {
+  const std::uint32_t count = flight_count_.load(std::memory_order_acquire);
+  std::size_t n = 0;
+  for (std::uint32_t i = 0; i < count && n < max; ++i) {
+    const detail::ThreadBuffer* buffer =
+        flight_registry_[i].load(std::memory_order_acquire);
+    if (buffer != nullptr) out[n++] = buffer;
+  }
+  return n;
 }
 
 std::int32_t Tracer::begin_span(Stage stage) {

@@ -165,6 +165,16 @@ class Tracer {
 
   StageStatsSnapshot stage_stats() const;
 
+  /// Async-signal-safe view of the registered thread buffers for the
+  /// flight recorder: fills `out` with up to `max` buffer pointers and
+  /// returns the count. No locks — the registry is mirrored into a
+  /// fixed atomic-pointer array at registration, and buffers are never
+  /// deallocated (the Tracer singleton is leaked), so every pointer
+  /// stays valid for the life of the process.
+  static constexpr std::size_t kMaxFlightBuffers = 256;
+  std::size_t flight_buffers(const detail::ThreadBuffer** out,
+                             std::size_t max) const;
+
   /// Nanoseconds since the tracer epoch (first use); the time base every
   /// SpanRecord uses.
   static std::uint64_t now_ns();
@@ -189,6 +199,14 @@ class Tracer {
   // registration and collection — never on the span path).
   mutable std::mutex registry_mutex_;
   std::vector<std::unique_ptr<detail::ThreadBuffer>> buffers_;
+
+  // Lock-free mirror of buffers_ for the flight recorder (signal
+  // context cannot take registry_mutex_). Count published with release
+  // after the pointer store; threads past kMaxFlightBuffers trace
+  // normally but are invisible to crash dumps.
+  std::array<std::atomic<const detail::ThreadBuffer*>, kMaxFlightBuffers>
+      flight_registry_{};
+  std::atomic<std::uint32_t> flight_count_{0};
 };
 
 /// RAII span. Inert (and branch-predictably cheap) while tracing is off.

@@ -224,6 +224,18 @@ Result<net::HttpResponse> Client::trace() {
   return request(std::move(req));
 }
 
+Result<net::HttpResponse> Client::timeseries() {
+  net::HttpRequest req;
+  req.target = "/v1/timeseries";
+  return request(std::move(req));
+}
+
+Result<net::HttpResponse> Client::flight() {
+  net::HttpRequest req;
+  req.target = "/v1/flight";
+  return request(std::move(req));
+}
+
 Result<net::HttpResponse> Client::healthz() {
   net::HttpRequest req;
   req.target = "/healthz";

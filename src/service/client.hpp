@@ -44,6 +44,12 @@ class Client {
   /// GET /v1/trace (chrome://tracing JSON of the daemon's spans).
   Result<net::HttpResponse> trace();
 
+  /// GET /v1/timeseries (chainwatch per-second counter ring).
+  Result<net::HttpResponse> timeseries();
+
+  /// GET /v1/flight (newest structured events + spans, on demand).
+  Result<net::HttpResponse> flight();
+
   /// GET /healthz.
   Result<net::HttpResponse> healthz();
 

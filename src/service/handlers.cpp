@@ -5,6 +5,7 @@
 #include "crypto/sha256.hpp"
 #include "crypto/verifier.hpp"
 #include "lint/lint.hpp"
+#include "obs/event_log.hpp"
 #include "obs/export.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
@@ -51,6 +52,48 @@ void write_lint_findings(report::JsonWriter& w,
     w.end_object();
   }
   w.end_array();
+}
+
+/// The /v1/flight body: the in-memory flight window (newest events +
+/// spans) as proper JSON — the on-demand sibling of the crash dump,
+/// rendered with the ordinary writer since no signal is involved.
+std::string render_flight_json() {
+  constexpr std::size_t kWindow = 256;
+  report::JsonWriter w;
+  w.begin_object();
+  w.key("events_enabled").value(obs::EventLog::instance().enabled());
+  w.key("events").begin_array();
+  for (const obs::EventRecord& e :
+       obs::EventLog::instance().collect(kWindow)) {
+    w.begin_object();
+    w.key("seq").value(e.seq);
+    w.key("t_ns").value(e.t_ns);
+    w.key("level").value(obs::to_string(e.level));
+    w.key("kind").value(e.kind);
+    w.key("conn").value(e.conn_id);
+    w.key("trace").value(e.trace_id);
+    w.key("value").value(e.value);
+    w.key("detail").value(e.detail);
+    w.end_object();
+  }
+  w.end_array();
+  const std::vector<obs::SpanRecord> spans = obs::Tracer::instance().collect();
+  const std::size_t first = spans.size() > kWindow ? spans.size() - kWindow : 0;
+  w.key("spans").begin_array();
+  for (std::size_t i = first; i < spans.size(); ++i) {
+    const obs::SpanRecord& s = spans[i];
+    w.begin_object();
+    w.key("stage").value(obs::to_string(s.stage));
+    w.key("thread").value(static_cast<std::uint64_t>(s.thread_id));
+    w.key("trace").value(s.trace_id);
+    w.key("start_ns").value(s.start_ns);
+    w.key("end_ns").value(s.end_ns);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("dropped_spans").value(obs::Tracer::instance().dropped());
+  w.end_object();
+  return w.take();
 }
 
 }  // namespace
@@ -124,6 +167,7 @@ net::HttpResponse RequestHandler::handle(const net::HttpRequest& request) {
         options_.aia ? options_.aia->stats() : net::FetchStats{},
         crypto::verify_snapshot());
     text += obs::render_stage_metrics(obs::Tracer::instance().stage_stats());
+    text += obs::render_event_metrics();
     net::HttpResponse resp;
     resp.headers["content-type"] = "text/plain; version=0.0.4";
     resp.body = to_bytes(text);
@@ -138,6 +182,26 @@ net::HttpResponse RequestHandler::handle(const net::HttpRequest& request) {
     return json_body_response(
         obs::chrome_trace_json(obs::Tracer::instance().collect(),
                                obs::Tracer::instance().dropped()));
+  }
+  if (path == "/v1/timeseries") {
+    metrics_->record_request(Endpoint::kTimeseries);
+    if (request.method != "GET") {
+      return json_error(405, "Method Not Allowed", "service.bad_method",
+                        request.method);
+    }
+    if (options_.timeseries == nullptr) {
+      return json_error(404, "Not Found", "service.no_timeseries",
+                        "no time-series ring attached to this handler");
+    }
+    return json_body_response(options_.timeseries->to_json());
+  }
+  if (path == "/v1/flight") {
+    metrics_->record_request(Endpoint::kFlight);
+    if (request.method != "GET") {
+      return json_error(405, "Method Not Allowed", "service.bad_method",
+                        request.method);
+    }
+    return json_body_response(render_flight_json());
   }
   if (path == "/v1/parsdiff") {
     metrics_->record_request(Endpoint::kParsdiff);

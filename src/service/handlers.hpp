@@ -21,6 +21,7 @@
 
 #include "net/aia_repository.hpp"
 #include "net/http.hpp"
+#include "obs/timeseries.hpp"
 #include "service/cache.hpp"
 #include "service/metrics.hpp"
 #include "truststore/root_store.hpp"
@@ -48,6 +49,11 @@ struct HandlerOptions {
   /// pathbuild::BuildPolicy's aia_* knobs).
   int aia_max_retries = 0;
   int aia_deadline_ms = 0;
+
+  /// The chainwatch per-second counter ring behind GET /v1/timeseries.
+  /// Wired by the Server (which owns the ring); null when the handler
+  /// runs standalone, in which case the endpoint answers 404.
+  const obs::TimeSeriesRing* timeseries = nullptr;
 };
 
 /// Splits a request body into certificates: a PEM bundle when the BEGIN

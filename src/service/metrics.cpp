@@ -1,5 +1,6 @@
 #include "service/metrics.hpp"
 
+#include "obs/event_log.hpp"
 #include "obs/histogram.hpp"
 #include "obs/prometheus.hpp"
 #include "report/json.hpp"
@@ -8,32 +9,29 @@ namespace chainchaos::service {
 
 namespace {
 
-/// Snapshot of one µs-bucketed histogram (counts + quantiles), shared by
-/// the JSON and Prometheus renderers.
-struct LatencySnapshot {
-  std::array<std::uint64_t, kLatencyBucketCount> counts{};
-  std::uint64_t total_us = 0;
+/// Quantiles over one µs-bucketed histogram snapshot, shared by the JSON
+/// renderer.
+struct Quantiles {
   double p50 = 0, p90 = 0, p99 = 0;
 };
 
-LatencySnapshot snapshot_histogram(
-    const std::array<std::atomic<std::uint64_t>, kLatencyBucketCount>& cells,
-    const std::atomic<std::uint64_t>& total_us) {
-  LatencySnapshot snap;
-  for (std::size_t i = 0; i < kLatencyBucketCount; ++i) {
-    snap.counts[i] = cells[i].load(std::memory_order_relaxed);
-  }
-  snap.total_us = total_us.load(std::memory_order_relaxed);
-  snap.p50 = obs::quantile_from_buckets(snap.counts.data(), kLatencyBucketCount,
-                                        kLatencyBucketUpperUs.data(), 0.50);
-  snap.p90 = obs::quantile_from_buckets(snap.counts.data(), kLatencyBucketCount,
-                                        kLatencyBucketUpperUs.data(), 0.90);
-  snap.p99 = obs::quantile_from_buckets(snap.counts.data(), kLatencyBucketCount,
-                                        kLatencyBucketUpperUs.data(), 0.99);
-  return snap;
+Quantiles quantiles_of(const std::array<std::uint64_t, kLatencyBucketCount>&
+                           counts) {
+  Quantiles q;
+  q.p50 = obs::quantile_from_buckets(counts.data(), kLatencyBucketCount,
+                                     kLatencyBucketUpperUs.data(), 0.50);
+  q.p90 = obs::quantile_from_buckets(counts.data(), kLatencyBucketCount,
+                                     kLatencyBucketUpperUs.data(), 0.90);
+  q.p99 = obs::quantile_from_buckets(counts.data(), kLatencyBucketCount,
+                                     kLatencyBucketUpperUs.data(), 0.99);
+  return q;
 }
 
-void write_histogram_json(report::JsonWriter& w, const LatencySnapshot& snap) {
+void write_histogram_json(
+    report::JsonWriter& w,
+    const std::array<std::uint64_t, kLatencyBucketCount>& counts,
+    std::uint64_t total_us) {
+  const Quantiles q = quantiles_of(counts);
   w.key("buckets").begin_array();
   for (std::size_t i = 0; i < kLatencyBucketCount; ++i) {
     w.begin_object();
@@ -42,14 +40,21 @@ void write_histogram_json(report::JsonWriter& w, const LatencySnapshot& snap) {
     } else {
       w.key("le").value("inf");
     }
-    w.key("count").value(snap.counts[i]);
+    w.key("count").value(counts[i]);
     w.end_object();
   }
   w.end_array();
-  w.key("total_us").value(snap.total_us);
-  w.key("p50_us").value(snap.p50);
-  w.key("p90_us").value(snap.p90);
-  w.key("p99_us").value(snap.p99);
+  w.key("total_us").value(total_us);
+  w.key("p50_us").value(q.p50);
+  w.key("p90_us").value(q.p90);
+  w.key("p99_us").value(q.p99);
+}
+
+std::size_t latency_bucket_of(std::uint64_t micros) {
+  for (std::size_t i = 0; i < kLatencyBucketUpperUs.size(); ++i) {
+    if (micros <= kLatencyBucketUpperUs[i]) return i;
+  }
+  return kLatencyBucketUpperUs.size();
 }
 
 }  // namespace
@@ -63,6 +68,8 @@ const char* to_string(Endpoint endpoint) {
     case Endpoint::kMetrics: return "metrics";
     case Endpoint::kTrace: return "trace";
     case Endpoint::kParsdiff: return "parsdiff";
+    case Endpoint::kTimeseries: return "timeseries";
+    case Endpoint::kFlight: return "flight";
     case Endpoint::kOther: return "other";
   }
   return "other";
@@ -91,26 +98,13 @@ void Metrics::record_response(int status, std::uint64_t micros) {
   } else {
     responses_2xx_.fetch_add(1, std::memory_order_relaxed);
   }
-  std::size_t bucket = kLatencyBucketUpperUs.size();
-  for (std::size_t i = 0; i < kLatencyBucketUpperUs.size(); ++i) {
-    if (micros <= kLatencyBucketUpperUs[i]) {
-      bucket = i;
-      break;
-    }
-  }
-  latency_[bucket].fetch_add(1, std::memory_order_relaxed);
+  latency_[latency_bucket_of(micros)].fetch_add(1, std::memory_order_relaxed);
   latency_total_us_.fetch_add(micros, std::memory_order_relaxed);
 }
 
 void Metrics::record_queue_wait(std::uint64_t micros) {
-  std::size_t bucket = kLatencyBucketUpperUs.size();
-  for (std::size_t i = 0; i < kLatencyBucketUpperUs.size(); ++i) {
-    if (micros <= kLatencyBucketUpperUs[i]) {
-      bucket = i;
-      break;
-    }
-  }
-  queue_wait_[bucket].fetch_add(1, std::memory_order_relaxed);
+  queue_wait_[latency_bucket_of(micros)].fetch_add(1,
+                                                   std::memory_order_relaxed);
   queue_wait_total_us_.fetch_add(micros, std::memory_order_relaxed);
 }
 
@@ -164,55 +158,160 @@ void Metrics::record_eviction(Eviction kind) {
       1, std::memory_order_relaxed);
 }
 
+void Metrics::record_loop_tick(std::uint64_t micros) {
+  // Single writer (the loop thread); relaxed load+store skips the
+  // lock-prefixed RMW, same idiom as the tracer's stage cells.
+  loop_ticks_.store(loop_ticks_.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+  auto& bucket = loop_tick_[latency_bucket_of(micros)];
+  bucket.store(bucket.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+  loop_tick_total_us_.store(
+      loop_tick_total_us_.load(std::memory_order_relaxed) + micros,
+      std::memory_order_relaxed);
+}
+
+void Metrics::record_poll_batch(std::size_t events) {
+  std::size_t bucket = kBatchBucketUpper.size();
+  for (std::size_t i = 0; i < kBatchBucketUpper.size(); ++i) {
+    if (events <= kBatchBucketUpper[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  auto& cell = poll_batch_[bucket];
+  cell.store(cell.load(std::memory_order_relaxed) + 1,
+             std::memory_order_relaxed);
+  poll_waits_.store(poll_waits_.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+  poll_events_total_.store(
+      poll_events_total_.load(std::memory_order_relaxed) + events,
+      std::memory_order_relaxed);
+}
+
+void Metrics::note_wheel_pending(std::size_t pending) {
+  wheel_pending_.store(pending, std::memory_order_relaxed);
+}
+
+void Metrics::record_pump_stall() {
+  pump_stalls_.store(pump_stalls_.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+}
+
+double Metrics::uptime_seconds() const {
+  return std::chrono::duration<double>(Clock::now() - started_at_).count();
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  MetricsSnapshot s;
+  s.requests_total = requests_total_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kEndpointCount; ++i) {
+    s.by_endpoint[i] = by_endpoint_[i].load(std::memory_order_relaxed);
+  }
+  s.responses_2xx = responses_2xx_.load(std::memory_order_relaxed);
+  s.responses_4xx = responses_4xx_.load(std::memory_order_relaxed);
+  s.responses_5xx = responses_5xx_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.client_disconnects = client_disconnects_.load(std::memory_order_relaxed);
+  s.write_failures = write_failures_.load(std::memory_order_relaxed);
+  s.worker_recoveries = worker_recoveries_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kLatencyBucketCount; ++i) {
+    s.latency[i] = latency_[i].load(std::memory_order_relaxed);
+    s.queue_wait[i] = queue_wait_[i].load(std::memory_order_relaxed);
+    s.loop_tick[i] = loop_tick_[i].load(std::memory_order_relaxed);
+  }
+  s.latency_total_us = latency_total_us_.load(std::memory_order_relaxed);
+  s.queue_wait_total_us = queue_wait_total_us_.load(std::memory_order_relaxed);
+  s.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
+  s.accept_errors = accept_errors_.load(std::memory_order_relaxed);
+  s.fd_exhausted = fd_exhausted_.load(std::memory_order_relaxed);
+  s.connections_open = connections_open_.load(std::memory_order_relaxed);
+  s.connections_peak = connections_peak_.load(std::memory_order_relaxed);
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kEvictionKindCount; ++i) {
+    s.evictions[i] = evictions_[i].load(std::memory_order_relaxed);
+  }
+  s.loop_ticks = loop_ticks_.load(std::memory_order_relaxed);
+  s.loop_tick_total_us = loop_tick_total_us_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kBatchBucketCount; ++i) {
+    s.poll_batch[i] = poll_batch_[i].load(std::memory_order_relaxed);
+  }
+  s.poll_waits = poll_waits_.load(std::memory_order_relaxed);
+  s.poll_events_total = poll_events_total_.load(std::memory_order_relaxed);
+  s.wheel_pending = wheel_pending_.load(std::memory_order_relaxed);
+  s.pump_stalls = pump_stalls_.load(std::memory_order_relaxed);
+  s.uptime_seconds = uptime_seconds();
+  return s;
+}
+
 std::string Metrics::to_json(const CacheStats& cache,
                              const net::FetchStats& aia,
                              const crypto::VerifySnapshot& verify) const {
+  const MetricsSnapshot s = snapshot();
   report::JsonWriter w;
   w.begin_object();
 
+  w.key("uptime_seconds").value(s.uptime_seconds);
+
   w.key("requests").begin_object();
-  w.key("total").value(requests_total());
+  w.key("total").value(s.requests_total);
   for (std::size_t i = 0; i < kEndpointCount; ++i) {
-    w.key(to_string(static_cast<Endpoint>(i)))
-        .value(by_endpoint_[i].load(std::memory_order_relaxed));
+    w.key(to_string(static_cast<Endpoint>(i))).value(s.by_endpoint[i]);
   }
   w.end_object();
 
   w.key("responses").begin_object();
-  w.key("2xx").value(responses_2xx_.load(std::memory_order_relaxed));
-  w.key("4xx").value(responses_4xx_.load(std::memory_order_relaxed));
-  w.key("5xx").value(responses_5xx_.load(std::memory_order_relaxed));
-  w.key("rejected_busy").value(rejected_.load(std::memory_order_relaxed));
+  w.key("2xx").value(s.responses_2xx);
+  w.key("4xx").value(s.responses_4xx);
+  w.key("5xx").value(s.responses_5xx);
+  w.key("rejected_busy").value(s.rejected);
   w.end_object();
 
   w.key("latency_us").begin_object();
-  write_histogram_json(w, snapshot_histogram(latency_, latency_total_us_));
+  write_histogram_json(w, s.latency, s.latency_total_us);
   w.end_object();
 
   w.key("queue_wait_us").begin_object();
-  write_histogram_json(w,
-                       snapshot_histogram(queue_wait_, queue_wait_total_us_));
+  write_histogram_json(w, s.queue_wait, s.queue_wait_total_us);
   w.end_object();
 
   w.key("queue").begin_object();
-  w.key("high_water_mark").value(queue_high_water());
+  w.key("high_water_mark").value(s.queue_high_water);
   w.end_object();
 
   w.key("connections").begin_object();
-  w.key("disconnects_midrequest")
-      .value(client_disconnects_.load(std::memory_order_relaxed));
-  w.key("write_failures")
-      .value(write_failures_.load(std::memory_order_relaxed));
-  w.key("worker_recoveries")
-      .value(worker_recoveries_.load(std::memory_order_relaxed));
-  w.key("open").value(connections_open());
-  w.key("peak").value(connections_peak());
-  w.key("accepted").value(connections_accepted());
-  w.key("accept_errors").value(accept_errors());
-  w.key("fd_exhausted").value(fd_exhausted());
-  w.key("evicted_slow_read").value(evictions(Eviction::kSlowRead));
-  w.key("evicted_slow_write").value(evictions(Eviction::kSlowWrite));
-  w.key("evicted_idle").value(evictions(Eviction::kIdle));
+  w.key("disconnects_midrequest").value(s.client_disconnects);
+  w.key("write_failures").value(s.write_failures);
+  w.key("worker_recoveries").value(s.worker_recoveries);
+  w.key("open").value(s.connections_open);
+  w.key("peak").value(s.connections_peak);
+  w.key("accepted").value(s.connections_accepted);
+  w.key("accept_errors").value(s.accept_errors);
+  w.key("fd_exhausted").value(s.fd_exhausted);
+  w.key("evicted_slow_read")
+      .value(s.evictions[static_cast<std::size_t>(Eviction::kSlowRead)]);
+  w.key("evicted_slow_write")
+      .value(s.evictions[static_cast<std::size_t>(Eviction::kSlowWrite)]);
+  w.key("evicted_idle")
+      .value(s.evictions[static_cast<std::size_t>(Eviction::kIdle)]);
+  w.end_object();
+
+  w.key("loop").begin_object();
+  w.key("ticks").value(s.loop_ticks);
+  w.key("tick_us").begin_object();
+  write_histogram_json(w, s.loop_tick, s.loop_tick_total_us);
+  w.end_object();
+  w.key("poll_waits").value(s.poll_waits);
+  w.key("poll_events_total").value(s.poll_events_total);
+  w.key("wheel_pending").value(s.wheel_pending);
+  w.key("pump_stalls").value(s.pump_stalls);
+  w.end_object();
+
+  w.key("events").begin_object();
+  w.key("emitted").value(obs::EventLog::instance().emitted());
+  w.key("sink_written").value(obs::EventLog::instance().sink_written());
+  w.key("sink_suppressed").value(obs::EventLog::instance().sink_suppressed());
   w.end_object();
 
   w.key("aia").begin_object();
@@ -257,91 +356,108 @@ std::string Metrics::to_json(const CacheStats& cache,
 std::string Metrics::to_prometheus(const CacheStats& cache,
                                    const net::FetchStats& aia,
                                    const crypto::VerifySnapshot& verify) const {
+  const MetricsSnapshot s = snapshot();
   obs::PromWriter w;
+
+  w.family("chainchaos_uptime_seconds",
+           "Seconds since the server started", "gauge");
+  w.sample("chainchaos_uptime_seconds", {}, s.uptime_seconds);
 
   w.family("chainchaos_requests_total", "Requests received by endpoint",
            "counter");
   for (std::size_t i = 0; i < kEndpointCount; ++i) {
     w.sample("chainchaos_requests_total",
              {{"endpoint", to_string(static_cast<Endpoint>(i))}},
-             by_endpoint_[i].load(std::memory_order_relaxed));
+             s.by_endpoint[i]);
   }
 
   w.family("chainchaos_responses_total", "Responses sent by status class",
            "counter");
-  w.sample("chainchaos_responses_total", {{"class", "2xx"}},
-           responses_2xx_.load(std::memory_order_relaxed));
-  w.sample("chainchaos_responses_total", {{"class", "4xx"}},
-           responses_4xx_.load(std::memory_order_relaxed));
-  w.sample("chainchaos_responses_total", {{"class", "5xx"}},
-           responses_5xx_.load(std::memory_order_relaxed));
+  w.sample("chainchaos_responses_total", {{"class", "2xx"}}, s.responses_2xx);
+  w.sample("chainchaos_responses_total", {{"class", "4xx"}}, s.responses_4xx);
+  w.sample("chainchaos_responses_total", {{"class", "5xx"}}, s.responses_5xx);
 
   w.family("chainchaos_rejected_total",
            "Connections answered 503 because the queue was full", "counter");
-  w.sample("chainchaos_rejected_total", {}, rejected_total());
+  w.sample("chainchaos_rejected_total", {}, s.rejected);
 
   w.family("chainchaos_client_disconnects_total",
            "Mid-request client disconnects", "counter");
-  w.sample("chainchaos_client_disconnects_total", {}, client_disconnects());
+  w.sample("chainchaos_client_disconnects_total", {}, s.client_disconnects);
 
   w.family("chainchaos_write_failures_total",
            "Responses lost to write errors or deadlines", "counter");
-  w.sample("chainchaos_write_failures_total", {}, write_failures());
+  w.sample("chainchaos_write_failures_total", {}, s.write_failures);
 
   w.family("chainchaos_worker_recoveries_total",
            "Worker threads that absorbed an unexpected handler error",
            "counter");
-  w.sample("chainchaos_worker_recoveries_total", {}, worker_recoveries());
+  w.sample("chainchaos_worker_recoveries_total", {}, s.worker_recoveries);
 
   w.family("chainchaos_queue_high_water", "Request queue depth high-water mark",
            "gauge");
-  w.sample("chainchaos_queue_high_water", {}, queue_high_water());
+  w.sample("chainchaos_queue_high_water", {}, s.queue_high_water);
 
   w.family("chainchaos_connections_open", "Connections currently admitted",
            "gauge");
-  w.sample("chainchaos_connections_open", {}, connections_open());
+  w.sample("chainchaos_connections_open", {}, s.connections_open);
 
   w.family("chainchaos_connections_peak",
            "High-water mark of concurrently open connections", "gauge");
-  w.sample("chainchaos_connections_peak", {}, connections_peak());
+  w.sample("chainchaos_connections_peak", {}, s.connections_peak);
 
   w.family("chainchaos_connections_accepted_total",
            "Connections admitted into the event loop", "counter");
   w.sample("chainchaos_connections_accepted_total", {},
-           connections_accepted());
+           s.connections_accepted);
 
   w.family("chainchaos_accept_errors_total",
            "accept() failures other than EAGAIN/EINTR", "counter");
-  w.sample("chainchaos_accept_errors_total", {}, accept_errors());
+  w.sample("chainchaos_accept_errors_total", {}, s.accept_errors);
 
   w.family("chainchaos_fd_exhausted_total",
            "accept() EMFILE/ENFILE events absorbed by the reserved fd",
            "counter");
-  w.sample("chainchaos_fd_exhausted_total", {}, fd_exhausted());
+  w.sample("chainchaos_fd_exhausted_total", {}, s.fd_exhausted);
 
   w.family("chainchaos_evictions_total",
            "Connections closed by the event loop for missing a deadline",
            "counter");
   w.sample("chainchaos_evictions_total", {{"kind", "slow_read"}},
-           evictions(Eviction::kSlowRead));
+           s.evictions[static_cast<std::size_t>(Eviction::kSlowRead)]);
   w.sample("chainchaos_evictions_total", {{"kind", "slow_write"}},
-           evictions(Eviction::kSlowWrite));
+           s.evictions[static_cast<std::size_t>(Eviction::kSlowWrite)]);
   w.sample("chainchaos_evictions_total", {{"kind", "idle"}},
-           evictions(Eviction::kIdle));
+           s.evictions[static_cast<std::size_t>(Eviction::kIdle)]);
 
-  const LatencySnapshot latency =
-      snapshot_histogram(latency_, latency_total_us_);
   w.histogram("chainchaos_request_duration_seconds",
               "Handler time per response (parse to send)", {},
-              latency.counts.data(), kLatencyBucketCount,
-              kLatencyBucketUpperUs.data(), 1e6, latency.total_us);
+              s.latency.data(), kLatencyBucketCount,
+              kLatencyBucketUpperUs.data(), 1e6, s.latency_total_us);
 
-  const LatencySnapshot queue_wait =
-      snapshot_histogram(queue_wait_, queue_wait_total_us_);
   w.histogram("chainchaos_queue_wait_seconds",
               "Time connections sat in the accept queue", {},
-              queue_wait.counts.data(), kLatencyBucketCount,
-              kLatencyBucketUpperUs.data(), 1e6, queue_wait.total_us);
+              s.queue_wait.data(), kLatencyBucketCount,
+              kLatencyBucketUpperUs.data(), 1e6, s.queue_wait_total_us);
+
+  w.histogram("chainchaos_loop_tick_duration_seconds",
+              "Event-loop busy time per iteration (wait excluded)", {},
+              s.loop_tick.data(), kLatencyBucketCount,
+              kLatencyBucketUpperUs.data(), 1e6, s.loop_tick_total_us);
+
+  w.histogram("chainchaos_poll_batch_size",
+              "Ready events returned per epoll_wait wakeup", {},
+              s.poll_batch.data(), kBatchBucketCount, kBatchBucketUpper.data(),
+              1.0, s.poll_events_total);
+
+  w.family("chainchaos_timeout_wheel_pending",
+           "Connections parked in the timeout wheel", "gauge");
+  w.sample("chainchaos_timeout_wheel_pending", {}, s.wheel_pending);
+
+  w.family("chainchaos_pump_stalls_total",
+           "Loop iterations whose busy time exceeded the poll interval",
+           "counter");
+  w.sample("chainchaos_pump_stalls_total", {}, s.pump_stalls);
 
   w.family("chainchaos_cache_operations_total",
            "Result cache lookups and mutations", "counter");
@@ -398,6 +514,53 @@ std::string Metrics::to_prometheus(const CacheStats& cache,
            verify.computation.classic);
 
   return w.take();
+}
+
+std::vector<std::string> timeseries_columns() {
+  std::vector<std::string> columns = {
+      "requests_total", "responses_2xx",        "responses_4xx",
+      "responses_5xx",  "rejected_busy",        "connections_open",
+      "connections_accepted", "evictions_total", "queue_high_water",
+      "cache_hits",     "cache_misses",         "cache_evictions",
+      "cache_entries",  "aia_attempts",         "verify_verifications",
+      "latency_total_us", "loop_ticks",         "pump_stalls",
+      "wheel_pending",  "events_emitted",
+  };
+  for (std::size_t i = 0; i < kLatencyBucketCount; ++i) {
+    columns.push_back("latency_bucket_" + std::to_string(i));
+  }
+  return columns;
+}
+
+std::vector<std::uint64_t> timeseries_row(
+    const MetricsSnapshot& m, const CacheStats& cache,
+    const net::FetchStats& aia, const crypto::VerifySnapshot& verify) {
+  std::vector<std::uint64_t> row = {
+      m.requests_total,
+      m.responses_2xx,
+      m.responses_4xx,
+      m.responses_5xx,
+      m.rejected,
+      m.connections_open,
+      m.connections_accepted,
+      m.evictions_total(),
+      m.queue_high_water,
+      cache.hits,
+      cache.misses,
+      cache.evictions,
+      cache.entries,
+      aia.attempts,
+      verify.computation.verifications,
+      m.latency_total_us,
+      m.loop_ticks,
+      m.pump_stalls,
+      m.wheel_pending,
+      obs::EventLog::instance().emitted(),
+  };
+  for (std::size_t i = 0; i < kLatencyBucketCount; ++i) {
+    row.push_back(m.latency[i]);
+  }
+  return row;
 }
 
 }  // namespace chainchaos::service

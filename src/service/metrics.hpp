@@ -6,12 +6,20 @@
 // merely slightly-stale snapshot. Latency lands in fixed log-spaced
 // microsecond buckets (a poor man's histogram: enough for p50/p99-style
 // eyeballing without dynamic allocation on the hot path).
+//
+// All renderers (JSON, Prometheus, the chainwatch time-series row) go
+// through one MetricsSnapshot: every atomic is loaded exactly once per
+// export, so consumers differencing consecutive exports (chainq watch)
+// can never see a counter move backwards between two fields of the same
+// document.
 #pragma once
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "crypto/verifier.hpp"
 #include "net/aia_repository.hpp"
@@ -21,9 +29,9 @@ namespace chainchaos::service {
 
 /// Endpoint slots for per-endpoint request counters.
 enum class Endpoint { kAnalyze, kLint, kStats, kHealth, kMetrics, kTrace,
-                      kParsdiff, kOther };
+                      kParsdiff, kTimeseries, kFlight, kOther };
 
-inline constexpr std::size_t kEndpointCount = 8;
+inline constexpr std::size_t kEndpointCount = 10;
 
 const char* to_string(Endpoint endpoint);
 
@@ -35,6 +43,13 @@ inline constexpr std::array<std::uint64_t, 8> kLatencyBucketUpperUs = {
 inline constexpr std::size_t kLatencyBucketCount =
     kLatencyBucketUpperUs.size() + 1;
 
+/// Upper bounds of the epoll_wait batch-size buckets (events returned
+/// per wakeup); the last bucket is unbounded.
+inline constexpr std::array<std::uint64_t, 8> kBatchBucketUpper = {
+    1, 2, 4, 8, 16, 32, 64, 128};
+
+inline constexpr std::size_t kBatchBucketCount = kBatchBucketUpper.size() + 1;
+
 /// Why the event loop forcibly closed a connection (DESIGN.md §5.15):
 /// a frame that dripped in slower than the read deadline, a peer that
 /// would not drain its response before the write deadline, or a
@@ -44,6 +59,49 @@ enum class Eviction { kSlowRead, kSlowWrite, kIdle };
 inline constexpr std::size_t kEvictionKindCount = 3;
 
 const char* to_string(Eviction kind);
+
+/// One coherent read of every counter. Each atomic is loaded exactly
+/// once to build this, so the fields are mutually consistent in the
+/// only sense that matters for rate computation: no counter appears
+/// older in a later export than it did in an earlier one.
+struct MetricsSnapshot {
+  std::uint64_t requests_total = 0;
+  std::array<std::uint64_t, kEndpointCount> by_endpoint{};
+  std::uint64_t responses_2xx = 0;
+  std::uint64_t responses_4xx = 0;
+  std::uint64_t responses_5xx = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t client_disconnects = 0;
+  std::uint64_t write_failures = 0;
+  std::uint64_t worker_recoveries = 0;
+  std::array<std::uint64_t, kLatencyBucketCount> latency{};
+  std::uint64_t latency_total_us = 0;
+  std::array<std::uint64_t, kLatencyBucketCount> queue_wait{};
+  std::uint64_t queue_wait_total_us = 0;
+  std::uint64_t queue_high_water = 0;
+  std::uint64_t accept_errors = 0;
+  std::uint64_t fd_exhausted = 0;
+  std::uint64_t connections_open = 0;
+  std::uint64_t connections_peak = 0;
+  std::uint64_t connections_accepted = 0;
+  std::array<std::uint64_t, kEvictionKindCount> evictions{};
+  // Event-loop health (DESIGN.md §5.16).
+  std::uint64_t loop_ticks = 0;
+  std::array<std::uint64_t, kLatencyBucketCount> loop_tick{};
+  std::uint64_t loop_tick_total_us = 0;
+  std::array<std::uint64_t, kBatchBucketCount> poll_batch{};
+  std::uint64_t poll_waits = 0;
+  std::uint64_t poll_events_total = 0;
+  std::uint64_t wheel_pending = 0;
+  std::uint64_t pump_stalls = 0;
+  double uptime_seconds = 0.0;
+
+  std::uint64_t evictions_total() const {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t count : evictions) sum += count;
+    return sum;
+  }
+};
 
 class Metrics {
  public:
@@ -93,6 +151,20 @@ class Metrics {
   /// The event loop evicted a connection for missing a deadline.
   void record_eviction(Eviction kind);
 
+  /// One full event-loop iteration's busy time (dispatch + completions
+  /// + deadlines, excluding the blocking wait itself).
+  void record_loop_tick(std::uint64_t micros);
+
+  /// epoll_wait returned `events` ready events in one wakeup.
+  void record_poll_batch(std::size_t events);
+
+  /// Timeout-wheel occupancy at the end of a loop tick (gauge).
+  void note_wheel_pending(std::size_t pending);
+
+  /// A loop tick's busy time exceeded the poll interval — the pump
+  /// could not keep up with its own cadence.
+  void record_pump_stall();
+
   std::uint64_t requests_total() const {
     return requests_total_.load(std::memory_order_relaxed);
   }
@@ -130,14 +202,26 @@ class Metrics {
     return evictions_[static_cast<std::size_t>(kind)].load(
         std::memory_order_relaxed);
   }
+  std::uint64_t loop_ticks() const {
+    return loop_ticks_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t pump_stalls() const {
+    return pump_stalls_.load(std::memory_order_relaxed);
+  }
+
+  /// Seconds since this Metrics object was constructed (server start).
+  double uptime_seconds() const;
+
+  /// One coherent read of every counter (see MetricsSnapshot).
+  MetricsSnapshot snapshot() const;
 
   /// Renders the full metrics document (request counters, status
   /// classes, latency buckets, queue high-water mark, connection
-  /// robustness counters, cache counters, AIA fetch/retry counters,
-  /// signature-verification memo counters) as one JSON object via
-  /// report::JsonWriter. `aia` is the snapshot of the handler's
-  /// repository (all-zero when the service runs without AIA
-  /// completion); `verify` the crypto::verify_snapshot() of the
+  /// robustness counters, event-loop health, uptime, cache counters,
+  /// AIA fetch/retry counters, signature-verification memo counters) as
+  /// one JSON object via report::JsonWriter. `aia` is the snapshot of
+  /// the handler's repository (all-zero when the service runs without
+  /// AIA completion); `verify` the crypto::verify_snapshot() of the
   /// process.
   std::string to_json(const CacheStats& cache,
                       const net::FetchStats& aia = net::FetchStats{},
@@ -153,6 +237,8 @@ class Metrics {
                                 crypto::VerifySnapshot{}) const;
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   std::atomic<std::uint64_t> requests_total_{0};
   std::array<std::atomic<std::uint64_t>, kEndpointCount> by_endpoint_{};
   std::atomic<std::uint64_t> responses_2xx_{0};
@@ -173,6 +259,30 @@ class Metrics {
   std::atomic<std::uint64_t> connections_peak_{0};
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::array<std::atomic<std::uint64_t>, kEvictionKindCount> evictions_{};
+  std::atomic<std::uint64_t> loop_ticks_{0};
+  std::array<std::atomic<std::uint64_t>, kLatencyBucketCount> loop_tick_{};
+  std::atomic<std::uint64_t> loop_tick_total_us_{0};
+  std::array<std::atomic<std::uint64_t>, kBatchBucketCount> poll_batch_{};
+  std::atomic<std::uint64_t> poll_waits_{0};
+  std::atomic<std::uint64_t> poll_events_total_{0};
+  std::atomic<std::uint64_t> wheel_pending_{0};
+  std::atomic<std::uint64_t> pump_stalls_{0};
+  Clock::time_point started_at_ = Clock::now();
 };
+
+/// Retained window of the chainwatch per-second time-series ring: five
+/// minutes at one sample per second.
+inline constexpr std::size_t kTimeseriesWindowSeconds = 300;
+
+/// Column names of one time-series row, in the order timeseries_row()
+/// fills them. Shared by the Server (ring construction) and tests.
+std::vector<std::string> timeseries_columns();
+
+/// One time-series row sampled from coherent snapshots of the four
+/// counter domains. Values align 1:1 with timeseries_columns().
+std::vector<std::uint64_t> timeseries_row(const MetricsSnapshot& m,
+                                          const CacheStats& cache,
+                                          const net::FetchStats& aia,
+                                          const crypto::VerifySnapshot& verify);
 
 }  // namespace chainchaos::service

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "obs/event_log.hpp"
 #include "obs/trace.hpp"
 #include "service/event_loop.hpp"
 #include "support/str.hpp"
@@ -38,6 +39,10 @@ bool set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
+
+/// One relaxed load; the chainwatch emission sites below all hide
+/// behind it so the event log costs nothing while disabled.
+bool events_on() { return obs::EventLog::instance().enabled(); }
 
 }  // namespace
 
@@ -110,10 +115,19 @@ struct Server::Loop {
   }
 
   void run() {
+    const auto sample_interval =
+        std::chrono::milliseconds(srv.config_.sample_interval_ms);
+    auto next_sample = Clock::now();
     while (true) {
       if (srv.stopping_.load() && !drain_started) begin_drain();
       if (drain_started && conns.empty() && inflight == 0) break;
       poller.wait(events, kPollIntervalMs);
+      // Everything below the wait is the tick's busy time: dispatch,
+      // completion merging, deadline sweeps, and the 1 Hz time-series
+      // sample. A tick busier than the poll interval means the pump is
+      // late for its own cadence — that is the stall counter.
+      const auto woke = Clock::now();
+      srv.metrics_.record_poll_batch(events.size());
       for (const Poller::Event& ev : events) {
         if (ev.tag == kListenTag) {
           accept_ready();
@@ -125,6 +139,17 @@ struct Server::Loop {
       }
       drain_completions();
       check_deadlines();
+      if (srv.config_.sample_interval_ms > 0 && woke >= next_sample) {
+        srv.sample_timeseries();
+        next_sample = woke + sample_interval;
+      }
+      const auto busy_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Clock::now() - woke)
+              .count();
+      srv.metrics_.record_loop_tick(static_cast<std::uint64_t>(busy_us));
+      if (busy_us > kPollIntervalMs * 1000) srv.metrics_.record_pump_stall();
+      srv.metrics_.note_wheel_pending(wheel.pending());
     }
   }
 
@@ -153,6 +178,11 @@ struct Server::Loop {
     ::close(it->second.fd);
     srv.metrics_.record_connection_close();
     conns.erase(it);
+    if (events_on()) {
+      obs::EventLog::instance().emit(obs::EventLevel::kDebug, "conn.close",
+                                     responses_lost ? "responses_lost" : "",
+                                     0, id);
+    }
   }
 
   /// True when closing this connection now would lose responses the
@@ -224,6 +254,10 @@ struct Server::Loop {
       wheel.schedule(id, conns[id].read_deadline);
       poller.add(fd, id, /*want_read=*/true, /*want_write=*/false);
       srv.metrics_.record_connection_open();
+      if (events_on()) {
+        obs::EventLog::instance().emit(obs::EventLevel::kInfo, "conn.open",
+                                       "", 0, id);
+      }
     }
   }
 
@@ -231,6 +265,10 @@ struct Server::Loop {
   /// socket never enters the loop, so the send must not block.
   void shed(int fd) {
     srv.metrics_.record_rejected();
+    if (events_on()) {
+      obs::EventLog::instance().emit(obs::EventLevel::kWarn, "conn.shed",
+                                     "admission");
+    }
     const Bytes wire =
         busy_response(srv.config_.retry_after_seconds).encode();
     (void)::send(fd, wire.data(), wire.size(),
@@ -370,6 +408,14 @@ struct Server::Loop {
       trace_header = it->second;
     }
     const bool asked_close = net::wants_close(request.headers);
+    const std::uint64_t event_trace =
+        trace_header.empty() ? 0 : obs::trace_id_from_string(trace_header);
+    if (events_on()) {
+      // The access-log line: one event per parsed request frame.
+      obs::EventLog::instance().emit(obs::EventLevel::kInfo, "request",
+                                     request.method + " " + request.target,
+                                     0, c.id, event_trace);
+    }
 
     bool queued = false;
     {
@@ -396,6 +442,10 @@ struct Server::Loop {
     // request's slot and — unlike the admission path — does not close,
     // so pipelined successors stay in sync.
     srv.metrics_.record_rejected();
+    if (events_on()) {
+      obs::EventLog::instance().emit(obs::EventLevel::kWarn, "queue.full",
+                                     request.target, 0, c.id, event_trace);
+    }
     net::HttpResponse busy = busy_response(srv.config_.retry_after_seconds);
     const bool close_after = asked_close || srv.stopping_.load();
     if (!close_after) busy.headers.erase("connection");
@@ -468,6 +518,12 @@ struct Server::Loop {
                 .count();
         srv.metrics_.record_response(slot.status,
                                      static_cast<std::uint64_t>(micros));
+        if (events_on()) {
+          obs::EventLog::instance().emit(obs::EventLevel::kInfo, "response",
+                                         "",
+                                         static_cast<std::uint64_t>(slot.status),
+                                         c.id);
+        }
       }
       const bool close_after = slot.close_after;
       c.slots.pop_front();
@@ -578,6 +634,13 @@ struct Server::Loop {
     }
   }
 
+  static void note_eviction(Eviction kind, std::uint64_t id) {
+    if (events_on()) {
+      obs::EventLog::instance().emit(obs::EventLevel::kWarn, "conn.evict",
+                                     to_string(kind), 0, id);
+    }
+  }
+
   void check_deadlines() {
     const auto now = Clock::now();
     due.clear();
@@ -591,6 +654,7 @@ struct Server::Loop {
         // client): the response is lost, the connection goes.
         srv.metrics_.record_eviction(Eviction::kSlowWrite);
         srv.metrics_.record_write_failure();
+        note_eviction(Eviction::kSlowWrite, id);
         close_conn(id, false);
         continue;
       }
@@ -599,9 +663,11 @@ struct Server::Loop {
           // Slow-loris: the frame's first byte is older than the read
           // timeout and it still has not completed.
           srv.metrics_.record_eviction(Eviction::kSlowRead);
+          note_eviction(Eviction::kSlowRead, id);
           close_conn(id, owes_responses(c));
         } else {
           srv.metrics_.record_eviction(Eviction::kIdle);
+          note_eviction(Eviction::kIdle, id);
           close_conn(id, false);
         }
         continue;
@@ -616,10 +682,33 @@ struct Server::Loop {
 // Server lifecycle
 // ---------------------------------------------------------------------------
 
+namespace {
+
+HandlerOptions with_timeseries(HandlerOptions options,
+                               const obs::TimeSeriesRing* ring) {
+  options.timeseries = ring;
+  return options;
+}
+
+}  // namespace
+
 Server::Server(ServerConfig config)
     : config_(config),
       cache_(config.cache_capacity, config.cache_shards),
-      handler_(config.handler, &cache_, &metrics_) {}
+      timeseries_(timeseries_columns(), kTimeseriesWindowSeconds),
+      handler_(with_timeseries(config.handler, &timeseries_), &cache_,
+               &metrics_) {}
+
+void Server::sample_timeseries() {
+  const MetricsSnapshot m = metrics_.snapshot();
+  const CacheStats cache = cache_.stats();
+  const net::FetchStats aia = config_.handler.aia != nullptr
+                                  ? config_.handler.aia->stats()
+                                  : net::FetchStats{};
+  timeseries_.push(
+      static_cast<std::uint64_t>(m.uptime_seconds * 1000.0),
+      timeseries_row(m, cache, aia, crypto::verify_snapshot()));
+}
 
 Server::~Server() { stop(); }
 
@@ -753,6 +842,12 @@ void Server::worker_thread() {
           static_cast<std::uint64_t>(wait_us) * 1000);
     }
 #endif
+    // The slow-request watch times everything the worker does for the
+    // request (including the stall seam, which tests use to force a
+    // deterministic "slow handler").
+    const bool watch_slow = config_.slow_request_ms > 0 && events_on();
+    const auto handle_begin = watch_slow ? Clock::now() : Clock::time_point{};
+
     if (config_.handler_stall_ms > 0) {
       // Test seam: makes "worker busy" a deterministic state so overload
       // tests can fill the queue without racing real handler latency.
@@ -799,6 +894,21 @@ void Server::worker_thread() {
     }
     if (!trace_header.empty()) {
       done.response.headers["x-trace-id"] = trace_header;
+    }
+
+    if (watch_slow) {
+      const auto handle_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Clock::now() - handle_begin)
+              .count();
+      if (handle_us >=
+          static_cast<std::int64_t>(config_.slow_request_ms) * 1000) {
+        obs::EventLog::instance().emit(
+            obs::EventLevel::kWarn, "slow_request", item.request.target,
+            static_cast<std::uint64_t>(handle_us), item.conn,
+            trace_header.empty() ? 0
+                                 : obs::trace_id_from_string(trace_header));
+      }
     }
 
     {

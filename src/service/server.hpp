@@ -54,6 +54,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/timeseries.hpp"
 #include "service/handlers.hpp"
 
 namespace chainchaos::service {
@@ -72,6 +73,8 @@ struct ServerConfig {
   std::size_t pipeline_depth = 32;  ///< unanswered requests per connection
   bool force_poll = false;  ///< use poll(2) even where epoll is available
   int handler_stall_ms = 0; ///< test seam: worker sleeps before each handle
+  int sample_interval_ms = 1000;  ///< chainwatch time-series cadence
+  int slow_request_ms = 0;  ///< emit a slow_request event past this; 0 = off
   HandlerOptions handler;
 };
 
@@ -100,6 +103,7 @@ class Server {
 
   Metrics& metrics() { return metrics_; }
   CacheStats cache_stats() const { return cache_.stats(); }
+  const obs::TimeSeriesRing& timeseries() const { return timeseries_; }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -127,9 +131,14 @@ class Server {
   void worker_thread();
   void wake_loop();
 
+  /// Pushes one row of every counter domain into the time-series ring
+  /// (called from the event loop at sample_interval_ms cadence).
+  void sample_timeseries();
+
   ServerConfig config_;
   ResultCache cache_;
   Metrics metrics_;
+  obs::TimeSeriesRing timeseries_;
   RequestHandler handler_;
 
   int listen_fd_ = -1;

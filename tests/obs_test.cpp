@@ -6,12 +6,22 @@
 // and GET /v1/metrics passing the checker.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/event_log.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/histogram.hpp"
 #include "obs/prometheus.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "service/client.hpp"
 #include "service/metrics.hpp"
@@ -505,6 +515,283 @@ TEST(ServiceObsTest, MetricsEndpointPassesExpositionCheck) {
             std::string::npos);
 
   server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// chainwatch: event log, time-series ring, flight recorder (§5.16)
+// ---------------------------------------------------------------------------
+
+/// The event log is process-global, like the tracer: every test starts
+/// from a clean, enabled log and leaves it off.
+class EventLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::EventLog::instance().reset();
+    obs::EventLog::instance().set_enabled(true);
+  }
+  void TearDown() override { obs::EventLog::instance().reset(); }
+};
+
+TEST_F(EventLogTest, RingWrapsKeepingNewest) {
+  obs::EventLog& log = obs::EventLog::instance();
+  log.set_capacity(8);
+  for (int i = 0; i < 20; ++i) {
+    log.emit(obs::EventLevel::kInfo, "test.tick", "detail",
+             static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(log.emitted(), 20u);
+
+  const std::vector<obs::EventRecord> events = log.collect(8);
+  ASSERT_EQ(events.size(), 8u);
+  // Newest window, oldest first: seq 12..19, values matching.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 12 + i);
+    EXPECT_EQ(events[i].value, 12 + i);
+    EXPECT_STREQ(events[i].kind, "test.tick");
+  }
+  // Asking for more than capacity returns what the ring still holds.
+  EXPECT_EQ(log.collect(100).size(), 8u);
+}
+
+TEST_F(EventLogTest, TruncatesOversizeKindAndDetail) {
+  obs::EventLog& log = obs::EventLog::instance();
+  const std::string long_kind(100, 'k');
+  const std::string long_detail(300, 'd');
+  log.emit(obs::EventLevel::kWarn, long_kind, long_detail);
+  const auto events = log.collect(1);
+  ASSERT_EQ(events.size(), 1u);
+  // Truncated to the fixed field sizes, still NUL-terminated.
+  EXPECT_EQ(std::string(events[0].kind).size(), sizeof events[0].kind - 1);
+  EXPECT_EQ(std::string(events[0].detail).size(),
+            sizeof events[0].detail - 1);
+}
+
+TEST_F(EventLogTest, RateLimiterCapsSinkNotRing) {
+  obs::EventLog& log = obs::EventLog::instance();
+  const std::string path =
+      ::testing::TempDir() + "event_log_rate_limit.jsonl";
+  ASSERT_TRUE(log.open_sink(path, /*max_lines_per_sec=*/5));
+  for (int i = 0; i < 50; ++i) {
+    log.emit(obs::EventLevel::kInfo, "test.burst", {});
+  }
+  // Every event landed in the ring; the sink saw at most 5 lines per
+  // wall-clock second (the burst spans at most two windows).
+  EXPECT_EQ(log.emitted(), 50u);
+  EXPECT_LE(log.sink_written(), 10u);
+  EXPECT_GE(log.sink_written(), 1u);
+  EXPECT_EQ(log.sink_written() + log.sink_suppressed(), 50u);
+  log.close_sink();
+
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.find("{\"seq\":"), 0u) << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, log.sink_written());
+  std::remove(path.c_str());
+}
+
+TEST_F(EventLogTest, JsonlOmitsZeroFieldsAndEscapes) {
+  obs::EventRecord r;
+  r.seq = 7;
+  r.t_ns = 123;
+  r.level = obs::EventLevel::kError;
+  std::snprintf(r.kind, sizeof r.kind, "conn.evict");
+  std::snprintf(r.detail, sizeof r.detail, "say \"hi\"");
+  r.value = 42;
+  const std::string line = obs::to_jsonl(r);
+  EXPECT_NE(line.find("\"seq\":7"), std::string::npos);
+  EXPECT_NE(line.find("\"level\":\"error\""), std::string::npos);
+  EXPECT_NE(line.find("\"value\":42"), std::string::npos);
+  EXPECT_NE(line.find("say \\\"hi\\\""), std::string::npos);
+  // conn/trace are zero -> omitted.
+  EXPECT_EQ(line.find("\"conn\""), std::string::npos);
+  EXPECT_EQ(line.find("\"trace\""), std::string::npos);
+}
+
+TEST_F(EventLogTest, RenderEventMetricsPassesChecker) {
+  obs::EventLog& log = obs::EventLog::instance();
+  log.emit(obs::EventLevel::kInfo, "test.metric", {});
+  const std::string text = obs::render_event_metrics();
+  const auto checked = obs::check_exposition(text);
+  ASSERT_TRUE(checked.ok()) << checked.error().to_string() << "\n" << text;
+  EXPECT_NE(text.find("chainchaos_events_emitted_total 1"),
+            std::string::npos);
+}
+
+TEST(TimeSeriesRingTest, WraparoundKeepsNewestWindowInOrder) {
+  obs::TimeSeriesRing ring({"a", "b"}, /*window=*/4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ring.push(/*uptime_ms=*/i * 1000, {i, i * 2});
+  }
+  EXPECT_EQ(ring.pushed(), 10u);
+
+  const auto samples = ring.snapshot();
+  ASSERT_EQ(samples.size(), 4u);
+  // Newest 4, oldest first: seq 6..9.
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].seq, 6 + i);
+    EXPECT_EQ(samples[i].uptime_ms, (6 + i) * 1000);
+    ASSERT_EQ(samples[i].values.size(), 2u);
+    EXPECT_EQ(samples[i].values[0], 6 + i);
+    EXPECT_EQ(samples[i].values[1], (6 + i) * 2);
+  }
+}
+
+TEST(TimeSeriesRingTest, ToJsonIsFlatAndParseable) {
+  obs::TimeSeriesRing ring({"requests_total"}, 8);
+  ring.push(1000, {5});
+  ring.push(2000, {9});
+  const std::string json = ring.to_json();
+  EXPECT_NE(json.find("\"window\":8"), std::string::npos);
+  EXPECT_NE(json.find("\"pushed\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"columns\":[\"requests_total\"]"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"seq\":0,\"uptime_ms\":1000,\"requests_total\":5}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"seq\":1,\"uptime_ms\":2000,\"requests_total\":9}"),
+            std::string::npos);
+}
+
+TEST(TimeSeriesRingTest, ShortRowsArePaddedWithZeroes) {
+  obs::TimeSeriesRing ring({"a", "b", "c"}, 4);
+  ring.push(1, {7});  // fewer values than columns
+  const auto samples = ring.snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  ASSERT_EQ(samples[0].values.size(), 3u);
+  EXPECT_EQ(samples[0].values[0], 7u);
+  EXPECT_EQ(samples[0].values[1], 0u);
+  EXPECT_EQ(samples[0].values[2], 0u);
+}
+
+TEST(ServiceMetricsObsTest, SnapshotIsCoherentAndUptimeMonotone) {
+  service::Metrics metrics;
+  metrics.record_request(service::Endpoint::kAnalyze);
+  metrics.record_response(200, 150);
+  metrics.record_loop_tick(40);
+  metrics.record_poll_batch(3);
+
+  const service::MetricsSnapshot first = metrics.snapshot();
+  EXPECT_EQ(first.requests_total, 1u);
+  EXPECT_EQ(first.responses_2xx, 1u);
+  EXPECT_EQ(first.loop_ticks, 1u);
+  EXPECT_GE(first.uptime_seconds, 0.0);
+
+  metrics.record_loop_tick(80);
+  const service::MetricsSnapshot second = metrics.snapshot();
+  EXPECT_GE(second.uptime_seconds, first.uptime_seconds);
+
+  // Loop-tick histogram monotonicity: every bucket is non-decreasing
+  // between snapshots and the bucket sum always equals loop_ticks.
+  std::uint64_t sum1 = 0, sum2 = 0;
+  for (std::size_t b = 0; b < service::kLatencyBucketCount; ++b) {
+    EXPECT_GE(second.loop_tick[b], first.loop_tick[b]);
+    sum1 += first.loop_tick[b];
+    sum2 += second.loop_tick[b];
+  }
+  EXPECT_EQ(sum1, first.loop_ticks);
+  EXPECT_EQ(sum2, second.loop_ticks);
+  EXPECT_GE(second.loop_tick_total_us, first.loop_tick_total_us);
+}
+
+TEST(ServiceMetricsObsTest, TimeseriesRowMatchesColumns) {
+  service::Metrics metrics;
+  metrics.record_request(service::Endpoint::kAnalyze);
+  metrics.record_response(200, 150);
+  const auto columns = service::timeseries_columns();
+  const auto row = service::timeseries_row(
+      metrics.snapshot(), service::CacheStats{}, net::FetchStats{},
+      crypto::VerifySnapshot{});
+  ASSERT_EQ(columns.size(), row.size());
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == "requests_total") EXPECT_EQ(row[i], 1u);
+    if (columns[i] == "responses_2xx") EXPECT_EQ(row[i], 1u);
+    if (columns[i] == "latency_total_us") EXPECT_EQ(row[i], 150u);
+  }
+}
+
+TEST(FlightRecorderTest, DumpOnForkedCrashingChild) {
+  const std::string path = ::testing::TempDir() + "flight_crash.jsonl";
+  std::remove(path.c_str());
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: arm the recorder, emit what a dying daemon would have in
+    // its ring, and die by SIGSEGV. _exit codes signal setup failures.
+    obs::EventLog::instance().reset();
+    obs::EventLog::instance().set_enabled(true);
+    obs::EventLog::instance().emit(obs::EventLevel::kInfo, "request",
+                                   "POST /v1/analyze", 0, 42, 7);
+    obs::EventLog::instance().emit(obs::EventLevel::kWarn, "crash.watch",
+                                   "about to die");
+    if (!obs::flight::set_dump_path(path.c_str())) ::_exit(97);
+    obs::flight::install_signal_handlers();
+    ::raise(SIGSEGV);
+    ::_exit(98);  // unreachable: the handler re-raises with SIG_DFL
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited with "
+                                   << WEXITSTATUS(status);
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "no flight dump at " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string dump = buffer.str();
+  EXPECT_NE(dump.find("{\"flight\":1,\"signal\":11}"), std::string::npos);
+  EXPECT_NE(dump.find("\"kind\":\"request\""), std::string::npos);
+  EXPECT_NE(dump.find("POST /v1/analyze"), std::string::npos);
+  EXPECT_NE(dump.find("\"conn\":42"), std::string::npos);
+  EXPECT_NE(dump.find("\"flight_end\""), std::string::npos);
+  // JSONL: every line is one object.
+  std::istringstream lines(dump);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, DumpNowWritesEventsAndSpans) {
+  obs::EventLog::instance().reset();
+  obs::EventLog::instance().set_enabled(true);
+  obs::EventLog::instance().emit(obs::EventLevel::kInfo, "test.dump", "now");
+#ifndef CHAINCHAOS_OBS_DISABLED
+  obs::Tracer::instance().set_enabled(true);
+  { CHAINCHAOS_SPAN(obs::Stage::kX509Parse); }
+#endif
+
+  const std::string path = ::testing::TempDir() + "flight_demand.jsonl";
+  ASSERT_TRUE(obs::flight::set_dump_path(path.c_str()));
+  ASSERT_TRUE(obs::flight::dump_now());
+
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string dump = buffer.str();
+  EXPECT_NE(dump.find("{\"flight\":1,\"signal\":0}"), std::string::npos);
+  EXPECT_NE(dump.find("\"kind\":\"test.dump\""), std::string::npos);
+#ifndef CHAINCHAOS_OBS_DISABLED
+  EXPECT_NE(dump.find("\"s\":{"), std::string::npos);
+  obs::Tracer::instance().set_enabled(false);
+  obs::Tracer::instance().reset();
+#endif
+  obs::EventLog::instance().reset();
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, RejectsOversizePath) {
+  EXPECT_FALSE(obs::flight::set_dump_path(""));
+  EXPECT_FALSE(obs::flight::set_dump_path(std::string(300, 'x').c_str()));
+  EXPECT_TRUE(obs::flight::set_dump_path("/tmp/ok.jsonl"));
 }
 
 }  // namespace

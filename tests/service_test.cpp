@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/event_log.hpp"
 #include "service/cache.hpp"
 #include "service/client.hpp"
 #include "service/event_loop.hpp"
@@ -1157,6 +1158,144 @@ TEST(ServiceMetricsTest, CountersAndJsonShape) {
             std::string::npos);
   EXPECT_NE(prom.find("chainchaos_evictions_total{kind=\"idle\"} 1"),
             std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// chainwatch over the live service: /v1/timeseries, /v1/flight,
+// slow-request events (DESIGN.md §5.16)
+// ---------------------------------------------------------------------------
+
+/// The event log is process-global; these tests own it for their
+/// duration and leave it clean for the rest of the suite.
+class ServiceWatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::EventLog::instance().reset();
+    obs::EventLog::instance().set_enabled(true);
+  }
+  void TearDown() override { obs::EventLog::instance().reset(); }
+};
+
+TEST_F(ServiceWatchTest, StatsUptimeIsPresentAndMonotone) {
+  service::ServerConfig config;
+  config.workers = 1;
+  service::Server server(config);
+  ASSERT_TRUE(server.start().ok());
+
+  service::Client client(server.port());
+  auto first = client.stats();
+  ASSERT_TRUE(first.ok());
+  const std::string body1 = to_string(first.value().body);
+  const std::size_t at = body1.find("\"uptime_seconds\":");
+  ASSERT_NE(at, std::string::npos);
+  const double uptime1 = std::strtod(
+      body1.c_str() + at + std::strlen("\"uptime_seconds\":"), nullptr);
+  EXPECT_GE(uptime1, 0.0);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  auto second = client.stats();
+  ASSERT_TRUE(second.ok());
+  const std::string body2 = to_string(second.value().body);
+  const std::size_t at2 = body2.find("\"uptime_seconds\":");
+  ASSERT_NE(at2, std::string::npos);
+  const double uptime2 = std::strtod(
+      body2.c_str() + at2 + std::strlen("\"uptime_seconds\":"), nullptr);
+  EXPECT_GT(uptime2, uptime1);
+  server.stop();
+}
+
+TEST_F(ServiceWatchTest, TimeseriesEndpointAccumulatesSamples) {
+  service::ServerConfig config;
+  config.workers = 2;
+  config.sample_interval_ms = 20;  // fast cadence so the test stays short
+  service::Server server(config);
+  ASSERT_TRUE(server.start().ok());
+
+  service::Client client(server.port());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  std::string body;
+  for (;;) {
+    ASSERT_TRUE(client.analyze(pki().pem_chain(), "watch.example").ok());
+    auto response = client.timeseries();
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response.value().status, 200);
+    body = to_string(response.value().body);
+    // Run until the ring holds >= 5 samples (each sample needs one
+    // sample_interval_ms-spaced loop wakeup).
+    if (body.find("\"seq\":4") != std::string::npos) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "ring never reached 5 samples: " << body;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_NE(body.find("\"columns\":["), std::string::npos);
+  EXPECT_NE(body.find("\"requests_total\""), std::string::npos);
+  EXPECT_NE(body.find("\"latency_bucket_8\""), std::string::npos);
+  server.stop();
+}
+
+TEST_F(ServiceWatchTest, FlightEndpointReturnsLifecycleEvents) {
+  service::ServerConfig config;
+  config.workers = 1;
+  service::Server server(config);
+  ASSERT_TRUE(server.start().ok());
+
+  service::Client client(server.port());
+  ASSERT_TRUE(client.analyze(pki().pem_chain(), "flight.example").ok());
+  auto response = client.flight();
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response.value().status, 200);
+  const std::string body = to_string(response.value().body);
+  EXPECT_NE(body.find("\"events_enabled\":true"), std::string::npos);
+  EXPECT_NE(body.find("\"kind\":\"conn.open\""), std::string::npos);
+  EXPECT_NE(body.find("\"kind\":\"request\""), std::string::npos);
+  EXPECT_NE(body.find("POST /v1/analyze"), std::string::npos);
+  server.stop();
+}
+
+TEST_F(ServiceWatchTest, SlowRequestsEmitEvents) {
+  service::ServerConfig config;
+  config.workers = 1;
+  config.handler_stall_ms = 30;  // every handler takes >= 30ms
+  config.slow_request_ms = 10;   // threshold well under the stall
+  service::Server server(config);
+  ASSERT_TRUE(server.start().ok());
+
+  service::Client client(server.port());
+  ASSERT_TRUE(client.analyze(pki().pem_chain(), "slow.example").ok());
+  server.stop();
+
+  bool found = false;
+  for (const obs::EventRecord& event :
+       obs::EventLog::instance().collect(256)) {
+    if (std::string(event.kind) == "slow_request") {
+      found = true;
+      EXPECT_GE(event.value, 10000u);  // microseconds, >= the threshold
+      EXPECT_NE(std::string(event.detail).find("/v1/analyze"),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found) << "no slow_request event for a stalled handler";
+}
+
+TEST(ServiceWatchDisabledTest, EndpointsStayQuietWithoutEvents) {
+  // Events off (the default): /v1/flight reports events_enabled=false
+  // and the lifecycle emits nothing; /v1/timeseries still works (the
+  // ring is always on — it is counters, not events).
+  obs::EventLog::instance().reset();
+  service::ServerConfig config;
+  config.workers = 1;
+  service::Server server(config);
+  ASSERT_TRUE(server.start().ok());
+
+  service::Client client(server.port());
+  ASSERT_TRUE(client.analyze(pki().pem_chain(), "quiet.example").ok());
+  auto flight = client.flight();
+  ASSERT_TRUE(flight.ok());
+  EXPECT_NE(to_string(flight.value().body).find("\"events_enabled\":false"),
+            std::string::npos);
+  EXPECT_EQ(obs::EventLog::instance().emitted(), 0u);
+  server.stop();
 }
 
 }  // namespace
